@@ -1,0 +1,30 @@
+//! # ftss-async-sim — the paper's asynchronous system, executable
+//!
+//! A deterministic discrete-event simulator for §3 of Gopal & Perry
+//! (PODC 1993): processes communicate by message passing with *unbounded*
+//! (but finite) delays, may crash, and may start from arbitrarily corrupted
+//! states. Failure detectors and the self-stabilizing consensus protocol
+//! run on top of this crate.
+//!
+//! Model choices (documented in `DESIGN.md`):
+//!
+//! * **Asynchrony** is modelled by seeded random message delays. An
+//!   optional *Global Stabilization Time* (GST) bounds delays afterwards —
+//!   the standard partial-synchrony device used to realize the ◇-properties
+//!   of Chandra–Toueg failure detectors.
+//! * **Fairness**: no message is lost; every send is eventually delivered
+//!   (unless the receiver crashed). This is what "eventually" properties
+//!   need.
+//! * **Determinism**: every run is a pure function of the configuration
+//!   seed. Events are ordered by `(time, sequence number)`.
+//!
+//! The driving trait is [`AsyncProcess`]: `on_start` arms timers (program
+//! text, not state — self-stabilizing protocols must work from any *state*,
+//! but re-arming the event loop is part of the runtime), `on_message` and
+//! `on_timer` advance the protocol.
+
+pub mod process;
+pub mod runner;
+
+pub use process::{AsyncProcess, Ctx};
+pub use runner::{AsyncConfig, AsyncRunner, RunStats, Time};

@@ -1,0 +1,77 @@
+//! E3/E4 — Theorems 1 and 2: the impossibility scenarios, tabulated.
+//!
+//! **E3 (Theorem 1).** Under the rejected Tentative Definition 1, for
+//! every candidate stabilization time `r`, each protocol archetype is
+//! refuted by one of the two proof histories: History A (partition of
+//! length `r` attributed to `p0`, then failure-free — the `r`-suffix must
+//! satisfy Assumption 1 with faulty = {p0}) or History B (failure-free
+//! with divergent corrupted counters — the suffix must satisfy
+//! Assumption 1 with faulty = ∅).
+//!
+//! **E4 (Theorem 2).** A uniform protocol (Assumption 2) in the
+//! permanently-partitioned history either leaves the faulty process
+//! unhalted and disagreeing (uniformity violated) or halts a correct
+//! process (Assumption 1's rate violated).
+
+use ftss::analysis::{theorem1_demo, theorem2_demo, Archetype, Table};
+
+fn main() {
+    println!("\nE3: Theorem 1 — no finite stabilization under Tentative Definition 1\n");
+    let mut t = Table::new(vec![
+        "archetype",
+        "r",
+        "history A (partition, F={p0})",
+        "history B (failure-free, F=∅)",
+        "refuted",
+    ]);
+    for r in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        for a in Archetype::all() {
+            let out = theorem1_demo(a, r, 8);
+            t.row(vec![
+                a.name().into(),
+                r.to_string(),
+                out.history_a
+                    .as_ref()
+                    .map(|v| format!("violates {}", v.rule))
+                    .unwrap_or_else(|| "satisfied".into()),
+                out.history_b
+                    .as_ref()
+                    .map(|v| format!("violates {}", v.rule))
+                    .unwrap_or_else(|| "satisfied".into()),
+                if out.refuted() { "yes" } else { "NO (!)" }.into(),
+            ]);
+        }
+    }
+    print!("{t}");
+    println!("\nEvery archetype fails at least one history for every r, as Theorem 1 predicts.");
+
+    println!("\nE4: Theorem 2 — uniform protocols cannot ftss-solve anything\n");
+    let mut t = Table::new(vec![
+        "uniform archetype",
+        "rounds",
+        "faulty halted",
+        "correct halted",
+        "c_p0 = c_p1",
+        "uniformity (A2)",
+        "rate (A1)",
+        "refuted",
+    ]);
+    for rounds in [2usize, 4, 8, 16, 64] {
+        for a in [Archetype::HaltOnDisagreement, Archetype::EagerHalt] {
+            let out = theorem2_demo(a, rounds);
+            t.row(vec![
+                a.name().into(),
+                rounds.to_string(),
+                out.faulty_halted.to_string(),
+                out.correct_halted.to_string(),
+                (out.counters.0 == out.counters.1).to_string(),
+                if out.uniformity_holds() { "holds" } else { "violated" }.into(),
+                if out.assumption1_holds() { "holds" } else { "violated" }.into(),
+                if out.refuted() { "yes" } else { "NO (!)" }.into(),
+            ]);
+        }
+    }
+    print!("{t}");
+    println!("\nEach uniform archetype violates uniformity or halts a correct process —");
+    println!("the two horns of Theorem 2's dilemma.");
+}

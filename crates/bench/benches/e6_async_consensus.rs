@@ -1,0 +1,204 @@
+//! E6 — §3: self-stabilizing asynchronous consensus vs plain
+//! Chandra–Toueg, from clean and corrupted initial states.
+//!
+//! Metrics per configuration (over seeds):
+//!
+//! * **decided fraction** — runs in which every correct process reached a
+//!   decision (plain CT) / progressed past the corrupted instance (SS)
+//!   within the horizon;
+//! * **agreement violations** — runs where two correct processes decided
+//!   differently (same instance, for the SS protocol);
+//! * **median decision time** — virtual time of the last correct
+//!   process's (first fresh) decision.
+
+use ftss::analysis::Table;
+use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
+use ftss::consensus_async::{CtConsensusProcess, SsConsensusProcess};
+use ftss::core::{Corrupt, ProcessId};
+use ftss::detectors::WeakOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEEDS: u64 = 12;
+const HORIZON: Time = 120_000;
+
+struct Row {
+    decided: usize,
+    violations: usize,
+    times: Vec<Time>,
+}
+
+fn fmt_median(times: &mut [Time]) -> String {
+    if times.is_empty() {
+        return "-".into();
+    }
+    times.sort_unstable();
+    format!("{}", times[times.len() / 2])
+}
+
+fn run_ct(n: usize, crashes: &[(ProcessId, Time)], corrupt: bool) -> Row {
+    let mut row = Row {
+        decided: 0,
+        violations: 0,
+        times: Vec::new(),
+    };
+    for seed in 0..SEEDS {
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
+        let oracle = WeakOracle::new(n, crashes.to_vec(), 300, seed, 0.2);
+        let mut procs: Vec<CtConsensusProcess> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| CtConsensusProcess::new(ProcessId(i), n, v, oracle.clone(), 25))
+            .collect();
+        if corrupt {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xc7);
+            for p in &mut procs {
+                p.corrupt(&mut rng);
+            }
+        }
+        let mut cfg = AsyncConfig::turbulent(seed, 50, 300);
+        for &(p, t) in crashes {
+            cfg = cfg.with_crash(p, t);
+        }
+        let mut runner = AsyncRunner::new(procs, cfg).expect("valid config");
+        let correct: Vec<usize> = (0..n)
+            .filter(|&i| !crashes.iter().any(|&(p, _)| p.index() == i))
+            .collect();
+        let correct2 = correct.clone();
+        let mut all_decided_at: Option<Time> = None;
+        runner.run_probed(HORIZON, 250, |t, ps| {
+            if all_decided_at.is_none() && correct2.iter().all(|&i| ps[i].decision().is_some()) {
+                all_decided_at = Some(t);
+            }
+        });
+        let decisions: Vec<Option<u64>> = correct
+            .iter()
+            .map(|&i| runner.process(ProcessId(i)).decision())
+            .collect();
+        if decisions.iter().all(|d| d.is_some()) {
+            row.decided += 1;
+            row.times.push(all_decided_at.unwrap_or(HORIZON));
+            let vals: std::collections::BTreeSet<u64> =
+                decisions.iter().map(|d| d.unwrap()).collect();
+            if vals.len() > 1 {
+                row.violations += 1;
+            }
+        }
+    }
+    row
+}
+
+fn run_ss(n: usize, crashes: &[(ProcessId, Time)], corrupt: bool) -> Row {
+    let mut row = Row {
+        decided: 0,
+        violations: 0,
+        times: Vec::new(),
+    };
+    for seed in 0..SEEDS {
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
+        let oracle = WeakOracle::new(n, crashes.to_vec(), 300, seed, 0.2);
+        let mut procs: Vec<SsConsensusProcess> = (0..n)
+            .map(|i| SsConsensusProcess::new(ProcessId(i), inputs.clone(), oracle.clone(), 25, 40))
+            .collect();
+        let mut corrupted_max = 0;
+        if corrupt {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xc7);
+            for p in &mut procs {
+                p.corrupt(&mut rng);
+            }
+            corrupted_max = procs.iter().map(|p| p.inst).max().unwrap();
+        }
+        let mut cfg = AsyncConfig::turbulent(seed, 50, 300);
+        for &(p, t) in crashes {
+            cfg = cfg.with_crash(p, t);
+        }
+        let mut runner = AsyncRunner::new(procs, cfg).expect("valid config");
+
+        // Probe to catch the first post-corruption decision time and check
+        // per-instance agreement.
+        let mut first_fresh: Option<Time> = None;
+        let mut per_instance: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>> =
+            Default::default();
+        let correct: Vec<usize> = (0..n)
+            .filter(|&i| !crashes.iter().any(|&(p, _)| p.index() == i))
+            .collect();
+        let correct2 = correct.clone();
+        runner.run_probed(HORIZON, 250, |t, ps| {
+            let mut all_fresh = true;
+            for &i in &correct2 {
+                match ps[i].last_decision() {
+                    Some((inst, v)) if inst > corrupted_max => {
+                        per_instance.entry(inst).or_default().insert(v);
+                    }
+                    _ => all_fresh = false,
+                }
+            }
+            if all_fresh && first_fresh.is_none() {
+                first_fresh = Some(t);
+            }
+        });
+        if let Some(t) = first_fresh {
+            row.decided += 1;
+            row.times.push(t);
+        }
+        if per_instance.values().any(|vals| vals.len() > 1) {
+            row.violations += 1;
+        }
+    }
+    row
+}
+
+fn main() {
+    println!("\nE6: asynchronous consensus — plain CT vs the paper's self-stabilizing");
+    println!("protocol; {SEEDS} seeds per row, horizon t={HORIZON}, GST t=300\n");
+
+    let mut t = Table::new(vec![
+        "protocol",
+        "n",
+        "crashes",
+        "init",
+        "decided",
+        "agreement violations",
+        "median decide t",
+    ]);
+
+    for (n, crashes) in [
+        (3usize, vec![]),
+        (5, vec![]),
+        (5, vec![(ProcessId(2), 5_000u64)]),
+        (9, vec![(ProcessId(0), 2_000), (ProcessId(4), 8_000)]),
+    ] {
+        let crash_label = if crashes.is_empty() {
+            "none".to_string()
+        } else {
+            format!("{}", crashes.len())
+        };
+        for corrupt in [false, true] {
+            let init = if corrupt { "corrupted" } else { "clean" };
+            let mut ct = run_ct(n, &crashes, corrupt);
+            t.row(vec![
+                "plain CT".into(),
+                n.to_string(),
+                crash_label.clone(),
+                init.into(),
+                format!("{}/{SEEDS}", ct.decided),
+                ct.violations.to_string(),
+                fmt_median(&mut ct.times),
+            ]);
+            let mut ss = run_ss(n, &crashes, corrupt);
+            t.row(vec![
+                "self-stabilizing".into(),
+                n.to_string(),
+                crash_label.clone(),
+                init.into(),
+                format!("{}/{SEEDS}", ss.decided),
+                ss.violations.to_string(),
+                fmt_median(&mut ss.times),
+            ]);
+        }
+    }
+    print!("{t}");
+    println!("\nExpected shape: both decide from clean states; from corrupted states");
+    println!("plain CT mostly deadlocks (or decides corrupted garbage) while the");
+    println!("self-stabilizing protocol keeps completing instances with agreement.");
+}

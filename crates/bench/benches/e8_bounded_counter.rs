@@ -1,0 +1,81 @@
+//! E8 — the bounded-counter impossibility (§2.4's remark).
+//!
+//! "Third, the current round number is counted by an unbounded variable.
+//! In the full paper, we show an impossibility for a bounded counter
+//! analogous to the impossibility shown in Theorem 2."
+//!
+//! The table runs round agreement with a counter wrapping at modulus `M`
+//! against the unbounded Figure-1 protocol, over windows longer than `M`:
+//! the bounded variant violates Assumption 1's rate condition at every
+//! wrap, for every `M`, while the unbounded protocol passes the identical
+//! check. (The deeper Theorem-2-style impossibility — that *no* bounded
+//! protocol works, not just this one — is deferred to the full paper by
+//! the authors; this experiment demonstrates the failure of the natural
+//! candidate.)
+
+use ftss::analysis::Table;
+use ftss::core::{ftss_check, RateAgreementSpec};
+use ftss::protocols::{BoundedRoundAgreement, RoundAgreement};
+use ftss::sync_sim::{NoFaults, RunConfig, SyncRunner};
+
+const SEEDS: u64 = 10;
+
+fn main() {
+    println!("\nE8: bounded vs unbounded round counters (§2.4's third requirement)");
+    println!("window = 2·M rounds, n = 4, corrupted starts, {SEEDS} seeds per row\n");
+
+    let mut t = Table::new(vec![
+        "protocol",
+        "modulus M",
+        "rounds",
+        "runs violating rate",
+        "first violated rule",
+    ]);
+
+    for m in [4u64, 8, 16, 32, 64] {
+        let rounds = (2 * m) as usize;
+        let mut violations = 0;
+        let mut rule = String::from("-");
+        for seed in 0..SEEDS {
+            let out = SyncRunner::new(BoundedRoundAgreement::new(m))
+                .run(&mut NoFaults, &RunConfig::corrupted(4, rounds, seed))
+                .unwrap();
+            let report = ftss_check(&out.history, &RateAgreementSpec::new(), 1);
+            if !report.is_satisfied() {
+                violations += 1;
+                if rule == "-" {
+                    rule = report.violations[0].violation.rule.clone();
+                }
+            }
+        }
+        t.row(vec![
+            format!("bounded (mod {m})"),
+            m.to_string(),
+            rounds.to_string(),
+            format!("{violations}/{SEEDS}"),
+            rule,
+        ]);
+
+        // The unbounded comparator on identical workloads.
+        let mut violations = 0;
+        for seed in 0..SEEDS {
+            let out = SyncRunner::new(RoundAgreement)
+                .run(&mut NoFaults, &RunConfig::corrupted(4, rounds, seed))
+                .unwrap();
+            if !ftss_check(&out.history, &RateAgreementSpec::new(), 1).is_satisfied() {
+                violations += 1;
+            }
+        }
+        t.row(vec![
+            "unbounded (Fig 1)".into(),
+            "∞".into(),
+            rounds.to_string(),
+            format!("{violations}/{SEEDS}"),
+            "-".into(),
+        ]);
+    }
+    print!("{t}");
+    println!("\nEvery window longer than M contains a wrap, and every wrap breaks");
+    println!("the rate condition — bounded counters cannot meet Assumption 1 on");
+    println!("long windows, which is why Figure 3 requires an unbounded variable.");
+}

@@ -1,0 +1,73 @@
+//! # ftss-bench — experiment harness (E1–E7)
+//!
+//! One bench target per experiment in `DESIGN.md` §4, each regenerating a
+//! figure/theorem of the paper as an empirical table. Run them all with
+//! `cargo bench`, or one with `cargo bench --bench e1_round_agreement`.
+//! Recorded outputs live in `EXPERIMENTS.md`.
+//!
+//! This library hosts the helpers the bench binaries share.
+
+use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
+use ftss::consensus_async::SsConsensusProcess;
+use ftss::core::{Corrupt, ProcessId};
+use ftss::detectors::WeakOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean of a slice of counts, rendered with one decimal.
+pub fn mean(xs: &[usize]) -> String {
+    if xs.is_empty() {
+        return "-".into();
+    }
+    format!("{:.1}", xs.iter().sum::<usize>() as f64 / xs.len() as f64)
+}
+
+/// Maximum of a slice of counts, rendered.
+pub fn max(xs: &[usize]) -> String {
+    xs.iter().max().map(|m| m.to_string()).unwrap_or("-".into())
+}
+
+/// Builds a corrupted self-stabilizing consensus system ready to run.
+pub fn build_ss_consensus(
+    inputs: &[u64],
+    crashes: Vec<(ProcessId, Time)>,
+    seed: u64,
+    corrupt: bool,
+) -> AsyncRunner<SsConsensusProcess> {
+    let n = inputs.len();
+    let oracle = WeakOracle::new(n, crashes.clone(), 300, seed, 0.2);
+    let mut procs: Vec<SsConsensusProcess> = (0..n)
+        .map(|i| SsConsensusProcess::new(ProcessId(i), inputs.to_vec(), oracle.clone(), 25, 40))
+        .collect();
+    if corrupt {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5a5a);
+        for p in &mut procs {
+            p.corrupt(&mut rng);
+        }
+    }
+    let mut cfg = AsyncConfig::turbulent(seed, 50, 300);
+    for (p, t) in crashes {
+        cfg = cfg.with_crash(p, t);
+    }
+    AsyncRunner::new(procs, cfg).expect("valid configuration")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_max() {
+        assert_eq!(mean(&[1, 2, 3]), "2.0");
+        assert_eq!(max(&[1, 5, 3]), "5");
+        assert_eq!(mean(&[]), "-");
+        assert_eq!(max(&[]), "-");
+    }
+
+    #[test]
+    fn builder_smoke() {
+        let mut r = build_ss_consensus(&[1, 2, 3], vec![], 1, true);
+        r.run_until(5_000);
+        assert!(r.stats().messages_delivered > 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! A tiny `--key value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `args` (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when an option is missing its value or an
+    /// argument is not of the form `--key value`.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut it = args.into_iter();
+        let command = it.next().unwrap_or_default();
+        let mut options = BTreeMap::new();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --option, got `{key}`"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} is missing its value"))?;
+            options.insert(name.to_string(), value);
+        }
+        Ok(Args { command, options })
+    }
+
+    /// The raw value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A parsed value of `--name`, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// A boolean flag: `--name true|false`, defaulting to `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value is not `true`/`false`.
+    pub fn flag(&self, name: &str) -> Result<bool, String> {
+        self.get_or(name, false)
+    }
+
+    /// Parses a crash specification `p@r` (process index @ round/time).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the format is not `usize@u64`.
+    pub fn crash_spec(&self, name: &str) -> Result<Option<(usize, u64)>, String> {
+        let Some(v) = self.get(name) else {
+            return Ok(None);
+        };
+        let (p, t) = v
+            .split_once('@')
+            .ok_or_else(|| format!("--{name}: expected p@time, got `{v}`"))?;
+        Ok(Some((
+            p.parse().map_err(|_| format!("--{name}: bad process `{p}`"))?,
+            t.parse().map_err(|_| format!("--{name}: bad time `{t}`"))?,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<Args, String> {
+        Args::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse(&["compile", "--n", "5", "--pi", "floodset"]).unwrap();
+        assert_eq!(a.command, "compile");
+        assert_eq!(a.get("n"), Some("5"));
+        assert_eq!(a.get_or("n", 0usize).unwrap(), 5);
+        assert_eq!(a.get_or("missing", 7u64).unwrap(), 7);
+        assert_eq!(a.get("pi"), Some("floodset"));
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.command, "");
+        assert_eq!(a.get("x"), None);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(parse(&["c", "stray"]).is_err());
+        assert!(parse(&["c", "--n"]).is_err());
+        let a = parse(&["c", "--n", "abc"]).unwrap();
+        assert!(a.get_or("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn crash_spec_parses() {
+        let a = parse(&["c", "--crash", "2@500"]).unwrap();
+        assert_eq!(a.crash_spec("crash").unwrap(), Some((2, 500)));
+        let b = parse(&["c"]).unwrap();
+        assert_eq!(b.crash_spec("crash").unwrap(), None);
+        let c = parse(&["c", "--crash", "oops"]).unwrap();
+        assert!(c.crash_spec("crash").is_err());
+    }
+
+    #[test]
+    fn flags_default_false() {
+        let a = parse(&["c", "--corrupt", "true"]).unwrap();
+        assert!(a.flag("corrupt").unwrap());
+        assert!(!a.flag("other").unwrap());
+    }
+}

@@ -1,0 +1,351 @@
+//! The `ftss-lab` subcommands. Each runs a configured experiment, prints
+//! what happened, and returns `Ok(true)` when every checked property held.
+
+use crate::args::Args;
+use ftss::analysis::{
+    measured_stabilization_time, theorem1_demo, theorem2_demo, Archetype,
+};
+use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
+use ftss::compiler::Compiled;
+use ftss::consensus_async::SsConsensusProcess;
+use ftss::core::{
+    ftss_check, Corrupt, CrashSchedule, ProcessId, ProcessSet, RateAgreementSpec, Round,
+};
+use ftss::detectors::{
+    eventual_weak_accuracy, strong_completeness_time, LifeState, StrongDetectorProcess,
+    SuspectProbe, WeakOracle,
+};
+use ftss::protocols::{
+    token_ring::token_holders, CanonicalProtocol, Eig, FloodSet, PhaseKing,
+    RepeatedConsensusSpec, RoundAgreement, TokenRing,
+};
+use ftss::sync_sim::{Adversary, CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The help text.
+pub const USAGE: &str = "\
+ftss-lab — Gopal–Perry PODC'93 reproduction laboratory
+
+USAGE: ftss-lab <command> [--option value]...
+
+COMMANDS
+  round-agreement  Figure 1 from a corrupted start
+                   --n N --rounds R --seed S [--omit-p P --omitters K]
+  compile          Figure 3: compile Π and run Π+ from a corrupted start
+                   --pi floodset|phase-king|eig --f F --n N --rounds R
+                   --seed S [--crash p@round]
+  consensus        §3 self-stabilizing async consensus
+                   --n N --horizon T --seed S [--corrupt true] [--crash p@time]
+  detector         Figure 4 ◇S detector
+                   --n N --seed S [--crash p@time] [--poison true]
+  theorem1         The Theorem-1 scenario table  [--r R]
+  theorem2         The Theorem-2 scenario table  [--rounds R]
+  token-ring       Dijkstra's ring (ss-only contrast) --n N --rounds R --seed S
+
+Exit code 0: all checked properties held. 1: violation found. 2: usage error.";
+
+type Outcome = Result<bool, String>;
+
+fn adversary_from(args: &Args, n: usize) -> Result<Box<dyn Adversary>, String> {
+    let omit_p: f64 = args.get_or("omit-p", 0.0)?;
+    let omitters: usize = args.get_or("omitters", 1)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    if let Some((p, r)) = args.crash_spec("crash")? {
+        if p >= n {
+            return Err(format!("--crash names p{p} but n = {n}"));
+        }
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(p), Round::new(r.max(1)));
+        return Ok(Box::new(CrashOnly::new(cs)));
+    }
+    if omit_p > 0.0 {
+        let faulty: Vec<ProcessId> = (0..omitters.min(n.saturating_sub(1))).map(ProcessId).collect();
+        return Ok(Box::new(RandomOmission::new(faulty, omit_p, seed)));
+    }
+    Ok(Box::new(NoFaults))
+}
+
+/// `round-agreement`: run Figure 1, check Definition 2.4 with r = 1.
+pub fn round_agreement(args: &Args) -> Outcome {
+    let n: usize = args.get_or("n", 4)?;
+    let rounds: usize = args.get_or("rounds", 12)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let mut adv = adversary_from(args, n)?;
+    let out = SyncRunner::new(RoundAgreement)
+        .run(adv.as_mut(), &RunConfig::corrupted(n, rounds, seed))
+        .map_err(|e| e.to_string())?;
+    let m = measured_stabilization_time(&out.history, &RateAgreementSpec::new())
+        .ok_or("empty run")?;
+    println!(
+        "round agreement: n={n}, {rounds} rounds, seed {seed}; \
+         final stable window {}..{}",
+        m.window_start, m.window_end
+    );
+    match m.stabilization_rounds {
+        Some(s) => println!("measured stabilization: {s} round(s); claimed (Thm 3): 1"),
+        None => println!("did not stabilize within the window"),
+    }
+    let report = ftss_check(&out.history, &RateAgreementSpec::new(), 1);
+    println!("{report}");
+    Ok(report.is_satisfied() && m.stabilization_rounds.is_some_and(|s| s <= 1))
+}
+
+fn run_compiled<P>(pi: P, args: &Args) -> Outcome
+where
+    P: CanonicalProtocol,
+    P::Output: Corrupt,
+{
+    let n: usize = args.get_or("n", 4)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let fr = pi.final_round() as usize;
+    let rounds: usize = args.get_or("rounds", 10 * fr)?;
+    let name = pi.name().to_string();
+    let mut adv = adversary_from(args, n)?;
+    let out = SyncRunner::new(Compiled::new(pi))
+        .run(adv.as_mut(), &RunConfig::corrupted(n, rounds, seed))
+        .map_err(|e| e.to_string())?;
+    let spec = RepeatedConsensusSpec::agreement_only();
+    let m = measured_stabilization_time(&out.history, &spec).ok_or("empty run")?;
+    let bound = 2 * fr + 1;
+    println!(
+        "{name}+ : n={n}, final_round={fr}, {rounds} rounds, seed {seed}; \
+         window {}..{}",
+        m.window_start, m.window_end
+    );
+    match m.stabilization_rounds {
+        Some(s) => println!("measured stabilization: {s}; bound (Thm 4): {bound}"),
+        None => println!("Σ+ did not stabilize within the window"),
+    }
+    for (i, s) in out.final_states.iter().enumerate() {
+        match s {
+            None => println!("  p{i}: crashed"),
+            Some(s) => match ftss::protocols::HasDecision::decision(s) {
+                Some((tag, _)) => println!("  p{i}: decided (iteration tag {tag})"),
+                None => println!("  p{i}: no decision yet"),
+            },
+        }
+    }
+    Ok(m.stabilization_rounds.is_some_and(|s| s <= bound))
+}
+
+/// `compile`: compile the chosen Π and run Π⁺ from corruption.
+pub fn compile(args: &Args) -> Outcome {
+    let n: usize = args.get_or("n", 4)?;
+    let f: usize = args.get_or("f", 1)?;
+    match args.get("pi").unwrap_or("floodset") {
+        "floodset" => {
+            let inputs: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % 50).collect();
+            run_compiled(FloodSet::new(f, inputs), args)
+        }
+        "phase-king" => {
+            if n <= 4 * f {
+                return Err(format!("phase-king needs n > 4f (n={n}, f={f})"));
+            }
+            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            run_compiled(PhaseKing::new(f, inputs), args)
+        }
+        "eig" => {
+            let inputs: Vec<u64> = (0..n as u64).map(|i| (i * 11 + 5) % 50).collect();
+            run_compiled(Eig::new(f, inputs), args)
+        }
+        other => Err(format!("unknown --pi `{other}` (floodset|phase-king|eig)")),
+    }
+}
+
+/// `consensus`: the §3 protocol, optionally corrupted, with progress and
+/// per-instance agreement checks.
+pub fn consensus(args: &Args) -> Outcome {
+    let n: usize = args.get_or("n", 3)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let horizon: Time = args.get_or("horizon", 120_000)?;
+    let corrupt = args.flag("corrupt")?;
+    let crash = args.crash_spec("crash")?;
+    let crashes: Vec<(ProcessId, Time)> = crash
+        .into_iter()
+        .map(|(p, t)| (ProcessId(p), t))
+        .collect();
+    let inputs: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
+    let oracle = WeakOracle::new(n, crashes.clone(), 300, seed, 0.2);
+    let mut procs: Vec<SsConsensusProcess> = (0..n)
+        .map(|i| SsConsensusProcess::new(ProcessId(i), inputs.clone(), oracle.clone(), 25, 40))
+        .collect();
+    let mut corrupted_max = 0;
+    if corrupt {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5a5a);
+        for p in &mut procs {
+            p.corrupt(&mut rng);
+        }
+        corrupted_max = procs.iter().map(|p| p.inst).max().unwrap_or(1);
+        println!("corrupted starting instances up to {corrupted_max}");
+    }
+    let mut cfg = AsyncConfig::turbulent(seed, 50, 300);
+    for &(p, t) in &crashes {
+        cfg = cfg.with_crash(p, t);
+    }
+    let mut runner = AsyncRunner::new(procs, cfg).map_err(|e| e.to_string())?;
+    runner.run_until(horizon);
+    let mut ok = true;
+    let mut per_instance: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>> =
+        Default::default();
+    for (i, p) in runner.processes().iter().enumerate() {
+        if runner.is_crashed(ProcessId(i)) {
+            println!("p{i}: crashed");
+            continue;
+        }
+        match p.last_decision() {
+            Some((inst, v)) => {
+                println!("p{i}: newest decision instance {inst} -> {v}");
+                if inst > corrupted_max {
+                    per_instance.entry(inst).or_default().insert(v);
+                }
+                if inst <= corrupted_max {
+                    println!("   (no fresh decision past the corrupted epoch)");
+                    ok = false;
+                }
+            }
+            None => {
+                println!("p{i}: NO decision");
+                ok = false;
+            }
+        }
+    }
+    for (i, vals) in &per_instance {
+        if vals.len() > 1 {
+            println!("AGREEMENT VIOLATION at instance {i}: {vals:?}");
+            ok = false;
+        }
+    }
+    let stats = runner.stats();
+    println!(
+        "({} messages, horizon t={})",
+        stats.messages_delivered, stats.end_time
+    );
+    Ok(ok)
+}
+
+/// `detector`: run Figure 4 and report settle times.
+pub fn detector(args: &Args) -> Outcome {
+    let n: usize = args.get_or("n", 4)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let horizon: Time = args.get_or("horizon", 40_000)?;
+    let poison = args.flag("poison")?;
+    let crash = args.crash_spec("crash")?;
+    let crashes: Vec<(ProcessId, Time)> = crash
+        .into_iter()
+        .map(|(p, t)| (ProcessId(p), t))
+        .collect();
+    let oracle = WeakOracle::new(n, crashes.clone(), 0, seed, 0.0);
+    let mut procs: Vec<StrongDetectorProcess> = (0..n)
+        .map(|i| StrongDetectorProcess::new(ProcessId(i), oracle.clone(), 20))
+        .collect();
+    if poison {
+        for (i, p) in procs.iter_mut().enumerate() {
+            for s in 0..n {
+                if s == i {
+                    p.num[s] = 0;
+                    p.state[s] = LifeState::Alive;
+                } else {
+                    p.num[s] = 1_000_000_000;
+                    p.state[s] = LifeState::Dead;
+                }
+            }
+        }
+        println!("poisoned: everyone believes everyone else dead at v=10^9");
+    }
+    let mut cfg = AsyncConfig::tame(seed);
+    for &(p, t) in &crashes {
+        cfg = cfg.with_crash(p, t);
+    }
+    let mut runner = AsyncRunner::new(procs, cfg).map_err(|e| e.to_string())?;
+    let mut probes = Vec::new();
+    runner.run_probed(horizon, 200, |t, ps| probes.push(SuspectProbe::sample(t, ps)));
+    let crashed = ProcessSet::from_iter_n(n, crashes.iter().map(|&(p, _)| p));
+    let correct = crashed.complement();
+    let comp = strong_completeness_time(&probes, &crashed, &correct);
+    let acc = eventual_weak_accuracy(&probes, &correct);
+    match comp {
+        Some(t) => println!("strong completeness settled at t={t}"),
+        None if crashed.is_empty() => println!("strong completeness: vacuous (no crashes)"),
+        None => println!("strong completeness NEVER settled"),
+    }
+    match acc {
+        Some((w, t)) => println!("eventual weak accuracy settled at t={t} (witness {w})"),
+        None => println!("eventual weak accuracy NEVER settled"),
+    }
+    Ok((comp.is_some() || crashed.is_empty()) && acc.is_some())
+}
+
+/// `theorem1`: print the scenario table for one `r`.
+pub fn theorem1(args: &Args) -> Outcome {
+    let r: usize = args.get_or("r", 4)?;
+    let mut all_refuted = true;
+    println!("Theorem 1 scenarios with candidate stabilization r={r}:");
+    for a in Archetype::all() {
+        let out = theorem1_demo(a, r, 6);
+        println!(
+            "  {:<24} history A: {:<22} history B: {:<22} refuted: {}",
+            a.name(),
+            out.history_a
+                .as_ref()
+                .map(|v| format!("violates {}", v.rule))
+                .unwrap_or_else(|| "satisfied".into()),
+            out.history_b
+                .as_ref()
+                .map(|v| format!("violates {}", v.rule))
+                .unwrap_or_else(|| "satisfied".into()),
+            out.refuted()
+        );
+        all_refuted &= out.refuted();
+    }
+    Ok(all_refuted)
+}
+
+/// `theorem2`: print the uniform-protocol dilemma for one run length.
+pub fn theorem2(args: &Args) -> Outcome {
+    let rounds: usize = args.get_or("rounds", 8)?;
+    let mut all_refuted = true;
+    println!("Theorem 2 scenarios over {rounds} partitioned rounds:");
+    for a in [Archetype::HaltOnDisagreement, Archetype::EagerHalt] {
+        let out = theorem2_demo(a, rounds);
+        println!(
+            "  {:<24} uniformity: {:<9} rate: {:<9} refuted: {}",
+            a.name(),
+            if out.uniformity_holds() { "holds" } else { "violated" },
+            if out.assumption1_holds() { "holds" } else { "violated" },
+            out.refuted()
+        );
+        all_refuted &= out.refuted();
+    }
+    Ok(all_refuted)
+}
+
+/// `token-ring`: the classical ss-only contrast.
+pub fn token_ring(args: &Args) -> Outcome {
+    let n: usize = args.get_or("n", 5)?;
+    let rounds: usize = args.get_or("rounds", 80)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let ring = TokenRing::new(n);
+    let out = SyncRunner::new(ring)
+        .run(&mut NoFaults, &RunConfig::corrupted(n, rounds, seed))
+        .map_err(|e| e.to_string())?;
+    let counts: Vec<usize> = (1..=rounds as u64)
+        .map(|r| {
+            let vals: Vec<u64> = out
+                .history
+                .round(Round::new(r))
+                .records
+                .iter()
+                .map(|rec| rec.state_at_start.as_ref().unwrap().value)
+                .collect();
+            token_holders(&ring, &vals)
+        })
+        .collect();
+    let settle = counts.iter().rposition(|&c| c != 1).map_or(0, |i| i + 1);
+    println!(
+        "token ring n={n}: token counts settled to 1 after {settle} round(s); \
+         trace: {:?}...",
+        &counts[..counts.len().min(20)]
+    );
+    Ok(counts.last() == Some(&1))
+}

@@ -1,0 +1,107 @@
+//! End-to-end tests of the `ftss-lab` binary: spawn the real executable
+//! and assert on exit codes and output shapes.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ftss-lab"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    for args in [&["help"][..], &[][..], &["--help"][..]] {
+        let o = run(args);
+        assert!(o.status.success(), "{args:?}");
+        assert!(stdout(&o).contains("USAGE"), "{args:?}");
+    }
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let o = run(&["frobnicate"]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&o.stderr).contains("unknown command"));
+}
+
+#[test]
+fn bad_option_exits_2() {
+    let o = run(&["round-agreement", "--n"]);
+    assert_eq!(o.status.code(), Some(2));
+    let o = run(&["round-agreement", "stray"]);
+    assert_eq!(o.status.code(), Some(2));
+}
+
+#[test]
+fn round_agreement_passes_and_reports() {
+    let o = run(&["round-agreement", "--n", "6", "--seed", "11", "--rounds", "10"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let s = stdout(&o);
+    assert!(s.contains("measured stabilization"));
+    assert!(s.contains("ftss OK"));
+}
+
+#[test]
+fn round_agreement_with_omissions_passes() {
+    let o = run(&[
+        "round-agreement", "--n", "5", "--seed", "3", "--omit-p", "0.5", "--omitters", "2",
+    ]);
+    assert!(o.status.success());
+}
+
+#[test]
+fn compile_all_three_protocols() {
+    for pi in ["floodset", "phase-king", "eig"] {
+        let n = if pi == "phase-king" { "5" } else { "4" };
+        let o = run(&["compile", "--pi", pi, "--f", "1", "--n", n, "--seed", "2"]);
+        assert!(o.status.success(), "{pi}: {}", String::from_utf8_lossy(&o.stderr));
+        assert!(stdout(&o).contains("bound (Thm 4)"), "{pi}");
+    }
+}
+
+#[test]
+fn compile_rejects_undersized_phase_king() {
+    let o = run(&["compile", "--pi", "phase-king", "--f", "1", "--n", "4"]);
+    assert_eq!(o.status.code(), Some(2));
+}
+
+#[test]
+fn theorem_commands_succeed() {
+    let o = run(&["theorem1", "--r", "3"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("refuted: true"));
+    let o = run(&["theorem2", "--rounds", "6"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("refuted: true"));
+}
+
+#[test]
+fn detector_with_poison_recovers() {
+    let o = run(&["detector", "--n", "3", "--crash", "2@500", "--poison", "true"]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    let s = stdout(&o);
+    assert!(s.contains("strong completeness settled"));
+    assert!(s.contains("eventual weak accuracy settled"));
+}
+
+#[test]
+fn token_ring_stabilizes() {
+    let o = run(&["token-ring", "--n", "4", "--rounds", "60", "--seed", "5"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("settled to 1"));
+}
+
+#[test]
+fn consensus_corrupted_recovers() {
+    let o = run(&[
+        "consensus", "--n", "3", "--corrupt", "true", "--horizon", "60000", "--seed", "4",
+    ]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    assert!(stdout(&o).contains("newest decision"));
+}

@@ -1,0 +1,458 @@
+//! The compiled protocol Π⁺: Figure 3, line by line.
+
+use ftss_core::{normalize, Corrupt, ProcessId, ProcessSet, RoundCounter};
+use ftss_protocols::{CanonicalProtocol, HasDecision};
+use ftss_sync_sim::{Inbox, ProtocolCtx, SyncProtocol};
+use rand::Rng;
+use std::fmt;
+
+/// The message of Π⁺: Π's message plus the sender's round tag —
+/// `((STATE: p, s_p), (ROUND: p, c_p))` in the paper's notation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledMsg<M> {
+    /// Π's payload (the `STATE` component).
+    pub state_msg: M,
+    /// The sender's round variable at send time (the `ROUND` component).
+    pub round: u64,
+}
+
+/// The state of Π⁺ at one process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledState<S, V> {
+    /// Π's state `s_p`.
+    pub inner: S,
+    /// The round variable `c_p`, driven by round agreement.
+    pub c: RoundCounter,
+    /// Processes suspected of being faulty; their messages are withheld
+    /// from Π. Reset at the start of every iteration.
+    pub suspects: ProcessSet,
+    /// The most recent iteration output: `(tag, value)` where the tag is
+    /// the value of `c_p` in the round that completed the iteration.
+    /// Survives the iteration reset so `Σ⁺` can observe it.
+    pub last_decision: Option<(u64, V)>,
+}
+
+impl<S: Corrupt, V: Corrupt> Corrupt for CompiledState<S, V> {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.inner.corrupt(rng);
+        self.c.corrupt(rng);
+        self.suspects.corrupt(rng);
+        self.last_decision.corrupt(rng);
+    }
+}
+
+impl<S, V: Clone + PartialEq + fmt::Debug> HasDecision for CompiledState<S, V> {
+    type Value = V;
+
+    fn decision(&self) -> Option<(u64, V)> {
+        self.last_decision.clone()
+    }
+}
+
+/// Ablation switches for the superimposition's mechanisms (experiment E7).
+/// The default enables everything, which is Figure 3 exactly; disabling a
+/// mechanism demonstrates why the paper needs it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompilerOptions {
+    /// Withhold messages from suspected processes from Π (Figure 3's `M`
+    /// filter). Without it, out-of-date and corrupted-state messages leak
+    /// into Π.
+    pub filter_suspects: bool,
+    /// Reset Π's state and the suspect set at the start of each iteration.
+    /// Without it, corruption persists across iterations forever.
+    pub reset_each_iteration: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            filter_suspects: true,
+            reset_each_iteration: true,
+        }
+    }
+}
+
+/// The compiler: wraps a canonical Π and runs it as the non-terminating,
+/// self-stabilizing Π⁺ of Figure 3.
+///
+/// # Example
+///
+/// ```
+/// use ftss_compiler::Compiled;
+/// use ftss_protocols::FloodSet;
+/// use ftss_sync_sim::{NoFaults, RunConfig, SyncRunner};
+///
+/// // Compile FloodSet consensus into its self-stabilizing repeated form
+/// // and run it from an arbitrarily corrupted initial state.
+/// let pi_plus = Compiled::new(FloodSet::new(1, vec![4, 2, 7]));
+/// let out = SyncRunner::new(pi_plus)
+///     .run(&mut NoFaults, &RunConfig::corrupted(3, 12, 0xbad5eed))
+///     .expect("valid config");
+/// assert_eq!(out.history.len(), 12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Compiled<P> {
+    protocol: P,
+    name: String,
+    options: CompilerOptions,
+}
+
+impl<P: CanonicalProtocol> Compiled<P> {
+    /// Compiles Π into Π⁺ (full Figure-3 superimposition).
+    pub fn new(protocol: P) -> Self {
+        Self::with_options(protocol, CompilerOptions::default())
+    }
+
+    /// Compiles Π with some mechanisms disabled — **for ablation studies
+    /// only**; anything but the default forfeits Theorem 4's guarantee.
+    pub fn with_options(protocol: P, options: CompilerOptions) -> Self {
+        let name = format!("{}+ (compiled)", protocol.name());
+        Compiled {
+            protocol,
+            name,
+            options,
+        }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> CompilerOptions {
+        self.options
+    }
+
+    /// The underlying Π.
+    pub fn inner(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Π's iteration length, which is also Π⁺'s stabilization time
+    /// (Theorem 4).
+    pub fn final_round(&self) -> u64 {
+        self.protocol.final_round()
+    }
+}
+
+impl<P> SyncProtocol for Compiled<P>
+where
+    P: CanonicalProtocol,
+    P::Output: Corrupt,
+{
+    type State = CompiledState<P::State, P::Output>;
+    type Msg = CompiledMsg<P::Msg>;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init_state(&self, ctx: &ProtocolCtx) -> Self::State {
+        CompiledState {
+            inner: self.protocol.init(ctx),
+            c: RoundCounter::INITIAL,
+            suspects: ProcessSet::empty(ctx.n),
+            last_decision: None,
+        }
+    }
+
+    fn broadcast(&self, ctx: &ProtocolCtx, state: &Self::State) -> Self::Msg {
+        CompiledMsg {
+            state_msg: self.protocol.message(ctx, &state.inner),
+            round: state.c.get(),
+        }
+    }
+
+    fn step(&self, ctx: &ProtocolCtx, state: &mut Self::State, inbox: &Inbox<Self::Msg>) {
+        let final_round = self.protocol.final_round();
+        let my_round = state.c.get();
+
+        // S := suspect ∪ { q | no message from q tagged with c_p arrived }.
+        let mut new_suspects = state.suspects.clone();
+        for j in 0..ctx.n {
+            let q = ProcessId(j);
+            let tagged_mine = inbox.from(q).is_some_and(|m| m.round == my_round);
+            if !tagged_mine {
+                new_suspects.insert(q);
+            }
+        }
+
+        // M := messages from unsuspected senders (per the *new* suspect
+        // set, exactly as Figure 3 computes S before filtering).
+        let filtered: Vec<ftss_core::Envelope<P::Msg>> = inbox
+            .iter()
+            .filter(|(q, _)| !self.options.filter_suspects || !new_suspects.contains(*q))
+            .map(|(q, m)| ftss_core::Envelope::new(q, ftss_core::Round::FIRST, m.state_msg.clone()))
+            .collect();
+        let inner_inbox = Inbox::new(filtered);
+
+        // k := normalize(c_p); s := Π's transition for round k.
+        let k = normalize(my_round, final_round);
+        self.protocol
+            .transition(ctx, &mut state.inner, &inner_inbox, k);
+
+        // An iteration completes when Π's final round was just executed.
+        if k == final_round {
+            if let Some(v) = self.protocol.output(ctx, &state.inner) {
+                state.last_decision = Some((my_round, v));
+            }
+        }
+
+        state.suspects = new_suspects;
+
+        // Round agreement: c := max(received round tags) + 1. The process
+        // always hears its own broadcast, so the max is well-defined.
+        let max_tag = inbox
+            .iter()
+            .map(|(_, m)| m.round)
+            .max()
+            .unwrap_or(my_round);
+        state.c = RoundCounter::new(max_tag).next();
+
+        // New iteration: reset Π's state and the suspect set.
+        if self.options.reset_each_iteration && normalize(state.c.get(), final_round) == 1 {
+            state.inner = self.protocol.init(ctx);
+            state.suspects = ProcessSet::empty(ctx.n);
+        }
+    }
+
+    fn round_counter(&self, state: &Self::State) -> Option<RoundCounter> {
+        Some(state.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftss_core::{
+        ftss_check, ftss_check_suffix, ft_check, CrashSchedule, RateAgreementSpec, Round,
+    };
+    use ftss_protocols::{FloodSet, PhaseKing, ReliableBroadcast, RepeatedConsensusSpec};
+    use ftss_sync_sim::{CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
+
+    type FsOutcome = ftss_sync_sim::RunOutcome<
+        CompiledState<ftss_protocols::floodset::FloodSetState, u64>,
+        CompiledMsg<std::collections::BTreeSet<u64>>,
+    >;
+
+    fn run_floodset(
+        f: usize,
+        inputs: Vec<u64>,
+        rounds: usize,
+        cfg_corrupt: Option<u64>,
+        adversary: &mut dyn ftss_sync_sim::Adversary,
+    ) -> FsOutcome {
+        let n = inputs.len();
+        let cfg = match cfg_corrupt {
+            None => RunConfig::clean(n, rounds),
+            Some(seed) => RunConfig::corrupted(n, rounds, seed),
+        };
+        SyncRunner::new(Compiled::new(FloodSet::new(f, inputs)))
+            .run(adversary, &cfg)
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_run_decides_every_iteration() {
+        let inputs = vec![5, 3, 9];
+        let out = run_floodset(1, inputs.clone(), 10, None, &mut NoFaults);
+        // final_round = 2; iterations complete at c = 2, 4, 6, ... (k=2).
+        // Decisions must be the min input, every time.
+        for s in out.final_states.iter().flatten() {
+            let (_tag, v) = s.last_decision.unwrap();
+            assert_eq!(v, 3);
+        }
+        // Σ⁺ with progress: over 10 rounds at least two iterations complete.
+        let spec = RepeatedConsensusSpec::with_progress(6);
+        assert!(ft_check(&out.history, &spec).is_ok());
+    }
+
+    #[test]
+    fn round_agreement_is_superimposed() {
+        // The compiled protocol satisfies Assumption 1 from corrupted
+        // states with stabilization 1 for the counters themselves.
+        let out = run_floodset(1, vec![1, 2, 3], 12, Some(0xc0ffee), &mut NoFaults);
+        let report = ftss_check(&out.history, &RateAgreementSpec::new(), 1);
+        assert!(report.is_satisfied(), "{report}");
+    }
+
+    #[test]
+    fn corrupted_start_stabilizes_within_two_iterations() {
+        // Theorem 4: stabilization final_round, plus up to final_round more
+        // for corrupted suspect sets, plus 1 round of round agreement.
+        for seed in 0..25u64 {
+            let f = 1;
+            let inputs = vec![4, 2, 7, 6];
+            let fr = f + 1;
+            let stab = 2 * fr + 2;
+            let out = run_floodset(f, inputs, 6 * fr, Some(seed), &mut NoFaults);
+            let spec = RepeatedConsensusSpec::with_progress(3 * fr);
+            match ftss_check_suffix(&out.history, &spec, stab) {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("window too short for the check"),
+                Err(v) => panic!("seed {seed}: {v}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_start_post_stabilization_decisions_are_valid_inputs() {
+        // After one clean reset, iterations start from true initial states,
+        // so decisions must equal min(inputs) — full recovery, not just
+        // agreement.
+        for seed in [3u64, 17, 99] {
+            let inputs = vec![8, 5, 11];
+            let out = run_floodset(1, inputs, 14, Some(seed), &mut NoFaults);
+            for s in out.final_states.iter().flatten() {
+                let (tag, v) = s.last_decision.unwrap();
+                // The final decision comes from a fully-clean iteration.
+                assert_eq!(v, 5, "seed {seed}, tag {tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn tolerates_crashes_and_corruption_together() {
+        for seed in 0..10u64 {
+            let mut cs = CrashSchedule::none();
+            cs.set(ftss_core::ProcessId(0), Round::new(3));
+            let mut adv = CrashOnly::new(cs);
+            let out = run_floodset(1, vec![4, 2, 7], 16, Some(seed), &mut adv);
+            let spec = RepeatedConsensusSpec::with_progress(8);
+            let stab = 6; // 2*final_round + 2
+            if let Err(v) = ftss_check_suffix(&out.history, &spec, stab) {
+                panic!("seed {seed}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn tolerates_continual_send_omissions_and_corruption() {
+        for seed in 0..10u64 {
+            let f = 1;
+            let mut adv = RandomOmission::new([ftss_core::ProcessId(1)], 0.5, seed);
+            let out = run_floodset(f, vec![9, 1, 6, 4], 20, Some(seed ^ 0xdead), &mut adv);
+            let spec = RepeatedConsensusSpec::agreement_only();
+            let stab = 2 * (f + 1) + 2;
+            if let Err(v) = ftss_check_suffix(&out.history, &spec, stab) {
+                panic!("seed {seed}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_phase_king_stabilizes() {
+        for seed in 0..8u64 {
+            let f = 1;
+            let inputs = vec![true, false, true, false, true];
+            let n = inputs.len();
+            let pk = PhaseKing::new(f, inputs);
+            let fr = pk.final_round() as usize;
+            let out = SyncRunner::new(Compiled::new(pk))
+                .run(&mut NoFaults, &RunConfig::corrupted(n, 6 * fr, seed))
+                .unwrap();
+            let spec = RepeatedConsensusSpec::with_progress(3 * fr);
+            let stab = 2 * fr + 2;
+            if let Err(v) = ftss_check_suffix(&out.history, &spec, stab) {
+                panic!("seed {seed}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_broadcast_stabilizes() {
+        for seed in 0..8u64 {
+            let f = 1;
+            let rb = ReliableBroadcast::new(ftss_core::ProcessId(0), 42, f);
+            let fr = rb.final_round() as usize;
+            let out = SyncRunner::new(Compiled::new(rb))
+                .run(&mut NoFaults, &RunConfig::corrupted(4, 8 * fr, seed))
+                .unwrap();
+            // Post-stabilization every iteration re-delivers 42.
+            for s in out.final_states.iter().flatten() {
+                let (_, v) = s.last_decision.unwrap();
+                assert_eq!(v, Some(42), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_reset_restores_initial_state_and_clears_suspects() {
+        let out = run_floodset(1, vec![5, 3, 9], 9, None, &mut NoFaults);
+        // final_round = 2: resets happen when normalize(c)==1, i.e. at the
+        // start of rounds where c ≡ 0 (mod 2). With clean start (c=1):
+        // c sequence 1,2,3,...; normalize(c)=1 at c=2,4,... so the state at
+        // the start of rounds with even c must be freshly reset.
+        for r in 1..=9u64 {
+            let rh = out.history.round(Round::new(r));
+            for (i, rec) in rh.records.iter().enumerate() {
+                let st = rec.state_at_start.as_ref().unwrap();
+                if ftss_core::normalize(st.c.get(), 2) == 1 {
+                    assert!(st.suspects.is_empty(), "suspects not reset");
+                    assert_eq!(
+                        st.inner.seen.len(),
+                        1,
+                        "p{i} state not reset at round {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_date_messages_are_filtered() {
+        // A process whose corrupted counter lags behind gets suspected and
+        // its stale messages never reach Π. We verify via direct step():
+        // a message tagged with the wrong round leaves the inner state
+        // untouched by that sender's content.
+        let compiled = Compiled::new(FloodSet::new(1, vec![10, 20]));
+        let ctx = ProtocolCtx::new(ftss_core::ProcessId(0), 2);
+        let mut state = compiled.init_state(&ctx);
+        state.c = RoundCounter::new(5);
+        let inbox = Inbox::new(vec![
+            ftss_core::Envelope::new(
+                ftss_core::ProcessId(0),
+                Round::FIRST,
+                CompiledMsg {
+                    state_msg: [10u64].into_iter().collect(),
+                    round: 5,
+                },
+            ),
+            ftss_core::Envelope::new(
+                ftss_core::ProcessId(1),
+                Round::FIRST,
+                CompiledMsg {
+                    state_msg: [99u64].into_iter().collect(),
+                    round: 3, // stale tag
+                },
+            ),
+        ]);
+        compiled.step(&ctx, &mut state, &inbox);
+        assert!(
+            !state.inner.seen.contains(&99),
+            "stale message leaked into Π: {:?}",
+            state.inner.seen
+        );
+        assert!(state.c.get() >= 6, "round agreement still advances");
+    }
+
+    #[test]
+    fn suspected_process_rejoins_after_reset() {
+        // Suspects accumulated mid-iteration are cleared at the reset, so a
+        // once-lagging process participates again in the next iteration.
+        let out = run_floodset(1, vec![5, 3], 10, Some(12345), &mut NoFaults);
+        // In the final rounds (well past stabilization) nobody suspects
+        // anybody: both processes are correct and synchronized.
+        let last = out.history.round(Round::new(10));
+        for rec in &last.records {
+            let st = rec.state_at_start.as_ref().unwrap();
+            // Mid-iteration the suspect set of a correct, synchronized pair
+            // stays empty.
+            assert!(st.suspects.is_empty(), "late suspects: {:?}", st.suspects);
+        }
+    }
+
+    #[test]
+    fn name_and_accessors() {
+        let c = Compiled::new(FloodSet::new(2, vec![1, 2, 3]));
+        assert_eq!(c.name(), "floodset+ (compiled)");
+        assert_eq!(c.final_round(), 3);
+        assert_eq!(c.inner().fault_bound(), 2);
+    }
+}

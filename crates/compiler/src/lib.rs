@@ -1,0 +1,32 @@
+//! # ftss-compiler — the Gopal–Perry compiler Π → Π⁺ (Figure 3)
+//!
+//! Transforms any process-failure-tolerant protocol Π in the canonical form
+//! of Figure 2 ([`ftss_protocols::CanonicalProtocol`]) into a protocol Π⁺
+//! that additionally tolerates **systemic failures** — arbitrary corruption
+//! of every process's state — and `ftss-solves` the repeated problem Σ⁺
+//! with stabilization time `final_round` (Theorem 4), plus up to another
+//! `final_round` when suspect sets are corrupted.
+//!
+//! The transformation superimposes the round-agreement protocol (Figure 1)
+//! onto Π:
+//!
+//! * every message is **tagged** with the sender's round variable `c_p`;
+//! * the round variable is driven by round agreement
+//!   (`c := max(received tags) + 1`), so correct processes converge on a
+//!   common round number within one round of coterie stability;
+//! * the unbounded counter is folded into Π's rounds by
+//!   `normalize(c) = c mod final_round + 1`, and the protocol state is
+//!   **reset to Π's initial state at the start of each iteration**;
+//! * each process maintains a [`suspect set`](CompiledState::suspects):
+//!   any process from which no message tagged with the receiver's own
+//!   round arrived is suspected, and messages from suspects are withheld
+//!   from Π — this insulates Π from "out-of-date" and corrupted-state
+//!   messages it was never designed to survive. Suspect sets are reset at
+//!   the start of each iteration.
+//!
+//! See `DESIGN.md` (experiment E2) for the empirical validation of the
+//! stabilization-time claim.
+
+pub mod compiled;
+
+pub use compiled::{Compiled, CompiledMsg, CompiledState, CompilerOptions};

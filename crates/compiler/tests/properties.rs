@@ -1,0 +1,103 @@
+//! Property-based tests of the compiler's Theorem-4 behaviour.
+
+use ftss_compiler::{Compiled, CompilerOptions};
+use ftss_core::{
+    ftss_check, ftss_check_suffix, ProcessId, RateAgreementSpec, Round,
+};
+use ftss_protocols::{FloodSet, RepeatedConsensusSpec};
+use ftss_sync_sim::{CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
+use proptest::prelude::*;
+
+proptest! {
+    /// The compiled protocol satisfies Assumption 1 (round agreement on the
+    /// superimposed counters) with stabilization 1, for arbitrary inputs,
+    /// corruption seeds and fault bounds.
+    #[test]
+    fn compiled_counters_satisfy_assumption1(
+        inputs in prop::collection::vec(0u64..1000, 3..7),
+        f in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let n = inputs.len();
+        let out = SyncRunner::new(Compiled::new(FloodSet::new(f, inputs)))
+            .run(&mut NoFaults, &RunConfig::corrupted(n, 14, seed))
+            .unwrap();
+        let report = ftss_check(&out.history, &RateAgreementSpec::new(), 1);
+        prop_assert!(report.is_satisfied(), "{}", report);
+    }
+
+    /// Σ⁺ stabilizes within 2·final_round + 2 for random corruption and a
+    /// random crash schedule.
+    #[test]
+    fn sigma_plus_stabilizes_within_bound(
+        inputs in prop::collection::vec(0u64..1000, 4..7),
+        seed in any::<u64>(),
+        crash_round in 1u64..6,
+        crash_idx in 0usize..7,
+    ) {
+        let n = inputs.len();
+        let f = 1;
+        let fr = f + 1;
+        let mut cs = ftss_core::CrashSchedule::none();
+        cs.set(ProcessId(crash_idx % n), Round::new(crash_round));
+        let mut adv = CrashOnly::new(cs);
+        let out = SyncRunner::new(Compiled::new(FloodSet::new(f, inputs)))
+            .run(&mut adv, &RunConfig::corrupted(n, 10 * fr, seed))
+            .unwrap();
+        let spec = RepeatedConsensusSpec::agreement_only();
+        if let Err(v) = ftss_check_suffix(&out.history, &spec, 2 * fr + 2) {
+            return Err(TestCaseError::fail(format!("{v}")));
+        }
+    }
+
+    /// Post-stabilization decisions are *valid* (the min of the inputs of
+    /// surviving processes), not merely agreed — full recovery.
+    #[test]
+    fn post_stabilization_decisions_are_correct(
+        inputs in prop::collection::vec(1u64..1000, 3..6),
+        seed in any::<u64>(),
+    ) {
+        let n = inputs.len();
+        let f = 1;
+        let expected = *inputs.iter().min().unwrap();
+        let out = SyncRunner::new(Compiled::new(FloodSet::new(f, inputs)))
+            .run(&mut NoFaults, &RunConfig::corrupted(n, 16, seed))
+            .unwrap();
+        for s in out.final_states.iter().flatten() {
+            let (_, v) = s.last_decision.expect("decided");
+            prop_assert_eq!(v, expected);
+        }
+    }
+
+    /// Σ⁺ holds under *continual* send omissions (the paper's "despite the
+    /// presence of continual process failures").
+    #[test]
+    fn continual_omissions_tolerated(
+        seed in any::<u64>(),
+        p_drop in 0.0f64..0.8,
+    ) {
+        let f = 1;
+        let fr = f + 1;
+        let mut adv = RandomOmission::new([ProcessId(0)], p_drop, seed);
+        let out = SyncRunner::new(Compiled::new(FloodSet::new(f, vec![8, 3, 5, 9])))
+            .run(&mut adv, &RunConfig::corrupted(4, 24, seed ^ 0x11))
+            .unwrap();
+        let spec = RepeatedConsensusSpec::agreement_only();
+        if let Err(v) = ftss_check_suffix(&out.history, &spec, 2 * fr + 2) {
+            return Err(TestCaseError::fail(format!("{v}")));
+        }
+    }
+
+    /// The ablation options round-trip and default to full Figure 3.
+    #[test]
+    fn options_accessor(filter in any::<bool>(), reset in any::<bool>()) {
+        let options = CompilerOptions {
+            filter_suspects: filter,
+            reset_each_iteration: reset,
+        };
+        let c = Compiled::with_options(FloodSet::new(1, vec![1, 2]), options);
+        prop_assert_eq!(c.options(), options);
+        let d = Compiled::new(FloodSet::new(1, vec![1, 2]));
+        prop_assert_eq!(d.options(), CompilerOptions::default());
+    }
+}

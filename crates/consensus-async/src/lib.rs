@@ -1,0 +1,50 @@
+//! # ftss-consensus-async — §3 of the paper: self-stabilizing consensus
+//!
+//! The paper's asynchronous contribution is a Consensus protocol
+//! (relative to an Eventually Strong failure detector, for crash faults,
+//! majority correct) that tolerates **both** process and systemic
+//! failures. It is derived from the Chandra–Toueg rotating-coordinator
+//! protocol by two modifications:
+//!
+//! 1. **Periodic re-send** — until a process completes a phase, it
+//!    periodically re-sends every message the CT protocol requires for
+//!    that phase. This defeats the deadlock in which a corrupted initial
+//!    state falsely indicates that messages have already been sent and
+//!    everybody waits forever (technique from Katz–Perry \[KP90\]).
+//! 2. **Round-agreement superimposition** — every message is tagged with
+//!    its `(instance, round)`; a process receiving a tag greater than its
+//!    own abandons its current phase and jumps to the first phase of the
+//!    tagged round; messages from abandoned (smaller) rounds are ignored.
+//!
+//! Crate layout:
+//!
+//! * [`ct`] — the **plain Chandra–Toueg** protocol, faithful to \[CT91\]:
+//!   send-once flags, in-order round progression, future-round buffering.
+//!   Correct under clean initialization (the `ft`-baseline of E6), but a
+//!   corrupted initial state deadlocks it — the suspicion escape hatch is
+//!   closed by the detector's eventual *accuracy*.
+//! * [`stabilizing`] — the paper's protocol as **repeated consensus**:
+//!   instances tagged, decisions versioned, everything re-sent until
+//!   superseded. Recovers from arbitrary state corruption.
+//!
+//! Both embed the self-stabilizing ◇S detector of Figure 4
+//! ([`ftss_detectors::StrongDetectorProcess`]) as a component, multiplexed
+//! over the same simulated network.
+
+pub mod ct;
+pub mod problem;
+pub mod stabilizing;
+
+pub use ct::{CtConsensusProcess, CtMsg};
+pub use problem::{check_repeated_consensus, DecisionProbe, RepeatedConsensusReport};
+pub use stabilizing::{SsConsensusProcess, SsMsg};
+
+/// Timer tags shared by both consensus variants.
+pub(crate) mod tags {
+    /// Base offset for timers belonging to the embedded detector.
+    pub const DETECTOR_BASE: u64 = 1_000;
+    /// Periodic suspicion poll of the consensus layer.
+    pub const SUSPECT_POLL: u64 = 1;
+    /// Periodic re-send of the current phase's messages (stabilizing only).
+    pub const RESEND: u64 = 2;
+}

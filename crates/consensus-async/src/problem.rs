@@ -1,0 +1,202 @@
+//! Probe-based problem checkers for asynchronous repeated consensus.
+//!
+//! The synchronous world evaluates `Σ` on recorded round histories; the
+//! asynchronous world has no rounds, so specifications are evaluated on
+//! *probe timelines* — periodic samples of every process's newest
+//! decision, collected with [`ftss_async_sim::AsyncRunner::run_probed`].
+
+use ftss_async_sim::Time;
+use ftss_core::{ProcessId, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One probe: the time and each process's newest `(instance, value)`
+/// decision (`None` = undecided or crashed).
+#[derive(Clone, Debug)]
+pub struct DecisionProbe {
+    /// Virtual time of the sample.
+    pub time: Time,
+    /// `decisions[p]` = newest decision of process `p`.
+    pub decisions: Vec<Option<(u64, u64)>>,
+}
+
+/// The verdict of [`check_repeated_consensus`].
+#[derive(Clone, Debug, Default)]
+pub struct RepeatedConsensusReport {
+    /// Violations found (empty = satisfied).
+    pub violations: Vec<Violation>,
+    /// Greatest instance decided by every correct process.
+    pub instances_completed_by_all: u64,
+    /// Time at which every correct process first held a fresh
+    /// (post-`ignore_up_to`) decision.
+    pub all_fresh_at: Option<Time>,
+}
+
+impl RepeatedConsensusReport {
+    /// Whether the specification held.
+    pub fn is_satisfied(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks the asynchronous `Σ⁺` over a probe timeline:
+///
+/// * **per-instance agreement** — no two correct processes are ever
+///   observed with different values for the same instance (instances
+///   `> ignore_up_to` only; instances up to the corrupted epoch may carry
+///   corrupted decisions, which Definition 2.4's stabilization window
+///   forgives);
+/// * **validity** — each observed fresh decision is one of
+///   `valid_values(instance)`;
+/// * **progress** — if `require_progress`, every correct process
+///   eventually holds a fresh decision.
+pub fn check_repeated_consensus(
+    probes: &[DecisionProbe],
+    correct: &[ProcessId],
+    ignore_up_to: u64,
+    valid_values: impl Fn(u64) -> Vec<u64>,
+    require_progress: bool,
+) -> RepeatedConsensusReport {
+    let mut report = RepeatedConsensusReport::default();
+    let mut per_instance: BTreeMap<u64, BTreeMap<ProcessId, u64>> = BTreeMap::new();
+
+    for probe in probes {
+        let mut all_fresh = !correct.is_empty();
+        for &p in correct {
+            match probe.decisions[p.index()] {
+                Some((inst, v)) if inst > ignore_up_to => {
+                    let entry = per_instance.entry(inst).or_default();
+                    if let Some(&w) = entry.values().next() {
+                        if w != v && !entry.contains_key(&p) {
+                            report.violations.push(
+                                Violation::new(
+                                    "agreement",
+                                    format!("instance {inst}: observed both {w} and {v}"),
+                                )
+                                .with_processes([p]),
+                            );
+                        }
+                    }
+                    entry.insert(p, v);
+                    if !valid_values(inst).contains(&v) {
+                        report.violations.push(
+                            Violation::new(
+                                "validity",
+                                format!("instance {inst}: {p} decided non-input {v}"),
+                            )
+                            .with_processes([p]),
+                        );
+                    }
+                }
+                _ => all_fresh = false,
+            }
+        }
+        if all_fresh && report.all_fresh_at.is_none() {
+            report.all_fresh_at = Some(probe.time);
+        }
+    }
+
+    // Instances completed by all correct processes (observed in probes).
+    report.instances_completed_by_all = per_instance
+        .iter()
+        .filter(|(_, votes)| correct.iter().all(|p| votes.contains_key(p)))
+        .map(|(&i, _)| i)
+        .max()
+        .unwrap_or(0);
+
+    if require_progress && report.all_fresh_at.is_none() {
+        report.violations.push(Violation::new(
+            "progress",
+            "some correct process never held a fresh decision",
+        ));
+    }
+
+    // De-duplicate repeated observations of the same violation.
+    let mut seen = BTreeSet::new();
+    report
+        .violations
+        .retain(|v| seen.insert(format!("{v}")));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(time: Time, ds: Vec<Option<(u64, u64)>>) -> DecisionProbe {
+        DecisionProbe {
+            time,
+            decisions: ds,
+        }
+    }
+
+    fn correct2() -> Vec<ProcessId> {
+        vec![ProcessId(0), ProcessId(1)]
+    }
+
+    #[test]
+    fn satisfied_run() {
+        let probes = vec![
+            probe(100, vec![Some((1, 10)), None]),
+            probe(200, vec![Some((1, 10)), Some((1, 10))]),
+            probe(300, vec![Some((2, 20)), Some((1, 10))]),
+            probe(400, vec![Some((2, 20)), Some((2, 20))]),
+        ];
+        let r = check_repeated_consensus(&probes, &correct2(), 0, |i| vec![i * 10], true);
+        assert!(r.is_satisfied(), "{:?}", r.violations);
+        assert_eq!(r.all_fresh_at, Some(200));
+        assert_eq!(r.instances_completed_by_all, 2);
+    }
+
+    #[test]
+    fn agreement_violation() {
+        let probes = vec![probe(100, vec![Some((1, 10)), Some((1, 11))])];
+        let r = check_repeated_consensus(&probes, &correct2(), 0, |_| vec![10, 11], false);
+        assert!(!r.is_satisfied());
+        assert_eq!(r.violations[0].rule, "agreement");
+    }
+
+    #[test]
+    fn corrupted_epoch_is_forgiven() {
+        // Instance 5 decisions disagree, but ignore_up_to = 5 exempts them.
+        let probes = vec![
+            probe(100, vec![Some((5, 1)), Some((5, 2))]),
+            probe(200, vec![Some((6, 60)), Some((6, 60))]),
+        ];
+        let r = check_repeated_consensus(&probes, &correct2(), 5, |i| vec![i * 10], true);
+        assert!(r.is_satisfied(), "{:?}", r.violations);
+        assert_eq!(r.instances_completed_by_all, 6);
+    }
+
+    #[test]
+    fn validity_violation() {
+        let probes = vec![probe(100, vec![Some((1, 99)), Some((1, 99))])];
+        let r = check_repeated_consensus(&probes, &correct2(), 0, |_| vec![10, 20], false);
+        assert!(r.violations.iter().any(|v| v.rule == "validity"));
+    }
+
+    #[test]
+    fn progress_violation() {
+        let probes = vec![probe(100, vec![Some((1, 10)), None])];
+        let r = check_repeated_consensus(&probes, &correct2(), 0, |_| vec![10], true);
+        assert!(r.violations.iter().any(|v| v.rule == "progress"));
+        let lax = check_repeated_consensus(&probes, &correct2(), 0, |_| vec![10], false);
+        assert!(lax.is_satisfied());
+    }
+
+    #[test]
+    fn duplicate_violations_are_deduped() {
+        let probes = vec![
+            probe(100, vec![Some((1, 10)), Some((1, 11))]),
+            probe(200, vec![Some((1, 10)), Some((1, 11))]),
+        ];
+        let r = check_repeated_consensus(&probes, &correct2(), 0, |_| vec![10, 11], false);
+        assert_eq!(r.violations.len(), 1);
+    }
+
+    #[test]
+    fn empty_probes_trivial() {
+        let r = check_repeated_consensus(&[], &correct2(), 0, |_| vec![], false);
+        assert!(r.is_satisfied());
+        assert_eq!(r.instances_completed_by_all, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the asynchronous consensus stack. Run counts
+//! are kept small — each case simulates hundreds of thousands of events.
+
+use ftss_async_sim::{AsyncConfig, AsyncRunner};
+use ftss_consensus_async::{check_repeated_consensus, DecisionProbe, SsConsensusProcess};
+use ftss_core::{Corrupt, ProcessId};
+use ftss_detectors::WeakOracle;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build(
+    inputs: &[u64],
+    seed: u64,
+    corrupt: bool,
+) -> (AsyncRunner<SsConsensusProcess>, u64) {
+    let n = inputs.len();
+    let oracle = WeakOracle::new(n, vec![], 300, seed, 0.2);
+    let mut procs: Vec<SsConsensusProcess> = (0..n)
+        .map(|i| SsConsensusProcess::new(ProcessId(i), inputs.to_vec(), oracle.clone(), 25, 40))
+        .collect();
+    let mut corrupted_max = 0;
+    if corrupt {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xcc);
+        for p in &mut procs {
+            p.corrupt(&mut rng);
+        }
+        corrupted_max = procs.iter().map(|p| p.inst).max().unwrap();
+    }
+    (
+        AsyncRunner::new(procs, AsyncConfig::turbulent(seed, 50, 300)).unwrap(),
+        corrupted_max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// From arbitrary corruption: progress past the corrupted epoch, and
+    /// per-instance agreement + validity on everything fresh.
+    #[test]
+    fn ss_consensus_recovers_for_random_inputs(
+        inputs in prop::collection::vec(0u64..500, 3..6),
+        seed in any::<u64>(),
+    ) {
+        let (mut runner, corrupted_max) = build(&inputs, seed, true);
+        let n = inputs.len();
+        let mut probes: Vec<DecisionProbe> = Vec::new();
+        runner.run_probed(120_000, 500, |t, ps| {
+            probes.push(DecisionProbe {
+                time: t,
+                decisions: ps.iter().map(|p| p.last_decision()).collect(),
+            });
+        });
+        let correct: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+        let template = runner.process(ProcessId(0)).clone();
+        let report = check_repeated_consensus(
+            &probes,
+            &correct,
+            corrupted_max,
+            |i| template.valid_values(i),
+            true,
+        );
+        prop_assert!(report.is_satisfied(), "{:?}", report.violations);
+        prop_assert!(report.instances_completed_by_all > corrupted_max);
+    }
+
+    /// Clean starts: instances keep completing and all decisions are valid
+    /// inputs of their instance.
+    #[test]
+    fn ss_consensus_clean_progress(
+        inputs in prop::collection::vec(0u64..500, 3..6),
+        seed in any::<u64>(),
+    ) {
+        let (mut runner, _) = build(&inputs, seed, false);
+        let n = inputs.len();
+        let mut probes: Vec<DecisionProbe> = Vec::new();
+        runner.run_probed(80_000, 500, |t, ps| {
+            probes.push(DecisionProbe {
+                time: t,
+                decisions: ps.iter().map(|p| p.last_decision()).collect(),
+            });
+        });
+        let correct: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+        let template = runner.process(ProcessId(0)).clone();
+        let report = check_repeated_consensus(
+            &probes,
+            &correct,
+            0,
+            |i| template.valid_values(i),
+            true,
+        );
+        prop_assert!(report.is_satisfied(), "{:?}", report.violations);
+        prop_assert!(
+            report.instances_completed_by_all >= 3,
+            "only {} instances",
+            report.instances_completed_by_all
+        );
+    }
+
+    /// Determinism of the full stack.
+    #[test]
+    fn ss_consensus_is_deterministic(seed in any::<u64>()) {
+        let go = || {
+            let (mut runner, _) = build(&[5, 10, 15], seed, true);
+            runner.run_until(40_000);
+            runner
+                .processes()
+                .iter()
+                .map(|p| (p.inst, p.round, p.last_decision()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(go(), go());
+    }
+}

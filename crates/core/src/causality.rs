@@ -1,0 +1,255 @@
+//! Lamport happened-before tracking for synchronous round histories.
+//!
+//! The paper defines `p →_H q` as: some event executed by `p`
+//! happened-before (in Lamport's causal order) some event executed by `q`
+//! in history `H`. [`CausalTracker`] maintains, for every process `q`, its
+//! **ancestor set** `A(q) = { p | p →_H q }`, updated round by round as
+//! messages are delivered.
+//!
+//! Two details matter for fidelity to the model:
+//!
+//! * A message broadcast at the start of round `r` carries the sender's
+//!   causal past *as of the start of round `r`* — deliveries inside round
+//!   `r` must not chain transitively within the same round. The tracker is
+//!   therefore driven in a begin/deliver/commit cycle per round.
+//! * Every process trivially reaches itself (its own events are ordered),
+//!   so `q ∈ A(q)` always.
+
+use crate::id::{ProcessId, ProcessSet};
+
+/// Incremental happened-before reachability over a synchronous execution.
+///
+/// # Example
+///
+/// ```
+/// use ftss_core::{CausalTracker, ProcessId};
+///
+/// let mut t = CausalTracker::new(3);
+/// t.begin_round();
+/// t.deliver(ProcessId(0), ProcessId(1)); // p0's broadcast reaches p1
+/// t.commit_round();
+/// assert!(t.reaches(ProcessId(0), ProcessId(1)));
+/// assert!(!t.reaches(ProcessId(1), ProcessId(0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CausalTracker {
+    n: usize,
+    /// `ancestors[q]` = set of processes with an event happened-before an
+    /// event of `q`, including `q` itself.
+    ancestors: Vec<ProcessSet>,
+    /// Snapshot of `ancestors` at the start of the round in progress.
+    at_round_start: Option<Vec<ProcessSet>>,
+}
+
+impl CausalTracker {
+    /// A tracker for `n` processes with no communication yet: each process
+    /// reaches only itself.
+    pub fn new(n: usize) -> Self {
+        let ancestors = (0..n)
+            .map(|q| ProcessSet::from_iter_n(n, [ProcessId(q)]))
+            .collect();
+        CausalTracker {
+            n,
+            ancestors,
+            at_round_start: None,
+        }
+    }
+
+    /// Number of processes tracked.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Starts a round: snapshots causal pasts so that same-round deliveries
+    /// do not chain transitively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a round is already in progress.
+    pub fn begin_round(&mut self) {
+        assert!(
+            self.at_round_start.is_none(),
+            "begin_round called twice without commit_round"
+        );
+        self.at_round_start = Some(self.ancestors.clone());
+    }
+
+    /// Records that `to` delivered a message broadcast by `from` in the
+    /// round in progress: `to` inherits `from`'s causal past as of the
+    /// round start, plus `from` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is in progress.
+    pub fn deliver(&mut self, from: ProcessId, to: ProcessId) {
+        let snap = self
+            .at_round_start
+            .as_ref()
+            .expect("deliver called outside begin_round/commit_round");
+        let inherited = snap[from.index()].clone();
+        self.ancestors[to.index()] = self.ancestors[to.index()].union(&inherited);
+        self.ancestors[to.index()].insert(from);
+    }
+
+    /// Ends the round in progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is in progress.
+    pub fn commit_round(&mut self) {
+        assert!(
+            self.at_round_start.take().is_some(),
+            "commit_round called without begin_round"
+        );
+    }
+
+    /// Whether `p →_H q` (or `p == q`).
+    pub fn reaches(&self, p: ProcessId, q: ProcessId) -> bool {
+        self.ancestors[q.index()].contains(p)
+    }
+
+    /// The ancestor set `A(q)` (always contains `q`).
+    pub fn ancestors(&self, q: ProcessId) -> &ProcessSet {
+        &self.ancestors[q.index()]
+    }
+
+    /// The set `{ p | ∀ q ∈ targets, p →_H q }` — processes whose events
+    /// have reached every process in `targets`. With `targets` the correct
+    /// set, this is the paper's coterie.
+    ///
+    /// If `targets` is empty the result is the full universe (vacuous
+    /// quantification), matching the paper's definition literally.
+    pub fn reaching_all(&self, targets: &ProcessSet) -> ProcessSet {
+        let mut out = ProcessSet::full(self.n);
+        for q in targets.iter() {
+            out = out.intersection(&self.ancestors[q.index()]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn initially_only_self_reachable() {
+        let t = CausalTracker::new(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(t.reaches(pid(i), pid(j)), i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn direct_delivery_creates_edge() {
+        let mut t = CausalTracker::new(2);
+        t.begin_round();
+        t.deliver(pid(0), pid(1));
+        t.commit_round();
+        assert!(t.reaches(pid(0), pid(1)));
+        assert!(!t.reaches(pid(1), pid(0)));
+    }
+
+    #[test]
+    fn transitivity_across_rounds() {
+        let mut t = CausalTracker::new(3);
+        // round 1: 0 -> 1
+        t.begin_round();
+        t.deliver(pid(0), pid(1));
+        t.commit_round();
+        // round 2: 1 -> 2, so 0 reaches 2 through 1
+        t.begin_round();
+        t.deliver(pid(1), pid(2));
+        t.commit_round();
+        assert!(t.reaches(pid(0), pid(2)));
+    }
+
+    #[test]
+    fn no_transitivity_within_a_round() {
+        let mut t = CausalTracker::new(3);
+        // Same round: 0 -> 1 and 1 -> 2. The message 1 sent was emitted at
+        // the round start, before 1 heard from 0, so 0 must NOT reach 2.
+        t.begin_round();
+        t.deliver(pid(0), pid(1));
+        t.deliver(pid(1), pid(2));
+        t.commit_round();
+        assert!(t.reaches(pid(0), pid(1)));
+        assert!(t.reaches(pid(1), pid(2)));
+        assert!(!t.reaches(pid(0), pid(2)));
+    }
+
+    #[test]
+    fn within_round_order_is_irrelevant() {
+        let mut a = CausalTracker::new(3);
+        a.begin_round();
+        a.deliver(pid(0), pid(1));
+        a.deliver(pid(1), pid(2));
+        a.commit_round();
+
+        let mut b = CausalTracker::new(3);
+        b.begin_round();
+        b.deliver(pid(1), pid(2)); // reversed order
+        b.deliver(pid(0), pid(1));
+        b.commit_round();
+
+        for p in 0..3 {
+            for q in 0..3 {
+                assert_eq!(a.reaches(pid(p), pid(q)), b.reaches(pid(p), pid(q)));
+            }
+        }
+    }
+
+    #[test]
+    fn reaching_all_computes_coterie_style_set() {
+        let mut t = CausalTracker::new(3);
+        t.begin_round();
+        t.deliver(pid(0), pid(1));
+        t.deliver(pid(0), pid(2));
+        t.commit_round();
+        // p0 reaches everyone; p1/p2 reach only themselves.
+        let targets = ProcessSet::full(3);
+        let c = t.reaching_all(&targets);
+        assert!(c.contains(pid(0)));
+        assert!(!c.contains(pid(1)));
+        assert!(!c.contains(pid(2)));
+
+        // Restricting targets to {1}: reaching set = {0, 1}.
+        let only1 = ProcessSet::from_iter_n(3, [pid(1)]);
+        let c1 = t.reaching_all(&only1);
+        assert_eq!(c1, ProcessSet::from_iter_n(3, [pid(0), pid(1)]));
+    }
+
+    #[test]
+    fn reaching_all_vacuous_when_targets_empty() {
+        let t = CausalTracker::new(4);
+        assert_eq!(t.reaching_all(&ProcessSet::empty(4)), ProcessSet::full(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_round")]
+    fn double_begin_round_panics() {
+        let mut t = CausalTracker::new(2);
+        t.begin_round();
+        t.begin_round();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn deliver_outside_round_panics() {
+        let mut t = CausalTracker::new(2);
+        t.deliver(pid(0), pid(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "without begin_round")]
+    fn commit_without_begin_panics() {
+        let mut t = CausalTracker::new(2);
+        t.commit_round();
+    }
+}

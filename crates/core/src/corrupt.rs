@@ -1,0 +1,266 @@
+//! Systemic-failure injection: arbitrary state corruption.
+//!
+//! A systemic failure makes a process "commence execution in a state other
+//! than the initial state specified in the protocol" — an *arbitrary*
+//! state. [`Corrupt`] is how protocol states opt into corruption: the
+//! simulator calls `corrupt` on every process's initial state (and round
+//! counter) with a seeded RNG, producing a reproducible arbitrary global
+//! state.
+//!
+//! Implementations must randomize *every* field — a field spared from
+//! corruption is an unsound assumption of initialization, which is exactly
+//! what the paper's protocols may not rely on. Leaf impls are provided for
+//! the standard scalar types and common containers.
+
+use crate::id::{ProcessId, ProcessSet};
+use crate::round::RoundCounter;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// State that can be overwritten with arbitrary contents, modelling a
+/// systemic failure.
+///
+/// # Example
+///
+/// ```
+/// use ftss_core::Corrupt;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut x = 0u64;
+/// x.corrupt(&mut rng);
+/// // x is now an arbitrary value; same seed → same value.
+/// let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut y = 123u64;
+/// y.corrupt(&mut rng2);
+/// assert_eq!(x, y);
+/// ```
+pub trait Corrupt {
+    /// Overwrites `self` with arbitrary (seeded) contents.
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+macro_rules! corrupt_scalar {
+    ($($t:ty),*) => {$(
+        impl Corrupt for $t {
+            fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+                *self = rng.gen();
+            }
+        }
+    )*};
+}
+
+corrupt_scalar!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Corrupt for () {
+    fn corrupt<R: Rng + ?Sized>(&mut self, _rng: &mut R) {}
+}
+
+impl Corrupt for RoundCounter {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // Bias toward "plausible but wrong" small values half the time —
+        // these are the adversarial cases for round agreement (huge values
+        // win every max() immediately; small divergent values exercise the
+        // convergence argument).
+        *self = if rng.gen_bool(0.5) {
+            RoundCounter::new(rng.gen_range(0..1024))
+        } else {
+            RoundCounter::new(rng.gen())
+        };
+    }
+}
+
+impl Corrupt for String {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let len = rng.gen_range(0..16);
+        *self = (0..len)
+            .map(|_| char::from(rng.gen_range(b'a'..=b'z')))
+            .collect();
+    }
+}
+
+impl<T: Corrupt> Corrupt for Option<T> {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // Flip to None sometimes; corrupt the payload otherwise. (We cannot
+        // conjure a T from nothing, so a None may stay None — protocol
+        // states that need Some-from-None corruption should implement
+        // Corrupt directly.)
+        if rng.gen_bool(0.3) {
+            *self = None;
+        } else if let Some(inner) = self.as_mut() {
+            inner.corrupt(rng);
+        }
+    }
+}
+
+impl<T: Corrupt + Clone> Corrupt for Vec<T> {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // Corrupt every element, then randomly drop / duplicate entries so
+        // lengths are arbitrary too (bounded by doubling).
+        for x in self.iter_mut() {
+            x.corrupt(rng);
+        }
+        if !self.is_empty() {
+            let keep = rng.gen_range(0..=self.len() * 2);
+            let mut out = Vec::with_capacity(keep);
+            for _ in 0..keep {
+                let i = rng.gen_range(0..self.len());
+                out.push(self[i].clone());
+            }
+            *self = out;
+        }
+    }
+}
+
+impl<T: Corrupt + Clone + Ord> Corrupt for BTreeSet<T> {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let mut v: Vec<T> = self.iter().cloned().collect();
+        v.corrupt(rng);
+        *self = v.into_iter().collect();
+    }
+}
+
+impl<K: Clone + Ord, V: Corrupt> Corrupt for BTreeMap<K, V> {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // Corrupt values in place and drop a random subset of keys. Keys
+        // cannot be conjured generically; map-keyed protocol state that
+        // needs adversarial keys should implement Corrupt directly.
+        let keys: Vec<K> = self.keys().cloned().collect();
+        for k in &keys {
+            if rng.gen_bool(0.25) {
+                self.remove(k);
+            } else if let Some(v) = self.get_mut(k) {
+                v.corrupt(rng);
+            }
+        }
+    }
+}
+
+impl Corrupt for ProcessSet {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.universe();
+        let mut out = ProcessSet::empty(n);
+        for i in 0..n {
+            if rng.gen_bool(0.5) {
+                out.insert(ProcessId(i));
+            }
+        }
+        *self = out;
+    }
+}
+
+impl<A: Corrupt, B: Corrupt> Corrupt for (A, B) {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.0.corrupt(rng);
+        self.1.corrupt(rng);
+    }
+}
+
+impl<A: Corrupt, B: Corrupt, C: Corrupt> Corrupt for (A, B, C) {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.0.corrupt(rng);
+        self.1.corrupt(rng);
+        self.2.corrupt(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = 0u64;
+        let mut b = 999u64;
+        a.corrupt(&mut rng(42));
+        b.corrupt(&mut rng(42));
+        assert_eq!(a, b);
+        let mut c = 0u64;
+        c.corrupt(&mut rng(43));
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn counter_bias_produces_small_and_large() {
+        let mut small = 0usize;
+        let mut large = 0usize;
+        let mut r = rng(7);
+        for _ in 0..200 {
+            let mut c = RoundCounter::INITIAL;
+            c.corrupt(&mut r);
+            if c.get() < 1024 {
+                small += 1;
+            } else {
+                large += 1;
+            }
+        }
+        assert!(small > 20, "expected some small corruptions, got {small}");
+        assert!(large > 20, "expected some large corruptions, got {large}");
+    }
+
+    #[test]
+    fn vec_corruption_changes_contents_and_len() {
+        let mut r = rng(3);
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..50 {
+            let mut v = vec![1u32, 2, 3, 4];
+            v.corrupt(&mut r);
+            lens.insert(v.len());
+        }
+        assert!(lens.len() > 1, "lengths should vary: {lens:?}");
+    }
+
+    #[test]
+    fn option_can_become_none() {
+        let mut r = rng(5);
+        let mut saw_none = false;
+        let mut saw_changed = false;
+        for _ in 0..100 {
+            let mut o = Some(7u32);
+            o.corrupt(&mut r);
+            match o {
+                None => saw_none = true,
+                Some(x) if x != 7 => saw_changed = true,
+                _ => {}
+            }
+        }
+        assert!(saw_none && saw_changed);
+    }
+
+    #[test]
+    fn process_set_corruption_stays_in_universe() {
+        let mut r = rng(11);
+        for _ in 0..20 {
+            let mut s = ProcessSet::empty(10);
+            s.corrupt(&mut r);
+            assert!(s.iter().all(|p| p.index() < 10));
+        }
+    }
+
+    #[test]
+    fn btree_structures() {
+        let mut r = rng(13);
+        let mut set: BTreeSet<u32> = [1, 2, 3].into_iter().collect();
+        set.corrupt(&mut r);
+        let mut map: BTreeMap<u8, u32> = [(1, 10), (2, 20)].into_iter().collect();
+        map.corrupt(&mut r);
+        assert!(map.len() <= 2);
+    }
+
+    #[test]
+    fn tuples_and_unit() {
+        let mut r = rng(17);
+        let mut t = (0u32, false, 0u64);
+        t.corrupt(&mut r);
+        ().corrupt(&mut r);
+        let mut s = String::new();
+        s.corrupt(&mut r);
+        assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+    }
+}

@@ -1,0 +1,484 @@
+//! Execution histories, exactly as the paper defines them.
+//!
+//! A **round history** describes, for each process, its state at the start
+//! of the round and the actions it took during the round. An **execution
+//! history** `H` is a sequence of round histories. Histories are the ground
+//! truth that all of the paper's predicates — problems `Σ`, faulty sets
+//! `F(H, Π)`, coteries — are evaluated against, so the simulator records
+//! them verbatim and the checkers never peek at simulator internals.
+
+use crate::fault::FaultKind;
+use crate::id::{ProcessId, ProcessSet};
+use crate::message::Envelope;
+use crate::round::{Round, RoundCounter};
+use std::fmt;
+
+/// What happened to a single point-to-point copy of a broadcast.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum DeliveryOutcome {
+    /// The message arrived.
+    Delivered,
+    /// The (faulty) sender omitted to send this copy.
+    DroppedBySender,
+    /// The (faulty) receiver omitted to receive this copy.
+    DroppedByReceiver,
+    /// The receiver had already crashed; the copy vanished without anyone
+    /// deviating on it.
+    ReceiverCrashed,
+    /// The sender crashed mid-round before emitting this copy. The crash
+    /// itself is the deviation (recorded via `crashed_here`); the lost copy
+    /// adds no separate send-omission.
+    SenderCrashed,
+}
+
+/// One point-to-point copy of a broadcast: destination, payload, fate.
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SendRecord<M> {
+    /// The destination process.
+    pub dst: ProcessId,
+    /// The payload carried.
+    pub payload: M,
+    /// What happened to this copy.
+    pub outcome: DeliveryOutcome,
+}
+
+/// Everything one process did (and suffered) in one round.
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ProcessRoundRecord<S, M> {
+    /// State at the start of the round; `None` once the process has
+    /// crashed ("`s_p^r` becomes undefined", §2.1).
+    pub state_at_start: Option<S>,
+    /// The round counter `c_p^r` at the start of the round, if the protocol
+    /// maintains one and the process is alive.
+    pub counter_at_start: Option<RoundCounter>,
+    /// The copies of this round's broadcast, one per destination.
+    pub sent: Vec<SendRecord<M>>,
+    /// Messages this process received this round.
+    pub delivered: Vec<Envelope<M>>,
+    /// Whether the process crashed *during* this round.
+    pub crashed_here: bool,
+    /// Whether the process had voluntarily halted by the start of this
+    /// round (the "self-checking and halting" behaviour of Assumption 2's
+    /// uniform protocols; distinct from crashing, which is a failure).
+    pub halted_at_start: bool,
+}
+
+impl<S, M> ProcessRoundRecord<S, M> {
+    /// A record for a process that was already crashed at the round start.
+    pub fn crashed() -> Self {
+        ProcessRoundRecord {
+            state_at_start: None,
+            counter_at_start: None,
+            sent: Vec::new(),
+            delivered: Vec::new(),
+            crashed_here: false,
+            halted_at_start: false,
+        }
+    }
+
+    /// The deviations (process-failure actions) attributable to this
+    /// process in this round, derived from the recorded outcomes of its own
+    /// sends (`DroppedBySender`) plus `crashed_here`. Receive omissions are
+    /// attributed by [`RoundHistory::deviations_of`], which also scans the
+    /// *other* processes' send records.
+    fn own_deviations(&self) -> Vec<FaultKind> {
+        let mut out = Vec::new();
+        if self.crashed_here {
+            out.push(FaultKind::Crash);
+        }
+        if self
+            .sent
+            .iter()
+            .any(|s| s.outcome == DeliveryOutcome::DroppedBySender)
+        {
+            out.push(FaultKind::SendOmission);
+        }
+        out
+    }
+}
+
+/// The global state-and-actions snapshot of a single round.
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct RoundHistory<S, M> {
+    /// One record per process, indexed by process id.
+    pub records: Vec<ProcessRoundRecord<S, M>>,
+}
+
+impl<S, M> RoundHistory<S, M> {
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The record for process `p`.
+    pub fn record(&self, p: ProcessId) -> &ProcessRoundRecord<S, M> {
+        &self.records[p.index()]
+    }
+
+    /// The deviations of process `p` in this round: its own crash / send
+    /// omissions plus receive omissions found in other processes' send
+    /// records targeting `p`.
+    pub fn deviations_of(&self, p: ProcessId) -> Vec<FaultKind> {
+        let mut out = self.records[p.index()].own_deviations();
+        let dropped_receiving = self.records.iter().any(|rec| {
+            rec.sent
+                .iter()
+                .any(|s| s.dst == p && s.outcome == DeliveryOutcome::DroppedByReceiver)
+        });
+        if dropped_receiving {
+            out.push(FaultKind::ReceiveOmission);
+        }
+        out
+    }
+
+    /// Whether process `p` deviated from its protocol in this round.
+    pub fn is_deviation(&self, p: ProcessId) -> bool {
+        !self.deviations_of(p).is_empty()
+    }
+}
+
+/// An execution history `H`: a sequence of round histories over a fixed set
+/// of `n` processes.
+///
+/// Round `r` of the paper corresponds to `rounds[r - 1]`.
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct History<S, M> {
+    n: usize,
+    rounds: Vec<RoundHistory<S, M>>,
+}
+
+impl<S, M> History<S, M> {
+    /// An empty history over `n` processes.
+    pub fn new(n: usize) -> Self {
+        History {
+            n,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of recorded rounds, `|H|`.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether no rounds have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Appends a round history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round's process count differs from `n`.
+    pub fn push(&mut self, rh: RoundHistory<S, M>) {
+        assert_eq!(rh.n(), self.n, "round history has wrong process count");
+        self.rounds.push(rh);
+    }
+
+    /// The round history of observer round `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` exceeds the recorded length.
+    pub fn round(&self, r: Round) -> &RoundHistory<S, M> {
+        &self.rounds[r.index()]
+    }
+
+    /// All recorded rounds in order.
+    pub fn rounds(&self) -> &[RoundHistory<S, M>] {
+        &self.rounds
+    }
+
+    /// The faulty set `F(H', Π)` of the prefix consisting of the first
+    /// `upto` rounds: every process that deviated in some round `<= upto`.
+    pub fn faulty_upto(&self, upto: usize) -> ProcessSet {
+        let mut f = ProcessSet::empty(self.n);
+        for rh in &self.rounds[..upto.min(self.rounds.len())] {
+            for i in 0..self.n {
+                let p = ProcessId(i);
+                if !f.contains(p) && rh.is_deviation(p) {
+                    f.insert(p);
+                }
+            }
+        }
+        f
+    }
+
+    /// The faulty set of the whole recorded history.
+    pub fn faulty(&self) -> ProcessSet {
+        self.faulty_upto(self.rounds.len())
+    }
+
+    /// The correct set `C(H, Π)` of the whole recorded history.
+    pub fn correct(&self) -> ProcessSet {
+        self.faulty().complement()
+    }
+
+    /// A borrowed view of rounds `[start, end)` (0-based indices into the
+    /// round vector, i.e. observer rounds `start+1 ..= end`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len()`.
+    pub fn slice(&self, start: usize, end: usize) -> HistorySlice<'_, S, M> {
+        assert!(start <= end && end <= self.rounds.len(), "bad slice bounds");
+        HistorySlice {
+            history: self,
+            start,
+            end,
+        }
+    }
+
+    /// A view of the entire history.
+    pub fn as_slice(&self) -> HistorySlice<'_, S, M> {
+        self.slice(0, self.rounds.len())
+    }
+
+    /// A view of the `r`-suffix: everything after the first `r` rounds.
+    pub fn suffix(&self, r: usize) -> HistorySlice<'_, S, M> {
+        self.slice(r.min(self.rounds.len()), self.rounds.len())
+    }
+}
+
+/// A contiguous view into a [`History`] — the paper constantly reasons
+/// about prefixes, suffixes and mid-sections (`H = H₁·H₂·H₃·H₄`), so
+/// problem predicates take slices.
+#[derive(Debug)]
+pub struct HistorySlice<'a, S, M> {
+    history: &'a History<S, M>,
+    start: usize,
+    end: usize,
+}
+
+// Manual impls: `derive(Clone, Copy)` would bound S/M unnecessarily.
+impl<S, M> Clone for HistorySlice<'_, S, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S, M> Copy for HistorySlice<'_, S, M> {}
+
+impl<'a, S, M> HistorySlice<'a, S, M> {
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.history.n
+    }
+
+    /// Number of rounds in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// 0-based index (into the full history) of the first round in view.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// 0-based index one past the last round in view.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// The underlying full history.
+    pub fn full_history(&self) -> &'a History<S, M> {
+        self.history
+    }
+
+    /// Iterates the round histories in view, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &'a RoundHistory<S, M>> {
+        self.history.rounds[self.start..self.end].iter()
+    }
+
+    /// The `i`-th round history within the view (0-based).
+    pub fn round(&self, i: usize) -> &'a RoundHistory<S, M> {
+        &self.history.rounds[self.start + i]
+    }
+
+    /// Processes that deviate anywhere in the *underlying* history up to the
+    /// end of this view — the faulty set `F(H₁·H₂·H₃, Π)` the paper's
+    /// Definition 2.4 passes to `Σ` when this view is `H₃`.
+    pub fn faulty_by_view_end(&self) -> ProcessSet {
+        self.history.faulty_upto(self.end)
+    }
+}
+
+impl<S: fmt::Debug, M: fmt::Debug> fmt::Display for History<S, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "history: n={}, {} rounds", self.n, self.rounds.len())?;
+        for (i, rh) in self.rounds.iter().enumerate() {
+            writeln!(f, "  round {}:", i + 1)?;
+            for (j, rec) in rh.records.iter().enumerate() {
+                writeln!(
+                    f,
+                    "    p{j}: c={:?} sent={} recv={}{}",
+                    rec.counter_at_start.map(|c| c.get()),
+                    rec.sent.len(),
+                    rec.delivered.len(),
+                    if rec.crashed_here { " CRASHED" } else { "" },
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type H = History<u32, &'static str>;
+
+    fn record(sent: Vec<SendRecord<&'static str>>, crashed: bool) -> ProcessRoundRecord<u32, &'static str> {
+        ProcessRoundRecord {
+            state_at_start: Some(0),
+            counter_at_start: Some(RoundCounter::new(1)),
+            sent,
+            delivered: Vec::new(),
+            crashed_here: crashed,
+                    halted_at_start: false,
+        }
+    }
+
+    fn send(dst: usize, outcome: DeliveryOutcome) -> SendRecord<&'static str> {
+        SendRecord {
+            dst: ProcessId(dst),
+            payload: "m",
+            outcome,
+        }
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = H::new(3);
+        assert_eq!(h.len(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.faulty(), ProcessSet::empty(3));
+        assert_eq!(h.correct(), ProcessSet::full(3));
+    }
+
+    #[test]
+    fn send_omission_marks_sender_faulty() {
+        let mut h = H::new(2);
+        h.push(RoundHistory {
+            records: vec![
+                record(vec![send(1, DeliveryOutcome::DroppedBySender)], false),
+                record(vec![send(0, DeliveryOutcome::Delivered)], false),
+            ],
+        });
+        let f = h.faulty();
+        assert!(f.contains(ProcessId(0)));
+        assert!(!f.contains(ProcessId(1)));
+        assert_eq!(
+            h.round(Round::FIRST).deviations_of(ProcessId(0)),
+            vec![FaultKind::SendOmission]
+        );
+    }
+
+    #[test]
+    fn receive_omission_marks_receiver_faulty() {
+        let mut h = H::new(2);
+        h.push(RoundHistory {
+            records: vec![
+                record(vec![send(1, DeliveryOutcome::DroppedByReceiver)], false),
+                record(vec![send(0, DeliveryOutcome::Delivered)], false),
+            ],
+        });
+        let f = h.faulty();
+        assert!(!f.contains(ProcessId(0)), "sender is innocent");
+        assert!(f.contains(ProcessId(1)), "receiver deviated");
+    }
+
+    #[test]
+    fn crash_attribution_and_receiver_crashed_is_innocent() {
+        let mut h = H::new(2);
+        // Round 1: p1 crashes. p0's copy to p1 vanishes without deviation by p0.
+        h.push(RoundHistory {
+            records: vec![
+                record(vec![send(1, DeliveryOutcome::ReceiverCrashed)], false),
+                record(vec![], true),
+            ],
+        });
+        let f = h.faulty();
+        assert!(!f.contains(ProcessId(0)));
+        assert!(f.contains(ProcessId(1)));
+    }
+
+    #[test]
+    fn faulty_upto_is_prefix_monotone() {
+        let mut h = H::new(2);
+        h.push(RoundHistory {
+            records: vec![
+                record(vec![send(1, DeliveryOutcome::Delivered)], false),
+                record(vec![send(0, DeliveryOutcome::Delivered)], false),
+            ],
+        });
+        h.push(RoundHistory {
+            records: vec![
+                record(vec![send(1, DeliveryOutcome::DroppedBySender)], false),
+                record(vec![send(0, DeliveryOutcome::Delivered)], false),
+            ],
+        });
+        assert!(h.faulty_upto(1).is_empty());
+        assert!(h.faulty_upto(2).contains(ProcessId(0)));
+        assert!(h.faulty_upto(1).is_subset(&h.faulty_upto(2)));
+    }
+
+    #[test]
+    fn slices_views() {
+        let mut h = H::new(1);
+        for _ in 0..5 {
+            h.push(RoundHistory {
+                records: vec![record(vec![], false)],
+            });
+        }
+        let s = h.slice(1, 4);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.start(), 1);
+        assert_eq!(s.end(), 4);
+        assert_eq!(s.iter().count(), 3);
+        assert_eq!(h.suffix(3).len(), 2);
+        assert_eq!(h.suffix(99).len(), 0);
+        assert_eq!(h.as_slice().len(), 5);
+        // Copy semantics
+        let s2 = s;
+        assert_eq!(s2.len(), s.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad slice bounds")]
+    fn bad_slice_panics() {
+        let h = H::new(1);
+        h.slice(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong process count")]
+    fn push_wrong_width_panics() {
+        let mut h = H::new(2);
+        h.push(RoundHistory {
+            records: vec![record(vec![], false)],
+        });
+    }
+
+    #[test]
+    fn display_smoke() {
+        let mut h = H::new(1);
+        h.push(RoundHistory {
+            records: vec![record(vec![], true)],
+        });
+        let s = h.to_string();
+        assert!(s.contains("round 1"));
+        assert!(s.contains("CRASHED"));
+    }
+}

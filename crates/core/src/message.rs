@@ -1,0 +1,99 @@
+//! Message envelopes.
+//!
+//! All protocols in the paper communicate by broadcast over a complete
+//! network. [`Envelope`] pairs a payload with its sender (and, in the
+//! synchronous model, the observer round in which it was sent), so that
+//! recorded histories can reconstruct causality without trusting payload
+//! contents — which systemic failures may have corrupted.
+
+use crate::id::ProcessId;
+use crate::round::Round;
+use std::fmt;
+
+/// A message in flight or recorded in a history: payload plus untamperable
+/// routing metadata supplied by the network, not by the (possibly
+/// corrupted) sender state.
+///
+/// # Example
+///
+/// ```
+/// use ftss_core::{Envelope, ProcessId, Round};
+/// let e = Envelope::new(ProcessId(1), Round::new(4), "hello");
+/// assert_eq!(e.src, ProcessId(1));
+/// assert_eq!(e.sent_in, Round::new(4));
+/// assert_eq!(e.payload, "hello");
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Envelope<M> {
+    /// The sending process. The network stamps this; a process cannot forge
+    /// its identity (the paper's model has authenticated channels
+    /// implicitly, since faults are omission-type, not Byzantine).
+    pub src: ProcessId,
+    /// The observer round in which the message was sent (synchronous model).
+    pub sent_in: Round,
+    /// The protocol payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// Creates an envelope.
+    pub fn new(src: ProcessId, sent_in: Round, payload: M) -> Self {
+        Envelope {
+            src,
+            sent_in,
+            payload,
+        }
+    }
+
+    /// Maps the payload, keeping routing metadata.
+    pub fn map<N>(self, f: impl FnOnce(M) -> N) -> Envelope<N> {
+        Envelope {
+            src: self.src,
+            sent_in: self.sent_in,
+            payload: f(self.payload),
+        }
+    }
+
+    /// Borrows the payload with the same metadata.
+    pub fn as_ref(&self) -> Envelope<&M> {
+        Envelope {
+            src: self.src,
+            sent_in: self.sent_in,
+            payload: &self.payload,
+        }
+    }
+}
+
+impl<M: fmt::Display> fmt::Display for Envelope<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}: {}", self.src, self.sent_in, self.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_metadata() {
+        let e = Envelope::new(ProcessId(0), Round::new(2), 10u32);
+        let e2 = e.map(|x| x * 2);
+        assert_eq!(e2.src, ProcessId(0));
+        assert_eq!(e2.sent_in, Round::new(2));
+        assert_eq!(e2.payload, 20);
+    }
+
+    #[test]
+    fn as_ref_borrows() {
+        let e = Envelope::new(ProcessId(3), Round::new(1), String::from("x"));
+        let r = e.as_ref();
+        assert_eq!(r.payload, "x");
+        assert_eq!(r.src, e.src);
+    }
+
+    #[test]
+    fn display() {
+        let e = Envelope::new(ProcessId(1), Round::new(4), 7);
+        assert_eq!(e.to_string(), "p1@r4: 7");
+    }
+}

@@ -1,0 +1,232 @@
+//! Round numbering: external observer rounds vs. per-process round counters.
+//!
+//! The paper is careful to distinguish the **actual round number** `r` of an
+//! execution — "the true duration of the execution in rounds according to an
+//! external observer", which is *unavailable to the processes* — from the
+//! distinguished per-process variable `c_p` that each process *believes* is
+//! the current round. A systemic failure can set `c_p` to anything, so the
+//! two must never be conflated in code. [`Round`] is the observer's number;
+//! [`RoundCounter`] is `c_p`.
+//!
+//! The paper's compiler (Figure 3) additionally needs the `normalize`
+//! function, which folds an unbounded counter into the range
+//! `1..=final_round` of the underlying terminating protocol; see
+//! [`normalize`].
+
+use std::fmt;
+
+/// The actual round number of an execution, counted by the external
+/// observer starting at 1. Histories index rounds with this type.
+///
+/// # Example
+///
+/// ```
+/// use ftss_core::Round;
+/// let r = Round::FIRST;
+/// assert_eq!(r.get(), 1);
+/// assert_eq!(r.next().get(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Round(u64);
+
+impl Round {
+    /// Round 1, where every execution begins.
+    pub const FIRST: Round = Round(1);
+
+    /// Creates a round from a 1-based observer round number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`; the paper numbers rounds from 1.
+    pub fn new(r: u64) -> Round {
+        assert!(r >= 1, "rounds are numbered from 1");
+        Round(r)
+    }
+
+    /// The 1-based round number.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The 0-based index of this round into a history's round vector.
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// The round following this one.
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A process's own round variable `c_p`.
+///
+/// Unlike [`Round`], this value is part of protocol state and is therefore
+/// subject to systemic failures: it may start at any value whatsoever and
+/// need not equal the actual round number even at a correct process.
+///
+/// The paper requires the counter to be **unbounded** (§2.4 notes an
+/// impossibility for bounded counters). We represent it with `u64` and use
+/// saturating arithmetic so that even adversarially corrupted values near
+/// `u64::MAX` cannot wrap around and forge a "small" counter — wrapping
+/// would be exactly the bounded-counter behaviour the paper excludes.
+///
+/// # Example
+///
+/// ```
+/// use ftss_core::RoundCounter;
+/// let c = RoundCounter::new(41);
+/// assert_eq!(c.next().get(), 42);
+/// assert_eq!(RoundCounter::new(u64::MAX).next().get(), u64::MAX);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct RoundCounter(u64);
+
+impl RoundCounter {
+    /// The initial counter value specified by the paper's protocols, 1.
+    pub const INITIAL: RoundCounter = RoundCounter(1);
+
+    /// Creates a counter holding `c`. Any value is legal — systemic
+    /// failures can produce all of them.
+    pub fn new(c: u64) -> RoundCounter {
+        RoundCounter(c)
+    }
+
+    /// The raw counter value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The counter incremented by one (saturating; see type docs).
+    #[must_use]
+    pub fn next(self) -> RoundCounter {
+        RoundCounter(self.0.saturating_add(1))
+    }
+
+    /// `max` of two counters, as used by the round-agreement rule
+    /// `c_p := max(R) + 1` (Figure 1).
+    #[must_use]
+    pub fn max(self, other: RoundCounter) -> RoundCounter {
+        RoundCounter(self.0.max(other.0))
+    }
+
+    /// Folds this counter into the round range of a terminating protocol;
+    /// see [`normalize`].
+    pub fn normalize(self, final_round: u64) -> u64 {
+        normalize(self.0, final_round)
+    }
+}
+
+impl fmt::Display for RoundCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c={}", self.0)
+    }
+}
+
+impl From<u64> for RoundCounter {
+    fn from(c: u64) -> Self {
+        RoundCounter(c)
+    }
+}
+
+/// The paper's `normalize` function (Figure 3):
+/// `normalize(c) := c mod final_round + 1`, converting an unbounded round
+/// counter into the range `1..=final_round` used by the underlying
+/// terminating protocol Π.
+///
+/// A new iteration of Π begins whenever `normalize(c) == 1`, i.e. whenever
+/// `c ≡ 0 (mod final_round)`; within one iteration the counter sweeps the
+/// protocol rounds `1, 2, …, final_round` in order.
+///
+/// # Panics
+///
+/// Panics if `final_round == 0`; a terminating protocol has at least one
+/// round.
+///
+/// # Example
+///
+/// ```
+/// use ftss_core::normalize;
+/// assert_eq!(normalize(0, 3), 1);
+/// assert_eq!(normalize(1, 3), 2);
+/// assert_eq!(normalize(2, 3), 3);
+/// assert_eq!(normalize(3, 3), 1); // next iteration begins
+/// ```
+pub fn normalize(c: u64, final_round: u64) -> u64 {
+    assert!(final_round >= 1, "final_round must be at least 1");
+    c % final_round + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_basics() {
+        assert_eq!(Round::FIRST.get(), 1);
+        assert_eq!(Round::FIRST.index(), 0);
+        assert_eq!(Round::new(5).next(), Round::new(6));
+        assert_eq!(Round::new(7).to_string(), "r7");
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 1")]
+    fn round_zero_rejected() {
+        Round::new(0);
+    }
+
+    #[test]
+    fn counter_increment_saturates() {
+        assert_eq!(RoundCounter::new(u64::MAX).next().get(), u64::MAX);
+        assert_eq!(RoundCounter::new(3).next().get(), 4);
+    }
+
+    #[test]
+    fn counter_max_rule() {
+        let a = RoundCounter::new(10);
+        let b = RoundCounter::new(7);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.max(a), a);
+    }
+
+    #[test]
+    fn normalize_cycles_through_protocol_rounds() {
+        let fr = 4;
+        let ks: Vec<u64> = (0..12).map(|c| normalize(c, fr)).collect();
+        assert_eq!(ks, vec![1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn normalize_range_is_one_to_final_round() {
+        for fr in 1..10u64 {
+            for c in 0..100u64 {
+                let k = normalize(c, fr);
+                assert!((1..=fr).contains(&k), "normalize({c},{fr})={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_matches_counter_method() {
+        assert_eq!(RoundCounter::new(9).normalize(4), normalize(9, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "final_round")]
+    fn normalize_zero_final_round_panics() {
+        normalize(3, 0);
+    }
+
+    #[test]
+    fn counter_display_and_default() {
+        assert_eq!(RoundCounter::new(3).to_string(), "c=3");
+        assert_eq!(RoundCounter::default().get(), 0);
+        assert_eq!(RoundCounter::INITIAL.get(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Detector-property checkers.
+//!
+//! "Eventually P" is verified on a finite run as "P holds from some probe
+//! onward, through the final probe" — the horizon is an experiment
+//! parameter (see `DESIGN.md` §5). Probes are samples of every process's
+//! suspect set at regular virtual-time intervals, collected through
+//! [`ftss_async_sim::AsyncRunner::run_probed`].
+
+use ftss_async_sim::Time;
+use ftss_core::{ProcessId, ProcessSet};
+
+/// Anything that exposes a suspect set (both detector implementations do).
+pub trait Suspector {
+    /// The processes currently suspected.
+    fn suspected(&self) -> ProcessSet;
+}
+
+/// One probe: the virtual time and every process's suspect set.
+#[derive(Clone, Debug)]
+pub struct SuspectProbe {
+    /// Virtual time of the sample.
+    pub time: Time,
+    /// `sets[p]` = suspect set of process `p`.
+    pub sets: Vec<ProcessSet>,
+}
+
+impl SuspectProbe {
+    /// Samples a probe from a slice of processes.
+    pub fn sample<P: Suspector>(time: Time, processes: &[P]) -> Self {
+        SuspectProbe {
+            time,
+            sets: processes.iter().map(|p| p.suspected()).collect(),
+        }
+    }
+}
+
+/// **Strong completeness**: eventually every faulty process is suspected by
+/// *all* correct processes. Returns the earliest probe time from which that
+/// holds through the end of the probe sequence, or `None` if it never
+/// settles.
+pub fn strong_completeness_time(
+    probes: &[SuspectProbe],
+    crashed: &ProcessSet,
+    correct: &ProcessSet,
+) -> Option<Time> {
+    settle_time(probes, |probe| {
+        crashed.iter().all(|s| {
+            correct
+                .iter()
+                .all(|p| probe.sets[p.index()].contains(s))
+        })
+    })
+}
+
+/// **Weak completeness**: eventually every faulty process is suspected by
+/// *at least one* correct process.
+pub fn weak_completeness_time(
+    probes: &[SuspectProbe],
+    crashed: &ProcessSet,
+    correct: &ProcessSet,
+) -> Option<Time> {
+    settle_time(probes, |probe| {
+        crashed.iter().all(|s| {
+            correct
+                .iter()
+                .any(|p| probe.sets[p.index()].contains(s))
+        })
+    })
+}
+
+/// **Eventual weak accuracy**: eventually some correct process is not
+/// suspected by any correct process. Returns `(witness, settle time)` for
+/// the earliest-settling witness, or `None`.
+pub fn eventual_weak_accuracy(
+    probes: &[SuspectProbe],
+    correct: &ProcessSet,
+) -> Option<(ProcessId, Time)> {
+    let mut best: Option<(ProcessId, Time)> = None;
+    for s in correct.iter() {
+        if let Some(t) = settle_time(probes, |probe| {
+            correct.iter().all(|p| !probe.sets[p.index()].contains(s))
+        }) {
+            if best.is_none() || t < best.unwrap().1 {
+                best = Some((s, t));
+            }
+        }
+    }
+    best
+}
+
+/// The earliest probe time from which `pred` holds on every remaining
+/// probe (and at least one probe satisfies it).
+fn settle_time(probes: &[SuspectProbe], mut pred: impl FnMut(&SuspectProbe) -> bool) -> Option<Time> {
+    let mut settle: Option<Time> = None;
+    for probe in probes {
+        if pred(probe) {
+            if settle.is_none() {
+                settle = Some(probe.time);
+            }
+        } else {
+            settle = None;
+        }
+    }
+    settle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(n: usize, members: &[usize]) -> ProcessSet {
+        ProcessSet::from_iter_n(n, members.iter().map(|&i| ProcessId(i)))
+    }
+
+    fn probe(time: Time, sets: Vec<ProcessSet>) -> SuspectProbe {
+        SuspectProbe { time, sets }
+    }
+
+    #[test]
+    fn strong_completeness_settles() {
+        let crashed = set(3, &[2]);
+        let correct = set(3, &[0, 1]);
+        let probes = vec![
+            probe(10, vec![set(3, &[]), set(3, &[2]), set(3, &[])]),
+            probe(20, vec![set(3, &[2]), set(3, &[2]), set(3, &[])]),
+            probe(30, vec![set(3, &[2]), set(3, &[2]), set(3, &[])]),
+        ];
+        assert_eq!(strong_completeness_time(&probes, &crashed, &correct), Some(20));
+        assert_eq!(weak_completeness_time(&probes, &crashed, &correct), Some(10));
+    }
+
+    #[test]
+    fn completeness_that_flaps_never_settles() {
+        let crashed = set(2, &[1]);
+        let correct = set(2, &[0]);
+        let probes = vec![
+            probe(10, vec![set(2, &[1]), set(2, &[])]),
+            probe(20, vec![set(2, &[]), set(2, &[])]), // un-suspects!
+        ];
+        assert_eq!(strong_completeness_time(&probes, &crashed, &correct), None);
+    }
+
+    #[test]
+    fn accuracy_picks_earliest_witness() {
+        let correct = set(3, &[0, 1, 2]);
+        let probes = vec![
+            // everyone suspects p0; nobody suspects p1 or p2.
+            probe(10, vec![set(3, &[]), set(3, &[0]), set(3, &[0])]),
+            probe(20, vec![set(3, &[]), set(3, &[0]), set(3, &[])]),
+        ];
+        let (w, t) = eventual_weak_accuracy(&probes, &correct).unwrap();
+        assert!(w == ProcessId(1) || w == ProcessId(2));
+        assert_eq!(t, 10);
+    }
+
+    #[test]
+    fn accuracy_none_when_everyone_suspected_forever() {
+        let correct = set(2, &[0, 1]);
+        let probes = vec![probe(10, vec![set(2, &[1]), set(2, &[0])])];
+        assert_eq!(eventual_weak_accuracy(&probes, &correct), None);
+    }
+
+    #[test]
+    fn empty_probes_never_settle() {
+        let crashed = set(2, &[1]);
+        let correct = set(2, &[0]);
+        assert_eq!(strong_completeness_time(&[], &crashed, &correct), None);
+        assert_eq!(eventual_weak_accuracy(&[], &correct), None);
+    }
+
+    #[test]
+    fn sample_reads_suspectors() {
+        struct S(ProcessSet);
+        impl Suspector for S {
+            fn suspected(&self) -> ProcessSet {
+                self.0.clone()
+            }
+        }
+        let procs = vec![S(set(2, &[1])), S(set(2, &[]))];
+        let p = SuspectProbe::sample(5, &procs);
+        assert_eq!(p.time, 5);
+        assert!(p.sets[0].contains(ProcessId(1)));
+        assert!(p.sets[1].is_empty());
+    }
+}

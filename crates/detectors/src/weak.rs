@@ -1,0 +1,222 @@
+//! The Eventually Weak failure-detector oracle.
+//!
+//! The paper *assumes* an ◇W detector ("we assume that the Eventually Weak
+//! failure detector … repeatedly sets the predicate `detect(s)` as long as
+//! `s` is suspected"). [`WeakOracle`] is that assumption made executable: a
+//! pure, seeded function of `(observer, target, time)` which guarantees,
+//! **by construction**:
+//!
+//! * **weak completeness** — after `convergence_time`, the designated
+//!   witness (the lowest-indexed correct process) permanently suspects
+//!   every crashed process;
+//! * **eventual weak accuracy** — after `convergence_time`, the designated
+//!   accurate process (also the lowest-indexed correct one) is suspected by
+//!   no correct process;
+//! * everything else is arbitrary: before convergence, suspicion is seeded
+//!   noise over epochs; after convergence, other pairs may keep a fixed
+//!   level of erroneous suspicion (`noise`), which ◇W permits.
+
+use ftss_async_sim::Time;
+use ftss_core::ProcessId;
+
+/// Deterministic ◇W oracle. Clone it into each process; all clones agree
+/// because suspicion is a pure function of `(p, s, now, seed)`.
+///
+/// # Example
+///
+/// ```
+/// use ftss_detectors::WeakOracle;
+/// use ftss_core::ProcessId;
+///
+/// // p2 crashes at t=100; the oracle converges at t=500.
+/// let oracle = WeakOracle::new(3, vec![(ProcessId(2), 100)], 500, 42, 0.2);
+/// // After convergence the witness (p0, lowest-indexed correct) suspects p2:
+/// assert!(oracle.detect(ProcessId(0), ProcessId(2), 1_000));
+/// // ... and nobody suspects the accurate process p0:
+/// assert!(!oracle.detect(ProcessId(1), ProcessId(0), 1_000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct WeakOracle {
+    n: usize,
+    crash_time: Vec<Option<Time>>,
+    convergence_time: Time,
+    seed: u64,
+    /// Probability (as parts of 256) of post-convergence erroneous
+    /// suspicion of non-designated targets.
+    noise_256: u16,
+    witness: ProcessId,
+}
+
+impl WeakOracle {
+    /// Creates an oracle for `n` processes with the given crash schedule,
+    /// convergence time, seed, and erroneous-suspicion rate `noise ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every process crashes (◇W properties quantify over correct
+    /// processes) or `noise` is outside `[0, 1]`.
+    pub fn new(
+        n: usize,
+        crashes: Vec<(ProcessId, Time)>,
+        convergence_time: Time,
+        seed: u64,
+        noise: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&noise), "noise must be in [0,1]");
+        let mut crash_time = vec![None; n];
+        for (p, t) in crashes {
+            crash_time[p.index()] = Some(t);
+        }
+        let witness = (0..n)
+            .find(|&i| crash_time[i].is_none())
+            .map(ProcessId)
+            .expect("at least one correct process required");
+        WeakOracle {
+            n,
+            crash_time,
+            convergence_time,
+            seed,
+            noise_256: (noise * 256.0) as u16,
+            witness,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The designated accurate process (never suspected after convergence)
+    /// — which doubles as the completeness witness.
+    pub fn accurate_process(&self) -> ProcessId {
+        self.witness
+    }
+
+    /// When the oracle's ◇-properties take hold.
+    pub fn convergence_time(&self) -> Time {
+        self.convergence_time
+    }
+
+    /// Whether `s` has crashed by `now`.
+    pub fn is_crashed(&self, s: ProcessId, now: Time) -> bool {
+        self.crash_time[s.index()].is_some_and(|t| t <= now)
+    }
+
+    /// The ◇W predicate: does observer `p`'s weak detector currently
+    /// suspect `s`?
+    pub fn detect(&self, p: ProcessId, s: ProcessId, now: Time) -> bool {
+        if p == s {
+            return false;
+        }
+        if now < self.convergence_time {
+            // Arbitrary pre-convergence behaviour: noisy, epoch-hashed.
+            return self.hash_bit(p, s, now / 64, 128);
+        }
+        // Post-convergence:
+        if s == self.witness {
+            return false; // eventual weak accuracy
+        }
+        if self.is_crashed(s, now) && p == self.witness {
+            return true; // weak completeness via the witness
+        }
+        // Other pairs: fixed erroneous suspicion allowed by ◇W.
+        self.hash_bit(p, s, u64::MAX, self.noise_256)
+    }
+
+    /// Deterministic pseudo-random bit with probability `threshold/256`.
+    fn hash_bit(&self, p: ProcessId, s: ProcessId, epoch: u64, threshold: u16) -> bool {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((p.index() as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((s.index() as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add(epoch.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        ((x & 0xFF) as u16) < threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle() -> WeakOracle {
+        WeakOracle::new(4, vec![(ProcessId(3), 100)], 500, 7, 0.3)
+    }
+
+    #[test]
+    fn never_self_suspects() {
+        let o = oracle();
+        for t in [0, 100, 1_000] {
+            for i in 0..4 {
+                assert!(!o.detect(ProcessId(i), ProcessId(i), t));
+            }
+        }
+    }
+
+    #[test]
+    fn weak_completeness_after_convergence() {
+        let o = oracle();
+        let w = o.accurate_process();
+        assert_eq!(w, ProcessId(0));
+        for t in [500, 1_000, 100_000] {
+            assert!(o.detect(w, ProcessId(3), t), "witness must suspect crashed");
+        }
+    }
+
+    #[test]
+    fn eventual_weak_accuracy_after_convergence() {
+        let o = oracle();
+        for t in [500, 1_000, 100_000] {
+            for i in 0..4 {
+                assert!(!o.detect(ProcessId(i), ProcessId(0), t));
+            }
+        }
+    }
+
+    #[test]
+    fn pre_convergence_is_noisy_but_deterministic() {
+        let o = oracle();
+        let a: Vec<bool> = (0..50)
+            .map(|k| o.detect(ProcessId(1), ProcessId(2), k * 64))
+            .collect();
+        let b: Vec<bool> = (0..50)
+            .map(|k| o.detect(ProcessId(1), ProcessId(2), k * 64))
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x), "some pre-convergence suspicion expected");
+        assert!(a.iter().any(|&x| !x), "not constant suspicion either");
+    }
+
+    #[test]
+    fn post_convergence_noise_is_time_invariant() {
+        // ◇W permits persistent wrong suspicion, but our oracle keeps it
+        // *fixed* after convergence so "eventually" properties can settle.
+        let o = oracle();
+        let v1 = o.detect(ProcessId(1), ProcessId(2), 600);
+        let v2 = o.detect(ProcessId(1), ProcessId(2), 60_000);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn crash_knowledge() {
+        let o = oracle();
+        assert!(!o.is_crashed(ProcessId(3), 99));
+        assert!(o.is_crashed(ProcessId(3), 100));
+        assert!(!o.is_crashed(ProcessId(0), u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one correct")]
+    fn all_crashed_rejected() {
+        WeakOracle::new(1, vec![(ProcessId(0), 5)], 10, 0, 0.0);
+    }
+
+    #[test]
+    fn witness_skips_crashed_low_ids() {
+        let o = WeakOracle::new(3, vec![(ProcessId(0), 5)], 10, 0, 0.0);
+        assert_eq!(o.accurate_process(), ProcessId(1));
+    }
+}

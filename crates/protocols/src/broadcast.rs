@@ -1,0 +1,222 @@
+//! Reliable broadcast by flooding — a third concrete Π.
+//!
+//! A designated source holds a value; everyone floods whatever they know
+//! for `f + 1` rounds; at the end each process delivers the value it
+//! learned (or `None` = ⊥ if nothing arrived). Tolerates `f` **crash**
+//! failures: the classic argument — among `f + 1` rounds there is one in
+//! which no process crashes, and flooding completes in that round — gives
+//! agreement on delivery, and validity is immediate when the source is
+//! correct.
+
+use crate::canonical::CanonicalProtocol;
+use crate::problems::HasDecision;
+use ftss_core::{Corrupt, ProcessId};
+use ftss_sync_sim::{Inbox, ProtocolCtx};
+use rand::Rng;
+
+/// Reliable broadcast from `source` of `value`, tolerating `f` crashes in
+/// `f + 1` rounds.
+///
+/// # Example
+///
+/// ```
+/// use ftss_protocols::{CanonicalProtocol, ReliableBroadcast};
+/// use ftss_core::ProcessId;
+///
+/// let pi = ReliableBroadcast::new(ProcessId(0), 42, 2);
+/// assert_eq!(pi.final_round(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReliableBroadcast {
+    source: ProcessId,
+    value: u64,
+    f: usize,
+}
+
+impl ReliableBroadcast {
+    /// A broadcast instance: `source` disseminates `value` under `f` crashes.
+    pub fn new(source: ProcessId, value: u64, f: usize) -> Self {
+        ReliableBroadcast { source, value, f }
+    }
+
+    /// The broadcasting process.
+    pub fn source(&self) -> ProcessId {
+        self.source
+    }
+}
+
+/// Reliable-broadcast state: the value known (if any) and the delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BroadcastState {
+    /// The value learned so far (`None` until the flood arrives).
+    pub val: Option<u64>,
+    /// The delivery decision after the final round; `Some(None)` delivers ⊥.
+    pub delivered: Option<Option<u64>>,
+}
+
+impl Corrupt for BroadcastState {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.val = rng.gen_bool(0.5).then(|| rng.gen_range(0..64));
+        self.delivered = rng.gen_bool(0.5).then(|| rng.gen_bool(0.5).then(|| rng.gen_range(0..64)));
+    }
+}
+
+impl HasDecision for BroadcastState {
+    type Value = Option<u64>;
+
+    fn decision(&self) -> Option<(u64, Option<u64>)> {
+        self.delivered.map(|v| (0, v))
+    }
+}
+
+impl CanonicalProtocol for ReliableBroadcast {
+    type State = BroadcastState;
+    type Msg = Option<u64>;
+    type Output = Option<u64>;
+
+    fn name(&self) -> &str {
+        "reliable-broadcast"
+    }
+
+    fn final_round(&self) -> u64 {
+        self.f as u64 + 1
+    }
+
+    fn init(&self, ctx: &ProtocolCtx) -> BroadcastState {
+        BroadcastState {
+            val: (ctx.me == self.source).then_some(self.value),
+            delivered: None,
+        }
+    }
+
+    fn message(&self, _ctx: &ProtocolCtx, state: &BroadcastState) -> Option<u64> {
+        state.val
+    }
+
+    fn transition(
+        &self,
+        _ctx: &ProtocolCtx,
+        state: &mut BroadcastState,
+        inbox: &Inbox<Option<u64>>,
+        k: u64,
+    ) {
+        if state.val.is_none() {
+            // Adopt the first value heard (senders are not Byzantine, so
+            // all non-None payloads of a run agree; ties are harmless).
+            state.val = inbox.iter().find_map(|(_, &m)| m);
+        }
+        if k == self.final_round() {
+            state.delivered = Some(state.val);
+        }
+    }
+
+    fn output(&self, _ctx: &ProtocolCtx, state: &BroadcastState) -> Option<Option<u64>> {
+        state.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::SingleShot;
+    use ftss_core::{CrashSchedule, Round};
+    use ftss_sync_sim::{CrashOnly, NoFaults, RunConfig, SyncRunner};
+
+    fn run(
+        pi: ReliableBroadcast,
+        n: usize,
+        adversary: &mut dyn ftss_sync_sim::Adversary,
+    ) -> ftss_sync_sim::RunOutcome<crate::canonical::SingleShotState<BroadcastState>, Option<u64>>
+    {
+        let rounds = pi.final_round() as usize + 1;
+        SyncRunner::new(SingleShot::new(pi))
+            .run(adversary, &RunConfig::clean(n, rounds))
+            .unwrap()
+    }
+
+    #[test]
+    fn correct_source_delivers_to_all() {
+        let out = run(ReliableBroadcast::new(ProcessId(1), 42, 1), 4, &mut NoFaults);
+        for s in out.final_states.iter().flatten() {
+            assert_eq!(s.inner.delivered, Some(Some(42)));
+        }
+    }
+
+    #[test]
+    fn source_crashing_before_sending_delivers_bottom_everywhere() {
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(0), Round::new(1));
+        let out = run(
+            ReliableBroadcast::new(ProcessId(0), 7, 1),
+            3,
+            &mut CrashOnly::new(cs),
+        );
+        for s in out.final_states.iter().flatten() {
+            assert_eq!(s.inner.delivered, Some(None), "expected ⊥ delivery");
+        }
+    }
+
+    #[test]
+    fn source_crashing_mid_send_still_agrees() {
+        // Source reaches only p1; p1 floods it on; all correct processes
+        // agree on Some(7) by round f+1 = 2.
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(0), Round::new(1));
+        let out = run(
+            ReliableBroadcast::new(ProcessId(0), 7, 1),
+            3,
+            &mut CrashOnly::new(cs).with_partial_sends(1),
+        );
+        let survivors: Vec<_> = out
+            .final_states
+            .iter()
+            .flatten()
+            .map(|s| s.inner.delivered.unwrap())
+            .collect();
+        assert!(survivors.windows(2).all(|w| w[0] == w[1]), "{survivors:?}");
+        assert_eq!(survivors[0], Some(7));
+    }
+
+    #[test]
+    fn cascading_crashes_within_bound_agree() {
+        // f = 2: source tells p1 then crashes; p1 tells p2 then crashes;
+        // survivors must still agree (round 3 = f+1 is crash-free).
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(0), Round::new(1)).set(ProcessId(1), Round::new(2));
+        let out = run(
+            ReliableBroadcast::new(ProcessId(0), 9, 2),
+            4,
+            &mut CrashOnly::new(cs).with_partial_sends(1),
+        );
+        let survivors: Vec<_> = out
+            .final_states
+            .iter()
+            .flatten()
+            .map(|s| s.inner.delivered.unwrap())
+            .collect();
+        assert_eq!(survivors.len(), 2);
+        assert!(survivors.windows(2).all(|w| w[0] == w[1]), "{survivors:?}");
+    }
+
+    #[test]
+    fn decision_carries_bottom_distinctly() {
+        let s = BroadcastState {
+            val: None,
+            delivered: Some(None),
+        };
+        assert_eq!(s.decision(), Some((0, None)));
+        let undecided = BroadcastState {
+            val: None,
+            delivered: None,
+        };
+        assert_eq!(undecided.decision(), None);
+    }
+
+    #[test]
+    fn accessors() {
+        let pi = ReliableBroadcast::new(ProcessId(2), 5, 3);
+        assert_eq!(pi.source(), ProcessId(2));
+        assert_eq!(pi.final_round(), 4);
+        assert_eq!(pi.name(), "reliable-broadcast");
+    }
+}

@@ -1,0 +1,277 @@
+//! Figure 2: the canonical form of a terminating protocol Π.
+//!
+//! The paper's compiler accepts any process-failure-tolerant protocol in
+//! the canonical full-information form of Figure 2: a terminating,
+//! round-based protocol that broadcasts (a function of) its state every
+//! round, updates its state from the received messages and the current
+//! round number `k ∈ 1..=final_round`, and halts after `final_round`
+//! rounds. [`CanonicalProtocol`] captures exactly that shape.
+//!
+//! [`SingleShot`] adapts a canonical protocol to the simulator's
+//! [`SyncProtocol`] interface for running (and `ft-solves`-checking) **one
+//! iteration in isolation**, without the compiler. The compiled,
+//! infinitely-repeating, self-stabilizing form Π⁺ lives in `ftss-compiler`.
+
+use ftss_core::{Corrupt, RoundCounter};
+use ftss_sync_sim::{Inbox, ProtocolCtx, SyncProtocol};
+use rand::Rng;
+use std::fmt;
+
+/// A terminating round-based full-information protocol Π in the canonical
+/// form of Figure 2.
+///
+/// Determinism requirements are as for [`SyncProtocol`]. `transition`
+/// receives the protocol round `k`, which the *harness* derives — either
+/// directly (single-shot execution) or via `normalize(c_p)` (compiled
+/// execution), so implementations must not keep their own round count.
+pub trait CanonicalProtocol {
+    /// Protocol state `s_p` (not including the round variable, which the
+    /// harness manages).
+    type State: Clone + fmt::Debug + Corrupt;
+    /// Broadcast payload.
+    type Msg: Clone + fmt::Debug;
+    /// What the protocol decides/outputs on termination.
+    type Output: Clone + fmt::Debug + PartialEq;
+
+    /// Short name for reports.
+    fn name(&self) -> &str;
+
+    /// The number of rounds one iteration takes (`final_round ≥ 1`).
+    fn final_round(&self) -> u64;
+
+    /// The specified initial state `s_{p,init}`.
+    fn init(&self, ctx: &ProtocolCtx) -> Self::State;
+
+    /// The round broadcast (the paper's `(STATE: p, s_p)`; implementations
+    /// may project the state instead of sending it whole).
+    fn message(&self, ctx: &ProtocolCtx, state: &Self::State) -> Self::Msg;
+
+    /// The end-of-round state update for protocol round `k ∈ 1..=final_round`.
+    fn transition(
+        &self,
+        ctx: &ProtocolCtx,
+        state: &mut Self::State,
+        inbox: &Inbox<Self::Msg>,
+        k: u64,
+    );
+
+    /// The output, once the state has gone through round `final_round`'s
+    /// transition (else `None`).
+    fn output(&self, ctx: &ProtocolCtx, state: &Self::State) -> Option<Self::Output>;
+}
+
+/// Runs one iteration of a canonical protocol on the simulator: rounds
+/// `1..=final_round`, then halt (no further broadcasts, per Figure 2's
+/// `if c_p = final_round then halt`).
+///
+/// # Example
+///
+/// ```
+/// use ftss_protocols::{FloodSet, SingleShot};
+/// use ftss_sync_sim::{NoFaults, RunConfig, SyncRunner};
+///
+/// let pi = FloodSet::new(1, vec![3, 1, 2]); // f = 1, inputs per process
+/// let single = SingleShot::new(pi);
+/// let out = SyncRunner::new(single)
+///     .run(&mut NoFaults, &RunConfig::clean(3, 2))
+///     .expect("valid config");
+/// assert_eq!(out.history.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SingleShot<P> {
+    protocol: P,
+}
+
+/// State of a single-shot run: the inner Π state plus the round variable
+/// the harness manages for it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SingleShotState<S> {
+    /// The protocol state `s_p`.
+    pub inner: S,
+    /// The round variable `c_p`, starting at 1.
+    pub c: u64,
+    /// Set once `final_round`'s transition has been applied.
+    pub halted: bool,
+}
+
+impl<S: Corrupt> Corrupt for SingleShotState<S> {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.inner.corrupt(rng);
+        self.c.corrupt(rng);
+        self.halted.corrupt(rng);
+    }
+}
+
+impl<P: CanonicalProtocol> SingleShot<P> {
+    /// Wraps a canonical protocol for single-iteration execution.
+    pub fn new(protocol: P) -> Self {
+        SingleShot { protocol }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The output of a finished process, if it completed its iteration.
+    pub fn output_of(&self, ctx: &ProtocolCtx, s: &SingleShotState<P::State>) -> Option<P::Output> {
+        s.halted
+            .then(|| self.protocol.output(ctx, &s.inner))
+            .flatten()
+    }
+}
+
+impl<P: CanonicalProtocol> SyncProtocol for SingleShot<P> {
+    type State = SingleShotState<P::State>;
+    type Msg = P::Msg;
+
+    fn name(&self) -> &str {
+        self.protocol.name()
+    }
+
+    fn init_state(&self, ctx: &ProtocolCtx) -> Self::State {
+        SingleShotState {
+            inner: self.protocol.init(ctx),
+            c: 1,
+            halted: false,
+        }
+    }
+
+    fn sends(&self, _ctx: &ProtocolCtx, state: &Self::State) -> bool {
+        !state.halted && state.c <= self.protocol.final_round()
+    }
+
+    fn broadcast(&self, ctx: &ProtocolCtx, state: &Self::State) -> P::Msg {
+        self.protocol.message(ctx, &state.inner)
+    }
+
+    fn step(&self, ctx: &ProtocolCtx, state: &mut Self::State, inbox: &Inbox<P::Msg>) {
+        if state.halted || state.c > self.protocol.final_round() {
+            return;
+        }
+        let k = state.c;
+        self.protocol.transition(ctx, &mut state.inner, inbox, k);
+        if k == self.protocol.final_round() {
+            state.halted = true;
+        }
+        state.c += 1;
+    }
+
+    fn round_counter(&self, state: &Self::State) -> Option<RoundCounter> {
+        Some(RoundCounter::new(state.c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftss_core::ProcessId;
+    use ftss_sync_sim::{NoFaults, RunConfig, SyncRunner};
+
+    /// A 2-round canonical protocol: round 1 broadcast your id, round 2
+    /// broadcast the min id seen; output = min id seen.
+    #[derive(Clone, Debug)]
+    struct MinId;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct MinState {
+        min: u64,
+    }
+
+    impl Corrupt for MinState {
+        fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            self.min.corrupt(rng);
+        }
+    }
+
+    impl CanonicalProtocol for MinId {
+        type State = MinState;
+        type Msg = u64;
+        type Output = u64;
+
+        fn name(&self) -> &str {
+            "min-id"
+        }
+
+        fn final_round(&self) -> u64 {
+            2
+        }
+
+        fn init(&self, ctx: &ProtocolCtx) -> MinState {
+            MinState {
+                min: ctx.me.index() as u64,
+            }
+        }
+
+        fn message(&self, _ctx: &ProtocolCtx, s: &MinState) -> u64 {
+            s.min
+        }
+
+        fn transition(&self, _ctx: &ProtocolCtx, s: &mut MinState, inbox: &Inbox<u64>, _k: u64) {
+            for (_, &m) in inbox.iter() {
+                s.min = s.min.min(m);
+            }
+        }
+
+        fn output(&self, _ctx: &ProtocolCtx, s: &MinState) -> Option<u64> {
+            Some(s.min)
+        }
+    }
+
+    #[test]
+    fn single_shot_runs_and_halts() {
+        let single = SingleShot::new(MinId);
+        let out = SyncRunner::new(single)
+            .run(&mut NoFaults, &RunConfig::clean(4, 4))
+            .unwrap();
+        // After round 2 every process halted with output 0.
+        for i in 0..4 {
+            let s = out.final_states[i].as_ref().unwrap();
+            assert!(s.halted);
+            assert_eq!(s.c, 3);
+            assert_eq!(s.inner.min, 0);
+        }
+        // Rounds 3-4: nobody sends.
+        for r in [3u64, 4] {
+            let rh = out.history.round(ftss_core::Round::new(r));
+            for rec in &rh.records {
+                assert!(rec.sent.is_empty(), "halted process sent in round {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_of_respects_halt_flag() {
+        let single = SingleShot::new(MinId);
+        let ctx = ProtocolCtx::new(ProcessId(0), 3);
+        let mut s = single.init_state(&ctx);
+        assert_eq!(single.output_of(&ctx, &s), None);
+        s.halted = true;
+        assert_eq!(single.output_of(&ctx, &s), Some(0));
+    }
+
+    #[test]
+    fn counter_is_exposed() {
+        let single = SingleShot::new(MinId);
+        let ctx = ProtocolCtx::new(ProcessId(1), 3);
+        let s = single.init_state(&ctx);
+        assert_eq!(single.round_counter(&s).unwrap().get(), 1);
+    }
+
+    #[test]
+    fn corrupted_single_shot_state_does_not_panic() {
+        use rand::SeedableRng;
+        let single = SingleShot::new(MinId);
+        let ctx = ProtocolCtx::new(ProcessId(0), 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let mut s = single.init_state(&ctx);
+            s.corrupt(&mut rng);
+            // A corrupted c beyond final_round means the process considers
+            // itself done — the step must be a no-op, not a panic.
+            let inbox = Inbox::new(vec![]);
+            single.step(&ctx, &mut s.clone(), &inbox);
+            let _ = single.sends(&ctx, &s);
+        }
+    }
+}

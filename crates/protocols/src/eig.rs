@@ -1,0 +1,230 @@
+//! Exponential Information Gathering (EIG) consensus — the archetypal
+//! *full-information* protocol, and a third compiler target.
+//!
+//! Figure 2's canonical form is explicitly a full-information protocol
+//! ("any protocol that is not full-information easily can be transformed
+//! into such a protocol"). EIG is the textbook embodiment: each process
+//! relays everything it has heard, building a tree of "p₁ said that p₂
+//! said that … v". After `f + 1` rounds the processes decide from the
+//! tree; for crash/send-omission faults, taking the minimum value present
+//! anywhere in the tree agrees by the standard clean-round argument.
+//!
+//! We store the tree as a map from relay chains (vectors of distinct
+//! process ids) to values. Message size grows exponentially in `f` — the
+//! point of EIG is information completeness, not efficiency — so keep
+//! `f ≤ 3` in experiments.
+
+use crate::canonical::CanonicalProtocol;
+use crate::problems::HasDecision;
+use ftss_core::Corrupt;
+use ftss_sync_sim::{Inbox, ProtocolCtx};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A relay chain: the sequence of processes a value passed through,
+/// most recent relay last. The empty chain is the process's own input.
+pub type Chain = Vec<usize>;
+
+/// EIG consensus tolerating `f` crash/send-omission failures in `f + 1`
+/// rounds.
+///
+/// # Example
+///
+/// ```
+/// use ftss_protocols::{CanonicalProtocol, Eig};
+/// let pi = Eig::new(2, vec![4, 1, 3, 2]);
+/// assert_eq!(pi.final_round(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Eig {
+    f: usize,
+    inputs: Vec<u64>,
+}
+
+impl Eig {
+    /// An EIG instance for `f` failures with the given inputs.
+    pub fn new(f: usize, inputs: Vec<u64>) -> Self {
+        Eig { f, inputs }
+    }
+}
+
+/// EIG state: the information tree plus the decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EigState {
+    /// `tree[chain]` = value learned through that relay chain.
+    pub tree: BTreeMap<Chain, u64>,
+    /// Decision after the final round.
+    pub decided: Option<u64>,
+}
+
+impl Corrupt for EigState {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // An arbitrary small tree of arbitrary values and chains.
+        let entries = rng.gen_range(0..6);
+        self.tree = (0..entries)
+            .map(|_| {
+                let len = rng.gen_range(0..3);
+                let chain: Chain = (0..len).map(|_| rng.gen_range(0..8)).collect();
+                (chain, rng.gen_range(0..64))
+            })
+            .collect();
+        self.decided = rng.gen_bool(0.4).then(|| rng.gen_range(0..64));
+    }
+}
+
+impl HasDecision for EigState {
+    type Value = u64;
+
+    fn decision(&self) -> Option<(u64, u64)> {
+        self.decided.map(|v| (0, v))
+    }
+}
+
+impl CanonicalProtocol for Eig {
+    type State = EigState;
+    type Msg = BTreeMap<Chain, u64>;
+    type Output = u64;
+
+    fn name(&self) -> &str {
+        "eig"
+    }
+
+    fn final_round(&self) -> u64 {
+        self.f as u64 + 1
+    }
+
+    fn init(&self, ctx: &ProtocolCtx) -> EigState {
+        EigState {
+            tree: [(Chain::new(), self.inputs[ctx.me.index()])]
+                .into_iter()
+                .collect(),
+            decided: None,
+        }
+    }
+
+    fn message(&self, _ctx: &ProtocolCtx, state: &EigState) -> BTreeMap<Chain, u64> {
+        state.tree.clone()
+    }
+
+    fn transition(
+        &self,
+        ctx: &ProtocolCtx,
+        state: &mut EigState,
+        inbox: &Inbox<BTreeMap<Chain, u64>>,
+        k: u64,
+    ) {
+        for (q, tree) in inbox.iter() {
+            if q == ctx.me {
+                continue; // own relays add no information
+            }
+            for (chain, &v) in tree {
+                // Extend the chain with the relayer, dropping malformed or
+                // repetitive chains a corrupted sender might emit.
+                if chain.len() as u64 >= k || chain.contains(&q.index()) {
+                    continue;
+                }
+                let mut ext = chain.clone();
+                ext.push(q.index());
+                state.tree.entry(ext).or_insert(v);
+            }
+        }
+        if k == self.final_round() {
+            state.decided = state.tree.values().min().copied();
+        }
+    }
+
+    fn output(&self, _ctx: &ProtocolCtx, state: &EigState) -> Option<u64> {
+        state.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::SingleShot;
+    use crate::problems::ConsensusSpec;
+    use ftss_core::{ft_check, CrashSchedule, ProcessId, Round};
+    use ftss_sync_sim::{CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
+
+    fn run(
+        f: usize,
+        inputs: Vec<u64>,
+        adversary: &mut dyn ftss_sync_sim::Adversary,
+    ) -> ftss_sync_sim::RunOutcome<crate::canonical::SingleShotState<EigState>, BTreeMap<Chain, u64>>
+    {
+        let n = inputs.len();
+        SyncRunner::new(SingleShot::new(Eig::new(f, inputs)))
+            .run(adversary, &RunConfig::clean(n, f + 2))
+            .unwrap()
+    }
+
+    #[test]
+    fn failure_free_decides_min() {
+        let out = run(1, vec![5, 2, 8], &mut NoFaults);
+        let spec = ConsensusSpec::new(vec![5, 2, 8], 2);
+        assert!(ft_check(&out.history, &spec).is_ok());
+        for s in out.final_states.iter().flatten() {
+            assert_eq!(s.inner.decided, Some(2));
+        }
+    }
+
+    #[test]
+    fn tree_contains_relay_chains() {
+        let out = run(1, vec![5, 2, 8], &mut NoFaults);
+        let s = out.final_states[0].as_ref().unwrap();
+        // p0 learned p1's input directly and via p2's relay.
+        assert_eq!(s.inner.tree.get(&vec![1]), Some(&2));
+        assert_eq!(s.inner.tree.get(&vec![1, 2]), Some(&2));
+        assert_eq!(s.inner.tree.get(&Vec::new()), Some(&5));
+    }
+
+    #[test]
+    fn crash_chain_tolerated() {
+        // p0 (min holder) tells only p1 and crashes; p1 crashes next round
+        // after relaying to p2 only; with f = 2 everyone still agrees.
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(0), Round::new(1)).set(ProcessId(1), Round::new(2));
+        let mut adv = CrashOnly::new(cs).with_partial_sends(1);
+        let out = run(2, vec![1, 5, 9, 7], &mut adv);
+        let survivors: Vec<u64> = out
+            .final_states
+            .iter()
+            .flatten()
+            .map(|s| s.inner.decided.unwrap())
+            .collect();
+        assert_eq!(survivors.len(), 2);
+        assert!(survivors.windows(2).all(|w| w[0] == w[1]), "{survivors:?}");
+    }
+
+    #[test]
+    fn send_omissions_tolerated() {
+        for seed in 0..10 {
+            let inputs = vec![6, 3, 9, 4];
+            let mut adv = RandomOmission::new([ProcessId(2)], 0.7, seed);
+            let out = run(1, inputs.clone(), &mut adv);
+            let spec = ConsensusSpec::new(inputs, 2);
+            assert!(ft_check(&out.history, &spec).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn malformed_chains_from_corruption_are_dropped() {
+        let pi = Eig::new(1, vec![1, 2, 3]);
+        let ctx = ProtocolCtx::new(ProcessId(0), 3);
+        let mut state = pi.init(&ctx);
+        // A "corrupted" sender relays a chain already containing itself and
+        // an over-long chain; neither may enter the tree.
+        let mut bad = BTreeMap::new();
+        bad.insert(vec![1usize], 42u64); // would extend to [1, 1]
+        bad.insert(vec![0, 2], 43); // too long for round 1
+        let inbox = Inbox::new(vec![ftss_core::Envelope::new(
+            ProcessId(1),
+            Round::FIRST,
+            bad,
+        )]);
+        pi.transition(&ctx, &mut state, &inbox, 1);
+        assert!(state.tree.keys().all(|c| !c.contains(&1) || c == &vec![1]));
+        assert!(!state.tree.contains_key(&vec![0, 2, 1]));
+    }
+
+}

@@ -1,0 +1,236 @@
+//! FloodSet consensus — a concrete Π for the compiler.
+//!
+//! The classic `f + 1`-round flooding consensus: every round, broadcast the
+//! set of values seen so far and union in everything received; after round
+//! `f + 1`, decide the minimum of the set. Tolerates up to `f` **crash and
+//! send-omission** failures (the "new value appears late" adversary needs
+//! a new failure per round, and there are only `f` faulty processes for
+//! `f + 1` rounds).
+//!
+//! General *receive* omissions can starve the faulty receiver itself, but
+//! never desynchronize the correct processes — and the specification
+//! ([`crate::problems::ConsensusSpec`]) restricts only correct processes,
+//! as Theorem 2 of the paper requires of any ftss-compilable protocol.
+
+use crate::canonical::CanonicalProtocol;
+use crate::problems::HasDecision;
+use ftss_core::Corrupt;
+use ftss_sync_sim::{Inbox, ProtocolCtx};
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// FloodSet consensus for `f` crash/send-omission failures; one iteration
+/// is `f + 1` rounds.
+///
+/// # Example
+///
+/// ```
+/// use ftss_protocols::{CanonicalProtocol, FloodSet};
+///
+/// let pi = FloodSet::new(2, vec![5, 3, 9, 3, 7]);
+/// assert_eq!(pi.final_round(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FloodSet {
+    f: usize,
+    inputs: Vec<u64>,
+}
+
+impl FloodSet {
+    /// A FloodSet instance tolerating `f` failures, with `inputs[p]` the
+    /// initial value of process `p`.
+    pub fn new(f: usize, inputs: Vec<u64>) -> Self {
+        FloodSet { f, inputs }
+    }
+
+    /// The fault bound this instance is dimensioned for.
+    pub fn fault_bound(&self) -> usize {
+        self.f
+    }
+
+    /// The input values, indexed by process.
+    pub fn inputs(&self) -> &[u64] {
+        &self.inputs
+    }
+}
+
+/// FloodSet protocol state: the set of values seen plus the decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FloodSetState {
+    /// Values seen so far (starts as the singleton input).
+    pub seen: BTreeSet<u64>,
+    /// The decision, set by the `final_round` transition.
+    pub decided: Option<u64>,
+}
+
+impl Corrupt for FloodSetState {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // Arbitrary set of arbitrary values (bounded size), arbitrary
+        // decision flag — including the insidious "already decided wrong"
+        // state.
+        let len = rng.gen_range(0..6);
+        self.seen = (0..len).map(|_| rng.gen_range(0..64u64)).collect();
+        self.decided = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(0..64))
+        } else {
+            None
+        };
+    }
+}
+
+impl HasDecision for FloodSetState {
+    type Value = u64;
+
+    fn decision(&self) -> Option<(u64, u64)> {
+        self.decided.map(|v| (0, v))
+    }
+}
+
+impl CanonicalProtocol for FloodSet {
+    type State = FloodSetState;
+    type Msg = BTreeSet<u64>;
+    type Output = u64;
+
+    fn name(&self) -> &str {
+        "floodset"
+    }
+
+    fn final_round(&self) -> u64 {
+        self.f as u64 + 1
+    }
+
+    fn init(&self, ctx: &ProtocolCtx) -> FloodSetState {
+        FloodSetState {
+            seen: [self.inputs[ctx.me.index()]].into_iter().collect(),
+            decided: None,
+        }
+    }
+
+    fn message(&self, _ctx: &ProtocolCtx, state: &FloodSetState) -> BTreeSet<u64> {
+        state.seen.clone()
+    }
+
+    fn transition(
+        &self,
+        _ctx: &ProtocolCtx,
+        state: &mut FloodSetState,
+        inbox: &Inbox<BTreeSet<u64>>,
+        k: u64,
+    ) {
+        for (_, set) in inbox.iter() {
+            state.seen.extend(set.iter().copied());
+        }
+        if k == self.final_round() {
+            // min of the union; a (corrupted) empty set yields no decision
+            // rather than a panic.
+            state.decided = state.seen.iter().next().copied();
+        }
+    }
+
+    fn output(&self, _ctx: &ProtocolCtx, state: &FloodSetState) -> Option<u64> {
+        state.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::SingleShot;
+    use crate::problems::ConsensusSpec;
+    use ftss_core::{ft_check, CrashSchedule, ProcessId, Round};
+    use ftss_sync_sim::{CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
+
+    fn run_consensus(
+        f: usize,
+        inputs: Vec<u64>,
+        adversary: &mut dyn ftss_sync_sim::Adversary,
+    ) -> ftss_sync_sim::RunOutcome<crate::canonical::SingleShotState<FloodSetState>, BTreeSet<u64>>
+    {
+        let n = inputs.len();
+        let rounds = f + 2; // one extra round so decisions appear in the history
+        SyncRunner::new(SingleShot::new(FloodSet::new(f, inputs)))
+            .run(adversary, &RunConfig::clean(n, rounds))
+            .unwrap()
+    }
+
+    #[test]
+    fn failure_free_decides_min() {
+        let out = run_consensus(1, vec![5, 3, 9], &mut NoFaults);
+        let spec = ConsensusSpec::new(vec![5, 3, 9], 2); // decisions visible at round index 2
+        assert!(ft_check(&out.history, &spec).is_ok());
+        for s in out.final_states.iter().flatten() {
+            assert_eq!(s.inner.decided, Some(3));
+        }
+    }
+
+    #[test]
+    fn crash_faults_tolerated() {
+        // p0 holds the minimum and crashes in round 1 after telling only p1;
+        // flooding still spreads value 1 to everyone by round f+1 = 3.
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(0), Round::new(1));
+        let mut adv = CrashOnly::new(cs).with_partial_sends(1);
+        let out = run_consensus(2, vec![1, 5, 9, 7], &mut adv);
+        let spec = ConsensusSpec::new(vec![1, 5, 9, 7], 3);
+        assert!(ft_check(&out.history, &spec).is_ok(), "{}", out.history);
+        // All survivors decided the same value (1 reached p1 before the crash).
+        let decided: Vec<_> = out
+            .final_states
+            .iter()
+            .flatten()
+            .map(|s| s.inner.decided.unwrap())
+            .collect();
+        assert!(decided.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(decided[0], 1);
+    }
+
+    #[test]
+    fn send_omissions_tolerated() {
+        for seed in 0..15 {
+            let inputs = vec![4, 8, 2, 6, 9];
+            let mut adv = RandomOmission::new([ProcessId(1)], 0.8, seed);
+            let out = run_consensus(1, inputs.clone(), &mut adv);
+            let spec = ConsensusSpec::new(inputs, 2);
+            assert!(
+                ft_check(&out.history, &spec).is_ok(),
+                "seed {seed} violated consensus"
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_length_is_f_plus_one() {
+        assert_eq!(FloodSet::new(0, vec![1]).final_round(), 1);
+        assert_eq!(FloodSet::new(3, vec![1; 4]).final_round(), 4);
+    }
+
+    #[test]
+    fn corrupted_empty_seen_yields_no_decision_not_panic() {
+        let pi = FloodSet::new(1, vec![1, 2]);
+        let ctx = ProtocolCtx::new(ProcessId(0), 2);
+        let mut s = FloodSetState {
+            seen: BTreeSet::new(),
+            decided: None,
+        };
+        pi.transition(&ctx, &mut s, &Inbox::new(vec![]), pi.final_round());
+        assert_eq!(s.decided, None);
+        assert_eq!(pi.output(&ctx, &s), None);
+    }
+
+    #[test]
+    fn decision_tag_is_zero_for_single_shot() {
+        let s = FloodSetState {
+            seen: [3].into_iter().collect(),
+            decided: Some(3),
+        };
+        assert_eq!(s.decision(), Some((0, 3)));
+    }
+
+    #[test]
+    fn accessors() {
+        let pi = FloodSet::new(2, vec![1, 2, 3]);
+        assert_eq!(pi.fault_bound(), 2);
+        assert_eq!(pi.inputs(), &[1, 2, 3]);
+        assert_eq!(pi.name(), "floodset");
+    }
+}

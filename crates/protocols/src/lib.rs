@@ -1,0 +1,39 @@
+//! # ftss-protocols — the paper's protocols and their building blocks
+//!
+//! * [`round_agreement`] — **Figure 1**: the ftss round-agreement protocol
+//!   with stabilization time 1 (Theorem 3). Every correct process
+//!   broadcasts its round counter and adopts `max(received) + 1`.
+//! * [`canonical`] — **Figure 2**: the canonical form of a terminating,
+//!   round-based, full-information, process-failure-tolerant protocol Π,
+//!   as the [`canonical::CanonicalProtocol`] trait, plus an adapter that
+//!   runs a single iteration on the synchronous simulator.
+//! * [`floodset`] — a concrete Π: FloodSet consensus (`f + 1` rounds,
+//!   tolerates crash and send-omission failures).
+//! * [`phase_king`] — a second concrete Π: phase-king/queen consensus
+//!   (`2(f + 1)` rounds, `n > 4f`), exercising the compiler on a protocol
+//!   with internal phase structure.
+//! * [`broadcast`] — a third concrete Π: reliable broadcast by `f + 1`
+//!   rounds of flooding (crash failures).
+//! * [`problems`] — problem predicates `Σ`: single-shot consensus,
+//!   repeated consensus `Σ⁺`, and decision plumbing shared by the
+//!   specifications.
+
+pub mod bounded;
+pub mod broadcast;
+pub mod canonical;
+pub mod eig;
+pub mod floodset;
+pub mod phase_king;
+pub mod problems;
+pub mod round_agreement;
+pub mod token_ring;
+
+pub use bounded::BoundedRoundAgreement;
+pub use broadcast::ReliableBroadcast;
+pub use canonical::{CanonicalProtocol, SingleShot};
+pub use eig::Eig;
+pub use floodset::FloodSet;
+pub use phase_king::PhaseKing;
+pub use problems::{ConsensusSpec, HasDecision, RepeatedConsensusSpec};
+pub use round_agreement::RoundAgreement;
+pub use token_ring::TokenRing;

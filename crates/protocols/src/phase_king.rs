@@ -1,0 +1,251 @@
+//! Phase-king (phase-queen variant) binary consensus — a second concrete Π.
+//!
+//! Berman–Garay style: `f + 1` phases of two rounds each
+//! (`final_round = 2(f + 1)`), requiring `n > 4f`.
+//!
+//! * **Pairing round** (odd `k`): everyone broadcasts its preference;
+//!   each process computes the majority value `maj` among received
+//!   preferences and its multiplicity `cnt`.
+//! * **King round** (even `k`): the phase's king (process `i − 1` for
+//!   phase `i`) broadcasts its preference; each process keeps `maj` if
+//!   `cnt > n/2 + f` (it is *sure*), otherwise adopts the king's value.
+//!
+//! With `n > 4f` this decides in `f + 1` phases even against Byzantine
+//! faults, so the paper's general-omission faults are comfortably within
+//! its tolerance — this exercises the compiler on a protocol with internal
+//! phase structure and asymmetric roles, unlike FloodSet's symmetric
+//! flooding.
+
+use crate::canonical::CanonicalProtocol;
+use crate::problems::HasDecision;
+use ftss_core::{Corrupt, ProcessId};
+use ftss_sync_sim::{Inbox, ProtocolCtx};
+use rand::Rng;
+
+/// Phase-king binary consensus tolerating `f < n/4` failures.
+///
+/// # Example
+///
+/// ```
+/// use ftss_protocols::{CanonicalProtocol, PhaseKing};
+///
+/// let pi = PhaseKing::new(1, vec![true, false, true, true, false]);
+/// assert_eq!(pi.final_round(), 4); // 2 rounds × (f + 1) phases
+/// ```
+#[derive(Clone, Debug)]
+pub struct PhaseKing {
+    f: usize,
+    inputs: Vec<bool>,
+}
+
+impl PhaseKing {
+    /// A phase-king instance for `f` failures with the given inputs.
+    pub fn new(f: usize, inputs: Vec<bool>) -> Self {
+        PhaseKing { f, inputs }
+    }
+
+    /// The king of phase `i` (1-based): process `i − 1`.
+    pub fn king_of_phase(&self, phase: u64, n: usize) -> ProcessId {
+        ProcessId(((phase - 1) as usize) % n)
+    }
+
+    /// The input values, indexed by process.
+    pub fn inputs(&self) -> &[bool] {
+        &self.inputs
+    }
+}
+
+/// Phase-king protocol state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseKingState {
+    /// Current preference.
+    pub pref: bool,
+    /// Majority value from the last pairing round.
+    pub maj: bool,
+    /// Multiplicity of `maj` in the last pairing round.
+    pub cnt: usize,
+    /// Decision after the final phase.
+    pub decided: Option<bool>,
+}
+
+impl Corrupt for PhaseKingState {
+    fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.pref.corrupt(rng);
+        self.maj.corrupt(rng);
+        self.cnt = rng.gen_range(0..64);
+        self.decided = match rng.gen_range(0..3) {
+            0 => None,
+            1 => Some(false),
+            _ => Some(true),
+        };
+    }
+}
+
+impl HasDecision for PhaseKingState {
+    type Value = bool;
+
+    fn decision(&self) -> Option<(u64, bool)> {
+        self.decided.map(|v| (0, v))
+    }
+}
+
+impl CanonicalProtocol for PhaseKing {
+    type State = PhaseKingState;
+    type Msg = bool;
+    type Output = bool;
+
+    fn name(&self) -> &str {
+        "phase-king"
+    }
+
+    fn final_round(&self) -> u64 {
+        2 * (self.f as u64 + 1)
+    }
+
+    fn init(&self, ctx: &ProtocolCtx) -> PhaseKingState {
+        PhaseKingState {
+            pref: self.inputs[ctx.me.index()],
+            maj: false,
+            cnt: 0,
+            decided: None,
+        }
+    }
+
+    fn message(&self, _ctx: &ProtocolCtx, state: &PhaseKingState) -> bool {
+        // Odd rounds: preference; even rounds: only the king's value is
+        // read, and the king's preference is what it broadcasts — so the
+        // same projection serves both rounds (full-information style).
+        state.pref
+    }
+
+    fn transition(
+        &self,
+        ctx: &ProtocolCtx,
+        state: &mut PhaseKingState,
+        inbox: &Inbox<bool>,
+        k: u64,
+    ) {
+        let n = ctx.n;
+        if k % 2 == 1 {
+            // Pairing round: tally preferences.
+            let trues = inbox.iter().filter(|(_, &v)| v).count();
+            let falses = inbox.len() - trues;
+            state.maj = trues > falses;
+            state.cnt = if state.maj { trues } else { falses };
+        } else {
+            // King round of phase k/2.
+            let phase = k / 2;
+            let king = self.king_of_phase(phase, n);
+            let king_val = inbox.from(king).copied().unwrap_or(false);
+            state.pref = if state.cnt > n / 2 + self.f {
+                state.maj
+            } else {
+                king_val
+            };
+            if k == self.final_round() {
+                state.decided = Some(state.pref);
+            }
+        }
+    }
+
+    fn output(&self, _ctx: &ProtocolCtx, state: &PhaseKingState) -> Option<bool> {
+        state.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::SingleShot;
+    use crate::problems::ConsensusSpec;
+    use ftss_core::{ft_check, CrashSchedule, Round};
+    use ftss_sync_sim::{CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
+
+    fn run(
+        f: usize,
+        inputs: Vec<bool>,
+        adversary: &mut dyn ftss_sync_sim::Adversary,
+    ) -> ftss_sync_sim::RunOutcome<crate::canonical::SingleShotState<PhaseKingState>, bool> {
+        let n = inputs.len();
+        let pi = PhaseKing::new(f, inputs);
+        let rounds = pi.final_round() as usize + 1;
+        SyncRunner::new(SingleShot::new(pi))
+            .run(adversary, &RunConfig::clean(n, rounds))
+            .unwrap()
+    }
+
+    #[test]
+    fn failure_free_unanimous_input_decides_it() {
+        let out = run(1, vec![true; 5], &mut NoFaults);
+        let spec = ConsensusSpec::new(vec![true], 4);
+        assert!(ft_check(&out.history, &spec).is_ok());
+    }
+
+    #[test]
+    fn failure_free_mixed_inputs_agree() {
+        let out = run(1, vec![true, false, true, false, true], &mut NoFaults);
+        let spec = ConsensusSpec::new(vec![true, false], 4);
+        assert!(ft_check(&out.history, &spec).is_ok());
+    }
+
+    #[test]
+    fn crash_fault_tolerated_even_if_king() {
+        // p0 is king of phase 1 and crashes immediately.
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(0), Round::new(1));
+        let mut adv = CrashOnly::new(cs);
+        let out = run(1, vec![true, false, false, true, false], &mut adv);
+        let spec = ConsensusSpec::new(vec![true, false], 4);
+        assert!(ft_check(&out.history, &spec).is_ok());
+    }
+
+    #[test]
+    fn omission_faults_tolerated() {
+        for seed in 0..15 {
+            let inputs = vec![seed % 2 == 0, true, false, true, false];
+            let mut adv = RandomOmission::new([ProcessId(2)], 0.6, seed);
+            let out = run(1, inputs, &mut adv);
+            let spec = ConsensusSpec::new(vec![true, false], 4);
+            assert!(
+                ft_check(&out.history, &spec).is_ok(),
+                "seed {seed} violated consensus"
+            );
+        }
+    }
+
+    #[test]
+    fn validity_unanimous_survives_faults() {
+        // All correct processes start with `true`; the adversary cannot
+        // flip the decision when n > 4f.
+        for seed in 0..10 {
+            let mut adv = RandomOmission::new([ProcessId(4)], 0.9, seed);
+            let out = run(1, vec![true; 5], &mut adv);
+            for (i, s) in out.final_states.iter().enumerate() {
+                if let Some(s) = s {
+                    if !out.history.faulty().contains(ProcessId(i)) {
+                        assert_eq!(s.inner.decided, Some(true), "seed {seed} p{i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn king_rotation() {
+        let pi = PhaseKing::new(2, vec![true; 9]);
+        assert_eq!(pi.king_of_phase(1, 9), ProcessId(0));
+        assert_eq!(pi.king_of_phase(2, 9), ProcessId(1));
+        assert_eq!(pi.king_of_phase(3, 9), ProcessId(2));
+    }
+
+    #[test]
+    fn decision_exposed_via_has_decision() {
+        let s = PhaseKingState {
+            pref: true,
+            maj: true,
+            cnt: 3,
+            decided: Some(true),
+        };
+        assert_eq!(s.decision(), Some((0, true)));
+    }
+}

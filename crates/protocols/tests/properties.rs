@@ -1,0 +1,130 @@
+//! Property-based tests of the protocol layer: Theorem-3 behaviour of
+//! round agreement and the consensus properties of the concrete Πs.
+
+use ftss_core::{ft_check, ftss_check, ProcessId, RateAgreementSpec, Round};
+use ftss_protocols::{CanonicalProtocol, ConsensusSpec, FloodSet, PhaseKing, RoundAgreement, SingleShot};
+use ftss_sync_sim::{CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
+use proptest::prelude::*;
+
+proptest! {
+    /// Round agreement from arbitrary corruption, arbitrary n: all correct
+    /// processes agree from round 2 on, and the common value is
+    /// max(initial corrupted counters) + 1.
+    #[test]
+    fn round_agreement_converges_to_max_plus_one(
+        n in 2usize..12,
+        seed in any::<u64>(),
+        rounds in 3usize..10,
+    ) {
+        let out = SyncRunner::new(RoundAgreement)
+            .run(&mut NoFaults, &RunConfig::corrupted(n, rounds, seed))
+            .unwrap();
+        let initial_max = out
+            .history
+            .round(Round::FIRST)
+            .records
+            .iter()
+            .map(|r| r.counter_at_start.unwrap().get())
+            .max()
+            .unwrap();
+        for r in 2..=rounds as u64 {
+            let cs: Vec<u64> = out
+                .history
+                .round(Round::new(r))
+                .records
+                .iter()
+                .map(|rec| rec.counter_at_start.unwrap().get())
+                .collect();
+            prop_assert!(cs.iter().all(|&c| c == cs[0]), "round {r}: {cs:?}");
+            // Saturating arithmetic near u64::MAX is allowed to pin at MAX.
+            if initial_max < u64::MAX - rounds as u64 {
+                prop_assert_eq!(cs[0], initial_max + (r - 1));
+            }
+        }
+    }
+
+    /// Theorem 3, mechanically: the full Definition-2.4 check passes with
+    /// stabilization time 1 under random omission faults and corruption.
+    #[test]
+    fn round_agreement_ftss_with_random_faults(
+        n in 3usize..7,
+        seed in any::<u64>(),
+        p_drop in 0.0f64..0.9,
+    ) {
+        let mut adv = RandomOmission::new([ProcessId(0)], p_drop, seed);
+        let out = SyncRunner::new(RoundAgreement)
+            .run(&mut adv, &RunConfig::corrupted(n, 10, seed ^ 0x1))
+            .unwrap();
+        let report = ftss_check(&out.history, &RateAgreementSpec::new(), 1);
+        prop_assert!(report.is_satisfied(), "{}", report);
+    }
+
+    /// FloodSet consensus under random crash schedules within its bound.
+    #[test]
+    fn floodset_consensus_under_crashes(
+        inputs in prop::collection::vec(0u64..100, 3..8),
+        crash_round in 1u64..4,
+        crash_idx in 0usize..8,
+        partial in 0usize..8,
+    ) {
+        let n = inputs.len();
+        let f = 2;
+        let crash_idx = crash_idx % n;
+        let mut cs = ftss_core::CrashSchedule::none();
+        cs.set(ProcessId(crash_idx), Round::new(crash_round));
+        let mut adv = CrashOnly::new(cs).with_partial_sends(partial);
+        let rounds = f + 2;
+        let out = SyncRunner::new(SingleShot::new(FloodSet::new(f, inputs.clone())))
+            .run(&mut adv, &RunConfig::clean(n, rounds))
+            .unwrap();
+        let spec = ConsensusSpec::new(inputs, f + 1);
+        prop_assert!(ft_check(&out.history, &spec).is_ok());
+    }
+
+    /// Phase-king validity: unanimous inputs survive any single omitter.
+    #[test]
+    fn phase_king_validity_under_omissions(
+        v in any::<bool>(),
+        seed in any::<u64>(),
+        p_drop in 0.0f64..1.0,
+        omitter in 0usize..5,
+    ) {
+        let n = 5;
+        let f = 1;
+        let inputs = vec![v; n];
+        let pk = PhaseKing::new(f, inputs);
+        let rounds = pk.final_round() as usize + 1;
+        let mut adv = RandomOmission::new([ProcessId(omitter)], p_drop, seed);
+        let out = SyncRunner::new(SingleShot::new(pk))
+            .run(&mut adv, &RunConfig::clean(n, rounds))
+            .unwrap();
+        let faulty = out.history.faulty();
+        for (i, s) in out.final_states.iter().enumerate() {
+            if let Some(s) = s {
+                if !faulty.contains(ProcessId(i)) {
+                    prop_assert_eq!(s.inner.decided, Some(v), "p{} flipped", i);
+                }
+            }
+        }
+    }
+
+    /// Phase-king agreement for arbitrary inputs under a crash.
+    #[test]
+    fn phase_king_agreement_under_crash(
+        bits in prop::collection::vec(any::<bool>(), 5..9),
+        crash_round in 1u64..4,
+    ) {
+        let n = bits.len();
+        let f = 1;
+        let pk = PhaseKing::new(f, bits.clone());
+        let rounds = pk.final_round() as usize + 1;
+        let mut cs = ftss_core::CrashSchedule::none();
+        cs.set(ProcessId(0), Round::new(crash_round));
+        let mut adv = CrashOnly::new(cs);
+        let out = SyncRunner::new(SingleShot::new(pk))
+            .run(&mut adv, &RunConfig::clean(n, rounds))
+            .unwrap();
+        let spec = ConsensusSpec::new(vec![true, false], rounds - 1);
+        prop_assert!(ft_check(&out.history, &spec).is_ok());
+    }
+}

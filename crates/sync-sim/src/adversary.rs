@@ -1,0 +1,428 @@
+//! Process-failure adversaries.
+//!
+//! An adversary declares a faulty set and a crash schedule up front and is
+//! then consulted once per point-to-point copy per round to decide
+//! omissions. The runner enforces the model's rules:
+//!
+//! * only declared-faulty processes may crash or omit,
+//! * the faulty set must respect the fault bound `f`,
+//! * self-delivery is never submitted for dropping (paper footnote 1).
+
+use ftss_core::{CrashSchedule, ProcessId, ProcessSet, Round};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Which side of a dropped copy deviated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OmissionSide {
+    /// The sender omitted to send (send omission, attributed to `from`).
+    Sender,
+    /// The receiver omitted to receive (receive omission, attributed to `to`).
+    Receiver,
+}
+
+/// Decides process failures for a run.
+///
+/// Implementations are consulted deterministically in a fixed order
+/// (round, then sender, then destination), so seeded adversaries are
+/// reproducible.
+pub trait Adversary {
+    /// The set of processes this adversary may make faulty, over universe `n`.
+    fn faulty(&self, n: usize) -> ProcessSet;
+
+    /// When processes crash (must be a subset of `faulty`).
+    fn crash_schedule(&self) -> CrashSchedule {
+        CrashSchedule::none()
+    }
+
+    /// How many of its round-`r` copies (in destination order) a process
+    /// crashing in round `r` manages to emit before dying.
+    fn sends_before_crash(&self, p: ProcessId, r: Round) -> usize {
+        let _ = (p, r);
+        0
+    }
+
+    /// Whether the copy `from → to` in round `r` is dropped, and by which
+    /// side. `None` means delivered. Never consulted for `from == to`.
+    fn drop_copy(&mut self, r: Round, from: ProcessId, to: ProcessId) -> Option<OmissionSide>;
+}
+
+/// The failure-free adversary.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl Adversary for NoFaults {
+    fn faulty(&self, n: usize) -> ProcessSet {
+        ProcessSet::empty(n)
+    }
+
+    fn drop_copy(&mut self, _r: Round, _f: ProcessId, _t: ProcessId) -> Option<OmissionSide> {
+        None
+    }
+}
+
+/// Crash failures only, per a fixed schedule. Optionally each crash emits a
+/// prefix of its final round's copies.
+#[derive(Clone, Debug)]
+pub struct CrashOnly {
+    schedule: CrashSchedule,
+    partial_sends: usize,
+}
+
+impl CrashOnly {
+    /// An adversary crashing processes per `schedule`; crashing processes
+    /// emit none of their final-round copies.
+    pub fn new(schedule: CrashSchedule) -> Self {
+        CrashOnly {
+            schedule,
+            partial_sends: 0,
+        }
+    }
+
+    /// Crashing processes emit their first `k` copies (destination order)
+    /// in their final round before dying.
+    #[must_use]
+    pub fn with_partial_sends(mut self, k: usize) -> Self {
+        self.partial_sends = k;
+        self
+    }
+}
+
+impl Adversary for CrashOnly {
+    fn faulty(&self, n: usize) -> ProcessSet {
+        self.schedule.crashed_set(n)
+    }
+
+    fn crash_schedule(&self) -> CrashSchedule {
+        self.schedule.clone()
+    }
+
+    fn sends_before_crash(&self, _p: ProcessId, _r: Round) -> usize {
+        self.partial_sends
+    }
+
+    fn drop_copy(&mut self, _r: Round, _f: ProcessId, _t: ProcessId) -> Option<OmissionSide> {
+        None
+    }
+}
+
+/// The Theorem-1 scenario adversary: process `p` send-omits every copy to
+/// every other process in rounds `1..=silent_rounds`, then behaves
+/// correctly. "Due to omission type process failures, `p` does not
+/// communicate with any other process until round `r + 1`."
+#[derive(Clone, Debug)]
+pub struct SilentProcess {
+    /// The silent (faulty) process.
+    pub p: ProcessId,
+    /// Number of initial rounds during which `p` stays silent.
+    pub silent_rounds: u64,
+}
+
+impl SilentProcess {
+    /// Creates the adversary.
+    pub fn new(p: ProcessId, silent_rounds: u64) -> Self {
+        SilentProcess { p, silent_rounds }
+    }
+}
+
+impl Adversary for SilentProcess {
+    fn faulty(&self, n: usize) -> ProcessSet {
+        ProcessSet::from_iter_n(n, [self.p])
+    }
+
+    fn drop_copy(&mut self, r: Round, from: ProcessId, _to: ProcessId) -> Option<OmissionSide> {
+        (from == self.p && r.get() <= self.silent_rounds).then_some(OmissionSide::Sender)
+    }
+}
+
+/// Seeded random general-omission adversary: each copy touching a faulty
+/// process is dropped with probability `p_drop`, attributed to the faulty
+/// side (sender if the sender is faulty, else receiver). Optionally also
+/// crashes some of the faulty processes.
+#[derive(Clone, Debug)]
+pub struct RandomOmission {
+    faulty: BTreeSet<ProcessId>,
+    p_drop: f64,
+    schedule: CrashSchedule,
+    rng: StdRng,
+}
+
+impl RandomOmission {
+    /// Creates an adversary over the given faulty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_drop` is not within `0.0..=1.0`.
+    pub fn new(faulty: impl IntoIterator<Item = ProcessId>, p_drop: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_drop), "p_drop must be in [0,1]");
+        RandomOmission {
+            faulty: faulty.into_iter().collect(),
+            p_drop,
+            schedule: CrashSchedule::none(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Adds a crash schedule (crashing processes are added to the faulty set).
+    #[must_use]
+    pub fn with_crashes(mut self, schedule: CrashSchedule) -> Self {
+        for (p, _) in schedule.iter() {
+            self.faulty.insert(p);
+        }
+        self.schedule = schedule;
+        self
+    }
+}
+
+impl Adversary for RandomOmission {
+    fn faulty(&self, n: usize) -> ProcessSet {
+        ProcessSet::from_iter_n(n, self.faulty.iter().copied())
+    }
+
+    fn crash_schedule(&self) -> CrashSchedule {
+        self.schedule.clone()
+    }
+
+    fn drop_copy(&mut self, _r: Round, from: ProcessId, to: ProcessId) -> Option<OmissionSide> {
+        let side = if self.faulty.contains(&from) {
+            OmissionSide::Sender
+        } else if self.faulty.contains(&to) {
+            OmissionSide::Receiver
+        } else {
+            return None;
+        };
+        // Draw for every eligible copy so the consultation order keeps the
+        // stream aligned regardless of outcomes.
+        self.rng.gen_bool(self.p_drop).then_some(side)
+    }
+}
+
+/// Partitions the system into two groups for a window of rounds: every
+/// cross-group copy is dropped, attributed to the *minority* group (all of
+/// whose members are declared faulty — the model requires omissions to be
+/// attributable to faulty processes). When the window ends the partition
+/// heals, the minority's messages reach everyone again, and the coterie
+/// changes — the paper's de-stabilizing event, on demand.
+#[derive(Clone, Debug)]
+pub struct GroupPartition {
+    minority: BTreeSet<ProcessId>,
+    from_round: u64,
+    to_round: u64,
+}
+
+impl GroupPartition {
+    /// Partitions `minority` away from everyone else during rounds
+    /// `from_round..=to_round` (inclusive, 1-based).
+    pub fn new(
+        minority: impl IntoIterator<Item = ProcessId>,
+        from_round: u64,
+        to_round: u64,
+    ) -> Self {
+        GroupPartition {
+            minority: minority.into_iter().collect(),
+            from_round,
+            to_round,
+        }
+    }
+
+    /// Whether the partition is active in round `r`.
+    pub fn is_active(&self, r: Round) -> bool {
+        (self.from_round..=self.to_round).contains(&r.get())
+    }
+}
+
+impl Adversary for GroupPartition {
+    fn faulty(&self, n: usize) -> ProcessSet {
+        ProcessSet::from_iter_n(n, self.minority.iter().copied())
+    }
+
+    fn drop_copy(&mut self, r: Round, from: ProcessId, to: ProcessId) -> Option<OmissionSide> {
+        if !self.is_active(r) {
+            return None;
+        }
+        match (self.minority.contains(&from), self.minority.contains(&to)) {
+            (true, false) => Some(OmissionSide::Sender),
+            (false, true) => Some(OmissionSide::Receiver),
+            _ => None, // intra-group copies flow
+        }
+    }
+}
+
+/// A fully scripted omission adversary: exactly the listed copies are
+/// dropped. Useful for constructing the paper's proof scenarios round by
+/// round.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedOmission {
+    drops: BTreeSet<(u64, ProcessId, ProcessId)>,
+    sides: std::collections::BTreeMap<(u64, ProcessId, ProcessId), OmissionSide>,
+    faulty: BTreeSet<ProcessId>,
+    schedule: CrashSchedule,
+}
+
+impl ScriptedOmission {
+    /// An adversary that drops nothing (add drops with [`Self::drop_at`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scripts: in round `r`, the copy `from → to` is dropped by `side`.
+    /// The deviating side is added to the faulty set.
+    pub fn drop_at(&mut self, r: u64, from: ProcessId, to: ProcessId, side: OmissionSide) -> &mut Self {
+        self.drops.insert((r, from, to));
+        self.sides.insert((r, from, to), side);
+        self.faulty.insert(match side {
+            OmissionSide::Sender => from,
+            OmissionSide::Receiver => to,
+        });
+        self
+    }
+
+    /// Scripts a crash of `p` in round `r`.
+    pub fn crash_at(&mut self, p: ProcessId, r: u64) -> &mut Self {
+        self.schedule.set(p, Round::new(r));
+        self.faulty.insert(p);
+        self
+    }
+}
+
+impl Adversary for ScriptedOmission {
+    fn faulty(&self, n: usize) -> ProcessSet {
+        ProcessSet::from_iter_n(n, self.faulty.iter().copied())
+    }
+
+    fn crash_schedule(&self) -> CrashSchedule {
+        self.schedule.clone()
+    }
+
+    fn drop_copy(&mut self, r: Round, from: ProcessId, to: ProcessId) -> Option<OmissionSide> {
+        self.sides.get(&(r.get(), from, to)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_empty() {
+        let mut a = NoFaults;
+        assert!(a.faulty(5).is_empty());
+        assert!(a.crash_schedule().is_empty());
+        assert_eq!(a.drop_copy(Round::FIRST, ProcessId(0), ProcessId(1)), None);
+    }
+
+    #[test]
+    fn silent_process_drops_then_stops() {
+        let mut a = SilentProcess::new(ProcessId(0), 2);
+        assert_eq!(
+            a.drop_copy(Round::new(1), ProcessId(0), ProcessId(1)),
+            Some(OmissionSide::Sender)
+        );
+        assert_eq!(
+            a.drop_copy(Round::new(2), ProcessId(0), ProcessId(1)),
+            Some(OmissionSide::Sender)
+        );
+        assert_eq!(a.drop_copy(Round::new(3), ProcessId(0), ProcessId(1)), None);
+        // Other senders unaffected.
+        assert_eq!(a.drop_copy(Round::new(1), ProcessId(1), ProcessId(0)), None);
+        assert_eq!(a.faulty(2).iter().count(), 1);
+    }
+
+    #[test]
+    fn random_omission_is_deterministic_per_seed() {
+        let record = |seed: u64| {
+            let mut a = RandomOmission::new([ProcessId(0)], 0.5, seed);
+            (0..50)
+                .map(|i| {
+                    a.drop_copy(Round::new(i + 1), ProcessId(0), ProcessId(1))
+                        .is_some()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(record(1), record(1));
+        assert_ne!(record(1), record(2));
+    }
+
+    #[test]
+    fn random_omission_attributes_correct_side() {
+        let mut a = RandomOmission::new([ProcessId(1)], 1.0, 0);
+        assert_eq!(
+            a.drop_copy(Round::FIRST, ProcessId(1), ProcessId(0)),
+            Some(OmissionSide::Sender)
+        );
+        assert_eq!(
+            a.drop_copy(Round::FIRST, ProcessId(0), ProcessId(1)),
+            Some(OmissionSide::Receiver)
+        );
+        assert_eq!(a.drop_copy(Round::FIRST, ProcessId(0), ProcessId(2)), None);
+    }
+
+    #[test]
+    fn random_omission_with_crashes_extends_faulty() {
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(2), Round::new(3));
+        let a = RandomOmission::new([ProcessId(0)], 0.1, 7).with_crashes(cs);
+        let f = a.faulty(4);
+        assert!(f.contains(ProcessId(0)));
+        assert!(f.contains(ProcessId(2)));
+        assert_eq!(a.crash_schedule().crash_round(ProcessId(2)), Some(Round::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "p_drop")]
+    fn bad_probability_rejected() {
+        RandomOmission::new([], 1.5, 0);
+    }
+
+    #[test]
+    fn scripted_drops_and_faulty_tracking() {
+        let mut a = ScriptedOmission::new();
+        a.drop_at(2, ProcessId(0), ProcessId(1), OmissionSide::Receiver)
+            .crash_at(ProcessId(2), 4);
+        assert_eq!(a.drop_copy(Round::new(2), ProcessId(0), ProcessId(1)),
+                   Some(OmissionSide::Receiver));
+        assert_eq!(a.drop_copy(Round::new(1), ProcessId(0), ProcessId(1)), None);
+        let f = a.faulty(3);
+        assert!(f.contains(ProcessId(1)), "receiver side is the deviator");
+        assert!(!f.contains(ProcessId(0)));
+        assert!(f.contains(ProcessId(2)));
+    }
+
+    #[test]
+    fn group_partition_blocks_cross_traffic_then_heals() {
+        let mut a = GroupPartition::new([ProcessId(0)], 1, 3);
+        assert_eq!(
+            a.drop_copy(Round::new(2), ProcessId(0), ProcessId(1)),
+            Some(OmissionSide::Sender)
+        );
+        assert_eq!(
+            a.drop_copy(Round::new(2), ProcessId(1), ProcessId(0)),
+            Some(OmissionSide::Receiver)
+        );
+        assert_eq!(a.drop_copy(Round::new(2), ProcessId(1), ProcessId(2)), None);
+        assert_eq!(a.drop_copy(Round::new(4), ProcessId(0), ProcessId(1)), None);
+        assert!(a.is_active(Round::new(3)));
+        assert!(!a.is_active(Round::new(4)));
+        assert_eq!(a.faulty(3).iter().count(), 1);
+    }
+
+    #[test]
+    fn group_partition_intra_minority_traffic_flows() {
+        let mut a = GroupPartition::new([ProcessId(0), ProcessId(1)], 1, 5);
+        assert_eq!(a.drop_copy(Round::new(2), ProcessId(0), ProcessId(1)), None);
+        assert_eq!(
+            a.drop_copy(Round::new(2), ProcessId(0), ProcessId(2)),
+            Some(OmissionSide::Sender)
+        );
+    }
+
+    #[test]
+    fn crash_only_partial_sends() {
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(0), Round::new(1));
+        let a = CrashOnly::new(cs).with_partial_sends(2);
+        assert_eq!(a.sends_before_crash(ProcessId(0), Round::new(1)), 2);
+        assert!(a.faulty(2).contains(ProcessId(0)));
+    }
+}

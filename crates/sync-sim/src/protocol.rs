@@ -1,0 +1,179 @@
+//! The round-based protocol interface.
+//!
+//! A round of the paper's synchronous model has two halves: *at the start*
+//! of the round every process broadcasts a message derived from its current
+//! state; *at the end* of the round it updates its state from the messages
+//! it received. [`SyncProtocol`] mirrors this exactly with
+//! [`SyncProtocol::broadcast`] and [`SyncProtocol::step`].
+
+use ftss_core::{Envelope, ProcessId, RoundCounter};
+use std::fmt;
+
+/// Static facts a process knows about its system: its own identity and the
+/// total number of processes. The *actual round number is deliberately
+/// absent* — the paper's model makes it unavailable to processes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProtocolCtx {
+    /// The identity of the executing process.
+    pub me: ProcessId,
+    /// The number of processes in the system.
+    pub n: usize,
+}
+
+impl ProtocolCtx {
+    /// Creates a context for process `me` in a system of `n` processes.
+    pub fn new(me: ProcessId, n: usize) -> Self {
+        ProtocolCtx { me, n }
+    }
+
+    /// Iterates all process ids in the system.
+    pub fn all(&self) -> impl Iterator<Item = ProcessId> {
+        (0..self.n).map(ProcessId)
+    }
+}
+
+/// The messages a process received in one round.
+///
+/// At most one message per sender arrives per round (each round is one
+/// broadcast). A process always receives its own broadcast (paper
+/// footnote 1), so `from(ctx.me)` is always `Some` at an alive process.
+#[derive(Clone, Debug)]
+pub struct Inbox<M> {
+    messages: Vec<Envelope<M>>,
+}
+
+impl<M> Inbox<M> {
+    /// Wraps the delivered envelopes of one round.
+    pub fn new(mut messages: Vec<Envelope<M>>) -> Self {
+        messages.sort_by_key(|e| e.src);
+        Inbox { messages }
+    }
+
+    /// The payload received from `p` this round, if any.
+    pub fn from(&self, p: ProcessId) -> Option<&M> {
+        self.messages
+            .binary_search_by_key(&p, |e| e.src)
+            .ok()
+            .map(|i| &self.messages[i].payload)
+    }
+
+    /// Whether a message from `p` arrived.
+    pub fn has_from(&self, p: ProcessId) -> bool {
+        self.from(p).is_some()
+    }
+
+    /// Iterates `(sender, payload)` in sender order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
+        self.messages.iter().map(|e| (e.src, &e.payload))
+    }
+
+    /// The senders heard from this round, in order.
+    pub fn senders(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.messages.iter().map(|e| e.src)
+    }
+
+    /// Number of messages received.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether nothing was received.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+/// A round-based protocol for the synchronous system.
+///
+/// The simulator drives each alive process through one
+/// `broadcast` + `step` pair per round. Implementations must be
+/// deterministic functions of `(ctx, state, inbox)` — all nondeterminism
+/// (faults, corruption) is injected by the harness, which is what makes
+/// recorded histories "consistent with Π" in the paper's sense.
+pub trait SyncProtocol {
+    /// Per-process protocol state (the paper's `s_p` plus, if maintained,
+    /// the distinguished round variable `c_p`).
+    type State: Clone + fmt::Debug;
+    /// The broadcast payload type.
+    type Msg: Clone + fmt::Debug;
+
+    /// A short protocol name for reports.
+    fn name(&self) -> &str;
+
+    /// The initial state the protocol *specifies* for process `ctx.me` —
+    /// what the state would be absent systemic failures.
+    fn init_state(&self, ctx: &ProtocolCtx) -> Self::State;
+
+    /// Whether the process broadcasts this round. Halted processes (e.g. a
+    /// terminating protocol past its final round, or the paper's
+    /// "self-checking and halting" uniform protocols) return `false`;
+    /// staying silent is then protocol behaviour, **not** a send omission.
+    fn sends(&self, ctx: &ProtocolCtx, state: &Self::State) -> bool {
+        let _ = (ctx, state);
+        true
+    }
+
+    /// Whether the process has *voluntarily halted* — the behaviour
+    /// Assumption 2's uniform protocols exhibit ("halting before doing any
+    /// harm"). Recorded in the history so `UniformitySpec` can check the
+    /// assumption. Distinct from [`Self::sends`]: a terminating protocol
+    /// that merely finished its iteration is not "halted" in this sense.
+    fn is_halted(&self, ctx: &ProtocolCtx, state: &Self::State) -> bool {
+        let _ = (ctx, state);
+        false
+    }
+
+    /// The message broadcast at the start of a round, derived from the
+    /// current state. Only called when [`Self::sends`] returned `true`.
+    fn broadcast(&self, ctx: &ProtocolCtx, state: &Self::State) -> Self::Msg;
+
+    /// The state transition at the end of a round, from the messages
+    /// received during the round.
+    fn step(&self, ctx: &ProtocolCtx, state: &mut Self::State, inbox: &Inbox<Self::Msg>);
+
+    /// The distinguished round variable `c_p`, if this protocol maintains
+    /// one. The recorder stores it in the history so Assumption-1 checks
+    /// can read it.
+    fn round_counter(&self, state: &Self::State) -> Option<RoundCounter> {
+        let _ = state;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftss_core::Round;
+
+    #[test]
+    fn inbox_lookup_and_order() {
+        let inbox = Inbox::new(vec![
+            Envelope::new(ProcessId(2), Round::FIRST, "c"),
+            Envelope::new(ProcessId(0), Round::FIRST, "a"),
+        ]);
+        assert_eq!(inbox.len(), 2);
+        assert!(!inbox.is_empty());
+        assert_eq!(inbox.from(ProcessId(0)), Some(&"a"));
+        assert_eq!(inbox.from(ProcessId(2)), Some(&"c"));
+        assert_eq!(inbox.from(ProcessId(1)), None);
+        assert!(inbox.has_from(ProcessId(2)));
+        let senders: Vec<_> = inbox.senders().collect();
+        assert_eq!(senders, vec![ProcessId(0), ProcessId(2)]);
+        let pairs: Vec<_> = inbox.iter().map(|(p, m)| (p.index(), *m)).collect();
+        assert_eq!(pairs, vec![(0, "a"), (2, "c")]);
+    }
+
+    #[test]
+    fn empty_inbox() {
+        let inbox: Inbox<u8> = Inbox::new(vec![]);
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.from(ProcessId(0)), None);
+    }
+
+    #[test]
+    fn ctx_all() {
+        let ctx = ProtocolCtx::new(ProcessId(1), 3);
+        let ids: Vec<_> = ctx.all().map(|p| p.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,592 @@
+//! The lock-step execution engine.
+//!
+//! [`SyncRunner::run`] executes a [`SyncProtocol`] for a fixed number of
+//! rounds under an [`Adversary`], optionally injecting a systemic failure
+//! (seeded arbitrary corruption of every process's initial state), and
+//! records the execution as a [`History`] that the `ftss-core` checkers
+//! evaluate.
+//!
+//! ## Round semantics (matching §2 of the paper)
+//!
+//! In observer round `r`, for each process `p` alive at the round start:
+//!
+//! 1. `p` broadcasts `broadcast(state)` to **all** processes, itself
+//!    included. The self-copy always arrives (footnote 1).
+//! 2. Each other copy may be dropped by the adversary (send or receive
+//!    omission, attributed to the faulty side), vanish because the receiver
+//!    is crashed, or be cut short by `p` crashing mid-round.
+//! 3. Every process alive at the round *end* applies `step` to its inbox
+//!    and (implicitly, inside the protocol) advances its round variable.
+//!
+//! A process crashing in round `r` emits a prefix of its copies and takes
+//! no state transition; its state is undefined from round `r + 1` on.
+
+use crate::adversary::{Adversary, OmissionSide};
+use crate::protocol::{Inbox, ProtocolCtx, SyncProtocol};
+use ftss_core::{
+    ConfigError, Corrupt, DeliveryOutcome, Envelope, History, ProcessId, ProcessRoundRecord,
+    Round, RoundHistory, SendRecord,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Whether (and how) to inject a systemic failure at round 1.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum Corruption {
+    /// Every process starts in the protocol's specified initial state.
+    #[default]
+    None,
+    /// Every process's initial state is replaced by a seeded arbitrary
+    /// state — the paper's systemic failure.
+    Arbitrary {
+        /// Seed for the corruption RNG; same seed, same corruption.
+        seed: u64,
+    },
+}
+
+/// Additional systemic failures *during* the run: at the start of each
+/// listed round, every alive process's state is re-corrupted. The paper
+/// "concentrate\[s\] on the behavior of the processes following the final
+/// systemic failure"; this schedule makes that final failure explicit so
+/// stabilization of the suffix can be measured.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CorruptionSchedule {
+    events: Vec<(u64, u64)>, // (round, seed)
+}
+
+impl CorruptionSchedule {
+    /// No mid-run systemic failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a systemic failure at the start of observer round `round`
+    /// (1-based) with the given corruption seed.
+    pub fn at(mut self, round: u64, seed: u64) -> Self {
+        self.events.push((round, seed));
+        self
+    }
+
+    /// The round of the final scheduled systemic failure, if any.
+    pub fn final_failure_round(&self) -> Option<u64> {
+        self.events.iter().map(|&(r, _)| r).max()
+    }
+
+    fn seed_for(&self, round: u64) -> Option<u64> {
+        // Later entries for the same round win.
+        self.events
+            .iter()
+            .rev()
+            .find(|&&(r, _)| r == round)
+            .map(|&(_, s)| s)
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Parameters of a run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Number of processes `n`.
+    pub n: usize,
+    /// Number of observer rounds to execute.
+    pub rounds: usize,
+    /// Systemic-failure injection at round 1.
+    pub corruption: Corruption,
+    /// Systemic failures during the run.
+    pub mid_run_corruption: CorruptionSchedule,
+    /// Upper bound `f` on faulty processes; the adversary's declared
+    /// faulty set must not exceed it.
+    pub max_faulty: usize,
+}
+
+impl RunConfig {
+    /// A failure-bound-free clean run: no corruption, `f = n`.
+    pub fn clean(n: usize, rounds: usize) -> Self {
+        RunConfig {
+            n,
+            rounds,
+            corruption: Corruption::None,
+            mid_run_corruption: CorruptionSchedule::none(),
+            max_faulty: n,
+        }
+    }
+
+    /// A run whose initial global state is arbitrarily corrupted.
+    pub fn corrupted(n: usize, rounds: usize, seed: u64) -> Self {
+        RunConfig {
+            n,
+            rounds,
+            corruption: Corruption::Arbitrary { seed },
+            mid_run_corruption: CorruptionSchedule::none(),
+            max_faulty: n,
+        }
+    }
+
+    /// Sets the fault bound `f`.
+    #[must_use]
+    pub fn with_max_faulty(mut self, f: usize) -> Self {
+        self.max_faulty = f;
+        self
+    }
+
+    /// Adds mid-run systemic failures.
+    #[must_use]
+    pub fn with_mid_run_corruption(mut self, schedule: CorruptionSchedule) -> Self {
+        self.mid_run_corruption = schedule;
+        self
+    }
+}
+
+/// The result of a run: the recorded history plus the survivors' final
+/// states.
+#[derive(Clone, Debug)]
+pub struct RunOutcome<S, M> {
+    /// The execution history, one entry per observer round.
+    pub history: History<S, M>,
+    /// Final state per process; `None` for crashed processes.
+    pub final_states: Vec<Option<S>>,
+}
+
+/// Executes a [`SyncProtocol`] under an [`Adversary`].
+#[derive(Clone, Debug)]
+pub struct SyncRunner<P> {
+    protocol: P,
+}
+
+impl<P: SyncProtocol> SyncRunner<P>
+where
+    P::State: Corrupt,
+{
+    /// Wraps a protocol for execution.
+    pub fn new(protocol: P) -> Self {
+        SyncRunner { protocol }
+    }
+
+    /// Read access to the wrapped protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Runs the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `n == 0`, the adversary's declared faulty
+    /// set exceeds `max_faulty`, or the crash schedule names a process
+    /// outside the faulty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adversary *deviates from its own declaration* at run
+    /// time (dropping a copy on behalf of a non-faulty process) — that is a
+    /// harness bug, not a legal execution.
+    pub fn run<A: Adversary + ?Sized>(
+        &self,
+        adversary: &mut A,
+        cfg: &RunConfig,
+    ) -> Result<RunOutcome<P::State, P::Msg>, ConfigError> {
+        if cfg.n == 0 {
+            return Err(ConfigError::new("n must be at least 1"));
+        }
+        let n = cfg.n;
+        let faulty = adversary.faulty(n);
+        if faulty.len() > cfg.max_faulty {
+            return Err(ConfigError::new(format!(
+                "adversary declares {} faulty processes but f = {}",
+                faulty.len(),
+                cfg.max_faulty
+            )));
+        }
+        let schedule = adversary.crash_schedule();
+        for (p, _) in schedule.iter() {
+            if !faulty.contains(p) {
+                return Err(ConfigError::new(format!(
+                    "crash schedule names {p} outside the declared faulty set"
+                )));
+            }
+        }
+
+        // Initial states, with optional systemic failure.
+        let mut states: Vec<Option<P::State>> = (0..n)
+            .map(|i| Some(self.protocol.init_state(&ProtocolCtx::new(ProcessId(i), n))))
+            .collect();
+        if let Corruption::Arbitrary { seed } = cfg.corruption {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for s in states.iter_mut().flatten() {
+                s.corrupt(&mut rng);
+            }
+        }
+
+        let mut history: History<P::State, P::Msg> = History::new(n);
+
+        for r in 1..=cfg.rounds as u64 {
+            let round = Round::new(r);
+            // Mid-run systemic failure: re-corrupt every alive process's
+            // state at the start of the round.
+            if let Some(seed) = cfg.mid_run_corruption.seed_for(r) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for s in states.iter_mut().flatten() {
+                    s.corrupt(&mut rng);
+                }
+            }
+            let mut records: Vec<ProcessRoundRecord<P::State, P::Msg>> = Vec::with_capacity(n);
+            // Phase 0: snapshot round-start states.
+            #[allow(clippy::needless_range_loop)] // i is the ProcessId
+            for i in 0..n {
+                let p = ProcessId(i);
+                if schedule.is_crashed(p, round) {
+                    records.push(ProcessRoundRecord::crashed());
+                } else {
+                    let state = states[i].as_ref().expect("alive process has state");
+                    records.push(ProcessRoundRecord {
+                        state_at_start: Some(state.clone()),
+                        counter_at_start: self.protocol.round_counter(state),
+                        sent: Vec::new(),
+                        delivered: Vec::new(),
+                        crashed_here: schedule.crashes_in(p, round),
+                        halted_at_start: self
+                            .protocol
+                            .is_halted(&ProtocolCtx::new(p, n), state),
+                    });
+                }
+            }
+
+            // Phase 1: broadcasts and delivery decisions.
+            let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+            for i in 0..n {
+                let p = ProcessId(i);
+                if schedule.is_crashed(p, round) {
+                    continue;
+                }
+                let ctx = ProtocolCtx::new(p, n);
+                if !self.protocol.sends(&ctx, states[i].as_ref().expect("alive")) {
+                    continue;
+                }
+                let payload = self
+                    .protocol
+                    .broadcast(&ctx, states[i].as_ref().expect("alive"));
+                let crashing = schedule.crashes_in(p, round);
+                let cut = if crashing {
+                    adversary.sends_before_crash(p, round)
+                } else {
+                    usize::MAX
+                };
+                let mut emitted = 0usize;
+                for j in 0..n {
+                    let q = ProcessId(j);
+                    if q == p {
+                        // Self-delivery: always succeeds, never consulted
+                        // (footnote 1) — even for a crashing process it is
+                        // irrelevant, since a crashing process takes no step.
+                        if !crashing {
+                            inboxes[i].push(Envelope::new(p, round, payload.clone()));
+                        }
+                        continue;
+                    }
+                    let outcome = if emitted >= cut {
+                        DeliveryOutcome::SenderCrashed
+                    } else if schedule.is_crashed(q, round) || schedule.crashes_in(q, round) {
+                        emitted += 1;
+                        DeliveryOutcome::ReceiverCrashed
+                    } else {
+                        emitted += 1;
+                        match adversary.drop_copy(round, p, q) {
+                            None => DeliveryOutcome::Delivered,
+                            Some(OmissionSide::Sender) => {
+                                assert!(
+                                    faulty.contains(p),
+                                    "adversary made non-faulty {p} send-omit"
+                                );
+                                DeliveryOutcome::DroppedBySender
+                            }
+                            Some(OmissionSide::Receiver) => {
+                                assert!(
+                                    faulty.contains(q),
+                                    "adversary made non-faulty {q} receive-omit"
+                                );
+                                DeliveryOutcome::DroppedByReceiver
+                            }
+                        }
+                    };
+                    if outcome == DeliveryOutcome::Delivered {
+                        inboxes[j].push(Envelope::new(p, round, payload.clone()));
+                    }
+                    records[i].sent.push(SendRecord {
+                        dst: q,
+                        payload: payload.clone(),
+                        outcome,
+                    });
+                }
+            }
+
+            // Phase 2: state transitions for processes alive at round end.
+            #[allow(clippy::needless_range_loop)] // i is the ProcessId
+            for i in 0..n {
+                let p = ProcessId(i);
+                if schedule.is_crashed(p, round) || schedule.crashes_in(p, round) {
+                    states[i] = None;
+                    continue;
+                }
+                records[i].delivered = inboxes[i].clone();
+                let inbox = Inbox::new(std::mem::take(&mut inboxes[i]));
+                let ctx = ProtocolCtx::new(p, n);
+                self.protocol
+                    .step(&ctx, states[i].as_mut().expect("alive"), &inbox);
+            }
+
+            history.push(RoundHistory { records });
+        }
+
+        Ok(RunOutcome {
+            history,
+            final_states: states,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{CrashOnly, NoFaults, RandomOmission, ScriptedOmission, SilentProcess};
+    use ftss_core::{CoterieTimeline, CrashSchedule, ProcessSet, RoundCounter};
+    use rand::Rng;
+
+    /// Everyone broadcasts its value; state counts messages seen in total.
+    struct CountAll;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct CState {
+        seen: u64,
+        c: u64,
+    }
+
+    impl Corrupt for CState {
+        fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            self.seen.corrupt(rng);
+            self.c.corrupt(rng);
+        }
+    }
+
+    impl SyncProtocol for CountAll {
+        type State = CState;
+        type Msg = ();
+
+        fn name(&self) -> &str {
+            "count-all"
+        }
+
+        fn init_state(&self, _ctx: &ProtocolCtx) -> CState {
+            CState { seen: 0, c: 1 }
+        }
+
+        fn broadcast(&self, _ctx: &ProtocolCtx, _s: &CState) {}
+
+        fn step(&self, _ctx: &ProtocolCtx, s: &mut CState, inbox: &Inbox<()>) {
+            s.seen += inbox.len() as u64;
+            s.c += 1;
+        }
+
+        fn round_counter(&self, s: &CState) -> Option<RoundCounter> {
+            Some(RoundCounter::new(s.c))
+        }
+    }
+
+    #[test]
+    fn clean_run_full_delivery() {
+        let out = SyncRunner::new(CountAll)
+            .run(&mut NoFaults, &RunConfig::clean(3, 4))
+            .unwrap();
+        assert_eq!(out.history.len(), 4);
+        for s in out.final_states.iter().map(|s| s.as_ref().unwrap()) {
+            assert_eq!(s.seen, 3 * 4);
+            assert_eq!(s.c, 5);
+        }
+        // Every copy delivered.
+        for rh in out.history.rounds() {
+            for rec in &rh.records {
+                assert_eq!(rec.sent.len(), 2);
+                assert!(rec
+                    .sent
+                    .iter()
+                    .all(|s| s.outcome == DeliveryOutcome::Delivered));
+                assert_eq!(rec.delivered.len(), 3); // includes self
+            }
+        }
+        assert!(out.history.faulty().is_empty());
+    }
+
+    #[test]
+    fn coterie_is_full_after_one_clean_round() {
+        let out = SyncRunner::new(CountAll)
+            .run(&mut NoFaults, &RunConfig::clean(4, 2))
+            .unwrap();
+        let tl = CoterieTimeline::compute(&out.history);
+        assert_eq!(*tl.at_prefix(1), ProcessSet::full(4));
+    }
+
+    #[test]
+    fn crash_semantics() {
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(1), Round::new(2));
+        let out = SyncRunner::new(CountAll)
+            .run(&mut CrashOnly::new(cs), &RunConfig::clean(3, 4))
+            .unwrap();
+        // p1 alive in round 1, crashes during round 2 (no sends), gone after.
+        let r2 = out.history.round(Round::new(2));
+        assert!(r2.record(ProcessId(1)).crashed_here);
+        assert!(r2.record(ProcessId(1)).sent.iter().all(|s| s.outcome == DeliveryOutcome::SenderCrashed));
+        let r3 = out.history.round(Round::new(3));
+        assert!(r3.record(ProcessId(1)).state_at_start.is_none());
+        assert!(out.final_states[1].is_none());
+        // Copies to p1 in rounds >= 2 vanish innocently.
+        assert!(r2
+            .record(ProcessId(0))
+            .sent
+            .iter()
+            .find(|s| s.dst == ProcessId(1))
+            .is_some_and(|s| s.outcome == DeliveryOutcome::ReceiverCrashed));
+        // Faulty set is exactly {p1}.
+        assert_eq!(
+            out.history.faulty(),
+            ProcessSet::from_iter_n(3, [ProcessId(1)])
+        );
+        // Survivors saw: r1: 3, r2: 2, r3: 2, r4: 2 => 9.
+        assert_eq!(out.final_states[0].as_ref().unwrap().seen, 9);
+    }
+
+    #[test]
+    fn partial_sends_before_crash() {
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(0), Round::new(1));
+        let adversary = CrashOnly::new(cs).with_partial_sends(1);
+        let out = SyncRunner::new(CountAll)
+            .run(&mut adversary.clone(), &RunConfig::clean(3, 2))
+            .unwrap();
+        let r1 = out.history.round(Round::new(1));
+        let sent = &r1.record(ProcessId(0)).sent;
+        assert_eq!(sent[0].outcome, DeliveryOutcome::Delivered);
+        assert_eq!(sent[1].outcome, DeliveryOutcome::SenderCrashed);
+    }
+
+    #[test]
+    fn silent_process_history_marks_send_omissions() {
+        let out = SyncRunner::new(CountAll)
+            .run(
+                &mut SilentProcess::new(ProcessId(0), 2),
+                &RunConfig::clean(2, 4),
+            )
+            .unwrap();
+        let r1 = out.history.round(Round::new(1));
+        assert_eq!(
+            r1.record(ProcessId(0)).sent[0].outcome,
+            DeliveryOutcome::DroppedBySender
+        );
+        let r3 = out.history.round(Round::new(3));
+        assert_eq!(
+            r3.record(ProcessId(0)).sent[0].outcome,
+            DeliveryOutcome::Delivered
+        );
+        assert_eq!(
+            out.history.faulty(),
+            ProcessSet::from_iter_n(2, [ProcessId(0)])
+        );
+        // p1 misses p0's first two broadcasts: total = (2+2)+(3+3) ... p1
+        // sees self+p0 per round except rounds 1-2 where only self: 1+1+2+2.
+        assert_eq!(out.final_states[1].as_ref().unwrap().seen, 6);
+    }
+
+    #[test]
+    fn corruption_is_seeded_and_reproducible() {
+        let a = SyncRunner::new(CountAll)
+            .run(&mut NoFaults, &RunConfig::corrupted(3, 1, 99))
+            .unwrap();
+        let b = SyncRunner::new(CountAll)
+            .run(&mut NoFaults, &RunConfig::corrupted(3, 1, 99))
+            .unwrap();
+        let c = SyncRunner::new(CountAll)
+            .run(&mut NoFaults, &RunConfig::corrupted(3, 1, 100))
+            .unwrap();
+        let starts =
+            |o: &RunOutcome<CState, ()>| -> Vec<CState> {
+                o.history.round(Round::FIRST).records.iter()
+                    .map(|r| r.state_at_start.clone().unwrap()).collect()
+            };
+        assert_eq!(starts(&a), starts(&b));
+        assert_ne!(starts(&a), starts(&c));
+        // And differs from the clean initial state.
+        assert_ne!(
+            starts(&a),
+            vec![CState { seen: 0, c: 1 }; 3],
+            "corruption should disturb the state (overwhelmingly likely)"
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        let err = SyncRunner::new(CountAll)
+            .run(&mut NoFaults, &RunConfig::clean(0, 1))
+            .unwrap_err();
+        assert!(err.to_string().contains("n must be"));
+
+        let mut adv = RandomOmission::new([ProcessId(0), ProcessId(1)], 0.5, 0);
+        let err = SyncRunner::new(CountAll)
+            .run(&mut adv, &RunConfig::clean(3, 1).with_max_faulty(1))
+            .unwrap_err();
+        assert!(err.to_string().contains("faulty"));
+    }
+
+    #[test]
+    fn crash_outside_faulty_set_rejected() {
+        // Hand-roll an adversary whose schedule disagrees with its faulty set.
+        struct Bad;
+        impl Adversary for Bad {
+            fn faulty(&self, n: usize) -> ProcessSet {
+                ProcessSet::empty(n)
+            }
+            fn crash_schedule(&self) -> CrashSchedule {
+                let mut cs = CrashSchedule::none();
+                cs.set(ProcessId(0), Round::new(1));
+                cs
+            }
+            fn drop_copy(&mut self, _: Round, _: ProcessId, _: ProcessId) -> Option<OmissionSide> {
+                None
+            }
+        }
+        let err = SyncRunner::new(CountAll)
+            .run(&mut Bad, &RunConfig::clean(2, 1))
+            .unwrap_err();
+        assert!(err.to_string().contains("outside the declared faulty set"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-faulty")]
+    fn lying_adversary_panics() {
+        struct Liar;
+        impl Adversary for Liar {
+            fn faulty(&self, n: usize) -> ProcessSet {
+                ProcessSet::empty(n)
+            }
+            fn drop_copy(&mut self, _: Round, _: ProcessId, _: ProcessId) -> Option<OmissionSide> {
+                Some(OmissionSide::Sender)
+            }
+        }
+        let _ = SyncRunner::new(CountAll).run(&mut Liar, &RunConfig::clean(2, 1));
+    }
+
+    #[test]
+    fn scripted_receive_omission_blocks_delivery() {
+        let mut adv = ScriptedOmission::new();
+        adv.drop_at(1, ProcessId(0), ProcessId(1), OmissionSide::Receiver);
+        let out = SyncRunner::new(CountAll)
+            .run(&mut adv, &RunConfig::clean(2, 1))
+            .unwrap();
+        let r1 = out.history.round(Round::FIRST);
+        // p1 received only itself.
+        assert_eq!(r1.record(ProcessId(1)).delivered.len(), 1);
+        assert_eq!(r1.record(ProcessId(0)).delivered.len(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Tests of mid-run systemic failures: the paper's "behavior following
+//! the final systemic failure" made executable.
+
+use ftss_core::{Corrupt, RoundCounter};
+use ftss_sync_sim::{CorruptionSchedule, Inbox, NoFaults, ProtocolCtx, RunConfig, SyncProtocol, SyncRunner};
+
+/// Max-adopting counter protocol (a miniature round agreement).
+struct MaxCounter;
+
+#[derive(Clone, Debug, PartialEq)]
+struct CState(u64);
+
+impl Corrupt for CState {
+    fn corrupt<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.0 = rng.gen_range(0..1 << 30);
+    }
+}
+
+impl SyncProtocol for MaxCounter {
+    type State = CState;
+    type Msg = u64;
+
+    fn name(&self) -> &str {
+        "max-counter"
+    }
+
+    fn init_state(&self, _ctx: &ProtocolCtx) -> CState {
+        CState(1)
+    }
+
+    fn broadcast(&self, _ctx: &ProtocolCtx, s: &CState) -> u64 {
+        s.0
+    }
+
+    fn step(&self, _ctx: &ProtocolCtx, s: &mut CState, inbox: &Inbox<u64>) {
+        s.0 = inbox.iter().map(|(_, &c)| c).max().unwrap_or(s.0) + 1;
+    }
+
+    fn round_counter(&self, s: &CState) -> Option<RoundCounter> {
+        Some(RoundCounter::new(s.0))
+    }
+}
+
+fn counters_at(out: &ftss_sync_sim::RunOutcome<CState, u64>, r: u64) -> Vec<u64> {
+    out.history
+        .round(ftss_core::Round::new(r))
+        .records
+        .iter()
+        .map(|rec| rec.counter_at_start.unwrap().get())
+        .collect()
+}
+
+#[test]
+fn mid_run_corruption_disturbs_then_restabilizes() {
+    let schedule = CorruptionSchedule::none().at(5, 0xabc);
+    let cfg = RunConfig::clean(3, 10).with_mid_run_corruption(schedule.clone());
+    let out = SyncRunner::new(MaxCounter).run(&mut NoFaults, &cfg).unwrap();
+
+    // Rounds 1-4: lockstep from the clean start.
+    for r in 1..=4 {
+        let cs = counters_at(&out, r);
+        assert!(cs.iter().all(|&c| c == r), "round {r}: {cs:?}");
+    }
+    // Round 5: the systemic failure hits — counters are arbitrary.
+    let c5 = counters_at(&out, 5);
+    assert!(
+        c5.iter().any(|&c| c != 5),
+        "corruption must disturb the state: {c5:?}"
+    );
+    // Round 6 on: max-adoption re-agrees within one round of the final
+    // systemic failure, and counts in lockstep thereafter.
+    let c6 = counters_at(&out, 6);
+    assert!(c6.iter().all(|&c| c == c6[0]), "{c6:?}");
+    let c7 = counters_at(&out, 7);
+    assert_eq!(c7[0], c6[0] + 1);
+    assert_eq!(schedule.final_failure_round(), Some(5));
+}
+
+#[test]
+fn multiple_failures_only_final_matters_for_suffix() {
+    let schedule = CorruptionSchedule::none().at(3, 1).at(6, 2);
+    let cfg = RunConfig::corrupted(4, 12, 0) // corrupted start too
+        .with_mid_run_corruption(schedule);
+    let out = SyncRunner::new(MaxCounter).run(&mut NoFaults, &cfg).unwrap();
+    // After the final failure (round 6), the suffix stabilizes for good.
+    for r in 7..12u64 {
+        let a = counters_at(&out, r);
+        let b = counters_at(&out, r + 1);
+        assert!(a.iter().all(|&c| c == a[0]), "round {r}: {a:?}");
+        assert_eq!(b[0], a[0] + 1, "rate after final failure");
+    }
+}
+
+#[test]
+fn same_round_duplicate_entries_latest_wins_and_is_deterministic() {
+    let schedule = CorruptionSchedule::none().at(4, 7).at(4, 9);
+    let run = || {
+        let cfg = RunConfig::clean(2, 6).with_mid_run_corruption(schedule.clone());
+        SyncRunner::new(MaxCounter).run(&mut NoFaults, &cfg).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.history, b.history);
+    // And it differs from the seed-7-only schedule (seed 9 won).
+    let cfg7 = RunConfig::clean(2, 6)
+        .with_mid_run_corruption(CorruptionSchedule::none().at(4, 7));
+    let c = SyncRunner::new(MaxCounter).run(&mut NoFaults, &cfg7).unwrap();
+    assert_ne!(counters_at(&a, 4), counters_at(&c, 4));
+}
+
+#[test]
+fn empty_schedule_is_inert() {
+    let schedule = CorruptionSchedule::none();
+    assert!(schedule.is_empty());
+    assert_eq!(schedule.final_failure_round(), None);
+    let cfg = RunConfig::clean(2, 4).with_mid_run_corruption(schedule);
+    let out = SyncRunner::new(MaxCounter).run(&mut NoFaults, &cfg).unwrap();
+    for r in 1..=4 {
+        assert!(counters_at(&out, r).iter().all(|&c| c == r));
+    }
+}

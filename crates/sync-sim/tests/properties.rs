@@ -1,0 +1,184 @@
+//! Property-based tests of the synchronous simulator's invariants.
+
+use ftss_core::{Corrupt, CrashSchedule, DeliveryOutcome, ProcessId, Round, RoundCounter};
+use ftss_sync_sim::{
+    CrashOnly, Inbox, NoFaults, ProtocolCtx, RandomOmission, RunConfig, SyncProtocol, SyncRunner,
+};
+use proptest::prelude::*;
+
+/// A protocol that just records what it sees, for harness-invariant tests.
+struct Probe;
+
+#[derive(Clone, Debug, PartialEq)]
+struct ProbeState {
+    c: u64,
+    inbox_sizes: Vec<usize>,
+}
+
+impl Corrupt for ProbeState {
+    fn corrupt<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.c = rng.gen();
+        self.inbox_sizes.clear();
+    }
+}
+
+impl SyncProtocol for Probe {
+    type State = ProbeState;
+    type Msg = u64;
+
+    fn name(&self) -> &str {
+        "probe"
+    }
+
+    fn init_state(&self, _ctx: &ProtocolCtx) -> ProbeState {
+        ProbeState {
+            c: 1,
+            inbox_sizes: vec![],
+        }
+    }
+
+    fn broadcast(&self, _ctx: &ProtocolCtx, s: &ProbeState) -> u64 {
+        s.c
+    }
+
+    fn step(&self, _ctx: &ProtocolCtx, s: &mut ProbeState, inbox: &Inbox<u64>) {
+        s.inbox_sizes.push(inbox.len());
+        s.c += 1;
+    }
+
+    fn round_counter(&self, s: &ProbeState) -> Option<RoundCounter> {
+        Some(RoundCounter::new(s.c))
+    }
+}
+
+proptest! {
+    /// The recorded faulty set never exceeds the adversary's declaration,
+    /// and with random omissions it is exactly the processes that dropped
+    /// something.
+    #[test]
+    fn faulty_set_is_bounded_by_declaration(
+        n in 2usize..8,
+        p_drop in 0.0f64..1.0,
+        seed in any::<u64>(),
+        n_faulty in 1usize..4,
+    ) {
+        let n_faulty = n_faulty.min(n - 1);
+        let declared: Vec<ProcessId> = (0..n_faulty).map(ProcessId).collect();
+        let mut adv = RandomOmission::new(declared.clone(), p_drop, seed);
+        let out = SyncRunner::new(Probe)
+            .run(&mut adv, &RunConfig::clean(n, 6))
+            .unwrap();
+        let faulty = out.history.faulty();
+        for p in faulty.iter() {
+            prop_assert!(declared.contains(&p), "{p} faulty but undeclared");
+        }
+    }
+
+    /// Every alive process receives its own broadcast every round
+    /// (footnote 1), regardless of the adversary.
+    #[test]
+    fn self_delivery_is_inviolable(
+        n in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let mut adv = RandomOmission::new(vec![ProcessId(0), ProcessId(1)], 0.9, seed);
+        let out = SyncRunner::new(Probe)
+            .run(&mut adv, &RunConfig::clean(n, 5))
+            .unwrap();
+        for rh in out.history.rounds() {
+            for (i, rec) in rh.records.iter().enumerate() {
+                if rec.state_at_start.is_some() && !rec.crashed_here {
+                    prop_assert!(
+                        rec.delivered.iter().any(|e| e.src == ProcessId(i)),
+                        "p{i} missed its own broadcast"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Delivered envelopes exactly mirror `Delivered` send outcomes.
+    #[test]
+    fn delivery_records_are_consistent(
+        n in 2usize..6,
+        seed in any::<u64>(),
+        p_drop in 0.0f64..1.0,
+    ) {
+        let mut adv = RandomOmission::new(vec![ProcessId(0)], p_drop, seed);
+        let out = SyncRunner::new(Probe)
+            .run(&mut adv, &RunConfig::clean(n, 4))
+            .unwrap();
+        for rh in out.history.rounds() {
+            for (i, rec) in rh.records.iter().enumerate() {
+                for s in &rec.sent {
+                    let arrived = rh
+                        .record(s.dst)
+                        .delivered
+                        .iter()
+                        .any(|e| e.src == ProcessId(i));
+                    prop_assert_eq!(
+                        arrived,
+                        s.outcome == DeliveryOutcome::Delivered,
+                        "send record vs inbox mismatch for p{} -> {}", i, s.dst
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs are a pure function of (protocol, adversary, config).
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), n in 2usize..6) {
+        let go = || {
+            let mut adv = RandomOmission::new(vec![ProcessId(0)], 0.5, seed);
+            SyncRunner::new(Probe)
+                .run(&mut adv, &RunConfig::corrupted(n, 5, seed ^ 1))
+                .unwrap()
+        };
+        let a = go();
+        let b = go();
+        prop_assert_eq!(a.history, b.history);
+        prop_assert_eq!(a.final_states, b.final_states);
+    }
+
+    /// Crashed processes stop participating permanently, and their states
+    /// are undefined thereafter (None), exactly as §2.1 specifies.
+    #[test]
+    fn crash_is_permanent(
+        n in 2usize..6,
+        crash_round in 1u64..5,
+    ) {
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(0), Round::new(crash_round));
+        let mut adv = CrashOnly::new(cs);
+        let out = SyncRunner::new(Probe)
+            .run(&mut adv, &RunConfig::clean(n, 7))
+            .unwrap();
+        for r in 1..=7u64 {
+            let rec = out.history.round(Round::new(r)).record(ProcessId(0));
+            if r < crash_round {
+                prop_assert!(rec.state_at_start.is_some());
+            } else if r == crash_round {
+                prop_assert!(rec.crashed_here);
+                prop_assert!(rec.delivered.is_empty());
+            } else {
+                prop_assert!(rec.state_at_start.is_none());
+                prop_assert!(rec.sent.is_empty());
+                prop_assert!(rec.delivered.is_empty());
+            }
+        }
+        prop_assert!(out.final_states[0].is_none());
+    }
+
+    /// In failure-free runs every inbox has exactly n messages every round.
+    #[test]
+    fn failure_free_inboxes_are_full(n in 1usize..8, rounds in 1usize..6) {
+        let out = SyncRunner::new(Probe)
+            .run(&mut NoFaults, &RunConfig::clean(n, rounds))
+            .unwrap();
+        for s in out.final_states.iter().flatten() {
+            prop_assert_eq!(s.inbox_sizes.len(), rounds);
+            prop_assert!(s.inbox_sizes.iter().all(|&k| k == n));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Piece-wise stability (Definition 2.4), visualized.
+//!
+//! The paper's key definitional move: a protocol need not satisfy its
+//! problem *while the coterie is changing* — only on intervals where the
+//! coterie has been stable long enough. This example starts a system
+//! partitioned (the minority never causally reaches the majority, so the
+//! coterie is the majority group), heals the partition — the minority's
+//! first broadcast makes it *enter the coterie*, the paper's
+//! de-stabilizing event — and shows Assumption 1 holding on each stable
+//! window's suffix while the heal itself is forgiven.
+//!
+//! ```sh
+//! cargo run --example piecewise_stability
+//! ```
+
+use ftss::core::{ftss_check, CoterieTimeline, ProcessId, RateAgreementSpec, Round};
+use ftss::protocols::RoundAgreement;
+use ftss::sync_sim::{GroupPartition, RunConfig, SyncRunner};
+
+fn main() {
+    let n = 5;
+    let rounds = 18;
+    // p0 and p1 are partitioned away from the very start until round 8.
+    let mut adversary = GroupPartition::new([ProcessId(0), ProcessId(1)], 1, 8);
+
+    let out = SyncRunner::new(RoundAgreement)
+        .run(&mut adversary, &RunConfig::corrupted(n, rounds, 0x9e))
+        .expect("valid configuration");
+
+    let timeline = CoterieTimeline::compute(&out.history);
+
+    println!("round agreement, n={n}; partition isolates {{p0,p1}} in rounds 1..=8\n");
+    println!("round | counters                                  | coterie");
+    println!("------+-------------------------------------------+----------------");
+    for r in 1..=rounds as u64 {
+        let rh = out.history.round(Round::new(r));
+        let cs: Vec<String> = (0..n)
+            .map(|i| {
+                rh.record(ProcessId(i))
+                    .counter_at_start
+                    .map(|c| format!("…{:>6}", c.get() % 1_000_000))
+                    .unwrap_or_else(|| "†".into())
+            })
+            .collect();
+        println!(
+            "{r:>5} | {} | {}",
+            cs.join(" "),
+            timeline.at_prefix(r as usize)
+        );
+    }
+
+    println!("\ncoterie-stable windows:");
+    for w in timeline.stable_windows() {
+        println!(
+            "  prefixes {:>2}..{:>2} ({} rounds): coterie {}",
+            w.from_len,
+            w.to_len,
+            w.duration(),
+            w.coterie
+        );
+    }
+
+    let report = ftss_check(&out.history, &RateAgreementSpec::new(), 1);
+    println!(
+        "\nDefinition 2.4 with stabilization time 1: {}",
+        if report.is_satisfied() { "SATISFIED" } else { "VIOLATED" }
+    );
+    println!(
+        "({} obligations checked across the stable windows)",
+        report.obligations_checked
+    );
+    println!("\nDuring the partition the two sides count independently — Σ holds");
+    println!("*within* each side's window. At the heal, the minority (with its");
+    println!("corrupted high counters) re-enters the coterie: the de-stabilizing");
+    println!("event. One round later everyone agrees again. Piece-wise stability");
+    println!("is exactly this pattern, made into a definition.");
+}

@@ -1,0 +1,444 @@
+//! Cross-crate integration tests: the full stack, end to end.
+
+use ftss::analysis::{measured_stabilization_time, theorem1_demo, theorem2_demo, Archetype};
+use ftss::async_sim::{AsyncConfig, AsyncRunner};
+use ftss::compiler::Compiled;
+use ftss::consensus_async::SsConsensusProcess;
+use ftss::core::{
+    ftss_check, ftss_check_suffix, Corrupt, CoterieTimeline, CrashSchedule, ProcessId, ProcessSet,
+    RateAgreementSpec, Round,
+};
+use ftss::detectors::{
+    eventual_weak_accuracy, strong_completeness_time, BaselineDetectorProcess, SuspectProbe,
+    StrongDetectorProcess, WeakOracle,
+};
+use ftss::protocols::{CanonicalProtocol, FloodSet, PhaseKing, RepeatedConsensusSpec, RoundAgreement};
+use ftss::sync_sim::{CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------
+// E1-shaped: round agreement stabilizes in exactly ≤ 1 round, at scale.
+// ---------------------------------------------------------------------
+
+#[test]
+fn round_agreement_stabilization_bound_across_sizes() {
+    for n in [2usize, 4, 8, 16, 32] {
+        for seed in 0..5u64 {
+            let out = SyncRunner::new(RoundAgreement)
+                .run(&mut NoFaults, &RunConfig::corrupted(n, 8, seed * 31 + n as u64))
+                .unwrap();
+            let m = measured_stabilization_time(&out.history, &RateAgreementSpec::new()).unwrap();
+            assert!(
+                m.stabilization_rounds.unwrap() <= 1,
+                "n={n} seed={seed}: {m:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn round_agreement_full_def24_check_with_faults() {
+    // Exhaustive Definition 2.4 over all decompositions, with a faulty
+    // process omitting at random — the strongest correctness statement we
+    // can make mechanically for Theorem 3.
+    for seed in 0..6u64 {
+        let mut adv = RandomOmission::new([ProcessId(0)], 0.5, seed);
+        let out = SyncRunner::new(RoundAgreement)
+            .run(&mut adv, &RunConfig::corrupted(4, 14, seed ^ 0xaa))
+            .unwrap();
+        let report = ftss_check(&out.history, &RateAgreementSpec::new(), 1);
+        assert!(report.is_satisfied(), "seed {seed}: {report}");
+        assert!(report.obligations_checked > 50, "check actually ran");
+    }
+}
+
+// ---------------------------------------------------------------------
+// E2-shaped: the compiler's stabilization bound for two different Πs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn compiled_floodset_stabilization_within_bound() {
+    let f = 1;
+    let fr = f + 1;
+    let bound = 2 * fr + 2; // final_round + suspect recovery + round agreement
+    for seed in 0..10u64 {
+        let out = SyncRunner::new(Compiled::new(FloodSet::new(f, vec![5, 9, 2, 7])))
+            .run(&mut NoFaults, &RunConfig::corrupted(4, 8 * fr, seed))
+            .unwrap();
+        let m =
+            measured_stabilization_time(&out.history, &RepeatedConsensusSpec::agreement_only())
+                .unwrap();
+        let s = m.stabilization_rounds.expect("stabilizes");
+        assert!(s <= bound, "seed {seed}: measured {s} > bound {bound}");
+    }
+}
+
+#[test]
+fn compiled_phase_king_with_crash_and_corruption() {
+    let f = 1;
+    let pk = PhaseKing::new(f, vec![true, false, true, false, true]);
+    let fr = pk.final_round() as usize;
+    for seed in 0..5u64 {
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(4), Round::new(3));
+        let out = SyncRunner::new(Compiled::new(pk.clone()))
+            .run(
+                &mut CrashOnly::new(cs),
+                &RunConfig::corrupted(5, 8 * fr, seed),
+            )
+            .unwrap();
+        let spec = RepeatedConsensusSpec::agreement_only();
+        if let Err(v) = ftss_check_suffix(&out.history, &spec, 2 * fr + 2) {
+            panic!("seed {seed}: {v}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// E3/E4-shaped: the impossibility scenarios.
+// ---------------------------------------------------------------------
+
+#[test]
+fn theorem1_and_2_scenarios_hold_under_sweep() {
+    for r in [1usize, 4, 8] {
+        for a in Archetype::all() {
+            assert!(theorem1_demo(a, r, 5).refuted(), "{} r={r}", a.name());
+        }
+    }
+    for rounds in [4usize, 16] {
+        assert!(theorem2_demo(Archetype::HaltOnDisagreement, rounds).refuted());
+        assert!(theorem2_demo(Archetype::EagerHalt, rounds).refuted());
+    }
+}
+
+// ---------------------------------------------------------------------
+// E5-shaped: detector stack — paper protocol vs baseline.
+// ---------------------------------------------------------------------
+
+#[test]
+fn figure4_converges_where_baseline_fails() {
+    let n = 4;
+    let crashes = vec![(ProcessId(3), 500u64)];
+    // A *quiet* ◇W (no erroneous suspicions, converged from the start):
+    // the change-only baseline then has nothing that ever re-dirties the
+    // poisoned entries, which is exactly the case where its implicit
+    // initialization assumption bites. (With noisy ◇W the baseline can get
+    // lucky: a spurious detect re-dirties the entry and spreads the mark.)
+    let oracle = WeakOracle::new(n, crashes.clone(), 0, 3, 0.0);
+    let crashed = ProcessSet::from_iter_n(n, [ProcessId(3)]);
+    let correct = crashed.complement();
+
+    // The adversarial systemic failure: every process believes every other
+    // process is dead, with an enormous version counter, while each
+    // process's own self-entry starts at 0 — the self-increments alone can
+    // never outbid the corruption within the horizon. (Definition: the
+    // initial state is *arbitrary*, so the worst one counts.)
+    let poison = |num: &mut Vec<u64>, state: &mut Vec<ftss::detectors::LifeState>, me: usize| {
+        for s in 0..num.len() {
+            if s == me {
+                num[s] = 0;
+                state[s] = ftss::detectors::LifeState::Alive;
+            } else {
+                num[s] = 1_000_000_000;
+                state[s] = ftss::detectors::LifeState::Dead;
+            }
+        }
+    };
+
+    // Figure 4 from the poisoned state: both ◇S properties settle anyway.
+    let mut procs: Vec<StrongDetectorProcess> = (0..n)
+        .map(|i| StrongDetectorProcess::new(ProcessId(i), oracle.clone(), 20))
+        .collect();
+    for (i, p) in procs.iter_mut().enumerate() {
+        poison(&mut p.num, &mut p.state, i);
+    }
+    let mut cfg = AsyncConfig::tame(3);
+    for &(p, t) in &crashes {
+        cfg = cfg.with_crash(p, t);
+    }
+    let mut runner = AsyncRunner::new(procs, cfg.clone()).unwrap();
+    let mut probes = Vec::new();
+    runner.run_probed(40_000, 200, |t, ps| probes.push(SuspectProbe::sample(t, ps)));
+    assert!(
+        strong_completeness_time(&probes, &crashed, &correct).is_some(),
+        "Fig 4 must reach strong completeness from corruption"
+    );
+    assert!(
+        eventual_weak_accuracy(&probes, &correct).is_some(),
+        "Fig 4 must reach eventual weak accuracy from corruption"
+    );
+
+    // Baseline with the same poisoning *plus clean dirty flags*: the
+    // high-water marks are never re-gossiped, the victims can never outbid
+    // them, and eventual weak accuracy is violated forever.
+    let mut procs: Vec<BaselineDetectorProcess> = (0..n)
+        .map(|i| BaselineDetectorProcess::new(ProcessId(i), oracle.clone(), 20))
+        .collect();
+    for (i, p) in procs.iter_mut().enumerate() {
+        poison(&mut p.num, &mut p.state, i);
+        for d in &mut p.dirty {
+            *d = false;
+        }
+    }
+    let mut runner = AsyncRunner::new(procs, cfg).unwrap();
+    let mut probes = Vec::new();
+    runner.run_probed(40_000, 200, |t, ps| probes.push(SuspectProbe::sample(t, ps)));
+    let acc = eventual_weak_accuracy(&probes, &correct);
+    assert!(
+        acc.is_none(),
+        "baseline should violate accuracy from this corruption (acc={acc:?})"
+    );
+}
+
+// ---------------------------------------------------------------------
+// E6-shaped: the full async consensus stack.
+// ---------------------------------------------------------------------
+
+#[test]
+fn stabilizing_consensus_full_stack_recovery() {
+    let inputs = vec![10u64, 20, 30];
+    let n = inputs.len();
+    let oracle = WeakOracle::new(n, vec![], 300, 9, 0.2);
+    let mut procs: Vec<SsConsensusProcess> = (0..n)
+        .map(|i| SsConsensusProcess::new(ProcessId(i), inputs.clone(), oracle.clone(), 25, 40))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(1234);
+    for p in &mut procs {
+        p.corrupt(&mut rng);
+    }
+    let corrupted_max = procs.iter().map(|p| p.inst).max().unwrap();
+    let mut runner = AsyncRunner::new(procs, AsyncConfig::turbulent(9, 50, 300)).unwrap();
+    runner.run_until(150_000);
+    // Progress past the corrupted epoch, with validity on fresh instances.
+    for p in runner.processes() {
+        let (i, v) = p.last_decision().expect("decided");
+        assert!(i >= corrupted_max.saturating_sub(1), "no progress: {i}");
+        if i > corrupted_max {
+            assert!(p.valid_values(i).contains(&v), "instance {i} decided {v}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-cutting: coterie timelines recorded by the simulator make sense.
+// ---------------------------------------------------------------------
+
+#[test]
+fn coterie_timeline_tracks_crash_and_recovery() {
+    let mut cs = CrashSchedule::none();
+    cs.set(ProcessId(2), Round::new(4));
+    let out = SyncRunner::new(RoundAgreement)
+        .run(&mut CrashOnly::new(cs), &RunConfig::clean(3, 8))
+        .unwrap();
+    let tl = CoterieTimeline::compute(&out.history);
+    // Before the crash everyone is in the coterie.
+    assert_eq!(*tl.at_prefix(1), ProcessSet::full(3));
+    // The windows partition the run.
+    let ws = tl.stable_windows();
+    let total: usize = ws.iter().map(|w| w.duration()).sum();
+    assert_eq!(total, 8);
+    // The final window's coterie contains the two survivors.
+    let last = tl.final_window().unwrap();
+    assert!(last.coterie.contains(ProcessId(0)));
+    assert!(last.coterie.contains(ProcessId(1)));
+}
+
+#[test]
+fn compiled_eig_stabilizes_and_recovers_min() {
+    // EIG through the compiler: the information tree is monotone state,
+    // so the iteration reset is what clears corrupted entries (the E7
+    // finding, on a third protocol).
+    use ftss::protocols::Eig;
+    for seed in 0..6u64 {
+        let out = SyncRunner::new(Compiled::new(Eig::new(1, vec![7, 2, 5])))
+            .run(&mut NoFaults, &RunConfig::corrupted(3, 16, seed))
+            .unwrap();
+        let spec = RepeatedConsensusSpec::agreement_only();
+        if let Err(v) = ftss_check_suffix(&out.history, &spec, 6) {
+            panic!("seed {seed}: {v}");
+        }
+        for s in out.final_states.iter().flatten() {
+            let (_, v) = s.last_decision.unwrap();
+            assert_eq!(v, 2, "post-stabilization iterations decide min");
+        }
+    }
+}
+
+#[test]
+fn token_ring_contrast_ss_only() {
+    // Dijkstra's ring ss-solves mutual exclusion but a single crash halts
+    // it — the motivating contrast for unifying the failure models.
+    use ftss::protocols::{token_ring::token_holders, TokenRing};
+    let n = 5;
+    let ring = TokenRing::new(n);
+    let out = SyncRunner::new(ring)
+        .run(&mut NoFaults, &RunConfig::corrupted(n, 80, 11))
+        .unwrap();
+    let vals: Vec<u64> = out
+        .final_states
+        .iter()
+        .map(|s| s.as_ref().unwrap().value)
+        .collect();
+    assert_eq!(token_holders(&ring, &vals), 1, "stabilized to one token");
+}
+
+#[test]
+fn uniformity_spec_confirms_theorem2_mechanically() {
+    // Drive the uniform archetypes through the permanently-partitioned
+    // history and evaluate Assumption 2 with core's UniformitySpec on the
+    // recorded history — the formal check, not hand-rolled flags.
+    use ftss::analysis::HaltOnDisagreement;
+    use ftss::core::UniformitySpec;
+    use ftss::sync_sim::{OmissionSide, ScriptedOmission};
+
+    let rounds = 8u64;
+    let mut adv = ScriptedOmission::new();
+    for r in 1..=rounds {
+        adv.drop_at(r, ProcessId(0), ProcessId(1), OmissionSide::Sender);
+        adv.drop_at(r, ProcessId(1), ProcessId(0), OmissionSide::Receiver);
+    }
+    let out = SyncRunner::new(HaltOnDisagreement)
+        .run(&mut adv, &RunConfig::corrupted(2, rounds as usize, 7))
+        .unwrap();
+    let faulty = ProcessSet::from_iter_n(2, [ProcessId(0)]);
+    // p0 never hears a disagreeing counter, so it never halts, and its
+    // corrupted counter (overwhelmingly) differs from p1's: Assumption 2
+    // must be violated on the recorded history.
+    let err = ftss::core::Problem::<_, _>::check(
+        &UniformitySpec::new(),
+        out.history.as_slice(),
+        &faulty,
+    )
+    .unwrap_err();
+    assert_eq!(err.rule, "uniformity");
+}
+
+#[test]
+fn def24_exhaustive_across_partition_heal() {
+    // The multi-window case of Definition 2.4: a partition keeps the
+    // minority out of the coterie; the heal changes the coterie (a
+    // de-stabilizing event); the exhaustive checker must find Assumption 1
+    // satisfied on every obligation of every stable window.
+    use ftss::sync_sim::GroupPartition;
+    for seed in 0..8u64 {
+        let mut adv = GroupPartition::new([ProcessId(0)], 1, 6);
+        let out = SyncRunner::new(RoundAgreement)
+            .run(&mut adv, &RunConfig::corrupted(4, 16, seed))
+            .unwrap();
+        let tl = CoterieTimeline::compute(&out.history);
+        assert!(
+            tl.stable_windows().len() >= 2,
+            "seed {seed}: the heal must change the coterie"
+        );
+        let report = ftss_check(&out.history, &RateAgreementSpec::new(), 1);
+        assert!(report.is_satisfied(), "seed {seed}: {report}");
+    }
+}
+
+#[test]
+fn compiled_broadcast_sigma_plus_under_omissions() {
+    use ftss::protocols::ReliableBroadcast;
+    for seed in 0..5u64 {
+        let rb = ReliableBroadcast::new(ProcessId(0), 77, 1);
+        let fr = 2usize;
+        let mut adv = RandomOmission::new([ProcessId(3)], 0.4, seed);
+        let out = SyncRunner::new(Compiled::new(rb))
+            .run(&mut adv, &RunConfig::corrupted(4, 10 * fr, seed))
+            .unwrap();
+        let spec = RepeatedConsensusSpec::agreement_only();
+        if let Err(v) = ftss_check_suffix(&out.history, &spec, 2 * fr + 2) {
+            panic!("seed {seed}: {v}");
+        }
+        // Post-stabilization the source's value is re-delivered each iteration.
+        for s in out.final_states.iter().flatten() {
+            let (_, v) = s.last_decision.unwrap();
+            assert_eq!(v, Some(77), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn round_agreement_scales_to_n64_with_exhaustive_check() {
+    let out = SyncRunner::new(RoundAgreement)
+        .run(&mut NoFaults, &RunConfig::corrupted(64, 10, 99))
+        .unwrap();
+    let report = ftss_check(&out.history, &RateAgreementSpec::new(), 1);
+    assert!(report.is_satisfied(), "{report}");
+    assert!(report.obligations_checked >= 45);
+}
+
+#[test]
+fn mid_run_corruption_restabilizes_compiled_protocol() {
+    // The paper's "following the final systemic failure": corrupt Π⁺ again
+    // mid-run; Σ⁺ must hold on the suffix after the final failure.
+    use ftss::sync_sim::CorruptionSchedule;
+    for seed in 0..5u64 {
+        let schedule = CorruptionSchedule::none().at(9, seed ^ 0x55);
+        let cfg = RunConfig::corrupted(4, 26, seed).with_mid_run_corruption(schedule);
+        let out = SyncRunner::new(Compiled::new(FloodSet::new(1, vec![9, 2, 6, 4])))
+            .run(&mut NoFaults, &cfg)
+            .unwrap();
+        // Check Σ⁺ on the suffix after the final systemic failure plus the
+        // stabilization bound.
+        let spec = RepeatedConsensusSpec::agreement_only();
+        let stab_end = 9 + 2 * 2 + 2; // failure round + 2·final_round + 2
+        let suffix = out.history.slice(stab_end, out.history.len());
+        let faulty = out.history.faulty();
+        assert!(
+            ftss::core::Problem::<_, _>::check(&spec, suffix, &faulty).is_ok(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn ss_check_definition22_on_token_ring() {
+    // Definition 2.2 end-to-end: Dijkstra's ring ss-solves mutual
+    // exclusion — Σ(H', ∅) on the r-suffix, with Σ = "exactly one token
+    // per round", checked through the standard Problem machinery.
+    use ftss::protocols::token_ring::{token_holders, TokenRing, TokenRingState};
+
+    struct MutexSpec(TokenRing);
+    impl ftss::core::Problem<TokenRingState, u64> for MutexSpec {
+        fn name(&self) -> &str {
+            "mutual-exclusion"
+        }
+        fn check(
+            &self,
+            h: ftss::core::HistorySlice<'_, TokenRingState, u64>,
+            _faulty: &ProcessSet,
+        ) -> Result<(), ftss::core::Violation> {
+            for i in 0..h.len() {
+                let vals: Vec<u64> = h
+                    .round(i)
+                    .records
+                    .iter()
+                    .map(|r| r.state_at_start.as_ref().unwrap().value)
+                    .collect();
+                let holders = token_holders(&self.0, &vals);
+                if holders != 1 {
+                    return Err(ftss::core::Violation::new(
+                        "mutual-exclusion",
+                        format!("{holders} token holders"),
+                    )
+                    .at_round(i));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    for seed in 0..10u64 {
+        let n = 5;
+        let ring = TokenRing::new(n);
+        let stab = 2 * n * (n + 1);
+        let out = SyncRunner::new(ring)
+            .run(&mut NoFaults, &RunConfig::corrupted(n, stab + 12, seed))
+            .unwrap();
+        assert!(
+            ftss::core::ss_check(&out.history, &MutexSpec(ring), stab).is_ok(),
+            "seed {seed}: ss-solves violated"
+        );
+    }
+}

@@ -36,8 +36,11 @@ use ftss_core::{
 };
 use ftss_protocols::round_agreement::RoundAgreementState;
 use ftss_protocols::RoundAgreement;
-use ftss_sync_sim::{Adversary, Inbox, OmissionSide, ProtocolCtx, RunConfig, ScriptedOmission, SyncProtocol, SyncRunner};
-use rand::Rng;
+use ftss_rng::Rng;
+use ftss_sync_sim::{
+    Adversary, Inbox, OmissionSide, ProtocolCtx, RunConfig, ScriptedOmission, SyncProtocol,
+    SyncRunner,
+};
 
 /// State shared by the impossibility archetypes: a counter and a halt flag.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -300,20 +303,76 @@ pub fn theorem1_demo(archetype: Archetype, r: usize, extra: usize) -> Theorem1Ou
 
     let (a, b) = match archetype {
         Archetype::RoundAgreement => (
-            drive(RoundAgreement, &mut partition_adversary(r as u64), total, r, true, (1 << 20, 1)),
-            drive(RoundAgreement, &mut ftss_sync_sim::NoFaults, total, r, false, (1 << 20, 1)),
+            drive(
+                RoundAgreement,
+                &mut partition_adversary(r as u64),
+                total,
+                r,
+                true,
+                (1 << 20, 1),
+            ),
+            drive(
+                RoundAgreement,
+                &mut ftss_sync_sim::NoFaults,
+                total,
+                r,
+                false,
+                (1 << 20, 1),
+            ),
         ),
         Archetype::Stubborn => (
-            drive(StubbornCounter, &mut partition_adversary(r as u64), total, r, true, (1 << 20, 1)),
-            drive(StubbornCounter, &mut ftss_sync_sim::NoFaults, total, r, false, (1 << 20, 1)),
+            drive(
+                StubbornCounter,
+                &mut partition_adversary(r as u64),
+                total,
+                r,
+                true,
+                (1 << 20, 1),
+            ),
+            drive(
+                StubbornCounter,
+                &mut ftss_sync_sim::NoFaults,
+                total,
+                r,
+                false,
+                (1 << 20, 1),
+            ),
         ),
         Archetype::HaltOnDisagreement => (
-            drive(HaltOnDisagreement, &mut partition_adversary(r as u64), total, r, true, (1 << 20, 1)),
-            drive(HaltOnDisagreement, &mut ftss_sync_sim::NoFaults, total, r, false, (1 << 20, 1)),
+            drive(
+                HaltOnDisagreement,
+                &mut partition_adversary(r as u64),
+                total,
+                r,
+                true,
+                (1 << 20, 1),
+            ),
+            drive(
+                HaltOnDisagreement,
+                &mut ftss_sync_sim::NoFaults,
+                total,
+                r,
+                false,
+                (1 << 20, 1),
+            ),
         ),
         Archetype::EagerHalt => (
-            drive(EagerHalt, &mut partition_adversary(r as u64), total, r, true, (1 << 20, 1)),
-            drive(EagerHalt, &mut ftss_sync_sim::NoFaults, total, r, false, (1 << 20, 1)),
+            drive(
+                EagerHalt,
+                &mut partition_adversary(r as u64),
+                total,
+                r,
+                true,
+                (1 << 20, 1),
+            ),
+            drive(
+                EagerHalt,
+                &mut ftss_sync_sim::NoFaults,
+                total,
+                r,
+                false,
+                (1 << 20, 1),
+            ),
         ),
     };
     let _ = spec;
@@ -508,7 +567,10 @@ mod tests {
     #[test]
     fn theorem2_halt_on_disagreement_violates_uniformity() {
         let out = theorem2_demo(Archetype::HaltOnDisagreement, 8);
-        assert!(!out.faulty_halted, "p0 saw no disagreement, so never halted");
+        assert!(
+            !out.faulty_halted,
+            "p0 saw no disagreement, so never halted"
+        );
         assert_ne!(out.counters.0, out.counters.1);
         assert!(!out.uniformity_holds());
         assert!(out.refuted());

@@ -41,7 +41,10 @@ pub fn measured_stabilization_time<S, M>(
     let mut stab = None;
     for s in 0..w.duration() {
         let start = w.from_len - 1 + s;
-        if problem.check(history.slice(start, w.to_len), &faulty).is_ok() {
+        if problem
+            .check(history.slice(start, w.to_len), &faulty)
+            .is_ok()
+        {
             stab = Some(s);
             break;
         }

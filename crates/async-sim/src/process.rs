@@ -107,7 +107,8 @@ impl<M: Clone> Ctx<M> {
     /// Arms a timer to fire `delay` time units from now, delivering `tag`
     /// to [`AsyncProcess::on_timer`].
     pub fn set_timer(&mut self, delay: Time, tag: u64) {
-        self.timers.push((self.now.saturating_add(delay.max(1)), tag));
+        self.timers
+            .push((self.now.saturating_add(delay.max(1)), tag));
     }
 
     /// Arms a timer at an absolute virtual time (clamped to be strictly in
@@ -152,6 +153,9 @@ mod tests {
     fn zero_delay_timer_still_advances() {
         let mut ctx: Ctx<u8> = Ctx::new(ProcessId(0), 1, 5);
         ctx.set_timer(0, 1);
-        assert_eq!(ctx.timers[0].0, 6, "timers must not fire at the same instant");
+        assert_eq!(
+            ctx.timers[0].0, 6,
+            "timers must not fire at the same instant"
+        );
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::process::{AsyncProcess, Ctx};
 use ftss_core::{ConfigError, ProcessId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ftss_rng::Rng;
+use ftss_rng::StdRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -79,8 +79,15 @@ pub struct RunStats {
 
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum EventKind<M> {
-    Deliver { from: ProcessId, to: ProcessId, msg: M },
-    Timer { p: ProcessId, tag: u64 },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Timer {
+        p: ProcessId,
+        tag: u64,
+    },
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -293,7 +300,9 @@ where
                 }
             }
         }
-        self.now = self.now.max(horizon.min(self.peek_time().unwrap_or(horizon)));
+        self.now = self
+            .now
+            .max(horizon.min(self.peek_time().unwrap_or(horizon)));
         self.stats()
     }
 

@@ -16,13 +16,21 @@ use ftss_bench::{max, mean};
 const SEEDS: u64 = 30;
 const ROUNDS: usize = 24;
 
-fn measure(n: usize, adversary_for: &dyn Fn(u64) -> Box<dyn Adversary>, label: &str, t: &mut Table) {
+fn measure(
+    n: usize,
+    adversary_for: &dyn Fn(u64) -> Box<dyn Adversary>,
+    label: &str,
+    t: &mut Table,
+) {
     let mut measured = Vec::new();
     let mut window_starts = Vec::new();
     for seed in 0..SEEDS {
         let mut adv = adversary_for(seed);
         let out = SyncRunner::new(RoundAgreement)
-            .run(adv.as_mut(), &RunConfig::corrupted(n, ROUNDS, seed.wrapping_mul(0x9e37) ^ n as u64))
+            .run(
+                adv.as_mut(),
+                &RunConfig::corrupted(n, ROUNDS, seed.wrapping_mul(0x9e37) ^ n as u64),
+            )
             .expect("valid config");
         let m = measured_stabilization_time(&out.history, &RateAgreementSpec::new())
             .expect("non-empty run");
@@ -35,7 +43,12 @@ fn measure(n: usize, adversary_for: &dyn Fn(u64) -> Box<dyn Adversary>, label: &
         mean(&measured),
         max(&measured),
         "1".into(),
-        if measured.iter().all(|&s| s <= 1) { "yes" } else { "NO" }.into(),
+        if measured.iter().all(|&s| s <= 1) {
+            "yes"
+        } else {
+            "NO"
+        }
+        .into(),
     ]);
 }
 
@@ -43,7 +56,14 @@ fn main() {
     println!("\nE1: round agreement (Fig 1) — stabilization time, {SEEDS} seeds per row");
     println!("claim (Thm 3): ftss-stabilization time = 1 round\n");
 
-    let mut t = Table::new(vec!["n", "faults", "mean stab", "max stab", "claimed", "within"]);
+    let mut t = Table::new(vec![
+        "n",
+        "faults",
+        "mean stab",
+        "max stab",
+        "claimed",
+        "within",
+    ]);
     for n in [2usize, 4, 8, 16, 32, 64] {
         measure(n, &|_| Box::new(NoFaults), "none", &mut t);
     }

@@ -10,9 +10,9 @@
 use ftss::analysis::{measured_stabilization_time, Table};
 use ftss::compiler::Compiled;
 use ftss::core::ProcessId;
+use ftss::core::{CrashSchedule, Round};
 use ftss::protocols::{CanonicalProtocol, FloodSet, PhaseKing, RepeatedConsensusSpec};
 use ftss::sync_sim::{Adversary, CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
-use ftss::core::{CrashSchedule, Round};
 use ftss_bench::{max, mean};
 
 const SEEDS: u64 = 25;
@@ -66,7 +66,14 @@ fn main() {
     println!("suspect sets, +1 for round agreement) = 2·final_round + 1\n");
 
     let mut t = Table::new(vec![
-        "Π", "n", "final_round", "faults", "mean stab", "max stab", "bound", "within",
+        "Π",
+        "n",
+        "final_round",
+        "faults",
+        "mean stab",
+        "max stab",
+        "bound",
+        "within",
     ]);
 
     for (f, n) in [(1usize, 4usize), (2, 7), (3, 10)] {

@@ -65,8 +65,18 @@ fn main() {
                 out.faulty_halted.to_string(),
                 out.correct_halted.to_string(),
                 (out.counters.0 == out.counters.1).to_string(),
-                if out.uniformity_holds() { "holds" } else { "violated" }.into(),
-                if out.assumption1_holds() { "holds" } else { "violated" }.into(),
+                if out.uniformity_holds() {
+                    "holds"
+                } else {
+                    "violated"
+                }
+                .into(),
+                if out.assumption1_holds() {
+                    "holds"
+                } else {
+                    "violated"
+                }
+                .into(),
                 if out.refuted() { "yes" } else { "NO (!)" }.into(),
             ]);
         }

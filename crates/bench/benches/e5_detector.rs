@@ -13,10 +13,9 @@ use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
 use ftss::core::{Corrupt, ProcessId, ProcessSet};
 use ftss::detectors::{
     eventual_weak_accuracy, strong_completeness_time, BaselineDetectorProcess, LifeState,
-    SuspectProbe, StrongDetectorProcess, Suspector, WeakOracle,
+    StrongDetectorProcess, SuspectProbe, Suspector, WeakOracle,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ftss_rng::StdRng;
 
 const HORIZON: Time = 60_000;
 const PROBE: Time = 200;
@@ -68,7 +67,9 @@ where
     let oracle = WeakOracle::new(n, crashes.clone(), 0, 5, 0.0);
     let crashed = ProcessSet::from_iter_n(n, [ProcessId(n - 1)]);
     let correct = crashed.complement();
-    let mut procs: Vec<P> = (0..n).map(|i| build(ProcessId(i), oracle.clone())).collect();
+    let mut procs: Vec<P> = (0..n)
+        .map(|i| build(ProcessId(i), oracle.clone()))
+        .collect();
     match init {
         Init::Clean => {}
         Init::RandomCorrupt(seed) => {
@@ -89,7 +90,9 @@ where
     }
     let mut runner = AsyncRunner::new(procs, cfg).expect("valid config");
     let mut probes = Vec::new();
-    runner.run_probed(HORIZON, PROBE, |t, ps| probes.push(SuspectProbe::sample(t, ps)));
+    runner.run_probed(HORIZON, PROBE, |t, ps| {
+        probes.push(SuspectProbe::sample(t, ps))
+    });
     (
         strong_completeness_time(&probes, &crashed, &correct),
         eventual_weak_accuracy(&probes, &correct).map(|(_, t)| t),
@@ -97,7 +100,8 @@ where
 }
 
 fn settle(x: Option<Time>) -> String {
-    x.map(|t| format!("t={t}")).unwrap_or_else(|| "NEVER".into())
+    x.map(|t| format!("t={t}"))
+        .unwrap_or_else(|| "NEVER".into())
 }
 
 fn main() {

@@ -16,8 +16,7 @@ use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
 use ftss::consensus_async::{CtConsensusProcess, SsConsensusProcess};
 use ftss::core::{Corrupt, ProcessId};
 use ftss::detectors::WeakOracle;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ftss_rng::StdRng;
 
 const SEEDS: u64 = 12;
 const HORIZON: Time = 120_000;

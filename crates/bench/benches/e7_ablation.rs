@@ -19,8 +19,7 @@ use ftss::detectors::WeakOracle;
 use ftss::protocols::{FloodSet, RepeatedConsensusSpec};
 use ftss::sync_sim::{RunConfig, SyncRunner};
 use ftss_bench::{max, mean};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ftss_rng::StdRng;
 
 const SEEDS: u64 = 20;
 
@@ -111,7 +110,12 @@ fn main() {
     println!("\nE7a: compiler mechanism ablation — corrupted starts + one random");
     println!("omitter ({SEEDS} seeds; 'stabilized' = Σ+ eventually holds on the final window)\n");
     let mut t = Table::new(vec![
-        "Π", "variant", "stabilized", "mean stab", "max stab", "bound",
+        "Π",
+        "variant",
+        "stabilized",
+        "mean stab",
+        "max stab",
+        "bound",
     ]);
     let variants: [(CompilerOptions, &str); 4] = [
         (CompilerOptions::default(), "full Figure 3"),

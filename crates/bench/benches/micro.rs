@@ -1,44 +1,37 @@
-//! Criterion micro-benchmarks of the harness itself: simulator round
-//! throughput, coterie computation, and the Definition-2.4 checker. These
-//! gate nothing in the paper; they document what experiment sizes are
-//! practical.
+//! Micro-benchmarks of the harness itself: simulator round throughput,
+//! coterie computation, and the Definition-2.4 checker, on the in-repo
+//! timer harness (`ftss_bench::harness`). These gate nothing in the
+//! paper; they document what experiment sizes are practical.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftss::core::{ftss_check, CoterieTimeline, RateAgreementSpec};
 use ftss::protocols::RoundAgreement;
 use ftss::sync_sim::{NoFaults, RunConfig, SyncRunner};
+use ftss_bench::harness::Bencher;
 
-fn bench_sync_rounds(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sync_sim_round_agreement");
+fn main() {
+    let mut b = Bencher::new();
+
     for n in [8usize, 32, 64] {
-        g.bench_with_input(BenchmarkId::new("rounds20", n), &n, |b, &n| {
-            b.iter(|| {
-                SyncRunner::new(RoundAgreement)
-                    .run(&mut NoFaults, &RunConfig::corrupted(n, 20, 7))
-                    .unwrap()
-            })
+        b.bench(&format!("sync_sim_round_agreement/rounds20/{n}"), || {
+            SyncRunner::new(RoundAgreement)
+                .run(&mut NoFaults, &RunConfig::corrupted(n, 20, 7))
+                .unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_coterie(c: &mut Criterion) {
     let out = SyncRunner::new(RoundAgreement)
         .run(&mut NoFaults, &RunConfig::corrupted(32, 40, 7))
         .unwrap();
-    c.bench_function("coterie_timeline_n32_r40", |b| {
-        b.iter(|| CoterieTimeline::compute(&out.history))
+    b.bench("coterie_timeline_n32_r40", || {
+        CoterieTimeline::compute(&out.history)
     });
-}
 
-fn bench_ftss_check(c: &mut Criterion) {
     let out = SyncRunner::new(RoundAgreement)
         .run(&mut NoFaults, &RunConfig::corrupted(8, 30, 7))
         .unwrap();
-    c.bench_function("ftss_check_exhaustive_n8_r30", |b| {
-        b.iter(|| ftss_check(&out.history, &RateAgreementSpec::new(), 1))
+    b.bench("ftss_check_exhaustive_n8_r30", || {
+        ftss_check(&out.history, &RateAgreementSpec::new(), 1)
     });
-}
 
-criterion_group!(benches, bench_sync_rounds, bench_coterie, bench_ftss_check);
-criterion_main!(benches);
+    b.finish();
+}

@@ -1,0 +1,184 @@
+//! A thin in-repo timer harness — the workspace's replacement for
+//! `criterion`, kept deliberately small: warmup, repeated timed batches,
+//! and a median/min/mean report. No registry dependency, no plotting.
+//!
+//! Available behind `--features bench-harness`, like the bench targets
+//! that use it:
+//!
+//! ```text
+//! cargo bench --features bench-harness --bench micro
+//! ```
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: keeps the optimizer from
+/// deleting the benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Benchmark label.
+    pub name: String,
+    /// Iterations per timed batch.
+    pub iters_per_batch: u64,
+    /// Median ns/iter over the batches.
+    pub median_ns: f64,
+    /// Minimum ns/iter over the batches (least-noise estimate).
+    pub min_ns: f64,
+    /// Mean ns/iter over the batches.
+    pub mean_ns: f64,
+}
+
+impl Sample {
+    fn render_ns(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.2} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.2} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.2} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+}
+
+impl std::fmt::Display for Sample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<40} median {:>10}  min {:>10}  mean {:>10}",
+            self.name,
+            Sample::render_ns(self.median_ns),
+            Sample::render_ns(self.min_ns),
+            Sample::render_ns(self.mean_ns),
+        )
+    }
+}
+
+/// Harness configuration. The defaults mirror a quick criterion run:
+/// ~0.5 s of warmup and ~2 s of measurement per benchmark.
+#[derive(Clone, Debug)]
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    batches: u32,
+    results: Vec<Sample>,
+}
+
+impl Default for Bencher {
+    fn default() -> Bencher {
+        Bencher::new()
+    }
+}
+
+impl Bencher {
+    /// A harness with the default budget (0.5 s warmup, 2 s measure,
+    /// 20 batches per benchmark).
+    pub fn new() -> Bencher {
+        Bencher {
+            warmup: Duration::from_millis(500),
+            measure: Duration::from_secs(2),
+            batches: 20,
+            results: Vec::new(),
+        }
+    }
+
+    /// A faster budget for CI smoke runs.
+    pub fn quick() -> Bencher {
+        Bencher {
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(200),
+            batches: 8,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, printing one summary line immediately and recording the
+    /// sample for [`finish`](Bencher::finish).
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &Sample {
+        // Warmup: run until the warmup budget elapses, counting iterations
+        // to calibrate the batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+
+        // Pick iters/batch so that `batches` timed batches fill the
+        // measurement budget.
+        let budget_ns = self.measure.as_nanos() as f64 / self.batches as f64;
+        let iters = ((budget_ns / per_iter).round() as u64).max(1);
+
+        let mut per_batch_ns: Vec<f64> = Vec::with_capacity(self.batches as usize);
+        for _ in 0..self.batches {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_batch_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_batch_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = per_batch_ns[per_batch_ns.len() / 2];
+        let min_ns = per_batch_ns[0];
+        let mean_ns = per_batch_ns.iter().sum::<f64>() / per_batch_ns.len() as f64;
+
+        let sample = Sample {
+            name: name.to_string(),
+            iters_per_batch: iters,
+            median_ns,
+            min_ns,
+            mean_ns,
+        };
+        println!("{sample}");
+        self.results.push(sample);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All samples recorded so far, in bench order.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Prints a closing summary table.
+    pub fn finish(&self) {
+        println!("\n== {} benchmark(s) ==", self.results.len());
+        for s in &self.results {
+            println!("{s}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_positive_timings() {
+        let mut b = Bencher::quick();
+        let s = b.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.mean_ns * 2.0);
+        assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn render_scales_units() {
+        assert_eq!(Sample::render_ns(12.0), "12 ns");
+        assert_eq!(Sample::render_ns(1_500.0), "1.50 µs");
+        assert_eq!(Sample::render_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(Sample::render_ns(3_000_000_000.0), "3.00 s");
+    }
+}

@@ -5,14 +5,18 @@
 //! `cargo bench`, or one with `cargo bench --bench e1_round_agreement`.
 //! Recorded outputs live in `EXPERIMENTS.md`.
 //!
-//! This library hosts the helpers the bench binaries share.
+//! This library hosts the helpers the bench binaries share. The timer
+//! harness that replaced the old `criterion` dependency lives in
+//! [`harness`] behind the `bench-harness` feature.
+
+#[cfg(feature = "bench-harness")]
+pub mod harness;
 
 use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
 use ftss::consensus_async::SsConsensusProcess;
 use ftss::core::{Corrupt, ProcessId};
 use ftss::detectors::WeakOracle;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ftss_rng::StdRng;
 
 /// Mean of a slice of counts, rendered with one decimal.
 pub fn mean(xs: &[usize]) -> String {

@@ -74,7 +74,8 @@ impl Args {
             .split_once('@')
             .ok_or_else(|| format!("--{name}: expected p@time, got `{v}`"))?;
         Ok(Some((
-            p.parse().map_err(|_| format!("--{name}: bad process `{p}`"))?,
+            p.parse()
+                .map_err(|_| format!("--{name}: bad process `{p}`"))?,
             t.parse().map_err(|_| format!("--{name}: bad time `{t}`"))?,
         )))
     }

@@ -2,9 +2,7 @@
 //! what happened, and returns `Ok(true)` when every checked property held.
 
 use crate::args::Args;
-use ftss::analysis::{
-    measured_stabilization_time, theorem1_demo, theorem2_demo, Archetype,
-};
+use ftss::analysis::{measured_stabilization_time, theorem1_demo, theorem2_demo, Archetype};
 use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
 use ftss::compiler::Compiled;
 use ftss::consensus_async::SsConsensusProcess;
@@ -16,12 +14,11 @@ use ftss::detectors::{
     SuspectProbe, WeakOracle,
 };
 use ftss::protocols::{
-    token_ring::token_holders, CanonicalProtocol, Eig, FloodSet, PhaseKing,
-    RepeatedConsensusSpec, RoundAgreement, TokenRing,
+    token_ring::token_holders, CanonicalProtocol, Eig, FloodSet, PhaseKing, RepeatedConsensusSpec,
+    RoundAgreement, TokenRing,
 };
 use ftss::sync_sim::{Adversary, CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ftss_rng::StdRng;
 
 /// The help text.
 pub const USAGE: &str = "\
@@ -60,7 +57,9 @@ fn adversary_from(args: &Args, n: usize) -> Result<Box<dyn Adversary>, String> {
         return Ok(Box::new(CrashOnly::new(cs)));
     }
     if omit_p > 0.0 {
-        let faulty: Vec<ProcessId> = (0..omitters.min(n.saturating_sub(1))).map(ProcessId).collect();
+        let faulty: Vec<ProcessId> = (0..omitters.min(n.saturating_sub(1)))
+            .map(ProcessId)
+            .collect();
         return Ok(Box::new(RandomOmission::new(faulty, omit_p, seed)));
     }
     Ok(Box::new(NoFaults))
@@ -75,8 +74,8 @@ pub fn round_agreement(args: &Args) -> Outcome {
     let out = SyncRunner::new(RoundAgreement)
         .run(adv.as_mut(), &RunConfig::corrupted(n, rounds, seed))
         .map_err(|e| e.to_string())?;
-    let m = measured_stabilization_time(&out.history, &RateAgreementSpec::new())
-        .ok_or("empty run")?;
+    let m =
+        measured_stabilization_time(&out.history, &RateAgreementSpec::new()).ok_or("empty run")?;
     println!(
         "round agreement: n={n}, {rounds} rounds, seed {seed}; \
          final stable window {}..{}",
@@ -161,10 +160,8 @@ pub fn consensus(args: &Args) -> Outcome {
     let horizon: Time = args.get_or("horizon", 120_000)?;
     let corrupt = args.flag("corrupt")?;
     let crash = args.crash_spec("crash")?;
-    let crashes: Vec<(ProcessId, Time)> = crash
-        .into_iter()
-        .map(|(p, t)| (ProcessId(p), t))
-        .collect();
+    let crashes: Vec<(ProcessId, Time)> =
+        crash.into_iter().map(|(p, t)| (ProcessId(p), t)).collect();
     let inputs: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
     let oracle = WeakOracle::new(n, crashes.clone(), 300, seed, 0.2);
     let mut procs: Vec<SsConsensusProcess> = (0..n)
@@ -231,10 +228,8 @@ pub fn detector(args: &Args) -> Outcome {
     let horizon: Time = args.get_or("horizon", 40_000)?;
     let poison = args.flag("poison")?;
     let crash = args.crash_spec("crash")?;
-    let crashes: Vec<(ProcessId, Time)> = crash
-        .into_iter()
-        .map(|(p, t)| (ProcessId(p), t))
-        .collect();
+    let crashes: Vec<(ProcessId, Time)> =
+        crash.into_iter().map(|(p, t)| (ProcessId(p), t)).collect();
     let oracle = WeakOracle::new(n, crashes.clone(), 0, seed, 0.0);
     let mut procs: Vec<StrongDetectorProcess> = (0..n)
         .map(|i| StrongDetectorProcess::new(ProcessId(i), oracle.clone(), 20))
@@ -259,7 +254,9 @@ pub fn detector(args: &Args) -> Outcome {
     }
     let mut runner = AsyncRunner::new(procs, cfg).map_err(|e| e.to_string())?;
     let mut probes = Vec::new();
-    runner.run_probed(horizon, 200, |t, ps| probes.push(SuspectProbe::sample(t, ps)));
+    runner.run_probed(horizon, 200, |t, ps| {
+        probes.push(SuspectProbe::sample(t, ps))
+    });
     let crashed = ProcessSet::from_iter_n(n, crashes.iter().map(|&(p, _)| p));
     let correct = crashed.complement();
     let comp = strong_completeness_time(&probes, &crashed, &correct);
@@ -311,8 +308,16 @@ pub fn theorem2(args: &Args) -> Outcome {
         println!(
             "  {:<24} uniformity: {:<9} rate: {:<9} refuted: {}",
             a.name(),
-            if out.uniformity_holds() { "holds" } else { "violated" },
-            if out.assumption1_holds() { "holds" } else { "violated" },
+            if out.uniformity_holds() {
+                "holds"
+            } else {
+                "violated"
+            },
+            if out.assumption1_holds() {
+                "holds"
+            } else {
+                "violated"
+            },
             out.refuted()
         );
         all_refuted &= out.refuted();

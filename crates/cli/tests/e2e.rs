@@ -40,7 +40,15 @@ fn bad_option_exits_2() {
 
 #[test]
 fn round_agreement_passes_and_reports() {
-    let o = run(&["round-agreement", "--n", "6", "--seed", "11", "--rounds", "10"]);
+    let o = run(&[
+        "round-agreement",
+        "--n",
+        "6",
+        "--seed",
+        "11",
+        "--rounds",
+        "10",
+    ]);
     assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
     let s = stdout(&o);
     assert!(s.contains("measured stabilization"));
@@ -50,7 +58,15 @@ fn round_agreement_passes_and_reports() {
 #[test]
 fn round_agreement_with_omissions_passes() {
     let o = run(&[
-        "round-agreement", "--n", "5", "--seed", "3", "--omit-p", "0.5", "--omitters", "2",
+        "round-agreement",
+        "--n",
+        "5",
+        "--seed",
+        "3",
+        "--omit-p",
+        "0.5",
+        "--omitters",
+        "2",
     ]);
     assert!(o.status.success());
 }
@@ -60,7 +76,11 @@ fn compile_all_three_protocols() {
     for pi in ["floodset", "phase-king", "eig"] {
         let n = if pi == "phase-king" { "5" } else { "4" };
         let o = run(&["compile", "--pi", pi, "--f", "1", "--n", n, "--seed", "2"]);
-        assert!(o.status.success(), "{pi}: {}", String::from_utf8_lossy(&o.stderr));
+        assert!(
+            o.status.success(),
+            "{pi}: {}",
+            String::from_utf8_lossy(&o.stderr)
+        );
         assert!(stdout(&o).contains("bound (Thm 4)"), "{pi}");
     }
 }
@@ -83,7 +103,9 @@ fn theorem_commands_succeed() {
 
 #[test]
 fn detector_with_poison_recovers() {
-    let o = run(&["detector", "--n", "3", "--crash", "2@500", "--poison", "true"]);
+    let o = run(&[
+        "detector", "--n", "3", "--crash", "2@500", "--poison", "true",
+    ]);
     assert!(o.status.success(), "{}", stdout(&o));
     let s = stdout(&o);
     assert!(s.contains("strong completeness settled"));
@@ -100,7 +122,15 @@ fn token_ring_stabilizes() {
 #[test]
 fn consensus_corrupted_recovers() {
     let o = run(&[
-        "consensus", "--n", "3", "--corrupt", "true", "--horizon", "60000", "--seed", "4",
+        "consensus",
+        "--n",
+        "3",
+        "--corrupt",
+        "true",
+        "--horizon",
+        "60000",
+        "--seed",
+        "4",
     ]);
     assert!(o.status.success(), "{}", stdout(&o));
     assert!(stdout(&o).contains("newest decision"));

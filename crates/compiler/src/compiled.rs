@@ -2,8 +2,8 @@
 
 use ftss_core::{normalize, Corrupt, ProcessId, ProcessSet, RoundCounter};
 use ftss_protocols::{CanonicalProtocol, HasDecision};
+use ftss_rng::Rng;
 use ftss_sync_sim::{Inbox, ProtocolCtx, SyncProtocol};
-use rand::Rng;
 use std::fmt;
 
 /// The message of Π⁺: Π's message plus the sender's round tag —
@@ -198,11 +198,7 @@ where
 
         // Round agreement: c := max(received round tags) + 1. The process
         // always hears its own broadcast, so the max is well-defined.
-        let max_tag = inbox
-            .iter()
-            .map(|(_, m)| m.round)
-            .max()
-            .unwrap_or(my_round);
+        let max_tag = inbox.iter().map(|(_, m)| m.round).max().unwrap_or(my_round);
         state.c = RoundCounter::new(max_tag).next();
 
         // New iteration: reset Π's state and the suspect set.
@@ -221,7 +217,7 @@ where
 mod tests {
     use super::*;
     use ftss_core::{
-        ftss_check, ftss_check_suffix, ft_check, CrashSchedule, RateAgreementSpec, Round,
+        ft_check, ftss_check, ftss_check_suffix, CrashSchedule, RateAgreementSpec, Round,
     };
     use ftss_protocols::{FloodSet, PhaseKing, ReliableBroadcast, RepeatedConsensusSpec};
     use ftss_sync_sim::{CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
@@ -385,11 +381,7 @@ mod tests {
                 let st = rec.state_at_start.as_ref().unwrap();
                 if ftss_core::normalize(st.c.get(), 2) == 1 {
                     assert!(st.suspects.is_empty(), "suspects not reset");
-                    assert_eq!(
-                        st.inner.seen.len(),
-                        1,
-                        "p{i} state not reset at round {r}"
-                    );
+                    assert_eq!(st.inner.seen.len(), 1, "p{i} state not reset at round {r}");
                 }
             }
         }

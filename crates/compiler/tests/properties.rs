@@ -1,40 +1,42 @@
-//! Property-based tests of the compiler's Theorem-4 behaviour.
+//! Property-based tests of the compiler's Theorem-4 behaviour, on the
+//! in-repo `ftss_rng::check` harness.
 
 use ftss_compiler::{Compiled, CompilerOptions};
-use ftss_core::{
-    ftss_check, ftss_check_suffix, ProcessId, RateAgreementSpec, Round,
-};
+use ftss_core::{ftss_check, ftss_check_suffix, ProcessId, RateAgreementSpec, Round};
 use ftss_protocols::{FloodSet, RepeatedConsensusSpec};
+use ftss_rng::check::forall;
+use ftss_rng::Rng;
 use ftss_sync_sim::{CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
-use proptest::prelude::*;
 
-proptest! {
-    /// The compiled protocol satisfies Assumption 1 (round agreement on the
-    /// superimposed counters) with stabilization 1, for arbitrary inputs,
-    /// corruption seeds and fault bounds.
-    #[test]
-    fn compiled_counters_satisfy_assumption1(
-        inputs in prop::collection::vec(0u64..1000, 3..7),
-        f in 1usize..3,
-        seed in any::<u64>(),
-    ) {
+const CASES: u64 = 24;
+
+/// The compiled protocol satisfies Assumption 1 (round agreement on the
+/// superimposed counters) with stabilization 1, for arbitrary inputs,
+/// corruption seeds and fault bounds.
+#[test]
+fn compiled_counters_satisfy_assumption1() {
+    forall(CASES, |g| {
+        let inputs = g.vec(3, 6, |g| g.gen_range(0u64..1000));
+        let f = g.gen_range(1usize..3);
+        let seed: u64 = g.gen();
         let n = inputs.len();
         let out = SyncRunner::new(Compiled::new(FloodSet::new(f, inputs)))
             .run(&mut NoFaults, &RunConfig::corrupted(n, 14, seed))
             .unwrap();
         let report = ftss_check(&out.history, &RateAgreementSpec::new(), 1);
-        prop_assert!(report.is_satisfied(), "{}", report);
-    }
+        assert!(report.is_satisfied(), "{}", report);
+    });
+}
 
-    /// Σ⁺ stabilizes within 2·final_round + 2 for random corruption and a
-    /// random crash schedule.
-    #[test]
-    fn sigma_plus_stabilizes_within_bound(
-        inputs in prop::collection::vec(0u64..1000, 4..7),
-        seed in any::<u64>(),
-        crash_round in 1u64..6,
-        crash_idx in 0usize..7,
-    ) {
+/// Σ⁺ stabilizes within 2·final_round + 2 for random corruption and a
+/// random crash schedule.
+#[test]
+fn sigma_plus_stabilizes_within_bound() {
+    forall(CASES, |g| {
+        let inputs = g.vec(4, 6, |g| g.gen_range(0u64..1000));
+        let seed: u64 = g.gen();
+        let crash_round = g.gen_range(1u64..6);
+        let crash_idx = g.gen_range(0usize..7);
         let n = inputs.len();
         let f = 1;
         let fr = f + 1;
@@ -46,17 +48,18 @@ proptest! {
             .unwrap();
         let spec = RepeatedConsensusSpec::agreement_only();
         if let Err(v) = ftss_check_suffix(&out.history, &spec, 2 * fr + 2) {
-            return Err(TestCaseError::fail(format!("{v}")));
+            panic!("{v}");
         }
-    }
+    });
+}
 
-    /// Post-stabilization decisions are *valid* (the min of the inputs of
-    /// surviving processes), not merely agreed — full recovery.
-    #[test]
-    fn post_stabilization_decisions_are_correct(
-        inputs in prop::collection::vec(1u64..1000, 3..6),
-        seed in any::<u64>(),
-    ) {
+/// Post-stabilization decisions are *valid* (the min of the inputs of
+/// surviving processes), not merely agreed — full recovery.
+#[test]
+fn post_stabilization_decisions_are_correct() {
+    forall(CASES, |g| {
+        let inputs = g.vec(3, 5, |g| g.gen_range(1u64..1000));
+        let seed: u64 = g.gen();
         let n = inputs.len();
         let f = 1;
         let expected = *inputs.iter().min().unwrap();
@@ -65,17 +68,18 @@ proptest! {
             .unwrap();
         for s in out.final_states.iter().flatten() {
             let (_, v) = s.last_decision.expect("decided");
-            prop_assert_eq!(v, expected);
+            assert_eq!(v, expected);
         }
-    }
+    });
+}
 
-    /// Σ⁺ holds under *continual* send omissions (the paper's "despite the
-    /// presence of continual process failures").
-    #[test]
-    fn continual_omissions_tolerated(
-        seed in any::<u64>(),
-        p_drop in 0.0f64..0.8,
-    ) {
+/// Σ⁺ holds under *continual* send omissions (the paper's "despite the
+/// presence of continual process failures").
+#[test]
+fn continual_omissions_tolerated() {
+    forall(CASES, |g| {
+        let seed: u64 = g.gen();
+        let p_drop = g.gen_range(0.0f64..0.8);
         let f = 1;
         let fr = f + 1;
         let mut adv = RandomOmission::new([ProcessId(0)], p_drop, seed);
@@ -84,20 +88,24 @@ proptest! {
             .unwrap();
         let spec = RepeatedConsensusSpec::agreement_only();
         if let Err(v) = ftss_check_suffix(&out.history, &spec, 2 * fr + 2) {
-            return Err(TestCaseError::fail(format!("{v}")));
+            panic!("{v}");
         }
-    }
+    });
+}
 
-    /// The ablation options round-trip and default to full Figure 3.
-    #[test]
-    fn options_accessor(filter in any::<bool>(), reset in any::<bool>()) {
+/// The ablation options round-trip and default to full Figure 3.
+#[test]
+fn options_accessor() {
+    forall(CASES, |g| {
+        let filter: bool = g.gen();
+        let reset: bool = g.gen();
         let options = CompilerOptions {
             filter_suspects: filter,
             reset_each_iteration: reset,
         };
         let c = Compiled::with_options(FloodSet::new(1, vec![1, 2]), options);
-        prop_assert_eq!(c.options(), options);
+        assert_eq!(c.options(), options);
         let d = Compiled::new(FloodSet::new(1, vec![1, 2]));
-        prop_assert_eq!(d.options(), CompilerOptions::default());
-    }
+        assert_eq!(d.options(), CompilerOptions::default());
+    });
 }

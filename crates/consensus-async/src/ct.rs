@@ -23,7 +23,7 @@ use crate::tags;
 use ftss_async_sim::{AsyncProcess, Ctx, Time};
 use ftss_core::{Corrupt, ProcessId};
 use ftss_detectors::{LifeState, StrongDetectorProcess, WeakOracle};
-use rand::Rng;
+use ftss_rng::Rng;
 
 /// Messages of the plain CT protocol, plus the embedded detector's gossip.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -124,7 +124,11 @@ impl CtConsensusProcess {
         self.decided
     }
 
-    fn forward_detector(&mut self, ctx: &mut Ctx<CtMsg>, act: impl FnOnce(&mut StrongDetectorProcess, &mut Ctx<Vec<(u64, LifeState)>>)) {
+    fn forward_detector(
+        &mut self,
+        ctx: &mut Ctx<CtMsg>,
+        act: impl FnOnce(&mut StrongDetectorProcess, &mut Ctx<Vec<(u64, LifeState)>>),
+    ) {
         let mut dctx: Ctx<Vec<(u64, LifeState)>> = Ctx::new(self.me, self.n, ctx.now());
         act(&mut self.detector, &mut dctx);
         let (sends, timers) = dctx.take_effects();
@@ -334,8 +338,7 @@ impl AsyncProcess for CtConsensusProcess {
 mod tests {
     use super::*;
     use ftss_async_sim::{AsyncConfig, AsyncRunner};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ftss_rng::StdRng;
 
     fn build(
         inputs: &[u64],
@@ -393,7 +396,10 @@ mod tests {
                 .skip(1)
                 .map(|p| p.decision().expect("survivor decided"))
                 .collect();
-            assert!(survivors.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {survivors:?}");
+            assert!(
+                survivors.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: {survivors:?}"
+            );
         }
     }
 
@@ -411,7 +417,10 @@ mod tests {
                 .iter()
                 .map(|&i| r.process(ProcessId(i)).decision().expect("decided"))
                 .collect();
-            assert!(alive.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {alive:?}");
+            assert!(
+                alive.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: {alive:?}"
+            );
         }
     }
 

@@ -112,9 +112,7 @@ pub fn check_repeated_consensus(
 
     // De-duplicate repeated observations of the same violation.
     let mut seen = BTreeSet::new();
-    report
-        .violations
-        .retain(|v| seen.insert(format!("{v}")));
+    report.violations.retain(|v| seen.insert(format!("{v}")));
     report
 }
 

@@ -26,7 +26,7 @@ use crate::tags;
 use ftss_async_sim::{AsyncProcess, Ctx, Time};
 use ftss_core::{Corrupt, ProcessId};
 use ftss_detectors::{LifeState, StrongDetectorProcess, WeakOracle};
-use rand::Rng;
+use ftss_rng::Rng;
 
 /// Messages of the self-stabilizing protocol. Every consensus message
 /// carries its `(inst, round)` tag.
@@ -420,8 +420,7 @@ impl AsyncProcess for SsConsensusProcess {
 mod tests {
     use super::*;
     use ftss_async_sim::{AsyncConfig, AsyncRunner};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ftss_rng::StdRng;
 
     fn build(
         inputs: &[u64],
@@ -432,9 +431,7 @@ mod tests {
         let n = inputs.len();
         let oracle = WeakOracle::new(n, crashes.clone(), 300, seed, 0.2);
         let mut procs: Vec<SsConsensusProcess> = (0..n)
-            .map(|i| {
-                SsConsensusProcess::new(ProcessId(i), inputs.to_vec(), oracle.clone(), 25, 40)
-            })
+            .map(|i| SsConsensusProcess::new(ProcessId(i), inputs.to_vec(), oracle.clone(), 25, 40))
             .collect();
         if let Some(cs) = corrupt {
             let mut rng = StdRng::seed_from_u64(cs);
@@ -451,7 +448,10 @@ mod tests {
 
     /// Collects each process's decision log via probing: maps instance ->
     /// value per process, then checks cross-process agreement per instance.
-    fn check_agreement(r: &AsyncRunner<SsConsensusProcess>, probes: &[(u64, Vec<Option<(u64, u64)>>)]) {
+    fn check_agreement(
+        r: &AsyncRunner<SsConsensusProcess>,
+        probes: &[(u64, Vec<Option<(u64, u64)>>)],
+    ) {
         use std::collections::BTreeMap;
         let n = r.n();
         let mut per_instance: BTreeMap<u64, BTreeMap<usize, u64>> = BTreeMap::new();
@@ -488,7 +488,10 @@ mod tests {
                 .map(|(i, _)| i)
                 .max()
                 .expect("some decision");
-            assert!(max_inst >= 3, "seed {seed}: only reached instance {max_inst}");
+            assert!(
+                max_inst >= 3,
+                "seed {seed}: only reached instance {max_inst}"
+            );
             check_agreement(&r, &probes);
             // Validity: each decided value is an input of its instance.
             for p in r.processes() {
@@ -508,12 +511,7 @@ mod tests {
         // asynchrony, the protocol keeps deciding with agreement.
         for seed in 0..10u64 {
             let mut r = build(&[10, 20, 30], vec![], seed, Some(seed ^ 0xabcd));
-            let first_inst: u64 = r
-                .processes()
-                .iter()
-                .map(|p| p.inst)
-                .max()
-                .unwrap();
+            let first_inst: u64 = r.processes().iter().map(|p| p.inst).max().unwrap();
             let mut probes: Vec<(u64, Vec<Option<(u64, u64)>>)> = Vec::new();
             r.run_probed(200_000, 500, |t, ps| {
                 probes.push((t, ps.iter().map(|p| p.last_decision()).collect()));

@@ -72,7 +72,10 @@ fn ct_future_round_messages_are_buffered_not_processed() {
             ts: 0,
         },
     );
-    assert!(p.estimates.is_empty(), "future estimate leaked into round 1");
+    assert!(
+        p.estimates.is_empty(),
+        "future estimate leaked into round 1"
+    );
     assert_eq!(p.round, 1, "plain CT never jumps");
 }
 
@@ -83,11 +86,7 @@ fn ct_stale_round_messages_are_dropped() {
     use ftss_async_sim::AsyncProcess;
     p.on_start(&mut ctx);
     p.round = 5;
-    p.on_message(
-        &mut ctx,
-        ProcessId(1),
-        CtMsg::Ack { round: 3 },
-    );
+    p.on_message(&mut ctx, ProcessId(1), CtMsg::Ack { round: 3 });
     assert!(p.replies.is_empty(), "stale ack must be ignored");
 }
 
@@ -115,7 +114,10 @@ fn ct_proposal_from_non_coordinator_is_ignored() {
     p.on_message(
         &mut ctx,
         ProcessId(2),
-        CtMsg::Proposal { round: 1, value: 99 },
+        CtMsg::Proposal {
+            round: 1,
+            value: 99,
+        },
     );
     assert!(!p.got_proposal);
     assert_ne!(p.est.0, 99);
@@ -133,13 +135,25 @@ fn ss_jump_rule_is_lexicographic() {
     p.on_start(&mut ctx);
     assert_eq!((p.inst, p.round), (1, 1));
     // Same instance, higher round: jump.
-    p.on_message(&mut ctx, ProcessId(1), SsMsg::RoundSync { inst: 1, round: 4 });
+    p.on_message(
+        &mut ctx,
+        ProcessId(1),
+        SsMsg::RoundSync { inst: 1, round: 4 },
+    );
     assert_eq!((p.inst, p.round), (1, 4));
     // Higher instance, lower round: jump (instance dominates).
-    p.on_message(&mut ctx, ProcessId(2), SsMsg::RoundSync { inst: 2, round: 1 });
+    p.on_message(
+        &mut ctx,
+        ProcessId(2),
+        SsMsg::RoundSync { inst: 2, round: 1 },
+    );
     assert_eq!((p.inst, p.round), (2, 1));
     // Lower tag: ignored.
-    p.on_message(&mut ctx, ProcessId(1), SsMsg::RoundSync { inst: 1, round: 9 });
+    p.on_message(
+        &mut ctx,
+        ProcessId(1),
+        SsMsg::RoundSync { inst: 1, round: 9 },
+    );
     assert_eq!((p.inst, p.round), (2, 1));
 }
 
@@ -161,7 +175,11 @@ fn ss_jump_clears_phase_state() {
         },
     );
     assert!(!p.estimates.is_empty());
-    p.on_message(&mut ctx, ProcessId(2), SsMsg::RoundSync { inst: 1, round: 7 });
+    p.on_message(
+        &mut ctx,
+        ProcessId(2),
+        SsMsg::RoundSync { inst: 1, round: 7 },
+    );
     assert!(p.estimates.is_empty(), "jump must abandon the phase");
     assert!(p.proposal.is_none());
     assert!(p.replies.is_empty());
@@ -174,7 +192,11 @@ fn ss_new_instance_resets_estimate_to_fresh_input() {
     use ftss_async_sim::AsyncProcess;
     p.on_start(&mut ctx);
     let expected_inst_3 = p.input(ProcessId(1), 3);
-    p.on_message(&mut ctx, ProcessId(0), SsMsg::RoundSync { inst: 3, round: 1 });
+    p.on_message(
+        &mut ctx,
+        ProcessId(0),
+        SsMsg::RoundSync { inst: 3, round: 1 },
+    );
     assert_eq!(p.est, (expected_inst_3, 0));
 }
 
@@ -257,5 +279,9 @@ fn ss_nacks_advance_the_round_without_deciding() {
     p.on_message(&mut ctx, ProcessId(1), SsMsg::Nack { inst: 1, round: 1 });
     p.on_message(&mut ctx, ProcessId(2), SsMsg::Nack { inst: 1, round: 1 });
     assert_eq!(p.last_decision(), None);
-    assert_eq!((p.inst, p.round), (1, 2), "majority nacks advance the round");
+    assert_eq!(
+        (p.inst, p.round),
+        (1, 2),
+        "majority nacks advance the round"
+    );
 }

@@ -1,19 +1,17 @@
-//! Property-based tests of the asynchronous consensus stack. Run counts
-//! are kept small — each case simulates hundreds of thousands of events.
+//! Property-based tests of the asynchronous consensus stack, on the
+//! in-repo `ftss_rng::check` harness. Case counts are kept small — each
+//! case simulates hundreds of thousands of events.
 
 use ftss_async_sim::{AsyncConfig, AsyncRunner};
 use ftss_consensus_async::{check_repeated_consensus, DecisionProbe, SsConsensusProcess};
 use ftss_core::{Corrupt, ProcessId};
 use ftss_detectors::WeakOracle;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ftss_rng::check::{forall, Gen};
+use ftss_rng::{Rng, StdRng};
 
-fn build(
-    inputs: &[u64],
-    seed: u64,
-    corrupt: bool,
-) -> (AsyncRunner<SsConsensusProcess>, u64) {
+const CASES: u64 = 8;
+
+fn build(inputs: &[u64], seed: u64, corrupt: bool) -> (AsyncRunner<SsConsensusProcess>, u64) {
     let n = inputs.len();
     let oracle = WeakOracle::new(n, vec![], 300, seed, 0.2);
     let mut procs: Vec<SsConsensusProcess> = (0..n)
@@ -33,16 +31,17 @@ fn build(
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+fn arb_inputs(g: &mut Gen) -> Vec<u64> {
+    g.vec(3, 5, |g| g.gen_range(0u64..500))
+}
 
-    /// From arbitrary corruption: progress past the corrupted epoch, and
-    /// per-instance agreement + validity on everything fresh.
-    #[test]
-    fn ss_consensus_recovers_for_random_inputs(
-        inputs in prop::collection::vec(0u64..500, 3..6),
-        seed in any::<u64>(),
-    ) {
+/// From arbitrary corruption: progress past the corrupted epoch, and
+/// per-instance agreement + validity on everything fresh.
+#[test]
+fn ss_consensus_recovers_for_random_inputs() {
+    forall(CASES, |g| {
+        let inputs = arb_inputs(g);
+        let seed: u64 = g.gen();
         let (mut runner, corrupted_max) = build(&inputs, seed, true);
         let n = inputs.len();
         let mut probes: Vec<DecisionProbe> = Vec::new();
@@ -61,17 +60,18 @@ proptest! {
             |i| template.valid_values(i),
             true,
         );
-        prop_assert!(report.is_satisfied(), "{:?}", report.violations);
-        prop_assert!(report.instances_completed_by_all > corrupted_max);
-    }
+        assert!(report.is_satisfied(), "{:?}", report.violations);
+        assert!(report.instances_completed_by_all > corrupted_max);
+    });
+}
 
-    /// Clean starts: instances keep completing and all decisions are valid
-    /// inputs of their instance.
-    #[test]
-    fn ss_consensus_clean_progress(
-        inputs in prop::collection::vec(0u64..500, 3..6),
-        seed in any::<u64>(),
-    ) {
+/// Clean starts: instances keep completing and all decisions are valid
+/// inputs of their instance.
+#[test]
+fn ss_consensus_clean_progress() {
+    forall(CASES, |g| {
+        let inputs = arb_inputs(g);
+        let seed: u64 = g.gen();
         let (mut runner, _) = build(&inputs, seed, false);
         let n = inputs.len();
         let mut probes: Vec<DecisionProbe> = Vec::new();
@@ -83,24 +83,22 @@ proptest! {
         });
         let correct: Vec<ProcessId> = (0..n).map(ProcessId).collect();
         let template = runner.process(ProcessId(0)).clone();
-        let report = check_repeated_consensus(
-            &probes,
-            &correct,
-            0,
-            |i| template.valid_values(i),
-            true,
-        );
-        prop_assert!(report.is_satisfied(), "{:?}", report.violations);
-        prop_assert!(
+        let report =
+            check_repeated_consensus(&probes, &correct, 0, |i| template.valid_values(i), true);
+        assert!(report.is_satisfied(), "{:?}", report.violations);
+        assert!(
             report.instances_completed_by_all >= 3,
             "only {} instances",
             report.instances_completed_by_all
         );
-    }
+    });
+}
 
-    /// Determinism of the full stack.
-    #[test]
-    fn ss_consensus_is_deterministic(seed in any::<u64>()) {
+/// Determinism of the full stack.
+#[test]
+fn ss_consensus_is_deterministic() {
+    forall(CASES, |g| {
+        let seed: u64 = g.gen();
         let go = || {
             let (mut runner, _) = build(&[5, 10, 15], seed, true);
             runner.run_until(40_000);
@@ -110,6 +108,6 @@ proptest! {
                 .map(|p| (p.inst, p.round, p.last_decision()))
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(go(), go());
-    }
+        assert_eq!(go(), go());
+    });
 }

@@ -14,7 +14,7 @@
 
 use crate::id::{ProcessId, ProcessSet};
 use crate::round::RoundCounter;
-use rand::Rng;
+use ftss_rng::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// State that can be overwritten with arbitrary contents, modelling a
@@ -24,13 +24,13 @@ use std::collections::{BTreeMap, BTreeSet};
 ///
 /// ```
 /// use ftss_core::Corrupt;
-/// use rand::SeedableRng;
+/// use ftss_rng::Rng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = ftss_rng::StdRng::seed_from_u64(7);
 /// let mut x = 0u64;
 /// x.corrupt(&mut rng);
 /// // x is now an arbitrary value; same seed → same value.
-/// let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng2 = ftss_rng::StdRng::seed_from_u64(7);
 /// let mut y = 123u64;
 /// y.corrupt(&mut rng2);
 /// assert_eq!(x, y);
@@ -167,8 +167,7 @@ impl<A: Corrupt, B: Corrupt, C: Corrupt> Corrupt for (A, B, C) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ftss_rng::StdRng;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)

@@ -166,12 +166,14 @@ mod tests {
                 sent: vec![],
                 delivered: vec![],
                 crashed_here: false,
-                    halted_at_start: false,
+                halted_at_start: false,
             })
             .collect();
         for i in 0..n {
             // Self delivery (paper footnote 1): always succeeds.
-            records[i].delivered.push(Envelope::new(ProcessId(i), Round::FIRST, 0));
+            records[i]
+                .delivered
+                .push(Envelope::new(ProcessId(i), Round::FIRST, 0));
         }
         for &(from, to, ok) in edges {
             records[from].sent.push(SendRecord {
@@ -184,7 +186,9 @@ mod tests {
                 },
             });
             if ok {
-                records[to].delivered.push(Envelope::new(ProcessId(from), Round::FIRST, 0));
+                records[to]
+                    .delivered
+                    .push(Envelope::new(ProcessId(from), Round::FIRST, 0));
             }
         }
         RoundHistory { records }
@@ -244,7 +248,10 @@ mod tests {
         let mut h = H::new(3);
         // p0 delivers to p1 but omits to p2 (faulty!), p1 relays to all.
         h.push(round(3, &[(0, 1, true), (0, 2, false)]));
-        h.push(round(3, &[(1, 0, true), (1, 2, true), (0, 1, true), (0, 2, false)]));
+        h.push(round(
+            3,
+            &[(1, 0, true), (1, 2, true), (0, 1, true), (0, 2, false)],
+        ));
         let tl = CoterieTimeline::compute(&h);
         // After round 2: p0 -> p1 (direct) and p0 -> p2 (via p1). Correct
         // set is {p1, p2}. So p0 ∈ coterie despite being faulty.

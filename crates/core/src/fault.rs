@@ -22,7 +22,7 @@ use std::fmt;
 /// The kinds of process-failure deviation that can be observed in a round
 /// history. These label *actions*, not processes: a faulty process is one
 /// with at least one such action.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FaultKind {
     /// The process halted and takes no further steps.
     Crash,
@@ -56,7 +56,7 @@ impl fmt::Display for FaultKind {
 /// assert!(cs.is_crashed(ProcessId(2), Round::new(4)));
 /// assert!(!cs.is_crashed(ProcessId(2), Round::new(2)));
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct CrashSchedule {
     crashes: BTreeMap<ProcessId, Round>,
 }
@@ -114,7 +114,7 @@ impl CrashSchedule {
 ///
 /// `max_faulty` is the paper's bound `f`; the simulator validates that an
 /// adversary stays within the model before a run starts.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FaultModel {
     /// Upper bound `f` on the number of faulty processes.
     pub max_faulty: usize,
@@ -219,7 +219,8 @@ mod tests {
     #[test]
     fn crashed_set_over_universe() {
         let mut cs = CrashSchedule::none();
-        cs.set(ProcessId(0), Round::new(1)).set(ProcessId(3), Round::new(5));
+        cs.set(ProcessId(0), Round::new(1))
+            .set(ProcessId(3), Round::new(5));
         let s = cs.crashed_set(4);
         assert!(s.contains(ProcessId(0)));
         assert!(s.contains(ProcessId(3)));
@@ -250,7 +251,8 @@ mod tests {
     #[test]
     fn schedule_iteration_ordered() {
         let mut cs = CrashSchedule::none();
-        cs.set(ProcessId(5), Round::new(1)).set(ProcessId(2), Round::new(9));
+        cs.set(ProcessId(5), Round::new(1))
+            .set(ProcessId(2), Round::new(9));
         let v: Vec<_> = cs.iter().collect();
         assert_eq!(v[0].0, ProcessId(2));
         assert_eq!(v[1].0, ProcessId(5));

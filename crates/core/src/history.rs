@@ -14,7 +14,7 @@ use crate::round::{Round, RoundCounter};
 use std::fmt;
 
 /// What happened to a single point-to-point copy of a broadcast.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DeliveryOutcome {
     /// The message arrived.
     Delivered,
@@ -32,7 +32,7 @@ pub enum DeliveryOutcome {
 }
 
 /// One point-to-point copy of a broadcast: destination, payload, fate.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SendRecord<M> {
     /// The destination process.
     pub dst: ProcessId,
@@ -43,7 +43,7 @@ pub struct SendRecord<M> {
 }
 
 /// Everything one process did (and suffered) in one round.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ProcessRoundRecord<S, M> {
     /// State at the start of the round; `None` once the process has
     /// crashed ("`s_p^r` becomes undefined", §2.1).
@@ -98,7 +98,7 @@ impl<S, M> ProcessRoundRecord<S, M> {
 }
 
 /// The global state-and-actions snapshot of a single round.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RoundHistory<S, M> {
     /// One record per process, indexed by process id.
     pub records: Vec<ProcessRoundRecord<S, M>>,
@@ -141,7 +141,7 @@ impl<S, M> RoundHistory<S, M> {
 /// of `n` processes.
 ///
 /// Round `r` of the paper corresponds to `rounds[r - 1]`.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct History<S, M> {
     n: usize,
     rounds: Vec<RoundHistory<S, M>>,
@@ -339,14 +339,17 @@ mod tests {
 
     type H = History<u32, &'static str>;
 
-    fn record(sent: Vec<SendRecord<&'static str>>, crashed: bool) -> ProcessRoundRecord<u32, &'static str> {
+    fn record(
+        sent: Vec<SendRecord<&'static str>>,
+        crashed: bool,
+    ) -> ProcessRoundRecord<u32, &'static str> {
         ProcessRoundRecord {
             state_at_start: Some(0),
             counter_at_start: Some(RoundCounter::new(1)),
             sent,
             delivered: Vec::new(),
             crashed_here: crashed,
-                    halted_at_start: false,
+            halted_at_start: false,
         }
     }
 

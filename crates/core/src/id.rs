@@ -21,7 +21,7 @@ use std::fmt;
 /// assert_eq!(p.index(), 2);
 /// assert_eq!(p.to_string(), "p2");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ProcessId(pub usize);
 
 impl ProcessId {
@@ -63,7 +63,7 @@ const WORD_BITS: usize = 64;
 /// assert_eq!(correct.iter().collect::<Vec<_>>(),
 ///            vec![ProcessId(0), ProcessId(2), ProcessId(3)]);
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessSet {
     n: usize,
     words: Vec<u64>,
@@ -210,10 +210,7 @@ impl ProcessSet {
 
     /// Iterates members in increasing index order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter {
-            set: self,
-            next: 0,
-        }
+        Iter { set: self, next: 0 }
     }
 }
 

@@ -59,4 +59,6 @@ pub use id::{ProcessId, ProcessSet};
 pub use message::Envelope;
 pub use problem::{Problem, RateAgreementSpec, UniformitySpec};
 pub use round::{normalize, Round, RoundCounter};
-pub use solvability::{ft_check, ftss_check, ftss_check_suffix, ss_check, FtssReport, FtssViolation};
+pub use solvability::{
+    ft_check, ftss_check, ftss_check_suffix, ss_check, FtssReport, FtssViolation,
+};

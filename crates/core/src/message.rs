@@ -23,7 +23,7 @@ use std::fmt;
 /// assert_eq!(e.sent_in, Round::new(4));
 /// assert_eq!(e.payload, "hello");
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Envelope<M> {
     /// The sending process. The network stamps this; a process cannot forge
     /// its identity (the paper's model has authenticated channels

@@ -247,7 +247,9 @@ mod tests {
         h.push(round_with_counters(&[Some(6), Some(3)]));
         let mut faulty = ProcessSet::empty(2);
         faulty.insert(ProcessId(1));
-        assert!(RateAgreementSpec::new().check(h.as_slice(), &faulty).is_ok());
+        assert!(RateAgreementSpec::new()
+            .check(h.as_slice(), &faulty)
+            .is_ok());
     }
 
     #[test]
@@ -288,12 +290,12 @@ mod tests {
         h.push(round_with_counters(&[Some(100)])); // jump at boundary
         h.push(round_with_counters(&[Some(101)]));
         let s = h.slice(1, 3); // rounds 2..3 only
-        assert!(RateAgreementSpec::new().check(s, &ProcessSet::empty(1)).is_ok());
+        assert!(RateAgreementSpec::new()
+            .check(s, &ProcessSet::empty(1))
+            .is_ok());
     }
 
-    fn round_with_halt(
-        cs: &[(Option<u64>, bool)],
-    ) -> RoundHistory<(), ()> {
+    fn round_with_halt(cs: &[(Option<u64>, bool)]) -> RoundHistory<(), ()> {
         RoundHistory {
             records: cs
                 .iter()

@@ -26,7 +26,7 @@ use std::fmt;
 /// assert_eq!(r.get(), 1);
 /// assert_eq!(r.next().get(), 2);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Round(u64);
 
 impl Round {
@@ -85,7 +85,7 @@ impl fmt::Display for Round {
 /// assert_eq!(c.next().get(), 42);
 /// assert_eq!(RoundCounter::new(u64::MAX).next().get(), u64::MAX);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct RoundCounter(u64);
 
 impl RoundCounter {

@@ -233,7 +233,7 @@ mod tests {
                 sent: vec![],
                 delivered: vec![],
                 crashed_here: false,
-                    halted_at_start: false,
+                halted_at_start: false,
             })
             .collect();
         for i in 0..n {

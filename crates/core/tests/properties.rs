@@ -1,95 +1,122 @@
-//! Property-based tests of the core model's invariants.
+//! Property-based tests of the core model's invariants, on the in-repo
+//! `ftss_rng::check` harness.
 
 use ftss_core::{
     normalize, CausalTracker, Corrupt, CoterieTimeline, History, ProcessId, ProcessRoundRecord,
     ProcessSet, RoundHistory,
 };
-use proptest::prelude::*;
+use ftss_rng::check::{forall, Gen};
+use ftss_rng::Rng;
+
+const CASES: u64 = 64;
 
 // ---------------------------------------------------------------------
 // ProcessSet algebra
 // ---------------------------------------------------------------------
 
-fn arb_set(n: usize) -> impl Strategy<Value = ProcessSet> {
-    prop::collection::vec(any::<bool>(), n).prop_map(move |bits| {
-        let mut s = ProcessSet::empty(n);
-        for (i, b) in bits.into_iter().enumerate() {
-            if b {
-                s.insert(ProcessId(i));
-            }
+fn arb_set(g: &mut Gen, n: usize) -> ProcessSet {
+    let mut s = ProcessSet::empty(n);
+    for i in 0..n {
+        if g.gen::<bool>() {
+            s.insert(ProcessId(i));
         }
-        s
-    })
+    }
+    s
 }
 
-proptest! {
-    #[test]
-    fn set_union_is_commutative_and_monotone(a in arb_set(70), b in arb_set(70)) {
+#[test]
+fn set_union_is_commutative_and_monotone() {
+    forall(CASES, |g| {
+        let a = arb_set(g, 70);
+        let b = arb_set(g, 70);
         let u = a.union(&b);
-        prop_assert_eq!(&u, &b.union(&a));
-        prop_assert!(a.is_subset(&u));
-        prop_assert!(b.is_subset(&u));
-        prop_assert!(u.len() <= a.len() + b.len());
-    }
+        assert_eq!(u, b.union(&a));
+        assert!(a.is_subset(&u));
+        assert!(b.is_subset(&u));
+        assert!(u.len() <= a.len() + b.len());
+    });
+}
 
-    #[test]
-    fn set_de_morgan(a in arb_set(70), b in arb_set(70)) {
+#[test]
+fn set_de_morgan() {
+    forall(CASES, |g| {
+        let a = arb_set(g, 70);
+        let b = arb_set(g, 70);
         let lhs = a.union(&b).complement();
         let rhs = a.complement().intersection(&b.complement());
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    #[test]
-    fn set_difference_partitions(a in arb_set(66), b in arb_set(66)) {
+#[test]
+fn set_difference_partitions() {
+    forall(CASES, |g| {
+        let a = arb_set(g, 66);
+        let b = arb_set(g, 66);
         let inter = a.intersection(&b);
         let diff = a.difference(&b);
-        prop_assert_eq!(inter.len() + diff.len(), a.len());
-        prop_assert!(inter.intersection(&diff).is_empty());
-        prop_assert_eq!(inter.union(&diff), a);
-    }
+        assert_eq!(inter.len() + diff.len(), a.len());
+        assert!(inter.intersection(&diff).is_empty());
+        assert_eq!(inter.union(&diff), a);
+    });
+}
 
-    #[test]
-    fn set_complement_involutive(a in arb_set(129)) {
-        prop_assert_eq!(a.complement().complement(), a);
-    }
+#[test]
+fn set_complement_involutive() {
+    forall(CASES, |g| {
+        let a = arb_set(g, 129);
+        assert_eq!(a.complement().complement(), a);
+    });
+}
 
-    #[test]
-    fn set_iter_sorted_and_consistent(a in arb_set(100)) {
+#[test]
+fn set_iter_sorted_and_consistent() {
+    forall(CASES, |g| {
+        let a = arb_set(g, 100);
         let v: Vec<usize> = a.iter().map(|p| p.index()).collect();
-        prop_assert_eq!(v.len(), a.len());
-        prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v.len(), a.len());
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
         for &i in &v {
-            prop_assert!(a.contains(ProcessId(i)));
+            assert!(a.contains(ProcessId(i)));
         }
-    }
+    });
+}
 
-    // -------------------------------------------------------------------
-    // normalize
-    // -------------------------------------------------------------------
+// ---------------------------------------------------------------------
+// normalize
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn normalize_in_range_and_periodic(c in any::<u64>(), fr in 1u64..1000) {
+#[test]
+fn normalize_in_range_and_periodic() {
+    forall(CASES, |g| {
+        let c: u64 = g.gen();
+        let fr = g.gen_range(1u64..1000);
         let k = normalize(c, fr);
-        prop_assert!((1..=fr).contains(&k));
+        assert!((1..=fr).contains(&k));
         if c < u64::MAX - fr {
-            prop_assert_eq!(normalize(c + fr, fr), k);
+            assert_eq!(normalize(c + fr, fr), k);
         }
         // Consecutive counters map to consecutive protocol rounds (mod fr).
         if c < u64::MAX {
             let k2 = normalize(c + 1, fr);
-            prop_assert_eq!(k2, if k == fr { 1 } else { k + 1 });
+            assert_eq!(k2, if k == fr { 1 } else { k + 1 });
         }
-    }
+    });
+}
 
-    // -------------------------------------------------------------------
-    // Causality
-    // -------------------------------------------------------------------
+// ---------------------------------------------------------------------
+// Causality
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn causal_reachability_is_monotone(
-        edges in prop::collection::vec((0usize..6, 0usize..6), 0..40),
-    ) {
+fn arb_edges(g: &mut Gen, n: usize, max_edges: usize) -> Vec<(usize, usize)> {
+    g.vec(0, max_edges, |g| (g.gen_range(0..n), g.gen_range(0..n)))
+}
+
+#[test]
+fn causal_reachability_is_monotone() {
+    forall(CASES, |g| {
         // Deliveries only ever add reachability, never remove it.
+        let edges = arb_edges(g, 6, 40);
         let mut t = CausalTracker::new(6);
         let mut reach_counts = Vec::new();
         for chunk in edges.chunks(4) {
@@ -98,16 +125,17 @@ proptest! {
                 t.deliver(ProcessId(a), ProcessId(b));
             }
             t.commit_round();
-            let count: usize = (0..6)
-                .map(|q| t.ancestors(ProcessId(q)).len())
-                .sum();
+            let count: usize = (0..6).map(|q| t.ancestors(ProcessId(q)).len()).sum();
             reach_counts.push(count);
         }
-        prop_assert!(reach_counts.windows(2).all(|w| w[0] <= w[1]));
-    }
+        assert!(reach_counts.windows(2).all(|w| w[0] <= w[1]));
+    });
+}
 
-    #[test]
-    fn causal_self_reachability_always(edges in prop::collection::vec((0usize..5, 0usize..5), 0..20)) {
+#[test]
+fn causal_self_reachability_always() {
+    forall(CASES, |g| {
+        let edges = arb_edges(g, 5, 20);
         let mut t = CausalTracker::new(5);
         t.begin_round();
         for (a, b) in edges {
@@ -115,15 +143,16 @@ proptest! {
         }
         t.commit_round();
         for q in 0..5 {
-            prop_assert!(t.reaches(ProcessId(q), ProcessId(q)));
+            assert!(t.reaches(ProcessId(q), ProcessId(q)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn reaching_all_is_antitone_in_targets(
-        edges in prop::collection::vec((0usize..5, 0usize..5), 0..20),
-        targets in arb_set(5),
-    ) {
+#[test]
+fn reaching_all_is_antitone_in_targets() {
+    forall(CASES, |g| {
+        let edges = arb_edges(g, 5, 20);
+        let targets = arb_set(g, 5);
         let mut t = CausalTracker::new(5);
         t.begin_round();
         for (a, b) in edges {
@@ -133,8 +162,8 @@ proptest! {
         // More targets → smaller (or equal) reaching set.
         let full = t.reaching_all(&ProcessSet::full(5));
         let sub = t.reaching_all(&targets);
-        prop_assert!(full.is_subset(&sub));
-    }
+        assert!(full.is_subset(&sub));
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -143,94 +172,100 @@ proptest! {
 
 /// A random history over `n` processes: each round, each ordered pair
 /// (i, j) independently delivered or not; no deviations recorded.
-fn arb_history(n: usize, max_rounds: usize) -> impl Strategy<Value = History<(), u8>> {
-    prop::collection::vec(
-        prop::collection::vec(any::<bool>(), n * n),
-        1..=max_rounds,
-    )
-    .prop_map(move |rounds| {
-        let mut h = History::new(n);
-        for matrix in rounds {
-            let mut records: Vec<ProcessRoundRecord<(), u8>> = (0..n)
-                .map(|_| ProcessRoundRecord {
-                    state_at_start: Some(()),
-                    counter_at_start: None,
-                    sent: vec![],
-                    delivered: vec![],
-                    crashed_here: false,
-                    halted_at_start: false,
-                })
-                .collect();
-            for i in 0..n {
-                // Self delivery, always.
-                records[i]
-                    .delivered
-                    .push(ftss_core::Envelope::new(ProcessId(i), ftss_core::Round::FIRST, 0));
-                for j in 0..n {
-                    if i != j && matrix[i * n + j] {
-                        records[j].delivered.push(ftss_core::Envelope::new(
-                            ProcessId(i),
-                            ftss_core::Round::FIRST,
-                            0,
-                        ));
-                    }
+fn arb_history(g: &mut Gen, n: usize, max_rounds: usize) -> History<(), u8> {
+    let rounds = g.gen_range(1..=max_rounds);
+    let mut h = History::new(n);
+    for _ in 0..rounds {
+        let mut records: Vec<ProcessRoundRecord<(), u8>> = (0..n)
+            .map(|_| ProcessRoundRecord {
+                state_at_start: Some(()),
+                counter_at_start: None,
+                sent: vec![],
+                delivered: vec![],
+                crashed_here: false,
+                halted_at_start: false,
+            })
+            .collect();
+        for i in 0..n {
+            // Self delivery, always.
+            records[i].delivered.push(ftss_core::Envelope::new(
+                ProcessId(i),
+                ftss_core::Round::FIRST,
+                0,
+            ));
+            for (j, rec) in records.iter_mut().enumerate() {
+                if i != j && g.gen::<bool>() {
+                    rec.delivered.push(ftss_core::Envelope::new(
+                        ProcessId(i),
+                        ftss_core::Round::FIRST,
+                        0,
+                    ));
                 }
             }
-            h.push(RoundHistory { records });
         }
-        h
-    })
+        h.push(RoundHistory { records });
+    }
+    h
 }
 
-proptest! {
-    #[test]
-    fn coterie_windows_partition_the_run(h in arb_history(4, 12)) {
+#[test]
+fn coterie_windows_partition_the_run() {
+    forall(CASES, |g| {
+        let h = arb_history(g, 4, 12);
         let tl = CoterieTimeline::compute(&h);
         let ws = tl.stable_windows();
         let total: usize = ws.iter().map(|w| w.duration()).sum();
-        prop_assert_eq!(total, h.len());
+        assert_eq!(total, h.len());
         // Windows are contiguous and ordered.
         let mut expect = 1;
         for w in &ws {
-            prop_assert_eq!(w.from_len, expect);
+            assert_eq!(w.from_len, expect);
             expect = w.to_len + 1;
         }
         // Adjacent windows have different coteries.
         for pair in ws.windows(2) {
-            prop_assert_ne!(&pair[0].coterie, &pair[1].coterie);
+            assert_ne!(&pair[0].coterie, &pair[1].coterie);
         }
-    }
+    });
+}
 
-    #[test]
-    fn coterie_grows_with_failure_free_prefixes(h in arb_history(4, 10)) {
+#[test]
+fn coterie_grows_with_failure_free_prefixes() {
+    forall(CASES, |g| {
         // With no deviations ever recorded, the correct set is everyone and
         // ancestor sets only grow, so coteries are monotone non-decreasing.
+        let h = arb_history(g, 4, 10);
         let tl = CoterieTimeline::compute(&h);
         for k in 1..tl.len() {
-            prop_assert!(
+            assert!(
                 tl.at_prefix(k).is_subset(tl.at_prefix(k + 1)),
-                "coterie shrank from prefix {} to {}", k, k + 1
+                "coterie shrank from prefix {} to {}",
+                k,
+                k + 1
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn faulty_upto_is_monotone(h in arb_history(3, 8)) {
+#[test]
+fn faulty_upto_is_monotone() {
+    forall(CASES, |g| {
+        let h = arb_history(g, 3, 8);
         for k in 1..h.len() {
-            prop_assert!(h.faulty_upto(k).is_subset(&h.faulty_upto(k + 1)));
+            assert!(h.faulty_upto(k).is_subset(&h.faulty_upto(k + 1)));
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Corruption determinism
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn corruption_is_a_function_of_the_seed(seed in any::<u64>()) {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+#[test]
+fn corruption_is_a_function_of_the_seed() {
+    forall(CASES, |g| {
+        use ftss_rng::StdRng;
+        let seed: u64 = g.gen();
         let corrupt_all = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut a = 0u64;
@@ -243,6 +278,6 @@ proptest! {
             d.corrupt(&mut rng);
             (a, b, c, d)
         };
-        prop_assert_eq!(corrupt_all(seed), corrupt_all(seed));
-    }
+        assert_eq!(corrupt_all(seed), corrupt_all(seed));
+    });
 }

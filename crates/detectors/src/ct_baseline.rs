@@ -14,7 +14,7 @@ use crate::strong::{LifeState, TableMsg};
 use crate::weak::WeakOracle;
 use ftss_async_sim::{AsyncProcess, Ctx};
 use ftss_core::{Corrupt, ProcessId, ProcessSet};
-use rand::Rng;
+use ftss_rng::Rng;
 
 /// The baseline detector process: Figure 4 with change-only gossip.
 #[derive(Clone, Debug)]
@@ -203,7 +203,11 @@ mod tests {
         let mut p = BaselineDetectorProcess::new(ProcessId(0), oracle, 10);
         p.num[1] = 3;
         let mut ctx = Ctx::new(ProcessId(0), 2, 0);
-        p.on_message(&mut ctx, ProcessId(1), vec![(0, LifeState::Dead), (0, LifeState::Dead)]);
+        p.on_message(
+            &mut ctx,
+            ProcessId(1),
+            vec![(0, LifeState::Dead), (0, LifeState::Dead)],
+        );
         assert_eq!(p.state[0], LifeState::Alive);
         assert_eq!(p.state[1], LifeState::Alive);
     }

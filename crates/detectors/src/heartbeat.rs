@@ -21,7 +21,7 @@
 use crate::properties::Suspector;
 use ftss_async_sim::{AsyncProcess, Ctx, Time};
 use ftss_core::{Corrupt, ProcessId, ProcessSet};
-use rand::Rng;
+use ftss_rng::Rng;
 
 /// One process of the heartbeat ◇P/◇W detector.
 #[derive(Clone, Debug)]
@@ -125,12 +125,9 @@ impl Suspector for HeartbeatDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::properties::{
-        eventual_weak_accuracy, strong_completeness_time, SuspectProbe,
-    };
+    use crate::properties::{eventual_weak_accuracy, strong_completeness_time, SuspectProbe};
     use ftss_async_sim::{AsyncConfig, AsyncRunner};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ftss_rng::StdRng;
 
     fn run(
         n: usize,
@@ -155,7 +152,9 @@ mod tests {
         }
         let mut runner = AsyncRunner::new(procs, cfg).unwrap();
         let mut probes = Vec::new();
-        runner.run_probed(60_000, 250, |t, ps| probes.push(SuspectProbe::sample(t, ps)));
+        runner.run_probed(60_000, 250, |t, ps| {
+            probes.push(SuspectProbe::sample(t, ps))
+        });
         probes
     }
 

@@ -44,11 +44,9 @@ pub fn strong_completeness_time(
     correct: &ProcessSet,
 ) -> Option<Time> {
     settle_time(probes, |probe| {
-        crashed.iter().all(|s| {
-            correct
-                .iter()
-                .all(|p| probe.sets[p.index()].contains(s))
-        })
+        crashed
+            .iter()
+            .all(|s| correct.iter().all(|p| probe.sets[p.index()].contains(s)))
     })
 }
 
@@ -60,11 +58,9 @@ pub fn weak_completeness_time(
     correct: &ProcessSet,
 ) -> Option<Time> {
     settle_time(probes, |probe| {
-        crashed.iter().all(|s| {
-            correct
-                .iter()
-                .any(|p| probe.sets[p.index()].contains(s))
-        })
+        crashed
+            .iter()
+            .all(|s| correct.iter().any(|p| probe.sets[p.index()].contains(s)))
     })
 }
 
@@ -90,7 +86,10 @@ pub fn eventual_weak_accuracy(
 
 /// The earliest probe time from which `pred` holds on every remaining
 /// probe (and at least one probe satisfies it).
-fn settle_time(probes: &[SuspectProbe], mut pred: impl FnMut(&SuspectProbe) -> bool) -> Option<Time> {
+fn settle_time(
+    probes: &[SuspectProbe],
+    mut pred: impl FnMut(&SuspectProbe) -> bool,
+) -> Option<Time> {
     let mut settle: Option<Time> = None;
     for probe in probes {
         if pred(probe) {
@@ -125,8 +124,14 @@ mod tests {
             probe(20, vec![set(3, &[2]), set(3, &[2]), set(3, &[])]),
             probe(30, vec![set(3, &[2]), set(3, &[2]), set(3, &[])]),
         ];
-        assert_eq!(strong_completeness_time(&probes, &crashed, &correct), Some(20));
-        assert_eq!(weak_completeness_time(&probes, &crashed, &correct), Some(10));
+        assert_eq!(
+            strong_completeness_time(&probes, &crashed, &correct),
+            Some(20)
+        );
+        assert_eq!(
+            weak_completeness_time(&probes, &crashed, &correct),
+            Some(10)
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::weak::WeakOracle;
 use ftss_async_sim::{AsyncProcess, Ctx};
 use ftss_core::{Corrupt, ProcessId, ProcessSet};
-use rand::Rng;
+use ftss_rng::Rng;
 
 /// A process's verdict about another process.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -34,7 +34,11 @@ pub enum LifeState {
 
 impl Corrupt for LifeState {
     fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        *self = if rng.gen() { LifeState::Alive } else { LifeState::Dead };
+        *self = if rng.gen() {
+            LifeState::Alive
+        } else {
+            LifeState::Dead
+        };
     }
 }
 
@@ -158,8 +162,7 @@ impl crate::properties::Suspector for StrongDetectorProcess {
 mod tests {
     use super::*;
     use ftss_async_sim::{AsyncConfig, AsyncRunner};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ftss_rng::StdRng;
 
     fn build(
         n: usize,
@@ -216,7 +219,10 @@ mod tests {
             r.run_until(20_000);
             for i in 0..3 {
                 let sus = r.process(ProcessId(i)).suspected();
-                assert!(sus.contains(ProcessId(3)), "seed {seed}: completeness at p{i}");
+                assert!(
+                    sus.contains(ProcessId(3)),
+                    "seed {seed}: completeness at p{i}"
+                );
                 assert!(
                     !sus.contains(ProcessId(0)),
                     "seed {seed}: accuracy at p{i} (suspects {sus})"

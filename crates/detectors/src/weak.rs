@@ -186,7 +186,10 @@ mod tests {
             .map(|k| o.detect(ProcessId(1), ProcessId(2), k * 64))
             .collect();
         assert_eq!(a, b);
-        assert!(a.iter().any(|&x| x), "some pre-convergence suspicion expected");
+        assert!(
+            a.iter().any(|&x| x),
+            "some pre-convergence suspicion expected"
+        );
         assert!(a.iter().any(|&x| !x), "not constant suspicion either");
     }
 

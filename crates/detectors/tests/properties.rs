@@ -1,58 +1,65 @@
 //! Property-based tests: the ◇W oracle's contract and Theorem 5 for the
-//! Figure-4 detector under random corruption.
+//! Figure-4 detector under random corruption, on the in-repo
+//! `ftss_rng::check` harness.
 
 use ftss_async_sim::{AsyncConfig, AsyncRunner};
 use ftss_core::{Corrupt, ProcessId, ProcessSet};
 use ftss_detectors::{
-    eventual_weak_accuracy, strong_completeness_time, weak_completeness_time, StrongDetectorProcess,
-    SuspectProbe, WeakOracle,
+    eventual_weak_accuracy, strong_completeness_time, weak_completeness_time,
+    StrongDetectorProcess, SuspectProbe, WeakOracle,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ftss_rng::check::forall;
+use ftss_rng::{Rng, StdRng};
 
-proptest! {
-    /// The oracle's post-convergence contract: weak completeness at the
-    /// witness, no suspicion of the accurate process, no self-suspicion —
-    /// for arbitrary parameters.
-    #[test]
-    fn oracle_contract(
-        n in 2usize..10,
-        crash_idx in 1usize..10,
-        conv in 0u64..5_000,
-        seed in any::<u64>(),
-        noise in 0.0f64..1.0,
-    ) {
-        let crash_idx = crash_idx % n;
-        let crashes = if crash_idx == 0 { vec![] } else { vec![(ProcessId(crash_idx), 100)] };
+const CASES: u64 = 24;
+
+/// The oracle's post-convergence contract: weak completeness at the
+/// witness, no suspicion of the accurate process, no self-suspicion —
+/// for arbitrary parameters.
+#[test]
+fn oracle_contract() {
+    forall(CASES, |g| {
+        let n = g.gen_range(2usize..10);
+        let crash_idx = g.gen_range(1usize..10) % n;
+        let conv = g.gen_range(0u64..5_000);
+        let seed: u64 = g.gen();
+        let noise = g.gen_range(0.0f64..1.0);
+        let crashes = if crash_idx == 0 {
+            vec![]
+        } else {
+            vec![(ProcessId(crash_idx), 100)]
+        };
         let oracle = WeakOracle::new(n, crashes.clone(), conv, seed, noise);
         let witness = oracle.accurate_process();
         let t = conv + 1_000;
         for i in 0..n {
             // Nobody suspects themselves, ever.
-            prop_assert!(!oracle.detect(ProcessId(i), ProcessId(i), t));
+            assert!(!oracle.detect(ProcessId(i), ProcessId(i), t));
             // Nobody suspects the accurate process after convergence.
-            prop_assert!(!oracle.detect(ProcessId(i), witness, t));
+            assert!(!oracle.detect(ProcessId(i), witness, t));
         }
         for &(s, _) in &crashes {
-            prop_assert!(oracle.detect(witness, s, t.max(200)),
-                "witness must suspect the crashed {s}");
+            assert!(
+                oracle.detect(witness, s, t.max(200)),
+                "witness must suspect the crashed {s}"
+            );
         }
         // The oracle is a pure function: repeated queries agree.
-        prop_assert_eq!(
+        assert_eq!(
             oracle.detect(ProcessId(0), ProcessId(n - 1), t),
             oracle.detect(ProcessId(0), ProcessId(n - 1), t)
         );
-    }
+    });
+}
 
-    /// Theorem 5 at property-test scale: from random corruption, the
-    /// Figure-4 detector reaches weak *and* strong completeness and
-    /// eventual weak accuracy.
-    #[test]
-    fn figure4_satisfies_diamond_s_from_corruption(
-        n in 3usize..7,
-        seed in any::<u64>(),
-    ) {
+/// Theorem 5 at property-test scale: from random corruption, the
+/// Figure-4 detector reaches weak *and* strong completeness and
+/// eventual weak accuracy.
+#[test]
+fn figure4_satisfies_diamond_s_from_corruption() {
+    forall(CASES, |g| {
+        let n = g.gen_range(3usize..7);
+        let seed: u64 = g.gen();
         let crashes = vec![(ProcessId(n - 1), 300u64)];
         let oracle = WeakOracle::new(n, crashes.clone(), 500, seed, 0.2);
         let mut procs: Vec<StrongDetectorProcess> = (0..n)
@@ -68,22 +75,28 @@ proptest! {
         }
         let mut runner = AsyncRunner::new(procs, cfg).unwrap();
         let mut probes = Vec::new();
-        runner.run_probed(30_000, 250, |t, ps| probes.push(SuspectProbe::sample(t, ps)));
+        runner.run_probed(30_000, 250, |t, ps| {
+            probes.push(SuspectProbe::sample(t, ps))
+        });
         let crashed = ProcessSet::from_iter_n(n, [ProcessId(n - 1)]);
         let correct = crashed.complement();
-        prop_assert!(weak_completeness_time(&probes, &crashed, &correct).is_some());
-        prop_assert!(strong_completeness_time(&probes, &crashed, &correct).is_some());
-        prop_assert!(eventual_weak_accuracy(&probes, &correct).is_some());
+        assert!(weak_completeness_time(&probes, &crashed, &correct).is_some());
+        assert!(strong_completeness_time(&probes, &crashed, &correct).is_some());
+        assert!(eventual_weak_accuracy(&probes, &correct).is_some());
         // Weak completeness cannot settle later than strong completeness.
         let w = weak_completeness_time(&probes, &crashed, &correct).unwrap();
         let s = strong_completeness_time(&probes, &crashed, &correct).unwrap();
-        prop_assert!(w <= s);
-    }
+        assert!(w <= s);
+    });
+}
 
-    /// The detector's suspect set never contains the process itself after
-    /// a tick, no matter the corruption.
-    #[test]
-    fn no_persistent_self_suspicion(n in 2usize..6, seed in any::<u64>()) {
+/// The detector's suspect set never contains the process itself after
+/// a tick, no matter the corruption.
+#[test]
+fn no_persistent_self_suspicion() {
+    forall(CASES, |g| {
+        let n = g.gen_range(2usize..6);
+        let seed: u64 = g.gen();
         let oracle = WeakOracle::new(n, vec![], 0, seed, 0.3);
         let mut procs: Vec<StrongDetectorProcess> = (0..n)
             .map(|i| StrongDetectorProcess::new(ProcessId(i), oracle.clone(), 20))
@@ -95,10 +108,13 @@ proptest! {
         let mut runner = AsyncRunner::new(procs, AsyncConfig::tame(seed)).unwrap();
         runner.run_until(2_000);
         for i in 0..n {
-            prop_assert!(
-                !runner.process(ProcessId(i)).suspected().contains(ProcessId(i)),
+            assert!(
+                !runner
+                    .process(ProcessId(i))
+                    .suspected()
+                    .contains(ProcessId(i)),
                 "p{i} suspects itself after running"
             );
         }
-    }
+    });
 }

@@ -11,8 +11,8 @@
 //! way, because wrap-around destroys the total order `max` relies on.
 
 use ftss_core::{Corrupt, RoundCounter};
+use ftss_rng::Rng;
 use ftss_sync_sim::{Inbox, ProtocolCtx, SyncProtocol};
-use rand::Rng;
 
 /// Round agreement with a counter bounded by `modulus` (wraps to 0).
 #[derive(Clone, Copy, Debug)]
@@ -122,7 +122,10 @@ mod tests {
                     .iter()
                     .map(|rec| rec.counter_at_start.unwrap().get())
                     .collect();
-                assert!(cs.iter().all(|&c| c == cs[0]), "seed {seed} round {r}: {cs:?}");
+                assert!(
+                    cs.iter().all(|&c| c == cs[0]),
+                    "seed {seed} round {r}: {cs:?}"
+                );
             }
         }
     }

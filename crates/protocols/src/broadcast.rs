@@ -11,8 +11,8 @@
 use crate::canonical::CanonicalProtocol;
 use crate::problems::HasDecision;
 use ftss_core::{Corrupt, ProcessId};
+use ftss_rng::Rng;
 use ftss_sync_sim::{Inbox, ProtocolCtx};
-use rand::Rng;
 
 /// Reliable broadcast from `source` of `value`, tolerating `f` crashes in
 /// `f + 1` rounds.
@@ -57,7 +57,9 @@ pub struct BroadcastState {
 impl Corrupt for BroadcastState {
     fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.val = rng.gen_bool(0.5).then(|| rng.gen_range(0..64));
-        self.delivered = rng.gen_bool(0.5).then(|| rng.gen_bool(0.5).then(|| rng.gen_range(0..64)));
+        self.delivered = rng
+            .gen_bool(0.5)
+            .then(|| rng.gen_bool(0.5).then(|| rng.gen_range(0..64)));
     }
 }
 
@@ -136,7 +138,11 @@ mod tests {
 
     #[test]
     fn correct_source_delivers_to_all() {
-        let out = run(ReliableBroadcast::new(ProcessId(1), 42, 1), 4, &mut NoFaults);
+        let out = run(
+            ReliableBroadcast::new(ProcessId(1), 42, 1),
+            4,
+            &mut NoFaults,
+        );
         for s in out.final_states.iter().flatten() {
             assert_eq!(s.inner.delivered, Some(Some(42)));
         }
@@ -182,7 +188,8 @@ mod tests {
         // f = 2: source tells p1 then crashes; p1 tells p2 then crashes;
         // survivors must still agree (round 3 = f+1 is crash-free).
         let mut cs = CrashSchedule::none();
-        cs.set(ProcessId(0), Round::new(1)).set(ProcessId(1), Round::new(2));
+        cs.set(ProcessId(0), Round::new(1))
+            .set(ProcessId(1), Round::new(2));
         let out = run(
             ReliableBroadcast::new(ProcessId(0), 9, 2),
             4,

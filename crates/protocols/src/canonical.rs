@@ -13,8 +13,8 @@
 //! infinitely-repeating, self-stabilizing form Π⁺ lives in `ftss-compiler`.
 
 use ftss_core::{Corrupt, RoundCounter};
+use ftss_rng::Rng;
 use ftss_sync_sim::{Inbox, ProtocolCtx, SyncProtocol};
-use rand::Rng;
 use std::fmt;
 
 /// A terminating round-based full-information protocol Π in the canonical
@@ -260,10 +260,9 @@ mod tests {
 
     #[test]
     fn corrupted_single_shot_state_does_not_panic() {
-        use rand::SeedableRng;
         let single = SingleShot::new(MinId);
         let ctx = ProtocolCtx::new(ProcessId(0), 3);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = ftss_rng::StdRng::seed_from_u64(5);
         for _ in 0..20 {
             let mut s = single.init_state(&ctx);
             s.corrupt(&mut rng);

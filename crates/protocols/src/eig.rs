@@ -17,8 +17,8 @@
 use crate::canonical::CanonicalProtocol;
 use crate::problems::HasDecision;
 use ftss_core::Corrupt;
+use ftss_rng::Rng;
 use ftss_sync_sim::{Inbox, ProtocolCtx};
-use rand::Rng;
 use std::collections::BTreeMap;
 
 /// A relay chain: the sequence of processes a value passed through,
@@ -183,7 +183,8 @@ mod tests {
         // p0 (min holder) tells only p1 and crashes; p1 crashes next round
         // after relaying to p2 only; with f = 2 everyone still agrees.
         let mut cs = CrashSchedule::none();
-        cs.set(ProcessId(0), Round::new(1)).set(ProcessId(1), Round::new(2));
+        cs.set(ProcessId(0), Round::new(1))
+            .set(ProcessId(1), Round::new(2));
         let mut adv = CrashOnly::new(cs).with_partial_sends(1);
         let out = run(2, vec![1, 5, 9, 7], &mut adv);
         let survivors: Vec<u64> = out
@@ -226,5 +227,4 @@ mod tests {
         assert!(state.tree.keys().all(|c| !c.contains(&1) || c == &vec![1]));
         assert!(!state.tree.contains_key(&vec![0, 2, 1]));
     }
-
 }

@@ -15,8 +15,8 @@
 use crate::canonical::CanonicalProtocol;
 use crate::problems::HasDecision;
 use ftss_core::Corrupt;
+use ftss_rng::Rng;
 use ftss_sync_sim::{Inbox, ProtocolCtx};
-use rand::Rng;
 use std::collections::BTreeSet;
 
 /// FloodSet consensus for `f` crash/send-omission failures; one iteration

@@ -19,8 +19,8 @@
 use crate::canonical::CanonicalProtocol;
 use crate::problems::HasDecision;
 use ftss_core::{Corrupt, ProcessId};
+use ftss_rng::Rng;
 use ftss_sync_sim::{Inbox, ProtocolCtx};
-use rand::Rng;
 
 /// Phase-king binary consensus tolerating `f < n/4` failures.
 ///

@@ -97,12 +97,11 @@ where
                     .with_processes([p])
             })?;
             if !self.valid_values.contains(&v) {
-                return Err(Violation::new(
-                    "validity",
-                    format!("{p} decided {v:?}, not an input"),
-                )
-                .at_round(self.decide_by)
-                .with_processes([p]));
+                return Err(
+                    Violation::new("validity", format!("{p} decided {v:?}, not an input"))
+                        .at_round(self.decide_by)
+                        .with_processes([p]),
+                );
             }
             match &agreed {
                 None => agreed = Some((p, v)),
@@ -261,10 +260,7 @@ mod tests {
 
     #[test]
     fn consensus_ok() {
-        let h = hist(vec![round(&[
-            Some(D(Some((0, 7)))),
-            Some(D(Some((0, 7)))),
-        ])]);
+        let h = hist(vec![round(&[Some(D(Some((0, 7)))), Some(D(Some((0, 7))))])]);
         let spec = ConsensusSpec::new(vec![7u32, 9], 0);
         assert!(spec.check(h.as_slice(), &ProcessSet::empty(2)).is_ok());
     }
@@ -279,10 +275,7 @@ mod tests {
 
     #[test]
     fn consensus_agreement_violation() {
-        let h = hist(vec![round(&[
-            Some(D(Some((0, 7)))),
-            Some(D(Some((0, 9)))),
-        ])]);
+        let h = hist(vec![round(&[Some(D(Some((0, 7)))), Some(D(Some((0, 9))))])]);
         let spec = ConsensusSpec::new(vec![7u32, 9], 0);
         let err = spec.check(h.as_slice(), &ProcessSet::empty(2)).unwrap_err();
         assert_eq!(err.rule, "agreement");
@@ -345,7 +338,9 @@ mod tests {
             round(&[Some(D(Some((1, 7))))]),
         ]);
         let strict = RepeatedConsensusSpec::with_progress(3);
-        let err = strict.check(h.as_slice(), &ProcessSet::empty(1)).unwrap_err();
+        let err = strict
+            .check(h.as_slice(), &ProcessSet::empty(1))
+            .unwrap_err();
         assert_eq!(err.rule, "progress");
         // Below the horizon, no progress demanded.
         let lax = RepeatedConsensusSpec::with_progress(4);

@@ -15,8 +15,8 @@
 //! work — which is what makes it tolerant of systemic failures.
 
 use ftss_core::{Corrupt, RoundCounter};
+use ftss_rng::Rng;
 use ftss_sync_sim::{Inbox, ProtocolCtx, SyncProtocol};
-use rand::Rng;
 
 /// The round-agreement protocol of Figure 1.
 ///
@@ -159,7 +159,10 @@ mod tests {
                 failed = true;
             }
         }
-        assert!(failed, "some corrupted start must violate round-1 agreement");
+        assert!(
+            failed,
+            "some corrupted start must violate round-1 agreement"
+        );
     }
 
     #[test]

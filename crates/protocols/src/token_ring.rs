@@ -18,8 +18,8 @@
 //! circulates regardless of the initial state.
 
 use ftss_core::Corrupt;
+use ftss_rng::Rng;
 use ftss_sync_sim::{Inbox, ProtocolCtx, SyncProtocol};
-use rand::Rng;
 
 /// Dijkstra's K-state mutual-exclusion ring.
 ///

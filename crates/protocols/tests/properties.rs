@@ -1,21 +1,26 @@
 //! Property-based tests of the protocol layer: Theorem-3 behaviour of
-//! round agreement and the consensus properties of the concrete Πs.
+//! round agreement and the consensus properties of the concrete Πs, on
+//! the in-repo `ftss_rng::check` harness.
 
 use ftss_core::{ft_check, ftss_check, ProcessId, RateAgreementSpec, Round};
-use ftss_protocols::{CanonicalProtocol, ConsensusSpec, FloodSet, PhaseKing, RoundAgreement, SingleShot};
+use ftss_protocols::{
+    CanonicalProtocol, ConsensusSpec, FloodSet, PhaseKing, RoundAgreement, SingleShot,
+};
+use ftss_rng::check::forall;
+use ftss_rng::Rng;
 use ftss_sync_sim::{CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
-use proptest::prelude::*;
 
-proptest! {
-    /// Round agreement from arbitrary corruption, arbitrary n: all correct
-    /// processes agree from round 2 on, and the common value is
-    /// max(initial corrupted counters) + 1.
-    #[test]
-    fn round_agreement_converges_to_max_plus_one(
-        n in 2usize..12,
-        seed in any::<u64>(),
-        rounds in 3usize..10,
-    ) {
+const CASES: u64 = 32;
+
+/// Round agreement from arbitrary corruption, arbitrary n: all correct
+/// processes agree from round 2 on, and the common value is
+/// max(initial corrupted counters) + 1.
+#[test]
+fn round_agreement_converges_to_max_plus_one() {
+    forall(CASES, |g| {
+        let n = g.gen_range(2usize..12);
+        let seed: u64 = g.gen();
+        let rounds = g.gen_range(3usize..10);
         let out = SyncRunner::new(RoundAgreement)
             .run(&mut NoFaults, &RunConfig::corrupted(n, rounds, seed))
             .unwrap();
@@ -35,38 +40,40 @@ proptest! {
                 .iter()
                 .map(|rec| rec.counter_at_start.unwrap().get())
                 .collect();
-            prop_assert!(cs.iter().all(|&c| c == cs[0]), "round {r}: {cs:?}");
+            assert!(cs.iter().all(|&c| c == cs[0]), "round {r}: {cs:?}");
             // Saturating arithmetic near u64::MAX is allowed to pin at MAX.
             if initial_max < u64::MAX - rounds as u64 {
-                prop_assert_eq!(cs[0], initial_max + (r - 1));
+                assert_eq!(cs[0], initial_max + (r - 1));
             }
         }
-    }
+    });
+}
 
-    /// Theorem 3, mechanically: the full Definition-2.4 check passes with
-    /// stabilization time 1 under random omission faults and corruption.
-    #[test]
-    fn round_agreement_ftss_with_random_faults(
-        n in 3usize..7,
-        seed in any::<u64>(),
-        p_drop in 0.0f64..0.9,
-    ) {
+/// Theorem 3, mechanically: the full Definition-2.4 check passes with
+/// stabilization time 1 under random omission faults and corruption.
+#[test]
+fn round_agreement_ftss_with_random_faults() {
+    forall(CASES, |g| {
+        let n = g.gen_range(3usize..7);
+        let seed: u64 = g.gen();
+        let p_drop = g.gen_range(0.0f64..0.9);
         let mut adv = RandomOmission::new([ProcessId(0)], p_drop, seed);
         let out = SyncRunner::new(RoundAgreement)
             .run(&mut adv, &RunConfig::corrupted(n, 10, seed ^ 0x1))
             .unwrap();
         let report = ftss_check(&out.history, &RateAgreementSpec::new(), 1);
-        prop_assert!(report.is_satisfied(), "{}", report);
-    }
+        assert!(report.is_satisfied(), "{}", report);
+    });
+}
 
-    /// FloodSet consensus under random crash schedules within its bound.
-    #[test]
-    fn floodset_consensus_under_crashes(
-        inputs in prop::collection::vec(0u64..100, 3..8),
-        crash_round in 1u64..4,
-        crash_idx in 0usize..8,
-        partial in 0usize..8,
-    ) {
+/// FloodSet consensus under random crash schedules within its bound.
+#[test]
+fn floodset_consensus_under_crashes() {
+    forall(CASES, |g| {
+        let inputs = g.vec(3, 7, |g| g.gen_range(0u64..100));
+        let crash_round = g.gen_range(1u64..4);
+        let crash_idx = g.gen_range(0usize..8);
+        let partial = g.gen_range(0usize..8);
         let n = inputs.len();
         let f = 2;
         let crash_idx = crash_idx % n;
@@ -78,17 +85,18 @@ proptest! {
             .run(&mut adv, &RunConfig::clean(n, rounds))
             .unwrap();
         let spec = ConsensusSpec::new(inputs, f + 1);
-        prop_assert!(ft_check(&out.history, &spec).is_ok());
-    }
+        assert!(ft_check(&out.history, &spec).is_ok());
+    });
+}
 
-    /// Phase-king validity: unanimous inputs survive any single omitter.
-    #[test]
-    fn phase_king_validity_under_omissions(
-        v in any::<bool>(),
-        seed in any::<u64>(),
-        p_drop in 0.0f64..1.0,
-        omitter in 0usize..5,
-    ) {
+/// Phase-king validity: unanimous inputs survive any single omitter.
+#[test]
+fn phase_king_validity_under_omissions() {
+    forall(CASES, |g| {
+        let v: bool = g.gen();
+        let seed: u64 = g.gen();
+        let p_drop = g.gen_range(0.0f64..1.0);
+        let omitter = g.gen_range(0usize..5);
         let n = 5;
         let f = 1;
         let inputs = vec![v; n];
@@ -102,18 +110,19 @@ proptest! {
         for (i, s) in out.final_states.iter().enumerate() {
             if let Some(s) = s {
                 if !faulty.contains(ProcessId(i)) {
-                    prop_assert_eq!(s.inner.decided, Some(v), "p{} flipped", i);
+                    assert_eq!(s.inner.decided, Some(v), "p{} flipped", i);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Phase-king agreement for arbitrary inputs under a crash.
-    #[test]
-    fn phase_king_agreement_under_crash(
-        bits in prop::collection::vec(any::<bool>(), 5..9),
-        crash_round in 1u64..4,
-    ) {
+/// Phase-king agreement for arbitrary inputs under a crash.
+#[test]
+fn phase_king_agreement_under_crash() {
+    forall(CASES, |g| {
+        let bits = g.vec(5, 8, |g| g.gen::<bool>());
+        let crash_round = g.gen_range(1u64..4);
         let n = bits.len();
         let f = 1;
         let pk = PhaseKing::new(f, bits.clone());
@@ -125,6 +134,6 @@ proptest! {
             .run(&mut adv, &RunConfig::clean(n, rounds))
             .unwrap();
         let spec = ConsensusSpec::new(vec![true, false], rounds - 1);
-        prop_assert!(ft_check(&out.history, &spec).is_ok());
-    }
+        assert!(ft_check(&out.history, &spec).is_ok());
+    });
 }

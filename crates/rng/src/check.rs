@@ -1,0 +1,264 @@
+//! A minimal in-repo property-test harness (the workspace's replacement
+//! for `proptest`).
+//!
+//! [`forall`] runs a property over a deterministic sequence of seeded
+//! cases. Each case gets a [`Gen`] — a seeded [`StdRng`](crate::StdRng)
+//! plus a *size* budget that grows over the run, so early cases are small
+//! and later cases are adversarial. On failure the harness:
+//!
+//! 1. reports the failing seed and size,
+//! 2. **shrinks by reseeding**: it re-runs the property at progressively
+//!    smaller sizes with seeds derived from the failing one, and reports
+//!    the smallest failing case it finds (with no structural shrinking,
+//!    a smaller size budget is the practical analogue), and
+//! 3. prints a one-line `FTSS_CHECK_REPRO=<seed>:<size>` recipe that
+//!    re-runs exactly the minimal case, with the panic propagating
+//!    normally for backtraces.
+//!
+//! Environment knobs:
+//!
+//! * `FTSS_CHECK_CASES` — override the case count of every `forall`.
+//! * `FTSS_CHECK_SEED` — change the base seed of the whole run.
+//! * `FTSS_CHECK_REPRO=seed:size` — run a single reproduced case.
+//!
+//! ```
+//! use ftss_rng::check::{forall, Gen};
+//! use ftss_rng::Rng;
+//!
+//! forall(32, |g: &mut Gen| {
+//!     let n = g.gen_range(0..100u64);
+//!     assert_eq!(n.wrapping_add(1).wrapping_sub(1), n);
+//! });
+//! ```
+
+use crate::{Rng, SplitMix64, StdRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default size budget ceiling for the largest cases of a run.
+const MAX_SIZE: usize = 100;
+/// Reseed attempts per size level while shrinking.
+const SHRINK_TRIES_PER_LEVEL: u64 = 8;
+
+/// Per-case generator handed to properties: a seeded RNG plus a size
+/// budget generators may consult to scale collection lengths.
+pub struct Gen {
+    rng: StdRng,
+    seed: u64,
+    size: usize,
+}
+
+impl Gen {
+    /// A generator for one case. `seed` fixes every draw; `size` is the
+    /// case's size budget.
+    pub fn new(seed: u64, size: usize) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            size,
+        }
+    }
+
+    /// The seed of this case (for logging inside properties).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The size budget: small early in a run, up to [`MAX_SIZE`] late.
+    /// Generators producing collections should bound lengths by it.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// A vector with uniform length in `min..=max` (clamped to the size
+    /// budget, but never below `min`), elements drawn by `f`.
+    pub fn vec<T>(&mut self, min: usize, max: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let cap = max.min(min.max(self.size));
+        let len = self.gen_range(min..=cap.max(min));
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+impl Rng for Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Runs `prop` over `cases` deterministic seeded cases, panicking with a
+/// seed-reproduction report on the first failure (after shrinking).
+///
+/// Properties signal failure by panicking — plain `assert!` family macros
+/// work unchanged.
+pub fn forall<F>(cases: u64, prop: F)
+where
+    F: Fn(&mut Gen),
+{
+    // Repro mode: run the one requested case without catching, so the
+    // panic (and backtrace, under RUST_BACKTRACE=1) surfaces directly.
+    if let Some((seed, size)) = repro_from_env() {
+        prop(&mut Gen::new(seed, size));
+        return;
+    }
+
+    let cases = cases_from_env().unwrap_or(cases).max(1);
+    let base = base_seed_from_env();
+    for i in 0..cases {
+        let seed = derive_seed(base, i);
+        let size = 4 + ((i as usize).saturating_mul(MAX_SIZE)) / cases as usize;
+        if let Err(msg) = run_case(&prop, seed, size) {
+            let (min_seed, min_size, min_msg) =
+                shrink_by_reseed(&prop, seed, size).unwrap_or((seed, size, msg));
+            panic!(
+                "property failed after {i} passing case(s)\n  \
+                 minimal failing case: seed {min_seed:#018x}, size {min_size}\n  \
+                 reproduce with: FTSS_CHECK_REPRO={min_seed:#x}:{min_size} cargo test -- --exact <this test>\n  \
+                 failure: {min_msg}"
+            );
+        }
+    }
+}
+
+/// Runs one case, converting a property panic into `Err(message)`.
+fn run_case<F>(prop: &F, seed: u64, size: usize) -> Result<(), String>
+where
+    F: Fn(&mut Gen),
+{
+    catch_unwind(AssertUnwindSafe(|| prop(&mut Gen::new(seed, size)))).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        }
+    })
+}
+
+/// Searches for a failing case with a smaller size budget by re-running
+/// the property on seeds derived from the failing one. Returns the
+/// smallest failure found, if any.
+fn shrink_by_reseed<F>(prop: &F, seed: u64, size: usize) -> Option<(u64, usize, String)>
+where
+    F: Fn(&mut Gen),
+{
+    let mut best: Option<(u64, usize, String)> = None;
+    let mut level = size / 2;
+    while level >= 1 {
+        for j in 0..SHRINK_TRIES_PER_LEVEL {
+            let candidate = derive_seed(seed, ((level as u64) << 32) | j);
+            if let Err(msg) = run_case(prop, candidate, level) {
+                best = Some((candidate, level, msg));
+                break;
+            }
+        }
+        if level == 1 {
+            break;
+        }
+        level /= 2;
+    }
+    best
+}
+
+/// Derives the i-th case seed from a base seed, well mixed.
+fn derive_seed(base: u64, i: u64) -> u64 {
+    SplitMix64::new(base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+fn base_seed_from_env() -> u64 {
+    match std::env::var("FTSS_CHECK_SEED") {
+        Ok(v) => parse_u64(&v).unwrap_or_else(|| panic!("bad FTSS_CHECK_SEED: {v:?}")),
+        Err(_) => 0x5EED_F755_0000_0001,
+    }
+}
+
+fn cases_from_env() -> Option<u64> {
+    let v = std::env::var("FTSS_CHECK_CASES").ok()?;
+    Some(parse_u64(&v).unwrap_or_else(|| panic!("bad FTSS_CHECK_CASES: {v:?}")))
+}
+
+fn repro_from_env() -> Option<(u64, usize)> {
+    let v = std::env::var("FTSS_CHECK_REPRO").ok()?;
+    let (seed, size) = v
+        .split_once(':')
+        .unwrap_or_else(|| panic!("FTSS_CHECK_REPRO must be seed:size, got {v:?}"));
+    Some((
+        parse_u64(seed).unwrap_or_else(|| panic!("bad seed in FTSS_CHECK_REPRO: {seed:?}")),
+        parse_u64(size).unwrap_or_else(|| panic!("bad size in FTSS_CHECK_REPRO: {size:?}"))
+            as usize,
+    ))
+}
+
+/// Accepts decimal or 0x-prefixed hex.
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u64;
+        // Sum via a Cell-free trick: forall takes Fn, so count mutations
+        // go through a RefCell.
+        let counter = std::cell::RefCell::new(&mut count);
+        forall(10, |g| {
+            **counter.borrow_mut() += 1;
+            let x = g.gen_range(0..10u64);
+            assert!(x < 10);
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_repro() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            forall(20, |g: &mut Gen| {
+                let x: u64 = g.gen();
+                assert!(!x.is_multiple_of(7), "hit a multiple of 7: {x}");
+            });
+        }));
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(
+            msg.contains("FTSS_CHECK_REPRO="),
+            "report missing repro: {msg}"
+        );
+        assert!(msg.contains("seed 0x"), "report missing seed: {msg}");
+    }
+
+    #[test]
+    fn sizes_grow_over_the_run() {
+        let sizes = std::cell::RefCell::new(Vec::new());
+        forall(50, |g| sizes.borrow_mut().push(g.size()));
+        let sizes = sizes.into_inner();
+        assert!(sizes.first().unwrap() < sizes.last().unwrap());
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn gen_vec_respects_bounds() {
+        forall(30, |g: &mut Gen| {
+            let v = g.vec(2, 9, |g| g.gen::<u32>());
+            assert!((2..=9).contains(&v.len()));
+        });
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let draws = std::cell::RefCell::new(Vec::new());
+            forall(5, |g| draws.borrow_mut().push(g.gen::<u64>()));
+            draws.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,134 @@
+//! Distribution sanity checks for the derived draws. These are not
+//! statistical-quality certifications (xoshiro256** has those already);
+//! they catch implementation blunders — off-by-one range bounds, biased
+//! rejection, a shuffle that loses elements.
+
+use ftss_rng::{Rng, StdRng};
+
+const N: usize = 100_000;
+
+#[test]
+fn gen_range_is_roughly_uniform_and_in_bounds() {
+    let mut r = StdRng::seed_from_u64(1);
+    let buckets = 10usize;
+    let mut counts = vec![0usize; buckets];
+    for _ in 0..N {
+        let v = r.gen_range(0..buckets);
+        counts[v] += 1;
+    }
+    let expected = N / buckets;
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(
+            c > expected * 9 / 10 && c < expected * 11 / 10,
+            "bucket {i}: {c} vs expected ~{expected}"
+        );
+    }
+}
+
+#[test]
+fn gen_range_inclusive_hits_both_endpoints() {
+    let mut r = StdRng::seed_from_u64(2);
+    let (mut lo, mut hi) = (false, false);
+    for _ in 0..10_000 {
+        match r.gen_range(3..=7u32) {
+            3 => lo = true,
+            7 => hi = true,
+            v => assert!((3..=7).contains(&v)),
+        }
+    }
+    assert!(lo && hi, "endpoints unreachable: lo={lo} hi={hi}");
+}
+
+#[test]
+fn gen_bool_tracks_probability() {
+    let mut r = StdRng::seed_from_u64(3);
+    for &p in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+        let hits = (0..N).filter(|_| r.gen_bool(p)).count();
+        let frac = hits as f64 / N as f64;
+        assert!((frac - p).abs() < 0.01, "p={p}: observed {frac}");
+    }
+}
+
+#[test]
+fn gen_bool_degenerate_probabilities_are_exact() {
+    let mut r = StdRng::seed_from_u64(4);
+    assert!((0..1000).all(|_| !r.gen_bool(0.0)));
+    assert!((0..1000).all(|_| r.gen_bool(1.0)));
+}
+
+#[test]
+fn shuffle_is_a_permutation_and_mixes() {
+    let mut r = StdRng::seed_from_u64(5);
+    let original: Vec<u32> = (0..52).collect();
+    let mut fixed_points = 0usize;
+    let trials = 200;
+    for _ in 0..trials {
+        let mut deck = original.clone();
+        r.shuffle(&mut deck);
+        let mut sorted = deck.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, original, "shuffle lost or duplicated elements");
+        fixed_points += deck.iter().zip(&original).filter(|(a, b)| a == b).count();
+    }
+    // A uniform shuffle has 1 expected fixed point per trial.
+    let mean = fixed_points as f64 / trials as f64;
+    assert!(mean < 2.5, "too many fixed points per shuffle: {mean}");
+}
+
+#[test]
+fn shuffle_positions_are_roughly_uniform() {
+    // Track where element 0 of a 4-array lands; each slot should get ~25%.
+    let mut r = StdRng::seed_from_u64(6);
+    let mut counts = [0usize; 4];
+    for _ in 0..40_000 {
+        let mut v = [0usize, 1, 2, 3];
+        r.shuffle(&mut v);
+        let pos = v.iter().position(|&x| x == 0).unwrap();
+        counts[pos] += 1;
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(c > 9_000 && c < 11_000, "slot {i}: {c} of 40000");
+    }
+}
+
+#[test]
+fn fill_bytes_has_no_stuck_bits() {
+    let mut r = StdRng::seed_from_u64(7);
+    let mut and_acc = [0xFFu8; 37];
+    let mut or_acc = [0x00u8; 37];
+    for _ in 0..64 {
+        let mut buf = [0u8; 37];
+        r.fill_bytes(&mut buf);
+        for i in 0..37 {
+            and_acc[i] &= buf[i];
+            or_acc[i] |= buf[i];
+        }
+    }
+    assert!(and_acc.iter().all(|&b| b == 0), "bits stuck at 1");
+    assert!(or_acc.iter().all(|&b| b == 0xFF), "bits stuck at 0");
+}
+
+#[test]
+fn choose_covers_all_elements() {
+    let mut r = StdRng::seed_from_u64(8);
+    let items = [10u32, 20, 30, 40, 50];
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..1_000 {
+        seen.insert(*r.choose(&items).unwrap());
+    }
+    assert_eq!(seen.len(), items.len());
+    assert!(r.choose(&[] as &[u32]).is_none());
+}
+
+#[test]
+fn unit_floats_are_in_range() {
+    let mut r = StdRng::seed_from_u64(9);
+    let mut sum = 0.0;
+    for _ in 0..N {
+        let x: f64 = r.gen();
+        assert!((0.0..1.0).contains(&x));
+        sum += x;
+    }
+    let mean = sum / N as f64;
+    assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+}

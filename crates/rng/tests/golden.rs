@@ -1,0 +1,131 @@
+//! Golden-value tests: pin the exact output streams of the generators so
+//! simulator corruption and adversary schedules are reproducible
+//! bit-for-bit across machines and over time.
+//!
+//! Reference values were computed independently from the published
+//! SplitMix64 and xoshiro256** reference implementations (Vigna;
+//! Blackman & Vigna). If any of these assertions ever fails, recorded
+//! experiment tables in EXPERIMENTS.md are no longer reproducible — do
+//! not "fix" the test; fix the generator.
+
+use ftss_rng::{Rng, SplitMix64, StdRng, Xoshiro256StarStar};
+
+#[test]
+fn splitmix64_matches_published_vector_seed_0() {
+    // The widely published SplitMix64 test vector for seed 0.
+    let mut sm = SplitMix64::new(0);
+    assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+    assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    assert_eq!(sm.next_u64(), 0xF88B_B8A8_724C_81EC);
+}
+
+#[test]
+fn splitmix64_golden_seed_1() {
+    let mut sm = SplitMix64::new(1);
+    assert_eq!(sm.next_u64(), 0x910A_2DEC_8902_5CC1);
+    assert_eq!(sm.next_u64(), 0xBEEB_8DA1_658E_EC67);
+    assert_eq!(sm.next_u64(), 0xF893_A2EE_FB32_555E);
+    assert_eq!(sm.next_u64(), 0x71C1_8690_EE42_C90B);
+}
+
+#[test]
+fn xoshiro_seed_expansion_is_splitmix() {
+    // seed_from_u64 must fill the 256-bit state with the SplitMix64
+    // stream of the seed, per the xoshiro authors' recommendation.
+    let r = StdRng::seed_from_u64(42);
+    assert_eq!(
+        r.state(),
+        [
+            0xBDD7_3226_2FEB_6E95,
+            0x28EF_E333_B266_F103,
+            0x4752_6757_130F_9F52,
+            0x581C_E1FF_0E4A_E394,
+        ]
+    );
+}
+
+#[test]
+fn xoshiro_golden_stream_seed_42() {
+    let mut r = StdRng::seed_from_u64(42);
+    let got: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+    assert_eq!(
+        got,
+        vec![
+            0x1578_0B2E_0C2E_C716,
+            0x6104_D986_6D11_3A7E,
+            0xAE17_5332_39E4_99A1,
+            0xECB8_AD47_03B3_60A1,
+            0xFDE6_DC7F_E2EC_5E64,
+            0xC50D_A531_0179_5238,
+            0xB821_5485_5A65_DDB2,
+            0xD99A_2743_EBE6_0087,
+        ]
+    );
+}
+
+#[test]
+fn xoshiro_golden_stream_seed_deadbeef() {
+    let mut r = StdRng::seed_from_u64(0xDEAD_BEEF);
+    let got: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+    assert_eq!(
+        got,
+        vec![
+            0xC555_5444_A74D_7E83,
+            0x65C3_0D37_B4B1_6E38,
+            0x54F7_7320_0A4E_FA23,
+            0x429A_ED75_FB95_8AF7,
+            0xFB0E_1DD6_9C25_5B2E,
+            0x9D6D_02EC_5881_4A27,
+            0xF419_9B9D_A2E4_B2A3,
+            0x54BC_5B2C_11A4_540A,
+        ]
+    );
+}
+
+#[test]
+fn same_seed_identical_stream() {
+    let mut a = StdRng::seed_from_u64(7_777_777);
+    let mut b = StdRng::seed_from_u64(7_777_777);
+    for _ in 0..1_000 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
+
+#[test]
+fn distinct_seeds_distinct_streams() {
+    // Nearby seeds must decorrelate immediately (SplitMix64 expansion).
+    for s in 0..64u64 {
+        let mut a = StdRng::seed_from_u64(s);
+        let mut b = StdRng::seed_from_u64(s + 1);
+        let a8: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let b8: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(a8, b8, "seeds {s} and {} collide", s + 1);
+    }
+}
+
+#[test]
+fn derived_draws_are_pinned() {
+    // High-level draws are a pure function of the raw stream; pin a few so
+    // a refactor of gen/gen_range/gen_bool cannot silently reshuffle every
+    // recorded simulation.
+    let mut r = StdRng::seed_from_u64(42);
+    assert_eq!(r.gen::<u64>(), 0x1578_0B2E_0C2E_C716);
+    assert_eq!(r.gen_range(0..1000u64), 378);
+    assert!(!r.gen_bool(0.5));
+    let mut v: Vec<u32> = (0..8).collect();
+    r.shuffle(&mut v);
+    assert_eq!(v, vec![0, 1, 2, 5, 3, 4, 6, 7]);
+}
+
+#[test]
+fn state_roundtrip_resumes_stream() {
+    let mut a = StdRng::seed_from_u64(123);
+    for _ in 0..17 {
+        a.next_u64();
+    }
+    let mut b = Xoshiro256StarStar::from_state(a.state());
+    for _ in 0..100 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -9,8 +9,8 @@
 //! * self-delivery is never submitted for dropping (paper footnote 1).
 
 use ftss_core::{CrashSchedule, ProcessId, ProcessSet, Round};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ftss_rng::Rng;
+use ftss_rng::StdRng;
 use std::collections::BTreeSet;
 
 /// Which side of a dropped copy deviated.
@@ -268,7 +268,13 @@ impl ScriptedOmission {
 
     /// Scripts: in round `r`, the copy `from → to` is dropped by `side`.
     /// The deviating side is added to the faulty set.
-    pub fn drop_at(&mut self, r: u64, from: ProcessId, to: ProcessId, side: OmissionSide) -> &mut Self {
+    pub fn drop_at(
+        &mut self,
+        r: u64,
+        from: ProcessId,
+        to: ProcessId,
+        side: OmissionSide,
+    ) -> &mut Self {
         self.drops.insert((r, from, to));
         self.sides.insert((r, from, to), side);
         self.faulty.insert(match side {
@@ -366,7 +372,10 @@ mod tests {
         let f = a.faulty(4);
         assert!(f.contains(ProcessId(0)));
         assert!(f.contains(ProcessId(2)));
-        assert_eq!(a.crash_schedule().crash_round(ProcessId(2)), Some(Round::new(3)));
+        assert_eq!(
+            a.crash_schedule().crash_round(ProcessId(2)),
+            Some(Round::new(3))
+        );
     }
 
     #[test]
@@ -380,8 +389,10 @@ mod tests {
         let mut a = ScriptedOmission::new();
         a.drop_at(2, ProcessId(0), ProcessId(1), OmissionSide::Receiver)
             .crash_at(ProcessId(2), 4);
-        assert_eq!(a.drop_copy(Round::new(2), ProcessId(0), ProcessId(1)),
-                   Some(OmissionSide::Receiver));
+        assert_eq!(
+            a.drop_copy(Round::new(2), ProcessId(0), ProcessId(1)),
+            Some(OmissionSide::Receiver)
+        );
         assert_eq!(a.drop_copy(Round::new(1), ProcessId(0), ProcessId(1)), None);
         let f = a.faulty(3);
         assert!(f.contains(ProcessId(1)), "receiver side is the deviator");

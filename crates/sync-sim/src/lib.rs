@@ -30,7 +30,7 @@
 //! #[derive(Clone, Debug)]
 //! struct Tick(u64);
 //! impl Corrupt for Tick {
-//!     fn corrupt<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) { self.0 = rng.gen(); }
+//!     fn corrupt<R: ftss_rng::Rng + ?Sized>(&mut self, rng: &mut R) { self.0 = rng.gen(); }
 //! }
 //! impl SyncProtocol for Ticker {
 //!     type State = Tick;
@@ -55,8 +55,8 @@ pub mod protocol;
 pub mod runner;
 
 pub use adversary::{
-    Adversary, CrashOnly, GroupPartition, NoFaults, OmissionSide, RandomOmission,
-    ScriptedOmission, SilentProcess,
+    Adversary, CrashOnly, GroupPartition, NoFaults, OmissionSide, RandomOmission, ScriptedOmission,
+    SilentProcess,
 };
 pub use protocol::{Inbox, ProtocolCtx, SyncProtocol};
 pub use runner::{Corruption, CorruptionSchedule, RunConfig, RunOutcome, SyncRunner};

@@ -24,11 +24,10 @@
 use crate::adversary::{Adversary, OmissionSide};
 use crate::protocol::{Inbox, ProtocolCtx, SyncProtocol};
 use ftss_core::{
-    ConfigError, Corrupt, DeliveryOutcome, Envelope, History, ProcessId, ProcessRoundRecord,
-    Round, RoundHistory, SendRecord,
+    ConfigError, Corrupt, DeliveryOutcome, Envelope, History, ProcessId, ProcessRoundRecord, Round,
+    RoundHistory, SendRecord,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ftss_rng::StdRng;
 
 /// Whether (and how) to inject a systemic failure at round 1.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -248,9 +247,7 @@ where
                         sent: Vec::new(),
                         delivered: Vec::new(),
                         crashed_here: schedule.crashes_in(p, round),
-                        halted_at_start: self
-                            .protocol
-                            .is_halted(&ProtocolCtx::new(p, n), state),
+                        halted_at_start: self.protocol.is_halted(&ProtocolCtx::new(p, n), state),
                     });
                 }
             }
@@ -263,7 +260,10 @@ where
                     continue;
                 }
                 let ctx = ProtocolCtx::new(p, n);
-                if !self.protocol.sends(&ctx, states[i].as_ref().expect("alive")) {
+                if !self
+                    .protocol
+                    .sends(&ctx, states[i].as_ref().expect("alive"))
+                {
                     continue;
                 }
                 let payload = self
@@ -353,7 +353,7 @@ mod tests {
     use super::*;
     use crate::adversary::{CrashOnly, NoFaults, RandomOmission, ScriptedOmission, SilentProcess};
     use ftss_core::{CoterieTimeline, CrashSchedule, ProcessSet, RoundCounter};
-    use rand::Rng;
+    use ftss_rng::Rng;
 
     /// Everyone broadcasts its value; state counts messages seen in total.
     struct CountAll;
@@ -438,7 +438,11 @@ mod tests {
         // p1 alive in round 1, crashes during round 2 (no sends), gone after.
         let r2 = out.history.round(Round::new(2));
         assert!(r2.record(ProcessId(1)).crashed_here);
-        assert!(r2.record(ProcessId(1)).sent.iter().all(|s| s.outcome == DeliveryOutcome::SenderCrashed));
+        assert!(r2
+            .record(ProcessId(1))
+            .sent
+            .iter()
+            .all(|s| s.outcome == DeliveryOutcome::SenderCrashed));
         let r3 = out.history.round(Round::new(3));
         assert!(r3.record(ProcessId(1)).state_at_start.is_none());
         assert!(out.final_states[1].is_none());
@@ -510,11 +514,14 @@ mod tests {
         let c = SyncRunner::new(CountAll)
             .run(&mut NoFaults, &RunConfig::corrupted(3, 1, 100))
             .unwrap();
-        let starts =
-            |o: &RunOutcome<CState, ()>| -> Vec<CState> {
-                o.history.round(Round::FIRST).records.iter()
-                    .map(|r| r.state_at_start.clone().unwrap()).collect()
-            };
+        let starts = |o: &RunOutcome<CState, ()>| -> Vec<CState> {
+            o.history
+                .round(Round::FIRST)
+                .records
+                .iter()
+                .map(|r| r.state_at_start.clone().unwrap())
+                .collect()
+        };
         assert_eq!(starts(&a), starts(&b));
         assert_ne!(starts(&a), starts(&c));
         // And differs from the clean initial state.

@@ -2,7 +2,9 @@
 //! the final systemic failure" made executable.
 
 use ftss_core::{Corrupt, RoundCounter};
-use ftss_sync_sim::{CorruptionSchedule, Inbox, NoFaults, ProtocolCtx, RunConfig, SyncProtocol, SyncRunner};
+use ftss_sync_sim::{
+    CorruptionSchedule, Inbox, NoFaults, ProtocolCtx, RunConfig, SyncProtocol, SyncRunner,
+};
 
 /// Max-adopting counter protocol (a miniature round agreement).
 struct MaxCounter;
@@ -11,7 +13,7 @@ struct MaxCounter;
 struct CState(u64);
 
 impl Corrupt for CState {
-    fn corrupt<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) {
+    fn corrupt<R: ftss_rng::Rng + ?Sized>(&mut self, rng: &mut R) {
         self.0 = rng.gen_range(0..1 << 30);
     }
 }
@@ -54,7 +56,9 @@ fn counters_at(out: &ftss_sync_sim::RunOutcome<CState, u64>, r: u64) -> Vec<u64>
 fn mid_run_corruption_disturbs_then_restabilizes() {
     let schedule = CorruptionSchedule::none().at(5, 0xabc);
     let cfg = RunConfig::clean(3, 10).with_mid_run_corruption(schedule.clone());
-    let out = SyncRunner::new(MaxCounter).run(&mut NoFaults, &cfg).unwrap();
+    let out = SyncRunner::new(MaxCounter)
+        .run(&mut NoFaults, &cfg)
+        .unwrap();
 
     // Rounds 1-4: lockstep from the clean start.
     for r in 1..=4 {
@@ -81,7 +85,9 @@ fn multiple_failures_only_final_matters_for_suffix() {
     let schedule = CorruptionSchedule::none().at(3, 1).at(6, 2);
     let cfg = RunConfig::corrupted(4, 12, 0) // corrupted start too
         .with_mid_run_corruption(schedule);
-    let out = SyncRunner::new(MaxCounter).run(&mut NoFaults, &cfg).unwrap();
+    let out = SyncRunner::new(MaxCounter)
+        .run(&mut NoFaults, &cfg)
+        .unwrap();
     // After the final failure (round 6), the suffix stabilizes for good.
     for r in 7..12u64 {
         let a = counters_at(&out, r);
@@ -96,15 +102,18 @@ fn same_round_duplicate_entries_latest_wins_and_is_deterministic() {
     let schedule = CorruptionSchedule::none().at(4, 7).at(4, 9);
     let run = || {
         let cfg = RunConfig::clean(2, 6).with_mid_run_corruption(schedule.clone());
-        SyncRunner::new(MaxCounter).run(&mut NoFaults, &cfg).unwrap()
+        SyncRunner::new(MaxCounter)
+            .run(&mut NoFaults, &cfg)
+            .unwrap()
     };
     let a = run();
     let b = run();
     assert_eq!(a.history, b.history);
     // And it differs from the seed-7-only schedule (seed 9 won).
-    let cfg7 = RunConfig::clean(2, 6)
-        .with_mid_run_corruption(CorruptionSchedule::none().at(4, 7));
-    let c = SyncRunner::new(MaxCounter).run(&mut NoFaults, &cfg7).unwrap();
+    let cfg7 = RunConfig::clean(2, 6).with_mid_run_corruption(CorruptionSchedule::none().at(4, 7));
+    let c = SyncRunner::new(MaxCounter)
+        .run(&mut NoFaults, &cfg7)
+        .unwrap();
     assert_ne!(counters_at(&a, 4), counters_at(&c, 4));
 }
 
@@ -114,7 +123,9 @@ fn empty_schedule_is_inert() {
     assert!(schedule.is_empty());
     assert_eq!(schedule.final_failure_round(), None);
     let cfg = RunConfig::clean(2, 4).with_mid_run_corruption(schedule);
-    let out = SyncRunner::new(MaxCounter).run(&mut NoFaults, &cfg).unwrap();
+    let out = SyncRunner::new(MaxCounter)
+        .run(&mut NoFaults, &cfg)
+        .unwrap();
     for r in 1..=4 {
         assert!(counters_at(&out, r).iter().all(|&c| c == r));
     }

@@ -1,10 +1,14 @@
-//! Property-based tests of the synchronous simulator's invariants.
+//! Property-based tests of the synchronous simulator's invariants, on the
+//! in-repo `ftss_rng::check` harness.
 
 use ftss_core::{Corrupt, CrashSchedule, DeliveryOutcome, ProcessId, Round, RoundCounter};
+use ftss_rng::check::forall;
+use ftss_rng::Rng;
 use ftss_sync_sim::{
     CrashOnly, Inbox, NoFaults, ProtocolCtx, RandomOmission, RunConfig, SyncProtocol, SyncRunner,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 /// A protocol that just records what it sees, for harness-invariant tests.
 struct Probe;
@@ -16,7 +20,7 @@ struct ProbeState {
 }
 
 impl Corrupt for ProbeState {
-    fn corrupt<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) {
+    fn corrupt<R: ftss_rng::Rng + ?Sized>(&mut self, rng: &mut R) {
         self.c = rng.gen();
         self.inbox_sizes.clear();
     }
@@ -51,18 +55,16 @@ impl SyncProtocol for Probe {
     }
 }
 
-proptest! {
-    /// The recorded faulty set never exceeds the adversary's declaration,
-    /// and with random omissions it is exactly the processes that dropped
-    /// something.
-    #[test]
-    fn faulty_set_is_bounded_by_declaration(
-        n in 2usize..8,
-        p_drop in 0.0f64..1.0,
-        seed in any::<u64>(),
-        n_faulty in 1usize..4,
-    ) {
-        let n_faulty = n_faulty.min(n - 1);
+/// The recorded faulty set never exceeds the adversary's declaration,
+/// and with random omissions it is exactly the processes that dropped
+/// something.
+#[test]
+fn faulty_set_is_bounded_by_declaration() {
+    forall(CASES, |g| {
+        let n = g.gen_range(2usize..8);
+        let p_drop = g.gen_range(0.0f64..1.0);
+        let seed: u64 = g.gen();
+        let n_faulty = g.gen_range(1usize..4).min(n - 1);
         let declared: Vec<ProcessId> = (0..n_faulty).map(ProcessId).collect();
         let mut adv = RandomOmission::new(declared.clone(), p_drop, seed);
         let out = SyncRunner::new(Probe)
@@ -70,17 +72,18 @@ proptest! {
             .unwrap();
         let faulty = out.history.faulty();
         for p in faulty.iter() {
-            prop_assert!(declared.contains(&p), "{p} faulty but undeclared");
+            assert!(declared.contains(&p), "{p} faulty but undeclared");
         }
-    }
+    });
+}
 
-    /// Every alive process receives its own broadcast every round
-    /// (footnote 1), regardless of the adversary.
-    #[test]
-    fn self_delivery_is_inviolable(
-        n in 2usize..7,
-        seed in any::<u64>(),
-    ) {
+/// Every alive process receives its own broadcast every round
+/// (footnote 1), regardless of the adversary.
+#[test]
+fn self_delivery_is_inviolable() {
+    forall(CASES, |g| {
+        let n = g.gen_range(2usize..7);
+        let seed: u64 = g.gen();
         let mut adv = RandomOmission::new(vec![ProcessId(0), ProcessId(1)], 0.9, seed);
         let out = SyncRunner::new(Probe)
             .run(&mut adv, &RunConfig::clean(n, 5))
@@ -88,22 +91,23 @@ proptest! {
         for rh in out.history.rounds() {
             for (i, rec) in rh.records.iter().enumerate() {
                 if rec.state_at_start.is_some() && !rec.crashed_here {
-                    prop_assert!(
+                    assert!(
                         rec.delivered.iter().any(|e| e.src == ProcessId(i)),
                         "p{i} missed its own broadcast"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// Delivered envelopes exactly mirror `Delivered` send outcomes.
-    #[test]
-    fn delivery_records_are_consistent(
-        n in 2usize..6,
-        seed in any::<u64>(),
-        p_drop in 0.0f64..1.0,
-    ) {
+/// Delivered envelopes exactly mirror `Delivered` send outcomes.
+#[test]
+fn delivery_records_are_consistent() {
+    forall(CASES, |g| {
+        let n = g.gen_range(2usize..6);
+        let seed: u64 = g.gen();
+        let p_drop = g.gen_range(0.0f64..1.0);
         let mut adv = RandomOmission::new(vec![ProcessId(0)], p_drop, seed);
         let out = SyncRunner::new(Probe)
             .run(&mut adv, &RunConfig::clean(n, 4))
@@ -116,19 +120,25 @@ proptest! {
                         .delivered
                         .iter()
                         .any(|e| e.src == ProcessId(i));
-                    prop_assert_eq!(
+                    assert_eq!(
                         arrived,
                         s.outcome == DeliveryOutcome::Delivered,
-                        "send record vs inbox mismatch for p{} -> {}", i, s.dst
+                        "send record vs inbox mismatch for p{} -> {}",
+                        i,
+                        s.dst
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// Runs are a pure function of (protocol, adversary, config).
-    #[test]
-    fn runs_are_deterministic(seed in any::<u64>(), n in 2usize..6) {
+/// Runs are a pure function of (protocol, adversary, config).
+#[test]
+fn runs_are_deterministic() {
+    forall(CASES, |g| {
+        let seed: u64 = g.gen();
+        let n = g.gen_range(2usize..6);
         let go = || {
             let mut adv = RandomOmission::new(vec![ProcessId(0)], 0.5, seed);
             SyncRunner::new(Probe)
@@ -137,17 +147,18 @@ proptest! {
         };
         let a = go();
         let b = go();
-        prop_assert_eq!(a.history, b.history);
-        prop_assert_eq!(a.final_states, b.final_states);
-    }
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.final_states, b.final_states);
+    });
+}
 
-    /// Crashed processes stop participating permanently, and their states
-    /// are undefined thereafter (None), exactly as §2.1 specifies.
-    #[test]
-    fn crash_is_permanent(
-        n in 2usize..6,
-        crash_round in 1u64..5,
-    ) {
+/// Crashed processes stop participating permanently, and their states
+/// are undefined thereafter (None), exactly as §2.1 specifies.
+#[test]
+fn crash_is_permanent() {
+    forall(CASES, |g| {
+        let n = g.gen_range(2usize..6);
+        let crash_round = g.gen_range(1u64..5);
         let mut cs = CrashSchedule::none();
         cs.set(ProcessId(0), Round::new(crash_round));
         let mut adv = CrashOnly::new(cs);
@@ -157,28 +168,32 @@ proptest! {
         for r in 1..=7u64 {
             let rec = out.history.round(Round::new(r)).record(ProcessId(0));
             if r < crash_round {
-                prop_assert!(rec.state_at_start.is_some());
+                assert!(rec.state_at_start.is_some());
             } else if r == crash_round {
-                prop_assert!(rec.crashed_here);
-                prop_assert!(rec.delivered.is_empty());
+                assert!(rec.crashed_here);
+                assert!(rec.delivered.is_empty());
             } else {
-                prop_assert!(rec.state_at_start.is_none());
-                prop_assert!(rec.sent.is_empty());
-                prop_assert!(rec.delivered.is_empty());
+                assert!(rec.state_at_start.is_none());
+                assert!(rec.sent.is_empty());
+                assert!(rec.delivered.is_empty());
             }
         }
-        prop_assert!(out.final_states[0].is_none());
-    }
+        assert!(out.final_states[0].is_none());
+    });
+}
 
-    /// In failure-free runs every inbox has exactly n messages every round.
-    #[test]
-    fn failure_free_inboxes_are_full(n in 1usize..8, rounds in 1usize..6) {
+/// In failure-free runs every inbox has exactly n messages every round.
+#[test]
+fn failure_free_inboxes_are_full() {
+    forall(CASES, |g| {
+        let n = g.gen_range(1usize..8);
+        let rounds = g.gen_range(1usize..6);
         let out = SyncRunner::new(Probe)
             .run(&mut NoFaults, &RunConfig::clean(n, rounds))
             .unwrap();
         for s in out.final_states.iter().flatten() {
-            prop_assert_eq!(s.inbox_sizes.len(), rounds);
-            prop_assert!(s.inbox_sizes.iter().all(|&k| k == n));
+            assert_eq!(s.inbox_sizes.len(), rounds);
+            assert!(s.inbox_sizes.iter().all(|&k| k == n));
         }
-    }
+    });
 }

@@ -15,7 +15,7 @@ use ftss::compiler::Compiled;
 use ftss::core::{Corrupt, CrashSchedule, ProcessId, Round};
 use ftss::protocols::{CanonicalProtocol, HasDecision};
 use ftss::sync_sim::{CrashOnly, Inbox, ProtocolCtx, RunConfig, SyncRunner};
-use rand::Rng;
+use ftss_rng::Rng;
 
 /// Max-vote: everyone floods the largest value seen; decide it after
 /// `f + 1` rounds. (Same structure as FloodSet, written from scratch to
@@ -103,7 +103,10 @@ fn main() {
         .run(&mut adversary, &RunConfig::corrupted(n, 24, 7))
         .expect("valid configuration");
 
-    println!("max-vote (f={f}, {}-round iterations), inputs {inputs:?}", f + 1);
+    println!(
+        "max-vote (f={f}, {}-round iterations), inputs {inputs:?}",
+        f + 1
+    );
     println!("corrupted start + p1 crashes in round 4\n");
     let mut decisions = Vec::new();
     for (i, s) in out.final_states.iter().enumerate() {

@@ -16,7 +16,7 @@ use ftss::async_sim::{AsyncConfig, AsyncRunner};
 use ftss::core::{ProcessId, ProcessSet};
 use ftss::detectors::{
     eventual_weak_accuracy, strong_completeness_time, BaselineDetectorProcess, LifeState,
-    SuspectProbe, StrongDetectorProcess, WeakOracle,
+    StrongDetectorProcess, SuspectProbe, WeakOracle,
 };
 
 const N: usize = 4;
@@ -91,7 +91,12 @@ fn report(name: &str, probes: &[SuspectProbe], crashed: &ProcessSet, correct: &P
     println!("== {name} ==");
     if let Some(p) = probes.last() {
         for q in correct.iter() {
-            println!("  t={:>6}: p{} suspects {}", p.time, q.index(), p.sets[q.index()]);
+            println!(
+                "  t={:>6}: p{} suspects {}",
+                p.time,
+                q.index(),
+                p.sets[q.index()]
+            );
         }
     }
     match strong_completeness_time(probes, crashed, correct) {
@@ -99,7 +104,10 @@ fn report(name: &str, probes: &[SuspectProbe], crashed: &ProcessSet, correct: &P
         None => println!("  strong completeness NEVER settled within the horizon"),
     }
     match eventual_weak_accuracy(probes, correct) {
-        Some((w, t)) => println!("  eventual weak accuracy settled at t={t} (witness p{})", w.index()),
+        Some((w, t)) => println!(
+            "  eventual weak accuracy settled at t={t} (witness p{})",
+            w.index()
+        ),
         None => println!("  eventual weak accuracy NEVER settled within the horizon"),
     }
     println!();

@@ -63,7 +63,11 @@ fn main() {
     let report = ftss_check(&out.history, &RateAgreementSpec::new(), 1);
     println!(
         "\nDefinition 2.4 with stabilization time 1: {}",
-        if report.is_satisfied() { "SATISFIED" } else { "VIOLATED" }
+        if report.is_satisfied() {
+            "SATISFIED"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "({} obligations checked across the stable windows)",

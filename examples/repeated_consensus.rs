@@ -10,8 +10,7 @@ use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
 use ftss::consensus_async::{CtConsensusProcess, SsConsensusProcess};
 use ftss::core::{Corrupt, ProcessId};
 use ftss::detectors::WeakOracle;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ftss_rng::StdRng;
 
 const SEED: u64 = 21;
 const HORIZON: Time = 150_000;
@@ -34,7 +33,10 @@ fn main() {
     }
     println!("corrupted starting tags (instance, round):");
     for (i, p) in procs.iter().enumerate() {
-        println!("  p{i}: inst={}, round={}, est={:?}", p.inst, p.round, p.est);
+        println!(
+            "  p{i}: inst={}, round={}, est={:?}",
+            p.inst, p.round, p.est
+        );
     }
     let mut cfg = AsyncConfig::turbulent(SEED, 50, 300);
     for &(p, t) in &crashes {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run fully offline. This is the gate every PR must
+# pass; CI runs exactly this script (.github/workflows/ci.yml).
+#
+# The workspace is hermetic by policy (see DESIGN.md §6): every
+# [workspace.dependencies] entry is a path dependency, so the build must
+# succeed with the network hard-disabled. CARGO_NET_OFFLINE=true turns
+# any accidental registry dependency into an immediate error instead of
+# a silent download.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --check
+run cargo build --release
+run cargo test -q
+run cargo clippy --all-targets -- -D warnings
+# The bench targets are feature-gated off the default build; make sure
+# they still compile and their harness unit tests pass.
+run cargo clippy -p ftss-bench --all-targets --features bench-harness -- -D warnings
+run cargo test -q -p ftss-bench --features bench-harness
+
+# Hermeticity tripwire: no crate manifest may name a registry package.
+if grep -rn 'rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes' \
+    --include=Cargo.toml Cargo.toml crates/ \
+    | grep -v '^[^:]*:[0-9]*:#' | grep -v 'ftss-rng'; then
+    echo "ERROR: registry dependency found in a manifest" >&2
+    exit 1
+fi
+
+echo "verify: all gates passed"

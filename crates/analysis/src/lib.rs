@@ -8,6 +8,9 @@
 //!   final coterie-stable window is satisfied. E1 and E2 sweep this
 //!   against the paper's claimed bounds (1 for Figure 1; `final_round`
 //!   (+`final_round` for suspects) for Figure 3).
+//! * [`trace`] — derived telemetry: coterie-change and stabilization
+//!   events extracted from a recorded history, plus the metrics table
+//!   behind `ftss stats`.
 //! * [`impossibility`] — executable renditions of the paper's two negative
 //!   results. Theorem 1: under the rejected *Tentative Definition 1*,
 //!   every protocol either violates agreement forever or violates the rate
@@ -23,6 +26,7 @@ pub mod impossibility;
 pub mod messages;
 pub mod stabilization;
 pub mod table;
+pub mod trace;
 
 pub use impossibility::{
     theorem1_demo, theorem2_demo, Archetype, EagerHalt, HaltOnDisagreement, StubbornCounter,
@@ -31,3 +35,4 @@ pub use impossibility::{
 pub use messages::{copies_per_round, message_stats, MessageStats};
 pub use stabilization::{measured_stabilization_time, StabilizationMeasurement};
 pub use table::Table;
+pub use trace::{coterie_events, metrics_table, stabilization_event};

@@ -51,6 +51,38 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// Renders the table as RFC-4180-style CSV: a header line followed by
+    /// one line per row. Cells containing a comma, a double quote, or a
+    /// newline are wrapped in double quotes with inner quotes doubled;
+    /// everything else is emitted verbatim.
+    pub fn to_csv(&self) -> String {
+        fn cell(out: &mut String, c: &str) {
+            if c.contains([',', '"', '\n', '\r']) {
+                out.push('"');
+                for ch in c.chars() {
+                    if ch == '"' {
+                        out.push('"');
+                    }
+                    out.push(ch);
+                }
+                out.push('"');
+            } else {
+                out.push_str(c);
+            }
+        }
+        let mut out = String::new();
+        for line in std::iter::once(&self.headers).chain(self.rows.iter()) {
+            for (i, c) in line.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                cell(&mut out, c);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
     fn widths(&self) -> Vec<usize> {
         let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
@@ -108,5 +140,22 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn width_mismatch_panics() {
         Table::new(vec!["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_only_what_needs_quoting() {
+        let mut t = Table::new(vec!["name", "note"]);
+        t.row(vec!["plain".into(), "a,b".into()])
+            .row(vec!["quo\"te".into(), "line\nbreak".into()]);
+        assert_eq!(
+            t.to_csv(),
+            "name,note\nplain,\"a,b\"\n\"quo\"\"te\",\"line\nbreak\"\n"
+        );
+    }
+
+    #[test]
+    fn csv_of_empty_table_is_just_the_header() {
+        let t = Table::new(vec!["x", "y"]);
+        assert_eq!(t.to_csv(), "x,y\n");
     }
 }

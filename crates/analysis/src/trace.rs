@@ -1,0 +1,201 @@
+//! Derived telemetry: events that are *facts about a recorded history*
+//! rather than live simulator observations.
+//!
+//! The simulators emit operational events (sends, deliveries, crashes) as
+//! they happen; the coterie (Definition 2.3) and the stabilization time
+//! (Definition 2.4) are properties of whole prefixes, so they are
+//! extracted here, post-run, and appended to the trace. `ftss trace`
+//! streams the live events first and these afterwards, so a trace file is
+//! self-contained: replaying it through [`Metrics`] recovers both the
+//! traffic totals and the paper-level measurements.
+
+use ftss_core::{CoterieTimeline, History, Problem};
+use ftss_telemetry::{Event, Metrics};
+
+use crate::stabilization::measured_stabilization_time;
+use crate::table::Table;
+
+/// The coterie-membership changes of a history, as telemetry events.
+///
+/// Emits one [`Event::CoterieChange`] for the first prefix (the coterie's
+/// formation) and one per prefix length at which the coterie differs from
+/// the previous prefix's. Members are listed in process order.
+pub fn coterie_events<S, M>(history: &History<S, M>) -> Vec<Event> {
+    let timeline = CoterieTimeline::compute(history);
+    let mut out = Vec::new();
+    let mut prev = None;
+    for (i, c) in timeline.coteries().iter().enumerate() {
+        if prev != Some(c) {
+            out.push(Event::CoterieChange {
+                round: (i + 1) as u64,
+                size: c.len(),
+                members: c.iter().collect(),
+            });
+            prev = Some(c);
+        }
+    }
+    out
+}
+
+/// The measured stabilization of a history against a problem `Σ`, as a
+/// telemetry event.
+///
+/// Returns `Some(Event::Stabilization { round, rounds })` when the
+/// problem predicate holds on the final coterie-stable window after
+/// skipping `rounds` rounds — `round` is the 1-based prefix length from
+/// which it holds. Returns `None` for an empty history or a run that
+/// never satisfies `Σ` within the window.
+pub fn stabilization_event<S, M>(
+    history: &History<S, M>,
+    problem: &dyn Problem<S, M>,
+) -> Option<Event> {
+    let m = measured_stabilization_time(history, problem)?;
+    let s = m.stabilization_rounds?;
+    Some(Event::Stabilization {
+        round: (m.window_start + s) as u64,
+        rounds: s as u64,
+    })
+}
+
+/// Renders an aggregated [`Metrics`] as a two-column table for `ftss
+/// stats`. Rows irrelevant to the trace's mode (e.g. async virtual time
+/// in a synchronous trace) are omitted.
+pub fn metrics_table(m: &Metrics) -> Table {
+    let mut t = Table::new(vec!["metric", "value"]);
+    let mut push = |k: &str, v: String| {
+        t.row(vec![k.to_string(), v]);
+    };
+    if let Some(mode) = m.mode {
+        push("mode", format!("{mode:?}").to_lowercase());
+    }
+    if !m.protocol.is_empty() {
+        push("protocol", m.protocol.clone());
+    }
+    if m.n > 0 {
+        push("processes", m.n.to_string());
+    }
+    if m.rounds > 0 {
+        push("rounds", m.rounds.to_string());
+    }
+    if m.end_time > 0 {
+        push("end_time", m.end_time.to_string());
+    }
+    if m.sent > 0 || m.delivered > 0 {
+        push("copies_sent", m.sent.to_string());
+        push("copies_delivered", m.delivered.to_string());
+        push("dropped_by_sender", m.dropped_by_sender.to_string());
+        push("dropped_by_receiver", m.dropped_by_receiver.to_string());
+        push("dropped_by_crash", m.dropped_by_crash.to_string());
+        if m.msg_size > 0 {
+            push("delivered_volume", m.delivered_volume().to_string());
+        }
+    }
+    if m.async_delivered > 0 || m.async_dropped_to_crashed > 0 {
+        push("messages_delivered", m.async_delivered.to_string());
+        push(
+            "messages_to_crashed",
+            m.async_dropped_to_crashed.to_string(),
+        );
+    }
+    if m.timers_fired > 0 {
+        push("timers_fired", m.timers_fired.to_string());
+    }
+    push("corruptions", m.corruptions.to_string());
+    push("crashes", m.crashes.len().to_string());
+    if let Some(size) = m.final_coterie_size() {
+        push("final_coterie_size", size.to_string());
+        push("coterie_changes", m.coterie_changes().to_string());
+    }
+    match m.rounds_to_stabilization() {
+        Some(s) => push("stabilization_rounds", s.to_string()),
+        None => push("stabilization_rounds", "-".to_string()),
+    }
+    if m.suspicions_raised > 0 || m.suspicions_cleared > 0 {
+        push("suspicions_raised", m.suspicions_raised.to_string());
+        push("suspicions_cleared", m.suspicions_cleared.to_string());
+    }
+    if m.decisions > 0 {
+        push("decisions", m.decisions.to_string());
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftss_core::{ProcessId, RateAgreementSpec};
+    use ftss_protocols::RoundAgreement;
+    use ftss_sync_sim::{NoFaults, RunConfig, SilentProcess, SyncRunner};
+
+    #[test]
+    fn clean_run_forms_one_coterie_and_stabilizes_at_zero() {
+        let out = SyncRunner::new(RoundAgreement)
+            .run(&mut NoFaults, &RunConfig::clean(3, 6))
+            .unwrap();
+        let events = coterie_events(&out.history);
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert!(matches!(
+            &events[0],
+            Event::CoterieChange { round: 1, size: 3, members } if members.len() == 3
+        ));
+        let stab = stabilization_event(&out.history, &RateAgreementSpec::new()).unwrap();
+        assert_eq!(
+            stab,
+            Event::Stabilization {
+                round: 1,
+                rounds: 0
+            }
+        );
+    }
+
+    #[test]
+    fn silent_process_changes_the_coterie_mid_run() {
+        let mut adv = SilentProcess::new(ProcessId(0), 3);
+        let out = SyncRunner::new(RoundAgreement)
+            .run(&mut adv, &RunConfig::corrupted(3, 10, 5))
+            .unwrap();
+        let events = coterie_events(&out.history);
+        assert!(
+            events.len() >= 2,
+            "expected a membership change: {events:?}"
+        );
+        // Every change event round is a strictly increasing prefix length.
+        let rounds: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                Event::CoterieChange { round, .. } => *round,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert!(rounds.windows(2).all(|w| w[0] < w[1]));
+        // p0 is absorbed eventually: the final coterie contains it.
+        match events.last().unwrap() {
+            Event::CoterieChange { members, .. } => {
+                assert!(members.contains(&ProcessId(0)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn empty_history_yields_no_derived_events() {
+        let h: History<(), ()> = History::new(2);
+        assert!(coterie_events(&h).is_empty());
+        assert!(stabilization_event(&h, &RateAgreementSpec::new()).is_none());
+    }
+
+    #[test]
+    fn derived_events_feed_metrics_and_the_table() {
+        let out = SyncRunner::new(RoundAgreement)
+            .run(&mut NoFaults, &RunConfig::corrupted(4, 8, 7))
+            .unwrap();
+        let mut events = coterie_events(&out.history);
+        events.extend(stabilization_event(&out.history, &RateAgreementSpec::new()));
+        let m = Metrics::from_events(events.iter());
+        assert_eq!(m.final_coterie_size(), Some(4));
+        assert!(m.rounds_to_stabilization().unwrap() <= 1);
+        let table = metrics_table(&m).to_string();
+        assert!(table.contains("final_coterie_size"), "{table}");
+        assert!(table.contains("stabilization_rounds"), "{table}");
+    }
+}

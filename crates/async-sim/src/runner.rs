@@ -4,6 +4,7 @@ use crate::process::{AsyncProcess, Ctx};
 use ftss_core::{ConfigError, ProcessId};
 use ftss_rng::Rng;
 use ftss_rng::StdRng;
+use ftss_telemetry::{Event as TraceEvent, NullSink, RunMode, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -116,6 +117,7 @@ impl<M: Eq> PartialOrd for Event<M> {
 pub struct AsyncRunner<P: AsyncProcess> {
     processes: Vec<P>,
     crashed_at: Vec<Option<Time>>,
+    crash_reported: Vec<bool>,
     queue: BinaryHeap<Reverse<Event<P::Msg>>>,
     rng: StdRng,
     cfg: AsyncConfig,
@@ -152,6 +154,7 @@ where
         }
         Ok(AsyncRunner {
             processes,
+            crash_reported: vec![false; crashed_at.len()],
             crashed_at,
             queue: BinaryHeap::new(),
             rng: StdRng::seed_from_u64(cfg.seed),
@@ -250,6 +253,11 @@ where
         self.run_probed(horizon, Time::MAX, |_, _| {})
     }
 
+    /// Like [`Self::run_until`], emitting structured events into `sink`.
+    pub fn run_until_traced<T: TraceSink>(&mut self, horizon: Time, sink: &mut T) -> RunStats {
+        self.run_probed_traced(horizon, Time::MAX, |_, _| {}, sink)
+    }
+
     /// Like [`Self::run_until`], but invokes `probe(time, processes)`
     /// whenever virtual time crosses a multiple of `probe_interval` —
     /// the hook used by detector-property checkers to sample suspect sets
@@ -258,8 +266,35 @@ where
         &mut self,
         horizon: Time,
         probe_interval: Time,
-        mut probe: impl FnMut(Time, &[P]),
+        probe: impl FnMut(Time, &[P]),
     ) -> RunStats {
+        self.run_probed_traced(horizon, probe_interval, probe, &mut NullSink)
+    }
+
+    /// The fully instrumented driver: probes like [`Self::run_probed`] and
+    /// emits structured [`TraceEvent`]s into `sink` — `run_start` (once,
+    /// when the system first starts), `deliver`, `drop_to_crashed`,
+    /// `timer`, and `crash` (as virtual time first passes each scheduled
+    /// crash). All other entry points delegate here with the zero-cost
+    /// [`NullSink`]; instrumentation is guarded by [`TraceSink::enabled`],
+    /// so a disabled sink constructs no events.
+    pub fn run_probed_traced<T: TraceSink>(
+        &mut self,
+        horizon: Time,
+        probe_interval: Time,
+        mut probe: impl FnMut(Time, &[P]),
+        sink: &mut T,
+    ) -> RunStats {
+        let traced = sink.enabled();
+        if traced && !self.started {
+            sink.emit(&TraceEvent::RunStart {
+                mode: RunMode::Async,
+                protocol: String::new(),
+                n: self.n(),
+                rounds: None,
+                msg_size: Some(std::mem::size_of::<P::Msg>()),
+            });
+        }
         self.start_if_needed();
         let mut next_probe = if probe_interval == Time::MAX {
             Time::MAX
@@ -276,13 +311,30 @@ where
                 next_probe = next_probe.saturating_add(probe_interval);
             }
             self.now = ev.time;
+            if traced {
+                self.report_crashes(sink);
+            }
             match ev.kind {
                 EventKind::Deliver { from, to, msg } => {
                     if self.is_crashed(to) {
                         self.stats.messages_to_crashed += 1;
+                        if traced {
+                            sink.emit(&TraceEvent::DropToCrashed {
+                                time: self.now,
+                                from,
+                                to,
+                            });
+                        }
                         continue;
                     }
                     self.stats.messages_delivered += 1;
+                    if traced {
+                        sink.emit(&TraceEvent::Deliver {
+                            time: self.now,
+                            from,
+                            to,
+                        });
+                    }
                     let n = self.n();
                     let mut ctx = Ctx::new(to, n, self.now);
                     self.processes[to.index()].on_message(&mut ctx, from, msg);
@@ -293,6 +345,9 @@ where
                         continue;
                     }
                     self.stats.timers_fired += 1;
+                    if traced {
+                        sink.emit(&TraceEvent::Timer { time: self.now, p });
+                    }
                     let n = self.n();
                     let mut ctx = Ctx::new(p, n, self.now);
                     self.processes[p.index()].on_timer(&mut ctx, tag);
@@ -303,7 +358,29 @@ where
         self.now = self
             .now
             .max(horizon.min(self.peek_time().unwrap_or(horizon)));
+        if traced {
+            self.report_crashes(sink);
+        }
         self.stats()
+    }
+
+    /// Emits a `crash` event for every process whose scheduled crash time
+    /// virtual time has now reached, exactly once per process.
+    fn report_crashes<T: TraceSink>(&mut self, sink: &mut T) {
+        for i in 0..self.crashed_at.len() {
+            if self.crash_reported[i] {
+                continue;
+            }
+            if let Some(t) = self.crashed_at[i] {
+                if t <= self.now {
+                    self.crash_reported[i] = true;
+                    sink.emit(&TraceEvent::Crash {
+                        at: t,
+                        p: ProcessId(i),
+                    });
+                }
+            }
+        }
     }
 
     fn peek_time(&self) -> Option<Time> {
@@ -413,6 +490,65 @@ mod tests {
         }
         // Monotone time.
         assert!(samples.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_reports_crashes_once() {
+        use ftss_telemetry::RecordingSink;
+        let cfg = AsyncConfig::tame(3).with_crash(ProcessId(1), 40);
+        let mut plain = runner(cfg.clone());
+        let plain_stats = plain.run_until(5_000);
+
+        let mut sink = RecordingSink::new(65_536);
+        let mut traced = runner(cfg);
+        let traced_stats = traced.run_until_traced(2_000, &mut sink);
+        // Continuing a traced run keeps appending to the same stream.
+        let traced_stats2 = traced.run_until_traced(5_000, &mut sink);
+        assert!(traced_stats2.timers_fired >= traced_stats.timers_fired);
+        assert_eq!(plain_stats, traced_stats2, "tracing must not perturb");
+        assert_eq!(
+            plain.process(ProcessId(0)).received,
+            traced.process(ProcessId(0)).received
+        );
+
+        let events: Vec<TraceEvent> = sink.take();
+        assert!(matches!(
+            events.first(),
+            Some(TraceEvent::RunStart {
+                mode: RunMode::Async,
+                n: 2,
+                rounds: None,
+                ..
+            })
+        ));
+        let delivers = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Deliver { .. }))
+            .count() as u64;
+        let drops = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DropToCrashed { .. }))
+            .count() as u64;
+        let timers = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Timer { .. }))
+            .count() as u64;
+        assert_eq!(delivers, traced_stats2.messages_delivered);
+        assert_eq!(drops, traced_stats2.messages_to_crashed);
+        assert_eq!(timers, traced_stats2.timers_fired);
+        // Exactly one crash event, stamped with the scheduled time.
+        let crashes: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Crash { .. }))
+            .collect();
+        assert_eq!(crashes.len(), 1);
+        assert!(matches!(
+            crashes[0],
+            TraceEvent::Crash {
+                at: 40,
+                p: ProcessId(1)
+            }
+        ));
     }
 
     #[test]

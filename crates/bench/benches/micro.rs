@@ -6,6 +6,7 @@
 use ftss::core::{ftss_check, CoterieTimeline, RateAgreementSpec};
 use ftss::protocols::RoundAgreement;
 use ftss::sync_sim::{NoFaults, RunConfig, SyncRunner};
+use ftss::telemetry::{NullSink, RecordingSink};
 use ftss_bench::harness::Bencher;
 
 fn main() {
@@ -18,6 +19,29 @@ fn main() {
                 .unwrap()
         });
     }
+
+    // Telemetry overhead guard. `run()` *is* `run_traced(&mut NullSink)`
+    // by construction, so the first two rows must agree within noise —
+    // any gap means the disabled-sink path stopped compiling out. The
+    // recording row documents the price of actually capturing events.
+    let cfg = RunConfig::corrupted(32, 20, 7);
+    b.bench("trace_overhead/untraced_n32_r20", || {
+        SyncRunner::new(RoundAgreement)
+            .run(&mut NoFaults, &cfg)
+            .unwrap()
+    });
+    b.bench("trace_overhead/null_sink_n32_r20", || {
+        SyncRunner::new(RoundAgreement)
+            .run_traced(&mut NoFaults, &cfg, &mut NullSink)
+            .unwrap()
+    });
+    b.bench("trace_overhead/recording_sink_n32_r20", || {
+        let mut sink = RecordingSink::new(1 << 16);
+        SyncRunner::new(RoundAgreement)
+            .run_traced(&mut NoFaults, &cfg, &mut sink)
+            .unwrap();
+        sink.total_emitted()
+    });
 
     let out = SyncRunner::new(RoundAgreement)
         .run(&mut NoFaults, &RunConfig::corrupted(32, 40, 7))

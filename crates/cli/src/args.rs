@@ -13,21 +13,26 @@ pub struct Args {
 impl Args {
     /// Parses `args` (excluding the program name).
     ///
+    /// An option followed by another `--option` (or by nothing) is a
+    /// value-less boolean flag and records the value `true`, so
+    /// `--corrupt` and `--corrupt true` are equivalent.
+    ///
     /// # Errors
     ///
-    /// Returns a message when an option is missing its value or an
-    /// argument is not of the form `--key value`.
+    /// Returns a message when an argument is not of the form
+    /// `--key [value]`.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
-        let mut it = args.into_iter();
+        let mut it = args.into_iter().peekable();
         let command = it.next().unwrap_or_default();
         let mut options = BTreeMap::new();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected --option, got `{key}`"));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} is missing its value"))?;
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap(),
+                _ => "true".to_string(),
+            };
             options.insert(name.to_string(), value);
         }
         Ok(Args { command, options })
@@ -52,7 +57,8 @@ impl Args {
         }
     }
 
-    /// A boolean flag: `--name true|false`, defaulting to `false`.
+    /// A boolean flag: `--name`, `--name true`, or `--name false`,
+    /// defaulting to `false` when absent.
     ///
     /// # Errors
     ///
@@ -109,9 +115,24 @@ mod tests {
     #[test]
     fn rejects_bad_shapes() {
         assert!(parse(&["c", "stray"]).is_err());
-        assert!(parse(&["c", "--n"]).is_err());
         let a = parse(&["c", "--n", "abc"]).unwrap();
         assert!(a.get_or("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn value_less_flags_record_true() {
+        // Trailing flag.
+        let a = parse(&["c", "--corrupt"]).unwrap();
+        assert_eq!(a.get("corrupt"), Some("true"));
+        assert!(a.flag("corrupt").unwrap());
+        // Flag followed by another option.
+        let b = parse(&["c", "--poison", "--n", "5"]).unwrap();
+        assert!(b.flag("poison").unwrap());
+        assert_eq!(b.get_or("n", 0usize).unwrap(), 5);
+        // Explicit false still works.
+        let c = parse(&["c", "--poison", "false", "--corrupt"]).unwrap();
+        assert!(!c.flag("poison").unwrap());
+        assert!(c.flag("corrupt").unwrap());
     }
 
     #[test]

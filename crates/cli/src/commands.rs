@@ -2,23 +2,31 @@
 //! what happened, and returns `Ok(true)` when every checked property held.
 
 use crate::args::Args;
-use ftss::analysis::{measured_stabilization_time, theorem1_demo, theorem2_demo, Archetype};
+use ftss::analysis::{
+    coterie_events, measured_stabilization_time, metrics_table, stabilization_event, theorem1_demo,
+    theorem2_demo, Archetype,
+};
 use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
-use ftss::compiler::Compiled;
+use ftss::compiler::{trace_events, Compiled};
 use ftss::consensus_async::SsConsensusProcess;
 use ftss::core::{
-    ftss_check, Corrupt, CrashSchedule, ProcessId, ProcessSet, RateAgreementSpec, Round,
+    ftss_check, Corrupt, CrashSchedule, History, Problem, ProcessId, ProcessSet, RateAgreementSpec,
+    Round,
 };
 use ftss::detectors::{
-    eventual_weak_accuracy, strong_completeness_time, LifeState, StrongDetectorProcess,
-    SuspectProbe, WeakOracle,
+    eventual_weak_accuracy, strong_completeness_time, suspicion_events, LifeState,
+    StrongDetectorProcess, SuspectProbe, WeakOracle,
 };
 use ftss::protocols::{
     token_ring::token_holders, CanonicalProtocol, Eig, FloodSet, PhaseKing, RepeatedConsensusSpec,
     RoundAgreement, TokenRing,
 };
-use ftss::sync_sim::{Adversary, CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
+use ftss::sync_sim::{
+    Adversary, CrashOnly, NoFaults, RandomOmission, RunConfig, RunOutcome, SyncProtocol, SyncRunner,
+};
+use ftss::telemetry::{Event, JsonlSink, Metrics, TraceSink};
 use ftss_rng::StdRng;
+use std::io::Write;
 
 /// The help text.
 pub const USAGE: &str = "\
@@ -39,7 +47,13 @@ COMMANDS
   theorem1         The Theorem-1 scenario table  [--r R]
   theorem2         The Theorem-2 scenario table  [--rounds R]
   token-ring       Dijkstra's ring (ss-only contrast) --n N --rounds R --seed S
+  trace            Stream a run as JSONL events (one event per line)
+                   --protocol round-agreement|compile|token-ring|consensus|detector
+                   [--out FILE] plus the chosen protocol's options above
+  stats            Aggregate a trace file into a metrics table
+                   --in FILE [--format table|csv]
 
+Boolean options may omit the value: `--corrupt` means `--corrupt true`.
 Exit code 0: all checked properties held. 1: violation found. 2: usage error.";
 
 type Outcome = Result<bool, String>;
@@ -152,12 +166,12 @@ pub fn compile(args: &Args) -> Outcome {
     }
 }
 
-/// `consensus`: the §3 protocol, optionally corrupted, with progress and
-/// per-instance agreement checks.
-pub fn consensus(args: &Args) -> Outcome {
+/// Builds the §3 consensus runner from the command line; returns the
+/// runner and the highest corrupted starting instance (0 when clean).
+/// Prints nothing, so `trace` can reuse it without polluting the stream.
+fn consensus_runner(args: &Args) -> Result<(AsyncRunner<SsConsensusProcess>, u64), String> {
     let n: usize = args.get_or("n", 3)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let horizon: Time = args.get_or("horizon", 120_000)?;
     let corrupt = args.flag("corrupt")?;
     let crash = args.crash_spec("crash")?;
     let crashes: Vec<(ProcessId, Time)> =
@@ -174,13 +188,23 @@ pub fn consensus(args: &Args) -> Outcome {
             p.corrupt(&mut rng);
         }
         corrupted_max = procs.iter().map(|p| p.inst).max().unwrap_or(1);
-        println!("corrupted starting instances up to {corrupted_max}");
     }
     let mut cfg = AsyncConfig::turbulent(seed, 50, 300);
     for &(p, t) in &crashes {
         cfg = cfg.with_crash(p, t);
     }
-    let mut runner = AsyncRunner::new(procs, cfg).map_err(|e| e.to_string())?;
+    let runner = AsyncRunner::new(procs, cfg).map_err(|e| e.to_string())?;
+    Ok((runner, corrupted_max))
+}
+
+/// `consensus`: the §3 protocol, optionally corrupted, with progress and
+/// per-instance agreement checks.
+pub fn consensus(args: &Args) -> Outcome {
+    let horizon: Time = args.get_or("horizon", 120_000)?;
+    let (mut runner, corrupted_max) = consensus_runner(args)?;
+    if corrupted_max > 0 {
+        println!("corrupted starting instances up to {corrupted_max}");
+    }
     runner.run_until(horizon);
     let mut ok = true;
     let mut per_instance: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>> =
@@ -221,11 +245,14 @@ pub fn consensus(args: &Args) -> Outcome {
     Ok(ok)
 }
 
-/// `detector`: run Figure 4 and report settle times.
-pub fn detector(args: &Args) -> Outcome {
+/// Builds the Figure-4 detector runner from the command line; returns the
+/// runner and the set of scheduled crashes. Prints nothing, so `trace`
+/// can reuse it without polluting the stream.
+fn detector_runner(
+    args: &Args,
+) -> Result<(AsyncRunner<StrongDetectorProcess>, ProcessSet), String> {
     let n: usize = args.get_or("n", 4)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let horizon: Time = args.get_or("horizon", 40_000)?;
     let poison = args.flag("poison")?;
     let crash = args.crash_spec("crash")?;
     let crashes: Vec<(ProcessId, Time)> =
@@ -246,18 +273,27 @@ pub fn detector(args: &Args) -> Outcome {
                 }
             }
         }
-        println!("poisoned: everyone believes everyone else dead at v=10^9");
     }
     let mut cfg = AsyncConfig::tame(seed);
     for &(p, t) in &crashes {
         cfg = cfg.with_crash(p, t);
     }
-    let mut runner = AsyncRunner::new(procs, cfg).map_err(|e| e.to_string())?;
+    let runner = AsyncRunner::new(procs, cfg).map_err(|e| e.to_string())?;
+    let crashed = ProcessSet::from_iter_n(n, crashes.iter().map(|&(p, _)| p));
+    Ok((runner, crashed))
+}
+
+/// `detector`: run Figure 4 and report settle times.
+pub fn detector(args: &Args) -> Outcome {
+    let horizon: Time = args.get_or("horizon", 40_000)?;
+    let (mut runner, crashed) = detector_runner(args)?;
+    if args.flag("poison")? {
+        println!("poisoned: everyone believes everyone else dead at v=10^9");
+    }
     let mut probes = Vec::new();
     runner.run_probed(horizon, 200, |t, ps| {
         probes.push(SuspectProbe::sample(t, ps))
     });
-    let crashed = ProcessSet::from_iter_n(n, crashes.iter().map(|&(p, _)| p));
     let correct = crashed.complement();
     let comp = strong_completeness_time(&probes, &crashed, &correct);
     let acc = eventual_weak_accuracy(&probes, &correct);
@@ -353,4 +389,180 @@ pub fn token_ring(args: &Args) -> Outcome {
         &counts[..counts.len().min(20)]
     );
     Ok(counts.last() == Some(&1))
+}
+
+/// The sink every `trace` run streams into: stdout, or `--out FILE`.
+type TraceOut = JsonlSink<Box<dyn Write>>;
+
+fn trace_writer(args: &Args) -> Result<TraceOut, String> {
+    let out: Box<dyn Write> = match args.get("out") {
+        Some(path) => {
+            Box::new(std::fs::File::create(path).map_err(|e| format!("--out {path}: {e}"))?)
+        }
+        None => Box::new(std::io::stdout().lock()),
+    };
+    Ok(JsonlSink::new(out))
+}
+
+/// Runs a synchronous protocol from a corrupted start with the live
+/// events streamed into `sink`, then appends the derived coterie-change
+/// and (when `problem` is given) stabilization events.
+fn trace_sync<P: SyncProtocol>(
+    protocol: P,
+    args: &Args,
+    default_rounds: usize,
+    problem: Option<&dyn Problem<P::State, P::Msg>>,
+    sink: &mut TraceOut,
+) -> Result<RunOutcome<P::State, P::Msg>, String>
+where
+    P::State: Corrupt,
+{
+    let n: usize = args.get_or("n", 4)?;
+    let rounds: usize = args.get_or("rounds", default_rounds)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let mut adv = adversary_from(args, n)?;
+    let out = SyncRunner::new(protocol)
+        .run_traced(adv.as_mut(), &RunConfig::corrupted(n, rounds, seed), sink)
+        .map_err(|e| e.to_string())?;
+    emit_history_events(&out.history, problem, sink);
+    Ok(out)
+}
+
+fn emit_history_events<S, M>(
+    history: &History<S, M>,
+    problem: Option<&dyn Problem<S, M>>,
+    sink: &mut TraceOut,
+) {
+    for ev in coterie_events(history) {
+        sink.emit(&ev);
+    }
+    if let Some(p) = problem {
+        if let Some(ev) = stabilization_event(history, p) {
+            sink.emit(&ev);
+        }
+    }
+}
+
+fn trace_compiled<P>(pi: P, args: &Args, sink: &mut TraceOut) -> Result<(), String>
+where
+    P: CanonicalProtocol,
+    P::Output: Corrupt,
+{
+    let fr = pi.final_round() as usize;
+    let out = trace_sync(
+        Compiled::new(pi),
+        args,
+        10 * fr,
+        Some(&RepeatedConsensusSpec::agreement_only()),
+        sink,
+    )?;
+    for ev in trace_events(&out.history) {
+        sink.emit(&ev);
+    }
+    Ok(())
+}
+
+/// `trace`: stream one run as JSONL, one event per line — the simulator's
+/// live events first, the derived coterie / stabilization / decision /
+/// suspicion events after the run. The stream is byte-deterministic for a
+/// fixed seed; nothing else is printed to stdout.
+pub fn trace(args: &Args) -> Outcome {
+    let mut sink = trace_writer(args)?;
+    match args.get("protocol").unwrap_or("round-agreement") {
+        "round-agreement" => {
+            trace_sync(
+                RoundAgreement,
+                args,
+                12,
+                Some(&RateAgreementSpec::new()),
+                &mut sink,
+            )?;
+        }
+        "token-ring" => {
+            let n: usize = args.get_or("n", 5)?;
+            trace_sync(TokenRing::new(n), args, 80, None, &mut sink)?;
+        }
+        "compile" => {
+            let n: usize = args.get_or("n", 4)?;
+            let f: usize = args.get_or("f", 1)?;
+            match args.get("pi").unwrap_or("floodset") {
+                "floodset" => {
+                    let inputs: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % 50).collect();
+                    trace_compiled(FloodSet::new(f, inputs), args, &mut sink)?;
+                }
+                "phase-king" => {
+                    if n <= 4 * f {
+                        return Err(format!("phase-king needs n > 4f (n={n}, f={f})"));
+                    }
+                    let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+                    trace_compiled(PhaseKing::new(f, inputs), args, &mut sink)?;
+                }
+                "eig" => {
+                    let inputs: Vec<u64> = (0..n as u64).map(|i| (i * 11 + 5) % 50).collect();
+                    trace_compiled(Eig::new(f, inputs), args, &mut sink)?;
+                }
+                other => return Err(format!("unknown --pi `{other}` (floodset|phase-king|eig)")),
+            }
+        }
+        "consensus" => {
+            let horizon: Time = args.get_or("horizon", 120_000)?;
+            let (mut runner, _) = consensus_runner(args)?;
+            runner.run_until_traced(horizon, &mut sink);
+        }
+        "detector" => {
+            let horizon: Time = args.get_or("horizon", 40_000)?;
+            let (mut runner, _) = detector_runner(args)?;
+            let mut probes = Vec::new();
+            runner.run_probed_traced(
+                horizon,
+                200,
+                |t, ps| probes.push(SuspectProbe::sample(t, ps)),
+                &mut sink,
+            );
+            for ev in suspicion_events(&probes) {
+                sink.emit(&ev);
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown --protocol `{other}` \
+                 (round-agreement|compile|token-ring|consensus|detector)"
+            ))
+        }
+    }
+    // A closed stdout (e.g. `ftss-lab trace | head`) is a normal way to
+    // consume a prefix of the stream, not an error.
+    let benign = |e: &std::io::Error| e.kind() == std::io::ErrorKind::BrokenPipe;
+    match sink.finish() {
+        Ok(mut out) => match out.flush() {
+            Ok(()) => {}
+            Err(e) if benign(&e) => {}
+            Err(e) => return Err(format!("trace output: {e}")),
+        },
+        Err(e) if benign(&e) => {}
+        Err(e) => return Err(format!("trace output: {e}")),
+    }
+    Ok(true)
+}
+
+/// `stats`: replay a `trace` file through the [`Metrics`] accumulator and
+/// print the aggregate as a table (or CSV with `--format csv`).
+pub fn stats(args: &Args) -> Outcome {
+    let path = args.get("in").ok_or("stats needs --in <trace.jsonl>")?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("--in {path}: {e}"))?;
+    let mut metrics = Metrics::new();
+    for (i, line) in data.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = Event::parse_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        metrics.emit(&ev);
+    }
+    let table = metrics_table(&metrics);
+    match args.get("format").unwrap_or("table") {
+        "table" => print!("{table}"),
+        "csv" => print!("{}", table.to_csv()),
+        other => return Err(format!("unknown --format `{other}` (table|csv)")),
+    }
+    Ok(true)
 }

@@ -10,6 +10,9 @@
 //! ftss-lab theorem1 --r 8
 //! ftss-lab theorem2 --rounds 8
 //! ftss-lab token-ring --n 5 --rounds 80
+//! ftss-lab trace --protocol round-agreement --rounds 8 --seed 1
+//! ftss-lab trace --protocol detector --crash 3@500 --out run.jsonl
+//! ftss-lab stats --in run.jsonl --format csv
 //! ```
 //!
 //! Exit code 0 means every checked property held; 1 means a violation was
@@ -29,6 +32,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.flag("help").unwrap_or(false) {
+        println!("{}", commands::USAGE);
+        return;
+    }
     let outcome = match args.command.as_str() {
         "round-agreement" => commands::round_agreement(&args),
         "compile" => commands::compile(&args),
@@ -37,6 +44,8 @@ fn main() {
         "theorem1" => commands::theorem1(&args),
         "theorem2" => commands::theorem2(&args),
         "token-ring" => commands::token_ring(&args),
+        "trace" => commands::trace(&args),
+        "stats" => commands::stats(&args),
         "" | "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             return;

@@ -29,4 +29,4 @@
 
 pub mod compiled;
 
-pub use compiled::{Compiled, CompiledMsg, CompiledState, CompilerOptions};
+pub use compiled::{trace_events, Compiled, CompiledMsg, CompiledState, CompilerOptions};

@@ -37,8 +37,8 @@ pub mod weak;
 pub use ct_baseline::BaselineDetectorProcess;
 pub use heartbeat::HeartbeatDetector;
 pub use properties::{
-    eventual_weak_accuracy, strong_completeness_time, weak_completeness_time, SuspectProbe,
-    Suspector,
+    eventual_weak_accuracy, strong_completeness_time, suspicion_events, weak_completeness_time,
+    SuspectProbe, Suspector,
 };
 pub use strong::{LifeState, StrongDetectorProcess};
 pub use weak::WeakOracle;

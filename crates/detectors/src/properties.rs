@@ -84,6 +84,38 @@ pub fn eventual_weak_accuracy(
     best
 }
 
+/// Suspect-set churn across a probe sequence, as telemetry events.
+///
+/// The baseline is the empty set — both detector implementations start
+/// out trusting everyone — so the first probe reports every suspicion it
+/// contains, and each later probe reports only the verdicts that flipped
+/// since the previous one. Events are stamped with the probe's virtual
+/// time; `ftss-analysis` folds them into suspicion-churn counts.
+pub fn suspicion_events(probes: &[SuspectProbe]) -> Vec<ftss_telemetry::Event> {
+    let mut out = Vec::new();
+    let mut prev: Option<&SuspectProbe> = None;
+    for probe in probes {
+        let n = probe.sets.len();
+        for (j, set) in probe.sets.iter().enumerate() {
+            for k in 0..n {
+                let q = ProcessId(k);
+                let was = prev.is_some_and(|p| p.sets[j].contains(q));
+                let is = set.contains(q);
+                if was != is {
+                    out.push(ftss_telemetry::Event::Suspicion {
+                        at: probe.time,
+                        observer: ProcessId(j),
+                        target: q,
+                        suspected: is,
+                    });
+                }
+            }
+        }
+        prev = Some(probe);
+    }
+    out
+}
+
 /// The earliest probe time from which `pred` holds on every remaining
 /// probe (and at least one probe satisfies it).
 fn settle_time(
@@ -171,6 +203,41 @@ mod tests {
         let correct = set(2, &[0]);
         assert_eq!(strong_completeness_time(&[], &crashed, &correct), None);
         assert_eq!(eventual_weak_accuracy(&[], &correct), None);
+    }
+
+    #[test]
+    fn suspicion_events_report_flips_only() {
+        use ftss_telemetry::Event;
+        let probes = vec![
+            probe(10, vec![set(2, &[1]), set(2, &[])]),
+            probe(20, vec![set(2, &[1]), set(2, &[])]), // no change
+            probe(30, vec![set(2, &[]), set(2, &[0])]), // p0 clears, p1 raises
+        ];
+        let events = suspicion_events(&probes);
+        assert_eq!(
+            events,
+            vec![
+                Event::Suspicion {
+                    at: 10,
+                    observer: ProcessId(0),
+                    target: ProcessId(1),
+                    suspected: true,
+                },
+                Event::Suspicion {
+                    at: 30,
+                    observer: ProcessId(0),
+                    target: ProcessId(1),
+                    suspected: false,
+                },
+                Event::Suspicion {
+                    at: 30,
+                    observer: ProcessId(1),
+                    target: ProcessId(0),
+                    suspected: true,
+                },
+            ]
+        );
+        assert!(suspicion_events(&[]).is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | Failure detectors | [`detectors`] | Fig 4: self-stabilizing ◇W → ◇S (Theorem 5); ◇W oracle + heartbeat construction |
 //! | Async consensus | [`consensus_async`] | §3: self-stabilizing Chandra–Toueg consensus |
 //! | Analysis | [`analysis`] | stabilization measurement, message accounting, Theorems 1–2 scenarios |
+//! | Telemetry | [`telemetry`] | structured execution traces (JSONL) + metrics accumulation |
 //!
 //! The `ftss-lab` binary (in `crates/cli`) drives parameterized runs of
 //! all of the above from the command line.
@@ -55,6 +56,7 @@ pub use ftss_core as core;
 pub use ftss_detectors as detectors;
 pub use ftss_protocols as protocols;
 pub use ftss_sync_sim as sync_sim;
+pub use ftss_telemetry as telemetry;
 
 /// The crate version, for reports.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

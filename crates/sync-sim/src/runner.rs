@@ -28,6 +28,7 @@ use ftss_core::{
     RoundHistory, SendRecord,
 };
 use ftss_rng::StdRng;
+use ftss_telemetry::{Event, NullSink, RunMode, TraceSink};
 
 /// Whether (and how) to inject a systemic failure at round 1.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -188,6 +189,32 @@ where
         adversary: &mut A,
         cfg: &RunConfig,
     ) -> Result<RunOutcome<P::State, P::Msg>, ConfigError> {
+        self.run_traced(adversary, cfg, &mut NullSink)
+    }
+
+    /// Runs the protocol, emitting structured [`Event`]s into `sink`.
+    ///
+    /// Emitted events: `run_start`, `round_start`/`round_end` with traffic
+    /// totals, `corruption` (initial and mid-run systemic failures),
+    /// `crash`, and one `send` per point-to-point copy with its
+    /// [`DeliveryOutcome`] (omissions attributed to the faulty side).
+    /// [`Self::run`] is exactly this method with the zero-cost
+    /// [`NullSink`]; instrumentation is guarded by
+    /// [`TraceSink::enabled`], so a disabled sink constructs no events.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::run`].
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::run`].
+    pub fn run_traced<A: Adversary + ?Sized, T: TraceSink>(
+        &self,
+        adversary: &mut A,
+        cfg: &RunConfig,
+        sink: &mut T,
+    ) -> Result<RunOutcome<P::State, P::Msg>, ConfigError> {
         if cfg.n == 0 {
             return Err(ConfigError::new("n must be at least 1"));
         }
@@ -209,6 +236,17 @@ where
             }
         }
 
+        let traced = sink.enabled();
+        if traced {
+            sink.emit(&Event::RunStart {
+                mode: RunMode::Sync,
+                protocol: self.protocol.name().to_string(),
+                n,
+                rounds: Some(cfg.rounds as u64),
+                msg_size: Some(std::mem::size_of::<P::Msg>()),
+            });
+        }
+
         // Initial states, with optional systemic failure.
         let mut states: Vec<Option<P::State>> = (0..n)
             .map(|i| Some(self.protocol.init_state(&ProtocolCtx::new(ProcessId(i), n))))
@@ -218,18 +256,27 @@ where
             for s in states.iter_mut().flatten() {
                 s.corrupt(&mut rng);
             }
+            if traced {
+                sink.emit(&Event::Corruption { round: 1, seed });
+            }
         }
 
         let mut history: History<P::State, P::Msg> = History::new(n);
 
         for r in 1..=cfg.rounds as u64 {
             let round = Round::new(r);
+            if traced {
+                sink.emit(&Event::RoundStart { round: r });
+            }
             // Mid-run systemic failure: re-corrupt every alive process's
             // state at the start of the round.
             if let Some(seed) = cfg.mid_run_corruption.seed_for(r) {
                 let mut rng = StdRng::seed_from_u64(seed);
                 for s in states.iter_mut().flatten() {
                     s.corrupt(&mut rng);
+                }
+                if traced {
+                    sink.emit(&Event::Corruption { round: r, seed });
                 }
             }
             let mut records: Vec<ProcessRoundRecord<P::State, P::Msg>> = Vec::with_capacity(n);
@@ -241,18 +288,23 @@ where
                     records.push(ProcessRoundRecord::crashed());
                 } else {
                     let state = states[i].as_ref().expect("alive process has state");
+                    let crashed_here = schedule.crashes_in(p, round);
+                    if traced && crashed_here {
+                        sink.emit(&Event::Crash { at: r, p });
+                    }
                     records.push(ProcessRoundRecord {
                         state_at_start: Some(state.clone()),
                         counter_at_start: self.protocol.round_counter(state),
                         sent: Vec::new(),
                         delivered: Vec::new(),
-                        crashed_here: schedule.crashes_in(p, round),
+                        crashed_here,
                         halted_at_start: self.protocol.is_halted(&ProtocolCtx::new(p, n), state),
                     });
                 }
             }
 
             // Phase 1: broadcasts and delivery decisions.
+            let (mut copies_sent, mut copies_delivered) = (0u64, 0u64);
             let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
             for i in 0..n {
                 let p = ProcessId(i);
@@ -315,6 +367,18 @@ where
                     if outcome == DeliveryOutcome::Delivered {
                         inboxes[j].push(Envelope::new(p, round, payload.clone()));
                     }
+                    if traced {
+                        copies_sent += 1;
+                        if outcome == DeliveryOutcome::Delivered {
+                            copies_delivered += 1;
+                        }
+                        sink.emit(&Event::Send {
+                            round: r,
+                            from: p,
+                            to: q,
+                            outcome,
+                        });
+                    }
                     records[i].sent.push(SendRecord {
                         dst: q,
                         payload: payload.clone(),
@@ -338,6 +402,14 @@ where
                     .step(&ctx, states[i].as_mut().expect("alive"), &inbox);
             }
 
+            if traced {
+                sink.emit(&Event::RoundEnd {
+                    round: r,
+                    sent: copies_sent,
+                    delivered: copies_delivered,
+                    dropped: copies_sent - copies_delivered,
+                });
+            }
             history.push(RoundHistory { records });
         }
 
@@ -582,6 +654,87 @@ mod tests {
             }
         }
         let _ = SyncRunner::new(CountAll).run(&mut Liar, &RunConfig::clean(2, 1));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_schema_events() {
+        use ftss_telemetry::RecordingSink;
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(1), Round::new(2));
+        let cfg = RunConfig::corrupted(3, 4, 77);
+        let plain = SyncRunner::new(CountAll)
+            .run(&mut CrashOnly::new(cs.clone()), &cfg)
+            .unwrap();
+        let mut sink = RecordingSink::new(4096);
+        let traced = SyncRunner::new(CountAll)
+            .run_traced(&mut CrashOnly::new(cs), &cfg, &mut sink)
+            .unwrap();
+        // Tracing must not perturb the execution.
+        assert_eq!(plain.history.rounds(), traced.history.rounds());
+        assert_eq!(plain.final_states, traced.final_states);
+
+        let events: Vec<Event> = sink.take();
+        assert!(matches!(
+            events.first(),
+            Some(Event::RunStart {
+                mode: RunMode::Sync,
+                n: 3,
+                rounds: Some(4),
+                ..
+            })
+        ));
+        // Initial corruption, one crash, 4 round_start + 4 round_end.
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::Corruption { round: 1, seed: 77 }))
+                .count(),
+            1
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(
+                    e,
+                    Event::Crash {
+                        at: 2,
+                        p: ProcessId(1)
+                    }
+                ))
+                .count(),
+            1
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::RoundStart { .. }))
+                .count(),
+            4
+        );
+        // The send events agree with the recorded history, copy for copy.
+        let sends: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::Send { .. }))
+            .collect();
+        let recorded: usize = plain
+            .history
+            .rounds()
+            .iter()
+            .map(|rh| rh.records.iter().map(|rec| rec.sent.len()).sum::<usize>())
+            .sum();
+        assert_eq!(sends.len(), recorded);
+        // Round-end totals are consistent.
+        for ev in &events {
+            if let Event::RoundEnd {
+                sent,
+                delivered,
+                dropped,
+                ..
+            } = ev
+            {
+                assert_eq!(sent - delivered, *dropped);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,600 @@
+//! The structured event model: what both simulators (and the derived
+//! analyses) report about an execution.
+//!
+//! One [`Event`] is one fact about a run. Synchronous facts are stamped
+//! with the observer round; asynchronous facts with virtual time. The
+//! JSONL encoding is hand-rolled (no registry dependency) with **stable
+//! field order** — the same run under the same seed serializes to the
+//! same file, byte for byte, which the determinism regression tests
+//! assert.
+
+use crate::json::{escape_into, JsonValue};
+use ftss_core::{DeliveryOutcome, ProcessId};
+use std::fmt::Write as _;
+
+/// Which simulator produced a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunMode {
+    /// The lock-step synchronous simulator (`ftss-sync-sim`).
+    Sync,
+    /// The discrete-event asynchronous simulator (`ftss-async-sim`).
+    Async,
+}
+
+impl RunMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            RunMode::Sync => "sync",
+            RunMode::Async => "async",
+        }
+    }
+}
+
+/// One structured fact about an execution.
+///
+/// `round` fields are 1-based observer rounds (synchronous runs); `time`
+/// fields are virtual-time instants (asynchronous runs). `crash` uses a
+/// shared `at` stamp, which is a round or an instant depending on the
+/// trace's [`RunMode`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A run began.
+    RunStart {
+        /// Which simulator.
+        mode: RunMode,
+        /// Protocol name (empty when the simulator does not know one).
+        protocol: String,
+        /// Number of processes.
+        n: usize,
+        /// Scheduled rounds (synchronous runs only).
+        rounds: Option<u64>,
+        /// In-memory payload size of one message, an upper estimate used
+        /// for traffic accounting (synchronous runs only).
+        msg_size: Option<usize>,
+    },
+    /// An observer round began.
+    RoundStart {
+        /// The round.
+        round: u64,
+    },
+    /// An observer round completed, with its traffic totals.
+    RoundEnd {
+        /// The round.
+        round: u64,
+        /// Copies emitted (excluding self-copies).
+        sent: u64,
+        /// Copies that arrived.
+        delivered: u64,
+        /// Copies lost for any reason.
+        dropped: u64,
+    },
+    /// A systemic failure: every live state was arbitrarily corrupted.
+    Corruption {
+        /// Round at whose start the corruption struck.
+        round: u64,
+        /// The corruption seed.
+        seed: u64,
+    },
+    /// One point-to-point copy of a synchronous broadcast and its fate.
+    /// Omissions are attributed to the deviating side via the outcome
+    /// (`dropped_by_sender` / `dropped_by_receiver`).
+    Send {
+        /// The round.
+        round: u64,
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// What happened to the copy.
+        outcome: DeliveryOutcome,
+    },
+    /// An asynchronous message arrived.
+    Deliver {
+        /// Virtual delivery time.
+        time: u64,
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+    },
+    /// An asynchronous message vanished: its receiver had crashed.
+    DropToCrashed {
+        /// Virtual time of the would-be delivery.
+        time: u64,
+        /// Sender.
+        from: ProcessId,
+        /// The crashed receiver.
+        to: ProcessId,
+    },
+    /// A timer fired.
+    Timer {
+        /// Virtual time.
+        time: u64,
+        /// The process whose timer fired.
+        p: ProcessId,
+    },
+    /// A process crashed.
+    Crash {
+        /// Round (sync) or virtual time (async) of the crash.
+        at: u64,
+        /// The crashed process.
+        p: ProcessId,
+    },
+    /// The coterie (Definition 2.3) changed at this prefix length.
+    CoterieChange {
+        /// Prefix length (in rounds) at which the new coterie holds.
+        round: u64,
+        /// Number of coterie members.
+        size: usize,
+        /// The members.
+        members: Vec<ProcessId>,
+    },
+    /// The problem predicate first held on the final stable window.
+    Stabilization {
+        /// Prefix length from which the predicate holds.
+        round: u64,
+        /// Measured stabilization time in rounds (Definition 2.4).
+        rounds: u64,
+    },
+    /// One observer changed its verdict about one target (failure-detector
+    /// or compiler suspect-list churn).
+    Suspicion {
+        /// Round (sync) or virtual time (async) of the change.
+        at: u64,
+        /// The process whose suspect list changed.
+        observer: ProcessId,
+        /// The process whose standing changed.
+        target: ProcessId,
+        /// `true` when the target became suspected, `false` on rehabilitation.
+        suspected: bool,
+    },
+    /// A compiled-protocol iteration completed with an output.
+    Decision {
+        /// The round in which the iteration completed.
+        round: u64,
+        /// The deciding process.
+        p: ProcessId,
+        /// The iteration tag (the round counter that closed the iteration).
+        tag: u64,
+    },
+}
+
+fn outcome_str(outcome: DeliveryOutcome) -> &'static str {
+    match outcome {
+        DeliveryOutcome::Delivered => "delivered",
+        DeliveryOutcome::DroppedBySender => "dropped_by_sender",
+        DeliveryOutcome::DroppedByReceiver => "dropped_by_receiver",
+        DeliveryOutcome::ReceiverCrashed => "receiver_crashed",
+        DeliveryOutcome::SenderCrashed => "sender_crashed",
+    }
+}
+
+fn outcome_from_str(s: &str) -> Option<DeliveryOutcome> {
+    Some(match s {
+        "delivered" => DeliveryOutcome::Delivered,
+        "dropped_by_sender" => DeliveryOutcome::DroppedBySender,
+        "dropped_by_receiver" => DeliveryOutcome::DroppedByReceiver,
+        "receiver_crashed" => DeliveryOutcome::ReceiverCrashed,
+        "sender_crashed" => DeliveryOutcome::SenderCrashed,
+        _ => return None,
+    })
+}
+
+impl Event {
+    /// The event's `type` tag in the JSONL encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::RoundStart { .. } => "round_start",
+            Event::RoundEnd { .. } => "round_end",
+            Event::Corruption { .. } => "corruption",
+            Event::Send { .. } => "send",
+            Event::Deliver { .. } => "deliver",
+            Event::DropToCrashed { .. } => "drop_to_crashed",
+            Event::Timer { .. } => "timer",
+            Event::Crash { .. } => "crash",
+            Event::CoterieChange { .. } => "coterie_change",
+            Event::Stabilization { .. } => "stabilization",
+            Event::Suspicion { .. } => "suspicion",
+            Event::Decision { .. } => "decision",
+        }
+    }
+
+    /// Appends this event as one JSON object (no trailing newline) with
+    /// the schema's fixed field order.
+    pub fn write_jsonl(&self, out: &mut String) {
+        out.push_str("{\"type\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        let field_u64 = |out: &mut String, name: &str, v: u64| {
+            let _ = write!(out, ",\"{name}\":{v}");
+        };
+        match self {
+            Event::RunStart {
+                mode,
+                protocol,
+                n,
+                rounds,
+                msg_size,
+            } => {
+                out.push_str(",\"mode\":\"");
+                out.push_str(mode.as_str());
+                out.push_str("\",\"protocol\":");
+                escape_into(out, protocol);
+                field_u64(out, "n", *n as u64);
+                if let Some(r) = rounds {
+                    field_u64(out, "rounds", *r);
+                }
+                if let Some(s) = msg_size {
+                    field_u64(out, "msg_size", *s as u64);
+                }
+            }
+            Event::RoundStart { round } => field_u64(out, "round", *round),
+            Event::RoundEnd {
+                round,
+                sent,
+                delivered,
+                dropped,
+            } => {
+                field_u64(out, "round", *round);
+                field_u64(out, "sent", *sent);
+                field_u64(out, "delivered", *delivered);
+                field_u64(out, "dropped", *dropped);
+            }
+            Event::Corruption { round, seed } => {
+                field_u64(out, "round", *round);
+                field_u64(out, "seed", *seed);
+            }
+            Event::Send {
+                round,
+                from,
+                to,
+                outcome,
+            } => {
+                field_u64(out, "round", *round);
+                field_u64(out, "from", from.index() as u64);
+                field_u64(out, "to", to.index() as u64);
+                out.push_str(",\"outcome\":\"");
+                out.push_str(outcome_str(*outcome));
+                out.push('"');
+            }
+            Event::Deliver { time, from, to } | Event::DropToCrashed { time, from, to } => {
+                field_u64(out, "time", *time);
+                field_u64(out, "from", from.index() as u64);
+                field_u64(out, "to", to.index() as u64);
+            }
+            Event::Timer { time, p } => {
+                field_u64(out, "time", *time);
+                field_u64(out, "p", p.index() as u64);
+            }
+            Event::Crash { at, p } => {
+                field_u64(out, "at", *at);
+                field_u64(out, "p", p.index() as u64);
+            }
+            Event::CoterieChange {
+                round,
+                size,
+                members,
+            } => {
+                field_u64(out, "round", *round);
+                field_u64(out, "size", *size as u64);
+                out.push_str(",\"members\":[");
+                for (i, m) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}", m.index());
+                }
+                out.push(']');
+            }
+            Event::Stabilization { round, rounds } => {
+                field_u64(out, "round", *round);
+                field_u64(out, "rounds", *rounds);
+            }
+            Event::Suspicion {
+                at,
+                observer,
+                target,
+                suspected,
+            } => {
+                field_u64(out, "at", *at);
+                field_u64(out, "observer", observer.index() as u64);
+                field_u64(out, "target", target.index() as u64);
+                out.push_str(",\"suspected\":");
+                out.push_str(if *suspected { "true" } else { "false" });
+            }
+            Event::Decision { round, p, tag } => {
+                field_u64(out, "round", *round);
+                field_u64(out, "p", p.index() as u64);
+                field_u64(out, "tag", *tag);
+            }
+        }
+        out.push('}');
+    }
+
+    /// This event as one JSONL line (without the newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(64);
+        self.write_jsonl(&mut s);
+        s
+    }
+
+    /// Decodes a parsed JSON object back into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing/mistyped field when `v` is not
+    /// a schema-valid event object.
+    pub fn from_json(v: &JsonValue) -> Result<Event, String> {
+        let kind = v
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing `type` field")?;
+        let num = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("`{kind}`: missing integer field `{name}`"))
+        };
+        let pid = |name: &str| -> Result<ProcessId, String> { Ok(ProcessId(num(name)? as usize)) };
+        Ok(match kind {
+            "run_start" => {
+                let mode = match v.get("mode").and_then(JsonValue::as_str) {
+                    Some("sync") => RunMode::Sync,
+                    Some("async") => RunMode::Async,
+                    _ => return Err("`run_start`: bad `mode`".into()),
+                };
+                let protocol = v
+                    .get("protocol")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("`run_start`: missing `protocol`")?
+                    .to_string();
+                Event::RunStart {
+                    mode,
+                    protocol,
+                    n: num("n")? as usize,
+                    rounds: v.get("rounds").and_then(JsonValue::as_u64),
+                    msg_size: v
+                        .get("msg_size")
+                        .and_then(JsonValue::as_u64)
+                        .map(|s| s as usize),
+                }
+            }
+            "round_start" => Event::RoundStart {
+                round: num("round")?,
+            },
+            "round_end" => Event::RoundEnd {
+                round: num("round")?,
+                sent: num("sent")?,
+                delivered: num("delivered")?,
+                dropped: num("dropped")?,
+            },
+            "corruption" => Event::Corruption {
+                round: num("round")?,
+                seed: num("seed")?,
+            },
+            "send" => Event::Send {
+                round: num("round")?,
+                from: pid("from")?,
+                to: pid("to")?,
+                outcome: v
+                    .get("outcome")
+                    .and_then(JsonValue::as_str)
+                    .and_then(outcome_from_str)
+                    .ok_or("`send`: bad `outcome`")?,
+            },
+            "deliver" => Event::Deliver {
+                time: num("time")?,
+                from: pid("from")?,
+                to: pid("to")?,
+            },
+            "drop_to_crashed" => Event::DropToCrashed {
+                time: num("time")?,
+                from: pid("from")?,
+                to: pid("to")?,
+            },
+            "timer" => Event::Timer {
+                time: num("time")?,
+                p: pid("p")?,
+            },
+            "crash" => Event::Crash {
+                at: num("at")?,
+                p: pid("p")?,
+            },
+            "coterie_change" => Event::CoterieChange {
+                round: num("round")?,
+                size: num("size")? as usize,
+                members: v
+                    .get("members")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("`coterie_change`: missing `members`")?
+                    .iter()
+                    .map(|m| {
+                        m.as_u64()
+                            .map(|i| ProcessId(i as usize))
+                            .ok_or_else(|| "`coterie_change`: non-integer member".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            "stabilization" => Event::Stabilization {
+                round: num("round")?,
+                rounds: num("rounds")?,
+            },
+            "suspicion" => Event::Suspicion {
+                at: num("at")?,
+                observer: pid("observer")?,
+                target: pid("target")?,
+                suspected: v
+                    .get("suspected")
+                    .and_then(JsonValue::as_bool)
+                    .ok_or("`suspicion`: missing bool `suspected`")?,
+            },
+            "decision" => Event::Decision {
+                round: num("round")?,
+                p: pid("p")?,
+                tag: num("tag")?,
+            },
+            other => return Err(format!("unknown event type `{other}`")),
+        })
+    }
+
+    /// Parses one JSONL line into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the line is not valid JSON or not a
+    /// schema-valid event.
+    pub fn parse_line(line: &str) -> Result<Event, String> {
+        let v = crate::json::parse(line).map_err(|e| e.to_string())?;
+        Event::from_json(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_event_examples() -> Vec<Event> {
+        vec![
+            Event::RunStart {
+                mode: RunMode::Sync,
+                protocol: "round-agreement".into(),
+                n: 4,
+                rounds: Some(12),
+                msg_size: Some(8),
+            },
+            Event::RunStart {
+                mode: RunMode::Async,
+                protocol: String::new(),
+                n: 3,
+                rounds: None,
+                msg_size: None,
+            },
+            Event::RoundStart { round: 3 },
+            Event::RoundEnd {
+                round: 3,
+                sent: 12,
+                delivered: 10,
+                dropped: 2,
+            },
+            Event::Corruption { round: 1, seed: 99 },
+            Event::Send {
+                round: 2,
+                from: ProcessId(0),
+                to: ProcessId(3),
+                outcome: DeliveryOutcome::DroppedByReceiver,
+            },
+            Event::Deliver {
+                time: 41,
+                from: ProcessId(1),
+                to: ProcessId(0),
+            },
+            Event::DropToCrashed {
+                time: 55,
+                from: ProcessId(2),
+                to: ProcessId(1),
+            },
+            Event::Timer {
+                time: 60,
+                p: ProcessId(2),
+            },
+            Event::Crash {
+                at: 7,
+                p: ProcessId(1),
+            },
+            Event::CoterieChange {
+                round: 2,
+                size: 2,
+                members: vec![ProcessId(0), ProcessId(2)],
+            },
+            Event::Stabilization {
+                round: 2,
+                rounds: 1,
+            },
+            Event::Suspicion {
+                at: 400,
+                observer: ProcessId(0),
+                target: ProcessId(3),
+                suspected: true,
+            },
+            Event::Decision {
+                round: 6,
+                p: ProcessId(1),
+                tag: 6,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_jsonl() {
+        for ev in all_event_examples() {
+            let line = ev.to_jsonl();
+            let back = Event::parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn type_tag_leads_every_line() {
+        for ev in all_event_examples() {
+            let line = ev.to_jsonl();
+            assert!(
+                line.starts_with(&format!("{{\"type\":\"{}\"", ev.kind())),
+                "line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn field_order_is_stable() {
+        let ev = Event::Send {
+            round: 2,
+            from: ProcessId(0),
+            to: ProcessId(3),
+            outcome: DeliveryOutcome::Delivered,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"type":"send","round":2,"from":0,"to":3,"outcome":"delivered"}"#
+        );
+        let ev = Event::CoterieChange {
+            round: 1,
+            size: 2,
+            members: vec![ProcessId(1), ProcessId(2)],
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"type":"coterie_change","round":1,"size":2,"members":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn optional_run_start_fields_are_omitted() {
+        let ev = Event::RunStart {
+            mode: RunMode::Async,
+            protocol: "detector".into(),
+            n: 4,
+            rounds: None,
+            msg_size: None,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"type":"run_start","mode":"async","protocol":"detector","n":4}"#
+        );
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_with_context() {
+        assert!(Event::parse_line("not json").is_err());
+        assert!(Event::parse_line(r#"{"no_type":1}"#).is_err());
+        assert!(Event::parse_line(r#"{"type":"martian"}"#)
+            .unwrap_err()
+            .contains("martian"));
+        assert!(Event::parse_line(r#"{"type":"send","round":1}"#)
+            .unwrap_err()
+            .contains("from"));
+        assert!(Event::parse_line(
+            r#"{"type":"send","round":1,"from":0,"to":1,"outcome":"ate_it"}"#
+        )
+        .is_err());
+    }
+}

@@ -26,6 +26,18 @@ run cargo clippy --all-targets -- -D warnings
 run cargo clippy -p ftss-bench --all-targets --features bench-harness -- -D warnings
 run cargo test -q -p ftss-bench --features bench-harness
 
+# Telemetry smoke: the same seed must serialize to byte-identical JSONL
+# across two runs, and `stats` must parse every line back (it fails on
+# the first malformed line) and aggregate the trace into a table.
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+run cargo run -q --release -p ftss-lab -- trace --protocol round-agreement \
+    --rounds 8 --seed 1 --out "$TRACE_DIR/a.jsonl"
+run cargo run -q --release -p ftss-lab -- trace --protocol round-agreement \
+    --rounds 8 --seed 1 --out "$TRACE_DIR/b.jsonl"
+run cmp "$TRACE_DIR/a.jsonl" "$TRACE_DIR/b.jsonl"
+run cargo run -q --release -p ftss-lab -- stats --in "$TRACE_DIR/a.jsonl"
+
 # Hermeticity tripwire: no crate manifest may name a registry package.
 if grep -rn 'rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes' \
     --include=Cargo.toml Cargo.toml crates/ \

@@ -1,7 +1,7 @@
 //! The asynchronous process interface.
 
 use crate::runner::Time;
-use ftss_core::ProcessId;
+use ftss_core::{Payload, ProcessId};
 
 /// An event-driven process in the asynchronous system.
 ///
@@ -56,7 +56,7 @@ pub struct Ctx<M> {
     me: ProcessId,
     n: usize,
     now: Time,
-    pub(crate) sends: Vec<(ProcessId, M)>,
+    pub(crate) sends: Vec<(ProcessId, Payload<M>)>,
     pub(crate) timers: Vec<(Time, u64)>,
 }
 
@@ -93,14 +93,18 @@ impl<M: Clone> Ctx<M> {
     /// Sends `msg` to `to` (including `to == me`, which is delivered like
     /// any other message).
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.sends.push((to, msg));
+        self.sends.push((to, Payload::new(msg)));
     }
 
     /// Sends `msg` to every process, itself included (the paper's
-    /// protocols assume a process receives its own broadcasts).
+    /// protocols assume a process receives its own broadcasts). The `n`
+    /// buffered copies share one [`Payload`] allocation; the runner keeps
+    /// the sharing through its event queue, so a broadcast clones the
+    /// message at most once per *delivery*, and not at all while queued.
     pub fn broadcast(&mut self, msg: M) {
+        let payload = Payload::new(msg);
         for i in 0..self.n {
-            self.sends.push((ProcessId(i), msg.clone()));
+            self.sends.push((ProcessId(i), payload.clone()));
         }
     }
 
@@ -121,13 +125,23 @@ impl<M: Clone> Ctx<M> {
     /// Drains the buffered effects: `(sends, timers)` with absolute timer
     /// times. Composite processes use this to forward an embedded
     /// component's effects into their own context, translating message
-    /// types along the way.
+    /// types along the way. Messages are unwrapped from their shared
+    /// payloads (cloning only copies that are still shared), since the
+    /// caller re-wraps them after translation.
     #[allow(clippy::type_complexity)] // a (sends, timers) pair, destructured at every call site
     pub fn take_effects(&mut self) -> (Vec<(ProcessId, M)>, Vec<(Time, u64)>) {
         (
-            std::mem::take(&mut self.sends),
+            self.sends.drain(..).map(|(to, m)| (to, m.take())).collect(),
             std::mem::take(&mut self.timers),
         )
+    }
+
+    /// Re-targets a (drained) context for reuse by the runner's dispatch
+    /// loop, avoiding a fresh `Ctx` allocation per handler invocation.
+    pub(crate) fn reset(&mut self, me: ProcessId, now: Time) {
+        debug_assert!(self.sends.is_empty() && self.timers.is_empty());
+        self.me = me;
+        self.now = now;
     }
 }
 
@@ -145,8 +159,22 @@ mod tests {
         ctx.broadcast(7);
         ctx.set_timer(10, 42);
         assert_eq!(ctx.sends.len(), 4);
-        assert_eq!(ctx.sends[0], (ProcessId(0), 9));
+        assert_eq!(ctx.sends[0].0, ProcessId(0));
+        assert_eq!(ctx.sends[0].1, 9);
+        // The broadcast copies share one payload allocation.
+        assert!(ctx.sends[1].1.shares_with(&ctx.sends[3].1));
         assert_eq!(ctx.timers, vec![(60, 42)]);
+        let (sends, timers) = ctx.take_effects();
+        assert_eq!(
+            sends,
+            vec![
+                (ProcessId(0), 9),
+                (ProcessId(0), 7),
+                (ProcessId(1), 7),
+                (ProcessId(2), 7)
+            ]
+        );
+        assert_eq!(timers, vec![(60, 42)]);
     }
 
     #[test]

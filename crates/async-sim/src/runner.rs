@@ -1,7 +1,7 @@
 //! The discrete-event engine.
 
 use crate::process::{AsyncProcess, Ctx};
-use ftss_core::{ConfigError, ProcessId};
+use ftss_core::{ConfigError, Payload, ProcessId};
 use ftss_rng::Rng;
 use ftss_rng::StdRng;
 use ftss_telemetry::{Event as TraceEvent, NullSink, RunMode, TraceSink};
@@ -83,7 +83,9 @@ enum EventKind<M> {
     Deliver {
         from: ProcessId,
         to: ProcessId,
-        msg: M,
+        /// Shared with the other copies of the originating broadcast: a
+        /// queued broadcast holds one message allocation, not `n`.
+        msg: Payload<M>,
     },
     Timer {
         p: ProcessId,
@@ -125,6 +127,9 @@ pub struct AsyncRunner<P: AsyncProcess> {
     seq: u64,
     started: bool,
     stats: RunStats,
+    /// Reused effect buffer handed to every handler invocation; drained
+    /// into the queue after each call instead of allocating a fresh `Ctx`.
+    scratch: Ctx<P::Msg>,
 }
 
 impl<P: AsyncProcess> AsyncRunner<P>
@@ -163,6 +168,7 @@ where
             seq: 0,
             started: false,
             stats: RunStats::default(),
+            scratch: Ctx::new(ProcessId(0), n, 0),
         })
     }
 
@@ -208,26 +214,38 @@ where
         }
     }
 
-    fn drain_ctx(&mut self, p: ProcessId, ctx: Ctx<P::Msg>) {
-        for (to, msg) in ctx.sends {
-            let max = if self.now >= self.cfg.gst {
-                self.cfg.max_delay
+    /// Drains the scratch context's buffered effects into the event queue,
+    /// drawing a seeded delay per send. Queued copies keep sharing the
+    /// broadcast payload.
+    fn drain_scratch(&mut self, p: ProcessId) {
+        let Self {
+            queue,
+            rng,
+            cfg,
+            scratch,
+            now,
+            seq,
+            ..
+        } = self;
+        for (to, msg) in scratch.sends.drain(..) {
+            let max = if *now >= cfg.gst {
+                cfg.max_delay
             } else {
-                self.cfg.pre_gst_max_delay
+                cfg.pre_gst_max_delay
             };
-            let delay = self.rng.gen_range(self.cfg.min_delay..=max).max(1);
-            self.seq += 1;
-            self.queue.push(Reverse(Event {
-                time: self.now + delay,
-                seq: self.seq,
+            let delay = rng.gen_range(cfg.min_delay..=max).max(1);
+            *seq += 1;
+            queue.push(Reverse(Event {
+                time: *now + delay,
+                seq: *seq,
                 kind: EventKind::Deliver { from: p, to, msg },
             }));
         }
-        for (at, tag) in ctx.timers {
-            self.seq += 1;
-            self.queue.push(Reverse(Event {
+        for (at, tag) in scratch.timers.drain(..) {
+            *seq += 1;
+            queue.push(Reverse(Event {
                 time: at,
-                seq: self.seq,
+                seq: *seq,
                 kind: EventKind::Timer { p, tag },
             }));
         }
@@ -241,9 +259,9 @@ where
         let n = self.n();
         for i in 0..n {
             let p = ProcessId(i);
-            let mut ctx = Ctx::new(p, n, self.now);
-            self.processes[i].on_start(&mut ctx);
-            self.drain_ctx(p, ctx);
+            self.scratch.reset(p, self.now);
+            self.processes[i].on_start(&mut self.scratch);
+            self.drain_scratch(p);
         }
     }
 
@@ -301,11 +319,14 @@ where
         } else {
             self.now.saturating_add(probe_interval)
         };
-        while let Some(Reverse(ev)) = self.queue.peek().cloned() {
-            if ev.time > horizon {
-                break;
+        loop {
+            // Peek the time only; popping moves the event out, so no deep
+            // clone of the (possibly large) queued message happens here.
+            match self.peek_time() {
+                Some(t) if t <= horizon => {}
+                _ => break,
             }
-            self.queue.pop();
+            let Reverse(ev) = self.queue.pop().expect("peeked non-empty queue");
             while ev.time >= next_probe {
                 probe(next_probe, &self.processes);
                 next_probe = next_probe.saturating_add(probe_interval);
@@ -335,10 +356,9 @@ where
                             to,
                         });
                     }
-                    let n = self.n();
-                    let mut ctx = Ctx::new(to, n, self.now);
-                    self.processes[to.index()].on_message(&mut ctx, from, msg);
-                    self.drain_ctx(to, ctx);
+                    self.scratch.reset(to, self.now);
+                    self.processes[to.index()].on_message(&mut self.scratch, from, msg.take());
+                    self.drain_scratch(to);
                 }
                 EventKind::Timer { p, tag } => {
                     if self.is_crashed(p) {
@@ -348,10 +368,9 @@ where
                     if traced {
                         sink.emit(&TraceEvent::Timer { time: self.now, p });
                     }
-                    let n = self.n();
-                    let mut ctx = Ctx::new(p, n, self.now);
-                    self.processes[p.index()].on_timer(&mut ctx, tag);
-                    self.drain_ctx(p, ctx);
+                    self.scratch.reset(p, self.now);
+                    self.processes[p.index()].on_timer(&mut self.scratch, tag);
+                    self.drain_scratch(p);
                 }
             }
         }

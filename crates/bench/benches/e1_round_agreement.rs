@@ -6,97 +6,17 @@
 //! a stabilization time of exactly **1 round**; the table reports the mean
 //! and max measured over seeds (0 can occur when the corrupted counters
 //! happen to already agree).
+//!
+//! The sweep itself lives in `ftss_sweep::e1_table`, shared with
+//! `ftss-lab sweep --exp e1`; this driver only prints the framing. Set
+//! `FTSS_JOBS` to control the worker count — the table is byte-identical
+//! for any value.
 
-use ftss::analysis::{measured_stabilization_time, Table};
-use ftss::core::{ProcessId, RateAgreementSpec};
-use ftss::protocols::RoundAgreement;
-use ftss::sync_sim::{Adversary, NoFaults, RandomOmission, RunConfig, SilentProcess, SyncRunner};
-use ftss_bench::{max, mean};
-
-const SEEDS: u64 = 30;
-const ROUNDS: usize = 24;
-
-fn measure(
-    n: usize,
-    adversary_for: &dyn Fn(u64) -> Box<dyn Adversary>,
-    label: &str,
-    t: &mut Table,
-) {
-    let mut measured = Vec::new();
-    let mut window_starts = Vec::new();
-    for seed in 0..SEEDS {
-        let mut adv = adversary_for(seed);
-        let out = SyncRunner::new(RoundAgreement)
-            .run(
-                adv.as_mut(),
-                &RunConfig::corrupted(n, ROUNDS, seed.wrapping_mul(0x9e37) ^ n as u64),
-            )
-            .expect("valid config");
-        let m = measured_stabilization_time(&out.history, &RateAgreementSpec::new())
-            .expect("non-empty run");
-        measured.push(m.stabilization_rounds.expect("must stabilize"));
-        window_starts.push(m.window_start);
-    }
-    t.row(vec![
-        n.to_string(),
-        label.into(),
-        mean(&measured),
-        max(&measured),
-        "1".into(),
-        if measured.iter().all(|&s| s <= 1) {
-            "yes"
-        } else {
-            "NO"
-        }
-        .into(),
-    ]);
-}
+use ftss_sweep::{e1_table, jobs_from_env, E1_SEEDS};
 
 fn main() {
-    println!("\nE1: round agreement (Fig 1) — stabilization time, {SEEDS} seeds per row");
+    println!("\nE1: round agreement (Fig 1) — stabilization time, {E1_SEEDS} seeds per row");
     println!("claim (Thm 3): ftss-stabilization time = 1 round\n");
-
-    let mut t = Table::new(vec![
-        "n",
-        "faults",
-        "mean stab",
-        "max stab",
-        "claimed",
-        "within",
-    ]);
-    for n in [2usize, 4, 8, 16, 32, 64] {
-        measure(n, &|_| Box::new(NoFaults), "none", &mut t);
-    }
-    for n in [4usize, 8, 16, 32] {
-        measure(
-            n,
-            &|seed| Box::new(RandomOmission::new([ProcessId(0)], 0.5, seed)),
-            "1 omitter p=0.5",
-            &mut t,
-        );
-        let f = (n - 1) / 3;
-        measure(
-            n,
-            &|seed| {
-                Box::new(RandomOmission::new(
-                    (0..f).map(ProcessId).collect::<Vec<_>>(),
-                    0.3,
-                    seed,
-                ))
-            },
-            "f=(n-1)/3 omitters p=0.3",
-            &mut t,
-        );
-    }
-    // The Theorem-3 proof scenario: a silent process revealing late.
-    for n in [3usize, 8] {
-        measure(
-            n,
-            &|_| Box::new(SilentProcess::new(ProcessId(0), 6)),
-            "silent 6 rounds",
-            &mut t,
-        );
-    }
-    print!("{t}");
+    print!("{}", e1_table(E1_SEEDS, usize::MAX, jobs_from_env()));
     println!("\n(measured on the final coterie-stable window of each run)");
 }

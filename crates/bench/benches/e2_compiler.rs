@@ -6,126 +6,16 @@
 //! Π⁺ from seeded arbitrary corruption and measure the empirical
 //! stabilization of `Σ⁺` (tagged agreement). The table compares the
 //! measured max with the paper's bound `2·final_round + 1`.
+//!
+//! The sweep itself lives in `ftss_sweep::e2_table`, shared with
+//! `ftss-lab sweep --exp e2`; `FTSS_JOBS` controls the worker count.
 
-use ftss::analysis::{measured_stabilization_time, Table};
-use ftss::compiler::Compiled;
-use ftss::core::ProcessId;
-use ftss::core::{CrashSchedule, Round};
-use ftss::protocols::{CanonicalProtocol, FloodSet, PhaseKing, RepeatedConsensusSpec};
-use ftss::sync_sim::{Adversary, CrashOnly, NoFaults, RandomOmission, RunConfig, SyncRunner};
-use ftss_bench::{max, mean};
-
-const SEEDS: u64 = 25;
-
-fn measure_pi<P>(
-    make: impl Fn() -> P,
-    n: usize,
-    adversary_for: &dyn Fn(u64) -> Box<dyn Adversary>,
-    label: &str,
-    t: &mut Table,
-) where
-    P: CanonicalProtocol,
-    P::Output: ftss::core::Corrupt,
-{
-    let fr = make().final_round() as usize;
-    let rounds = 10 * fr + 10;
-    let bound = 2 * fr + 1;
-    let mut measured = Vec::new();
-    let mut failures = 0usize;
-    for seed in 0..SEEDS {
-        let mut adv = adversary_for(seed);
-        let out = SyncRunner::new(Compiled::new(make()))
-            .run(adv.as_mut(), &RunConfig::corrupted(n, rounds, seed ^ 0xe2))
-            .expect("valid config");
-        let m = measured_stabilization_time(&out.history, &RepeatedConsensusSpec::agreement_only())
-            .expect("non-empty");
-        match m.stabilization_rounds {
-            Some(s) => measured.push(s),
-            None => failures += 1,
-        }
-    }
-    t.row(vec![
-        make().name().into(),
-        n.to_string(),
-        fr.to_string(),
-        label.into(),
-        mean(&measured),
-        max(&measured),
-        bound.to_string(),
-        if failures == 0 && measured.iter().all(|&s| s <= bound) {
-            "yes".into()
-        } else {
-            format!("NO ({failures} unstabilized)")
-        },
-    ]);
-}
+use ftss_sweep::{e2_table, jobs_from_env, E2_SEEDS};
 
 fn main() {
-    println!("\nE2: the compiler Π→Π+ (Fig 3) — stabilization of Σ+, {SEEDS} seeds per row");
+    println!("\nE2: the compiler Π→Π+ (Fig 3) — stabilization of Σ+, {E2_SEEDS} seeds per row");
     println!("claim (Thm 4): stabilization ≤ final_round (+final_round for corrupted");
     println!("suspect sets, +1 for round agreement) = 2·final_round + 1\n");
-
-    let mut t = Table::new(vec![
-        "Π",
-        "n",
-        "final_round",
-        "faults",
-        "mean stab",
-        "max stab",
-        "bound",
-        "within",
-    ]);
-
-    for (f, n) in [(1usize, 4usize), (2, 7), (3, 10)] {
-        let inputs: Vec<u64> = (0..n as u64).map(|i| (i * 13) % 29).collect();
-        measure_pi(
-            || FloodSet::new(f, inputs.clone()),
-            n,
-            &|_| Box::new(NoFaults),
-            "none",
-            &mut t,
-        );
-        let inputs2 = inputs.clone();
-        measure_pi(
-            || FloodSet::new(f, inputs2.clone()),
-            n,
-            &|seed| Box::new(RandomOmission::new([ProcessId(0)], 0.4, seed)),
-            "1 omitter p=0.4",
-            &mut t,
-        );
-        let inputs3 = inputs.clone();
-        measure_pi(
-            || FloodSet::new(f, inputs3.clone()),
-            n,
-            &|_| {
-                let mut cs = CrashSchedule::none();
-                cs.set(ProcessId(1), Round::new(3));
-                Box::new(CrashOnly::new(cs))
-            },
-            "crash @r3",
-            &mut t,
-        );
-    }
-
-    for (f, n) in [(1usize, 5usize), (2, 9)] {
-        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-        measure_pi(
-            || PhaseKing::new(f, inputs.clone()),
-            n,
-            &|_| Box::new(NoFaults),
-            "none",
-            &mut t,
-        );
-        let inputs2 = inputs.clone();
-        measure_pi(
-            || PhaseKing::new(f, inputs2.clone()),
-            n,
-            &|seed| Box::new(RandomOmission::new([ProcessId(n - 1)], 0.4, seed)),
-            "1 omitter p=0.4",
-            &mut t,
-        );
-    }
-
-    print!("{t}");
+    print!("{}", e2_table(E2_SEEDS, jobs_from_env()));
     println!("\n(Σ+ = tagged agreement across iterations; window = final stable coterie)");
 }

@@ -9,159 +9,20 @@
 //! 3. **Resend-period sensitivity** of the asynchronous protocol: time to
 //!    the first fresh decision after corruption, as the resend period
 //!    grows.
+//!
+//! The sweeps live in `ftss_sweep::{e7a_table, e7c_table}`, shared with
+//! `ftss-lab sweep --exp e7a|e7c`; `FTSS_JOBS` controls the worker count.
 
-use ftss::analysis::{measured_stabilization_time, Table};
-use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
-use ftss::compiler::{Compiled, CompilerOptions};
-use ftss::consensus_async::SsConsensusProcess;
-use ftss::core::{Corrupt, ProcessId};
-use ftss::detectors::WeakOracle;
-use ftss::protocols::{FloodSet, RepeatedConsensusSpec};
-use ftss::sync_sim::{RunConfig, SyncRunner};
-use ftss_bench::{max, mean};
-use ftss_rng::StdRng;
-
-const SEEDS: u64 = 20;
-
-fn ablate_compiler<P>(
-    make: impl Fn() -> P,
-    pi_name: &str,
-    n: usize,
-    options: CompilerOptions,
-    label: &str,
-    t: &mut Table,
-) where
-    P: ftss::protocols::CanonicalProtocol,
-    P::Output: ftss::core::Corrupt,
-{
-    let fr = make().final_round() as usize;
-    let bound = 2 * fr + 1;
-    let mut measured = Vec::new();
-    let mut unstabilized = 0usize;
-    for seed in 0..SEEDS {
-        let pi_plus = Compiled::with_options(make(), options);
-        // A lightly-faulty run: one random omitter keeps stale/asymmetric
-        // messages flowing, which is what suspect filtering defends Π from.
-        let mut adv = ftss::sync_sim::RandomOmission::new([ProcessId(n - 1)], 0.4, seed);
-        let out = SyncRunner::new(pi_plus)
-            .run(&mut adv, &RunConfig::corrupted(n, 12 * fr, seed ^ 0xe7))
-            .expect("valid config");
-        let m = measured_stabilization_time(&out.history, &RepeatedConsensusSpec::agreement_only())
-            .expect("non-empty");
-        match m.stabilization_rounds {
-            Some(s) => measured.push(s),
-            None => unstabilized += 1,
-        }
-    }
-    t.row(vec![
-        pi_name.into(),
-        label.into(),
-        format!("{}/{SEEDS}", SEEDS as usize - unstabilized),
-        mean(&measured),
-        max(&measured),
-        bound.to_string(),
-    ]);
-}
-
-fn resend_sensitivity(period: Time, t: &mut Table) {
-    let n = 3;
-    let inputs = vec![10u64, 20, 30];
-    let horizon: Time = 150_000;
-    let mut times = Vec::new();
-    let mut stuck = 0usize;
-    for seed in 0..SEEDS {
-        let oracle = WeakOracle::new(n, vec![], 300, seed, 0.2);
-        let mut procs: Vec<SsConsensusProcess> = (0..n)
-            .map(|i| {
-                SsConsensusProcess::new(ProcessId(i), inputs.clone(), oracle.clone(), 25, period)
-            })
-            .collect();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x7e);
-        for p in &mut procs {
-            p.corrupt(&mut rng);
-        }
-        let corrupted_max = procs.iter().map(|p| p.inst).max().unwrap();
-        let mut runner =
-            AsyncRunner::new(procs, AsyncConfig::turbulent(seed, 50, 300)).expect("valid");
-        let mut first_fresh: Option<Time> = None;
-        runner.run_probed(horizon, 250, |t, ps| {
-            if first_fresh.is_none()
-                && ps
-                    .iter()
-                    .all(|p| p.last_decision().is_some_and(|(i, _)| i > corrupted_max))
-            {
-                first_fresh = Some(t);
-            }
-        });
-        match first_fresh {
-            Some(t) => times.push(t as usize),
-            None => stuck += 1,
-        }
-    }
-    t.row(vec![
-        period.to_string(),
-        format!("{}/{SEEDS}", SEEDS as usize - stuck),
-        mean(&times),
-        max(&times),
-    ]);
-}
+use ftss_sweep::{e7a_table, e7c_table, jobs_from_env, E7_SEEDS};
 
 fn main() {
+    let jobs = jobs_from_env();
+
     println!("\nE7a: compiler mechanism ablation — corrupted starts + one random");
-    println!("omitter ({SEEDS} seeds; 'stabilized' = Σ+ eventually holds on the final window)\n");
-    let mut t = Table::new(vec![
-        "Π",
-        "variant",
-        "stabilized",
-        "mean stab",
-        "max stab",
-        "bound",
-    ]);
-    let variants: [(CompilerOptions, &str); 4] = [
-        (CompilerOptions::default(), "full Figure 3"),
-        (
-            CompilerOptions {
-                filter_suspects: false,
-                ..CompilerOptions::default()
-            },
-            "no suspect filtering",
-        ),
-        (
-            CompilerOptions {
-                reset_each_iteration: false,
-                ..CompilerOptions::default()
-            },
-            "no iteration reset",
-        ),
-        (
-            CompilerOptions {
-                filter_suspects: false,
-                reset_each_iteration: false,
-            },
-            "neither",
-        ),
-    ];
-    for (options, label) in variants {
-        ablate_compiler(
-            || FloodSet::new(1, vec![9, 3, 7, 5]),
-            "floodset",
-            4,
-            options,
-            label,
-            &mut t,
-        );
-    }
-    for (options, label) in variants {
-        ablate_compiler(
-            || ftss::protocols::PhaseKing::new(1, vec![true, false, true, false, true]),
-            "phase-king",
-            5,
-            options,
-            label,
-            &mut t,
-        );
-    }
-    print!("{t}");
+    println!(
+        "omitter ({E7_SEEDS} seeds; 'stabilized' = Σ+ eventually holds on the final window)\n"
+    );
+    print!("{}", e7a_table(E7_SEEDS, jobs));
     println!("\nMechanism necessity is Π-dependent: the iteration reset is load-");
     println!("bearing for FloodSet (its monotone seen-set never forgets corrupted");
     println!("values without it) while phase-king recomputes its state every round");
@@ -173,11 +34,7 @@ fn main() {
 
     println!("E7c: resend-period sensitivity — time to first fresh decision after");
     println!("corruption (async consensus, n=3, suspicion poll 25)\n");
-    let mut t = Table::new(vec!["resend period", "recovered", "mean t", "max t"]);
-    for period in [20u64, 40, 80, 160, 320, 640] {
-        resend_sensitivity(period, &mut t);
-    }
-    print!("{t}");
+    print!("{}", e7c_table(E7_SEEDS, jobs));
     println!("\nRecovery time grows roughly linearly with the resend period — the");
     println!("periodic resend is what re-synchronizes corrupted phases (§3, [KP90]).");
 }

@@ -3,14 +3,20 @@
 //! timer harness (`ftss_bench::harness`). These gate nothing in the
 //! paper; they document what experiment sizes are practical.
 
-use ftss::core::{ftss_check, CoterieTimeline, RateAgreementSpec};
+use ftss::core::{ftss_check, CoterieTimeline, Payload, RateAgreementSpec};
 use ftss::protocols::RoundAgreement;
 use ftss::sync_sim::{NoFaults, RunConfig, SyncRunner};
 use ftss::telemetry::{NullSink, RecordingSink};
-use ftss_bench::harness::Bencher;
+use ftss_bench::harness::{black_box, Bencher};
+use ftss_sweep::e1_table;
 
 fn main() {
-    let mut b = Bencher::new();
+    // BENCH_QUICK=1 trades precision for runtime (CI smoke budget).
+    let mut b = if std::env::var_os("BENCH_QUICK").is_some() {
+        Bencher::quick()
+    } else {
+        Bencher::new()
+    };
 
     for n in [8usize, 32, 64] {
         b.bench(&format!("sync_sim_round_agreement/rounds20/{n}"), || {
@@ -57,5 +63,42 @@ fn main() {
         ftss_check(&out.history, &RateAgreementSpec::new(), 1)
     });
 
+    // The cost one broadcast pays to fan a message out to n=64 receivers:
+    // deep-cloning the message per receiver (what the runners did before
+    // `Payload`) vs. sharing one `Payload` (what they do now). The message
+    // is FloodSet's real `Msg` type with a full seen-set — a `BTreeSet`
+    // clone allocates per node, which is exactly the cost the sharing
+    // refactor deletes. The shared row must be ≥5× cheaper.
+    let msg: std::collections::BTreeSet<u64> = (0..64).collect();
+    let clone_ns = b
+        .bench("payload/share_vs_clone/clone_n64", || {
+            let fanout: Vec<std::collections::BTreeSet<u64>> =
+                (0..64).map(|_| black_box(&msg).clone()).collect();
+            fanout
+        })
+        .median_ns;
+    let share_ns = b
+        .bench("payload/share_vs_clone/share_n64", || {
+            let payload = Payload::new(black_box(&msg).clone());
+            let fanout: Vec<Payload<std::collections::BTreeSet<u64>>> =
+                (0..64).map(|_| payload.clone()).collect();
+            fanout
+        })
+        .median_ns;
+    println!(
+        "payload/share_vs_clone: shared broadcast is {:.1}x cheaper at n=64",
+        clone_ns / share_ns
+    );
+
+    // The sweep executor on a small E1 grid, serial vs. 4 workers. On a
+    // multi-core host the jobs4 row should be faster; on a 1-core runner
+    // the rows only document the (small) scheduling overhead. Output is
+    // byte-identical either way — that is tested, not benched.
+    b.bench("sweep/serial_vs_par/e1_small_jobs1", || e1_table(2, 8, 1));
+    b.bench("sweep/serial_vs_par/e1_small_jobs4", || e1_table(2, 8, 4));
+
     b.finish();
+    let report = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_micro.json".to_string());
+    b.write_json(&report).expect("write bench report");
+    println!("\nwrote {report}");
 }

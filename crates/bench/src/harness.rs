@@ -12,6 +12,8 @@
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
 
+use ftss_telemetry::json::escape_into;
+
 /// Re-export of [`std::hint::black_box`]: keeps the optimizer from
 /// deleting the benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
@@ -153,6 +155,39 @@ impl Bencher {
             println!("{s}");
         }
     }
+
+    /// Renders the recorded samples as a JSON object, one field per
+    /// benchmark in bench order (the trace-schema dialect: unsigned
+    /// integers only, so timings are rounded to whole nanoseconds).
+    ///
+    /// The output parses with [`ftss_telemetry::json::parse`] and, for a
+    /// fixed set of benchmarks, has a deterministic field order — suitable
+    /// for diffing one CI artifact against another.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, s) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  ");
+            escape_into(&mut out, &s.name);
+            out.push_str(&format!(
+                ": {{\"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"iters_per_batch\": {}}}",
+                s.median_ns.round() as u64,
+                s.min_ns.round() as u64,
+                s.mean_ns.round() as u64,
+                s.iters_per_batch,
+            ));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes [`to_json`](Bencher::to_json) to `path` (e.g.
+    /// `BENCH_micro.json` for the CI artifact).
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +207,29 @@ mod tests {
         assert!(s.median_ns > 0.0);
         assert!(s.min_ns <= s.median_ns && s.median_ns <= s.mean_ns * 2.0);
         assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn json_report_is_ordered_and_parseable() {
+        let mut b = Bencher::quick();
+        b.bench("z/last\"quoted", || black_box(1u64 + 1));
+        b.bench("a/first", || black_box(2u64 + 2));
+        let json = b.to_json();
+        let parsed = ftss_telemetry::json::parse(&json).expect("self-emitted JSON parses");
+        match &parsed {
+            ftss_telemetry::json::JsonValue::Obj(fields) => {
+                // Bench order, not alphabetical: determinism comes from the
+                // bench program, not from sorting.
+                assert_eq!(fields[0].0, "z/last\"quoted");
+                assert_eq!(fields[1].0, "a/first");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        let med = parsed
+            .get("a/first")
+            .and_then(|s| s.get("median_ns"))
+            .and_then(|v| v.as_u64());
+        assert!(med.is_some(), "median_ns must round-trip as u64");
     }
 
     #[test]

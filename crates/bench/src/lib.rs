@@ -18,18 +18,9 @@ use ftss::core::{Corrupt, ProcessId};
 use ftss::detectors::WeakOracle;
 use ftss_rng::StdRng;
 
-/// Mean of a slice of counts, rendered with one decimal.
-pub fn mean(xs: &[usize]) -> String {
-    if xs.is_empty() {
-        return "-".into();
-    }
-    format!("{:.1}", xs.iter().sum::<usize>() as f64 / xs.len() as f64)
-}
-
-/// Maximum of a slice of counts, rendered.
-pub fn max(xs: &[usize]) -> String {
-    xs.iter().max().map(|m| m.to_string()).unwrap_or("-".into())
-}
+// The table-cell helpers moved to `ftss-sweep` with the E1/E2/E7 drivers;
+// re-exported so every bench target keeps one import path.
+pub use ftss_sweep::{max, mean};
 
 /// Builds a corrupted self-stabilizing consensus system ready to run.
 pub fn build_ss_consensus(

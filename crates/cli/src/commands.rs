@@ -52,6 +52,10 @@ COMMANDS
                    [--out FILE] plus the chosen protocol's options above
   stats            Aggregate a trace file into a metrics table
                    --in FILE [--format table|csv]
+  sweep            Run a whole experiment grid (deterministic parallel
+                   executor; output is byte-identical for any --jobs)
+                   --exp e1|e2|e7a|e7c [--seeds S] [--max-n N (e1)]
+                   [--jobs J (default: FTSS_JOBS, else all cores)]
 
 Boolean options may omit the value: `--corrupt` means `--corrupt true`.
 Exit code 0: all checked properties held. 1: violation found. 2: usage error.";
@@ -541,6 +545,41 @@ pub fn trace(args: &Args) -> Outcome {
         },
         Err(e) if benign(&e) => {}
         Err(e) => return Err(format!("trace output: {e}")),
+    }
+    Ok(true)
+}
+
+/// `sweep`: run a whole experiment grid through the deterministic
+/// parallel executor and print its table. The table is byte-identical
+/// for every `--jobs` value — `scripts/verify.sh` `cmp`s a serial run
+/// against a parallel one to prove it.
+pub fn sweep(args: &Args) -> Outcome {
+    use ftss_sweep::{e1_table, e2_table, e7a_table, e7c_table, jobs_from_env};
+    use ftss_sweep::{E1_SEEDS, E2_SEEDS, E7_SEEDS};
+    let jobs: usize = match args.get("jobs") {
+        Some(_) => args.get_or("jobs", 1)?,
+        None => jobs_from_env(),
+    };
+    let exp = args.get("exp").ok_or("sweep needs --exp e1|e2|e7a|e7c")?;
+    match exp {
+        "e1" => {
+            let seeds: u64 = args.get_or("seeds", E1_SEEDS)?;
+            let max_n: usize = args.get_or("max-n", usize::MAX)?;
+            print!("{}", e1_table(seeds, max_n, jobs));
+        }
+        "e2" => {
+            let seeds: u64 = args.get_or("seeds", E2_SEEDS)?;
+            print!("{}", e2_table(seeds, jobs));
+        }
+        "e7a" => {
+            let seeds: u64 = args.get_or("seeds", E7_SEEDS)?;
+            print!("{}", e7a_table(seeds, jobs));
+        }
+        "e7c" => {
+            let seeds: u64 = args.get_or("seeds", E7_SEEDS)?;
+            print!("{}", e7c_table(seeds, jobs));
+        }
+        other => return Err(format!("unknown --exp `{other}` (e1|e2|e7a|e7c)")),
     }
     Ok(true)
 }

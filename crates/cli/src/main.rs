@@ -13,6 +13,7 @@
 //! ftss-lab trace --protocol round-agreement --rounds 8 --seed 1
 //! ftss-lab trace --protocol detector --crash 3@500 --out run.jsonl
 //! ftss-lab stats --in run.jsonl --format csv
+//! ftss-lab sweep --exp e1 --seeds 5 --max-n 16 --jobs 4
 //! ```
 //!
 //! Exit code 0 means every checked property held; 1 means a violation was
@@ -46,6 +47,7 @@ fn main() {
         "token-ring" => commands::token_ring(&args),
         "trace" => commands::trace(&args),
         "stats" => commands::stats(&args),
+        "sweep" => commands::sweep(&args),
         "" | "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             return;

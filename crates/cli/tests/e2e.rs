@@ -120,6 +120,36 @@ fn token_ring_stabilizes() {
 }
 
 #[test]
+fn sweep_is_byte_identical_across_jobs() {
+    let serial = run(&[
+        "sweep", "--exp", "e1", "--seeds", "2", "--max-n", "4", "--jobs", "1",
+    ]);
+    assert!(
+        serial.status.success(),
+        "{}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+    assert!(stdout(&serial).contains("| n | faults"));
+    let parallel = run(&[
+        "sweep", "--exp", "e1", "--seeds", "2", "--max-n", "4", "--jobs", "4",
+    ]);
+    assert!(parallel.status.success());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "sweep output depends on --jobs"
+    );
+}
+
+#[test]
+fn sweep_rejects_unknown_experiment() {
+    let o = run(&["sweep", "--exp", "e99"]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&o.stderr).contains("unknown --exp"));
+    let o = run(&["sweep"]);
+    assert_eq!(o.status.code(), Some(2));
+}
+
+#[test]
 fn consensus_corrupted_recovers() {
     let o = run(&[
         "consensus",

@@ -1,6 +1,6 @@
 //! The compiled protocol Π⁺: Figure 3, line by line.
 
-use ftss_core::{normalize, Corrupt, ProcessId, ProcessSet, RoundCounter};
+use ftss_core::{normalize, Corrupt, Payload, ProcessId, ProcessSet, RoundCounter};
 use ftss_protocols::{CanonicalProtocol, HasDecision};
 use ftss_rng::Rng;
 use ftss_sync_sim::{Inbox, ProtocolCtx, SyncProtocol};
@@ -10,8 +10,9 @@ use std::fmt;
 /// `((STATE: p, s_p), (ROUND: p, c_p))` in the paper's notation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CompiledMsg<M> {
-    /// Π's payload (the `STATE` component).
-    pub state_msg: M,
+    /// Π's payload (the `STATE` component), shared across the broadcast's
+    /// copies and re-shared into the filtered inner inbox.
+    pub state_msg: Payload<M>,
     /// The sender's round variable at send time (the `ROUND` component).
     pub round: u64,
 }
@@ -154,7 +155,7 @@ where
 
     fn broadcast(&self, ctx: &ProtocolCtx, state: &Self::State) -> Self::Msg {
         CompiledMsg {
-            state_msg: self.protocol.message(ctx, &state.inner),
+            state_msg: Payload::new(self.protocol.message(ctx, &state.inner)),
             round: state.c.get(),
         }
     }
@@ -466,7 +467,7 @@ mod tests {
                 ftss_core::ProcessId(0),
                 Round::FIRST,
                 CompiledMsg {
-                    state_msg: [10u64].into_iter().collect(),
+                    state_msg: Payload::new([10u64].into_iter().collect()),
                     round: 5,
                 },
             ),
@@ -474,7 +475,7 @@ mod tests {
                 ftss_core::ProcessId(1),
                 Round::FIRST,
                 CompiledMsg {
-                    state_msg: [99u64].into_iter().collect(),
+                    state_msg: Payload::new([99u64].into_iter().collect()),
                     round: 3, // stale tag
                 },
             ),

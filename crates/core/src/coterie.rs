@@ -178,7 +178,7 @@ mod tests {
         for &(from, to, ok) in edges {
             records[from].sent.push(SendRecord {
                 dst: ProcessId(to),
-                payload: 0,
+                payload: 0.into(),
                 outcome: if ok {
                     DeliveryOutcome::Delivered
                 } else {

@@ -6,10 +6,18 @@
 //! truth that all of the paper's predicates — problems `Σ`, faulty sets
 //! `F(H, Π)`, coteries — are evaluated against, so the simulator records
 //! them verbatim and the checkers never peek at simulator internals.
+//!
+//! Payloads inside a history are shared [`Payload`]s: the `n` recorded
+//! copies of one broadcast (the sender's [`SendRecord`]s plus every
+//! receiver's delivered [`Envelope`]) reference a single allocation.
+//! Equality stays by value, so a shared history compares equal to a
+//! deep-cloned one — see [`Payload`] for why sharing cannot leak
+//! mutability into the record.
 
 use crate::fault::FaultKind;
 use crate::id::{ProcessId, ProcessSet};
 use crate::message::Envelope;
+use crate::payload::Payload;
 use crate::round::{Round, RoundCounter};
 use std::fmt;
 
@@ -36,10 +44,88 @@ pub enum DeliveryOutcome {
 pub struct SendRecord<M> {
     /// The destination process.
     pub dst: ProcessId,
-    /// The payload carried.
-    pub payload: M,
+    /// The payload carried, shared with the broadcast's other copies.
+    pub payload: Payload<M>,
     /// What happened to this copy.
     pub outcome: DeliveryOutcome,
+}
+
+impl<M> SendRecord<M> {
+    /// Creates a record; accepts a bare message or a shared [`Payload`].
+    pub fn new(dst: ProcessId, payload: impl Into<Payload<M>>, outcome: DeliveryOutcome) -> Self {
+        SendRecord {
+            dst,
+            payload: payload.into(),
+            outcome,
+        }
+    }
+}
+
+/// A set of [`FaultKind`]s, packed into one byte — the allocation-free
+/// result of the deviation queries on the checker hot path
+/// ([`RoundHistory::deviation_set`], [`History::faulty_upto`]).
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviationSet(u8);
+
+impl DeviationSet {
+    /// The empty set.
+    pub const EMPTY: DeviationSet = DeviationSet(0);
+
+    const fn bit(kind: FaultKind) -> u8 {
+        match kind {
+            FaultKind::Crash => 1,
+            FaultKind::SendOmission => 2,
+            FaultKind::ReceiveOmission => 4,
+        }
+    }
+
+    /// Adds a deviation kind.
+    pub fn insert(&mut self, kind: FaultKind) {
+        self.0 |= Self::bit(kind);
+    }
+
+    /// Whether the kind is present.
+    pub fn contains(self, kind: FaultKind) -> bool {
+        self.0 & Self::bit(kind) != 0
+    }
+
+    /// Whether no deviation was observed.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of distinct deviation kinds present.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the kinds present, in declaration order
+    /// (crash, send-omission, receive-omission).
+    pub fn iter(self) -> impl Iterator<Item = FaultKind> {
+        [
+            FaultKind::Crash,
+            FaultKind::SendOmission,
+            FaultKind::ReceiveOmission,
+        ]
+        .into_iter()
+        .filter(move |&k| self.contains(k))
+    }
+}
+
+impl fmt::Debug for DeviationSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<FaultKind> for DeviationSet {
+    fn from_iter<I: IntoIterator<Item = FaultKind>>(iter: I) -> Self {
+        let mut s = DeviationSet::EMPTY;
+        for k in iter {
+            s.insert(k);
+        }
+        s
+    }
 }
 
 /// Everything one process did (and suffered) in one round.
@@ -79,19 +165,19 @@ impl<S, M> ProcessRoundRecord<S, M> {
     /// The deviations (process-failure actions) attributable to this
     /// process in this round, derived from the recorded outcomes of its own
     /// sends (`DroppedBySender`) plus `crashed_here`. Receive omissions are
-    /// attributed by [`RoundHistory::deviations_of`], which also scans the
+    /// attributed by [`RoundHistory::deviation_set`], which also scans the
     /// *other* processes' send records.
-    fn own_deviations(&self) -> Vec<FaultKind> {
-        let mut out = Vec::new();
+    fn own_deviations(&self) -> DeviationSet {
+        let mut out = DeviationSet::EMPTY;
         if self.crashed_here {
-            out.push(FaultKind::Crash);
+            out.insert(FaultKind::Crash);
         }
         if self
             .sent
             .iter()
             .any(|s| s.outcome == DeliveryOutcome::DroppedBySender)
         {
-            out.push(FaultKind::SendOmission);
+            out.insert(FaultKind::SendOmission);
         }
         out
     }
@@ -115,10 +201,10 @@ impl<S, M> RoundHistory<S, M> {
         &self.records[p.index()]
     }
 
-    /// The deviations of process `p` in this round: its own crash / send
-    /// omissions plus receive omissions found in other processes' send
-    /// records targeting `p`.
-    pub fn deviations_of(&self, p: ProcessId) -> Vec<FaultKind> {
+    /// The deviations of process `p` in this round, allocation-free: its
+    /// own crash / send omissions plus receive omissions found in other
+    /// processes' send records targeting `p`.
+    pub fn deviation_set(&self, p: ProcessId) -> DeviationSet {
         let mut out = self.records[p.index()].own_deviations();
         let dropped_receiving = self.records.iter().any(|rec| {
             rec.sent
@@ -126,14 +212,42 @@ impl<S, M> RoundHistory<S, M> {
                 .any(|s| s.dst == p && s.outcome == DeliveryOutcome::DroppedByReceiver)
         });
         if dropped_receiving {
-            out.push(FaultKind::ReceiveOmission);
+            out.insert(FaultKind::ReceiveOmission);
         }
         out
     }
 
+    /// The deviations of process `p` as a `Vec`, in crash / send-omission /
+    /// receive-omission order. Convenience wrapper over
+    /// [`Self::deviation_set`] for reporting code; hot paths should use the
+    /// set directly.
+    pub fn deviations_of(&self, p: ProcessId) -> Vec<FaultKind> {
+        self.deviation_set(p).iter().collect()
+    }
+
+    /// The deviation sets of *all* processes, computed in one pass over the
+    /// send records (the per-process query rescans every record, which is
+    /// quadratic when asked for each process in turn). `out` is cleared and
+    /// resized; reusing one buffer across rounds keeps the checker hot loop
+    /// allocation-free.
+    pub fn deviation_sets_into(&self, out: &mut Vec<DeviationSet>) {
+        out.clear();
+        out.resize(self.records.len(), DeviationSet::EMPTY);
+        for (i, rec) in self.records.iter().enumerate() {
+            out[i] = rec.own_deviations();
+        }
+        for rec in &self.records {
+            for s in &rec.sent {
+                if s.outcome == DeliveryOutcome::DroppedByReceiver {
+                    out[s.dst.index()].insert(FaultKind::ReceiveOmission);
+                }
+            }
+        }
+    }
+
     /// Whether process `p` deviated from its protocol in this round.
     pub fn is_deviation(&self, p: ProcessId) -> bool {
-        !self.deviations_of(p).is_empty()
+        !self.deviation_set(p).is_empty()
     }
 }
 
@@ -197,13 +311,19 @@ impl<S, M> History<S, M> {
 
     /// The faulty set `F(H', Π)` of the prefix consisting of the first
     /// `upto` rounds: every process that deviated in some round `<= upto`.
+    ///
+    /// One pass per round over the send records (via
+    /// [`RoundHistory::deviation_sets_into`]) with a single reused scratch
+    /// buffer — no per-process rescans, no per-call allocation beyond the
+    /// result set itself.
     pub fn faulty_upto(&self, upto: usize) -> ProcessSet {
         let mut f = ProcessSet::empty(self.n);
+        let mut scratch: Vec<DeviationSet> = Vec::new();
         for rh in &self.rounds[..upto.min(self.rounds.len())] {
-            for i in 0..self.n {
-                let p = ProcessId(i);
-                if !f.contains(p) && rh.is_deviation(p) {
-                    f.insert(p);
+            rh.deviation_sets_into(&mut scratch);
+            for (i, devs) in scratch.iter().enumerate() {
+                if !devs.is_empty() {
+                    f.insert(ProcessId(i));
                 }
             }
         }
@@ -354,11 +474,7 @@ mod tests {
     }
 
     fn send(dst: usize, outcome: DeliveryOutcome) -> SendRecord<&'static str> {
-        SendRecord {
-            dst: ProcessId(dst),
-            payload: "m",
-            outcome,
-        }
+        SendRecord::new(ProcessId(dst), "m", outcome)
     }
 
     #[test]
@@ -435,6 +551,101 @@ mod tests {
         assert!(h.faulty_upto(1).is_empty());
         assert!(h.faulty_upto(2).contains(ProcessId(0)));
         assert!(h.faulty_upto(1).is_subset(&h.faulty_upto(2)));
+    }
+
+    #[test]
+    fn deviation_set_agrees_with_vec_and_is_packed() {
+        let mut h = H::new(2);
+        h.push(RoundHistory {
+            records: vec![
+                record(
+                    vec![
+                        send(1, DeliveryOutcome::DroppedBySender),
+                        send(1, DeliveryOutcome::DroppedByReceiver),
+                    ],
+                    true,
+                ),
+                record(vec![send(0, DeliveryOutcome::Delivered)], false),
+            ],
+        });
+        let rh = h.round(Round::FIRST);
+        let set = rh.deviation_set(ProcessId(0));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(FaultKind::Crash));
+        assert!(set.contains(FaultKind::SendOmission));
+        assert!(!set.contains(FaultKind::ReceiveOmission));
+        assert_eq!(
+            rh.deviations_of(ProcessId(0)),
+            set.iter().collect::<Vec<_>>()
+        );
+        // p1 suffered a receive omission (p0's second copy targeted it).
+        let p1 = rh.deviation_set(ProcessId(1));
+        assert_eq!(
+            p1.iter().collect::<Vec<_>>(),
+            vec![FaultKind::ReceiveOmission]
+        );
+        assert_eq!(format!("{p1:?}"), "{ReceiveOmission}");
+        // The one-pass bulk query matches the per-process queries.
+        let mut all = Vec::new();
+        rh.deviation_sets_into(&mut all);
+        assert_eq!(all, vec![set, p1]);
+        // Round-tripping through FromIterator preserves the set.
+        assert_eq!(set.iter().collect::<DeviationSet>(), set);
+        assert!(DeviationSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn shared_payloads_preserve_history_equality() {
+        // The same execution recorded twice: once with every copy sharing a
+        // single broadcast payload, once with each copy deep-cloned. The
+        // two representations must be indistinguishable to every observer.
+        let shared_payload = Payload::new("m");
+        let shared = RoundHistory {
+            records: vec![record(
+                vec![
+                    SendRecord::new(
+                        ProcessId(0),
+                        shared_payload.clone(),
+                        DeliveryOutcome::Delivered,
+                    ),
+                    SendRecord::new(
+                        ProcessId(1),
+                        shared_payload.clone(),
+                        DeliveryOutcome::Delivered,
+                    ),
+                ],
+                false,
+            )],
+        };
+        let cloned = RoundHistory {
+            records: vec![record(
+                vec![
+                    send(0, DeliveryOutcome::Delivered),
+                    send(1, DeliveryOutcome::Delivered),
+                ],
+                false,
+            )],
+        };
+        assert!(shared.records[0].sent[0]
+            .payload
+            .shares_with(&shared.records[0].sent[1].payload));
+        assert!(!cloned.records[0].sent[0]
+            .payload
+            .shares_with(&cloned.records[0].sent[1].payload));
+
+        let mut h_shared = History::<u32, &'static str>::new(1);
+        h_shared.push(shared);
+        let mut h_cloned = History::<u32, &'static str>::new(1);
+        h_cloned.push(cloned);
+        assert_eq!(h_shared, h_cloned);
+        assert_eq!(format!("{h_shared:?}"), format!("{h_cloned:?}"));
+        assert_eq!(h_shared.to_string(), h_cloned.to_string());
+        // Cloning a history shares payloads rather than deep-copying them.
+        let h2 = h_shared.clone();
+        assert!(h2.rounds()[0].records[0].sent[0]
+            .payload
+            .shares_with(&h_shared.rounds()[0].records[0].sent[0].payload));
+        assert_eq!(h2, h_shared);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod fault;
 pub mod history;
 pub mod id;
 pub mod message;
+pub mod payload;
 pub mod problem;
 pub mod round;
 pub mod solvability;
@@ -53,10 +54,12 @@ pub use coterie::{coterie_of_prefix, CoterieTimeline, StableWindow};
 pub use error::{ConfigError, Violation};
 pub use fault::{CrashSchedule, FaultKind, FaultModel};
 pub use history::{
-    DeliveryOutcome, History, HistorySlice, ProcessRoundRecord, RoundHistory, SendRecord,
+    DeliveryOutcome, DeviationSet, History, HistorySlice, ProcessRoundRecord, RoundHistory,
+    SendRecord,
 };
 pub use id::{ProcessId, ProcessSet};
 pub use message::Envelope;
+pub use payload::Payload;
 pub use problem::{Problem, RateAgreementSpec, UniformitySpec};
 pub use round::{normalize, Round, RoundCounter};
 pub use solvability::{

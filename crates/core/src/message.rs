@@ -5,8 +5,14 @@
 //! synchronous model, the observer round in which it was sent), so that
 //! recorded histories can reconstruct causality without trusting payload
 //! contents — which systemic failures may have corrupted.
+//!
+//! The payload is held as a shared [`Payload`]: the `n` envelopes of one
+//! broadcast reference a single allocation, and cloning an envelope (for
+//! instance when the recorder stores it in a history) is a
+//! reference-count bump, not a deep copy.
 
 use crate::id::ProcessId;
+use crate::payload::Payload;
 use crate::round::Round;
 use std::fmt;
 
@@ -31,26 +37,32 @@ pub struct Envelope<M> {
     pub src: ProcessId,
     /// The observer round in which the message was sent (synchronous model).
     pub sent_in: Round,
-    /// The protocol payload.
-    pub payload: M,
+    /// The protocol payload, shared across all copies of one broadcast.
+    pub payload: Payload<M>,
 }
 
 impl<M> Envelope<M> {
-    /// Creates an envelope.
-    pub fn new(src: ProcessId, sent_in: Round, payload: M) -> Self {
+    /// Creates an envelope. Accepts either a bare message (which is
+    /// wrapped) or an already-shared [`Payload`] (which is referenced, so
+    /// the `n` copies of a broadcast share one allocation).
+    pub fn new(src: ProcessId, sent_in: Round, payload: impl Into<Payload<M>>) -> Self {
         Envelope {
             src,
             sent_in,
-            payload,
+            payload: payload.into(),
         }
     }
 
-    /// Maps the payload, keeping routing metadata.
-    pub fn map<N>(self, f: impl FnOnce(M) -> N) -> Envelope<N> {
+    /// Maps the payload, keeping routing metadata. Clones the inner
+    /// message only if the payload is still shared.
+    pub fn map<N>(self, f: impl FnOnce(M) -> N) -> Envelope<N>
+    where
+        M: Clone,
+    {
         Envelope {
             src: self.src,
             sent_in: self.sent_in,
-            payload: f(self.payload),
+            payload: Payload::new(f(self.payload.take())),
         }
     }
 
@@ -59,7 +71,7 @@ impl<M> Envelope<M> {
         Envelope {
             src: self.src,
             sent_in: self.sent_in,
-            payload: &self.payload,
+            payload: Payload::new(self.payload.get()),
         }
     }
 }
@@ -87,7 +99,7 @@ mod tests {
     fn as_ref_borrows() {
         let e = Envelope::new(ProcessId(3), Round::new(1), String::from("x"));
         let r = e.as_ref();
-        assert_eq!(r.payload, "x");
+        assert_eq!(**r.payload, "x");
         assert_eq!(r.src, e.src);
     }
 
@@ -95,5 +107,20 @@ mod tests {
     fn display() {
         let e = Envelope::new(ProcessId(1), Round::new(4), 7);
         assert_eq!(e.to_string(), "p1@r4: 7");
+    }
+
+    #[test]
+    fn broadcast_copies_share_one_payload() {
+        let payload = Payload::new(vec![1u64, 2, 3]);
+        let copies: Vec<Envelope<Vec<u64>>> = (0..4)
+            .map(|_| Envelope::new(ProcessId(0), Round::FIRST, payload.clone()))
+            .collect();
+        for c in &copies {
+            assert!(c.payload.shares_with(&payload));
+        }
+        // Equality is still by value: a deep-cloned envelope compares equal.
+        let deep = Envelope::new(ProcessId(0), Round::FIRST, vec![1u64, 2, 3]);
+        assert_eq!(copies[0], deep);
+        assert!(!copies[0].payload.shares_with(&deep.payload));
     }
 }

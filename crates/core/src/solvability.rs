@@ -244,7 +244,7 @@ mod tests {
                 if i != j {
                     records[i].sent.push(SendRecord {
                         dst: ProcessId(j),
-                        payload: 0,
+                        payload: 0.into(),
                         outcome: DeliveryOutcome::Delivered,
                     });
                     // The mirrored delivered entries are filled below.

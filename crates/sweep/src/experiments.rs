@@ -1,0 +1,655 @@
+//! Sweep-based drivers for the seeded experiments E1, E2 and E7.
+//!
+//! Each experiment is expressed as a flat list of *(row, seed)* cells
+//! mapped through [`map_cells`](crate::map_cells), then folded back into
+//! the same table the original serial bench drivers printed — row for row,
+//! byte for byte. The row/fault specifications are plain data
+//! ([`FaultSpec`], [`PiSpec`]) so cells can be shipped to worker threads
+//! and each worker rebuilds its adversary from the spec and the cell's
+//! seed.
+
+use crate::exec::map_cells;
+use ftss::analysis::{measured_stabilization_time, Table};
+use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
+use ftss::compiler::{Compiled, CompilerOptions};
+use ftss::consensus_async::SsConsensusProcess;
+use ftss::core::{Corrupt, CrashSchedule, ProcessId, RateAgreementSpec, Round};
+use ftss::detectors::WeakOracle;
+use ftss::protocols::{
+    CanonicalProtocol, FloodSet, PhaseKing, RepeatedConsensusSpec, RoundAgreement,
+};
+use ftss::sync_sim::{
+    Adversary, CrashOnly, NoFaults, RandomOmission, RunConfig, SilentProcess, SyncRunner,
+};
+use ftss_rng::StdRng;
+
+/// Mean of a slice of counts, rendered with one decimal.
+pub fn mean(xs: &[usize]) -> String {
+    if xs.is_empty() {
+        return "-".into();
+    }
+    format!("{:.1}", xs.iter().sum::<usize>() as f64 / xs.len() as f64)
+}
+
+/// Maximum of a slice of counts, rendered.
+pub fn max(xs: &[usize]) -> String {
+    xs.iter().max().map(|m| m.to_string()).unwrap_or("-".into())
+}
+
+/// A process-failure pattern, as data: workers rebuild the concrete
+/// [`Adversary`] from the spec plus the cell's seed.
+#[derive(Clone, Debug)]
+pub enum FaultSpec {
+    /// All processes behave.
+    None,
+    /// The listed processes drop copies independently with probability
+    /// `p_drop` (seeded per cell).
+    RandomOmission {
+        /// The declared faulty set.
+        faulty: Vec<ProcessId>,
+        /// Per-copy drop probability.
+        p_drop: f64,
+    },
+    /// One process send-omits everything for its first `rounds` rounds.
+    Silent {
+        /// The silent process.
+        p: ProcessId,
+        /// How many rounds it stays silent.
+        rounds: u64,
+    },
+    /// One process crashes at the given round.
+    CrashAt {
+        /// The crashing process.
+        p: ProcessId,
+        /// The observer round it crashes in.
+        round: u64,
+    },
+}
+
+impl FaultSpec {
+    /// Instantiates the adversary for one seeded cell.
+    pub fn adversary(&self, seed: u64) -> Box<dyn Adversary> {
+        match self {
+            FaultSpec::None => Box::new(NoFaults),
+            FaultSpec::RandomOmission { faulty, p_drop } => {
+                Box::new(RandomOmission::new(faulty.iter().copied(), *p_drop, seed))
+            }
+            FaultSpec::Silent { p, rounds } => Box::new(SilentProcess::new(*p, *rounds)),
+            FaultSpec::CrashAt { p, round } => {
+                let mut cs = CrashSchedule::none();
+                cs.set(*p, Round::new(*round));
+                Box::new(CrashOnly::new(cs))
+            }
+        }
+    }
+}
+
+/// An underlying protocol Π for the compiler experiments, as data.
+#[derive(Clone, Debug)]
+pub enum PiSpec {
+    /// FloodSet consensus tolerating `f` crashes.
+    FloodSet {
+        /// The fault bound (iterations run `f + 1` rounds).
+        f: usize,
+        /// One input per process.
+        inputs: Vec<u64>,
+    },
+    /// Phase-king consensus tolerating `f` Byzantine-recoverable faults.
+    PhaseKing {
+        /// The fault bound.
+        f: usize,
+        /// One input per process.
+        inputs: Vec<bool>,
+    },
+}
+
+impl PiSpec {
+    /// Number of processes (one input each).
+    pub fn n(&self) -> usize {
+        match self {
+            PiSpec::FloodSet { inputs, .. } => inputs.len(),
+            PiSpec::PhaseKing { inputs, .. } => inputs.len(),
+        }
+    }
+
+    /// Π's `final_round` (iteration length).
+    pub fn final_round(&self) -> usize {
+        match self {
+            PiSpec::FloodSet { f, inputs } => {
+                FloodSet::new(*f, inputs.clone()).final_round() as usize
+            }
+            PiSpec::PhaseKing { f, inputs } => {
+                PhaseKing::new(*f, inputs.clone()).final_round() as usize
+            }
+        }
+    }
+
+    /// Π's report name.
+    pub fn name(&self) -> String {
+        match self {
+            PiSpec::FloodSet { f, inputs } => FloodSet::new(*f, inputs.clone()).name().into(),
+            PiSpec::PhaseKing { f, inputs } => PhaseKing::new(*f, inputs.clone()).name().into(),
+        }
+    }
+
+    /// Runs the compiled Π⁺ for one seeded cell and measures Σ⁺
+    /// stabilization on the final stable window. `None` = never stabilized.
+    fn run_compiled(
+        &self,
+        options: CompilerOptions,
+        rounds: usize,
+        corruption_seed: u64,
+        adversary: &mut dyn Adversary,
+    ) -> Option<usize> {
+        fn go<P>(
+            pi: P,
+            options: CompilerOptions,
+            n: usize,
+            rounds: usize,
+            corruption_seed: u64,
+            adversary: &mut dyn Adversary,
+        ) -> Option<usize>
+        where
+            P: CanonicalProtocol,
+            P::Output: Corrupt,
+        {
+            let out = SyncRunner::new(Compiled::with_options(pi, options))
+                .run(adversary, &RunConfig::corrupted(n, rounds, corruption_seed))
+                .expect("valid config");
+            measured_stabilization_time(&out.history, &RepeatedConsensusSpec::agreement_only())
+                .expect("non-empty")
+                .stabilization_rounds
+        }
+        let n = self.n();
+        match self {
+            PiSpec::FloodSet { f, inputs } => go(
+                FloodSet::new(*f, inputs.clone()),
+                options,
+                n,
+                rounds,
+                corruption_seed,
+                adversary,
+            ),
+            PiSpec::PhaseKing { f, inputs } => go(
+                PhaseKing::new(*f, inputs.clone()),
+                options,
+                n,
+                rounds,
+                corruption_seed,
+                adversary,
+            ),
+        }
+    }
+}
+
+/// Flattens `rows × seeds` into cells and chunks the mapped results back
+/// per row, preserving canonical (row-major) order.
+fn sweep_rows<Row: Sync, R: Send>(
+    rows: &[Row],
+    seeds: u64,
+    jobs: usize,
+    run: impl Fn(&Row, u64) -> R + Sync,
+) -> Vec<Vec<R>> {
+    let cells: Vec<(usize, u64)> = (0..rows.len())
+        .flat_map(|i| (0..seeds).map(move |s| (i, s)))
+        .collect();
+    let mut flat = map_cells(&cells, jobs, |&(i, seed)| run(&rows[i], seed));
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(rows.len());
+    for _ in 0..rows.len() {
+        let rest = flat.split_off(seeds as usize);
+        out.push(flat);
+        flat = rest;
+    }
+    out
+}
+
+/// Default seed count of the E1 sweep.
+pub const E1_SEEDS: u64 = 30;
+const E1_ROUNDS: usize = 24;
+
+/// One row of the E1 table.
+#[derive(Clone, Debug)]
+pub struct E1Row {
+    /// System size.
+    pub n: usize,
+    /// The fault pattern.
+    pub fault: FaultSpec,
+    /// The row's fault label.
+    pub label: String,
+}
+
+/// The E1 row grid, restricted to `n <= max_n` (pass `usize::MAX` for the
+/// full EXPERIMENTS.md grid).
+pub fn e1_rows(max_n: usize) -> Vec<E1Row> {
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        if n > max_n {
+            continue;
+        }
+        rows.push(E1Row {
+            n,
+            fault: FaultSpec::None,
+            label: "none".into(),
+        });
+    }
+    for n in [4usize, 8, 16, 32] {
+        if n > max_n {
+            continue;
+        }
+        rows.push(E1Row {
+            n,
+            fault: FaultSpec::RandomOmission {
+                faulty: vec![ProcessId(0)],
+                p_drop: 0.5,
+            },
+            label: "1 omitter p=0.5".into(),
+        });
+        let f = (n - 1) / 3;
+        rows.push(E1Row {
+            n,
+            fault: FaultSpec::RandomOmission {
+                faulty: (0..f).map(ProcessId).collect(),
+                p_drop: 0.3,
+            },
+            label: "f=(n-1)/3 omitters p=0.3".into(),
+        });
+    }
+    for n in [3usize, 8] {
+        if n > max_n {
+            continue;
+        }
+        rows.push(E1Row {
+            n,
+            fault: FaultSpec::Silent {
+                p: ProcessId(0),
+                rounds: 6,
+            },
+            label: "silent 6 rounds".into(),
+        });
+    }
+    rows
+}
+
+fn run_e1_cell(row: &E1Row, seed: u64) -> usize {
+    let mut adv = row.fault.adversary(seed);
+    let out = SyncRunner::new(RoundAgreement)
+        .run(
+            adv.as_mut(),
+            &RunConfig::corrupted(row.n, E1_ROUNDS, seed.wrapping_mul(0x9e37) ^ row.n as u64),
+        )
+        .expect("valid config");
+    measured_stabilization_time(&out.history, &RateAgreementSpec::new())
+        .expect("non-empty run")
+        .stabilization_rounds
+        .expect("must stabilize")
+}
+
+/// E1 — round-agreement stabilization (Figure 1 / Theorem 3), swept over
+/// `jobs` workers. Byte-identical for any `jobs`.
+pub fn e1_table(seeds: u64, max_n: usize, jobs: usize) -> Table {
+    let rows = e1_rows(max_n);
+    let per_row = sweep_rows(&rows, seeds, jobs, run_e1_cell);
+    let mut t = Table::new(vec![
+        "n",
+        "faults",
+        "mean stab",
+        "max stab",
+        "claimed",
+        "within",
+    ]);
+    for (row, measured) in rows.iter().zip(&per_row) {
+        t.row(vec![
+            row.n.to_string(),
+            row.label.clone(),
+            mean(measured),
+            max(measured),
+            "1".into(),
+            if measured.iter().all(|&s| s <= 1) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
+        ]);
+    }
+    t
+}
+
+/// Default seed count of the E2 sweep.
+pub const E2_SEEDS: u64 = 25;
+
+/// One row of the E2 table.
+#[derive(Clone, Debug)]
+pub struct E2Row {
+    /// The underlying protocol Π.
+    pub pi: PiSpec,
+    /// The fault pattern.
+    pub fault: FaultSpec,
+    /// The row's fault label.
+    pub label: String,
+}
+
+/// The E2 row grid (fixed — sized by the paper's `n > 2f` examples).
+pub fn e2_rows() -> Vec<E2Row> {
+    let mut rows = Vec::new();
+    for (f, n) in [(1usize, 4usize), (2, 7), (3, 10)] {
+        let inputs: Vec<u64> = (0..n as u64).map(|i| (i * 13) % 29).collect();
+        let pi = PiSpec::FloodSet {
+            f,
+            inputs: inputs.clone(),
+        };
+        rows.push(E2Row {
+            pi: pi.clone(),
+            fault: FaultSpec::None,
+            label: "none".into(),
+        });
+        rows.push(E2Row {
+            pi: pi.clone(),
+            fault: FaultSpec::RandomOmission {
+                faulty: vec![ProcessId(0)],
+                p_drop: 0.4,
+            },
+            label: "1 omitter p=0.4".into(),
+        });
+        rows.push(E2Row {
+            pi,
+            fault: FaultSpec::CrashAt {
+                p: ProcessId(1),
+                round: 3,
+            },
+            label: "crash @r3".into(),
+        });
+    }
+    for (f, n) in [(1usize, 5usize), (2, 9)] {
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let pi = PiSpec::PhaseKing {
+            f,
+            inputs: inputs.clone(),
+        };
+        rows.push(E2Row {
+            pi: pi.clone(),
+            fault: FaultSpec::None,
+            label: "none".into(),
+        });
+        rows.push(E2Row {
+            pi,
+            fault: FaultSpec::RandomOmission {
+                faulty: vec![ProcessId(n - 1)],
+                p_drop: 0.4,
+            },
+            label: "1 omitter p=0.4".into(),
+        });
+    }
+    rows
+}
+
+fn run_e2_cell(row: &E2Row, seed: u64) -> Option<usize> {
+    let fr = row.pi.final_round();
+    let mut adv = row.fault.adversary(seed);
+    row.pi.run_compiled(
+        CompilerOptions::default(),
+        10 * fr + 10,
+        seed ^ 0xe2,
+        adv.as_mut(),
+    )
+}
+
+/// E2 — compiled-protocol stabilization (Figure 3 / Theorem 4), swept over
+/// `jobs` workers.
+pub fn e2_table(seeds: u64, jobs: usize) -> Table {
+    let rows = e2_rows();
+    let per_row = sweep_rows(&rows, seeds, jobs, run_e2_cell);
+    let mut t = Table::new(vec![
+        "Π",
+        "n",
+        "final_round",
+        "faults",
+        "mean stab",
+        "max stab",
+        "bound",
+        "within",
+    ]);
+    for (row, results) in rows.iter().zip(&per_row) {
+        let fr = row.pi.final_round();
+        let bound = 2 * fr + 1;
+        let measured: Vec<usize> = results.iter().flatten().copied().collect();
+        let failures = results.len() - measured.len();
+        t.row(vec![
+            row.pi.name(),
+            row.pi.n().to_string(),
+            fr.to_string(),
+            row.label.clone(),
+            mean(&measured),
+            max(&measured),
+            bound.to_string(),
+            if failures == 0 && measured.iter().all(|&s| s <= bound) {
+                "yes".into()
+            } else {
+                format!("NO ({failures} unstabilized)")
+            },
+        ]);
+    }
+    t
+}
+
+/// Default seed count of the E7 sweeps.
+pub const E7_SEEDS: u64 = 20;
+
+/// One row of the E7a (compiler-mechanism ablation) table.
+#[derive(Clone, Debug)]
+pub struct E7aRow {
+    /// The underlying protocol Π.
+    pub pi: PiSpec,
+    /// The row's Π label.
+    pub pi_name: String,
+    /// The ablated compiler options.
+    pub options: CompilerOptions,
+    /// The variant label.
+    pub label: String,
+}
+
+/// The E7a row grid: four compiler variants × {FloodSet, phase-king}.
+pub fn e7a_rows() -> Vec<E7aRow> {
+    let variants: [(CompilerOptions, &str); 4] = [
+        (CompilerOptions::default(), "full Figure 3"),
+        (
+            CompilerOptions {
+                filter_suspects: false,
+                ..CompilerOptions::default()
+            },
+            "no suspect filtering",
+        ),
+        (
+            CompilerOptions {
+                reset_each_iteration: false,
+                ..CompilerOptions::default()
+            },
+            "no iteration reset",
+        ),
+        (
+            CompilerOptions {
+                filter_suspects: false,
+                reset_each_iteration: false,
+            },
+            "neither",
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (options, label) in variants {
+        rows.push(E7aRow {
+            pi: PiSpec::FloodSet {
+                f: 1,
+                inputs: vec![9, 3, 7, 5],
+            },
+            pi_name: "floodset".into(),
+            options,
+            label: label.into(),
+        });
+    }
+    for (options, label) in variants {
+        rows.push(E7aRow {
+            pi: PiSpec::PhaseKing {
+                f: 1,
+                inputs: vec![true, false, true, false, true],
+            },
+            pi_name: "phase-king".into(),
+            options,
+            label: label.into(),
+        });
+    }
+    rows
+}
+
+fn run_e7a_cell(row: &E7aRow, seed: u64) -> Option<usize> {
+    let n = row.pi.n();
+    let fr = row.pi.final_round();
+    // A lightly-faulty run: one random omitter keeps stale/asymmetric
+    // messages flowing, which is what suspect filtering defends Π from.
+    let mut adv = RandomOmission::new([ProcessId(n - 1)], 0.4, seed);
+    row.pi
+        .run_compiled(row.options, 12 * fr, seed ^ 0xe7, &mut adv)
+}
+
+/// E7a — compiler mechanism ablation, swept over `jobs` workers.
+pub fn e7a_table(seeds: u64, jobs: usize) -> Table {
+    let rows = e7a_rows();
+    let per_row = sweep_rows(&rows, seeds, jobs, run_e7a_cell);
+    let mut t = Table::new(vec![
+        "Π",
+        "variant",
+        "stabilized",
+        "mean stab",
+        "max stab",
+        "bound",
+    ]);
+    for (row, results) in rows.iter().zip(&per_row) {
+        let bound = 2 * row.pi.final_round() + 1;
+        let measured: Vec<usize> = results.iter().flatten().copied().collect();
+        let unstabilized = results.len() - measured.len();
+        t.row(vec![
+            row.pi_name.clone(),
+            row.label.clone(),
+            format!("{}/{seeds}", seeds as usize - unstabilized),
+            mean(&measured),
+            max(&measured),
+            bound.to_string(),
+        ]);
+    }
+    t
+}
+
+const E7C_PERIODS: [Time; 6] = [20, 40, 80, 160, 320, 640];
+
+fn run_e7c_cell(period: &Time, seed: u64) -> Option<usize> {
+    let period = *period;
+    let n = 3;
+    let inputs = vec![10u64, 20, 30];
+    let horizon: Time = 150_000;
+    let oracle = WeakOracle::new(n, vec![], 300, seed, 0.2);
+    let mut procs: Vec<SsConsensusProcess> = (0..n)
+        .map(|i| SsConsensusProcess::new(ProcessId(i), inputs.clone(), oracle.clone(), 25, period))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e);
+    for p in &mut procs {
+        p.corrupt(&mut rng);
+    }
+    let corrupted_max = procs.iter().map(|p| p.inst).max().unwrap();
+    let mut runner = AsyncRunner::new(procs, AsyncConfig::turbulent(seed, 50, 300)).expect("valid");
+    let mut first_fresh: Option<Time> = None;
+    runner.run_probed(horizon, 250, |t, ps| {
+        if first_fresh.is_none()
+            && ps
+                .iter()
+                .all(|p| p.last_decision().is_some_and(|(i, _)| i > corrupted_max))
+        {
+            first_fresh = Some(t);
+        }
+    });
+    first_fresh.map(|t| t as usize)
+}
+
+/// E7c — resend-period sensitivity of the asynchronous consensus, swept
+/// over `jobs` workers.
+pub fn e7c_table(seeds: u64, jobs: usize) -> Table {
+    let per_row = sweep_rows(&E7C_PERIODS, seeds, jobs, run_e7c_cell);
+    let mut t = Table::new(vec!["resend period", "recovered", "mean t", "max t"]);
+    for (period, results) in E7C_PERIODS.iter().zip(&per_row) {
+        let times: Vec<usize> = results.iter().flatten().copied().collect();
+        let stuck = results.len() - times.len();
+        t.row(vec![
+            period.to_string(),
+            format!("{}/{seeds}", seeds as usize - stuck),
+            mean(&times),
+            max(&times),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_max() {
+        assert_eq!(mean(&[1, 2, 3]), "2.0");
+        assert_eq!(max(&[1, 5, 3]), "5");
+        assert_eq!(mean(&[]), "-");
+        assert_eq!(max(&[]), "-");
+    }
+
+    #[test]
+    fn e1_rows_respect_max_n() {
+        assert_eq!(e1_rows(usize::MAX).len(), 16);
+        let small = e1_rows(4);
+        assert!(small.iter().all(|r| r.n <= 4));
+        assert!(!small.is_empty());
+    }
+
+    #[test]
+    fn e1_small_serial_equals_parallel() {
+        let serial = e1_table(2, 4, 1).to_string();
+        let par = e1_table(2, 4, 4).to_string();
+        assert_eq!(serial, par);
+        assert!(serial.contains("none"));
+    }
+
+    #[test]
+    fn fault_spec_builds_adversaries() {
+        for spec in [
+            FaultSpec::None,
+            FaultSpec::RandomOmission {
+                faulty: vec![ProcessId(0)],
+                p_drop: 0.5,
+            },
+            FaultSpec::Silent {
+                p: ProcessId(0),
+                rounds: 2,
+            },
+            FaultSpec::CrashAt {
+                p: ProcessId(0),
+                round: 1,
+            },
+        ] {
+            let adv = spec.adversary(7);
+            assert!(adv.faulty(3).len() <= 3);
+        }
+    }
+
+    #[test]
+    fn pi_spec_metadata() {
+        let fs = PiSpec::FloodSet {
+            f: 1,
+            inputs: vec![1, 2, 3, 4],
+        };
+        assert_eq!(fs.n(), 4);
+        assert_eq!(fs.final_round(), 2);
+        assert!(!fs.name().is_empty());
+        let pk = PiSpec::PhaseKing {
+            f: 1,
+            inputs: vec![true, false, true, false, true],
+        };
+        assert_eq!(pk.n(), 5);
+        assert!(pk.final_round() >= 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ftss-sweep — deterministic parallel sweep execution
+//!
+//! Every empirical claim in EXPERIMENTS.md is a seeded sweep: hundreds of
+//! independent (config, seed) runs folded into a table. This crate is the
+//! substrate those sweeps run on:
+//!
+//! * [`map_cells`] — a registry-free (`std::thread::scope`) work-stealing
+//!   executor that fans cells across `FTSS_JOBS` workers and merges the
+//!   results in canonical cell order, so serial and parallel sweeps
+//!   produce **byte-identical** output;
+//! * [`experiments`] — the E1/E2/E7 drivers expressed as cell grids
+//!   ([`FaultSpec`]/[`PiSpec`] row specifications plus per-seed runs),
+//!   shared by `cargo bench` and the `ftss-lab sweep` subcommand.
+//!
+//! The determinism rule (DESIGN.md §9): a cell function must be a pure,
+//! seeded function of its cell; the executor owns ordering. Nothing else
+//! is allowed to observe scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! let cells: Vec<u64> = (0..32).collect();
+//! let serial = ftss_sweep::map_cells(&cells, 1, |&s| s * s);
+//! let parallel = ftss_sweep::map_cells(&cells, 4, |&s| s * s);
+//! assert_eq!(serial, parallel); // same order, same bytes
+//! ```
+
+pub mod exec;
+pub mod experiments;
+
+pub use exec::{jobs_from_env, map_cells};
+pub use experiments::{
+    e1_rows, e1_table, e2_rows, e2_table, e7a_rows, e7a_table, e7c_table, max, mean, E1Row, E2Row,
+    E7aRow, FaultSpec, PiSpec, E1_SEEDS, E2_SEEDS, E7_SEEDS,
+};

@@ -37,24 +37,61 @@ impl ProtocolCtx {
 /// At most one message per sender arrives per round (each round is one
 /// broadcast). A process always receives its own broadcast (paper
 /// footnote 1), so `from(ctx.me)` is always `Some` at an alive process.
+///
+/// An inbox either owns its envelopes ([`Inbox::new`]) or borrows them from
+/// the round record the simulator is building ([`Inbox::from_sorted`]) —
+/// the borrowed form lets the hot loop hand a process its inbox without
+/// cloning or moving the envelopes out of the history.
 #[derive(Clone, Debug)]
-pub struct Inbox<M> {
-    messages: Vec<Envelope<M>>,
+pub struct Inbox<'a, M> {
+    storage: Storage<'a, M>,
 }
 
-impl<M> Inbox<M> {
-    /// Wraps the delivered envelopes of one round.
+#[derive(Clone, Debug)]
+enum Storage<'a, M> {
+    Owned(Vec<Envelope<M>>),
+    Borrowed(&'a [Envelope<M>]),
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// Wraps the delivered envelopes of one round, sorting by sender.
     pub fn new(mut messages: Vec<Envelope<M>>) -> Self {
         messages.sort_by_key(|e| e.src);
-        Inbox { messages }
+        Inbox {
+            storage: Storage::Owned(messages),
+        }
+    }
+
+    /// Borrows envelopes that are **already sorted by sender** (as the
+    /// simulator records them: ascending sender order, one per sender).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the sender order; lookups rely on it.
+    pub fn from_sorted(messages: &'a [Envelope<M>]) -> Self {
+        debug_assert!(
+            messages.windows(2).all(|w| w[0].src < w[1].src),
+            "from_sorted requires strictly ascending sender order"
+        );
+        Inbox {
+            storage: Storage::Borrowed(messages),
+        }
+    }
+
+    fn messages(&self) -> &[Envelope<M>] {
+        match &self.storage {
+            Storage::Owned(v) => v,
+            Storage::Borrowed(s) => s,
+        }
     }
 
     /// The payload received from `p` this round, if any.
     pub fn from(&self, p: ProcessId) -> Option<&M> {
-        self.messages
+        let messages = self.messages();
+        messages
             .binary_search_by_key(&p, |e| e.src)
             .ok()
-            .map(|i| &self.messages[i].payload)
+            .map(|i| &*messages[i].payload)
     }
 
     /// Whether a message from `p` arrived.
@@ -64,22 +101,22 @@ impl<M> Inbox<M> {
 
     /// Iterates `(sender, payload)` in sender order.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
-        self.messages.iter().map(|e| (e.src, &e.payload))
+        self.messages().iter().map(|e| (e.src, &*e.payload))
     }
 
     /// The senders heard from this round, in order.
     pub fn senders(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.messages.iter().map(|e| e.src)
+        self.messages().iter().map(|e| e.src)
     }
 
     /// Number of messages received.
     pub fn len(&self) -> usize {
-        self.messages.len()
+        self.messages().len()
     }
 
     /// Whether nothing was received.
     pub fn is_empty(&self) -> bool {
-        self.messages.is_empty()
+        self.messages().is_empty()
     }
 }
 

@@ -24,8 +24,8 @@
 use crate::adversary::{Adversary, OmissionSide};
 use crate::protocol::{Inbox, ProtocolCtx, SyncProtocol};
 use ftss_core::{
-    ConfigError, Corrupt, DeliveryOutcome, Envelope, History, ProcessId, ProcessRoundRecord, Round,
-    RoundHistory, SendRecord,
+    ConfigError, Corrupt, DeliveryOutcome, Envelope, History, Payload, ProcessId,
+    ProcessRoundRecord, Round, RoundHistory, SendRecord,
 };
 use ftss_rng::StdRng;
 use ftss_telemetry::{Event, NullSink, RunMode, TraceSink};
@@ -72,18 +72,40 @@ impl CorruptionSchedule {
         self.events.iter().map(|&(r, _)| r).max()
     }
 
-    fn seed_for(&self, round: u64) -> Option<u64> {
-        // Later entries for the same round win.
-        self.events
-            .iter()
-            .rev()
-            .find(|&&(r, _)| r == round)
-            .map(|&(_, s)| s)
+    /// Resolves the schedule into a round-sorted lookup table with one
+    /// entry per round (later entries for the same round win). Built once
+    /// per run, so the per-round query in the hot loop is a binary search
+    /// instead of a linear scan of the raw event list.
+    fn resolve(&self) -> ResolvedCorruption {
+        let mut table: Vec<(u64, u64)> = Vec::with_capacity(self.events.len());
+        for &(round, seed) in &self.events {
+            match table.binary_search_by_key(&round, |&(r, _)| r) {
+                Ok(i) => table[i].1 = seed,
+                Err(i) => table.insert(i, (round, seed)),
+            }
+        }
+        ResolvedCorruption { table }
     }
 
     /// Whether the schedule is empty.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+}
+
+/// A [`CorruptionSchedule`] resolved for execution: sorted by round,
+/// deduplicated, queried by binary search.
+#[derive(Debug)]
+struct ResolvedCorruption {
+    table: Vec<(u64, u64)>,
+}
+
+impl ResolvedCorruption {
+    fn seed_for(&self, round: u64) -> Option<u64> {
+        self.table
+            .binary_search_by_key(&round, |&(r, _)| r)
+            .ok()
+            .map(|i| self.table[i].1)
     }
 }
 
@@ -262,6 +284,7 @@ where
         }
 
         let mut history: History<P::State, P::Msg> = History::new(n);
+        let mid_run = cfg.mid_run_corruption.resolve();
 
         for r in 1..=cfg.rounds as u64 {
             let round = Round::new(r);
@@ -270,7 +293,7 @@ where
             }
             // Mid-run systemic failure: re-corrupt every alive process's
             // state at the start of the round.
-            if let Some(seed) = cfg.mid_run_corruption.seed_for(r) {
+            if let Some(seed) = mid_run.seed_for(r) {
                 let mut rng = StdRng::seed_from_u64(seed);
                 for s in states.iter_mut().flatten() {
                     s.corrupt(&mut rng);
@@ -295,17 +318,23 @@ where
                     records.push(ProcessRoundRecord {
                         state_at_start: Some(state.clone()),
                         counter_at_start: self.protocol.round_counter(state),
-                        sent: Vec::new(),
-                        delivered: Vec::new(),
+                        sent: Vec::with_capacity(n - 1),
+                        delivered: Vec::with_capacity(n),
                         crashed_here,
                         halted_at_start: self.protocol.is_halted(&ProtocolCtx::new(p, n), state),
                     });
                 }
             }
 
-            // Phase 1: broadcasts and delivery decisions.
+            // Phase 1: broadcasts and delivery decisions. One shared
+            // payload is materialized per broadcast; every recorded copy —
+            // the sender's `sent` records and each receiver's `delivered`
+            // envelope — bumps a reference count instead of deep-cloning
+            // the message. Envelopes go straight into the round records
+            // (ascending sender order, so each `delivered` list is sorted
+            // by construction); no per-round inbox buffers exist to clone
+            // or reallocate.
             let (mut copies_sent, mut copies_delivered) = (0u64, 0u64);
-            let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
             for i in 0..n {
                 let p = ProcessId(i);
                 if schedule.is_crashed(p, round) {
@@ -318,9 +347,10 @@ where
                 {
                     continue;
                 }
-                let payload = self
-                    .protocol
-                    .broadcast(&ctx, states[i].as_ref().expect("alive"));
+                let payload = Payload::new(
+                    self.protocol
+                        .broadcast(&ctx, states[i].as_ref().expect("alive")),
+                );
                 let crashing = schedule.crashes_in(p, round);
                 let cut = if crashing {
                     adversary.sends_before_crash(p, round)
@@ -335,7 +365,9 @@ where
                         // (footnote 1) — even for a crashing process it is
                         // irrelevant, since a crashing process takes no step.
                         if !crashing {
-                            inboxes[i].push(Envelope::new(p, round, payload.clone()));
+                            records[i]
+                                .delivered
+                                .push(Envelope::new(p, round, payload.clone()));
                         }
                         continue;
                     }
@@ -365,7 +397,9 @@ where
                         }
                     };
                     if outcome == DeliveryOutcome::Delivered {
-                        inboxes[j].push(Envelope::new(p, round, payload.clone()));
+                        records[j]
+                            .delivered
+                            .push(Envelope::new(p, round, payload.clone()));
                     }
                     if traced {
                         copies_sent += 1;
@@ -388,6 +422,8 @@ where
             }
 
             // Phase 2: state transitions for processes alive at round end.
+            // The inbox borrows the envelopes already recorded in the
+            // history — no clone, no move.
             #[allow(clippy::needless_range_loop)] // i is the ProcessId
             for i in 0..n {
                 let p = ProcessId(i);
@@ -395,8 +431,7 @@ where
                     states[i] = None;
                     continue;
                 }
-                records[i].delivered = inboxes[i].clone();
-                let inbox = Inbox::new(std::mem::take(&mut inboxes[i]));
+                let inbox = Inbox::from_sorted(&records[i].delivered);
                 let ctx = ProtocolCtx::new(p, n);
                 self.protocol
                     .step(&ctx, states[i].as_mut().expect("alive"), &inbox);

@@ -38,6 +38,16 @@ run cargo run -q --release -p ftss-lab -- trace --protocol round-agreement \
 run cmp "$TRACE_DIR/a.jsonl" "$TRACE_DIR/b.jsonl"
 run cargo run -q --release -p ftss-lab -- stats --in "$TRACE_DIR/a.jsonl"
 
+# Sweep determinism smoke: the parallel executor must render the same
+# bytes at any worker count (DESIGN.md §9's merge rule, end to end).
+# (Plain invocations: run()'s echo must not land in the compared files.)
+echo "==> ftss-lab sweep --exp e1 (serial vs 4 workers, byte-compared)"
+cargo run -q --release -p ftss-lab -- sweep --exp e1 \
+    --seeds 2 --max-n 4 --jobs 1 > "$TRACE_DIR/sweep_serial.txt"
+cargo run -q --release -p ftss-lab -- sweep --exp e1 \
+    --seeds 2 --max-n 4 --jobs 4 > "$TRACE_DIR/sweep_par.txt"
+run cmp "$TRACE_DIR/sweep_serial.txt" "$TRACE_DIR/sweep_par.txt"
+
 # Hermeticity tripwire: no crate manifest may name a registry package.
 if grep -rn 'rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes' \
     --include=Cargo.toml Cargo.toml crates/ \

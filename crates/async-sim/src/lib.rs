@@ -25,6 +25,10 @@
 
 pub mod process;
 pub mod runner;
+pub mod scheduler;
 
 pub use process::{AsyncProcess, Ctx};
 pub use runner::{AsyncConfig, AsyncRunner, RunStats, Time};
+pub use scheduler::{
+    AdversaryScheduler, DfsScheduler, Pending, PendingKind, RandomScheduler, Scheduler,
+};

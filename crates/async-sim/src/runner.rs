@@ -1,12 +1,9 @@
 //! The discrete-event engine.
 
 use crate::process::{AsyncProcess, Ctx};
-use ftss_core::{ConfigError, Payload, ProcessId};
-use ftss_rng::Rng;
-use ftss_rng::StdRng;
+use crate::scheduler::{Pending, PendingKind, RandomScheduler, Scheduler};
+use ftss_core::{ConfigError, ProcessId};
 use ftss_telemetry::{Event as TraceEvent, NullSink, RunMode, TraceSink};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Virtual time, in abstract units (think microseconds).
 pub type Time = u64;
@@ -78,71 +75,56 @@ pub struct RunStats {
     pub end_time: Time,
 }
 
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum EventKind<M> {
-    Deliver {
-        from: ProcessId,
-        to: ProcessId,
-        /// Shared with the other copies of the originating broadcast: a
-        /// queued broadcast holds one message allocation, not `n`.
-        msg: Payload<M>,
-    },
-    Timer {
-        p: ProcessId,
-        tag: u64,
-    },
-}
-
-#[derive(Clone, Debug, PartialEq, Eq)]
-struct Event<M> {
-    time: Time,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M: Eq> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-impl<M: Eq> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Drives a set of [`AsyncProcess`]es deterministically.
 ///
 /// The runner owns the processes; inspect them between/after runs via
-/// [`AsyncRunner::process`] / [`AsyncRunner::processes`].
-pub struct AsyncRunner<P: AsyncProcess> {
+/// [`AsyncRunner::process`] / [`AsyncRunner::processes`]. Delay assignment
+/// and event order live behind the [`Scheduler`] parameter; the default
+/// [`RandomScheduler`] reproduces the historical seeded behaviour exactly,
+/// while the model checker substitutes enumerating or adversarial
+/// schedulers (see [`crate::scheduler`]).
+pub struct AsyncRunner<P: AsyncProcess, S = RandomScheduler<<P as AsyncProcess>::Msg>> {
     processes: Vec<P>,
     crashed_at: Vec<Option<Time>>,
     crash_reported: Vec<bool>,
-    queue: BinaryHeap<Reverse<Event<P::Msg>>>,
-    rng: StdRng,
+    sched: S,
     cfg: AsyncConfig,
     now: Time,
     seq: u64,
     started: bool,
     stats: RunStats,
     /// Reused effect buffer handed to every handler invocation; drained
-    /// into the queue after each call instead of allocating a fresh `Ctx`.
+    /// into the scheduler after each call instead of allocating a fresh
+    /// `Ctx`.
     scratch: Ctx<P::Msg>,
 }
 
-impl<P: AsyncProcess> AsyncRunner<P>
-where
-    P::Msg: Eq,
-{
-    /// Creates a runner over the given processes (process `i` has id `i`).
+impl<P: AsyncProcess> AsyncRunner<P> {
+    /// Creates a runner over the given processes (process `i` has id `i`),
+    /// scheduled by the default seeded [`RandomScheduler`].
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] if there are no processes, a crash names an
     /// unknown process, or `min_delay > max_delay`.
     pub fn new(processes: Vec<P>, cfg: AsyncConfig) -> Result<Self, ConfigError> {
+        let sched = RandomScheduler::for_config(&cfg);
+        Self::with_scheduler(processes, cfg, sched)
+    }
+}
+
+impl<P: AsyncProcess, S: Scheduler<P::Msg>> AsyncRunner<P, S> {
+    /// Creates a runner driven by an explicit scheduler (see
+    /// [`crate::scheduler`] for the available strategies).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`AsyncRunner::new`].
+    pub fn with_scheduler(
+        processes: Vec<P>,
+        cfg: AsyncConfig,
+        sched: S,
+    ) -> Result<Self, ConfigError> {
         if processes.is_empty() {
             return Err(ConfigError::new("need at least one process"));
         }
@@ -161,8 +143,7 @@ where
             processes,
             crash_reported: vec![false; crashed_at.len()],
             crashed_at,
-            queue: BinaryHeap::new(),
-            rng: StdRng::seed_from_u64(cfg.seed),
+            sched,
             cfg,
             now: 0,
             seq: 0,
@@ -170,6 +151,12 @@ where
             stats: RunStats::default(),
             scratch: Ctx::new(ProcessId(0), n, 0),
         })
+    }
+
+    /// Consumes the runner, handing the scheduler back — the DFS explorer
+    /// uses this to carry the choice stack from one run into the next.
+    pub fn into_scheduler(self) -> S {
+        self.sched
     }
 
     /// Number of processes.
@@ -214,13 +201,13 @@ where
         }
     }
 
-    /// Drains the scratch context's buffered effects into the event queue,
-    /// drawing a seeded delay per send. Queued copies keep sharing the
-    /// broadcast payload.
+    /// Drains the scratch context's buffered effects into the scheduler,
+    /// asking it for a delay per send (in send order — the seeded
+    /// scheduler's RNG stream depends on it). Queued copies keep sharing
+    /// the broadcast payload.
     fn drain_scratch(&mut self, p: ProcessId) {
         let Self {
-            queue,
-            rng,
+            sched,
             cfg,
             scratch,
             now,
@@ -228,26 +215,21 @@ where
             ..
         } = self;
         for (to, msg) in scratch.sends.drain(..) {
-            let max = if *now >= cfg.gst {
-                cfg.max_delay
-            } else {
-                cfg.pre_gst_max_delay
-            };
-            let delay = rng.gen_range(cfg.min_delay..=max).max(1);
+            let delay = sched.delay(cfg, *now, p, to);
             *seq += 1;
-            queue.push(Reverse(Event {
+            sched.push(Pending {
                 time: *now + delay,
                 seq: *seq,
-                kind: EventKind::Deliver { from: p, to, msg },
-            }));
+                kind: PendingKind::Deliver { from: p, to, msg },
+            });
         }
         for (at, tag) in scratch.timers.drain(..) {
             *seq += 1;
-            queue.push(Reverse(Event {
+            sched.push(Pending {
                 time: at,
                 seq: *seq,
-                kind: EventKind::Timer { p, tag },
-            }));
+                kind: PendingKind::Timer { p, tag },
+            });
         }
     }
 
@@ -326,17 +308,20 @@ where
                 Some(t) if t <= horizon => {}
                 _ => break,
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked non-empty queue");
+            let ev = self.sched.pop().expect("peeked non-empty scheduler");
             while ev.time >= next_probe {
                 probe(next_probe, &self.processes);
                 next_probe = next_probe.saturating_add(probe_interval);
             }
-            self.now = ev.time;
+            // `max` keeps time monotone even when a scheduler dispatches
+            // events out of timestamp order (the DFS does); for the
+            // time-ordered schedulers this is the identity.
+            self.now = self.now.max(ev.time);
             if traced {
                 self.report_crashes(sink);
             }
             match ev.kind {
-                EventKind::Deliver { from, to, msg } => {
+                PendingKind::Deliver { from, to, msg } => {
                     if self.is_crashed(to) {
                         self.stats.messages_to_crashed += 1;
                         if traced {
@@ -360,7 +345,7 @@ where
                     self.processes[to.index()].on_message(&mut self.scratch, from, msg.take());
                     self.drain_scratch(to);
                 }
-                EventKind::Timer { p, tag } => {
+                PendingKind::Timer { p, tag } => {
                     if self.is_crashed(p) {
                         continue;
                     }
@@ -403,7 +388,7 @@ where
     }
 
     fn peek_time(&self) -> Option<Time> {
-        self.queue.peek().map(|Reverse(e)| e.time)
+        self.sched.peek_time()
     }
 }
 

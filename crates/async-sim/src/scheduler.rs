@@ -1,0 +1,420 @@
+//! The scheduler seam: who decides message delays and event order.
+//!
+//! [`AsyncRunner`](crate::AsyncRunner) is parameterized by a [`Scheduler`],
+//! which owns the event queue and the two nondeterministic choices of the
+//! asynchronous model:
+//!
+//! 1. **delay assignment** — what delay a freshly sent message gets, and
+//! 2. **dispatch order** — which pending event is consumed next.
+//!
+//! Three implementations cover the repo's needs:
+//!
+//! * [`RandomScheduler`] — the historical behaviour, bit for bit: a seeded
+//!   uniform delay per send and a `(time, seq)` min-heap. Every existing
+//!   entry point uses it by default, so extracting the seam changed no
+//!   byte of any recorded trace.
+//! * [`DfsScheduler`] — exhaustive enumeration of dispatch orders for the
+//!   model checker (`ftss-check`): an iterative depth-first search over
+//!   "which pending event goes next", driven by an explicit choice stack —
+//!   no recursion, no randomness, bounded by an event horizon.
+//! * [`AdversaryScheduler`] — a worst-case delay assigner for systems too
+//!   large to enumerate: every message touching a target set is slowed to
+//!   the maximum admissible delay while the rest of the system sprints.
+//!
+//! Fairness note: all three schedulers eventually dispatch every pushed
+//! event (the DFS within its step bound), preserving the no-message-loss
+//! guarantee the ◇-properties rely on.
+
+use crate::runner::{AsyncConfig, Time};
+use ftss_core::{Payload, ProcessId};
+use ftss_rng::Rng;
+use ftss_rng::StdRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A queued event: a message awaiting delivery or an armed timer.
+#[derive(Clone, Debug)]
+pub struct Pending<M> {
+    /// Scheduled dispatch time.
+    pub time: Time,
+    /// Tie-breaker: insertion order (strictly increasing per run).
+    pub seq: u64,
+    /// What happens on dispatch.
+    pub kind: PendingKind<M>,
+}
+
+/// The payload of a [`Pending`] event.
+#[derive(Clone, Debug)]
+pub enum PendingKind<M> {
+    /// Deliver `msg` from `from` to `to`.
+    Deliver {
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// Shared with the other copies of the originating broadcast: a
+        /// queued broadcast holds one message allocation, not `n`.
+        msg: Payload<M>,
+    },
+    /// Fire timer `tag` at process `p`.
+    Timer {
+        /// The process whose timer fires.
+        p: ProcessId,
+        /// The tag passed back to `on_timer`.
+        tag: u64,
+    },
+}
+
+// Identity and order are `(time, seq)` only — `seq` is unique per run, so
+// this is a total order and `M` needs no `Eq` bound (which the runner used
+// to demand of every message type).
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+
+impl<M> Eq for Pending<M> {}
+
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The runner's source of delays and event order.
+///
+/// The runner calls [`Scheduler::delay`] once per send (in send order),
+/// pushes the resulting event, and repeatedly pops until the scheduler is
+/// exhausted or the horizon is reached. Virtual time is clamped monotone by
+/// the runner (`now = max(now, event.time)`), so a scheduler may legally
+/// dispatch events "out of time order" — that is exactly what the DFS
+/// explores.
+pub trait Scheduler<M> {
+    /// The delay to assign to a message sent `from → to` at time `now`.
+    /// Must be at least 1 (no zero-delay delivery loops).
+    fn delay(&mut self, cfg: &AsyncConfig, now: Time, from: ProcessId, to: ProcessId) -> Time;
+
+    /// Accepts a new pending event.
+    fn push(&mut self, ev: Pending<M>);
+
+    /// Yields the next event to dispatch, or `None` when the run is over
+    /// (queue empty, or an exploration bound was hit).
+    fn pop(&mut self) -> Option<Pending<M>>;
+
+    /// The scheduled time of the event [`Scheduler::pop`] would yield.
+    fn peek_time(&self) -> Option<Time>;
+}
+
+/// The admissible maximum delay at `now` under `cfg` (pre- vs post-GST).
+fn max_delay_at(cfg: &AsyncConfig, now: Time) -> Time {
+    if now >= cfg.gst {
+        cfg.max_delay
+    } else {
+        cfg.pre_gst_max_delay
+    }
+}
+
+/// The historical seeded-random scheduler: uniform delays in
+/// `min_delay..=max` drawn from a [`StdRng`] seeded with `cfg.seed`, events
+/// dispatched in `(time, seq)` order via a binary min-heap.
+///
+/// This reproduces the pre-seam `AsyncRunner` behaviour exactly — same RNG
+/// stream, same draw order (one draw per send, none per timer), same heap
+/// ordering — so seeds, recorded traces, and EXPERIMENTS.md rows are
+/// unchanged.
+#[derive(Debug)]
+pub struct RandomScheduler<M> {
+    heap: BinaryHeap<Reverse<Pending<M>>>,
+    rng: StdRng,
+}
+
+impl<M> RandomScheduler<M> {
+    /// A scheduler seeded from `cfg.seed`.
+    pub fn for_config(cfg: &AsyncConfig) -> Self {
+        RandomScheduler {
+            heap: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+        }
+    }
+}
+
+impl<M> Scheduler<M> for RandomScheduler<M> {
+    fn delay(&mut self, cfg: &AsyncConfig, now: Time, _from: ProcessId, _to: ProcessId) -> Time {
+        let max = max_delay_at(cfg, now);
+        self.rng.gen_range(cfg.min_delay..=max).max(1)
+    }
+
+    fn push(&mut self, ev: Pending<M>) {
+        self.heap.push(Reverse(ev));
+    }
+
+    fn pop(&mut self) -> Option<Pending<M>> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+}
+
+/// Exhaustive dispatch-order enumeration for the model checker.
+///
+/// Every [`pop`](Scheduler::pop) is a *choice point*: any of the currently
+/// pending events may go next. The scheduler records each choice on an
+/// explicit stack of `(chosen, alternatives)` pairs; one run follows the
+/// stack as a prefix (replaying earlier choices) and extends it with
+/// first-alternative choices past the end. After the run,
+/// [`advance`](DfsScheduler::advance) increments the stack like an odometer
+/// — bump the deepest choice point that still has untried alternatives,
+/// discard everything below — giving an iterative, recursion-free DFS over
+/// all dispatch interleavings.
+///
+/// The tree is kept finite by `max_steps`: a run dispatches at most that
+/// many events (the *event horizon*), after which `pop` returns `None`.
+/// Delays are irrelevant to the exploration (order is chosen directly), so
+/// `delay` returns the minimum admissible value and virtual time merely
+/// stays monotone.
+#[derive(Debug)]
+pub struct DfsScheduler<M> {
+    /// Events not yet dispatched in the current run, in insertion order.
+    pending: Vec<Pending<M>>,
+    /// The choice stack: `(index chosen, alternatives available)` at each
+    /// dispatch, in dispatch order.
+    stack: Vec<(usize, usize)>,
+    /// How many choices of `stack` the current run has consumed.
+    depth: usize,
+    /// Maximum dispatches per run (the event horizon).
+    max_steps: usize,
+}
+
+impl<M> DfsScheduler<M> {
+    /// A DFS scheduler that dispatches at most `max_steps` events per run.
+    pub fn new(max_steps: usize) -> Self {
+        DfsScheduler {
+            pending: Vec::new(),
+            stack: Vec::new(),
+            depth: 0,
+            max_steps,
+        }
+    }
+
+    /// Moves to the next unexplored schedule. Returns `false` when the
+    /// whole tree has been enumerated. The caller must start a fresh run
+    /// (fresh processes, fresh runner) after each successful `advance`.
+    pub fn advance(&mut self) -> bool {
+        self.pending.clear();
+        self.depth = 0;
+        while let Some((chosen, alts)) = self.stack.pop() {
+            if chosen + 1 < alts {
+                self.stack.push((chosen + 1, alts));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The choice stack of the schedule just run: the sequence of
+    /// `(chosen, alternatives)` decisions, in dispatch order. A schedule is
+    /// fully identified by its chosen indices.
+    pub fn choices(&self) -> &[(usize, usize)] {
+        &self.stack
+    }
+}
+
+impl<M> Scheduler<M> for DfsScheduler<M> {
+    fn delay(&mut self, cfg: &AsyncConfig, _now: Time, _from: ProcessId, _to: ProcessId) -> Time {
+        cfg.min_delay.max(1)
+    }
+
+    fn push(&mut self, ev: Pending<M>) {
+        self.pending.push(ev);
+    }
+
+    fn pop(&mut self) -> Option<Pending<M>> {
+        if self.pending.is_empty() || self.depth >= self.max_steps {
+            return None;
+        }
+        let chosen = if self.depth < self.stack.len() {
+            // Replaying the prefix of an earlier schedule. The run up to
+            // this point is deterministic, so the alternative count must
+            // match what was recorded.
+            debug_assert_eq!(self.stack[self.depth].1, self.pending.len());
+            self.stack[self.depth].0
+        } else {
+            self.stack.push((0, self.pending.len()));
+            0
+        };
+        self.depth += 1;
+        // `remove` keeps the insertion order of the untouched events, so
+        // choice indices have a stable meaning across replays.
+        Some(self.pending.remove(chosen))
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        if self.pending.is_empty() || self.depth >= self.max_steps {
+            return None;
+        }
+        let chosen = if self.depth < self.stack.len() {
+            self.stack[self.depth].0
+        } else {
+            0
+        };
+        Some(self.pending[chosen].time)
+    }
+}
+
+/// Worst-case delays against a target set, for systems too large to
+/// enumerate: every message sent *by or to* a target process is assigned
+/// the maximum admissible delay at its send time, every other message the
+/// minimum. Dispatch order is the same `(time, seq)` min-heap as
+/// [`RandomScheduler`] — fully deterministic, no randomness at all.
+///
+/// Slowing a coterie's members to the admissible maximum while the rest of
+/// the system sprints is the async analogue of the sync model's
+/// quorum-targeting omission adversary: it maximizes the window in which
+/// targets look crashed to a heartbeat detector without violating the
+/// fairness (eventual delivery) the model guarantees.
+#[derive(Debug)]
+pub struct AdversaryScheduler<M> {
+    heap: BinaryHeap<Reverse<Pending<M>>>,
+    targets: Vec<ProcessId>,
+}
+
+impl<M> AdversaryScheduler<M> {
+    /// An adversary slowing every message that touches `targets`.
+    pub fn new(targets: impl IntoIterator<Item = ProcessId>) -> Self {
+        AdversaryScheduler {
+            heap: BinaryHeap::new(),
+            targets: targets.into_iter().collect(),
+        }
+    }
+
+    fn targeted(&self, p: ProcessId) -> bool {
+        self.targets.contains(&p)
+    }
+}
+
+impl<M> Scheduler<M> for AdversaryScheduler<M> {
+    fn delay(&mut self, cfg: &AsyncConfig, now: Time, from: ProcessId, to: ProcessId) -> Time {
+        if self.targeted(from) || self.targeted(to) {
+            max_delay_at(cfg, now).max(1)
+        } else {
+            cfg.min_delay.max(1)
+        }
+    }
+
+    fn push(&mut self, ev: Pending<M>) {
+        self.heap.push(Reverse(ev));
+    }
+
+    fn pop(&mut self) -> Option<Pending<M>> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(time: Time, seq: u64) -> Pending<u8> {
+        Pending {
+            time,
+            seq,
+            kind: PendingKind::Timer {
+                p: ProcessId(0),
+                tag: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn pending_orders_by_time_then_seq() {
+        let a = deliver(5, 1);
+        let b = deliver(5, 2);
+        let c = deliver(3, 9);
+        assert!(c < a && a < b);
+        assert_eq!(a, deliver(5, 1));
+    }
+
+    #[test]
+    fn random_scheduler_pops_in_time_order() {
+        let cfg = AsyncConfig::tame(1);
+        let mut s: RandomScheduler<u8> = RandomScheduler::for_config(&cfg);
+        s.push(deliver(30, 1));
+        s.push(deliver(10, 2));
+        s.push(deliver(10, 1));
+        assert_eq!(s.peek_time(), Some(10));
+        let order: Vec<(Time, u64)> =
+            std::iter::from_fn(|| s.pop().map(|e| (e.time, e.seq))).collect();
+        assert_eq!(order, vec![(10, 1), (10, 2), (30, 1)]);
+    }
+
+    #[test]
+    fn random_delay_is_within_bounds_and_positive() {
+        let mut cfg = AsyncConfig::tame(7);
+        cfg.min_delay = 0; // degenerate config: delays still end up >= 1
+        let mut s: RandomScheduler<u8> = RandomScheduler::for_config(&cfg);
+        for _ in 0..100 {
+            let d = s.delay(&cfg, 0, ProcessId(0), ProcessId(1));
+            assert!((1..=cfg.max_delay).contains(&d));
+        }
+    }
+
+    #[test]
+    fn dfs_enumerates_all_orders_of_independent_events() {
+        // 3 events pushed up front and never re-armed: the DFS must visit
+        // exactly 3! = 6 dispatch orders.
+        let mut s: DfsScheduler<u8> = DfsScheduler::new(16);
+        let mut orders = Vec::new();
+        loop {
+            for seq in 1..=3 {
+                s.push(deliver(1, seq));
+            }
+            let mut order = Vec::new();
+            while let Some(e) = s.pop() {
+                order.push(e.seq);
+            }
+            orders.push(order);
+            if !s.advance() {
+                break;
+            }
+        }
+        orders.sort();
+        orders.dedup();
+        assert_eq!(orders.len(), 6, "3! dispatch orders");
+    }
+
+    #[test]
+    fn dfs_event_horizon_bounds_each_run() {
+        let mut s: DfsScheduler<u8> = DfsScheduler::new(2);
+        for seq in 1..=4 {
+            s.push(deliver(1, seq));
+        }
+        let mut count = 0;
+        while s.pop().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 2, "horizon cuts the run");
+        assert_eq!(s.peek_time(), None);
+    }
+
+    #[test]
+    fn adversary_stretches_only_target_traffic() {
+        let cfg = AsyncConfig::tame(0); // delays 1..=10
+        let mut s: AdversaryScheduler<u8> = AdversaryScheduler::new([ProcessId(1)]);
+        assert_eq!(s.delay(&cfg, 0, ProcessId(0), ProcessId(1)), 10);
+        assert_eq!(s.delay(&cfg, 0, ProcessId(1), ProcessId(0)), 10);
+        assert_eq!(s.delay(&cfg, 0, ProcessId(0), ProcessId(2)), 1);
+    }
+}

@@ -1,0 +1,316 @@
+//! Exhaustive bounded schedule enumeration — the model checker's core.
+//!
+//! Two explorers, one per simulator:
+//!
+//! * [`explore`] walks **every** omission schedule of the synchronous
+//!   model against a single faulty process. A schedule is a boolean tape
+//!   consumed by [`TapeOmission`] in the runner's deterministic
+//!   consultation order, so the set of all length-`d` tapes *is* the set
+//!   of all delivery interleavings within the bound — `2^d` runs, checked
+//!   against a Theorem-3 oracle.
+//! * [`explore_async`] walks every *dispatch order* of the asynchronous
+//!   model within an event horizon, driving
+//!   [`DfsScheduler`](ftss::async_sim::DfsScheduler)'s explicit choice
+//!   stack: each run replays a prefix of recorded choices and the
+//!   odometer-style `advance` moves to the next unexplored schedule.
+//!
+//! Both are plain iterative loops — no recursion, no randomness; every
+//! run is a pure function of its schedule, which is what makes
+//! counterexamples replayable (see [`crate::schedule`]).
+
+use crate::oracle::{thm3_round_agreement, Verdict};
+use ftss::async_sim::{AsyncConfig, AsyncProcess, AsyncRunner, DfsScheduler, Time};
+use ftss::core::ProcessId;
+use ftss::protocols::RoundAgreement;
+use ftss::sync_sim::{RunConfig, RunOutcome, SyncRunner, TapeOmission};
+use ftss::telemetry::TraceSink;
+
+/// Largest admissible tape bound: `2^d` runs must stay test-sized.
+pub const MAX_TAPE_BOUND: usize = 20;
+
+/// One synchronous check configuration: the protocol (round agreement),
+/// the system size, the systemic failure, the faulty process the omission
+/// tape may act through, and the oracle's stabilization bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DfsConfig {
+    /// Number of processes (enumeration is bounded to `2..=4`).
+    pub n: usize,
+    /// Observer rounds per run.
+    pub rounds: usize,
+    /// Seed of the initial systemic failure (arbitrary corrupted states).
+    pub corruption_seed: u64,
+    /// The single faulty process the tape's omissions are attributed to.
+    pub faulty: ProcessId,
+    /// Maximum tape length `d`; the explorer runs `2^min(d, eligible)`
+    /// schedules.
+    pub tape_bound: usize,
+    /// Stabilization time handed to the Theorem-3 oracle (1 = the
+    /// theorem's claim; 0 = a deliberately broken oracle that corrupted
+    /// starts must violate).
+    pub stabilization: usize,
+}
+
+impl DfsConfig {
+    /// The acceptance-criterion configuration: `n = 3`, one corrupted
+    /// initial state per process, omissions through `p0`, Theorem-3 bound.
+    pub fn small(corruption_seed: u64) -> Self {
+        DfsConfig {
+            n: 3,
+            rounds: 2,
+            corruption_seed,
+            faulty: ProcessId(0),
+            tape_bound: 8,
+            stabilization: 1,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !(2..=4).contains(&self.n) {
+            return Err(format!("check --dfs: n must be in 2..=4, got {}", self.n));
+        }
+        if self.faulty.index() >= self.n {
+            return Err(format!(
+                "check --dfs: faulty process {} outside 0..{}",
+                self.faulty, self.n
+            ));
+        }
+        if self.rounds == 0 {
+            return Err("check --dfs: rounds must be at least 1".into());
+        }
+        if self.tape_bound > MAX_TAPE_BOUND {
+            return Err(format!(
+                "check --dfs: tape bound {} exceeds the {MAX_TAPE_BOUND}-bit ceiling ({} runs)",
+                self.tape_bound,
+                1u64 << MAX_TAPE_BOUND
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Executes one schedule: round agreement from corrupted states under the
+/// tape's omissions, optionally traced. Returns the outcome and how many
+/// eligible copies consulted the tape (the schedule-space dimension).
+pub fn run_tape<T: TraceSink>(
+    cfg: &DfsConfig,
+    tape: &[bool],
+    sink: &mut T,
+) -> (RunOutcome<ftss::protocols::RoundAgreementState, u64>, usize) {
+    let mut adv = TapeOmission::new([cfg.faulty], tape.to_vec());
+    let run_cfg = RunConfig::corrupted(cfg.n, cfg.rounds, cfg.corruption_seed);
+    let out = SyncRunner::new(RoundAgreement)
+        .run_traced(&mut adv, &run_cfg, sink)
+        .expect("validated check configuration");
+    (out, adv.consulted())
+}
+
+/// Runs one schedule through the Theorem-3 oracle. This is *the* checked
+/// property — the explorer, the shrinker and replay all call it, so a
+/// counterexample means the same thing everywhere.
+pub fn check_tape(cfg: &DfsConfig, tape: &[bool]) -> Verdict {
+    let (out, _) = run_tape(cfg, tape, &mut ftss::telemetry::NullSink);
+    thm3_round_agreement(&out.history, cfg.stabilization)
+}
+
+/// A violating schedule: the omission tape and the oracle's one-line
+/// verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The tape that produced the violation.
+    pub tape: Vec<bool>,
+    /// The oracle's detail line.
+    pub detail: String,
+}
+
+/// What an exhaustive exploration covered.
+#[derive(Clone, Debug)]
+pub struct DfsReport {
+    /// Schedules executed (`2^decision_points`, unless a violation
+    /// stopped the walk early).
+    pub schedules: u64,
+    /// Tape bits actually enumerated: `min(eligible copies, tape_bound)`.
+    pub decision_points: usize,
+    /// Eligible copies per run (the unbounded schedule-space dimension).
+    pub eligible_copies: usize,
+    /// First violating schedule found, if any (not yet shrunk — see
+    /// [`crate::shrink`]).
+    pub counterexample: Option<Counterexample>,
+}
+
+/// Flips the tape to the next schedule like a binary odometer (the last
+/// bit is the deepest choice point). Returns `false` when the space is
+/// exhausted.
+fn advance_tape(tape: &mut [bool]) -> bool {
+    for i in (0..tape.len()).rev() {
+        if tape[i] {
+            tape[i] = false;
+        } else {
+            tape[i] = true;
+            return true;
+        }
+    }
+    false
+}
+
+/// Exhaustively enumerates every omission schedule of `cfg` (all tapes of
+/// length `min(eligible, tape_bound)`), checking each against the
+/// Theorem-3 oracle. Stops at the first violation.
+pub fn explore(cfg: &DfsConfig) -> Result<DfsReport, String> {
+    cfg.validate()?;
+    // Probe run: the empty tape (everything delivered) both measures the
+    // schedule-space dimension and doubles as the all-false schedule.
+    let (out, eligible) = run_tape(cfg, &[], &mut ftss::telemetry::NullSink);
+    let d = eligible.min(cfg.tape_bound);
+    let mut schedules = 1u64;
+    let mut counterexample =
+        thm3_round_agreement(&out.history, cfg.stabilization).map(|detail| Counterexample {
+            tape: Vec::new(),
+            detail,
+        });
+    let mut tape = vec![false; d];
+    while counterexample.is_none() && advance_tape(&mut tape) {
+        schedules += 1;
+        counterexample = check_tape(cfg, &tape).map(|detail| Counterexample {
+            tape: tape.clone(),
+            detail,
+        });
+    }
+    Ok(DfsReport {
+        schedules,
+        decision_points: d,
+        eligible_copies: eligible,
+        counterexample,
+    })
+}
+
+/// What an asynchronous dispatch-order exploration covered.
+#[derive(Clone, Debug)]
+pub struct AsyncDfsReport {
+    /// Dispatch orders executed.
+    pub schedules: u64,
+    /// First violation: the choice stack (chosen indices, dispatch order)
+    /// and the oracle's detail line.
+    pub violation: Option<(Vec<usize>, String)>,
+}
+
+/// Exhaustively enumerates dispatch orders of an asynchronous system
+/// within `max_steps` events per run, rebuilding the processes fresh for
+/// each schedule via `mk` and checking the final process states with
+/// `oracle`. Stops at the first violation.
+///
+/// The schedule tree has branching factor = pending-queue size, so keep
+/// `max_steps` small (≤ ~8 for systems that re-arm timers).
+pub fn explore_async<P, F>(
+    mk: F,
+    cfg: &AsyncConfig,
+    horizon: Time,
+    max_steps: usize,
+    mut oracle: impl FnMut(&[P]) -> Verdict,
+) -> AsyncDfsReport
+where
+    P: AsyncProcess,
+    F: Fn() -> Vec<P>,
+{
+    let mut sched: DfsScheduler<P::Msg> = DfsScheduler::new(max_steps);
+    let mut schedules = 0u64;
+    loop {
+        let mut runner = AsyncRunner::with_scheduler(mk(), cfg.clone(), sched)
+            .expect("valid async check configuration");
+        runner.run_until(horizon);
+        schedules += 1;
+        let verdict = oracle(runner.processes());
+        sched = runner.into_scheduler();
+        if let Some(detail) = verdict {
+            let choices = sched.choices().iter().map(|&(c, _)| c).collect();
+            return AsyncDfsReport {
+                schedules,
+                violation: Some((choices, detail)),
+            };
+        }
+        if !sched.advance() {
+            return AsyncDfsReport {
+                schedules,
+                violation: None,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_tape_counts_in_binary() {
+        let mut t = vec![false; 3];
+        let mut seen = vec![t.clone()];
+        while advance_tape(&mut t) {
+            seen.push(t.clone());
+        }
+        assert_eq!(seen.len(), 8);
+        seen.dedup();
+        assert_eq!(seen.len(), 8, "no schedule visited twice");
+    }
+
+    #[test]
+    fn validation_rejects_large_n_and_huge_bounds() {
+        let mut cfg = DfsConfig::small(0);
+        cfg.n = 5;
+        assert!(explore(&cfg).is_err());
+        let mut cfg = DfsConfig::small(0);
+        cfg.tape_bound = MAX_TAPE_BOUND + 1;
+        assert!(explore(&cfg).is_err());
+    }
+
+    /// Two processes gossip their values (each broadcast lands on both,
+    /// self included): 4 independent deliveries, so the async DFS must
+    /// visit exactly 4! = 24 dispatch orders — and max-convergence holds
+    /// in all of them, while a false oracle trips on the very first.
+    #[test]
+    fn async_dfs_enumerates_all_dispatch_orders() {
+        use ftss::async_sim::Ctx;
+
+        struct Gossip {
+            v: u64,
+        }
+        impl AsyncProcess for Gossip {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+                ctx.broadcast(self.v);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<u64>, _from: ProcessId, m: u64) {
+                self.v = self.v.max(m);
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<u64>, _tag: u64) {}
+        }
+
+        let mk = || vec![Gossip { v: 3 }, Gossip { v: 7 }];
+        let cfg = AsyncConfig::tame(0);
+        let report = explore_async(mk, &cfg, 1_000, 8, |ps: &[Gossip]| {
+            if ps.iter().all(|p| p.v == 7) {
+                None
+            } else {
+                Some("max did not propagate".into())
+            }
+        });
+        assert_eq!(report.schedules, 24, "4! dispatch orders");
+        assert!(report.violation.is_none());
+
+        let broken = explore_async(mk, &cfg, 1_000, 8, |_: &[Gossip]| {
+            Some("always wrong".into())
+        });
+        assert_eq!(broken.schedules, 1, "stops at the first violation");
+        let (choices, detail) = broken.violation.expect("must trip");
+        assert_eq!(choices.len(), 4, "one choice per dispatched event");
+        assert_eq!(detail, "always wrong");
+    }
+
+    #[test]
+    fn probe_measures_eligible_copies() {
+        // n = 3, faulty p0: per round the copies touching p0 are
+        // p0→p1, p0→p2, p1→p0, p2→p0 — 4 per round.
+        let cfg = DfsConfig::small(7);
+        let (_, eligible) = run_tape(&cfg, &[], &mut ftss::telemetry::NullSink);
+        assert_eq!(eligible, 4 * cfg.rounds);
+    }
+}

@@ -1,0 +1,38 @@
+//! # ftss-check — a model-checker-lite for the paper's theorems
+//!
+//! Testing with random seeds samples the schedule space; this crate
+//! *covers* it. Three complementary strategies, all deterministic:
+//!
+//! 1. **Exhaustive enumeration** ([`dfs`]) — for small systems
+//!    (`n ≤ 4`), every omission schedule of the synchronous model (a
+//!    boolean tape driving [`ftss::sync_sim::TapeOmission`]) and every
+//!    dispatch order of the asynchronous model (the explicit choice
+//!    stack of [`ftss::async_sim::DfsScheduler`]), within a bounded
+//!    event horizon.
+//! 2. **Adversarial probing** ([`adversary`]) — for larger systems,
+//!    hand-aimed worst cases: corruption bursts at coterie changes,
+//!    omission adversaries degrading a quorum, crashes at iteration
+//!    boundaries, and maximum-delay scheduling against the ◇S detector.
+//! 3. **Property oracles** ([`oracle`]) — Theorems 3, 4 and 5 as plain
+//!    functions over recorded runs, reusing the theory-layer checkers.
+//!
+//! When an oracle rejects a schedule, [`shrink`] reduces it to a
+//! 1-minimal counterexample and [`schedule`] writes it as a replayable
+//! file: re-running it (`ftss-lab check --replay`) reproduces the
+//! violation — and its telemetry trace — byte for byte, because every
+//! run in this workspace is a pure function of its configuration.
+
+pub mod adversary;
+pub mod dfs;
+pub mod oracle;
+pub mod schedule;
+pub mod shrink;
+
+pub use adversary::{all_pass, run_battery, BatteryConfig, BatteryRow, SCENARIOS};
+pub use dfs::{
+    check_tape, explore, explore_async, run_tape, AsyncDfsReport, Counterexample, DfsConfig,
+    DfsReport, MAX_TAPE_BOUND,
+};
+pub use oracle::{thm3_round_agreement, thm4_compiled, thm5_detector, Verdict};
+pub use schedule::{ScheduleFile, HEADER};
+pub use shrink::shrink;

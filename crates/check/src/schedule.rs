@@ -1,0 +1,216 @@
+//! Replayable schedule files.
+//!
+//! A counterexample is only worth anything if it can be re-executed. The
+//! schedule file is a small line-based text format carrying everything a
+//! run is a function of — the [`DfsConfig`] and the omission tape — plus
+//! the verdict it produced, so replay can confirm the violation
+//! reproduces. Because both simulators are pure functions of their
+//! configuration, replaying a schedule through the telemetry
+//! [`JsonlSink`](ftss::telemetry::JsonlSink) yields **byte-identical**
+//! traces on every execution; `ftss-lab check --replay` and the
+//! `check_determinism` integration test rely on exactly that.
+//!
+//! Format (one `key: value` per line, fixed order, `#` comments and blank
+//! lines ignored):
+//!
+//! ```text
+//! ftss-check schedule v1
+//! protocol: round-agreement
+//! n: 3
+//! rounds: 2
+//! corruption-seed: 7
+//! faulty: 0
+//! tape-bound: 8
+//! stabilization: 0
+//! tape: 0110
+//! detail: thm3: ...
+//! ```
+//!
+//! The tape is a `0`/`1` string (`-` for the empty tape). `detail` is the
+//! oracle's one-line verdict at the time the file was written.
+
+use crate::dfs::{check_tape, Counterexample, DfsConfig};
+use crate::oracle::Verdict;
+use ftss::core::ProcessId;
+
+/// The version line every schedule file starts with.
+pub const HEADER: &str = "ftss-check schedule v1";
+
+/// A parsed (or about-to-be-written) schedule file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleFile {
+    /// The configuration the run is a function of.
+    pub cfg: DfsConfig,
+    /// The omission tape.
+    pub tape: Vec<bool>,
+    /// The verdict recorded when the file was written.
+    pub detail: String,
+}
+
+impl ScheduleFile {
+    /// Packages a counterexample for writing.
+    pub fn new(cfg: DfsConfig, ce: Counterexample) -> Self {
+        ScheduleFile {
+            cfg,
+            tape: ce.tape,
+            detail: ce.detail,
+        }
+    }
+
+    /// Renders the file. Deterministic: equal values, equal bytes.
+    pub fn serialize(&self) -> String {
+        let tape: String = if self.tape.is_empty() {
+            "-".into()
+        } else {
+            self.tape
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect()
+        };
+        format!(
+            "{HEADER}\n\
+             protocol: round-agreement\n\
+             n: {}\n\
+             rounds: {}\n\
+             corruption-seed: {}\n\
+             faulty: {}\n\
+             tape-bound: {}\n\
+             stabilization: {}\n\
+             tape: {tape}\n\
+             detail: {}\n",
+            self.cfg.n,
+            self.cfg.rounds,
+            self.cfg.corruption_seed,
+            self.cfg.faulty.index(),
+            self.cfg.tape_bound,
+            self.cfg.stabilization,
+            self.detail.replace('\n', "; "),
+        )
+    }
+
+    /// Parses a schedule file, rejecting unknown versions, missing or
+    /// duplicate keys, and malformed values.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        match lines.next() {
+            Some(h) if h == HEADER => {}
+            Some(h) => return Err(format!("unsupported schedule header: {h:?}")),
+            None => return Err("empty schedule file".into()),
+        }
+        let mut fields: Vec<(String, String)> = Vec::new();
+        for line in lines {
+            let (k, v) = line
+                .split_once(':')
+                .ok_or_else(|| format!("malformed schedule line: {line:?}"))?;
+            fields.push((k.trim().to_string(), v.trim().to_string()));
+        }
+        let take = |key: &str| -> Result<String, String> {
+            let mut hits = fields.iter().filter(|(k, _)| k == key);
+            let v = hits
+                .next()
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("schedule file missing {key:?}"))?;
+            if hits.next().is_some() {
+                return Err(format!("schedule file repeats {key:?}"));
+            }
+            Ok(v)
+        };
+        let num = |key: &str| -> Result<u64, String> {
+            take(key)?
+                .parse::<u64>()
+                .map_err(|e| format!("schedule field {key:?}: {e}"))
+        };
+        let protocol = take("protocol")?;
+        if protocol != "round-agreement" {
+            return Err(format!("unsupported schedule protocol: {protocol:?}"));
+        }
+        let tape_text = take("tape")?;
+        let tape = if tape_text == "-" {
+            Vec::new()
+        } else {
+            tape_text
+                .chars()
+                .map(|c| match c {
+                    '0' => Ok(false),
+                    '1' => Ok(true),
+                    other => Err(format!("schedule tape holds {other:?}, want 0/1")),
+                })
+                .collect::<Result<Vec<bool>, String>>()?
+        };
+        Ok(ScheduleFile {
+            cfg: DfsConfig {
+                n: num("n")? as usize,
+                rounds: num("rounds")? as usize,
+                corruption_seed: num("corruption-seed")?,
+                faulty: ProcessId(num("faulty")? as usize),
+                tape_bound: num("tape-bound")? as usize,
+                stabilization: num("stabilization")? as usize,
+            },
+            tape,
+            detail: take("detail")?,
+        })
+    }
+
+    /// Re-executes the schedule and returns the fresh verdict. A written
+    /// counterexample reproduces iff this equals `Some(self.detail)`.
+    pub fn replay(&self) -> Verdict {
+        check_tape(&self.cfg, &self.tape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScheduleFile {
+        let mut cfg = DfsConfig::small(7);
+        cfg.stabilization = 0;
+        ScheduleFile {
+            cfg,
+            tape: vec![false, true, true, false],
+            detail: "thm3: something failed".into(),
+        }
+    }
+
+    #[test]
+    fn serialize_parse_round_trips() {
+        let f = sample();
+        let text = f.serialize();
+        assert_eq!(ScheduleFile::parse(&text).unwrap(), f);
+        // Empty tapes round-trip through the `-` spelling.
+        let mut empty = sample();
+        empty.tape.clear();
+        assert_eq!(ScheduleFile::parse(&empty.serialize()).unwrap(), empty);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ScheduleFile::parse("").is_err());
+        assert!(ScheduleFile::parse("ftss-check schedule v2\n").is_err());
+        let missing = sample().serialize().replace("rounds: 2\n", "");
+        assert!(ScheduleFile::parse(&missing).is_err());
+        let dup = format!("{}n: 9\n", sample().serialize());
+        assert!(ScheduleFile::parse(&dup).is_err());
+        let bad_tape = sample().serialize().replace("tape: 0110", "tape: 01x0");
+        assert!(ScheduleFile::parse(&bad_tape).is_err());
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_verdict() {
+        // Build a real counterexample via the broken oracle, write it,
+        // parse it back, replay it: same one-line verdict.
+        let mut cfg = DfsConfig::small(7);
+        cfg.stabilization = 0;
+        let detail = crate::dfs::check_tape(&cfg, &[]).expect("violates r=0");
+        let f = ScheduleFile {
+            cfg,
+            tape: Vec::new(),
+            detail: detail.clone(),
+        };
+        let parsed = ScheduleFile::parse(&f.serialize()).unwrap();
+        assert_eq!(parsed.replay(), Some(detail));
+    }
+}

@@ -1,0 +1,77 @@
+//! Counterexample minimization.
+//!
+//! A violating tape found by [`crate::dfs::explore`] may drop copies that
+//! have nothing to do with the violation. The shrinker reduces it in
+//! three deterministic passes, re-running the oracle after every
+//! candidate edit so the violation is preserved by construction:
+//!
+//! 1. **choice-point truncation** — find the *shortest* prefix of the
+//!    tape that still violates (everything past the tape defaults to
+//!    "deliver", so truncation only removes drops);
+//! 2. **greedy event deletion** — flip each remaining `drop` bit to
+//!    `deliver`, keeping the flip iff the violation survives;
+//! 3. **tail trimming** — strip trailing `deliver` bits (they equal the
+//!    past-the-end default, so they carry no information).
+//!
+//! The result is 1-minimal: no single drop can be removed and no shorter
+//! prefix suffices. Each pass is `O(len)` oracle runs — trivial at the
+//! explorer's tape bounds.
+
+use crate::dfs::{check_tape, Counterexample, DfsConfig};
+
+/// Shrinks a violating tape to a minimal counterexample. `tape` must
+/// violate `cfg`'s oracle (as reported by [`check_tape`]); panics
+/// otherwise, because "shrinking" a passing schedule is a harness bug.
+pub fn shrink(cfg: &DfsConfig, tape: &[bool]) -> Counterexample {
+    let mut detail = check_tape(cfg, tape).expect("shrink requires a violating schedule");
+    let mut best: Vec<bool> = tape.to_vec();
+
+    // Pass 1: shortest violating prefix.
+    for k in 0..best.len() {
+        if let Some(d) = check_tape(cfg, &best[..k]) {
+            best.truncate(k);
+            detail = d;
+            break;
+        }
+    }
+
+    // Pass 2: greedy deletion of individual drops.
+    for i in 0..best.len() {
+        if !best[i] {
+            continue;
+        }
+        best[i] = false;
+        match check_tape(cfg, &best) {
+            Some(d) => detail = d,
+            None => best[i] = true,
+        }
+    }
+
+    // Pass 3: trailing delivers are the default — drop them.
+    while best.last() == Some(&false) {
+        best.pop();
+    }
+
+    Counterexample { tape: best, detail }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broken_oracle_shrinks_to_the_empty_tape() {
+        // With the deliberately broken stabilization-0 oracle, the
+        // corrupted start alone violates — no omission is needed — so any
+        // violating tape must shrink to the empty schedule.
+        let mut cfg = DfsConfig::small(7);
+        cfg.stabilization = 0;
+        let noisy = vec![true, false, true, true, false, true];
+        assert!(check_tape(&cfg, &noisy).is_some(), "seed must violate r=0");
+        let ce = shrink(&cfg, &noisy);
+        assert!(ce.tape.is_empty(), "shrunk to {:?}", ce.tape);
+        assert!(ce.detail.starts_with("thm3:"));
+        // The shrunk schedule still violates, and deterministically so.
+        assert_eq!(check_tape(&cfg, &ce.tape), Some(ce.detail.clone()));
+    }
+}

@@ -56,6 +56,17 @@ COMMANDS
                    executor; output is byte-identical for any --jobs)
                    --exp e1|e2|e7a|e7c [--seeds S] [--max-n N (e1)]
                    [--jobs J (default: FTSS_JOBS, else all cores)]
+  check            Model-checker-lite (crates/check)
+                   --dfs: exhaustively enumerate every omission schedule
+                     of n<=4 round agreement from a corrupted start and
+                     check Theorem 3 on each run
+                     [--n N --rounds R --seed S --faulty P --bound D]
+                     [--broken-oracle] [--ce FILE (counterexample path)]
+                   --adversary: worst-case fault battery at larger n
+                     (Theorems 3-5)  [--n N --seeds S --jobs J]
+                   --replay FILE: re-execute a counterexample schedule,
+                     streaming its byte-deterministic JSONL trace
+                     [--out TRACE]
 
 Boolean options may omit the value: `--corrupt` means `--corrupt true`.
 Exit code 0: all checked properties held. 1: violation found. 2: usage error.";
@@ -115,7 +126,7 @@ where
 {
     let n: usize = args.get_or("n", 4)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let fr = pi.final_round() as usize;
+    let fr = ftss::core::saturating_round_index(pi.final_round());
     let rounds: usize = args.get_or("rounds", 10 * fr)?;
     let name = pi.name().to_string();
     let mut adv = adversary_from(args, n)?;
@@ -452,7 +463,7 @@ where
     P: CanonicalProtocol,
     P::Output: Corrupt,
 {
-    let fr = pi.final_round() as usize;
+    let fr = ftss::core::saturating_round_index(pi.final_round());
     let out = trace_sync(
         Compiled::new(pi),
         args,
@@ -582,6 +593,139 @@ pub fn sweep(args: &Args) -> Outcome {
         other => return Err(format!("unknown --exp `{other}` (e1|e2|e7a|e7c)")),
     }
     Ok(true)
+}
+
+/// `check`: the model-checker-lite. `--replay FILE` re-executes a
+/// schedule file; `--adversary` runs the worst-case battery; anything
+/// else (canonically `--dfs`) runs the exhaustive enumeration.
+pub fn check(args: &Args) -> Outcome {
+    if let Some(path) = args.get("replay") {
+        let path = path.to_string();
+        return check_replay(args, &path);
+    }
+    if args.flag("adversary")? {
+        return check_adversary(args);
+    }
+    check_dfs(args)
+}
+
+fn check_dfs_config(args: &Args) -> Result<ftss_check::DfsConfig, String> {
+    let mut cfg = ftss_check::DfsConfig::small(args.get_or("seed", 7)?);
+    cfg.n = args.get_or("n", cfg.n)?;
+    cfg.rounds = args.get_or("rounds", cfg.rounds)?;
+    cfg.faulty = ProcessId(args.get_or("faulty", cfg.faulty.index())?);
+    cfg.tape_bound = args.get_or("bound", cfg.tape_bound)?;
+    cfg.stabilization = if args.flag("broken-oracle")? {
+        0
+    } else {
+        args.get_or("stabilization", cfg.stabilization)?
+    };
+    Ok(cfg)
+}
+
+fn check_dfs(args: &Args) -> Outcome {
+    let cfg = check_dfs_config(args)?;
+    let report = ftss_check::explore(&cfg)?;
+    println!(
+        "check --dfs: round agreement, n={}, rounds={}, corruption seed {}, \
+         omissions through p{}, oracle: Theorem 3 at stabilization {}",
+        cfg.n,
+        cfg.rounds,
+        cfg.corruption_seed,
+        cfg.faulty.index(),
+        cfg.stabilization
+    );
+    println!(
+        "enumerated {} schedule(s) over {} decision point(s) \
+         ({} eligible copies per run, tape bound {})",
+        report.schedules, report.decision_points, report.eligible_copies, cfg.tape_bound
+    );
+    match report.counterexample {
+        None => {
+            println!("zero violations: every schedule satisfies the oracle");
+            Ok(true)
+        }
+        Some(raw) => {
+            let ce = ftss_check::shrink(&cfg, &raw.tape);
+            println!("VIOLATION: {}", ce.detail);
+            println!(
+                "shrunk schedule: {} of {} tape bits survive minimization",
+                ce.tape.iter().filter(|&&b| b).count(),
+                raw.tape.len()
+            );
+            let path = args.get("ce").unwrap_or("counterexample.schedule");
+            let file = ftss_check::ScheduleFile::new(cfg, ce);
+            std::fs::write(path, file.serialize()).map_err(|e| format!("--ce {path}: {e}"))?;
+            println!("counterexample written to {path}");
+            println!("replay with: ftss-lab check --replay {path}");
+            Ok(false)
+        }
+    }
+}
+
+fn check_adversary(args: &Args) -> Outcome {
+    let n: usize = args.get_or("n", 5)?;
+    let seeds: u64 = args.get_or("seeds", 3)?;
+    let jobs: usize = match args.get("jobs") {
+        Some(_) => args.get_or("jobs", 1)?,
+        None => ftss_sweep::jobs_from_env(),
+    };
+    let rows = ftss_check::run_battery(&ftss_check::BatteryConfig::new(n, seeds, jobs))?;
+    println!("check --adversary: n={n}, {seeds} seed(s) per scenario");
+    for r in &rows {
+        println!("{r}");
+    }
+    let ok = ftss_check::all_pass(&rows);
+    println!(
+        "{}",
+        if ok {
+            "all scenarios PASS"
+        } else {
+            "FAIL: at least one scenario violated its theorem"
+        }
+    );
+    Ok(ok)
+}
+
+/// Re-executes a schedule file, streaming the run's JSONL trace to
+/// `--out` (or stdout). The trace is byte-identical across replays — the
+/// run is a pure function of the schedule — so `cmp` on two `--out`
+/// files is the determinism check. The verdict goes to stderr to keep
+/// stdout's bytes schedule-only.
+fn check_replay(args: &Args, path: &str) -> Outcome {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--replay {path}: {e}"))?;
+    let file = ftss_check::ScheduleFile::parse(&text)?;
+    let mut sink = trace_writer(args)?;
+    let (out, _) = ftss_check::run_tape(&file.cfg, &file.tape, &mut sink);
+    let verdict = ftss_check::thm3_round_agreement(&out.history, file.cfg.stabilization);
+    let benign = |e: &std::io::Error| e.kind() == std::io::ErrorKind::BrokenPipe;
+    match sink.finish() {
+        Ok(mut w) => match w.flush() {
+            Ok(()) => {}
+            Err(e) if benign(&e) => {}
+            Err(e) => return Err(format!("replay output: {e}")),
+        },
+        Err(e) if benign(&e) => {}
+        Err(e) => return Err(format!("replay output: {e}")),
+    }
+    match verdict {
+        Some(d) if d == file.detail => {
+            eprintln!("replay reproduced the recorded violation: {d}");
+            Ok(true)
+        }
+        Some(d) => {
+            eprintln!("replay violated DIFFERENTLY: {d}");
+            eprintln!("recorded verdict was: {}", file.detail);
+            Ok(false)
+        }
+        None => {
+            eprintln!(
+                "replay did NOT reproduce the violation (recorded: {})",
+                file.detail
+            );
+            Ok(false)
+        }
+    }
 }
 
 /// `stats`: replay a `trace` file through the [`Metrics`] accumulator and

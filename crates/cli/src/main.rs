@@ -48,6 +48,7 @@ fn main() {
         "trace" => commands::trace(&args),
         "stats" => commands::stats(&args),
         "sweep" => commands::sweep(&args),
+        "check" => commands::check(&args),
         "" | "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             return;

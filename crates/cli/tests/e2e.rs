@@ -165,3 +165,85 @@ fn consensus_corrupted_recovers() {
     assert!(o.status.success(), "{}", stdout(&o));
     assert!(stdout(&o).contains("newest decision"));
 }
+
+#[test]
+fn check_dfs_exhausts_the_schedule_space_green() {
+    let o = run(&["check", "--dfs", "--n", "3", "--seed", "7"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let s = stdout(&o);
+    assert!(s.contains("enumerated 256 schedule(s)"), "{s}");
+    assert!(s.contains("zero violations"), "{s}");
+}
+
+#[test]
+fn check_broken_oracle_writes_replayable_counterexample() {
+    let dir = std::env::temp_dir().join("ftss-check-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ce = dir.join("ce.schedule");
+    let o = run(&[
+        "check",
+        "--dfs",
+        "--broken-oracle",
+        "--ce",
+        ce.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(1), "violation must exit 1");
+    assert!(stdout(&o).contains("VIOLATION"), "{}", stdout(&o));
+    let text = std::fs::read_to_string(&ce).unwrap();
+    assert!(text.starts_with("ftss-check schedule v1"), "{text}");
+
+    // Replay twice; the JSONL traces must be byte-identical and the
+    // recorded violation must reproduce (exit 0).
+    let t1 = dir.join("t1.jsonl");
+    let t2 = dir.join("t2.jsonl");
+    for t in [&t1, &t2] {
+        let o = run(&[
+            "check",
+            "--replay",
+            ce.to_str().unwrap(),
+            "--out",
+            t.to_str().unwrap(),
+        ]);
+        assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+        assert!(String::from_utf8_lossy(&o.stderr).contains("reproduced"));
+        assert!(o.stdout.is_empty(), "trace goes to --out, not stdout");
+    }
+    let a = std::fs::read(&t1).unwrap();
+    let b = std::fs::read(&t2).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "replay traces must be byte-identical");
+}
+
+#[test]
+fn check_adversary_battery_is_jobs_invariant() {
+    let serial = run(&[
+        "check",
+        "--adversary",
+        "--n",
+        "5",
+        "--seeds",
+        "1",
+        "--jobs",
+        "1",
+    ]);
+    let parallel = run(&[
+        "check",
+        "--adversary",
+        "--n",
+        "5",
+        "--seeds",
+        "1",
+        "--jobs",
+        "4",
+    ]);
+    assert!(serial.status.success(), "{}", stdout(&serial));
+    assert_eq!(serial.stdout, parallel.stdout, "battery depends on --jobs");
+    assert!(stdout(&serial).contains("all scenarios PASS"));
+}
+
+#[test]
+fn check_rejects_oversized_dfs() {
+    let o = run(&["check", "--dfs", "--n", "9"]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&o.stderr).contains("n must be in 2..=4"));
+}

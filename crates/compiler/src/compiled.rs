@@ -404,7 +404,7 @@ mod tests {
             let inputs = vec![true, false, true, false, true];
             let n = inputs.len();
             let pk = PhaseKing::new(f, inputs);
-            let fr = pk.final_round() as usize;
+            let fr = ftss_core::saturating_round_index(pk.final_round());
             let out = SyncRunner::new(Compiled::new(pk))
                 .run(&mut NoFaults, &RunConfig::corrupted(n, 6 * fr, seed))
                 .unwrap();
@@ -421,7 +421,7 @@ mod tests {
         for seed in 0..8u64 {
             let f = 1;
             let rb = ReliableBroadcast::new(ftss_core::ProcessId(0), 42, f);
-            let fr = rb.final_round() as usize;
+            let fr = ftss_core::saturating_round_index(rb.final_round());
             let out = SyncRunner::new(Compiled::new(rb))
                 .run(&mut NoFaults, &RunConfig::corrupted(4, 8 * fr, seed))
                 .unwrap();

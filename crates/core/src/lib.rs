@@ -61,7 +61,7 @@ pub use id::{ProcessId, ProcessSet};
 pub use message::Envelope;
 pub use payload::Payload;
 pub use problem::{Problem, RateAgreementSpec, UniformitySpec};
-pub use round::{normalize, Round, RoundCounter};
+pub use round::{normalize, saturating_round_index, Round, RoundCounter};
 pub use solvability::{
     ft_check, ftss_check, ftss_check_suffix, ss_check, FtssReport, FtssViolation,
 };

@@ -163,6 +163,28 @@ pub fn normalize(c: u64, final_round: u64) -> u64 {
     c % final_round + 1
 }
 
+/// Converts a round count to a `usize` index by **saturating**, never
+/// truncating.
+///
+/// Round counters are `u64` and adversarially corruptible, so a value near
+/// `u64::MAX` is legal input anywhere a counter flows. On 32-bit targets a
+/// plain `as usize` cast would silently keep only the low bits, forging a
+/// *small* index out of a huge counter — exactly the wrap-around that
+/// [`RoundCounter`]'s saturating arithmetic exists to rule out. Saturating
+/// to `usize::MAX` instead keeps "absurdly large" visibly absurd (indexing
+/// fails loudly, comparisons stay ordered).
+///
+/// # Example
+///
+/// ```
+/// use ftss_core::saturating_round_index;
+/// assert_eq!(saturating_round_index(7), 7);
+/// assert_eq!(saturating_round_index(u64::MAX), usize::MAX);
+/// ```
+pub fn saturating_round_index(c: u64) -> usize {
+    usize::try_from(c).unwrap_or(usize::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +243,16 @@ mod tests {
     #[should_panic(expected = "final_round")]
     fn normalize_zero_final_round_panics() {
         normalize(3, 0);
+    }
+
+    #[test]
+    fn saturating_round_index_clamps() {
+        assert_eq!(saturating_round_index(0), 0);
+        assert_eq!(saturating_round_index(42), 42);
+        // On 64-bit targets this is exact; on 32-bit it saturates. Either
+        // way the result is monotone in the input — no wrap-around.
+        assert!(saturating_round_index(u64::MAX) >= saturating_round_index(u64::MAX - 1));
+        assert_eq!(saturating_round_index(u64::MAX), usize::MAX);
     }
 
     #[test]

@@ -130,7 +130,7 @@ mod tests {
         adversary: &mut dyn ftss_sync_sim::Adversary,
     ) -> ftss_sync_sim::RunOutcome<crate::canonical::SingleShotState<BroadcastState>, Option<u64>>
     {
-        let rounds = pi.final_round() as usize + 1;
+        let rounds = ftss_core::saturating_round_index(pi.final_round()) + 1;
         SyncRunner::new(SingleShot::new(pi))
             .run(adversary, &RunConfig::clean(n, rounds))
             .unwrap()

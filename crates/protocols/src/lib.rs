@@ -35,5 +35,5 @@ pub use eig::Eig;
 pub use floodset::FloodSet;
 pub use phase_king::PhaseKing;
 pub use problems::{ConsensusSpec, HasDecision, RepeatedConsensusSpec};
-pub use round_agreement::RoundAgreement;
+pub use round_agreement::{RoundAgreement, RoundAgreementState};
 pub use token_ring::TokenRing;

@@ -45,8 +45,17 @@ impl PhaseKing {
     }
 
     /// The king of phase `i` (1-based): process `i − 1`.
+    ///
+    /// Phase 0 never occurs in a legitimate run, but a corrupted round
+    /// counter can produce it (e.g. `c_p = 0` reaching an even-round
+    /// transition gives phase `k / 2 = 0`). Convention: phase 0 continues
+    /// the rotation backwards, i.e. its king is the process *preceding*
+    /// phase 1's king — the last process. `phase - 1` with unchecked
+    /// arithmetic would panic in debug builds and wrap in release.
     pub fn king_of_phase(&self, phase: u64, n: usize) -> ProcessId {
-        ProcessId(((phase - 1) as usize) % n)
+        let n = n as u64;
+        let slot = phase.checked_sub(1).map_or(n - 1, |z| z % n);
+        ProcessId(slot as usize)
     }
 
     /// The input values, indexed by process.
@@ -168,7 +177,7 @@ mod tests {
     ) -> ftss_sync_sim::RunOutcome<crate::canonical::SingleShotState<PhaseKingState>, bool> {
         let n = inputs.len();
         let pi = PhaseKing::new(f, inputs);
-        let rounds = pi.final_round() as usize + 1;
+        let rounds = ftss_core::saturating_round_index(pi.final_round()) + 1;
         SyncRunner::new(SingleShot::new(pi))
             .run(adversary, &RunConfig::clean(n, rounds))
             .unwrap()
@@ -236,6 +245,35 @@ mod tests {
         assert_eq!(pi.king_of_phase(1, 9), ProcessId(0));
         assert_eq!(pi.king_of_phase(2, 9), ProcessId(1));
         assert_eq!(pi.king_of_phase(3, 9), ProcessId(2));
+    }
+
+    #[test]
+    fn corrupted_phase_zero_wraps_to_last_king() {
+        // A systemic failure can hand `transition` any round counter,
+        // including 0; phase 0 must resolve to a king, not panic.
+        let pi = PhaseKing::new(1, vec![true; 5]);
+        assert_eq!(pi.king_of_phase(0, 5), ProcessId(4));
+        assert_eq!(
+            pi.king_of_phase(u64::MAX, 5),
+            ProcessId((u64::MAX - 1) as usize % 5)
+        );
+    }
+
+    #[test]
+    fn transition_survives_corrupted_round_counter_zero() {
+        // Regression: `k = 0` reaches the king-round branch with
+        // `phase = k / 2 = 0`, which used to evaluate `(0 - 1) as usize`
+        // and panic in debug builds. A SingleShot wrapper's counter is
+        // corruptible state, so `k = 0` is adversarially reachable.
+        use ftss_core::{Envelope, Round};
+        let pi = PhaseKing::new(1, vec![true, false, true, false, true]);
+        let ctx = ProtocolCtx::new(ProcessId(0), 5);
+        let mut state = pi.init(&ctx);
+        state.cnt = 0; // not "sure" — forces the king-value branch
+        let inbox = Inbox::new(vec![Envelope::new(ProcessId(4), Round::FIRST, true)]);
+        pi.transition(&ctx, &mut state, &inbox, 0);
+        // The phase-0 king is p4 (wrap convention), whose value we heard.
+        assert!(state.pref);
     }
 
     #[test]

@@ -15,7 +15,35 @@
 //! nondeterministic; it just cannot be observed in the output. See
 //! DESIGN.md §9.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A panic captured while mapping one sweep cell.
+#[derive(Clone, Debug)]
+pub struct CellPanic {
+    /// Index of the failing cell in the input slice. Sweep grids are laid
+    /// out row-major, so for `rows × seeds` grids this is
+    /// `row * seeds + seed`.
+    pub index: usize,
+    /// The panic payload, if it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for CellPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} panicked: {}", self.index, self.message)
+    }
+}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// The worker count requested via the `FTSS_JOBS` environment variable,
 /// falling back to the machine's available parallelism. `FTSS_JOBS=1`
@@ -41,19 +69,58 @@ pub fn jobs_from_env() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker (the sweep is aborted).
+/// If any cell's `f` panics: the panic is caught, **every remaining cell
+/// still runs**, and only then does `map_cells` re-panic with a message
+/// naming each failing cell by index. A single bad cell no longer discards
+/// an hour of completed sweep work. Use [`try_map_cells`] to handle cell
+/// panics without aborting.
 pub fn map_cells<T, R, F>(cells: &[T], jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let mut out = Vec::with_capacity(cells.len());
+    let mut failures: Vec<CellPanic> = Vec::new();
+    for res in try_map_cells(cells, jobs, f) {
+        match res {
+            Ok(r) => out.push(r),
+            Err(p) => failures.push(p),
+        }
+    }
+    if !failures.is_empty() {
+        let list: Vec<String> = failures.iter().map(|p| p.to_string()).collect();
+        panic!(
+            "sweep: {} of {} cells panicked (all other cells completed): {}",
+            failures.len(),
+            cells.len(),
+            list.join("; ")
+        );
+    }
+    out
+}
+
+/// Like [`map_cells`], but a panicking cell yields `Err(CellPanic)` in its
+/// slot instead of aborting the sweep; all other cells complete normally.
+/// Results are in cell order, same as the input.
+pub fn try_map_cells<T, R, F>(cells: &[T], jobs: usize, f: F) -> Vec<Result<R, CellPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let run_cell = |i: usize| -> Result<R, CellPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(&cells[i]))).map_err(|payload| CellPanic {
+            index: i,
+            message: payload_message(payload),
+        })
+    };
     let jobs = jobs.max(1).min(cells.len().max(1));
     if jobs == 1 {
-        return cells.iter().map(&f).collect();
+        return (0..cells.len()).map(run_cell).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(cells.len());
+    let mut tagged: Vec<(usize, Result<R, CellPanic>)> = Vec::with_capacity(cells.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
@@ -64,14 +131,17 @@ where
                         if i >= cells.len() {
                             break;
                         }
-                        local.push((i, f(&cells[i])));
+                        // The catch_unwind inside run_cell keeps this
+                        // worker alive past a panicking cell, so it keeps
+                        // claiming and completing the remaining cells.
+                        local.push((i, run_cell(i)));
                     }
                     local
                 })
             })
             .collect();
         for h in handles {
-            tagged.extend(h.join().expect("sweep worker panicked"));
+            tagged.extend(h.join().expect("sweep worker thread failed"));
         }
     });
     // Canonical merge: cell order, regardless of which worker ran what.
@@ -114,13 +184,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sweep worker panicked")]
-    fn worker_panic_propagates() {
+    #[should_panic(expected = "cell 4 panicked")]
+    fn worker_panic_names_the_failing_cell() {
         let cells: Vec<u64> = (0..8).collect();
         let _ = map_cells(&cells, 2, |&x| {
-            assert!(x < 4, "boom");
+            assert!(x != 4, "boom");
             x
         });
+    }
+
+    #[test]
+    fn panicking_cell_does_not_abort_the_rest() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cells: Vec<u64> = (0..16).collect();
+        for jobs in [1, 4] {
+            let ran = AtomicUsize::new(0);
+            let out = try_map_cells(&cells, jobs, |&x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                assert!(x % 5 != 3, "cell dies");
+                x * 2
+            });
+            assert_eq!(
+                ran.load(Ordering::Relaxed),
+                16,
+                "jobs={jobs}: all cells ran"
+            );
+            assert_eq!(out.len(), 16);
+            for (i, res) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    let p = res.as_ref().unwrap_err();
+                    assert_eq!(p.index, i);
+                    assert!(p.message.contains("cell dies"), "jobs={jobs}: {p}");
+                } else {
+                    assert_eq!(*res.as_ref().unwrap(), (i as u64) * 2, "jobs={jobs}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! and each worker rebuilds its adversary from the spec and the cell's
 //! seed.
 
-use crate::exec::map_cells;
 use ftss::analysis::{measured_stabilization_time, Table};
 use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
 use ftss::compiler::{Compiled, CompilerOptions};
@@ -193,7 +192,24 @@ fn sweep_rows<Row: Sync, R: Send>(
     let cells: Vec<(usize, u64)> = (0..rows.len())
         .flat_map(|i| (0..seeds).map(move |s| (i, s)))
         .collect();
-    let mut flat = map_cells(&cells, jobs, |&(i, seed)| run(&rows[i], seed));
+    // Per-cell panic isolation: every cell completes even if some panic,
+    // and the abort message names each failing cell as a (row, seed) pair.
+    let results = crate::exec::try_map_cells(&cells, jobs, |&(i, seed)| run(&rows[i], seed));
+    let mut failures = Vec::new();
+    let mut flat = Vec::with_capacity(results.len());
+    for (res, &(row, seed)) in results.into_iter().zip(&cells) {
+        match res {
+            Ok(r) => flat.push(r),
+            Err(p) => failures.push(format!("(row {row}, seed {seed}): {}", p.message)),
+        }
+    }
+    if !failures.is_empty() {
+        panic!(
+            "sweep: {} cells panicked (remaining cells completed): {}",
+            failures.len(),
+            failures.join("; ")
+        );
+    }
     let mut out: Vec<Vec<R>> = Vec::with_capacity(rows.len());
     for _ in 0..rows.len() {
         let rest = flat.split_off(seeds as usize);

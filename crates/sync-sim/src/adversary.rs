@@ -249,6 +249,66 @@ impl Adversary for GroupPartition {
     }
 }
 
+/// A tape-driven omission adversary, the model checker's workhorse.
+///
+/// Every copy *eligible* for dropping — one that touches the faulty set,
+/// attributed sender-side if the sender is faulty, receiver-side otherwise
+/// — consumes one bit of a boolean tape, in the runner's deterministic
+/// consultation order (round, then sender, then destination). `true` drops
+/// the copy; past the end of the tape everything is delivered. A run is
+/// thus a pure function of `(config, tape)`, and the set of all
+/// length-bounded tapes enumerates **every** omission pattern against the
+/// faulty set — which is exactly what `ftss-check`'s DFS walks.
+#[derive(Clone, Debug)]
+pub struct TapeOmission {
+    faulty: BTreeSet<ProcessId>,
+    tape: Vec<bool>,
+    cursor: usize,
+}
+
+impl TapeOmission {
+    /// An adversary over `faulty` driven by `tape`.
+    pub fn new(faulty: impl IntoIterator<Item = ProcessId>, tape: Vec<bool>) -> Self {
+        TapeOmission {
+            faulty: faulty.into_iter().collect(),
+            tape,
+            cursor: 0,
+        }
+    }
+
+    /// How many eligible copies consulted the tape so far (including
+    /// consultations past its end). After a run this is the number of
+    /// decision points the run exposed — the checker uses it to size the
+    /// next tape.
+    pub fn consulted(&self) -> usize {
+        self.cursor
+    }
+
+    /// The tape driving this adversary.
+    pub fn tape(&self) -> &[bool] {
+        &self.tape
+    }
+}
+
+impl Adversary for TapeOmission {
+    fn faulty(&self, n: usize) -> ProcessSet {
+        ProcessSet::from_iter_n(n, self.faulty.iter().copied())
+    }
+
+    fn drop_copy(&mut self, _r: Round, from: ProcessId, to: ProcessId) -> Option<OmissionSide> {
+        let side = if self.faulty.contains(&from) {
+            OmissionSide::Sender
+        } else if self.faulty.contains(&to) {
+            OmissionSide::Receiver
+        } else {
+            return None;
+        };
+        let drop = self.tape.get(self.cursor).copied().unwrap_or(false);
+        self.cursor += 1;
+        drop.then_some(side)
+    }
+}
+
 /// A fully scripted omission adversary: exactly the listed copies are
 /// dropped. Useful for constructing the paper's proof scenarios round by
 /// round.
@@ -426,6 +486,26 @@ mod tests {
             a.drop_copy(Round::new(2), ProcessId(0), ProcessId(2)),
             Some(OmissionSide::Sender)
         );
+    }
+
+    #[test]
+    fn tape_omission_consumes_one_bit_per_eligible_copy() {
+        let mut a = TapeOmission::new([ProcessId(0)], vec![true, false, true]);
+        // Ineligible copy: no tape consumption.
+        assert_eq!(a.drop_copy(Round::FIRST, ProcessId(1), ProcessId(2)), None);
+        assert_eq!(a.consulted(), 0);
+        assert_eq!(
+            a.drop_copy(Round::FIRST, ProcessId(0), ProcessId(1)),
+            Some(OmissionSide::Sender)
+        );
+        assert_eq!(a.drop_copy(Round::FIRST, ProcessId(0), ProcessId(2)), None);
+        assert_eq!(
+            a.drop_copy(Round::FIRST, ProcessId(1), ProcessId(0)),
+            Some(OmissionSide::Receiver)
+        );
+        // Past the end of the tape: deliver, but keep counting.
+        assert_eq!(a.drop_copy(Round::new(2), ProcessId(2), ProcessId(0)), None);
+        assert_eq!(a.consulted(), 4);
     }
 
     #[test]

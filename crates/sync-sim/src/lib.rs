@@ -56,7 +56,7 @@ pub mod runner;
 
 pub use adversary::{
     Adversary, CrashOnly, GroupPartition, NoFaults, OmissionSide, RandomOmission, ScriptedOmission,
-    SilentProcess,
+    SilentProcess, TapeOmission,
 };
 pub use protocol::{Inbox, ProtocolCtx, SyncProtocol};
 pub use runner::{Corruption, CorruptionSchedule, RunConfig, RunOutcome, SyncRunner};

@@ -48,6 +48,26 @@ cargo run -q --release -p ftss-lab -- sweep --exp e1 \
     --seeds 2 --max-n 4 --jobs 4 > "$TRACE_DIR/sweep_par.txt"
 run cmp "$TRACE_DIR/sweep_serial.txt" "$TRACE_DIR/sweep_par.txt"
 
+# Model-checker smoke (crates/check, DESIGN.md §10): the exhaustive DFS
+# over every omission schedule of the n=3 configuration must be green; a
+# deliberately broken oracle must trip, write a counterexample schedule,
+# and replay it to byte-identical JSONL traces. The green run's --ce
+# lands in the workspace so CI can upload it if a violation ever appears.
+run cargo run -q --release -p ftss-lab -- check --dfs --n 3 --seed 7 \
+    --ce check-counterexample.schedule
+echo "==> ftss-lab check --broken-oracle (must exit 1 and write a counterexample)"
+if cargo run -q --release -p ftss-lab -- check --dfs --broken-oracle \
+    --ce "$TRACE_DIR/ce.schedule"; then
+    echo "ERROR: the broken oracle did not produce a violation" >&2
+    exit 1
+fi
+test -s "$TRACE_DIR/ce.schedule"
+run cargo run -q --release -p ftss-lab -- check --replay "$TRACE_DIR/ce.schedule" \
+    --out "$TRACE_DIR/replay_a.jsonl"
+run cargo run -q --release -p ftss-lab -- check --replay "$TRACE_DIR/ce.schedule" \
+    --out "$TRACE_DIR/replay_b.jsonl"
+run cmp "$TRACE_DIR/replay_a.jsonl" "$TRACE_DIR/replay_b.jsonl"
+
 # Hermeticity tripwire: no crate manifest may name a registry package.
 if grep -rn 'rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes' \
     --include=Cargo.toml Cargo.toml crates/ \

@@ -2,7 +2,8 @@
 
 use crate::process::{AsyncProcess, Ctx};
 use crate::scheduler::{Pending, PendingKind, RandomScheduler, Scheduler};
-use ftss_core::{ConfigError, ProcessId};
+use ftss_core::{ConfigError, Corrupt, ProcessId};
+use ftss_rng::StdRng;
 use ftss_telemetry::{Event as TraceEvent, NullSink, RunMode, TraceSink};
 
 /// Virtual time, in abstract units (think microseconds).
@@ -83,6 +84,9 @@ pub struct RunStats {
 /// [`RandomScheduler`] reproduces the historical seeded behaviour exactly,
 /// while the model checker substitutes enumerating or adversarial
 /// schedulers (see [`crate::scheduler`]).
+/// Monomorphized corruption injector: `(processes, crashed_at, now, seed)`.
+type CorruptionApply<P> = fn(&mut [P], &[Option<Time>], Time, u64);
+
 pub struct AsyncRunner<P: AsyncProcess, S = RandomScheduler<<P as AsyncProcess>::Msg>> {
     processes: Vec<P>,
     crashed_at: Vec<Option<Time>>,
@@ -97,6 +101,14 @@ pub struct AsyncRunner<P: AsyncProcess, S = RandomScheduler<<P as AsyncProcess>:
     /// into the scheduler after each call instead of allocating a fresh
     /// `Ctx`.
     scratch: Ctx<P::Msg>,
+    /// Scheduled systemic failures, `(time, seed)`, kept time-sorted from
+    /// `next_corruption` onwards; entries before it have fired.
+    corruptions: Vec<(Time, u64)>,
+    next_corruption: usize,
+    /// Monomorphized corruption injector, installed by
+    /// [`AsyncRunner::schedule_corruption`]. A plain fn pointer so the
+    /// runner itself needs no `Corrupt` bound on `P`.
+    corruption_apply: Option<CorruptionApply<P>>,
 }
 
 impl<P: AsyncProcess> AsyncRunner<P> {
@@ -110,6 +122,44 @@ impl<P: AsyncProcess> AsyncRunner<P> {
     pub fn new(processes: Vec<P>, cfg: AsyncConfig) -> Result<Self, ConfigError> {
         let sched = RandomScheduler::for_config(&cfg);
         Self::with_scheduler(processes, cfg, sched)
+    }
+}
+
+impl<P: AsyncProcess + Corrupt, S: Scheduler<P::Msg>> AsyncRunner<P, S> {
+    /// Schedules a systemic failure: when virtual time first reaches `at`
+    /// (specifically, before the first event dispatched at time ≥ `at`),
+    /// every process not yet crashed has its state replaced by a seeded
+    /// arbitrary state via [`Corrupt`] — the asynchronous twin of the
+    /// synchronous runner's mid-run `CorruptionSchedule`. Traced runs emit
+    /// a `corruption` event whose `round` field carries the scheduled
+    /// virtual time (the same round/time dual use as `crash.at`).
+    ///
+    /// May be called before the run or between `run_until` chunks;
+    /// scheduling a corruption at a time the run has already passed fires
+    /// it at the next dispatch.
+    pub fn schedule_corruption(&mut self, at: Time, seed: u64) {
+        self.corruptions.push((at, seed));
+        // Only the unfired tail may be re-sorted; fired entries are
+        // history.
+        self.corruptions[self.next_corruption..].sort_by_key(|&(t, _)| t);
+        self.corruption_apply = Some(corrupt_alive::<P>);
+    }
+}
+
+/// Corrupts every not-yet-crashed process with one shared seeded RNG
+/// stream (process order, like the synchronous runner's injection).
+fn corrupt_alive<P: AsyncProcess + Corrupt>(
+    processes: &mut [P],
+    crashed_at: &[Option<Time>],
+    now: Time,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for (i, p) in processes.iter_mut().enumerate() {
+        let crashed = crashed_at[i].is_some_and(|t| t <= now);
+        if !crashed {
+            p.corrupt(&mut rng);
+        }
     }
 }
 
@@ -150,6 +200,9 @@ impl<P: AsyncProcess, S: Scheduler<P::Msg>> AsyncRunner<P, S> {
             started: false,
             stats: RunStats::default(),
             scratch: Ctx::new(ProcessId(0), n, 0),
+            corruptions: Vec::new(),
+            next_corruption: 0,
+            corruption_apply: None,
         })
     }
 
@@ -317,6 +370,10 @@ impl<P: AsyncProcess, S: Scheduler<P::Msg>> AsyncRunner<P, S> {
             // events out of timestamp order (the DFS does); for the
             // time-ordered schedulers this is the identity.
             self.now = self.now.max(ev.time);
+            // Corruption scheduled at time t strikes before the event
+            // dispatched at t — corrupt-then-run, as in the synchronous
+            // runner.
+            self.apply_due_corruptions(sink);
             if traced {
                 self.report_crashes(sink);
             }
@@ -362,10 +419,30 @@ impl<P: AsyncProcess, S: Scheduler<P::Msg>> AsyncRunner<P, S> {
         self.now = self
             .now
             .max(horizon.min(self.peek_time().unwrap_or(horizon)));
+        self.apply_due_corruptions(sink);
         if traced {
             self.report_crashes(sink);
         }
         self.stats()
+    }
+
+    /// Fires every scheduled corruption whose time has been reached.
+    fn apply_due_corruptions<T: TraceSink>(&mut self, sink: &mut T) {
+        let Some(apply) = self.corruption_apply else {
+            return;
+        };
+        while self
+            .corruptions
+            .get(self.next_corruption)
+            .is_some_and(|&(t, _)| t <= self.now)
+        {
+            let (at, seed) = self.corruptions[self.next_corruption];
+            self.next_corruption += 1;
+            apply(&mut self.processes, &self.crashed_at, self.now, seed);
+            if sink.enabled() {
+                sink.emit(&TraceEvent::Corruption { round: at, seed });
+            }
+        }
     }
 
     /// Emits a `crash` event for every process whose scheduled crash time
@@ -425,6 +502,13 @@ mod tests {
             assert_eq!(tag, 7);
             self.timer_count += 1;
             ctx.set_timer(50, 7);
+        }
+    }
+
+    impl Corrupt for Pinger {
+        fn corrupt<R: ftss_rng::Rng + ?Sized>(&mut self, rng: &mut R) {
+            self.received.clear();
+            self.timer_count = rng.gen_range(0..1_000_000u32);
         }
     }
 
@@ -588,5 +672,62 @@ mod tests {
         let s2 = r.run_until(200);
         assert!(s2.timers_fired >= s1.timers_fired);
         assert!(s2.end_time >= s1.end_time);
+    }
+
+    #[test]
+    fn scheduled_corruption_fires_once_and_is_deterministic() {
+        let run = |seed| {
+            let mut r = runner(AsyncConfig::tame(seed));
+            r.schedule_corruption(100, 42);
+            r.run_until(500);
+            (
+                r.process(ProcessId(0)).timer_count,
+                r.process(ProcessId(1)).timer_count,
+                r.process(ProcessId(0)).received.clone(),
+            )
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same post-corruption state");
+        // The corruption replaced the timer counts with large seeded
+        // garbage that real firings (≤ 10 by t=500) cannot reach.
+        assert!(a.0 > 10 || a.1 > 10, "corruption visibly struck: {a:?}");
+    }
+
+    #[test]
+    fn scheduled_corruption_emits_event_and_skips_crashed() {
+        use ftss_telemetry::RecordingSink;
+        let cfg = AsyncConfig::tame(3).with_crash(ProcessId(1), 40);
+        let mut r = runner(cfg);
+        r.schedule_corruption(200, 9);
+        let mut sink = RecordingSink::new(65_536);
+        r.run_until_traced(1_000, &mut sink);
+        let events = sink.take();
+        let corruptions: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Corruption { .. }))
+            .collect();
+        assert_eq!(corruptions.len(), 1);
+        assert!(matches!(
+            corruptions[0],
+            TraceEvent::Corruption {
+                round: 200,
+                seed: 9
+            }
+        ));
+        // p1 crashed at t=40, well before the corruption at t=200, so its
+        // state is untouched (a crashed process has no state to corrupt).
+        assert_eq!(r.process(ProcessId(1)).timer_count, 0);
+    }
+
+    #[test]
+    fn corruption_between_run_chunks_applies_at_next_dispatch() {
+        let mut r = runner(AsyncConfig::tame(5));
+        r.run_until(300);
+        let before = r.process(ProcessId(0)).timer_count;
+        assert!(before <= 10, "sane pre-corruption count");
+        r.schedule_corruption(300, 77);
+        r.run_until(600);
+        let after = r.process(ProcessId(0)).timer_count;
+        assert_ne!(after, before + 6, "corruption perturbed the count");
     }
 }

@@ -285,15 +285,29 @@ impl<M> Scheduler<M> for DfsScheduler<M> {
 pub struct AdversaryScheduler<M> {
     heap: BinaryHeap<Reverse<Pending<M>>>,
     targets: Vec<ProcessId>,
+    window: (Time, Time),
 }
 
 impl<M> AdversaryScheduler<M> {
-    /// An adversary slowing every message that touches `targets`.
+    /// An adversary slowing every message that touches `targets`, over the
+    /// whole run.
     pub fn new(targets: impl IntoIterator<Item = ProcessId>) -> Self {
         AdversaryScheduler {
             heap: BinaryHeap::new(),
             targets: targets.into_iter().collect(),
+            window: (0, Time::MAX),
         }
+    }
+
+    /// Restricts the inflation to messages *sent* while virtual time is in
+    /// `from..=to` — a delay-inflation storm window. Outside the window the
+    /// adversary assigns minimum delays like everyone else, so the system
+    /// sprints again once the storm passes. The default window is the whole
+    /// run, which is the original behaviour.
+    #[must_use]
+    pub fn with_window(mut self, from: Time, to: Time) -> Self {
+        self.window = (from, to);
+        self
     }
 
     fn targeted(&self, p: ProcessId) -> bool {
@@ -303,7 +317,8 @@ impl<M> AdversaryScheduler<M> {
 
 impl<M> Scheduler<M> for AdversaryScheduler<M> {
     fn delay(&mut self, cfg: &AsyncConfig, now: Time, from: ProcessId, to: ProcessId) -> Time {
-        if self.targeted(from) || self.targeted(to) {
+        let storming = (self.window.0..=self.window.1).contains(&now);
+        if storming && (self.targeted(from) || self.targeted(to)) {
             max_delay_at(cfg, now).max(1)
         } else {
             cfg.min_delay.max(1)
@@ -416,5 +431,18 @@ mod tests {
         assert_eq!(s.delay(&cfg, 0, ProcessId(0), ProcessId(1)), 10);
         assert_eq!(s.delay(&cfg, 0, ProcessId(1), ProcessId(0)), 10);
         assert_eq!(s.delay(&cfg, 0, ProcessId(0), ProcessId(2)), 1);
+    }
+
+    #[test]
+    fn adversary_window_bounds_the_inflation() {
+        let cfg = AsyncConfig::tame(0); // delays 1..=10
+        let mut s: AdversaryScheduler<u8> =
+            AdversaryScheduler::new([ProcessId(1)]).with_window(100, 200);
+        assert_eq!(s.delay(&cfg, 99, ProcessId(0), ProcessId(1)), 1);
+        assert_eq!(s.delay(&cfg, 100, ProcessId(0), ProcessId(1)), 10);
+        assert_eq!(s.delay(&cfg, 200, ProcessId(1), ProcessId(0)), 10);
+        assert_eq!(s.delay(&cfg, 201, ProcessId(0), ProcessId(1)), 1);
+        // Non-target traffic sprints even inside the window.
+        assert_eq!(s.delay(&cfg, 150, ProcessId(0), ProcessId(2)), 1);
     }
 }

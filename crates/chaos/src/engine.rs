@@ -1,0 +1,737 @@
+//! The soak engine: drives every cell of a plan through its simulator,
+//! verifies recovery after each storm epoch, and assembles the
+//! deterministic JSONL soak report.
+//!
+//! ## Epoch model
+//!
+//! Synchronous cells run **one long execution** of
+//! `epochs × epoch_len` rounds. Epoch `e` opens with a storm: a
+//! systemic corruption burst at its first round (epoch 0's burst is the
+//! run's initial corruption) plus the cycled [`StormKind`] fired by
+//! [`ftss::sync_sim::StormAdversary`] for the storm window. The rest of
+//! the epoch is the recovery window, verified with
+//! [`ftss_check::window_stabilization`] measured **from the end of the
+//! storm** — Theorem 3's bound for round agreement, Theorem 4's
+//! `2·final_round + 2` for the compiled `Π⁺`.
+//!
+//! Asynchronous cells run the ◇S detector over
+//! `epochs × epoch_time` virtual time; each epoch opens with a
+//! scheduled mid-run corruption and is verified against Theorem 5's
+//! settle properties on that epoch's probe window.
+//!
+//! ## Determinism
+//!
+//! The report carries **no wall-clock values** — every stamp is a round
+//! or a virtual time — so the same plan, epochs and seed produce the
+//! same bytes on any machine and any `--jobs` value (cells merge in
+//! canonical order via [`ftss_sweep::try_map_cells`]). The only
+//! nondeterministic escape hatch is the wall-clock watchdog, whose
+//! verdict replaces the cell fragment with a bare budget line.
+
+use crate::guard::{with_watchdog, QuiescenceMonitor, SoakBudget, WatchdogOutcome};
+use crate::plan::{burst_seed, storm_cycle, SoakCell, SoakPlan, SoakScenario};
+use crate::verdict::{CellReport, EpochVerdict, SoakVerdict};
+use ftss::async_sim::{
+    AdversaryScheduler, AsyncConfig, AsyncProcess, AsyncRunner, Scheduler, Time,
+};
+use ftss::compiler::{trace_events, Compiled};
+use ftss::core::{
+    saturating_round_index, Corrupt, History, Problem, ProcessId, ProcessSet, RateAgreementSpec,
+    StormPhase,
+};
+use ftss::detectors::{
+    eventual_weak_accuracy, strong_completeness_time, suspicion_events, LifeState,
+    StrongDetectorProcess, SuspectProbe, WeakOracle,
+};
+use ftss::protocols::{FloodSet, RepeatedConsensusSpec, RoundAgreement};
+use ftss::sync_sim::{CorruptionSchedule, RunConfig, StormAdversary, SyncProtocol, SyncRunner};
+use ftss::telemetry::{Event, RunMode};
+use ftss_check::window_stabilization;
+use std::fmt::Write as _;
+
+/// One soak campaign's parameters.
+#[derive(Clone, Debug)]
+pub struct SoakConfig {
+    /// The plan to run.
+    pub plan: SoakPlan,
+    /// Worker threads for the cell fan-out.
+    pub jobs: usize,
+    /// Per-cell budgets.
+    pub budget: SoakBudget,
+}
+
+/// A finished soak campaign.
+#[derive(Clone, Debug)]
+pub struct SoakOutcome {
+    /// Per-cell reports, in the plan's canonical cell order.
+    pub cells: Vec<CellReport>,
+}
+
+impl SoakOutcome {
+    /// Whether every cell fully recovered after every epoch.
+    pub fn all_recovered(&self) -> bool {
+        self.cells.iter().all(|c| c.verdict.is_recovered())
+    }
+
+    /// The deterministic JSONL soak report: every cell's fragment,
+    /// concatenated in canonical cell order.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            out.push_str(&c.jsonl);
+        }
+        out
+    }
+
+    /// A human summary, one line per cell plus a final verdict line.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            let recoveries: Vec<String> = c
+                .epochs
+                .iter()
+                .map(|e| match e {
+                    EpochVerdict::Recovered { rounds } => rounds.to_string(),
+                    EpochVerdict::Violated { .. } => "VIOLATED".into(),
+                    EpochVerdict::Livelock { .. } => "LIVELOCK".into(),
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:<22} {:<10} recovery per epoch: [{}]",
+                c.cell,
+                match &c.verdict {
+                    SoakVerdict::Recovered => "PASS".to_string(),
+                    other => other.to_string(),
+                },
+                recoveries.join(", ")
+            );
+        }
+        let failed = self.cells.iter().filter(|c| !c.verdict.is_recovered());
+        let names: Vec<&str> = failed.map(|c| c.cell.as_str()).collect();
+        if names.is_empty() {
+            let _ = writeln!(out, "soak: all {} cells recovered", self.cells.len());
+        } else {
+            let _ = writeln!(
+                out,
+                "soak: {} of {} cells FAILED: {}",
+                names.len(),
+                self.cells.len(),
+                names.join(", ")
+            );
+        }
+        out
+    }
+}
+
+/// Runs a soak campaign: every cell of the plan, fanned out over the
+/// sweep executor with panic isolation and a per-cell watchdog.
+///
+/// # Errors
+///
+/// Rejects empty plans (zero epochs).
+pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, String> {
+    if cfg.plan.epochs == 0 {
+        return Err("soak: epochs must be at least 1".into());
+    }
+    let cells = cfg.plan.cells();
+    let budget = cfg.budget.clone();
+    let results = ftss_sweep::try_map_cells(&cells, cfg.jobs, |cell| {
+        let cell = cell.clone();
+        let budget = budget.clone();
+        let label = cell.label.clone();
+        match with_watchdog(budget.wall_ms, move || run_cell(&cell, &budget)) {
+            WatchdogOutcome::Completed(report) => report,
+            WatchdogOutcome::TimedOut => {
+                // The abandoned cell's partial trace is unreachable, so
+                // the fragment is a bare budget line — the one report
+                // shape that is *not* byte-deterministic, by design.
+                let mut jsonl = String::new();
+                push_line(
+                    &mut jsonl,
+                    &Event::BudgetExhausted {
+                        at: 0,
+                        budget: "wall_clock".into(),
+                    },
+                );
+                CellReport::timed_out(label, "wall_clock", Vec::new(), jsonl)
+            }
+        }
+    });
+    let cells = results
+        .into_iter()
+        .zip(&cells)
+        .map(|(res, cell)| match res {
+            Ok(report) => report,
+            Err(p) => CellReport::panicked(cell.label.clone(), p.message),
+        })
+        .collect();
+    Ok(SoakOutcome { cells })
+}
+
+fn run_cell(cell: &SoakCell, budget: &SoakBudget) -> CellReport {
+    match cell.scenario {
+        SoakScenario::RoundAgreement => run_round_agreement(cell, budget),
+        SoakScenario::Compiled => run_compiled(cell, budget),
+        SoakScenario::Detector => run_detector(cell, budget),
+    }
+}
+
+fn push_line(out: &mut String, ev: &Event) {
+    ev.write_jsonl(out);
+    out.push('\n');
+}
+
+// ---------------------------------------------------------------------
+// Synchronous cells
+// ---------------------------------------------------------------------
+
+/// Epoch geometry for the synchronous cells, in rounds.
+struct SyncGeom {
+    /// Rounds the storm stays open, counted from the epoch's first round.
+    storm_len: u64,
+    /// Total rounds per epoch (storm + recovery window).
+    epoch_len: u64,
+}
+
+impl SyncGeom {
+    fn storm_start(&self, e: usize) -> u64 {
+        e as u64 * self.epoch_len + 1
+    }
+    fn storm_end(&self, e: usize) -> u64 {
+        e as u64 * self.epoch_len + self.storm_len
+    }
+    fn epoch_end(&self, e: usize) -> u64 {
+        (e as u64 + 1) * self.epoch_len
+    }
+}
+
+/// Round agreement under the full storm cycle. Victims are a strict
+/// minority (the coterie survives every partition); recovery is Theorem
+/// 3's bound, measured from the end of each storm.
+///
+/// The bound is 2, not 1: when a dropping storm closes, the victims'
+/// still-corrupted counters reach the correct processes only on the
+/// *heal round* (the first round after the last drop) — that round is
+/// the epoch's final perturbation, and Theorem 3's one-round
+/// stabilization counts from it.
+fn run_round_agreement(cell: &SoakCell, budget: &SoakBudget) -> CellReport {
+    let geom = SyncGeom {
+        storm_len: 3,
+        epoch_len: 12,
+    };
+    let victims = [ProcessId(0), ProcessId(1)];
+    run_sync_cell(
+        cell,
+        budget,
+        &geom,
+        &victims,
+        RoundAgreement,
+        &RateAgreementSpec::new(),
+        2,
+        |_| Vec::new(),
+    )
+}
+
+/// The compiled `Π⁺` (FloodSet, `f = 1`) under the storm cycle with a
+/// single victim. Recovery is Theorem 4's `2·final_round + 2`, measured
+/// from the end of each storm (the storm's last failure is no later
+/// than its closing round, so the bound is conservative). Livelock is
+/// judged on the compiled trace's suspicion churn.
+fn run_compiled(cell: &SoakCell, budget: &SoakBudget) -> CellReport {
+    let inputs: Vec<u64> = (0..cell.n as u64)
+        .map(|i| (i * 17 + cell.seed) % 100)
+        .collect();
+    let pi = Compiled::new(FloodSet::new(1, inputs));
+    let fr = saturating_round_index(pi.final_round());
+    let bound = 2 * fr + 2;
+    let geom = SyncGeom {
+        storm_len: 3,
+        epoch_len: bound as u64 + 9,
+    };
+    let victims = [ProcessId(0)];
+    run_sync_cell(
+        cell,
+        budget,
+        &geom,
+        &victims,
+        pi,
+        &RepeatedConsensusSpec::agreement_only(),
+        bound,
+        |history| {
+            trace_events(history)
+                .iter()
+                .filter_map(|ev| match ev {
+                    Event::Suspicion { at, .. } => Some(*at),
+                    _ => None,
+                })
+                .collect()
+        },
+    )
+}
+
+/// The shared synchronous driver: one long run, storms from the cycle,
+/// per-epoch window verification.
+#[allow(clippy::too_many_arguments)]
+fn run_sync_cell<P>(
+    cell: &SoakCell,
+    budget: &SoakBudget,
+    geom: &SyncGeom,
+    victims: &[ProcessId],
+    protocol: P,
+    spec: &dyn Problem<P::State, P::Msg>,
+    bound: usize,
+    churn_stamps: impl FnOnce(&History<P::State, P::Msg>) -> Vec<u64>,
+) -> CellReport
+where
+    P: SyncProtocol,
+    P::State: Corrupt,
+{
+    let total_rounds = geom.epoch_len * cell.epochs as u64;
+    let mut jsonl = String::new();
+    push_line(
+        &mut jsonl,
+        &Event::RunStart {
+            mode: RunMode::Sync,
+            protocol: cell.label.clone(),
+            n: cell.n,
+            rounds: Some(total_rounds),
+            msg_size: None,
+        },
+    );
+    if total_rounds > budget.max_rounds {
+        push_line(
+            &mut jsonl,
+            &Event::BudgetExhausted {
+                at: 0,
+                budget: "rounds".into(),
+            },
+        );
+        return CellReport::timed_out(cell.label.clone(), "rounds", Vec::new(), jsonl);
+    }
+
+    let cycle = storm_cycle(cell.worst_case);
+    let mut schedule = CorruptionSchedule::none();
+    let mut phases = Vec::new();
+    for e in 0..cell.epochs {
+        let kind = cycle[e % cycle.len()];
+        let start = geom.storm_start(e);
+        // Epoch 0's burst *is* the run's initial corruption; scheduling
+        // it again would corrupt round 1 twice.
+        if e > 0 {
+            schedule = schedule.at(start, burst_seed(cell.seed, e as u64));
+        }
+        if kind.drops_copies() {
+            phases.push(StormPhase::new(start, geom.storm_end(e), kind));
+        }
+    }
+    let mut adv = StormAdversary::new(victims.iter().copied(), phases, cell.seed ^ 0x517a);
+    let run_cfg = RunConfig::corrupted(cell.n, total_rounds as usize, burst_seed(cell.seed, 0))
+        .with_mid_run_corruption(schedule);
+    let out = match SyncRunner::new(protocol).run(&mut adv, &run_cfg) {
+        Ok(out) => out,
+        Err(e) => {
+            return CellReport::from_epochs(
+                cell.label.clone(),
+                vec![EpochVerdict::Violated {
+                    detail: format!("bad soak run config: {e}"),
+                }],
+                jsonl,
+            );
+        }
+    };
+
+    let stamps = churn_stamps(&out.history);
+    let monitor = QuiescenceMonitor::new(2 * cell.n as u64);
+    let mut epochs = Vec::with_capacity(cell.epochs);
+    for e in 0..cell.epochs {
+        let kind = cycle[e % cycle.len()];
+        let (start, end, close) = (geom.storm_start(e), geom.storm_end(e), geom.epoch_end(e));
+        push_line(
+            &mut jsonl,
+            &Event::StormStart {
+                epoch: e as u64,
+                at: start,
+                kind: kind.name().into(),
+            },
+        );
+        push_line(
+            &mut jsonl,
+            &Event::Corruption {
+                round: start,
+                seed: burst_seed(cell.seed, e as u64),
+            },
+        );
+        push_line(
+            &mut jsonl,
+            &Event::StormEnd {
+                epoch: e as u64,
+                at: end,
+            },
+        );
+        let verdict =
+            match window_stabilization(&out.history, spec, end as usize, close as usize, bound) {
+                Ok(s) => match monitor.check(&stamps, end, close) {
+                    Some(churn) => {
+                        push_line(
+                            &mut jsonl,
+                            &Event::RecoveryMeasured {
+                                epoch: e as u64,
+                                at: close,
+                                rounds: s as u64,
+                                bound: bound as u64,
+                                ok: false,
+                            },
+                        );
+                        EpochVerdict::Livelock { churn }
+                    }
+                    None => {
+                        push_line(
+                            &mut jsonl,
+                            &Event::RecoveryMeasured {
+                                epoch: e as u64,
+                                at: close,
+                                rounds: s as u64,
+                                bound: bound as u64,
+                                ok: true,
+                            },
+                        );
+                        EpochVerdict::Recovered { rounds: s as u64 }
+                    }
+                },
+                Err(detail) => {
+                    push_line(
+                        &mut jsonl,
+                        &Event::RecoveryMeasured {
+                            epoch: e as u64,
+                            at: close,
+                            rounds: 0,
+                            bound: bound as u64,
+                            ok: false,
+                        },
+                    );
+                    EpochVerdict::Violated { detail }
+                }
+            };
+        epochs.push(verdict);
+    }
+    CellReport::from_epochs(cell.label.clone(), epochs, jsonl)
+}
+
+// ---------------------------------------------------------------------
+// The asynchronous cell
+// ---------------------------------------------------------------------
+
+/// Virtual time per detector epoch.
+const EPOCH_TIME: Time = 6_000;
+/// Probe interval for suspect-set sampling.
+const PROBE_EVERY: Time = 200;
+/// Heartbeat/poll period of the detector under soak.
+const HEARTBEAT: Time = 20;
+
+/// The ◇S detector: every epoch opens with a scheduled mid-run
+/// corruption; epoch 1 (or epoch 0 of a 1-epoch soak) also carries a
+/// real crash. The worst-case plan starts fully poisoned and runs under
+/// an [`AdversaryScheduler`] whose inflation window covers the first
+/// half of the horizon.
+fn run_detector(cell: &SoakCell, budget: &SoakBudget) -> CellReport {
+    let n = cell.n;
+    let horizon = EPOCH_TIME * cell.epochs as u64;
+    let crash_at: Time = if cell.epochs >= 2 {
+        EPOCH_TIME + 500
+    } else {
+        500
+    };
+    let crashes: Vec<(ProcessId, Time)> = vec![(ProcessId(n - 1), crash_at)];
+    let oracle = WeakOracle::new(n, crashes.clone(), 0, cell.seed, 0.0);
+    let mut procs: Vec<StrongDetectorProcess> = (0..n)
+        .map(|i| StrongDetectorProcess::new(ProcessId(i), oracle.clone(), HEARTBEAT))
+        .collect();
+    if cell.worst_case {
+        // The battery's fully poisoned start: everyone believes everyone
+        // else dead at a huge version.
+        for (i, p) in procs.iter_mut().enumerate() {
+            for s in 0..n {
+                if s == i {
+                    p.num[s] = 0;
+                    p.state[s] = LifeState::Alive;
+                } else {
+                    p.num[s] = 1_000_000_000;
+                    p.state[s] = LifeState::Dead;
+                }
+            }
+        }
+    }
+    let mut cfg = AsyncConfig::tame(cell.seed);
+    cfg.crashes = crashes.clone();
+    if cell.worst_case {
+        let sched = AdversaryScheduler::new([ProcessId(1)]).with_window(0, horizon / 2);
+        match AsyncRunner::with_scheduler(procs, cfg, sched) {
+            Ok(runner) => drive_detector(cell, budget, runner, &crashes),
+            Err(e) => bad_async_config(cell, &e.to_string()),
+        }
+    } else {
+        match AsyncRunner::new(procs, cfg) {
+            Ok(runner) => drive_detector(cell, budget, runner, &crashes),
+            Err(e) => bad_async_config(cell, &e.to_string()),
+        }
+    }
+}
+
+fn bad_async_config(cell: &SoakCell, detail: &str) -> CellReport {
+    CellReport::from_epochs(
+        cell.label.clone(),
+        vec![EpochVerdict::Violated {
+            detail: format!("bad soak run config: {detail}"),
+        }],
+        String::new(),
+    )
+}
+
+/// The storm label for a detector epoch: delay inflation while the
+/// worst-case scheduler's window is open, a bare burst otherwise.
+fn detector_storm_kind(cell: &SoakCell, e: usize) -> &'static str {
+    let horizon = EPOCH_TIME * cell.epochs as u64;
+    if cell.worst_case && (e as u64 * EPOCH_TIME) < horizon / 2 {
+        ftss::core::StormKind::DelayInflation.name()
+    } else {
+        ftss::core::StormKind::CorruptionBurst.name()
+    }
+}
+
+fn drive_detector<S>(
+    cell: &SoakCell,
+    budget: &SoakBudget,
+    mut runner: AsyncRunner<StrongDetectorProcess, S>,
+    crashes: &[(ProcessId, Time)],
+) -> CellReport
+where
+    S: Scheduler<<StrongDetectorProcess as AsyncProcess>::Msg>,
+{
+    let n = cell.n;
+    let mut jsonl = String::new();
+    push_line(
+        &mut jsonl,
+        &Event::RunStart {
+            mode: RunMode::Async,
+            protocol: cell.label.clone(),
+            n,
+            rounds: None,
+            msg_size: None,
+        },
+    );
+    for e in 0..cell.epochs {
+        // Epoch 0's burst fires at t = 1: the detector must boot *into*
+        // an arbitrary state, like the synchronous initial corruption.
+        runner.schedule_corruption(
+            (e as Time * EPOCH_TIME).max(1),
+            burst_seed(cell.seed, e as u64),
+        );
+    }
+
+    let mut probes: Vec<SuspectProbe> = Vec::new();
+    let mut completed = 0usize;
+    let mut tripped: Option<Time> = None;
+    for e in 0..cell.epochs {
+        runner.run_probed((e as Time + 1) * EPOCH_TIME, PROBE_EVERY, |t, ps| {
+            probes.push(SuspectProbe::sample(t, ps));
+        });
+        completed = e + 1;
+        let st = runner.stats();
+        let consumed = st.messages_delivered + st.messages_to_crashed + st.timers_fired;
+        if consumed > budget.max_events {
+            tripped = Some(runner.now());
+            break;
+        }
+    }
+
+    let stamps: Vec<u64> = suspicion_events(&probes)
+        .iter()
+        .filter_map(|ev| match ev {
+            Event::Suspicion { at, .. } => Some(*at),
+            _ => None,
+        })
+        .collect();
+    let monitor = QuiescenceMonitor::new(2 * n as u64);
+    let mut epochs = Vec::with_capacity(completed);
+    for e in 0..completed {
+        let lo = e as Time * EPOCH_TIME;
+        let hi = (e as Time + 1) * EPOCH_TIME;
+        let at = lo.max(1);
+        push_line(
+            &mut jsonl,
+            &Event::StormStart {
+                epoch: e as u64,
+                at,
+                kind: detector_storm_kind(cell, e).into(),
+            },
+        );
+        push_line(
+            &mut jsonl,
+            &Event::Corruption {
+                round: at,
+                seed: burst_seed(cell.seed, e as u64),
+            },
+        );
+        push_line(
+            &mut jsonl,
+            &Event::StormEnd {
+                epoch: e as u64,
+                at,
+            },
+        );
+        for &(p, t) in crashes {
+            if t > lo && t <= hi {
+                push_line(&mut jsonl, &Event::Crash { at: t, p });
+            }
+        }
+        let window: Vec<SuspectProbe> = probes
+            .iter()
+            .filter(|pr| pr.time > lo && pr.time <= hi)
+            .cloned()
+            .collect();
+        let crashed = ProcessSet::from_iter_n(
+            n,
+            crashes.iter().filter(|&&(_, t)| t <= hi).map(|&(p, _)| p),
+        );
+        let correct = crashed.complement();
+        let comp = strong_completeness_time(&window, &crashed, &correct);
+        let acc = eventual_weak_accuracy(&window, &correct);
+        let verdict = if comp.is_none() && !crashed.is_empty() {
+            push_line(
+                &mut jsonl,
+                &Event::RecoveryMeasured {
+                    epoch: e as u64,
+                    at: hi,
+                    rounds: 0,
+                    bound: EPOCH_TIME,
+                    ok: false,
+                },
+            );
+            EpochVerdict::Violated {
+                detail: format!("thm5: strong completeness never settled in epoch {e}"),
+            }
+        } else if let Some((_, acc_t)) = acc {
+            let settle = comp.unwrap_or(acc_t).max(acc_t);
+            let recovery = settle - lo;
+            match monitor.check(&stamps, lo, hi) {
+                Some(churn) => {
+                    push_line(
+                        &mut jsonl,
+                        &Event::RecoveryMeasured {
+                            epoch: e as u64,
+                            at: hi,
+                            rounds: recovery,
+                            bound: EPOCH_TIME,
+                            ok: false,
+                        },
+                    );
+                    EpochVerdict::Livelock { churn }
+                }
+                None => {
+                    push_line(
+                        &mut jsonl,
+                        &Event::RecoveryMeasured {
+                            epoch: e as u64,
+                            at: hi,
+                            rounds: recovery,
+                            bound: EPOCH_TIME,
+                            ok: true,
+                        },
+                    );
+                    EpochVerdict::Recovered { rounds: recovery }
+                }
+            }
+        } else {
+            push_line(
+                &mut jsonl,
+                &Event::RecoveryMeasured {
+                    epoch: e as u64,
+                    at: hi,
+                    rounds: 0,
+                    bound: EPOCH_TIME,
+                    ok: false,
+                },
+            );
+            EpochVerdict::Violated {
+                detail: format!("thm5: eventual weak accuracy never settled in epoch {e}"),
+            }
+        };
+        epochs.push(verdict);
+    }
+    if let Some(at) = tripped {
+        push_line(
+            &mut jsonl,
+            &Event::BudgetExhausted {
+                at,
+                budget: "events".into(),
+            },
+        );
+        return CellReport::timed_out(cell.label.clone(), "events", epochs, jsonl);
+    }
+    CellReport::from_epochs(cell.label.clone(), epochs, jsonl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(plan: SoakPlan) -> SoakConfig {
+        SoakConfig {
+            plan,
+            jobs: 1,
+            budget: SoakBudget::default(),
+        }
+    }
+
+    #[test]
+    fn rejects_zero_epochs() {
+        assert!(run_soak(&quick_config(SoakPlan::default_plan(0, 0))).is_err());
+    }
+
+    #[test]
+    fn round_budget_trips_deterministically() {
+        let mut cfg = quick_config(SoakPlan::default_plan(2, 0));
+        cfg.budget.max_rounds = 5;
+        let out = run_soak(&cfg).unwrap();
+        assert!(!out.all_recovered());
+        let ra = &out.cells[0];
+        assert_eq!(ra.verdict, SoakVerdict::TimedOut { budget: "rounds" });
+        assert!(
+            ra.jsonl
+                .contains(r#"{"type":"budget_exhausted","at":0,"budget":"rounds"}"#),
+            "{}",
+            ra.jsonl
+        );
+    }
+
+    #[test]
+    fn default_plan_single_epoch_recovers_and_reports() {
+        let out = run_soak(&quick_config(SoakPlan::default_plan(1, 3))).unwrap();
+        assert!(out.all_recovered(), "summary:\n{}", out.summary());
+        assert_eq!(out.cells.len(), 6);
+        let report = out.report();
+        // One run_start per cell, one recovery verdict per cell-epoch.
+        assert_eq!(report.matches(r#""type":"run_start""#).count(), 6);
+        assert_eq!(report.matches(r#""type":"recovery_measured""#).count(), 6);
+        assert_eq!(report.matches(r#""ok":true"#).count(), 6);
+        // No wall-clock values can exist: every line must parse back.
+        for line in report.lines() {
+            ftss::telemetry::Event::parse_line(line).expect("report lines are valid events");
+        }
+    }
+
+    #[test]
+    fn summary_names_every_cell() {
+        let out = run_soak(&quick_config(SoakPlan::default_plan(1, 0))).unwrap();
+        let summary = out.summary();
+        for cell in &out.cells {
+            assert!(
+                summary.contains(&cell.cell),
+                "missing {}: {summary}",
+                cell.cell
+            );
+        }
+        assert!(summary.contains("all 6 cells recovered"), "{summary}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Runtime guardrails: budgets, the wall-clock watchdog, and the
+//! non-quiescence (livelock) detector.
+//!
+//! A soak must never hang and never lie. The round and event budgets
+//! are checked *deterministically* (before a synchronous run, between
+//! asynchronous epoch chunks), so tripping them yields the same report
+//! bytes on every machine. The wall-clock watchdog is the one
+//! deliberately nondeterministic guard — it exists so a wedged cell
+//! becomes a structured verdict instead of a stuck process — and its
+//! default is generous enough that a healthy soak never trips it.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Per-cell resource ceilings.
+#[derive(Clone, Debug)]
+pub struct SoakBudget {
+    /// Maximum scheduled rounds for one synchronous cell. Checked before
+    /// the run (the round count is a pure function of the plan), so a
+    /// rejection is deterministic and stamped `at = 0`.
+    pub max_rounds: u64,
+    /// Maximum simulator events (deliveries + drops + timers) for one
+    /// asynchronous cell, checked between epoch chunks.
+    pub max_events: u64,
+    /// Wall-clock ceiling for one cell, enforced by [`with_watchdog`].
+    pub wall_ms: u64,
+}
+
+impl Default for SoakBudget {
+    fn default() -> Self {
+        SoakBudget {
+            max_rounds: 200_000,
+            max_events: 5_000_000,
+            wall_ms: 120_000,
+        }
+    }
+}
+
+/// What the watchdog observed.
+#[derive(Debug)]
+pub enum WatchdogOutcome<R> {
+    /// The cell finished within the wall-clock budget.
+    Completed(R),
+    /// The budget elapsed first; the cell thread was abandoned.
+    TimedOut,
+}
+
+/// Runs `f` on its own thread and waits at most `wall_ms` for it.
+///
+/// A cell that finishes in time is joined and returned; a cell that
+/// panics has its payload re-raised on the caller's thread (so the
+/// sweep executor's per-cell `catch_unwind` still isolates it); a cell
+/// that overruns is **abandoned** — the thread keeps running detached
+/// until its pure computation ends, which is the price of turning an
+/// unbounded overrun into a structured verdict without unsafe
+/// cancellation.
+pub fn with_watchdog<R, F>(wall_ms: u64, f: F) -> WatchdogOutcome<R>
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name("ftss-soak-cell".into())
+        .spawn(move || {
+            // The send only fails if the watchdog already gave up — the
+            // result is then dropped with the abandoned thread.
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(f)));
+        });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => panic!("soak watchdog could not spawn its cell thread: {e}"),
+    };
+    match rx.recv_timeout(Duration::from_millis(wall_ms)) {
+        Ok(Ok(r)) => {
+            let _ = handle.join();
+            WatchdogOutcome::Completed(r)
+        }
+        Ok(Err(payload)) => {
+            let _ = handle.join();
+            resume_unwind(payload)
+        }
+        Err(_) => WatchdogOutcome::TimedOut,
+    }
+}
+
+/// The non-quiescence detector: a recovered system should go *quiet*.
+///
+/// The oracle proves the property holds on the recovery window; this
+/// monitor additionally demands that the **tail** of the window (its
+/// last quarter) shows at most `max_tail_churn` churn events — suspect
+/// verdict flips, for the detector-bearing cells. A system that keeps
+/// oscillating while technically satisfying its predicate is livelocked
+/// by this definition, and the soak reports it as such.
+#[derive(Clone, Copy, Debug)]
+pub struct QuiescenceMonitor {
+    /// Maximum churn events tolerated in the tail of a recovery window.
+    pub max_tail_churn: u64,
+}
+
+impl QuiescenceMonitor {
+    /// A monitor tolerating at most `max_tail_churn` tail events.
+    pub fn new(max_tail_churn: u64) -> Self {
+        QuiescenceMonitor { max_tail_churn }
+    }
+
+    /// Checks churn stamps (round numbers or virtual times) against the
+    /// window `(from, to]`: returns `Some(churn)` when the tail — the
+    /// last quarter of the window — holds more than the tolerated churn.
+    pub fn check(&self, stamps: &[u64], from: u64, to: u64) -> Option<u64> {
+        let tail_from = to.saturating_sub(to.saturating_sub(from) / 4);
+        let churn = stamps.iter().filter(|&&s| s > tail_from && s <= to).count() as u64;
+        (churn > self.max_tail_churn).then_some(churn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_returns_fast_results() {
+        match with_watchdog(5_000, || 41 + 1) {
+            WatchdogOutcome::Completed(42) => {}
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_times_out_a_wedged_cell() {
+        let out = with_watchdog(10, || {
+            std::thread::sleep(Duration::from_millis(300));
+            0u8
+        });
+        assert!(matches!(out, WatchdogOutcome::TimedOut));
+    }
+
+    #[test]
+    fn watchdog_reraises_cell_panics() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _ = with_watchdog(5_000, || panic!("cell died"));
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "cell died");
+    }
+
+    #[test]
+    fn monitor_flags_only_noisy_tails() {
+        let m = QuiescenceMonitor::new(2);
+        // Window (0, 100]: the tail is (75, 100].
+        let quiet = [10, 20, 30, 74, 75]; // all churn before the tail
+        assert_eq!(m.check(&quiet, 0, 100), None);
+        let two_in_tail = [80, 90];
+        assert_eq!(m.check(&two_in_tail, 0, 100), None, "at the cap is fine");
+        let noisy = [76, 80, 90, 100];
+        assert_eq!(m.check(&noisy, 0, 100), Some(4));
+        // Stamps outside the window never count.
+        assert_eq!(m.check(&[101, 150, 999], 0, 100), None);
+    }
+
+    #[test]
+    fn monitor_handles_degenerate_windows() {
+        let m = QuiescenceMonitor::new(0);
+        assert_eq!(m.check(&[], 0, 0), None);
+        assert_eq!(m.check(&[5], 5, 5), None, "empty window has no tail");
+    }
+}

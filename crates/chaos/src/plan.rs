@@ -1,0 +1,205 @@
+//! Storm plans: which scenarios soak, under which storm cycle, at which
+//! seeds.
+//!
+//! A plan expands to a list of independent [`SoakCell`]s — pure
+//! functions of `(scenario, seed, epochs)` — that the engine fans out
+//! over the sweep executor. Two plans ship:
+//!
+//! * **default** — the storm cycle at moderate intensity (60% omission
+//!   storms, untargeted asynchronous scheduling),
+//! * **worst-case** — 90% omission storms, a fully poisoned detector
+//!   start, and an [`ftss::async_sim::AdversaryScheduler`] inflating
+//!   every delay that touches a victim for the first half of the run.
+
+use ftss::core::StormKind;
+
+/// Which execution a soak cell drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SoakScenario {
+    /// Round agreement on the synchronous simulator: Theorem 3's
+    /// one-round recovery after every storm epoch.
+    RoundAgreement,
+    /// The compiled `Π⁺` (FloodSet, `f = 1`) on the synchronous
+    /// simulator: Theorem 4's `2·final_round + 2` recovery bound.
+    Compiled,
+    /// The self-stabilizing ◇S detector on the asynchronous simulator:
+    /// Theorem 5's settle properties per epoch.
+    Detector,
+}
+
+impl SoakScenario {
+    /// Stable name, used in cell labels and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SoakScenario::RoundAgreement => "round-agreement",
+            SoakScenario::Compiled => "compiled-floodset",
+            SoakScenario::Detector => "strong-detector",
+        }
+    }
+}
+
+/// One independent soak execution: a pure function of this struct.
+#[derive(Clone, Debug)]
+pub struct SoakCell {
+    /// Which execution.
+    pub scenario: SoakScenario,
+    /// Report label, `scenario/vK`.
+    pub label: String,
+    /// System size.
+    pub n: usize,
+    /// The cell's seed (drives corruption, omission draws and the
+    /// asynchronous scheduler).
+    pub seed: u64,
+    /// Storm epochs to run.
+    pub epochs: usize,
+    /// Whether the worst-case intensities apply.
+    pub worst_case: bool,
+}
+
+/// A named soak plan.
+#[derive(Clone, Debug)]
+pub struct SoakPlan {
+    /// Plan name (`default` or `worst-case`).
+    pub name: &'static str,
+    /// Storm epochs per cell.
+    pub epochs: usize,
+    /// Base seed; cell seeds derive from it.
+    pub seed: u64,
+    /// Whether the worst-case intensities apply.
+    pub worst_case: bool,
+}
+
+/// Seed variants per scenario in a plan.
+const VARIANTS: u64 = 2;
+
+impl SoakPlan {
+    /// The default plan: moderate storm intensity.
+    pub fn default_plan(epochs: usize, seed: u64) -> Self {
+        SoakPlan {
+            name: "default",
+            epochs,
+            seed,
+            worst_case: false,
+        }
+    }
+
+    /// The worst-case plan: maximum admissible storm intensity.
+    pub fn worst_case(epochs: usize, seed: u64) -> Self {
+        SoakPlan {
+            name: "worst-case",
+            epochs,
+            seed,
+            worst_case: true,
+        }
+    }
+
+    /// Looks a plan up by CLI name.
+    ///
+    /// # Errors
+    ///
+    /// Unknown plan names.
+    pub fn by_name(name: &str, epochs: usize, seed: u64) -> Result<Self, String> {
+        match name {
+            "default" => Ok(Self::default_plan(epochs, seed)),
+            "worst-case" => Ok(Self::worst_case(epochs, seed)),
+            other => Err(format!(
+                "unknown soak plan {other:?} (expected 'default' or 'worst-case')"
+            )),
+        }
+    }
+
+    /// Expands the plan into its cells, in canonical report order.
+    pub fn cells(&self) -> Vec<SoakCell> {
+        let scenarios = [
+            (SoakScenario::RoundAgreement, 6),
+            (SoakScenario::Compiled, 5),
+            (SoakScenario::Detector, 5),
+        ];
+        let mut out = Vec::with_capacity(scenarios.len() * VARIANTS as usize);
+        for (scenario, n) in scenarios {
+            for v in 0..VARIANTS {
+                out.push(SoakCell {
+                    scenario,
+                    label: format!("{}/v{v}", scenario.name()),
+                    n,
+                    seed: self.seed.wrapping_add(v.wrapping_mul(0x9e37_79b9)),
+                    epochs: self.epochs,
+                    worst_case: self.worst_case,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The synchronous storm cycle: epoch `e` fires `cycle[e % 4]`. Every
+/// epoch *additionally* opens with a corruption burst, so the pure
+/// [`StormKind::CorruptionBurst`] slot is the burst-only epoch.
+pub fn storm_cycle(worst_case: bool) -> [StormKind; 4] {
+    let percent = if worst_case { 90 } else { 60 };
+    [
+        StormKind::Partition,
+        StormKind::OmissionStorm { percent },
+        StormKind::SilenceChurn,
+        StormKind::CorruptionBurst,
+    ]
+}
+
+/// The corruption seed for a cell's epoch `e` burst: distinct per epoch,
+/// derived only from the cell seed, so reports are reproducible.
+pub fn burst_seed(cell_seed: u64, epoch: u64) -> u64 {
+    cell_seed ^ 0xb127 ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_resolve_by_name() {
+        let p = SoakPlan::by_name("default", 4, 7).unwrap();
+        assert!(!p.worst_case);
+        assert_eq!(p.epochs, 4);
+        let p = SoakPlan::by_name("worst-case", 2, 0).unwrap();
+        assert!(p.worst_case);
+        assert!(SoakPlan::by_name("gentle", 1, 0).is_err());
+    }
+
+    #[test]
+    fn cells_cover_every_scenario_with_distinct_labels() {
+        let cells = SoakPlan::default_plan(3, 11).cells();
+        assert_eq!(cells.len(), 6);
+        let labels: std::collections::BTreeSet<&str> =
+            cells.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels.len(), cells.len(), "labels must be unique");
+        for s in [
+            SoakScenario::RoundAgreement,
+            SoakScenario::Compiled,
+            SoakScenario::Detector,
+        ] {
+            assert!(cells.iter().any(|c| c.scenario == s), "{s:?} missing");
+        }
+        for c in &cells {
+            assert_eq!(c.epochs, 3);
+        }
+    }
+
+    #[test]
+    fn burst_seeds_differ_across_epochs() {
+        let seeds: std::collections::BTreeSet<u64> = (0..16).map(|e| burst_seed(5, e)).collect();
+        assert_eq!(seeds.len(), 16);
+    }
+
+    #[test]
+    fn worst_case_cycle_raises_omission_intensity() {
+        let default = storm_cycle(false);
+        let worst = storm_cycle(true);
+        assert!(matches!(
+            default[1],
+            StormKind::OmissionStorm { percent: 60 }
+        ));
+        assert!(matches!(worst[1], StormKind::OmissionStorm { percent: 90 }));
+        assert!(default[0].drops_copies());
+        assert!(!default[3].drops_copies());
+    }
+}

@@ -33,6 +33,8 @@ pub use dfs::{
     check_tape, explore, explore_async, run_tape, AsyncDfsReport, Counterexample, DfsConfig,
     DfsReport, MAX_TAPE_BOUND,
 };
-pub use oracle::{thm3_round_agreement, thm4_compiled, thm5_detector, Verdict};
+pub use oracle::{
+    thm3_round_agreement, thm4_compiled, thm5_detector, window_stabilization, Verdict,
+};
 pub use schedule::{ScheduleFile, HEADER};
 pub use shrink::shrink;

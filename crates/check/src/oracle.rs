@@ -69,6 +69,53 @@ pub fn thm4_compiled<S, M>(
     }
 }
 
+/// Piece-wise stability on an *explicit* window: the smallest `s` such
+/// that `problem` holds on the prefix-length window `[from_len − 1 + s,
+/// to_len]`, with the faulty set taken up to `to_len`. This is
+/// [`measured_stabilization_time`] generalized from the final
+/// coterie-stable window to any caller-chosen window — the seam the chaos
+/// engine (`ftss-chaos`) uses to verify recovery *per storm epoch*,
+/// measuring from the end of each storm instead of only once per run.
+///
+/// Returns `Ok(s)` when the measured stabilization `s` is within `bound`.
+///
+/// # Errors
+///
+/// * the window is out of range for the history,
+/// * the problem first holds at `s > bound`, or
+/// * the problem never holds anywhere in the window.
+pub fn window_stabilization<S, M>(
+    history: &History<S, M>,
+    problem: &dyn Problem<S, M>,
+    from_len: usize,
+    to_len: usize,
+    bound: usize,
+) -> Result<usize, String> {
+    if from_len == 0 || from_len > to_len || to_len > history.len() {
+        return Err(format!(
+            "window {from_len}..{to_len} out of range for a {}-round history",
+            history.len()
+        ));
+    }
+    let faulty = history.faulty_upto(to_len);
+    let duration = to_len - from_len + 1;
+    for s in 0..duration {
+        let start = from_len - 1 + s;
+        if problem.check(history.slice(start, to_len), &faulty).is_ok() {
+            return if s <= bound {
+                Ok(s)
+            } else {
+                Err(format!(
+                    "stabilized {s} rounds into window {from_len}..{to_len}, bound is {bound}"
+                ))
+            };
+        }
+    }
+    Err(format!(
+        "never satisfied within window {from_len}..{to_len} (bound {bound})"
+    ))
+}
+
 /// **Theorem 5**: the self-stabilizing ◇S detector settles — strong
 /// completeness (every crashed process eventually suspected by all
 /// correct processes; vacuous with no crashes) and eventual weak accuracy
@@ -92,8 +139,40 @@ pub fn thm5_detector(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ftss::core::RateAgreementSpec;
     use ftss::protocols::RoundAgreement;
     use ftss::sync_sim::{NoFaults, RunConfig, SyncRunner};
+
+    #[test]
+    fn window_stabilization_matches_full_run_measurement() {
+        let out = SyncRunner::new(RoundAgreement)
+            .run(&mut NoFaults, &RunConfig::corrupted(4, 10, 3))
+            .unwrap();
+        // Whole run, generous bound: same answer as the final-window
+        // measurement (the clean run's final window spans everything).
+        let s = window_stabilization(&out.history, &RateAgreementSpec::new(), 1, 10, 1)
+            .expect("recovers within Thm 3's bound");
+        assert!(s <= 1);
+        // A sub-window starting after stabilization measures zero.
+        let s = window_stabilization(&out.history, &RateAgreementSpec::new(), 5, 10, 0).unwrap();
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn window_stabilization_rejects_bad_windows_and_tight_bounds() {
+        let out = SyncRunner::new(RoundAgreement)
+            .run(&mut NoFaults, &RunConfig::corrupted(3, 6, 7))
+            .unwrap();
+        assert!(window_stabilization(&out.history, &RateAgreementSpec::new(), 0, 6, 1).is_err());
+        assert!(window_stabilization(&out.history, &RateAgreementSpec::new(), 4, 2, 1).is_err());
+        assert!(window_stabilization(&out.history, &RateAgreementSpec::new(), 1, 99, 1).is_err());
+        // Seed 7 genuinely disagrees at the corrupted start (see the thm3
+        // test below), so a zero bound over the full window must fail and
+        // name the measured value.
+        let err = window_stabilization(&out.history, &RateAgreementSpec::new(), 1, 6, 0)
+            .expect_err("corrupted start cannot satisfy bound 0");
+        assert!(err.contains("bound is 0"), "got: {err}");
+    }
 
     #[test]
     fn thm3_passes_at_one_and_fails_at_zero_from_corruption() {

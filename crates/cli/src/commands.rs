@@ -67,6 +67,13 @@ COMMANDS
                    --replay FILE: re-execute a counterexample schedule,
                      streaming its byte-deterministic JSONL trace
                      [--out TRACE]
+  soak             Chaos soak engine (crates/chaos): long-horizon runs
+                   under composable fault storms, recovery verified
+                   after every epoch (Theorems 3-5), with budgets,
+                   watchdog and livelock guardrails; the JSONL soak
+                   report is byte-identical for any --jobs
+                   [--plan default|worst-case --epochs E --seed S]
+                   [--jobs J --out FILE --budget-ms MS]
 
 Boolean options may omit the value: `--corrupt` means `--corrupt true`.
 Exit code 0: all checked properties held. 1: violation found. 2: usage error.";
@@ -385,18 +392,21 @@ pub fn token_ring(args: &Args) -> Outcome {
     let out = SyncRunner::new(ring)
         .run(&mut NoFaults, &RunConfig::corrupted(n, rounds, seed))
         .map_err(|e| e.to_string())?;
-    let counts: Vec<usize> = (1..=rounds as u64)
-        .map(|r| {
-            let vals: Vec<u64> = out
-                .history
-                .round(Round::new(r))
-                .records
-                .iter()
-                .map(|rec| rec.state_at_start.as_ref().unwrap().value)
-                .collect();
-            token_holders(&ring, &vals)
-        })
-        .collect();
+    let mut counts: Vec<usize> = Vec::with_capacity(rounds);
+    for r in 1..=rounds as u64 {
+        let records = &out.history.round(Round::new(r)).records;
+        let mut vals: Vec<u64> = Vec::with_capacity(records.len());
+        for (i, rec) in records.iter().enumerate() {
+            // A NoFaults run never crashes anyone, so a missing state is a
+            // recorder bug worth a diagnostic rather than a backtrace.
+            let state = rec
+                .state_at_start
+                .as_ref()
+                .ok_or_else(|| format!("token-ring: p{i} has no recorded state in round {r}"))?;
+            vals.push(state.value);
+        }
+        counts.push(token_holders(&ring, &vals));
+    }
     let settle = counts.iter().rposition(|&c| c != 1).map_or(0, |i| i + 1);
     println!(
         "token ring n={n}: token counts settled to 1 after {settle} round(s); \
@@ -726,6 +736,51 @@ fn check_replay(args: &Args, path: &str) -> Outcome {
             Ok(false)
         }
     }
+}
+
+/// `soak`: the chaos soak engine (crates/chaos). Expands the chosen
+/// storm plan into cells, soaks every cell with per-epoch recovery
+/// verification, and emits the deterministic JSONL soak report — to
+/// `--out`, or to stdout with the human summary on stderr (mirroring
+/// `check --replay`, so the report stream stays byte-clean for `cmp`).
+pub fn soak(args: &Args) -> Outcome {
+    let plan_name = args.get("plan").unwrap_or("default");
+    let epochs: usize = args.get_or("epochs", 4)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let jobs: usize = match args.get("jobs") {
+        Some(_) => args.get_or("jobs", 1)?,
+        None => ftss_sweep::jobs_from_env(),
+    };
+    let mut budget = ftss_chaos::SoakBudget::default();
+    budget.wall_ms = args.get_or("budget-ms", budget.wall_ms)?;
+    let plan = ftss_chaos::SoakPlan::by_name(plan_name, epochs, seed)?;
+    let n_cells = plan.cells().len();
+    let cfg = ftss_chaos::SoakConfig { plan, jobs, budget };
+    let out = ftss_chaos::run_soak(&cfg)?;
+    let report = out.report();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, report.as_bytes()).map_err(|e| format!("--out {path}: {e}"))?;
+            println!("soak: plan '{plan_name}', {epochs} epoch(s), {n_cells} cell(s), seed {seed}");
+            print!("{}", out.summary());
+            println!(
+                "report: {} line(s) written to {path}",
+                report.lines().count()
+            );
+        }
+        None => {
+            let benign = |e: &std::io::Error| e.kind() == std::io::ErrorKind::BrokenPipe;
+            let stdout = std::io::stdout();
+            let mut w = stdout.lock();
+            match w.write_all(report.as_bytes()).and_then(|()| w.flush()) {
+                Ok(()) => {}
+                Err(e) if benign(&e) => {}
+                Err(e) => return Err(format!("soak output: {e}")),
+            }
+            eprint!("{}", out.summary());
+        }
+    }
+    Ok(out.all_recovered())
 }
 
 /// `stats`: replay a `trace` file through the [`Metrics`] accumulator and

@@ -14,6 +14,7 @@
 //! ftss-lab trace --protocol detector --crash 3@500 --out run.jsonl
 //! ftss-lab stats --in run.jsonl --format csv
 //! ftss-lab sweep --exp e1 --seeds 5 --max-n 16 --jobs 4
+//! ftss-lab soak --plan worst-case --epochs 4 --jobs 4 --out run.soak.jsonl
 //! ```
 //!
 //! Exit code 0 means every checked property held; 1 means a violation was
@@ -49,6 +50,7 @@ fn main() {
         "stats" => commands::stats(&args),
         "sweep" => commands::sweep(&args),
         "check" => commands::check(&args),
+        "soak" => commands::soak(&args),
         "" | "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             return;

@@ -47,6 +47,7 @@ pub mod payload;
 pub mod problem;
 pub mod round;
 pub mod solvability;
+pub mod storm;
 
 pub use causality::CausalTracker;
 pub use corrupt::Corrupt;
@@ -65,3 +66,4 @@ pub use round::{normalize, saturating_round_index, Round, RoundCounter};
 pub use solvability::{
     ft_check, ftss_check, ftss_check_suffix, ss_check, FtssReport, FtssViolation,
 };
+pub use storm::{StormKind, StormPhase};

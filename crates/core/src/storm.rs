@@ -1,0 +1,131 @@
+//! Fault-storm vocabulary: the perturbation kinds a chaos soak composes.
+//!
+//! A *storm* is a window of an execution during which one kind of
+//! perturbation is active. The kinds mirror the paper's fault taxonomy:
+//! [`StormKind::CorruptionBurst`] is a systemic failure (arbitrary state
+//! corruption of every live process), everything else is a process
+//! failure expressible inside the omission/crash/delay models the
+//! simulators already enforce. The types here are pure data — the
+//! synchronous simulator turns phases into an adversary
+//! (`ftss_sync_sim::StormAdversary`), the asynchronous runner into
+//! scheduled corruptions and delay windows, and `ftss-chaos` into a full
+//! soak plan.
+
+/// One kind of perturbation a storm window can fire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StormKind {
+    /// A systemic failure at the start of the window: every live
+    /// process's state is replaced by a seeded arbitrary state.
+    CorruptionBurst,
+    /// Seeded random omissions against the victim set: each copy
+    /// touching a victim is dropped with probability `percent / 100`
+    /// (attributed to the victim side).
+    OmissionStorm {
+        /// Drop probability in percent (`0..=100`); an integer so storm
+        /// plans stay `Eq`/hashable and serialize exactly.
+        percent: u8,
+    },
+    /// The victims fall completely silent — every copy they would send
+    /// *or* receive is omitted. This is the model-legal rendering of
+    /// crash/recover churn: crashes are permanent in both simulators, so
+    /// a "recovering" process is one that was totally partitioned by
+    /// omissions and heals when the window closes.
+    SilenceChurn,
+    /// The victims are partitioned away from everyone else: cross-group
+    /// copies drop in both directions (attributed to the victim side),
+    /// intra-group traffic flows. The paper's de-stabilizing
+    /// coterie-change event, on demand.
+    Partition,
+    /// Asynchronous runs only: every message touching a victim is
+    /// stretched to the maximum admissible delay
+    /// (`ftss_async_sim::AdversaryScheduler`). A no-op for the
+    /// synchronous model, which has no delays.
+    DelayInflation,
+}
+
+impl StormKind {
+    /// The storm's stable name, used in soak reports and plan listings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StormKind::CorruptionBurst => "corruption-burst",
+            StormKind::OmissionStorm { .. } => "omission-storm",
+            StormKind::SilenceChurn => "silence-churn",
+            StormKind::Partition => "partition",
+            StormKind::DelayInflation => "delay-inflation",
+        }
+    }
+
+    /// Whether this kind drops copies in the synchronous model (i.e.
+    /// needs an adversary phase, not just a corruption schedule entry).
+    pub fn drops_copies(&self) -> bool {
+        matches!(
+            self,
+            StormKind::OmissionStorm { .. } | StormKind::SilenceChurn | StormKind::Partition
+        )
+    }
+}
+
+impl std::fmt::Display for StormKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A storm resolved onto a window of the run: rounds (synchronous) or
+/// virtual-time instants (asynchronous), both ends inclusive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StormPhase {
+    /// First round/instant of the window.
+    pub from: u64,
+    /// Last round/instant of the window.
+    pub to: u64,
+    /// What the storm does while active.
+    pub kind: StormKind,
+}
+
+impl StormPhase {
+    /// A phase of `kind` active over `from..=to`.
+    pub fn new(from: u64, to: u64, kind: StormKind) -> Self {
+        StormPhase { from, to, kind }
+    }
+
+    /// Whether the phase is active at round/instant `at`.
+    pub fn active(&self, at: u64) -> bool {
+        (self.from..=self.to).contains(&at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(StormKind::CorruptionBurst.name(), "corruption-burst");
+        assert_eq!(
+            StormKind::OmissionStorm { percent: 60 }.name(),
+            "omission-storm"
+        );
+        assert_eq!(StormKind::SilenceChurn.to_string(), "silence-churn");
+        assert_eq!(StormKind::Partition.name(), "partition");
+        assert_eq!(StormKind::DelayInflation.name(), "delay-inflation");
+    }
+
+    #[test]
+    fn drops_copies_classification() {
+        assert!(!StormKind::CorruptionBurst.drops_copies());
+        assert!(!StormKind::DelayInflation.drops_copies());
+        assert!(StormKind::Partition.drops_copies());
+        assert!(StormKind::SilenceChurn.drops_copies());
+        assert!(StormKind::OmissionStorm { percent: 10 }.drops_copies());
+    }
+
+    #[test]
+    fn phase_window_is_inclusive() {
+        let ph = StormPhase::new(3, 5, StormKind::Partition);
+        assert!(!ph.active(2));
+        assert!(ph.active(3));
+        assert!(ph.active(5));
+        assert!(!ph.active(6));
+    }
+}

@@ -118,3 +118,50 @@ fn no_persistent_self_suspicion() {
         }
     });
 }
+
+/// Regression for mid-run systemic failures on the asynchronous runner:
+/// a corruption scheduled at a chosen virtual time (sync parity via
+/// `AsyncRunner::schedule_corruption`) knocks a *converged* detector
+/// into an arbitrary state, and ◇S settles again on the post-corruption
+/// probes alone — Theorem 5's self-stabilization, not just its
+/// corrupted-start special case.
+#[test]
+fn diamond_s_reconverges_after_scheduled_midrun_corruption() {
+    forall(CASES, |g| {
+        let n = g.gen_range(3usize..7);
+        let seed: u64 = g.gen();
+        let strike: u64 = g.gen_range(4_000u64..8_000);
+        let crashes = vec![(ProcessId(n - 1), 300u64)];
+        let oracle = WeakOracle::new(n, crashes.clone(), 500, seed, 0.2);
+        let procs: Vec<StrongDetectorProcess> = (0..n)
+            .map(|i| StrongDetectorProcess::new(ProcessId(i), oracle.clone(), 20))
+            .collect();
+        let mut cfg = AsyncConfig::tame(seed);
+        for &(p, t) in &crashes {
+            cfg = cfg.with_crash(p, t);
+        }
+        let mut runner = AsyncRunner::new(procs, cfg).unwrap();
+        runner.schedule_corruption(strike, seed ^ 0xc0);
+        let mut probes = Vec::new();
+        runner.run_probed(strike + 15_000, 250, |t, ps| {
+            probes.push(SuspectProbe::sample(t, ps))
+        });
+        let crashed = ProcessSet::from_iter_n(n, [ProcessId(n - 1)]);
+        let correct = crashed.complement();
+        // Judged on the post-corruption window only: the pre-strike
+        // convergence must not carry the verdict.
+        let after: Vec<SuspectProbe> = probes.into_iter().filter(|p| p.time > strike).collect();
+        assert!(
+            !after.is_empty(),
+            "probe window after strike {strike} is empty"
+        );
+        assert!(
+            strong_completeness_time(&after, &crashed, &correct).is_some(),
+            "strong completeness must re-settle after the strike at {strike}"
+        );
+        assert!(
+            eventual_weak_accuracy(&after, &correct).is_some(),
+            "eventual weak accuracy must re-settle after the strike at {strike}"
+        );
+    });
+}

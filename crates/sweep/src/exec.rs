@@ -141,9 +141,28 @@ where
             })
             .collect();
         for h in handles {
-            tagged.extend(h.join().expect("sweep worker thread failed"));
+            // A worker can only die with a panic that escaped run_cell's
+            // catch_unwind (e.g. a foreign exception or a panic while
+            // panicking). Its claimed-but-unreported cells are recovered
+            // below rather than poisoning the whole sweep.
+            if let Ok(local) = h.join() {
+                tagged.extend(local);
+            }
         }
     });
+    if tagged.len() < cells.len() {
+        // Re-run the missing cells serially on the caller thread; every
+        // other cell keeps its already-computed result.
+        let mut have = vec![false; cells.len()];
+        for &(i, _) in &tagged {
+            have[i] = true;
+        }
+        for (i, done) in have.into_iter().enumerate() {
+            if !done {
+                tagged.push((i, run_cell(i)));
+            }
+        }
+    }
     // Canonical merge: cell order, regardless of which worker ran what.
     tagged.sort_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()

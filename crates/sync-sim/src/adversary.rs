@@ -8,7 +8,7 @@
 //! * the faulty set must respect the fault bound `f`,
 //! * self-delivery is never submitted for dropping (paper footnote 1).
 
-use ftss_core::{CrashSchedule, ProcessId, ProcessSet, Round};
+use ftss_core::{CrashSchedule, ProcessId, ProcessSet, Round, StormKind, StormPhase};
 use ftss_rng::Rng;
 use ftss_rng::StdRng;
 use std::collections::BTreeSet;
@@ -366,6 +366,104 @@ impl Adversary for ScriptedOmission {
     }
 }
 
+/// A storm-plan-driven adversary: a sequence of [`StormPhase`] windows,
+/// each rendering one [`StormKind`] against a fixed victim set. Outside
+/// every window nothing is dropped, so a soak alternates storm and
+/// recovery for as many epochs as the plan schedules — this is the
+/// synchronous half of the chaos engine (`ftss-chaos`).
+///
+/// Kind semantics (all attributed to the victim side, as the model
+/// requires):
+///
+/// * [`StormKind::OmissionStorm`] — every copy touching a victim is
+///   dropped with the configured probability. Like [`RandomOmission`],
+///   the RNG draws for every eligible copy so the stream stays aligned
+///   regardless of outcomes.
+/// * [`StormKind::SilenceChurn`] — victims are totally silenced (send
+///   and receive omission), the model-legal stand-in for crash/recover
+///   churn: crashes are permanent here, total silence heals.
+/// * [`StormKind::Partition`] — [`GroupPartition`] semantics: cross-group
+///   copies drop both ways, intra-group traffic flows.
+/// * [`StormKind::CorruptionBurst`] / [`StormKind::DelayInflation`] —
+///   no copies dropped; bursts are injected via
+///   `CorruptionSchedule`, delay inflation is async-only.
+#[derive(Clone, Debug)]
+pub struct StormAdversary {
+    victims: BTreeSet<ProcessId>,
+    phases: Vec<StormPhase>,
+    rng: StdRng,
+}
+
+impl StormAdversary {
+    /// An adversary firing `phases` against `victims`, with all random
+    /// omission draws seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an [`StormKind::OmissionStorm`] phase has `percent > 100`.
+    pub fn new(
+        victims: impl IntoIterator<Item = ProcessId>,
+        phases: impl IntoIterator<Item = StormPhase>,
+        seed: u64,
+    ) -> Self {
+        let phases: Vec<StormPhase> = phases.into_iter().collect();
+        for ph in &phases {
+            if let StormKind::OmissionStorm { percent } = ph.kind {
+                assert!(percent <= 100, "omission-storm percent must be <= 100");
+            }
+        }
+        StormAdversary {
+            victims: victims.into_iter().collect(),
+            phases,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The first phase active in round `r`, if any.
+    pub fn phase_at(&self, r: Round) -> Option<&StormPhase> {
+        self.phases.iter().find(|ph| ph.active(r.get()))
+    }
+
+    fn victim_side(&self, from: ProcessId, to: ProcessId) -> Option<OmissionSide> {
+        if self.victims.contains(&from) {
+            Some(OmissionSide::Sender)
+        } else if self.victims.contains(&to) {
+            Some(OmissionSide::Receiver)
+        } else {
+            None
+        }
+    }
+}
+
+impl Adversary for StormAdversary {
+    fn faulty(&self, n: usize) -> ProcessSet {
+        ProcessSet::from_iter_n(n, self.victims.iter().copied())
+    }
+
+    fn drop_copy(&mut self, r: Round, from: ProcessId, to: ProcessId) -> Option<OmissionSide> {
+        let kind = self.phase_at(r)?.kind;
+        match kind {
+            StormKind::CorruptionBurst | StormKind::DelayInflation => None,
+            StormKind::OmissionStorm { percent } => {
+                let side = self.victim_side(from, to)?;
+                // Draw for every eligible copy, as in RandomOmission, so
+                // the stream stays aligned across outcomes.
+                self.rng
+                    .gen_bool(f64::from(percent) / 100.0)
+                    .then_some(side)
+            }
+            StormKind::SilenceChurn => self.victim_side(from, to),
+            StormKind::Partition => {
+                match (self.victims.contains(&from), self.victims.contains(&to)) {
+                    (true, false) => Some(OmissionSide::Sender),
+                    (false, true) => Some(OmissionSide::Receiver),
+                    _ => None, // intra-group copies flow
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,6 +604,110 @@ mod tests {
         // Past the end of the tape: deliver, but keep counting.
         assert_eq!(a.drop_copy(Round::new(2), ProcessId(2), ProcessId(0)), None);
         assert_eq!(a.consulted(), 4);
+    }
+
+    #[test]
+    fn storm_adversary_is_quiet_outside_phases() {
+        let mut a = StormAdversary::new(
+            [ProcessId(0)],
+            [StormPhase::new(3, 4, StormKind::SilenceChurn)],
+            1,
+        );
+        assert_eq!(a.drop_copy(Round::new(2), ProcessId(0), ProcessId(1)), None);
+        assert_eq!(
+            a.drop_copy(Round::new(3), ProcessId(0), ProcessId(1)),
+            Some(OmissionSide::Sender)
+        );
+        assert_eq!(
+            a.drop_copy(Round::new(4), ProcessId(1), ProcessId(0)),
+            Some(OmissionSide::Receiver)
+        );
+        assert_eq!(a.drop_copy(Round::new(5), ProcessId(0), ProcessId(1)), None);
+        assert!(a.faulty(3).contains(ProcessId(0)));
+    }
+
+    #[test]
+    fn storm_adversary_partition_lets_intra_group_flow() {
+        let mut a = StormAdversary::new(
+            [ProcessId(0), ProcessId(1)],
+            [StormPhase::new(1, 2, StormKind::Partition)],
+            1,
+        );
+        assert_eq!(a.drop_copy(Round::new(1), ProcessId(0), ProcessId(1)), None);
+        assert_eq!(
+            a.drop_copy(Round::new(1), ProcessId(0), ProcessId(2)),
+            Some(OmissionSide::Sender)
+        );
+        assert_eq!(
+            a.drop_copy(Round::new(1), ProcessId(2), ProcessId(1)),
+            Some(OmissionSide::Receiver)
+        );
+    }
+
+    #[test]
+    fn storm_adversary_silence_churn_drops_intra_victim_copies() {
+        let mut a = StormAdversary::new(
+            [ProcessId(0), ProcessId(1)],
+            [StormPhase::new(1, 1, StormKind::SilenceChurn)],
+            1,
+        );
+        assert_eq!(
+            a.drop_copy(Round::new(1), ProcessId(0), ProcessId(1)),
+            Some(OmissionSide::Sender)
+        );
+    }
+
+    #[test]
+    fn storm_adversary_omission_storm_is_seed_deterministic() {
+        let record = |seed: u64| {
+            let mut a = StormAdversary::new(
+                [ProcessId(0)],
+                [StormPhase::new(
+                    1,
+                    50,
+                    StormKind::OmissionStorm { percent: 50 },
+                )],
+                seed,
+            );
+            (0..50)
+                .map(|i| {
+                    a.drop_copy(Round::new(i + 1), ProcessId(0), ProcessId(1))
+                        .is_some()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(record(3), record(3));
+        assert_ne!(record(3), record(4));
+    }
+
+    #[test]
+    fn storm_adversary_burst_and_inflation_drop_nothing() {
+        let mut a = StormAdversary::new(
+            [ProcessId(0)],
+            [
+                StormPhase::new(1, 1, StormKind::CorruptionBurst),
+                StormPhase::new(2, 2, StormKind::DelayInflation),
+            ],
+            1,
+        );
+        assert_eq!(a.drop_copy(Round::new(1), ProcessId(0), ProcessId(1)), None);
+        assert_eq!(a.drop_copy(Round::new(2), ProcessId(0), ProcessId(1)), None);
+        assert!(a.phase_at(Round::new(2)).is_some());
+        assert!(a.phase_at(Round::new(3)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "percent")]
+    fn storm_adversary_rejects_bad_percent() {
+        StormAdversary::new(
+            [ProcessId(0)],
+            [StormPhase::new(
+                1,
+                1,
+                StormKind::OmissionStorm { percent: 101 },
+            )],
+            0,
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod runner;
 
 pub use adversary::{
     Adversary, CrashOnly, GroupPartition, NoFaults, OmissionSide, RandomOmission, ScriptedOmission,
-    SilentProcess, TapeOmission,
+    SilentProcess, StormAdversary, TapeOmission,
 };
 pub use protocol::{Inbox, ProtocolCtx, SyncProtocol};
 pub use runner::{Corruption, CorruptionSchedule, RunConfig, RunOutcome, SyncRunner};

@@ -157,6 +157,46 @@ pub enum Event {
         /// The iteration tag (the round counter that closed the iteration).
         tag: u64,
     },
+    /// A chaos-soak fault storm opened (see `ftss-chaos`).
+    StormStart {
+        /// The soak epoch firing this storm (0-based).
+        epoch: u64,
+        /// Round (sync) or virtual time (async) at which the storm opens.
+        at: u64,
+        /// The storm kind's stable name (`ftss_core::StormKind::name`).
+        kind: String,
+    },
+    /// A chaos-soak fault storm closed; recovery measurement starts here.
+    StormEnd {
+        /// The soak epoch whose storm closed.
+        epoch: u64,
+        /// Round (sync) or virtual time (async) at which the storm closed.
+        at: u64,
+    },
+    /// Recovery after a storm epoch was verified against a theorem bound.
+    RecoveryMeasured {
+        /// The soak epoch this verdict covers.
+        epoch: u64,
+        /// Round (sync) or virtual time (async) at the end of the
+        /// verification window.
+        at: u64,
+        /// Measured stabilization, in rounds (sync) or virtual time
+        /// (async), counted from the end of the storm. Zero when
+        /// verification failed (see `ok`).
+        rounds: u64,
+        /// The theorem's allowance for this epoch, same unit as `rounds`.
+        bound: u64,
+        /// Whether recovery was verified within the bound.
+        ok: bool,
+    },
+    /// A soak budget tripped; the run was cut short.
+    BudgetExhausted {
+        /// Round (sync) or virtual time (async) at which the budget tripped
+        /// (0 when the plan was rejected before running).
+        at: u64,
+        /// Which budget: `rounds`, `events` or `wall_clock`.
+        budget: String,
+    },
 }
 
 fn outcome_str(outcome: DeliveryOutcome) -> &'static str {
@@ -197,6 +237,10 @@ impl Event {
             Event::Stabilization { .. } => "stabilization",
             Event::Suspicion { .. } => "suspicion",
             Event::Decision { .. } => "decision",
+            Event::StormStart { .. } => "storm_start",
+            Event::StormEnd { .. } => "storm_end",
+            Event::RecoveryMeasured { .. } => "recovery_measured",
+            Event::BudgetExhausted { .. } => "budget_exhausted",
         }
     }
 
@@ -307,6 +351,35 @@ impl Event {
                 field_u64(out, "round", *round);
                 field_u64(out, "p", p.index() as u64);
                 field_u64(out, "tag", *tag);
+            }
+            Event::StormStart { epoch, at, kind } => {
+                field_u64(out, "epoch", *epoch);
+                field_u64(out, "at", *at);
+                out.push_str(",\"kind\":");
+                escape_into(out, kind);
+            }
+            Event::StormEnd { epoch, at } => {
+                field_u64(out, "epoch", *epoch);
+                field_u64(out, "at", *at);
+            }
+            Event::RecoveryMeasured {
+                epoch,
+                at,
+                rounds,
+                bound,
+                ok,
+            } => {
+                field_u64(out, "epoch", *epoch);
+                field_u64(out, "at", *at);
+                field_u64(out, "rounds", *rounds);
+                field_u64(out, "bound", *bound);
+                out.push_str(",\"ok\":");
+                out.push_str(if *ok { "true" } else { "false" });
+            }
+            Event::BudgetExhausted { at, budget } => {
+                field_u64(out, "at", *at);
+                out.push_str(",\"budget\":");
+                escape_into(out, budget);
             }
         }
         out.push('}');
@@ -433,6 +506,37 @@ impl Event {
                 p: pid("p")?,
                 tag: num("tag")?,
             },
+            "storm_start" => Event::StormStart {
+                epoch: num("epoch")?,
+                at: num("at")?,
+                kind: v
+                    .get("kind")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("`storm_start`: missing `kind`")?
+                    .to_string(),
+            },
+            "storm_end" => Event::StormEnd {
+                epoch: num("epoch")?,
+                at: num("at")?,
+            },
+            "recovery_measured" => Event::RecoveryMeasured {
+                epoch: num("epoch")?,
+                at: num("at")?,
+                rounds: num("rounds")?,
+                bound: num("bound")?,
+                ok: v
+                    .get("ok")
+                    .and_then(JsonValue::as_bool)
+                    .ok_or("`recovery_measured`: missing bool `ok`")?,
+            },
+            "budget_exhausted" => Event::BudgetExhausted {
+                at: num("at")?,
+                budget: v
+                    .get("budget")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("`budget_exhausted`: missing `budget`")?
+                    .to_string(),
+            },
             other => return Err(format!("unknown event type `{other}`")),
         })
     }
@@ -521,6 +625,23 @@ mod tests {
                 p: ProcessId(1),
                 tag: 6,
             },
+            Event::StormStart {
+                epoch: 2,
+                at: 25,
+                kind: "partition".into(),
+            },
+            Event::StormEnd { epoch: 2, at: 27 },
+            Event::RecoveryMeasured {
+                epoch: 2,
+                at: 36,
+                rounds: 1,
+                bound: 1,
+                ok: true,
+            },
+            Event::BudgetExhausted {
+                at: 4000,
+                budget: "events".into(),
+            },
         ]
     }
 
@@ -564,6 +685,26 @@ mod tests {
         assert_eq!(
             ev.to_jsonl(),
             r#"{"type":"coterie_change","round":1,"size":2,"members":[1,2]}"#
+        );
+        let ev = Event::StormStart {
+            epoch: 0,
+            at: 1,
+            kind: "omission-storm".into(),
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"type":"storm_start","epoch":0,"at":1,"kind":"omission-storm"}"#
+        );
+        let ev = Event::RecoveryMeasured {
+            epoch: 0,
+            at: 12,
+            rounds: 1,
+            bound: 1,
+            ok: true,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"type":"recovery_measured","epoch":0,"at":12,"rounds":1,"bound":1,"ok":true}"#
         );
     }
 

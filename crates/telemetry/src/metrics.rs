@@ -72,6 +72,14 @@ pub struct Metrics {
     pub suspicions_cleared: u64,
     /// Completed iterations with an output (`decision` events).
     pub decisions: u64,
+    /// Chaos-soak storm epochs opened (`storm_start` events).
+    pub storms: u64,
+    /// Storm epochs whose recovery was verified within its bound.
+    pub recoveries_ok: u64,
+    /// Storm epochs whose recovery verification failed.
+    pub recoveries_failed: u64,
+    /// Soak budgets tripped (`budget_exhausted` events).
+    pub budgets_exhausted: u64,
 }
 
 impl Metrics {
@@ -184,6 +192,18 @@ impl TraceSink for Metrics {
                 }
             }
             Event::Decision { .. } => self.decisions += 1,
+            Event::StormStart { .. } => self.storms += 1,
+            // Storm close carries no aggregate beyond what storm_start and
+            // recovery_measured already count.
+            Event::StormEnd { .. } => {}
+            Event::RecoveryMeasured { ok, .. } => {
+                if *ok {
+                    self.recoveries_ok += 1;
+                } else {
+                    self.recoveries_failed += 1;
+                }
+            }
+            Event::BudgetExhausted { .. } => self.budgets_exhausted += 1,
         }
     }
 }
@@ -324,5 +344,46 @@ mod tests {
         assert_eq!(m.crashes, vec![(60, ProcessId(1))]);
         assert_eq!(m.suspicions_raised, 1);
         assert_eq!(m.suspicions_cleared, 1);
+    }
+
+    #[test]
+    fn accumulates_soak_quantities() {
+        let events = [
+            Event::StormStart {
+                epoch: 0,
+                at: 1,
+                kind: "partition".into(),
+            },
+            Event::StormEnd { epoch: 0, at: 3 },
+            Event::RecoveryMeasured {
+                epoch: 0,
+                at: 12,
+                rounds: 1,
+                bound: 1,
+                ok: true,
+            },
+            Event::StormStart {
+                epoch: 1,
+                at: 13,
+                kind: "silence-churn".into(),
+            },
+            Event::StormEnd { epoch: 1, at: 15 },
+            Event::RecoveryMeasured {
+                epoch: 1,
+                at: 24,
+                rounds: 0,
+                bound: 1,
+                ok: false,
+            },
+            Event::BudgetExhausted {
+                at: 24,
+                budget: "rounds".into(),
+            },
+        ];
+        let m = Metrics::from_events(events.iter());
+        assert_eq!(m.storms, 2);
+        assert_eq!(m.recoveries_ok, 1);
+        assert_eq!(m.recoveries_failed, 1);
+        assert_eq!(m.budgets_exhausted, 1);
     }
 }

@@ -68,6 +68,17 @@ run cargo run -q --release -p ftss-lab -- check --replay "$TRACE_DIR/ce.schedule
     --out "$TRACE_DIR/replay_b.jsonl"
 run cmp "$TRACE_DIR/replay_a.jsonl" "$TRACE_DIR/replay_b.jsonl"
 
+# Chaos soak smoke (crates/chaos, DESIGN.md §11): a short default-plan
+# soak must recover after every epoch inside an explicit wall-clock
+# budget, and the JSONL soak report must render byte-identical at any
+# worker count. The reports land in the workspace (not $TRACE_DIR) so
+# CI can upload them if a cell ever stops recovering.
+run cargo run -q --release -p ftss-lab -- soak --plan default --epochs 2 \
+    --budget-ms 60000 --jobs 1 --out soak-j1.soak.jsonl
+run cargo run -q --release -p ftss-lab -- soak --plan default --epochs 2 \
+    --budget-ms 60000 --jobs 4 --out soak-j4.soak.jsonl
+run cmp soak-j1.soak.jsonl soak-j4.soak.jsonl
+
 # Hermeticity tripwire: no crate manifest may name a registry package.
 if grep -rn 'rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes' \
     --include=Cargo.toml Cargo.toml crates/ \

@@ -1,0 +1,70 @@
+//! GroupPartition recovery: after the heal round, the full coterie is
+//! intact (the paper's causal reachability is cumulative, so a healed
+//! partition leaves every process reaching all correct ones) and round
+//! agreement stabilizes within Theorem 3's bound counted from the heal
+//! — a property test over seeds and partition window lengths.
+
+use ftss::analysis::measured_stabilization_time;
+use ftss::core::{coterie_of_prefix, ProcessId, ProcessSet, RateAgreementSpec};
+use ftss::protocols::RoundAgreement;
+use ftss::sync_sim::{GroupPartition, RunConfig, SyncRunner};
+use ftss_check::window_stabilization;
+use ftss_rng::check::forall;
+use ftss_rng::Rng;
+
+#[test]
+fn coterie_survives_and_agreement_stabilizes_within_thm3_after_heal() {
+    let n = 5;
+    forall(40, |g| {
+        let seed: u64 = g.gen();
+        let from = g.gen_range(2..6u64);
+        let len = g.gen_range(1..5u64);
+        let heal = from + len - 1; // last partitioned round, inclusive
+        let rounds = (heal + 8) as usize;
+        let mut adv = GroupPartition::new([ProcessId(0)], from, heal);
+        let out = SyncRunner::new(RoundAgreement)
+            .run(&mut adv, &RunConfig::corrupted(n, rounds, seed))
+            .expect("valid run config");
+
+        // Causal reachability is cumulative: the healed run's coterie is
+        // the full set — the partition quarantined, it did not amputate.
+        let final_coterie = coterie_of_prefix(&out.history, rounds);
+        assert_eq!(
+            final_coterie,
+            ProcessSet::full(n),
+            "seed {seed} window {from}..{heal}: coterie must survive the heal"
+        );
+
+        // Stabilization, measured on the final stable window, completes
+        // within Theorem 3's bound counted from the heal: everything up
+        // to and including the heal round — when the victim's corrupted
+        // counter flows back into the majority — may be skipped, plus
+        // the theorem's one round.
+        let m = measured_stabilization_time(&out.history, &RateAgreementSpec::new())
+            .expect("non-empty history");
+        let allowed = if (m.window_start as u64) <= heal {
+            (heal + 1 - m.window_start as u64) as usize + 1
+        } else {
+            1
+        };
+        match m.stabilization_rounds {
+            Some(s) => assert!(
+                s <= allowed,
+                "seed {seed} window {from}..{heal}: stabilized in {s} rounds, heal allows {allowed}"
+            ),
+            None => panic!("seed {seed} window {from}..{heal}: never stabilized after heal"),
+        }
+
+        // The windowed oracle agrees when measured from the partition's
+        // last round with the chaos engine's heal-inclusive allowance
+        // (one round for corrupt state to flow back, one for Theorem 3).
+        window_stabilization(
+            &out.history,
+            &RateAgreementSpec::new(),
+            heal as usize,
+            rounds,
+            2,
+        )
+        .unwrap_or_else(|d| panic!("seed {seed} window {from}..{heal}: {d}"));
+    });
+}

@@ -33,8 +33,8 @@ impl MessageStats {
 pub fn message_stats<S, M>(history: &History<S, M>) -> MessageStats {
     let mut stats = MessageStats::default();
     for rh in history.rounds() {
-        for rec in &rh.records {
-            for s in &rec.sent {
+        for rec in rh.records() {
+            for s in rec.sent() {
                 stats.copies += 1;
                 match s.outcome {
                     DeliveryOutcome::Delivered => stats.delivered += 1,
@@ -55,7 +55,7 @@ pub fn copies_per_round<S, M>(history: &History<S, M>) -> Vec<usize> {
     history
         .rounds()
         .iter()
-        .map(|rh| rh.records.iter().map(|r| r.sent.len()).sum())
+        .map(|rh| rh.records().map(|r| r.sent_len()).sum())
         .collect()
 }
 

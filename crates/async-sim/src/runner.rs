@@ -91,6 +91,10 @@ pub struct AsyncRunner<P: AsyncProcess, S = RandomScheduler<<P as AsyncProcess>:
     processes: Vec<P>,
     crashed_at: Vec<Option<Time>>,
     crash_reported: Vec<bool>,
+    /// How many scheduled crashes have not yet been reported to a sink.
+    /// Lets the per-event crash check exit in O(1) instead of scanning all
+    /// `n` crash slots — at large `n` that scan dominates traced dispatch.
+    crashes_unreported: usize,
     sched: S,
     cfg: AsyncConfig,
     now: Time,
@@ -192,6 +196,7 @@ impl<P: AsyncProcess, S: Scheduler<P::Msg>> AsyncRunner<P, S> {
         Ok(AsyncRunner {
             processes,
             crash_reported: vec![false; crashed_at.len()],
+            crashes_unreported: crashed_at.iter().filter(|c| c.is_some()).count(),
             crashed_at,
             sched,
             cfg,
@@ -448,6 +453,9 @@ impl<P: AsyncProcess, S: Scheduler<P::Msg>> AsyncRunner<P, S> {
     /// Emits a `crash` event for every process whose scheduled crash time
     /// virtual time has now reached, exactly once per process.
     fn report_crashes<T: TraceSink>(&mut self, sink: &mut T) {
+        if self.crashes_unreported == 0 {
+            return;
+        }
         for i in 0..self.crashed_at.len() {
             if self.crash_reported[i] {
                 continue;
@@ -455,6 +463,7 @@ impl<P: AsyncProcess, S: Scheduler<P::Msg>> AsyncRunner<P, S> {
             if let Some(t) = self.crashed_at[i] {
                 if t <= self.now {
                     self.crash_reported[i] = true;
+                    self.crashes_unreported -= 1;
                     sink.emit(&TraceEvent::Crash {
                         at: t,
                         p: ProcessId(i),

@@ -3,12 +3,76 @@
 //! timer harness (`ftss_bench::harness`). These gate nothing in the
 //! paper; they document what experiment sizes are practical.
 
-use ftss::core::{ftss_check, CoterieTimeline, Payload, RateAgreementSpec};
+use ftss::core::{
+    ftss_check, CoterieTimeline, DeliveryOutcome, Envelope, Payload, ProcessId, ProcessRoundRecord,
+    RateAgreementSpec, Round, RoundCounter, RoundHistory, SendRecord,
+};
 use ftss::protocols::RoundAgreement;
 use ftss::sync_sim::{NoFaults, RunConfig, SyncRunner};
 use ftss::telemetry::{NullSink, RecordingSink};
 use ftss_bench::harness::{black_box, Bencher};
 use ftss_sweep::e1_table;
+
+/// Fills one struct-of-arrays round frame with a full n×n mesh: the
+/// recording work the new engine does per round (bit flips into the
+/// sent/delivered matrices, one shared payload slot per sender), on a
+/// recycled frame.
+fn fill_soa_frame(frame: &mut RoundHistory<u64, u64>, n: usize) -> usize {
+    frame.reset(n);
+    for p in 0..n {
+        frame.set_process(
+            ProcessId(p),
+            Some(p as u64),
+            Some(RoundCounter::new(1)),
+            false,
+            false,
+        );
+        frame.set_broadcast(ProcessId(p), Payload::new(p as u64));
+    }
+    for src in 0..n {
+        for dst in 0..n {
+            frame.record_send(ProcessId(src), ProcessId(dst), DeliveryOutcome::Delivered);
+            frame.record_delivery(ProcessId(dst), ProcessId(src));
+        }
+    }
+    frame.msgs().sent_count(ProcessId(0))
+}
+
+/// The same full mesh recorded the way the engine did before the
+/// struct-of-arrays refactor: one `ProcessRoundRecord` per process, a
+/// `SendRecord` push (with its shared-payload clone) per copy, and an
+/// `Envelope` push per delivery — O(n) vectors allocated and O(n²)
+/// 24-byte records written per round.
+fn fill_aos_round(n: usize) -> RoundHistory<u64, u64> {
+    let payloads: Vec<Payload<u64>> = (0..n).map(|p| Payload::new(p as u64)).collect();
+    let records: Vec<ProcessRoundRecord<u64, u64>> = (0..n)
+        .map(|p| {
+            let sent: Vec<SendRecord<u64>> = (0..n)
+                .map(|dst| SendRecord {
+                    dst: ProcessId(dst),
+                    payload: payloads[p].clone(),
+                    outcome: DeliveryOutcome::Delivered,
+                })
+                .collect();
+            let delivered: Vec<Envelope<u64>> = (0..n)
+                .map(|src| Envelope {
+                    src: ProcessId(src),
+                    sent_in: Round::FIRST,
+                    payload: payloads[src].clone(),
+                })
+                .collect();
+            ProcessRoundRecord {
+                state_at_start: Some(p as u64),
+                counter_at_start: Some(RoundCounter::new(1)),
+                sent,
+                delivered,
+                crashed_here: false,
+                halted_at_start: false,
+            }
+        })
+        .collect();
+    RoundHistory::from_records(records)
+}
 
 fn main() {
     // BENCH_QUICK=1 trades precision for runtime (CI smoke budget).
@@ -22,6 +86,51 @@ fn main() {
         b.bench(&format!("sync_sim_round_agreement/rounds20/{n}"), || {
             SyncRunner::new(RoundAgreement)
                 .run(&mut NoFaults, &RunConfig::corrupted(n, 20, 7))
+                .unwrap()
+        });
+    }
+
+    // The struct-of-arrays recording layer vs. the pre-refactor
+    // array-of-structs representation, filling one full-mesh round. The
+    // SoA fill must be ≥10× cheaper at n=256 — this is the gate behind
+    // the large-n engine (DESIGN.md §12). End-to-end run rows (below and
+    // `sync_sim_round_agreement/*`) include protocol stepping and
+    // adversary consultation, so their ratio is smaller; the gate is on
+    // the representation itself.
+    let mut frame: RoundHistory<u64, u64> = RoundHistory::empty(256);
+    let mut soa256 = 0.0;
+    for n in [64usize, 256, 1024] {
+        let s = b
+            .bench(&format!("engine/round_throughput/n{n}"), || {
+                fill_soa_frame(black_box(&mut frame), n)
+            })
+            .median_ns;
+        if n == 256 {
+            soa256 = s;
+        }
+    }
+    let aos256 = b
+        .bench("engine/round_throughput_legacy/n256", || {
+            fill_aos_round(256)
+        })
+        .median_ns;
+    let ratio = aos256 / soa256;
+    println!("engine/round_throughput: SoA frame fill is {ratio:.1}x cheaper at n=256");
+    assert!(
+        ratio >= 10.0,
+        "engine/round_throughput gate: SoA fill must be ≥10× cheaper than the \
+         legacy AoS representation at n=256, measured {ratio:.1}x"
+    );
+
+    // End-to-end large-n rounds: the full runner (protocol + adversary +
+    // recording) on a 12-round window at sweep/soak sizes.
+    for n in [256usize, 1024] {
+        b.bench(&format!("engine/end_to_end/n{n}_r12_w12"), || {
+            SyncRunner::new(RoundAgreement)
+                .run(
+                    &mut NoFaults,
+                    &RunConfig::corrupted(n, 12, 7).with_history_window(12),
+                )
                 .unwrap()
         });
     }

@@ -45,7 +45,7 @@ use ftss::detectors::{
 };
 use ftss::protocols::{FloodSet, RepeatedConsensusSpec, RoundAgreement};
 use ftss::sync_sim::{CorruptionSchedule, RunConfig, StormAdversary, SyncProtocol, SyncRunner};
-use ftss::telemetry::{Event, RunMode};
+use ftss::telemetry::{Event, NullSink, RunMode};
 use ftss_check::window_stabilization;
 use std::fmt::Write as _;
 
@@ -206,6 +206,27 @@ impl SyncGeom {
     }
 }
 
+/// The cell's storm program: the mid-run corruption schedule plus the
+/// copy-dropping storm phases, one entry per epoch of the cycle.
+fn storm_program(cell: &SoakCell, geom: &SyncGeom) -> (CorruptionSchedule, Vec<StormPhase>) {
+    let cycle = storm_cycle(cell.worst_case);
+    let mut schedule = CorruptionSchedule::none();
+    let mut phases = Vec::new();
+    for e in 0..cell.epochs {
+        let kind = cycle[e % cycle.len()];
+        let start = geom.storm_start(e);
+        // Epoch 0's burst *is* the run's initial corruption; scheduling
+        // it again would corrupt round 1 twice.
+        if e > 0 {
+            schedule = schedule.at(start, burst_seed(cell.seed, e as u64));
+        }
+        if kind.drops_copies() {
+            phases.push(StormPhase::new(start, geom.storm_end(e), kind));
+        }
+    }
+    (schedule, phases)
+}
+
 /// Round agreement under the full storm cycle. Victims are a strict
 /// minority (the coterie survives every partition); recovery is Theorem
 /// 3's bound, measured from the end of each storm.
@@ -221,6 +242,9 @@ fn run_round_agreement(cell: &SoakCell, budget: &SoakBudget) -> CellReport {
         epoch_len: 12,
     };
     let victims = [ProcessId(0), ProcessId(1)];
+    if let Some(window) = cell.history_window {
+        return run_round_agreement_streamed(cell, budget, &geom, &victims, window);
+    }
     run_sync_cell(
         cell,
         budget,
@@ -231,6 +255,146 @@ fn run_round_agreement(cell: &SoakCell, budget: &SoakBudget) -> CellReport {
         2,
         |_| Vec::new(),
     )
+}
+
+/// The large-n variant of the round-agreement cell: the same storm
+/// program, but the run streams through a bounded history window
+/// (`SyncRunner::run_streaming`) and each epoch is verified **in-stream**
+/// the moment its last round lands — before the window evicts it. The
+/// full execution is never resident, which is what lets this cell soak
+/// `n = 4096`. Report lines come out in the same canonical order as the
+/// full-retention driver, so the fragment shape is identical.
+///
+/// Round agreement emits no churn stamps, so the quiescence monitor —
+/// a no-op on empty stamps in the full-retention path — is skipped.
+fn run_round_agreement_streamed(
+    cell: &SoakCell,
+    budget: &SoakBudget,
+    geom: &SyncGeom,
+    victims: &[ProcessId],
+    window: usize,
+) -> CellReport {
+    assert!(
+        window as u64 >= geom.epoch_len,
+        "soak window of {window} rounds cannot retain a full epoch of {}",
+        geom.epoch_len
+    );
+    let bound = 2;
+    let total_rounds = geom.epoch_len * cell.epochs as u64;
+    let mut jsonl = String::new();
+    push_line(
+        &mut jsonl,
+        &Event::RunStart {
+            mode: RunMode::Sync,
+            protocol: cell.label.clone(),
+            n: cell.n,
+            rounds: Some(total_rounds),
+            msg_size: None,
+        },
+    );
+    if total_rounds > budget.max_rounds {
+        push_line(
+            &mut jsonl,
+            &Event::BudgetExhausted {
+                at: 0,
+                budget: "rounds".into(),
+            },
+        );
+        return CellReport::timed_out(cell.label.clone(), "rounds", Vec::new(), jsonl);
+    }
+
+    let (schedule, phases) = storm_program(cell, geom);
+    let mut adv = StormAdversary::new(victims.iter().copied(), phases, cell.seed ^ 0x517a);
+    let run_cfg = RunConfig::corrupted(cell.n, total_rounds as usize, burst_seed(cell.seed, 0))
+        .with_mid_run_corruption(schedule)
+        .with_history_window(window);
+    let spec = RateAgreementSpec::new();
+    let mut results: Vec<Result<usize, String>> = Vec::with_capacity(cell.epochs);
+    let run = SyncRunner::new(RoundAgreement).run_streaming(
+        &mut adv,
+        &run_cfg,
+        &mut NullSink,
+        |history| {
+            let e = results.len();
+            if e < cell.epochs && history.len() as u64 == geom.epoch_end(e) {
+                results.push(window_stabilization(
+                    history,
+                    &spec,
+                    geom.storm_end(e) as usize,
+                    geom.epoch_end(e) as usize,
+                    bound,
+                ));
+            }
+        },
+    );
+    if let Err(e) = run {
+        return CellReport::from_epochs(
+            cell.label.clone(),
+            vec![EpochVerdict::Violated {
+                detail: format!("bad soak run config: {e}"),
+            }],
+            jsonl,
+        );
+    }
+
+    let cycle = storm_cycle(cell.worst_case);
+    let mut epochs = Vec::with_capacity(cell.epochs);
+    for (e, res) in results.into_iter().enumerate() {
+        let kind = cycle[e % cycle.len()];
+        let (start, end, close) = (geom.storm_start(e), geom.storm_end(e), geom.epoch_end(e));
+        push_line(
+            &mut jsonl,
+            &Event::StormStart {
+                epoch: e as u64,
+                at: start,
+                kind: kind.name().into(),
+            },
+        );
+        push_line(
+            &mut jsonl,
+            &Event::Corruption {
+                round: start,
+                seed: burst_seed(cell.seed, e as u64),
+            },
+        );
+        push_line(
+            &mut jsonl,
+            &Event::StormEnd {
+                epoch: e as u64,
+                at: end,
+            },
+        );
+        let verdict = match res {
+            Ok(s) => {
+                push_line(
+                    &mut jsonl,
+                    &Event::RecoveryMeasured {
+                        epoch: e as u64,
+                        at: close,
+                        rounds: s as u64,
+                        bound: bound as u64,
+                        ok: true,
+                    },
+                );
+                EpochVerdict::Recovered { rounds: s as u64 }
+            }
+            Err(detail) => {
+                push_line(
+                    &mut jsonl,
+                    &Event::RecoveryMeasured {
+                        epoch: e as u64,
+                        at: close,
+                        rounds: 0,
+                        bound: bound as u64,
+                        ok: false,
+                    },
+                );
+                EpochVerdict::Violated { detail }
+            }
+        };
+        epochs.push(verdict);
+    }
+    CellReport::from_epochs(cell.label.clone(), epochs, jsonl)
 }
 
 /// The compiled `Π⁺` (FloodSet, `f = 1`) under the storm cycle with a
@@ -310,21 +474,7 @@ where
         return CellReport::timed_out(cell.label.clone(), "rounds", Vec::new(), jsonl);
     }
 
-    let cycle = storm_cycle(cell.worst_case);
-    let mut schedule = CorruptionSchedule::none();
-    let mut phases = Vec::new();
-    for e in 0..cell.epochs {
-        let kind = cycle[e % cycle.len()];
-        let start = geom.storm_start(e);
-        // Epoch 0's burst *is* the run's initial corruption; scheduling
-        // it again would corrupt round 1 twice.
-        if e > 0 {
-            schedule = schedule.at(start, burst_seed(cell.seed, e as u64));
-        }
-        if kind.drops_copies() {
-            phases.push(StormPhase::new(start, geom.storm_end(e), kind));
-        }
-    }
+    let (schedule, phases) = storm_program(cell, geom);
     let mut adv = StormAdversary::new(victims.iter().copied(), phases, cell.seed ^ 0x517a);
     let run_cfg = RunConfig::corrupted(cell.n, total_rounds as usize, burst_seed(cell.seed, 0))
         .with_mid_run_corruption(schedule);
@@ -343,6 +493,7 @@ where
 
     let stamps = churn_stamps(&out.history);
     let monitor = QuiescenceMonitor::new(2 * cell.n as u64);
+    let cycle = storm_cycle(cell.worst_case);
     let mut epochs = Vec::with_capacity(cell.epochs);
     for e in 0..cell.epochs {
         let kind = cycle[e % cycle.len()];
@@ -717,6 +868,45 @@ mod tests {
         assert_eq!(report.matches(r#""ok":true"#).count(), 6);
         // No wall-clock values can exist: every line must parse back.
         for line in report.lines() {
+            ftss::telemetry::Event::parse_line(line).expect("report lines are valid events");
+        }
+    }
+
+    #[test]
+    fn streamed_round_agreement_matches_full_retention() {
+        // The streamed (windowed) driver must produce the same verdicts
+        // and the same report bytes as the full-retention driver on the
+        // same cell — the window only changes what stays resident.
+        let budget = SoakBudget::default();
+        let mut cell = SoakPlan::default_plan(3, 11).cells()[0].clone();
+        assert_eq!(cell.scenario, SoakScenario::RoundAgreement);
+        let full = run_cell(&cell, &budget);
+        cell.history_window = Some(12);
+        let streamed = run_cell(&cell, &budget);
+        assert_eq!(full.epochs, streamed.epochs);
+        assert_eq!(full.verdict, streamed.verdict);
+        assert_eq!(full.jsonl, streamed.jsonl);
+        assert!(full.verdict.is_recovered(), "{}", full.jsonl);
+    }
+
+    #[test]
+    fn large_n_plan_runs_windowed_cell() {
+        // The real plan pins n = 4096; that soak belongs to verify.sh's
+        // release-build smoke. Here we drive the same code path through a
+        // shrunken clone of the plan's single cell.
+        let mut cell = SoakPlan::large_n(2, 7).cells().remove(0);
+        cell.n = 8;
+        let report = run_cell(&cell, &SoakBudget::default());
+        assert!(report.verdict.is_recovered(), "{}", report.jsonl);
+        assert_eq!(report.epochs.len(), 2);
+        assert_eq!(
+            report
+                .jsonl
+                .matches(r#""type":"recovery_measured""#)
+                .count(),
+            2
+        );
+        for line in report.jsonl.lines() {
             ftss::telemetry::Event::parse_line(line).expect("report lines are valid events");
         }
     }

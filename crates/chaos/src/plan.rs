@@ -3,13 +3,19 @@
 //!
 //! A plan expands to a list of independent [`SoakCell`]s — pure
 //! functions of `(scenario, seed, epochs)` — that the engine fans out
-//! over the sweep executor. Two plans ship:
+//! over the sweep executor. Three plans ship:
 //!
 //! * **default** — the storm cycle at moderate intensity (60% omission
 //!   storms, untargeted asynchronous scheduling),
 //! * **worst-case** — 90% omission storms, a fully poisoned detector
 //!   start, and an [`ftss::async_sim::AdversaryScheduler`] inflating
-//!   every delay that touches a victim for the first half of the run.
+//!   every delay that touches a victim for the first half of the run,
+//! * **large-n** — one round-agreement cell at `n = 4096` on a
+//!   *windowed* history: the engine streams the run through
+//!   `SyncRunner::run_streaming`, verifying each epoch the moment its
+//!   last round lands, before the window evicts it. This is the soak
+//!   that proves the struct-of-arrays engine sustains thousands of
+//!   processes without retaining the full execution.
 
 use ftss::core::StormKind;
 
@@ -54,12 +60,24 @@ pub struct SoakCell {
     pub epochs: usize,
     /// Whether the worst-case intensities apply.
     pub worst_case: bool,
+    /// History retention in rounds: `None` keeps the full execution
+    /// (default and worst-case plans), `Some(w)` streams the run through
+    /// a `w`-round window (the large-n plan). A windowed cell is
+    /// verified *in-stream*, epoch by epoch.
+    pub history_window: Option<usize>,
 }
+
+/// System size of the large-n plan's single cell.
+pub const LARGE_N: usize = 4096;
+/// History retention of the large-n plan, in rounds. Must cover one full
+/// epoch of the engine's round-agreement geometry so every recovery
+/// window is still resident when its epoch closes.
+pub const LARGE_N_WINDOW: usize = 12;
 
 /// A named soak plan.
 #[derive(Clone, Debug)]
 pub struct SoakPlan {
-    /// Plan name (`default` or `worst-case`).
+    /// Plan name (`default`, `worst-case` or `large-n`).
     pub name: &'static str,
     /// Storm epochs per cell.
     pub epochs: usize,
@@ -93,6 +111,17 @@ impl SoakPlan {
         }
     }
 
+    /// The large-n plan: one windowed round-agreement cell at
+    /// [`LARGE_N`] processes.
+    pub fn large_n(epochs: usize, seed: u64) -> Self {
+        SoakPlan {
+            name: "large-n",
+            epochs,
+            seed,
+            worst_case: false,
+        }
+    }
+
     /// Looks a plan up by CLI name.
     ///
     /// # Errors
@@ -102,14 +131,26 @@ impl SoakPlan {
         match name {
             "default" => Ok(Self::default_plan(epochs, seed)),
             "worst-case" => Ok(Self::worst_case(epochs, seed)),
+            "large-n" => Ok(Self::large_n(epochs, seed)),
             other => Err(format!(
-                "unknown soak plan {other:?} (expected 'default' or 'worst-case')"
+                "unknown soak plan {other:?} (expected 'default', 'worst-case' or 'large-n')"
             )),
         }
     }
 
     /// Expands the plan into its cells, in canonical report order.
     pub fn cells(&self) -> Vec<SoakCell> {
+        if self.name == "large-n" {
+            return vec![SoakCell {
+                scenario: SoakScenario::RoundAgreement,
+                label: format!("{}/n{LARGE_N}", SoakScenario::RoundAgreement.name()),
+                n: LARGE_N,
+                seed: self.seed,
+                epochs: self.epochs,
+                worst_case: false,
+                history_window: Some(LARGE_N_WINDOW),
+            }];
+        }
         let scenarios = [
             (SoakScenario::RoundAgreement, 6),
             (SoakScenario::Compiled, 5),
@@ -125,6 +166,7 @@ impl SoakPlan {
                     seed: self.seed.wrapping_add(v.wrapping_mul(0x9e37_79b9)),
                     epochs: self.epochs,
                     worst_case: self.worst_case,
+                    history_window: None,
                 });
             }
         }
@@ -162,7 +204,30 @@ mod tests {
         assert_eq!(p.epochs, 4);
         let p = SoakPlan::by_name("worst-case", 2, 0).unwrap();
         assert!(p.worst_case);
+        let p = SoakPlan::by_name("large-n", 3, 9).unwrap();
+        assert_eq!(p.name, "large-n");
         assert!(SoakPlan::by_name("gentle", 1, 0).is_err());
+    }
+
+    #[test]
+    fn large_n_plan_is_one_windowed_cell() {
+        let cells = SoakPlan::large_n(2, 5).cells();
+        assert_eq!(cells.len(), 1);
+        let c = &cells[0];
+        assert_eq!(c.scenario, SoakScenario::RoundAgreement);
+        assert_eq!(c.n, LARGE_N);
+        assert_eq!(c.history_window, Some(LARGE_N_WINDOW));
+        assert_eq!(c.label, "round-agreement/n4096");
+        assert!(!c.worst_case);
+        // The stock plans keep the full history — their cells (and thus
+        // their report bytes) are untouched by the windowed machinery.
+        for c in SoakPlan::default_plan(1, 0)
+            .cells()
+            .iter()
+            .chain(SoakPlan::worst_case(1, 0).cells().iter())
+        {
+            assert_eq!(c.history_window, None);
+        }
     }
 
     #[test]

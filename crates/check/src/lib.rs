@@ -24,6 +24,7 @@
 
 pub mod adversary;
 pub mod dfs;
+pub mod largen;
 pub mod oracle;
 pub mod schedule;
 pub mod shrink;
@@ -33,6 +34,7 @@ pub use dfs::{
     check_tape, explore, explore_async, run_tape, AsyncDfsReport, Counterexample, DfsConfig,
     DfsReport, MAX_TAPE_BOUND,
 };
+pub use largen::{e9_rows, e9_table, E9Row, E9_ROUNDS, E9_SEEDS, E9_WINDOW};
 pub use oracle::{
     thm3_round_agreement, thm4_compiled, thm5_detector, window_stabilization, Verdict,
 };

@@ -10,8 +10,8 @@ use ftss::async_sim::{AsyncConfig, AsyncRunner, Time};
 use ftss::compiler::{trace_events, Compiled};
 use ftss::consensus_async::SsConsensusProcess;
 use ftss::core::{
-    ftss_check, Corrupt, CrashSchedule, History, Problem, ProcessId, ProcessSet, RateAgreementSpec,
-    Round,
+    ftss_check, round_count, Corrupt, CrashSchedule, History, Problem, ProcessId, ProcessSet,
+    RateAgreementSpec, Round,
 };
 use ftss::detectors::{
     eventual_weak_accuracy, strong_completeness_time, suspicion_events, LifeState,
@@ -54,7 +54,7 @@ COMMANDS
                    --in FILE [--format table|csv]
   sweep            Run a whole experiment grid (deterministic parallel
                    executor; output is byte-identical for any --jobs)
-                   --exp e1|e2|e7a|e7c [--seeds S] [--max-n N (e1)]
+                   --exp e1|e2|e7a|e7c|e9 [--seeds S] [--max-n N (e1, e9)]
                    [--jobs J (default: FTSS_JOBS, else all cores)]
   check            Model-checker-lite (crates/check)
                    --dfs: exhaustively enumerate every omission schedule
@@ -72,7 +72,7 @@ COMMANDS
                    after every epoch (Theorems 3-5), with budgets,
                    watchdog and livelock guardrails; the JSONL soak
                    report is byte-identical for any --jobs
-                   [--plan default|worst-case --epochs E --seed S]
+                   [--plan default|worst-case|large-n --epochs E --seed S]
                    [--jobs J --out FILE --budget-ms MS]
 
 Boolean options may omit the value: `--corrupt` means `--corrupt true`.
@@ -393,16 +393,18 @@ pub fn token_ring(args: &Args) -> Outcome {
         .run(&mut NoFaults, &RunConfig::corrupted(n, rounds, seed))
         .map_err(|e| e.to_string())?;
     let mut counts: Vec<usize> = Vec::with_capacity(rounds);
-    for r in 1..=rounds as u64 {
-        let records = &out.history.round(Round::new(r)).records;
-        let mut vals: Vec<u64> = Vec::with_capacity(records.len());
-        for (i, rec) in records.iter().enumerate() {
+    for r in 1..=round_count(rounds) {
+        let rh = out.history.round(Round::new(r));
+        let mut vals: Vec<u64> = Vec::with_capacity(rh.n());
+        for rec in rh.records() {
             // A NoFaults run never crashes anyone, so a missing state is a
             // recorder bug worth a diagnostic rather than a backtrace.
-            let state = rec
-                .state_at_start
-                .as_ref()
-                .ok_or_else(|| format!("token-ring: p{i} has no recorded state in round {r}"))?;
+            let state = rec.state_at_start().ok_or_else(|| {
+                format!(
+                    "token-ring: {} has no recorded state in round {r}",
+                    rec.process()
+                )
+            })?;
             vals.push(state.value);
         }
         counts.push(token_holders(&ring, &vals));
@@ -575,13 +577,16 @@ pub fn trace(args: &Args) -> Outcome {
 /// for every `--jobs` value — `scripts/verify.sh` `cmp`s a serial run
 /// against a parallel one to prove it.
 pub fn sweep(args: &Args) -> Outcome {
+    use ftss_check::{e9_table, E9_SEEDS};
     use ftss_sweep::{e1_table, e2_table, e7a_table, e7c_table, jobs_from_env};
     use ftss_sweep::{E1_SEEDS, E2_SEEDS, E7_SEEDS};
     let jobs: usize = match args.get("jobs") {
         Some(_) => args.get_or("jobs", 1)?,
         None => jobs_from_env(),
     };
-    let exp = args.get("exp").ok_or("sweep needs --exp e1|e2|e7a|e7c")?;
+    let exp = args
+        .get("exp")
+        .ok_or("sweep needs --exp e1|e2|e7a|e7c|e9")?;
     match exp {
         "e1" => {
             let seeds: u64 = args.get_or("seeds", E1_SEEDS)?;
@@ -600,7 +605,12 @@ pub fn sweep(args: &Args) -> Outcome {
             let seeds: u64 = args.get_or("seeds", E7_SEEDS)?;
             print!("{}", e7c_table(seeds, jobs));
         }
-        other => return Err(format!("unknown --exp `{other}` (e1|e2|e7a|e7c)")),
+        "e9" => {
+            let seeds: u64 = args.get_or("seeds", E9_SEEDS)?;
+            let max_n: usize = args.get_or("max-n", usize::MAX)?;
+            print!("{}", e9_table(seeds, max_n, jobs));
+        }
+        other => return Err(format!("unknown --exp `{other}` (e1|e2|e7a|e7c|e9)")),
     }
     Ok(true)
 }

@@ -1,6 +1,6 @@
 //! The compiled protocol Π⁺: Figure 3, line by line.
 
-use ftss_core::{normalize, Corrupt, Payload, ProcessId, ProcessSet, RoundCounter};
+use ftss_core::{normalize, round_count, Corrupt, Payload, ProcessId, ProcessSet, RoundCounter};
 use ftss_protocols::{CanonicalProtocol, HasDecision};
 use ftss_rng::Rng;
 use ftss_sync_sim::{Inbox, ProtocolCtx, SyncProtocol};
@@ -236,6 +236,10 @@ where
     V: Clone + PartialEq,
 {
     use ftss_telemetry::Event;
+    assert!(
+        history.is_complete(),
+        "trace extraction needs the complete history; this one evicted rounds"
+    );
     let n = history.n();
     let mut out = Vec::new();
     let rounds = history.rounds();
@@ -243,11 +247,11 @@ where
         let (prev_rh, cur_rh) = (&w[0], &w[1]);
         // rounds[i] holds the state at the start of 1-based round i+1, so
         // the diff of this window is first visible at round i+2.
-        let round = (i + 2) as u64;
+        let round = round_count(i + 2);
         for j in 0..n {
             let (Some(prev), Some(cur)) = (
-                prev_rh.records[j].state_at_start.as_ref(),
-                cur_rh.records[j].state_at_start.as_ref(),
+                prev_rh.record(ProcessId(j)).state_at_start(),
+                cur_rh.record(ProcessId(j)).state_at_start(),
             ) else {
                 continue; // crashed or halted: no snapshot to diff
             };
@@ -442,11 +446,16 @@ mod tests {
         // the start of rounds with even c must be freshly reset.
         for r in 1..=9u64 {
             let rh = out.history.round(Round::new(r));
-            for (i, rec) in rh.records.iter().enumerate() {
-                let st = rec.state_at_start.as_ref().unwrap();
+            for rec in rh.records() {
+                let st = rec.state_at_start().unwrap();
                 if ftss_core::normalize(st.c.get(), 2) == 1 {
                     assert!(st.suspects.is_empty(), "suspects not reset");
-                    assert_eq!(st.inner.seen.len(), 1, "p{i} state not reset at round {r}");
+                    assert_eq!(
+                        st.inner.seen.len(),
+                        1,
+                        "{} state not reset at round {r}",
+                        rec.process()
+                    );
                 }
             }
         }
@@ -497,8 +506,8 @@ mod tests {
         // In the final rounds (well past stabilization) nobody suspects
         // anybody: both processes are correct and synchronized.
         let last = out.history.round(Round::new(10));
-        for rec in &last.records {
-            let st = rec.state_at_start.as_ref().unwrap();
+        for rec in last.records() {
+            let st = rec.state_at_start().unwrap();
             // Mid-iteration the suspect set of a correct, synchronized pair
             // stays empty.
             assert!(st.suspects.is_empty(), "late suspects: {:?}", st.suspects);

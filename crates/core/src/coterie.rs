@@ -47,10 +47,10 @@ impl StableWindow {
 /// // in every coterie.
 /// let mut h: History<(), ()> = History::new(1);
 /// for _ in 0..2 {
-///     h.push(RoundHistory { records: vec![ProcessRoundRecord {
+///     h.push(RoundHistory::from_records(vec![ProcessRoundRecord {
 ///         state_at_start: Some(()), counter_at_start: None,
 ///         sent: vec![], delivered: vec![], crashed_here: false,
-///         halted_at_start: false }] });
+///         halted_at_start: false }]));
 /// }
 /// let tl = CoterieTimeline::compute(&h);
 /// assert_eq!(tl.at_prefix(1).len(), 1);
@@ -64,15 +64,24 @@ pub struct CoterieTimeline {
 
 impl CoterieTimeline {
     /// Replays `history` and computes the coterie of each prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is windowed and has evicted rounds — causal
+    /// reachability needs every round from the beginning of the run.
     pub fn compute<S, M>(history: &History<S, M>) -> Self {
+        assert!(
+            history.is_complete(),
+            "coterie timelines need the complete history; this one evicted rounds"
+        );
         let n = history.n();
         let mut tracker = CausalTracker::new(n);
         let mut per_prefix = Vec::with_capacity(history.len());
         for (k, rh) in history.rounds().iter().enumerate() {
             tracker.begin_round();
-            for (to, rec) in rh.records.iter().enumerate() {
-                for env in &rec.delivered {
-                    tracker.deliver(env.src, crate::ProcessId(to));
+            for rec in rh.records() {
+                for (src, _) in rec.delivered().iter() {
+                    tracker.deliver(src, rec.process());
                 }
             }
             tracker.commit_round();
@@ -191,7 +200,7 @@ mod tests {
                     .push(Envelope::new(ProcessId(from), Round::FIRST, 0));
             }
         }
-        RoundHistory { records }
+        RoundHistory::from_records(records)
     }
 
     #[test]

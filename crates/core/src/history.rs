@@ -7,12 +7,32 @@
 //! `F(H, Π)`, coteries — are evaluated against, so the simulator records
 //! them verbatim and the checkers never peek at simulator internals.
 //!
-//! Payloads inside a history are shared [`Payload`]s: the `n` recorded
-//! copies of one broadcast (the sender's [`SendRecord`]s plus every
-//! receiver's delivered [`Envelope`]) reference a single allocation.
-//! Equality stays by value, so a shared history compares equal to a
-//! deep-cloned one — see [`Payload`] for why sharing cannot leak
-//! mutability into the record.
+//! # Memory model (DESIGN.md §12)
+//!
+//! Round histories are stored **struct-of-arrays**: per-process state and
+//! counters live in dense vectors indexed by process id, per-copy message
+//! fate lives in two n×n bit matrices plus a sparse exception list
+//! ([`RoundMsgs`]), and the flags (`crashed_here`, `halted_at_start`) are
+//! [`ProcessSet`] bitsets. A full-mesh round at n processes therefore costs
+//! `2·n²` *bits* plus one shared [`Payload`] per sender, instead of the
+//! `O(n²)` `SendRecord`/`Envelope` structs of a naive array-of-structs
+//! layout. Code reads records through the borrowed [`RoundRecordView`];
+//! the array-of-structs [`ProcessRoundRecord`] survives as a builder input
+//! for tests and checkers ([`RoundHistory::from_records`]).
+//!
+//! A [`History`] can additionally be **windowed**: constructed via
+//! [`History::with_window`], it retains only the most recent `w` round
+//! histories and folds the deviations of evicted rounds into a running
+//! faulty set, so long runs at large n use bounded memory. The paper's
+//! suffix-based predicates only ever need a bounded suffix (see
+//! `ftss_check::window_stabilization`), which is what makes this sound;
+//! queries that would need an evicted round panic loudly rather than
+//! answering wrong.
+//!
+//! Payloads inside a history are shared [`Payload`]s: one broadcast is one
+//! allocation referenced by every view of it. Equality stays by value, so a
+//! shared history compares equal to a deep-cloned one — see [`Payload`] for
+//! why sharing cannot leak mutability into the record.
 
 use crate::fault::FaultKind;
 use crate::id::{ProcessId, ProcessSet};
@@ -40,6 +60,9 @@ pub enum DeliveryOutcome {
 }
 
 /// One point-to-point copy of a broadcast: destination, payload, fate.
+///
+/// Builder input for [`RoundHistory::from_records`]; the stored layout keeps
+/// one payload per sender plus a bit per copy instead ([`RoundMsgs`]).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SendRecord<M> {
     /// The destination process.
@@ -128,7 +151,293 @@ impl FromIterator<FaultKind> for DeviationSet {
     }
 }
 
-/// Everything one process did (and suffered) in one round.
+const WORD_BITS: usize = 64;
+
+/// A dense n×n bit matrix, row-major, one `u64` word per 64 columns.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct BitGrid {
+    n: usize,
+    /// Words per row.
+    wpr: usize,
+    words: Vec<u64>,
+}
+
+impl BitGrid {
+    fn new(n: usize) -> Self {
+        let wpr = n.div_ceil(WORD_BITS);
+        BitGrid {
+            n,
+            wpr,
+            words: vec![0; n * wpr],
+        }
+    }
+
+    fn set(&mut self, row: usize, col: usize) {
+        debug_assert!(row < self.n && col < self.n);
+        self.words[row * self.wpr + col / WORD_BITS] |= 1 << (col % WORD_BITS);
+    }
+
+    fn get(&self, row: usize, col: usize) -> bool {
+        debug_assert!(row < self.n && col < self.n);
+        self.words[row * self.wpr + col / WORD_BITS] & (1 << (col % WORD_BITS)) != 0
+    }
+
+    fn row_count(&self, row: usize) -> usize {
+        self.row(row).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn row(&self, row: usize) -> &[u64] {
+        &self.words[row * self.wpr..(row + 1) * self.wpr]
+    }
+
+    fn row_bits(&self, row: usize) -> RowBits<'_> {
+        RowBits {
+            words: self.row(row),
+            word_idx: 0,
+            current: self.row(row).first().copied().unwrap_or(0),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+/// Iterator over the set column indices of one [`BitGrid`] row, ascending.
+#[derive(Clone, Debug)]
+struct RowBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for RowBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+/// The message traffic of one round, struct-of-arrays.
+///
+/// One broadcast payload slot per sender, two n×n bit matrices (`sent`:
+/// row = sender, column = destination; `delivered`: row = *receiver*,
+/// column = sender), and a sparse, `(src, dst)`-sorted exception list
+/// holding every copy whose [`DeliveryOutcome`] was *not* `Delivered`.
+/// A sent bit with no exception entry means the copy was delivered.
+///
+/// Kept separate from [`RoundHistory`] so that message-only consumers (the
+/// simulator's inbox path) need not name the protocol state type `S`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RoundMsgs<M> {
+    n: usize,
+    payloads: Vec<Option<Payload<M>>>,
+    sent: BitGrid,
+    delivered: BitGrid,
+    exceptions: Vec<(ProcessId, ProcessId, DeliveryOutcome)>,
+}
+
+impl<M> RoundMsgs<M> {
+    fn empty(n: usize) -> Self {
+        RoundMsgs {
+            n,
+            payloads: std::iter::repeat_with(|| None).take(n).collect(),
+            sent: BitGrid::new(n),
+            delivered: BitGrid::new(n),
+            exceptions: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.payloads.iter_mut().for_each(|p| *p = None);
+        self.sent.reset();
+        self.delivered.reset();
+        self.exceptions.clear();
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The payload `src` broadcast this round, if it sent at all.
+    pub fn broadcast_of(&self, src: ProcessId) -> Option<&Payload<M>> {
+        self.payloads[src.index()].as_ref()
+    }
+
+    /// The fate of the copy `src → dst`, or `None` if no copy was emitted
+    /// (the sender was crashed, silent, or halted).
+    pub fn outcome_of(&self, src: ProcessId, dst: ProcessId) -> Option<DeliveryOutcome> {
+        if !self.sent.get(src.index(), dst.index()) {
+            return None;
+        }
+        match self
+            .exceptions
+            .binary_search_by_key(&(src, dst), |&(s, d, _)| (s, d))
+        {
+            Ok(i) => Some(self.exceptions[i].2),
+            Err(_) => Some(DeliveryOutcome::Delivered),
+        }
+    }
+
+    /// Number of copies `src` emitted this round.
+    pub fn sent_count(&self, src: ProcessId) -> usize {
+        self.sent.row_count(src.index())
+    }
+
+    /// Number of messages delivered to `dst` this round.
+    pub fn delivered_count(&self, dst: ProcessId) -> usize {
+        self.delivered.row_count(dst.index())
+    }
+
+    /// Whether the copy `src → dst` was actually delivered.
+    pub fn was_delivered(&self, dst: ProcessId, src: ProcessId) -> bool {
+        self.delivered.get(dst.index(), src.index())
+    }
+
+    /// Iterates the copies `src` emitted, in ascending destination order.
+    pub fn sent_iter(&self, src: ProcessId) -> SentIter<'_, M> {
+        let lo = self.exceptions.partition_point(|&(s, _, _)| s < src);
+        let hi = self.exceptions[lo..].partition_point(|&(s, _, _)| s == src) + lo;
+        SentIter {
+            payload: self.payloads[src.index()].as_ref(),
+            bits: self.sent.row_bits(src.index()),
+            exceptions: &self.exceptions[lo..hi],
+            next_exc: 0,
+        }
+    }
+
+    /// The messages delivered to `dst` this round, as a borrowed view.
+    pub fn deliveries(&self, dst: ProcessId) -> Deliveries<'_, M> {
+        Deliveries { msgs: self, dst }
+    }
+}
+
+/// One emitted copy of a broadcast, viewed out of a [`RoundMsgs`].
+#[derive(Clone, Copy, Debug)]
+pub struct SentCopy<'a, M> {
+    /// The destination process.
+    pub dst: ProcessId,
+    /// The payload carried, shared with the broadcast's other copies.
+    pub payload: &'a Payload<M>,
+    /// What happened to this copy.
+    pub outcome: DeliveryOutcome,
+}
+
+/// Iterator over the copies one sender emitted, ascending by destination.
+#[derive(Clone, Debug)]
+pub struct SentIter<'a, M> {
+    payload: Option<&'a Payload<M>>,
+    bits: RowBits<'a>,
+    exceptions: &'a [(ProcessId, ProcessId, DeliveryOutcome)],
+    next_exc: usize,
+}
+
+impl<'a, M> Iterator for SentIter<'a, M> {
+    type Item = SentCopy<'a, M>;
+
+    fn next(&mut self) -> Option<SentCopy<'a, M>> {
+        let dst = ProcessId(self.bits.next()?);
+        let mut outcome = DeliveryOutcome::Delivered;
+        if let Some(&(_, d, o)) = self.exceptions.get(self.next_exc) {
+            if d == dst {
+                outcome = o;
+                self.next_exc += 1;
+            }
+        }
+        Some(SentCopy {
+            dst,
+            payload: self
+                .payload
+                .expect("sent copies recorded without a broadcast payload"),
+            outcome,
+        })
+    }
+}
+
+/// The messages one process received in one round — a borrowed, `Copy`
+/// view into a [`RoundMsgs`], cheap enough to hand to the protocol inbox
+/// path without cloning envelopes.
+#[derive(Debug)]
+pub struct Deliveries<'a, M> {
+    msgs: &'a RoundMsgs<M>,
+    dst: ProcessId,
+}
+
+impl<M> Clone for Deliveries<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for Deliveries<'_, M> {}
+
+impl<'a, M> Deliveries<'a, M> {
+    /// The payload delivered from `src`, if one arrived.
+    pub fn get(&self, src: ProcessId) -> Option<&'a Payload<M>> {
+        if !self.msgs.was_delivered(self.dst, src) {
+            return None;
+        }
+        Some(
+            self.msgs.payloads[src.index()]
+                .as_ref()
+                .expect("delivered bit without a recorded payload"),
+        )
+    }
+
+    /// Iterates `(sender, payload)` in ascending sender order.
+    pub fn iter(&self) -> DeliveredIter<'a, M> {
+        DeliveredIter {
+            msgs: self.msgs,
+            bits: self.msgs.delivered.row_bits(self.dst.index()),
+        }
+    }
+
+    /// Number of messages delivered.
+    pub fn len(&self) -> usize {
+        self.msgs.delivered_count(self.dst)
+    }
+
+    /// Whether nothing was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Iterator over one receiver's deliveries, ascending by sender.
+#[derive(Clone, Debug)]
+pub struct DeliveredIter<'a, M> {
+    msgs: &'a RoundMsgs<M>,
+    bits: RowBits<'a>,
+}
+
+impl<'a, M> Iterator for DeliveredIter<'a, M> {
+    type Item = (ProcessId, &'a Payload<M>);
+
+    fn next(&mut self) -> Option<(ProcessId, &'a Payload<M>)> {
+        let src = ProcessId(self.bits.next()?);
+        Some((
+            src,
+            self.msgs.payloads[src.index()]
+                .as_ref()
+                .expect("delivered bit without a recorded payload"),
+        ))
+    }
+}
+
+/// Everything one process did (and suffered) in one round — the
+/// array-of-structs *builder* form, consumed by
+/// [`RoundHistory::from_records`]. The stored layout is struct-of-arrays;
+/// read it back through [`RoundHistory::record`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ProcessRoundRecord<S, M> {
     /// State at the start of the round; `None` once the process has
@@ -161,58 +470,166 @@ impl<S, M> ProcessRoundRecord<S, M> {
             halted_at_start: false,
         }
     }
-
-    /// The deviations (process-failure actions) attributable to this
-    /// process in this round, derived from the recorded outcomes of its own
-    /// sends (`DroppedBySender`) plus `crashed_here`. Receive omissions are
-    /// attributed by [`RoundHistory::deviation_set`], which also scans the
-    /// *other* processes' send records.
-    fn own_deviations(&self) -> DeviationSet {
-        let mut out = DeviationSet::EMPTY;
-        if self.crashed_here {
-            out.insert(FaultKind::Crash);
-        }
-        if self
-            .sent
-            .iter()
-            .any(|s| s.outcome == DeliveryOutcome::DroppedBySender)
-        {
-            out.insert(FaultKind::SendOmission);
-        }
-        out
-    }
 }
 
-/// The global state-and-actions snapshot of a single round.
+/// The global state-and-actions snapshot of a single round,
+/// struct-of-arrays (see the module docs for the layout).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RoundHistory<S, M> {
-    /// One record per process, indexed by process id.
-    pub records: Vec<ProcessRoundRecord<S, M>>,
+    states: Vec<Option<S>>,
+    counters: Vec<Option<RoundCounter>>,
+    crashed_here: ProcessSet,
+    halted_at_start: ProcessSet,
+    msgs: RoundMsgs<M>,
 }
 
 impl<S, M> RoundHistory<S, M> {
-    /// Number of processes.
-    pub fn n(&self) -> usize {
-        self.records.len()
+    /// A blank round over `n` processes: every state `None`, no traffic.
+    /// The simulator fills it in via the `set_*`/`record_*` builders.
+    pub fn empty(n: usize) -> Self {
+        RoundHistory {
+            states: std::iter::repeat_with(|| None).take(n).collect(),
+            counters: vec![None; n],
+            crashed_here: ProcessSet::empty(n),
+            halted_at_start: ProcessSet::empty(n),
+            msgs: RoundMsgs::empty(n),
+        }
     }
 
-    /// The record for process `p`.
-    pub fn record(&self, p: ProcessId) -> &ProcessRoundRecord<S, M> {
-        &self.records[p.index()]
+    /// Clears the round back to blank, **reusing every allocation** — the
+    /// simulator's per-round arena. If `n` differs from the current width
+    /// the round is re-allocated at the new width.
+    pub fn reset(&mut self, n: usize) {
+        if self.n() != n {
+            *self = Self::empty(n);
+            return;
+        }
+        self.states.iter_mut().for_each(|s| *s = None);
+        self.counters.iter_mut().for_each(|c| *c = None);
+        self.crashed_here.clear();
+        self.halted_at_start.clear();
+        self.msgs.reset();
+    }
+
+    /// Sets the per-process snapshot fields for `p`.
+    pub fn set_process(
+        &mut self,
+        p: ProcessId,
+        state: Option<S>,
+        counter: Option<RoundCounter>,
+        crashed_here: bool,
+        halted_at_start: bool,
+    ) {
+        self.states[p.index()] = state;
+        self.counters[p.index()] = counter;
+        if crashed_here {
+            self.crashed_here.insert(p);
+        }
+        if halted_at_start {
+            self.halted_at_start.insert(p);
+        }
+    }
+
+    /// Records the payload `src` broadcast this round.
+    pub fn set_broadcast(&mut self, src: ProcessId, payload: Payload<M>) {
+        self.msgs.payloads[src.index()] = Some(payload);
+    }
+
+    /// Records the fate of the emitted copy `src → dst`. Non-`Delivered`
+    /// outcomes go to the sparse exception list; insertion is O(1) when
+    /// copies arrive in ascending `(src, dst)` order (as the simulator
+    /// emits them) and falls back to a sorted insert otherwise.
+    pub fn record_send(&mut self, src: ProcessId, dst: ProcessId, outcome: DeliveryOutcome) {
+        self.msgs.sent.set(src.index(), dst.index());
+        if outcome != DeliveryOutcome::Delivered {
+            let exc = &mut self.msgs.exceptions;
+            match exc.last() {
+                Some(&(s, d, _)) if (s, d) < (src, dst) => exc.push((src, dst, outcome)),
+                None => exc.push((src, dst, outcome)),
+                _ => {
+                    let at = exc.partition_point(|&(s, d, _)| (s, d) < (src, dst));
+                    exc.insert(at, (src, dst, outcome));
+                }
+            }
+        }
+    }
+
+    /// Records that the copy `src → dst` actually reached `dst`.
+    pub fn record_delivery(&mut self, dst: ProcessId, src: ProcessId) {
+        self.msgs.delivered.set(dst.index(), src.index());
+    }
+
+    /// Builds a round from per-process array-of-structs records (test and
+    /// checker convenience; the simulator uses the incremental builders).
+    ///
+    /// The broadcast payload of each sender is taken from its first send
+    /// record, falling back to a delivered envelope when the sender's own
+    /// record carries none (as some test fixtures record only one side).
+    pub fn from_records(records: Vec<ProcessRoundRecord<S, M>>) -> Self {
+        let n = records.len();
+        let mut rh = Self::empty(n);
+        for (i, rec) in records.into_iter().enumerate() {
+            let p = ProcessId(i);
+            rh.set_process(
+                p,
+                rec.state_at_start,
+                rec.counter_at_start,
+                rec.crashed_here,
+                rec.halted_at_start,
+            );
+            for s in rec.sent {
+                if rh.msgs.payloads[i].is_none() {
+                    rh.msgs.payloads[i] = Some(s.payload);
+                }
+                rh.record_send(p, s.dst, s.outcome);
+            }
+            for env in rec.delivered {
+                if rh.msgs.payloads[env.src.index()].is_none() {
+                    rh.msgs.payloads[env.src.index()] = Some(env.payload);
+                }
+                rh.record_delivery(p, env.src);
+            }
+        }
+        rh.msgs.exceptions.sort_by_key(|&(s, d, _)| (s, d));
+        rh
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.states.len()
+    }
+
+    /// A borrowed view of what process `p` did this round.
+    pub fn record(&self, p: ProcessId) -> RoundRecordView<'_, S, M> {
+        debug_assert!(p.index() < self.n());
+        RoundRecordView { rh: self, p }
+    }
+
+    /// Iterates every process's record view, in process order.
+    pub fn records(&self) -> impl Iterator<Item = RoundRecordView<'_, S, M>> {
+        (0..self.n()).map(|i| self.record(ProcessId(i)))
+    }
+
+    /// The round's message traffic.
+    pub fn msgs(&self) -> &RoundMsgs<M> {
+        &self.msgs
     }
 
     /// The deviations of process `p` in this round, allocation-free: its
-    /// own crash / send omissions plus receive omissions found in other
-    /// processes' send records targeting `p`.
+    /// own crash / send omissions plus receive omissions, all read off the
+    /// crash bitset and the sparse exception list.
     pub fn deviation_set(&self, p: ProcessId) -> DeviationSet {
-        let mut out = self.records[p.index()].own_deviations();
-        let dropped_receiving = self.records.iter().any(|rec| {
-            rec.sent
-                .iter()
-                .any(|s| s.dst == p && s.outcome == DeliveryOutcome::DroppedByReceiver)
-        });
-        if dropped_receiving {
-            out.insert(FaultKind::ReceiveOmission);
+        let mut out = DeviationSet::EMPTY;
+        if self.crashed_here.contains(p) {
+            out.insert(FaultKind::Crash);
+        }
+        for &(s, d, o) in &self.msgs.exceptions {
+            if s == p && o == DeliveryOutcome::DroppedBySender {
+                out.insert(FaultKind::SendOmission);
+            }
+            if d == p && o == DeliveryOutcome::DroppedByReceiver {
+                out.insert(FaultKind::ReceiveOmission);
+            }
         }
         out
     }
@@ -225,22 +642,22 @@ impl<S, M> RoundHistory<S, M> {
         self.deviation_set(p).iter().collect()
     }
 
-    /// The deviation sets of *all* processes, computed in one pass over the
-    /// send records (the per-process query rescans every record, which is
-    /// quadratic when asked for each process in turn). `out` is cleared and
-    /// resized; reusing one buffer across rounds keeps the checker hot loop
-    /// allocation-free.
+    /// The deviation sets of *all* processes in one pass over the crash
+    /// bitset and exception list. `out` is cleared and resized; reusing one
+    /// buffer across rounds keeps the checker hot loop allocation-free.
     pub fn deviation_sets_into(&self, out: &mut Vec<DeviationSet>) {
         out.clear();
-        out.resize(self.records.len(), DeviationSet::EMPTY);
-        for (i, rec) in self.records.iter().enumerate() {
-            out[i] = rec.own_deviations();
+        out.resize(self.n(), DeviationSet::EMPTY);
+        for p in self.crashed_here.iter() {
+            out[p.index()].insert(FaultKind::Crash);
         }
-        for rec in &self.records {
-            for s in &rec.sent {
-                if s.outcome == DeliveryOutcome::DroppedByReceiver {
-                    out[s.dst.index()].insert(FaultKind::ReceiveOmission);
+        for &(s, d, o) in &self.msgs.exceptions {
+            match o {
+                DeliveryOutcome::DroppedBySender => out[s.index()].insert(FaultKind::SendOmission),
+                DeliveryOutcome::DroppedByReceiver => {
+                    out[d.index()].insert(FaultKind::ReceiveOmission)
                 }
+                _ => {}
             }
         }
     }
@@ -249,24 +666,139 @@ impl<S, M> RoundHistory<S, M> {
     pub fn is_deviation(&self, p: ProcessId) -> bool {
         !self.deviation_set(p).is_empty()
     }
+
+    /// Inserts every process that deviated this round into `f` — the
+    /// one-round step of the faulty-set fold, used both by
+    /// [`History::faulty_upto`] and by the eviction path of a windowed
+    /// history.
+    pub fn collect_faulty_into(&self, f: &mut ProcessSet) {
+        for p in self.crashed_here.iter() {
+            f.insert(p);
+        }
+        for &(s, d, o) in &self.msgs.exceptions {
+            match o {
+                DeliveryOutcome::DroppedBySender => {
+                    f.insert(s);
+                }
+                DeliveryOutcome::DroppedByReceiver => {
+                    f.insert(d);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// A borrowed per-process view into one [`RoundHistory`] — the reading
+/// counterpart of the [`ProcessRoundRecord`] builder.
+#[derive(Debug)]
+pub struct RoundRecordView<'a, S, M> {
+    rh: &'a RoundHistory<S, M>,
+    p: ProcessId,
+}
+
+impl<S, M> Clone for RoundRecordView<'_, S, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S, M> Copy for RoundRecordView<'_, S, M> {}
+
+impl<'a, S, M> RoundRecordView<'a, S, M> {
+    /// The process this view describes.
+    pub fn process(&self) -> ProcessId {
+        self.p
+    }
+
+    /// State at the start of the round; `None` once crashed.
+    pub fn state_at_start(&self) -> Option<&'a S> {
+        self.rh.states[self.p.index()].as_ref()
+    }
+
+    /// The round counter `c_p^r` at the start of the round, if any.
+    pub fn counter_at_start(&self) -> Option<RoundCounter> {
+        self.rh.counters[self.p.index()]
+    }
+
+    /// Whether the process crashed *during* this round.
+    pub fn crashed_here(&self) -> bool {
+        self.rh.crashed_here.contains(self.p)
+    }
+
+    /// Whether the process had voluntarily halted by the round start.
+    pub fn halted_at_start(&self) -> bool {
+        self.rh.halted_at_start.contains(self.p)
+    }
+
+    /// The payload this process broadcast, if it sent at all.
+    pub fn broadcast_payload(&self) -> Option<&'a Payload<M>> {
+        self.rh.msgs.broadcast_of(self.p)
+    }
+
+    /// Number of copies this process emitted.
+    pub fn sent_len(&self) -> usize {
+        self.rh.msgs.sent_count(self.p)
+    }
+
+    /// Number of messages delivered to this process.
+    pub fn delivered_len(&self) -> usize {
+        self.rh.msgs.delivered_count(self.p)
+    }
+
+    /// Iterates the emitted copies, ascending by destination.
+    pub fn sent(&self) -> SentIter<'a, M> {
+        self.rh.msgs.sent_iter(self.p)
+    }
+
+    /// The messages delivered to this process.
+    pub fn delivered(&self) -> Deliveries<'a, M> {
+        self.rh.msgs.deliveries(self.p)
+    }
+
+    /// The payload delivered from `src`, if one arrived.
+    pub fn delivered_from(&self, src: ProcessId) -> Option<&'a Payload<M>> {
+        self.rh.msgs.deliveries(self.p).get(src)
+    }
 }
 
 /// An execution history `H`: a sequence of round histories over a fixed set
 /// of `n` processes.
 ///
-/// Round `r` of the paper corresponds to `rounds[r - 1]`.
+/// Round `r` of the paper corresponds to retained index `r - 1 - evicted()`;
+/// a full-retention history ([`History::new`]) keeps every round, a windowed
+/// one ([`History::with_window`]) keeps the most recent `window` rounds and
+/// folds evicted rounds' deviations into a running faulty set.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct History<S, M> {
     n: usize,
     rounds: Vec<RoundHistory<S, M>>,
+    evicted: usize,
+    evicted_faulty: ProcessSet,
+    window: Option<usize>,
 }
 
 impl<S, M> History<S, M> {
-    /// An empty history over `n` processes.
+    /// An empty, full-retention history over `n` processes.
     pub fn new(n: usize) -> Self {
         History {
             n,
             rounds: Vec::new(),
+            evicted: 0,
+            evicted_faulty: ProcessSet::empty(n),
+            window: None,
+        }
+    }
+
+    /// An empty history that retains only the most recent `window` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`; a history must retain at least one round.
+    pub fn with_window(n: usize, window: usize) -> Self {
+        assert!(window >= 1, "history window must retain at least one round");
+        History {
+            window: Some(window),
+            ..Self::new(n)
         }
     }
 
@@ -275,36 +807,69 @@ impl<S, M> History<S, M> {
         self.n
     }
 
-    /// Number of recorded rounds, `|H|`.
+    /// Number of recorded rounds, `|H|` — *including* evicted ones.
     pub fn len(&self) -> usize {
-        self.rounds.len()
+        self.evicted + self.rounds.len()
     }
 
     /// Whether no rounds have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.rounds.is_empty()
+        self.len() == 0
     }
 
-    /// Appends a round history.
+    /// Number of rounds evicted from the front (0 for full retention).
+    pub fn evicted(&self) -> usize {
+        self.evicted
+    }
+
+    /// The retention window, if any.
+    pub fn window(&self) -> Option<usize> {
+        self.window
+    }
+
+    /// Whether every recorded round is still retained.
+    pub fn is_complete(&self) -> bool {
+        self.evicted == 0
+    }
+
+    /// Appends a round history. If the window overflows, the oldest
+    /// retained round is evicted — its deviations are folded into the
+    /// running faulty set and the frame is returned so the caller can
+    /// [`RoundHistory::reset`] and reuse its allocations.
     ///
     /// # Panics
     ///
     /// Panics if the round's process count differs from `n`.
-    pub fn push(&mut self, rh: RoundHistory<S, M>) {
+    pub fn push(&mut self, rh: RoundHistory<S, M>) -> Option<RoundHistory<S, M>> {
         assert_eq!(rh.n(), self.n, "round history has wrong process count");
         self.rounds.push(rh);
+        if let Some(w) = self.window {
+            if self.rounds.len() > w {
+                let old = self.rounds.remove(0);
+                old.collect_faulty_into(&mut self.evicted_faulty);
+                self.evicted += 1;
+                return Some(old);
+            }
+        }
+        None
     }
 
     /// The round history of observer round `r`.
     ///
     /// # Panics
     ///
-    /// Panics if `r` exceeds the recorded length.
+    /// Panics if `r` exceeds the recorded length or has been evicted from
+    /// the retention window.
     pub fn round(&self, r: Round) -> &RoundHistory<S, M> {
-        &self.rounds[r.index()]
+        assert!(
+            r.index() >= self.evicted,
+            "{r} was evicted from the retention window"
+        );
+        &self.rounds[r.index() - self.evicted]
     }
 
-    /// All recorded rounds in order.
+    /// The retained rounds in order; index `i` is observer round
+    /// `evicted() + i + 1`.
     pub fn rounds(&self) -> &[RoundHistory<S, M>] {
         &self.rounds
     }
@@ -312,27 +877,31 @@ impl<S, M> History<S, M> {
     /// The faulty set `F(H', Π)` of the prefix consisting of the first
     /// `upto` rounds: every process that deviated in some round `<= upto`.
     ///
-    /// One pass per round over the send records (via
-    /// [`RoundHistory::deviation_sets_into`]) with a single reused scratch
-    /// buffer — no per-process rescans, no per-call allocation beyond the
-    /// result set itself.
+    /// Starts from the fold of evicted rounds and scans the retained ones —
+    /// one pass per round over the crash bitset and exception list with a
+    /// single reused scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upto < evicted()` — a windowed history cannot answer for
+    /// a prefix shorter than what it has already folded away.
     pub fn faulty_upto(&self, upto: usize) -> ProcessSet {
-        let mut f = ProcessSet::empty(self.n);
-        let mut scratch: Vec<DeviationSet> = Vec::new();
-        for rh in &self.rounds[..upto.min(self.rounds.len())] {
-            rh.deviation_sets_into(&mut scratch);
-            for (i, devs) in scratch.iter().enumerate() {
-                if !devs.is_empty() {
-                    f.insert(ProcessId(i));
-                }
-            }
+        assert!(
+            upto >= self.evicted,
+            "faulty_upto({upto}) asks about a prefix inside the evicted region ({} rounds evicted)",
+            self.evicted
+        );
+        let mut f = self.evicted_faulty.clone();
+        let end = (upto - self.evicted).min(self.rounds.len());
+        for rh in &self.rounds[..end] {
+            rh.collect_faulty_into(&mut f);
         }
         f
     }
 
     /// The faulty set of the whole recorded history.
     pub fn faulty(&self) -> ProcessSet {
-        self.faulty_upto(self.rounds.len())
+        self.faulty_upto(self.len())
     }
 
     /// The correct set `C(H, Π)` of the whole recorded history.
@@ -341,13 +910,19 @@ impl<S, M> History<S, M> {
     }
 
     /// A borrowed view of rounds `[start, end)` (0-based indices into the
-    /// round vector, i.e. observer rounds `start+1 ..= end`).
+    /// full history, i.e. observer rounds `start+1 ..= end`).
     ///
     /// # Panics
     ///
-    /// Panics if `start > end` or `end > len()`.
+    /// Panics if `start > end` or `end > len()`, or if `start` falls before
+    /// the retained window of a windowed history.
     pub fn slice(&self, start: usize, end: usize) -> HistorySlice<'_, S, M> {
-        assert!(start <= end && end <= self.rounds.len(), "bad slice bounds");
+        assert!(start <= end && end <= self.len(), "bad slice bounds");
+        assert!(
+            start >= self.evicted,
+            "slice begins before the retained window ({} rounds evicted)",
+            self.evicted
+        );
         HistorySlice {
             history: self,
             start,
@@ -355,20 +930,26 @@ impl<S, M> History<S, M> {
         }
     }
 
-    /// A view of the entire history.
+    /// A view of the entire retained history.
     pub fn as_slice(&self) -> HistorySlice<'_, S, M> {
-        self.slice(0, self.rounds.len())
+        self.slice(self.evicted, self.len())
     }
 
     /// A view of the `r`-suffix: everything after the first `r` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`Self::slice`]) if the suffix would begin before the
+    /// retained window.
     pub fn suffix(&self, r: usize) -> HistorySlice<'_, S, M> {
-        self.slice(r.min(self.rounds.len()), self.rounds.len())
+        self.slice(r.min(self.len()), self.len())
     }
 }
 
 /// A contiguous view into a [`History`] — the paper constantly reasons
 /// about prefixes, suffixes and mid-sections (`H = H₁·H₂·H₃·H₄`), so
-/// problem predicates take slices.
+/// problem predicates take slices. `start`/`end` are indices into the
+/// *full* history; the view maps them into the retained window.
 #[derive(Debug)]
 pub struct HistorySlice<'a, S, M> {
     history: &'a History<S, M>,
@@ -417,12 +998,13 @@ impl<'a, S, M> HistorySlice<'a, S, M> {
 
     /// Iterates the round histories in view, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &'a RoundHistory<S, M>> {
-        self.history.rounds[self.start..self.end].iter()
+        let ev = self.history.evicted;
+        self.history.rounds[self.start - ev..self.end - ev].iter()
     }
 
     /// The `i`-th round history within the view (0-based).
     pub fn round(&self, i: usize) -> &'a RoundHistory<S, M> {
-        &self.history.rounds[self.start + i]
+        &self.history.rounds[self.start - self.history.evicted + i]
     }
 
     /// Processes that deviate anywhere in the *underlying* history up to the
@@ -435,17 +1017,21 @@ impl<'a, S, M> HistorySlice<'a, S, M> {
 
 impl<S: fmt::Debug, M: fmt::Debug> fmt::Display for History<S, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "history: n={}, {} rounds", self.n, self.rounds.len())?;
+        writeln!(f, "history: n={}, {} rounds", self.n, self.len())?;
+        if self.evicted > 0 {
+            writeln!(f, "  ({} rounds evicted from the window)", self.evicted)?;
+        }
         for (i, rh) in self.rounds.iter().enumerate() {
-            writeln!(f, "  round {}:", i + 1)?;
-            for (j, rec) in rh.records.iter().enumerate() {
+            writeln!(f, "  round {}:", self.evicted + i + 1)?;
+            for rec in rh.records() {
                 writeln!(
                     f,
-                    "    p{j}: c={:?} sent={} recv={}{}",
-                    rec.counter_at_start.map(|c| c.get()),
-                    rec.sent.len(),
-                    rec.delivered.len(),
-                    if rec.crashed_here { " CRASHED" } else { "" },
+                    "    p{}: c={:?} sent={} recv={}{}",
+                    rec.process().index(),
+                    rec.counter_at_start().map(|c| c.get()),
+                    rec.sent_len(),
+                    rec.delivered_len(),
+                    if rec.crashed_here() { " CRASHED" } else { "" },
                 )?;
             }
         }
@@ -458,6 +1044,7 @@ mod tests {
     use super::*;
 
     type H = History<u32, &'static str>;
+    type RH = RoundHistory<u32, &'static str>;
 
     fn record(
         sent: Vec<SendRecord<&'static str>>,
@@ -482,6 +1069,7 @@ mod tests {
         let h = H::new(3);
         assert_eq!(h.len(), 0);
         assert!(h.is_empty());
+        assert!(h.is_complete());
         assert_eq!(h.faulty(), ProcessSet::empty(3));
         assert_eq!(h.correct(), ProcessSet::full(3));
     }
@@ -489,12 +1077,10 @@ mod tests {
     #[test]
     fn send_omission_marks_sender_faulty() {
         let mut h = H::new(2);
-        h.push(RoundHistory {
-            records: vec![
-                record(vec![send(1, DeliveryOutcome::DroppedBySender)], false),
-                record(vec![send(0, DeliveryOutcome::Delivered)], false),
-            ],
-        });
+        h.push(RH::from_records(vec![
+            record(vec![send(1, DeliveryOutcome::DroppedBySender)], false),
+            record(vec![send(0, DeliveryOutcome::Delivered)], false),
+        ]));
         let f = h.faulty();
         assert!(f.contains(ProcessId(0)));
         assert!(!f.contains(ProcessId(1)));
@@ -507,12 +1093,10 @@ mod tests {
     #[test]
     fn receive_omission_marks_receiver_faulty() {
         let mut h = H::new(2);
-        h.push(RoundHistory {
-            records: vec![
-                record(vec![send(1, DeliveryOutcome::DroppedByReceiver)], false),
-                record(vec![send(0, DeliveryOutcome::Delivered)], false),
-            ],
-        });
+        h.push(RH::from_records(vec![
+            record(vec![send(1, DeliveryOutcome::DroppedByReceiver)], false),
+            record(vec![send(0, DeliveryOutcome::Delivered)], false),
+        ]));
         let f = h.faulty();
         assert!(!f.contains(ProcessId(0)), "sender is innocent");
         assert!(f.contains(ProcessId(1)), "receiver deviated");
@@ -522,12 +1106,10 @@ mod tests {
     fn crash_attribution_and_receiver_crashed_is_innocent() {
         let mut h = H::new(2);
         // Round 1: p1 crashes. p0's copy to p1 vanishes without deviation by p0.
-        h.push(RoundHistory {
-            records: vec![
-                record(vec![send(1, DeliveryOutcome::ReceiverCrashed)], false),
-                record(vec![], true),
-            ],
-        });
+        h.push(RH::from_records(vec![
+            record(vec![send(1, DeliveryOutcome::ReceiverCrashed)], false),
+            record(vec![], true),
+        ]));
         let f = h.faulty();
         assert!(!f.contains(ProcessId(0)));
         assert!(f.contains(ProcessId(1)));
@@ -536,18 +1118,14 @@ mod tests {
     #[test]
     fn faulty_upto_is_prefix_monotone() {
         let mut h = H::new(2);
-        h.push(RoundHistory {
-            records: vec![
-                record(vec![send(1, DeliveryOutcome::Delivered)], false),
-                record(vec![send(0, DeliveryOutcome::Delivered)], false),
-            ],
-        });
-        h.push(RoundHistory {
-            records: vec![
-                record(vec![send(1, DeliveryOutcome::DroppedBySender)], false),
-                record(vec![send(0, DeliveryOutcome::Delivered)], false),
-            ],
-        });
+        h.push(RH::from_records(vec![
+            record(vec![send(1, DeliveryOutcome::Delivered)], false),
+            record(vec![send(0, DeliveryOutcome::Delivered)], false),
+        ]));
+        h.push(RH::from_records(vec![
+            record(vec![send(1, DeliveryOutcome::DroppedBySender)], false),
+            record(vec![send(0, DeliveryOutcome::Delivered)], false),
+        ]));
         assert!(h.faulty_upto(1).is_empty());
         assert!(h.faulty_upto(2).contains(ProcessId(0)));
         assert!(h.faulty_upto(1).is_subset(&h.faulty_upto(2)));
@@ -555,19 +1133,18 @@ mod tests {
 
     #[test]
     fn deviation_set_agrees_with_vec_and_is_packed() {
-        let mut h = H::new(2);
-        h.push(RoundHistory {
-            records: vec![
-                record(
-                    vec![
-                        send(1, DeliveryOutcome::DroppedBySender),
-                        send(1, DeliveryOutcome::DroppedByReceiver),
-                    ],
-                    true,
-                ),
-                record(vec![send(0, DeliveryOutcome::Delivered)], false),
-            ],
-        });
+        let mut h = H::new(3);
+        h.push(RH::from_records(vec![
+            record(
+                vec![
+                    send(1, DeliveryOutcome::DroppedBySender),
+                    send(2, DeliveryOutcome::DroppedByReceiver),
+                ],
+                true,
+            ),
+            record(vec![send(0, DeliveryOutcome::Delivered)], false),
+            record(vec![], false),
+        ]));
         let rh = h.round(Round::FIRST);
         let set = rh.deviation_set(ProcessId(0));
         assert_eq!(set.len(), 2);
@@ -578,73 +1155,141 @@ mod tests {
             rh.deviations_of(ProcessId(0)),
             set.iter().collect::<Vec<_>>()
         );
-        // p1 suffered a receive omission (p0's second copy targeted it).
-        let p1 = rh.deviation_set(ProcessId(1));
+        // p2 suffered a receive omission (p0's second copy targeted it).
+        let p2 = rh.deviation_set(ProcessId(2));
         assert_eq!(
-            p1.iter().collect::<Vec<_>>(),
+            p2.iter().collect::<Vec<_>>(),
             vec![FaultKind::ReceiveOmission]
         );
-        assert_eq!(format!("{p1:?}"), "{ReceiveOmission}");
+        assert_eq!(format!("{p2:?}"), "{ReceiveOmission}");
         // The one-pass bulk query matches the per-process queries.
         let mut all = Vec::new();
         rh.deviation_sets_into(&mut all);
-        assert_eq!(all, vec![set, p1]);
+        assert_eq!(all, vec![set, DeviationSet::EMPTY, p2]);
         // Round-tripping through FromIterator preserves the set.
         assert_eq!(set.iter().collect::<DeviationSet>(), set);
         assert!(DeviationSet::EMPTY.is_empty());
     }
 
     #[test]
-    fn shared_payloads_preserve_history_equality() {
-        // The same execution recorded twice: once with every copy sharing a
-        // single broadcast payload, once with each copy deep-cloned. The
-        // two representations must be indistinguishable to every observer.
-        let shared_payload = Payload::new("m");
-        let shared = RoundHistory {
-            records: vec![record(
-                vec![
-                    SendRecord::new(
-                        ProcessId(0),
-                        shared_payload.clone(),
-                        DeliveryOutcome::Delivered,
-                    ),
-                    SendRecord::new(
-                        ProcessId(1),
-                        shared_payload.clone(),
-                        DeliveryOutcome::Delivered,
-                    ),
-                ],
-                false,
-            )],
-        };
-        let cloned = RoundHistory {
-            records: vec![record(
-                vec![
-                    send(0, DeliveryOutcome::Delivered),
-                    send(1, DeliveryOutcome::Delivered),
-                ],
-                false,
-            )],
-        };
-        assert!(shared.records[0].sent[0]
-            .payload
-            .shares_with(&shared.records[0].sent[1].payload));
-        assert!(!cloned.records[0].sent[0]
-            .payload
-            .shares_with(&cloned.records[0].sent[1].payload));
+    fn round_msgs_views_report_traffic() {
+        let mut rh = RH::empty(3);
+        let payload = Payload::new("m");
+        rh.set_process(ProcessId(0), Some(7), None, false, false);
+        rh.set_broadcast(ProcessId(0), payload.clone());
+        rh.record_send(ProcessId(0), ProcessId(1), DeliveryOutcome::Delivered);
+        rh.record_send(ProcessId(0), ProcessId(2), DeliveryOutcome::DroppedBySender);
+        rh.record_delivery(ProcessId(0), ProcessId(0));
+        rh.record_delivery(ProcessId(1), ProcessId(0));
 
-        let mut h_shared = History::<u32, &'static str>::new(1);
+        let m = rh.msgs();
+        assert_eq!(m.n(), 3);
+        assert!(m.broadcast_of(ProcessId(0)).unwrap().shares_with(&payload));
+        assert!(m.broadcast_of(ProcessId(1)).is_none());
+        assert_eq!(
+            m.outcome_of(ProcessId(0), ProcessId(1)),
+            Some(DeliveryOutcome::Delivered)
+        );
+        assert_eq!(
+            m.outcome_of(ProcessId(0), ProcessId(2)),
+            Some(DeliveryOutcome::DroppedBySender)
+        );
+        assert_eq!(m.outcome_of(ProcessId(1), ProcessId(0)), None);
+        assert_eq!(m.sent_count(ProcessId(0)), 2);
+        assert_eq!(m.delivered_count(ProcessId(1)), 1);
+        assert!(m.was_delivered(ProcessId(1), ProcessId(0)));
+        assert!(!m.was_delivered(ProcessId(2), ProcessId(0)));
+
+        let sent: Vec<_> = m
+            .sent_iter(ProcessId(0))
+            .map(|c| (c.dst.index(), c.outcome))
+            .collect();
+        assert_eq!(
+            sent,
+            vec![
+                (1, DeliveryOutcome::Delivered),
+                (2, DeliveryOutcome::DroppedBySender),
+            ]
+        );
+
+        let inbox = m.deliveries(ProcessId(1));
+        assert_eq!(inbox.len(), 1);
+        assert!(!inbox.is_empty());
+        assert_eq!(inbox.get(ProcessId(0)), Some(&payload));
+        assert_eq!(inbox.get(ProcessId(2)), None);
+        let pairs: Vec<_> = inbox.iter().map(|(p, m)| (p.index(), **m)).collect();
+        assert_eq!(pairs, vec![(0, "m")]);
+
+        let rec = rh.record(ProcessId(0));
+        assert_eq!(rec.state_at_start(), Some(&7));
+        assert_eq!(rec.sent_len(), 2);
+        assert_eq!(rec.delivered_len(), 1);
+        assert_eq!(rec.delivered_from(ProcessId(0)), Some(&payload));
+        assert!(rec.broadcast_payload().is_some());
+    }
+
+    #[test]
+    fn reset_reuses_a_frame() {
+        let mut rh = RH::empty(2);
+        rh.set_process(ProcessId(0), Some(1), None, true, true);
+        rh.set_broadcast(ProcessId(0), Payload::new("m"));
+        rh.record_send(ProcessId(0), ProcessId(1), DeliveryOutcome::DroppedBySender);
+        rh.record_delivery(ProcessId(1), ProcessId(0));
+        rh.reset(2);
+        assert_eq!(rh, RH::empty(2));
+        // Width change re-allocates.
+        rh.reset(3);
+        assert_eq!(rh, RH::empty(3));
+    }
+
+    #[test]
+    fn shared_payloads_preserve_history_equality() {
+        // The same execution recorded twice: once with the sender's copy and
+        // the receiver's envelope sharing one broadcast payload, once with
+        // each deep-cloned. The two representations must be
+        // indistinguishable to every observer.
+        let shared_payload = Payload::new("m");
+        let shared = RH::from_records(vec![
+            record(
+                vec![SendRecord::new(
+                    ProcessId(1),
+                    shared_payload.clone(),
+                    DeliveryOutcome::Delivered,
+                )],
+                false,
+            ),
+            ProcessRoundRecord {
+                delivered: vec![Envelope::new(ProcessId(0), Round::FIRST, shared_payload)],
+                ..record(vec![], false)
+            },
+        ]);
+        let cloned = RH::from_records(vec![
+            record(vec![send(1, DeliveryOutcome::Delivered)], false),
+            ProcessRoundRecord {
+                delivered: vec![Envelope::new(ProcessId(0), Round::FIRST, Payload::new("m"))],
+                ..record(vec![], false)
+            },
+        ]);
+
+        let mut h_shared = H::new(2);
         h_shared.push(shared);
-        let mut h_cloned = History::<u32, &'static str>::new(1);
+        let mut h_cloned = H::new(2);
         h_cloned.push(cloned);
         assert_eq!(h_shared, h_cloned);
         assert_eq!(format!("{h_shared:?}"), format!("{h_cloned:?}"));
         assert_eq!(h_shared.to_string(), h_cloned.to_string());
         // Cloning a history shares payloads rather than deep-copying them.
         let h2 = h_shared.clone();
-        assert!(h2.rounds()[0].records[0].sent[0]
-            .payload
-            .shares_with(&h_shared.rounds()[0].records[0].sent[0].payload));
+        assert!(h2.rounds()[0]
+            .msgs()
+            .broadcast_of(ProcessId(0))
+            .unwrap()
+            .shares_with(
+                h_shared.rounds()[0]
+                    .msgs()
+                    .broadcast_of(ProcessId(0))
+                    .unwrap()
+            ));
         assert_eq!(h2, h_shared);
     }
 
@@ -652,9 +1297,7 @@ mod tests {
     fn slices_views() {
         let mut h = H::new(1);
         for _ in 0..5 {
-            h.push(RoundHistory {
-                records: vec![record(vec![], false)],
-            });
+            h.push(RH::from_records(vec![record(vec![], false)]));
         }
         let s = h.slice(1, 4);
         assert_eq!(s.len(), 3);
@@ -680,19 +1323,118 @@ mod tests {
     #[should_panic(expected = "wrong process count")]
     fn push_wrong_width_panics() {
         let mut h = H::new(2);
-        h.push(RoundHistory {
-            records: vec![record(vec![], false)],
-        });
+        h.push(RH::from_records(vec![record(vec![], false)]));
+    }
+
+    fn faulty_round_then_clean(h: &mut H) {
+        // Round 1: p0 send-omits toward p1; later rounds are clean.
+        h.push(RH::from_records(vec![
+            record(vec![send(1, DeliveryOutcome::DroppedBySender)], false),
+            record(vec![send(0, DeliveryOutcome::Delivered)], false),
+        ]));
+        for _ in 0..3 {
+            h.push(RH::from_records(vec![
+                record(vec![send(1, DeliveryOutcome::Delivered)], false),
+                record(vec![send(0, DeliveryOutcome::Delivered)], false),
+            ]));
+        }
+    }
+
+    #[test]
+    fn windowed_history_evicts_and_remembers_faulty() {
+        let mut h = H::with_window(2, 2);
+        assert_eq!(h.window(), Some(2));
+        faulty_round_then_clean(&mut h);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.evicted(), 2);
+        assert_eq!(h.rounds().len(), 2);
+        assert!(!h.is_complete());
+        // The deviation of the evicted round 1 is still visible.
+        assert!(h.faulty().contains(ProcessId(0)));
+        assert!(h.faulty_upto(2).contains(ProcessId(0)));
+        assert!(!h.faulty().contains(ProcessId(1)));
+        // Retained rounds remain addressable by absolute observer round.
+        assert_eq!(h.round(Round::new(3)).n(), 2);
+        assert_eq!(h.as_slice().len(), 2);
+        assert_eq!(h.as_slice().start(), 2);
+        assert_eq!(h.suffix(3).len(), 1);
+        assert!(h.slice(2, 4).faulty_by_view_end().contains(ProcessId(0)));
+    }
+
+    #[test]
+    fn windowed_matches_full_on_retained_suffix() {
+        let mut full = H::new(2);
+        let mut windowed = H::with_window(2, 2);
+        faulty_round_then_clean(&mut full);
+        faulty_round_then_clean(&mut windowed);
+        assert_eq!(full.faulty(), windowed.faulty());
+        assert_eq!(full.faulty_upto(3), windowed.faulty_upto(3));
+        for r in [3u64, 4] {
+            assert_eq!(full.round(Round::new(r)), windowed.round(Round::new(r)));
+        }
+        assert_eq!(full.suffix(2).len(), windowed.suffix(2).len());
+    }
+
+    #[test]
+    fn eviction_returns_the_frame_for_reuse() {
+        let mut h = H::with_window(1, 1);
+        assert!(h
+            .push(RH::from_records(vec![record(vec![], false)]))
+            .is_none());
+        let frame = h.push(RH::from_records(vec![record(vec![], true)]));
+        let mut frame = frame.expect("second push must evict the first round");
+        frame.reset(1);
+        assert_eq!(frame, RH::empty(1));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.evicted(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted from the retention window")]
+    fn evicted_round_lookup_panics() {
+        let mut h = H::with_window(2, 2);
+        faulty_round_then_clean(&mut h);
+        h.round(Round::FIRST);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the retained window")]
+    fn evicted_slice_panics() {
+        let mut h = H::with_window(2, 2);
+        faulty_round_then_clean(&mut h);
+        h.slice(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted region")]
+    fn evicted_faulty_upto_panics() {
+        let mut h = H::with_window(2, 2);
+        faulty_round_then_clean(&mut h);
+        h.faulty_upto(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_window_rejected() {
+        H::with_window(2, 0);
     }
 
     #[test]
     fn display_smoke() {
         let mut h = H::new(1);
-        h.push(RoundHistory {
-            records: vec![record(vec![], true)],
-        });
+        h.push(RH::from_records(vec![record(vec![], true)]));
         let s = h.to_string();
         assert!(s.contains("round 1"));
         assert!(s.contains("CRASHED"));
+    }
+
+    #[test]
+    fn display_windowed_notes_eviction() {
+        let mut h = H::with_window(2, 2);
+        faulty_round_then_clean(&mut h);
+        let s = h.to_string();
+        assert!(s.contains("2 rounds evicted"));
+        assert!(s.contains("round 3"));
+        assert!(!s.contains("round 1:"));
     }
 }

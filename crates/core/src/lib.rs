@@ -55,14 +55,14 @@ pub use coterie::{coterie_of_prefix, CoterieTimeline, StableWindow};
 pub use error::{ConfigError, Violation};
 pub use fault::{CrashSchedule, FaultKind, FaultModel};
 pub use history::{
-    DeliveryOutcome, DeviationSet, History, HistorySlice, ProcessRoundRecord, RoundHistory,
-    SendRecord,
+    DeliveredIter, Deliveries, DeliveryOutcome, DeviationSet, History, HistorySlice,
+    ProcessRoundRecord, RoundHistory, RoundMsgs, RoundRecordView, SendRecord, SentCopy, SentIter,
 };
 pub use id::{ProcessId, ProcessSet};
 pub use message::Envelope;
 pub use payload::Payload;
 pub use problem::{Problem, RateAgreementSpec, UniformitySpec};
-pub use round::{normalize, saturating_round_index, Round, RoundCounter};
+pub use round::{normalize, round_count, saturating_round_index, Round, RoundCounter};
 pub use solvability::{
     ft_check, ftss_check, ftss_check_suffix, ss_check, FtssReport, FtssViolation,
 };

@@ -66,7 +66,7 @@ impl<S, M> Problem<S, M> for RateAgreementSpec {
                 // would have put it in `faulty`); a missing counter at a
                 // correct process means the protocol under test does not
                 // maintain Assumption 1's distinguished variable.
-                let c = match rec.counter_at_start {
+                let c = match rec.counter_at_start() {
                     Some(c) => c.get(),
                     None => {
                         return Err(Violation::new(
@@ -140,7 +140,7 @@ impl<S, M> Problem<S, M> for UniformitySpec {
                 if faulty.contains(q) {
                     None
                 } else {
-                    rh.record(q).counter_at_start.map(|c| (q, c.get()))
+                    rh.record(q).counter_at_start().map(|c| (q, c.get()))
                 }
             });
             let Some((q, cq)) = reference else {
@@ -152,11 +152,11 @@ impl<S, M> Problem<S, M> for UniformitySpec {
                     continue;
                 }
                 let rec = rh.record(p);
-                let crashed = rec.state_at_start.is_none() || rec.crashed_here;
-                if crashed || rec.halted_at_start {
+                let crashed = rec.state_at_start().is_none() || rec.crashed_here();
+                if crashed || rec.halted_at_start() {
                     continue; // halted: uniformity satisfied for p
                 }
-                match rec.counter_at_start {
+                match rec.counter_at_start() {
                     Some(c) if c.get() == cq => {}
                     Some(c) => {
                         return Err(Violation::new(
@@ -193,9 +193,8 @@ mod tests {
     type H = History<(), ()>;
 
     fn round_with_counters(cs: &[Option<u64>]) -> RoundHistory<(), ()> {
-        RoundHistory {
-            records: cs
-                .iter()
+        RoundHistory::from_records(
+            cs.iter()
                 .map(|c| ProcessRoundRecord {
                     state_at_start: Some(()),
                     counter_at_start: c.map(RoundCounter::new),
@@ -205,7 +204,7 @@ mod tests {
                     halted_at_start: false,
                 })
                 .collect(),
-        }
+        )
     }
 
     #[test]
@@ -296,9 +295,8 @@ mod tests {
     }
 
     fn round_with_halt(cs: &[(Option<u64>, bool)]) -> RoundHistory<(), ()> {
-        RoundHistory {
-            records: cs
-                .iter()
+        RoundHistory::from_records(
+            cs.iter()
                 .map(|(c, halted)| ProcessRoundRecord {
                     state_at_start: Some(()),
                     counter_at_start: c.map(RoundCounter::new),
@@ -308,7 +306,7 @@ mod tests {
                     halted_at_start: *halted,
                 })
                 .collect(),
-        }
+        )
     }
 
     #[test]

@@ -185,6 +185,30 @@ pub fn saturating_round_index(c: u64) -> usize {
     usize::try_from(c).unwrap_or(usize::MAX)
 }
 
+/// Converts a configured round *count* (a `usize`, e.g. `RunConfig::rounds`)
+/// into the `u64` domain of observer [`Round`] numbers — the checked inverse
+/// of [`saturating_round_index`].
+///
+/// On every practical target `usize` fits in `u64` and this is the identity;
+/// the checked conversion (rather than an ad-hoc `as u64` cast) keeps the
+/// convention explicit and would fail loudly instead of truncating on an
+/// exotic target where it does not hold.
+///
+/// # Panics
+///
+/// Panics if the count does not fit in `u64` (impossible on targets with
+/// `usize` ≤ 64 bits).
+///
+/// # Example
+///
+/// ```
+/// use ftss_core::round_count;
+/// assert_eq!(round_count(24), 24u64);
+/// ```
+pub fn round_count(rounds: usize) -> u64 {
+    u64::try_from(rounds).expect("round count exceeds the u64 observer-round domain")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +277,13 @@ mod tests {
         // way the result is monotone in the input — no wrap-around.
         assert!(saturating_round_index(u64::MAX) >= saturating_round_index(u64::MAX - 1));
         assert_eq!(saturating_round_index(u64::MAX), usize::MAX);
+    }
+
+    #[test]
+    fn round_count_is_the_checked_inverse() {
+        assert_eq!(round_count(0), 0);
+        assert_eq!(round_count(24), 24);
+        assert_eq!(saturating_round_index(round_count(usize::MAX)), usize::MAX);
     }
 
     #[test]

@@ -260,7 +260,7 @@ mod tests {
                 }
             }
         }
-        RoundHistory { records }
+        RoundHistory::from_records(records)
     }
 
     #[test]

@@ -203,7 +203,7 @@ fn arb_history(g: &mut Gen, n: usize, max_rounds: usize) -> History<(), u8> {
                 }
             }
         }
-        h.push(RoundHistory { records });
+        h.push(RoundHistory::from_records(records));
     }
     h
 }

@@ -118,9 +118,8 @@ mod tests {
                 let cs: Vec<u64> = out
                     .history
                     .round(ftss_core::Round::new(r))
-                    .records
-                    .iter()
-                    .map(|rec| rec.counter_at_start.unwrap().get())
+                    .records()
+                    .map(|rec| rec.counter_at_start().unwrap().get())
                     .collect();
                 assert!(
                     cs.iter().all(|&c| c == cs[0]),
@@ -144,8 +143,8 @@ mod tests {
             .unwrap();
         // From round 2 on, all counters are in range.
         for r in 2..=3u64 {
-            for rec in &out.history.round(ftss_core::Round::new(r)).records {
-                assert!(rec.counter_at_start.unwrap().get() < m);
+            for rec in out.history.round(ftss_core::Round::new(r)).records() {
+                assert!(rec.counter_at_start().unwrap().get() < m);
             }
         }
     }

@@ -234,8 +234,8 @@ mod tests {
         // Rounds 3-4: nobody sends.
         for r in [3u64, 4] {
             let rh = out.history.round(ftss_core::Round::new(r));
-            for rec in &rh.records {
-                assert!(rec.sent.is_empty(), "halted process sent in round {r}");
+            for rec in rh.records() {
+                assert_eq!(rec.sent_len(), 0, "halted process sent in round {r}");
             }
         }
     }

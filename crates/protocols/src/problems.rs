@@ -87,7 +87,7 @@ where
             if faulty.contains(p) {
                 continue;
             }
-            let state = rh.record(p).state_at_start.as_ref().ok_or_else(|| {
+            let state = rh.record(p).state_at_start().ok_or_else(|| {
                 Violation::new("termination", format!("correct {p} has no state"))
                     .at_round(self.decide_by)
             })?;
@@ -175,7 +175,7 @@ where
                 if faulty.contains(p) {
                     continue;
                 }
-                let Some(state) = rh.record(p).state_at_start.as_ref() else {
+                let Some(state) = rh.record(p).state_at_start() else {
                     continue;
                 };
                 let Some((tag, v)) = state.decision() else {
@@ -234,8 +234,8 @@ mod tests {
     }
 
     fn round(states: &[Option<D>]) -> RoundHistory<D, ()> {
-        RoundHistory {
-            records: states
+        RoundHistory::from_records(
+            states
                 .iter()
                 .map(|s| ProcessRoundRecord {
                     state_at_start: s.clone(),
@@ -246,7 +246,7 @@ mod tests {
                     halted_at_start: false,
                 })
                 .collect(),
-        }
+        )
     }
 
     fn hist(rounds: Vec<RoundHistory<D, ()>>) -> History<D, ()> {

@@ -99,9 +99,8 @@ mod tests {
     fn counters_at(out: &ftss_sync_sim::RunOutcome<RoundAgreementState, u64>, r: u64) -> Vec<u64> {
         out.history
             .round(Round::new(r))
-            .records
-            .iter()
-            .map(|rec| rec.counter_at_start.unwrap().get())
+            .records()
+            .map(|rec| rec.counter_at_start().unwrap().get())
             .collect()
     }
 

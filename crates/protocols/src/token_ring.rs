@@ -136,9 +136,8 @@ mod tests {
     fn values_at(out: &ftss_sync_sim::RunOutcome<TokenRingState, u64>, r: u64) -> Vec<u64> {
         out.history
             .round(Round::new(r))
-            .records
-            .iter()
-            .map(|rec| rec.state_at_start.as_ref().unwrap().value)
+            .records()
+            .map(|rec| rec.state_at_start().unwrap().value)
             .collect()
     }
 
@@ -236,8 +235,7 @@ mod tests {
             .history
             .round(Round::new(6))
             .record(ProcessId(3))
-            .state_at_start
-            .as_ref()
+            .state_at_start()
             .unwrap()
             .value;
         let v_final = out.final_states[3].as_ref().unwrap().value;

@@ -27,18 +27,16 @@ fn round_agreement_converges_to_max_plus_one() {
         let initial_max = out
             .history
             .round(Round::FIRST)
-            .records
-            .iter()
-            .map(|r| r.counter_at_start.unwrap().get())
+            .records()
+            .map(|r| r.counter_at_start().unwrap().get())
             .max()
             .unwrap();
         for r in 2..=rounds as u64 {
             let cs: Vec<u64> = out
                 .history
                 .round(Round::new(r))
-                .records
-                .iter()
-                .map(|rec| rec.counter_at_start.unwrap().get())
+                .records()
+                .map(|rec| rec.counter_at_start().unwrap().get())
                 .collect();
             assert!(cs.iter().all(|&c| c == cs[0]), "round {r}: {cs:?}");
             // Saturating arithmetic near u64::MAX is allowed to pin at MAX.

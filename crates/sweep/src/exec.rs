@@ -47,14 +47,33 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// The worker count requested via the `FTSS_JOBS` environment variable,
 /// falling back to the machine's available parallelism. `FTSS_JOBS=1`
-/// forces a serial sweep (same output, by construction).
+/// forces a serial sweep (same output, by construction). An unset,
+/// invalid, or zero `FTSS_JOBS` falls back to available parallelism; the
+/// invalid cases additionally warn on stderr rather than silently forcing
+/// a serial sweep.
 pub fn jobs_from_env() -> usize {
-    match std::env::var("FTSS_JOBS") {
-        Ok(s) => s.trim().parse().ok().filter(|&j| j >= 1).unwrap_or(1),
-        Err(_) => std::thread::available_parallelism()
+    let fallback = || {
+        std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1),
+            .unwrap_or(1)
+    };
+    match std::env::var("FTSS_JOBS") {
+        Ok(s) => parse_jobs(&s).unwrap_or_else(|| {
+            let jobs = fallback();
+            eprintln!(
+                "warning: FTSS_JOBS={s:?} is not a positive integer; \
+                 using available parallelism ({jobs})"
+            );
+            jobs
+        }),
+        Err(_) => fallback(),
     }
+}
+
+/// Parses an `FTSS_JOBS` value: a positive integer, surrounding whitespace
+/// tolerated. `None` for anything else (empty, zero, garbage).
+fn parse_jobs(s: &str) -> Option<usize> {
+    s.trim().parse().ok().filter(|&j| j >= 1)
 }
 
 /// Maps `f` over `cells` on up to `jobs` scoped worker threads, returning
@@ -243,10 +262,20 @@ mod tests {
 
     #[test]
     fn jobs_env_parsing() {
-        // Only exercises the parse path indirectly: invalid values fall
-        // back to 1 worker rather than panicking. (Setting env vars in a
-        // multithreaded test binary is unsafe, so the parse contract is
-        // asserted through `map_cells` accepting any jobs value instead.)
+        // The parse contract, exercised on the pure helper (setting env
+        // vars in a multithreaded test binary is unsafe): positive
+        // integers pass through, whitespace is tolerated, and anything
+        // else — zero included — signals "fall back to parallelism".
+        assert_eq!(parse_jobs("4"), Some(4));
+        assert_eq!(parse_jobs(" 8\n"), Some(8));
+        assert_eq!(parse_jobs("1"), Some(1));
+        assert_eq!(parse_jobs("0"), None);
+        assert_eq!(parse_jobs("abc"), None);
+        assert_eq!(parse_jobs(""), None);
+        assert_eq!(parse_jobs("  "), None);
+        assert_eq!(parse_jobs("-2"), None);
+        assert_eq!(parse_jobs("4.5"), None);
+        // And map_cells itself clamps a zero jobs count rather than hanging.
         let cells: Vec<u64> = (0..4).collect();
         assert_eq!(map_cells(&cells, 0, |x| *x), cells, "jobs=0 clamps to 1");
     }

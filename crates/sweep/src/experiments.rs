@@ -182,8 +182,10 @@ impl PiSpec {
 }
 
 /// Flattens `rows × seeds` into cells and chunks the mapped results back
-/// per row, preserving canonical (row-major) order.
-fn sweep_rows<Row: Sync, R: Send>(
+/// per row, preserving canonical (row-major) order. Shared by every table
+/// driver here and by downstream crates building their own grids (the
+/// large-n E9 sweep lives in `ftss-check`).
+pub fn sweep_rows<Row: Sync, R: Send>(
     rows: &[Row],
     seeds: u64,
     jobs: usize,

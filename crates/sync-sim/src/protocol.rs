@@ -6,7 +6,7 @@
 //! it received. [`SyncProtocol`] mirrors this exactly with
 //! [`SyncProtocol::broadcast`] and [`SyncProtocol::step`].
 
-use ftss_core::{Envelope, ProcessId, RoundCounter};
+use ftss_core::{DeliveredIter, Deliveries, Envelope, ProcessId, RoundCounter};
 use std::fmt;
 
 /// Static facts a process knows about its system: its own identity and the
@@ -38,10 +38,11 @@ impl ProtocolCtx {
 /// broadcast). A process always receives its own broadcast (paper
 /// footnote 1), so `from(ctx.me)` is always `Some` at an alive process.
 ///
-/// An inbox either owns its envelopes ([`Inbox::new`]) or borrows them from
-/// the round record the simulator is building ([`Inbox::from_sorted`]) —
-/// the borrowed form lets the hot loop hand a process its inbox without
-/// cloning or moving the envelopes out of the history.
+/// An inbox either owns its envelopes ([`Inbox::new`]), borrows a sorted
+/// envelope slice ([`Inbox::from_sorted`]), or views one receiver's row of
+/// the round's message matrices ([`Inbox::from_deliveries`]) — the view
+/// form is what the simulator hot loop hands each process: no envelopes
+/// exist at all, just delivery bits plus one shared payload per sender.
 #[derive(Clone, Debug)]
 pub struct Inbox<'a, M> {
     storage: Storage<'a, M>,
@@ -51,6 +52,7 @@ pub struct Inbox<'a, M> {
 enum Storage<'a, M> {
     Owned(Vec<Envelope<M>>),
     Borrowed(&'a [Envelope<M>]),
+    View(Deliveries<'a, M>),
 }
 
 impl<'a, M> Inbox<'a, M> {
@@ -62,8 +64,8 @@ impl<'a, M> Inbox<'a, M> {
         }
     }
 
-    /// Borrows envelopes that are **already sorted by sender** (as the
-    /// simulator records them: ascending sender order, one per sender).
+    /// Borrows envelopes that are **already sorted by sender** (ascending
+    /// sender order, one per sender).
     ///
     /// # Panics
     ///
@@ -78,16 +80,24 @@ impl<'a, M> Inbox<'a, M> {
         }
     }
 
-    fn messages(&self) -> &[Envelope<M>] {
-        match &self.storage {
-            Storage::Owned(v) => v,
-            Storage::Borrowed(s) => s,
+    /// Views one receiver's deliveries straight out of a round's message
+    /// matrices ([`ftss_core::RoundMsgs`]); `from` becomes a bit test.
+    pub fn from_deliveries(deliveries: Deliveries<'a, M>) -> Self {
+        Inbox {
+            storage: Storage::View(deliveries),
         }
     }
 
     /// The payload received from `p` this round, if any.
     pub fn from(&self, p: ProcessId) -> Option<&M> {
-        let messages = self.messages();
+        match &self.storage {
+            Storage::Owned(v) => Self::search(v, p),
+            Storage::Borrowed(s) => Self::search(s, p),
+            Storage::View(d) => d.get(p).map(|payload| &**payload),
+        }
+    }
+
+    fn search(messages: &[Envelope<M>], p: ProcessId) -> Option<&M> {
         messages
             .binary_search_by_key(&p, |e| e.src)
             .ok()
@@ -100,23 +110,56 @@ impl<'a, M> Inbox<'a, M> {
     }
 
     /// Iterates `(sender, payload)` in sender order.
-    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
-        self.messages().iter().map(|e| (e.src, &*e.payload))
+    pub fn iter(&self) -> InboxIter<'_, M> {
+        InboxIter {
+            inner: match &self.storage {
+                Storage::Owned(v) => InboxIterInner::Slice(v.iter()),
+                Storage::Borrowed(s) => InboxIterInner::Slice(s.iter()),
+                Storage::View(d) => InboxIterInner::View(d.iter()),
+            },
+        }
     }
 
     /// The senders heard from this round, in order.
     pub fn senders(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.messages().iter().map(|e| e.src)
+        self.iter().map(|(p, _)| p)
     }
 
     /// Number of messages received.
     pub fn len(&self) -> usize {
-        self.messages().len()
+        match &self.storage {
+            Storage::Owned(v) => v.len(),
+            Storage::Borrowed(s) => s.len(),
+            Storage::View(d) => d.len(),
+        }
     }
 
     /// Whether nothing was received.
     pub fn is_empty(&self) -> bool {
-        self.messages().is_empty()
+        self.len() == 0
+    }
+}
+
+/// Iterator over an [`Inbox`]'s `(sender, payload)` pairs in sender order.
+#[derive(Clone, Debug)]
+pub struct InboxIter<'a, M> {
+    inner: InboxIterInner<'a, M>,
+}
+
+#[derive(Clone, Debug)]
+enum InboxIterInner<'a, M> {
+    Slice(std::slice::Iter<'a, Envelope<M>>),
+    View(DeliveredIter<'a, M>),
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = (ProcessId, &'a M);
+
+    fn next(&mut self) -> Option<(ProcessId, &'a M)> {
+        match &mut self.inner {
+            InboxIterInner::Slice(it) => it.next().map(|e| (e.src, &*e.payload)),
+            InboxIterInner::View(it) => it.next().map(|(p, payload)| (p, &**payload)),
+        }
     }
 }
 

@@ -20,12 +20,24 @@
 //!
 //! A process crashing in round `r` emits a prefix of its copies and takes
 //! no state transition; its state is undefined from round `r + 1` on.
+//!
+//! ## Memory model (DESIGN.md §12)
+//!
+//! The runner fills one struct-of-arrays [`RoundHistory`] frame per round:
+//! delivery fate is two bit matrices plus a sparse exception list, the
+//! broadcast is one shared [`Payload`] per sender, and each process's inbox
+//! is a borrowed view of its row of the delivery matrix
+//! ([`Inbox::from_deliveries`]) — the hot loop allocates nothing per copy.
+//! With [`RunConfig::with_history_window`] the history retains only a
+//! bounded suffix and evicted frames are recycled, so memory stays flat at
+//! any run length; [`SyncRunner::run_streaming`] lets an observer inspect
+//! the history after every round, which is how windowed oracles are driven.
 
 use crate::adversary::{Adversary, OmissionSide};
 use crate::protocol::{Inbox, ProtocolCtx, SyncProtocol};
 use ftss_core::{
-    ConfigError, Corrupt, DeliveryOutcome, Envelope, History, Payload, ProcessId,
-    ProcessRoundRecord, Round, RoundHistory, SendRecord,
+    round_count, ConfigError, Corrupt, DeliveryOutcome, History, Payload, ProcessId, Round,
+    RoundHistory,
 };
 use ftss_rng::StdRng;
 use ftss_telemetry::{Event, NullSink, RunMode, TraceSink};
@@ -123,6 +135,10 @@ pub struct RunConfig {
     /// Upper bound `f` on faulty processes; the adversary's declared
     /// faulty set must not exceed it.
     pub max_faulty: usize,
+    /// If set, the recorded history retains only the most recent this-many
+    /// rounds (see [`History::with_window`]); evicted round frames are
+    /// recycled by the runner. `None` records the complete history.
+    pub history_window: Option<usize>,
 }
 
 impl RunConfig {
@@ -134,17 +150,15 @@ impl RunConfig {
             corruption: Corruption::None,
             mid_run_corruption: CorruptionSchedule::none(),
             max_faulty: n,
+            history_window: None,
         }
     }
 
     /// A run whose initial global state is arbitrarily corrupted.
     pub fn corrupted(n: usize, rounds: usize, seed: u64) -> Self {
         RunConfig {
-            n,
-            rounds,
             corruption: Corruption::Arbitrary { seed },
-            mid_run_corruption: CorruptionSchedule::none(),
-            max_faulty: n,
+            ..Self::clean(n, rounds)
         }
     }
 
@@ -161,13 +175,21 @@ impl RunConfig {
         self.mid_run_corruption = schedule;
         self
     }
+
+    /// Bounds history retention to the most recent `window` rounds.
+    #[must_use]
+    pub fn with_history_window(mut self, window: usize) -> Self {
+        self.history_window = Some(window);
+        self
+    }
 }
 
 /// The result of a run: the recorded history plus the survivors' final
 /// states.
 #[derive(Clone, Debug)]
 pub struct RunOutcome<S, M> {
-    /// The execution history, one entry per observer round.
+    /// The execution history, one entry per observer round (bounded to the
+    /// configured window, if any).
     pub history: History<S, M>,
     /// Final state per process; `None` for crashed processes.
     pub final_states: Vec<Option<S>>,
@@ -211,7 +233,7 @@ where
         adversary: &mut A,
         cfg: &RunConfig,
     ) -> Result<RunOutcome<P::State, P::Msg>, ConfigError> {
-        self.run_traced(adversary, cfg, &mut NullSink)
+        self.run_impl(adversary, cfg, &mut NullSink, |_| {})
     }
 
     /// Runs the protocol, emitting structured [`Event`]s into `sink`.
@@ -237,6 +259,49 @@ where
         cfg: &RunConfig,
         sink: &mut T,
     ) -> Result<RunOutcome<P::State, P::Msg>, ConfigError> {
+        self.run_impl(adversary, cfg, sink, |_| {})
+    }
+
+    /// Runs the protocol, invoking `on_round` with the history after every
+    /// recorded round — the streaming seam for windowed consumers (soak
+    /// engines, online oracles) that must observe rounds before the window
+    /// evicts them. The observer sees the history exactly as a post-run
+    /// consumer would at that prefix length.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::run`].
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::run`].
+    pub fn run_streaming<A, T, F>(
+        &self,
+        adversary: &mut A,
+        cfg: &RunConfig,
+        sink: &mut T,
+        on_round: F,
+    ) -> Result<RunOutcome<P::State, P::Msg>, ConfigError>
+    where
+        A: Adversary + ?Sized,
+        T: TraceSink,
+        F: FnMut(&History<P::State, P::Msg>),
+    {
+        self.run_impl(adversary, cfg, sink, on_round)
+    }
+
+    fn run_impl<A, T, F>(
+        &self,
+        adversary: &mut A,
+        cfg: &RunConfig,
+        sink: &mut T,
+        mut on_round: F,
+    ) -> Result<RunOutcome<P::State, P::Msg>, ConfigError>
+    where
+        A: Adversary + ?Sized,
+        T: TraceSink,
+        F: FnMut(&History<P::State, P::Msg>),
+    {
         if cfg.n == 0 {
             return Err(ConfigError::new("n must be at least 1"));
         }
@@ -264,7 +329,7 @@ where
                 mode: RunMode::Sync,
                 protocol: self.protocol.name().to_string(),
                 n,
-                rounds: Some(cfg.rounds as u64),
+                rounds: Some(round_count(cfg.rounds)),
                 msg_size: Some(std::mem::size_of::<P::Msg>()),
             });
         }
@@ -283,10 +348,17 @@ where
             }
         }
 
-        let mut history: History<P::State, P::Msg> = History::new(n);
+        let mut history: History<P::State, P::Msg> = match cfg.history_window {
+            Some(w) => History::with_window(n, w),
+            None => History::new(n),
+        };
         let mid_run = cfg.mid_run_corruption.resolve();
+        // The round frame evicted from a windowed history comes back here
+        // and is reset in place — a two-frame arena, no per-round
+        // allocation once the window is full.
+        let mut spare: Option<RoundHistory<P::State, P::Msg>> = None;
 
-        for r in 1..=cfg.rounds as u64 {
+        for r in 1..=round_count(cfg.rounds) {
             let round = Round::new(r);
             if traced {
                 sink.emit(&Event::RoundStart { round: r });
@@ -302,55 +374,52 @@ where
                     sink.emit(&Event::Corruption { round: r, seed });
                 }
             }
-            let mut records: Vec<ProcessRoundRecord<P::State, P::Msg>> = Vec::with_capacity(n);
-            // Phase 0: snapshot round-start states.
-            #[allow(clippy::needless_range_loop)] // i is the ProcessId
-            for i in 0..n {
+            let mut frame = match spare.take() {
+                Some(mut f) => {
+                    f.reset(n);
+                    f
+                }
+                None => RoundHistory::empty(n),
+            };
+            // Phase 0: snapshot round-start states. Already-crashed
+            // processes keep the frame's blank (all-`None`) columns.
+            for (i, slot) in states.iter().enumerate() {
                 let p = ProcessId(i);
                 if schedule.is_crashed(p, round) {
-                    records.push(ProcessRoundRecord::crashed());
-                } else {
-                    let state = states[i].as_ref().expect("alive process has state");
-                    let crashed_here = schedule.crashes_in(p, round);
-                    if traced && crashed_here {
-                        sink.emit(&Event::Crash { at: r, p });
-                    }
-                    records.push(ProcessRoundRecord {
-                        state_at_start: Some(state.clone()),
-                        counter_at_start: self.protocol.round_counter(state),
-                        sent: Vec::with_capacity(n - 1),
-                        delivered: Vec::with_capacity(n),
-                        crashed_here,
-                        halted_at_start: self.protocol.is_halted(&ProtocolCtx::new(p, n), state),
-                    });
+                    continue;
                 }
+                let state = slot.as_ref().expect("alive process has state");
+                let crashed_here = schedule.crashes_in(p, round);
+                if traced && crashed_here {
+                    sink.emit(&Event::Crash { at: r, p });
+                }
+                frame.set_process(
+                    p,
+                    Some(state.clone()),
+                    self.protocol.round_counter(state),
+                    crashed_here,
+                    self.protocol.is_halted(&ProtocolCtx::new(p, n), state),
+                );
             }
 
             // Phase 1: broadcasts and delivery decisions. One shared
-            // payload is materialized per broadcast; every recorded copy —
-            // the sender's `sent` records and each receiver's `delivered`
-            // envelope — bumps a reference count instead of deep-cloning
-            // the message. Envelopes go straight into the round records
-            // (ascending sender order, so each `delivered` list is sorted
-            // by construction); no per-round inbox buffers exist to clone
-            // or reallocate.
+            // payload is materialized per broadcast and stored once in the
+            // frame; each copy's fate is a bit in the sent/delivered
+            // matrices plus, for non-delivered copies, a sparse exception —
+            // nothing is allocated per copy.
             let (mut copies_sent, mut copies_delivered) = (0u64, 0u64);
-            for i in 0..n {
+            for (i, slot) in states.iter().enumerate() {
                 let p = ProcessId(i);
                 if schedule.is_crashed(p, round) {
                     continue;
                 }
                 let ctx = ProtocolCtx::new(p, n);
-                if !self
-                    .protocol
-                    .sends(&ctx, states[i].as_ref().expect("alive"))
-                {
+                let state = slot.as_ref().expect("alive");
+                if !self.protocol.sends(&ctx, state) {
                     continue;
                 }
-                let payload = Payload::new(
-                    self.protocol
-                        .broadcast(&ctx, states[i].as_ref().expect("alive")),
-                );
+                let payload = Payload::new(self.protocol.broadcast(&ctx, state));
+                frame.set_broadcast(p, payload);
                 let crashing = schedule.crashes_in(p, round);
                 let cut = if crashing {
                     adversary.sends_before_crash(p, round)
@@ -365,9 +434,7 @@ where
                         // (footnote 1) — even for a crashing process it is
                         // irrelevant, since a crashing process takes no step.
                         if !crashing {
-                            records[i]
-                                .delivered
-                                .push(Envelope::new(p, round, payload.clone()));
+                            frame.record_delivery(p, p);
                         }
                         continue;
                     }
@@ -397,9 +464,7 @@ where
                         }
                     };
                     if outcome == DeliveryOutcome::Delivered {
-                        records[j]
-                            .delivered
-                            .push(Envelope::new(p, round, payload.clone()));
+                        frame.record_delivery(q, p);
                     }
                     if traced {
                         copies_sent += 1;
@@ -413,17 +478,13 @@ where
                             outcome,
                         });
                     }
-                    records[i].sent.push(SendRecord {
-                        dst: q,
-                        payload: payload.clone(),
-                        outcome,
-                    });
+                    frame.record_send(p, q, outcome);
                 }
             }
 
             // Phase 2: state transitions for processes alive at round end.
-            // The inbox borrows the envelopes already recorded in the
-            // history — no clone, no move.
+            // The inbox views the delivery matrix row already recorded in
+            // the frame — no clone, no move, no envelopes.
             #[allow(clippy::needless_range_loop)] // i is the ProcessId
             for i in 0..n {
                 let p = ProcessId(i);
@@ -431,7 +492,7 @@ where
                     states[i] = None;
                     continue;
                 }
-                let inbox = Inbox::from_sorted(&records[i].delivered);
+                let inbox = Inbox::from_deliveries(frame.msgs().deliveries(p));
                 let ctx = ProtocolCtx::new(p, n);
                 self.protocol
                     .step(&ctx, states[i].as_mut().expect("alive"), &inbox);
@@ -445,7 +506,8 @@ where
                     dropped: copies_sent - copies_delivered,
                 });
             }
-            history.push(RoundHistory { records });
+            spare = history.push(frame);
+            on_round(&history);
         }
 
         Ok(RunOutcome {
@@ -514,13 +576,10 @@ mod tests {
         }
         // Every copy delivered.
         for rh in out.history.rounds() {
-            for rec in &rh.records {
-                assert_eq!(rec.sent.len(), 2);
-                assert!(rec
-                    .sent
-                    .iter()
-                    .all(|s| s.outcome == DeliveryOutcome::Delivered));
-                assert_eq!(rec.delivered.len(), 3); // includes self
+            for rec in rh.records() {
+                assert_eq!(rec.sent_len(), 2);
+                assert!(rec.sent().all(|s| s.outcome == DeliveryOutcome::Delivered));
+                assert_eq!(rec.delivered_len(), 3); // includes self
             }
         }
         assert!(out.history.faulty().is_empty());
@@ -544,22 +603,19 @@ mod tests {
             .unwrap();
         // p1 alive in round 1, crashes during round 2 (no sends), gone after.
         let r2 = out.history.round(Round::new(2));
-        assert!(r2.record(ProcessId(1)).crashed_here);
+        assert!(r2.record(ProcessId(1)).crashed_here());
         assert!(r2
             .record(ProcessId(1))
-            .sent
-            .iter()
+            .sent()
             .all(|s| s.outcome == DeliveryOutcome::SenderCrashed));
         let r3 = out.history.round(Round::new(3));
-        assert!(r3.record(ProcessId(1)).state_at_start.is_none());
+        assert!(r3.record(ProcessId(1)).state_at_start().is_none());
         assert!(out.final_states[1].is_none());
         // Copies to p1 in rounds >= 2 vanish innocently.
-        assert!(r2
-            .record(ProcessId(0))
-            .sent
-            .iter()
-            .find(|s| s.dst == ProcessId(1))
-            .is_some_and(|s| s.outcome == DeliveryOutcome::ReceiverCrashed));
+        assert_eq!(
+            r2.msgs().outcome_of(ProcessId(0), ProcessId(1)),
+            Some(DeliveryOutcome::ReceiverCrashed)
+        );
         // Faulty set is exactly {p1}.
         assert_eq!(
             out.history.faulty(),
@@ -578,7 +634,7 @@ mod tests {
             .run(&mut adversary.clone(), &RunConfig::clean(3, 2))
             .unwrap();
         let r1 = out.history.round(Round::new(1));
-        let sent = &r1.record(ProcessId(0)).sent;
+        let sent: Vec<_> = r1.record(ProcessId(0)).sent().collect();
         assert_eq!(sent[0].outcome, DeliveryOutcome::Delivered);
         assert_eq!(sent[1].outcome, DeliveryOutcome::SenderCrashed);
     }
@@ -593,12 +649,12 @@ mod tests {
             .unwrap();
         let r1 = out.history.round(Round::new(1));
         assert_eq!(
-            r1.record(ProcessId(0)).sent[0].outcome,
+            r1.record(ProcessId(0)).sent().next().unwrap().outcome,
             DeliveryOutcome::DroppedBySender
         );
         let r3 = out.history.round(Round::new(3));
         assert_eq!(
-            r3.record(ProcessId(0)).sent[0].outcome,
+            r3.record(ProcessId(0)).sent().next().unwrap().outcome,
             DeliveryOutcome::Delivered
         );
         assert_eq!(
@@ -624,9 +680,8 @@ mod tests {
         let starts = |o: &RunOutcome<CState, ()>| -> Vec<CState> {
             o.history
                 .round(Round::FIRST)
-                .records
-                .iter()
-                .map(|r| r.state_at_start.clone().unwrap())
+                .records()
+                .map(|r| r.state_at_start().cloned().unwrap())
                 .collect()
         };
         assert_eq!(starts(&a), starts(&b));
@@ -755,7 +810,7 @@ mod tests {
             .history
             .rounds()
             .iter()
-            .map(|rh| rh.records.iter().map(|rec| rec.sent.len()).sum::<usize>())
+            .map(|rh| rh.records().map(|rec| rec.sent_len()).sum::<usize>())
             .sum();
         assert_eq!(sends.len(), recorded);
         // Round-end totals are consistent.
@@ -781,7 +836,53 @@ mod tests {
             .unwrap();
         let r1 = out.history.round(Round::FIRST);
         // p1 received only itself.
-        assert_eq!(r1.record(ProcessId(1)).delivered.len(), 1);
-        assert_eq!(r1.record(ProcessId(0)).delivered.len(), 2);
+        assert_eq!(r1.record(ProcessId(1)).delivered_len(), 1);
+        assert_eq!(r1.record(ProcessId(0)).delivered_len(), 2);
+    }
+
+    #[test]
+    fn windowed_run_matches_full_on_retained_suffix() {
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(1), Round::new(2));
+        let full = SyncRunner::new(CountAll)
+            .run(&mut CrashOnly::new(cs.clone()), &RunConfig::clean(3, 6))
+            .unwrap();
+        let windowed = SyncRunner::new(CountAll)
+            .run(
+                &mut CrashOnly::new(cs),
+                &RunConfig::clean(3, 6).with_history_window(2),
+            )
+            .unwrap();
+        assert_eq!(windowed.history.len(), 6);
+        assert_eq!(windowed.history.evicted(), 4);
+        assert_eq!(full.final_states, windowed.final_states);
+        assert_eq!(full.history.faulty(), windowed.history.faulty());
+        for r in [5u64, 6] {
+            assert_eq!(
+                full.history.round(Round::new(r)),
+                windowed.history.round(Round::new(r))
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_observer_sees_every_prefix() {
+        let mut lengths = Vec::new();
+        let mut faulty_sizes = Vec::new();
+        let out = SyncRunner::new(CountAll)
+            .run_streaming(
+                &mut SilentProcess::new(ProcessId(0), 1),
+                &RunConfig::clean(2, 5).with_history_window(2),
+                &mut NullSink,
+                |h| {
+                    lengths.push(h.len());
+                    faulty_sizes.push(h.faulty().len());
+                },
+            )
+            .unwrap();
+        assert_eq!(lengths, vec![1, 2, 3, 4, 5]);
+        // The round-1 send omission stays visible after eviction.
+        assert_eq!(faulty_sizes, vec![1, 1, 1, 1, 1]);
+        assert_eq!(out.history.evicted(), 3);
     }
 }

@@ -46,9 +46,8 @@ impl SyncProtocol for MaxCounter {
 fn counters_at(out: &ftss_sync_sim::RunOutcome<CState, u64>, r: u64) -> Vec<u64> {
     out.history
         .round(ftss_core::Round::new(r))
-        .records
-        .iter()
-        .map(|rec| rec.counter_at_start.unwrap().get())
+        .records()
+        .map(|rec| rec.counter_at_start().unwrap().get())
         .collect()
 }
 

@@ -89,11 +89,12 @@ fn self_delivery_is_inviolable() {
             .run(&mut adv, &RunConfig::clean(n, 5))
             .unwrap();
         for rh in out.history.rounds() {
-            for (i, rec) in rh.records.iter().enumerate() {
-                if rec.state_at_start.is_some() && !rec.crashed_here {
+            for rec in rh.records() {
+                if rec.state_at_start().is_some() && !rec.crashed_here() {
                     assert!(
-                        rec.delivered.iter().any(|e| e.src == ProcessId(i)),
-                        "p{i} missed its own broadcast"
+                        rec.delivered_from(rec.process()).is_some(),
+                        "{} missed its own broadcast",
+                        rec.process()
                     );
                 }
             }
@@ -113,18 +114,14 @@ fn delivery_records_are_consistent() {
             .run(&mut adv, &RunConfig::clean(n, 4))
             .unwrap();
         for rh in out.history.rounds() {
-            for (i, rec) in rh.records.iter().enumerate() {
-                for s in &rec.sent {
-                    let arrived = rh
-                        .record(s.dst)
-                        .delivered
-                        .iter()
-                        .any(|e| e.src == ProcessId(i));
+            for rec in rh.records() {
+                let p = rec.process();
+                for s in rec.sent() {
+                    let arrived = rh.record(s.dst).delivered_from(p).is_some();
                     assert_eq!(
                         arrived,
                         s.outcome == DeliveryOutcome::Delivered,
-                        "send record vs inbox mismatch for p{} -> {}",
-                        i,
+                        "send record vs inbox mismatch for {p} -> {}",
                         s.dst
                     );
                 }
@@ -168,14 +165,14 @@ fn crash_is_permanent() {
         for r in 1..=7u64 {
             let rec = out.history.round(Round::new(r)).record(ProcessId(0));
             if r < crash_round {
-                assert!(rec.state_at_start.is_some());
+                assert!(rec.state_at_start().is_some());
             } else if r == crash_round {
-                assert!(rec.crashed_here);
-                assert!(rec.delivered.is_empty());
+                assert!(rec.crashed_here());
+                assert!(rec.delivered().is_empty());
             } else {
-                assert!(rec.state_at_start.is_none());
-                assert!(rec.sent.is_empty());
-                assert!(rec.delivered.is_empty());
+                assert!(rec.state_at_start().is_none());
+                assert_eq!(rec.sent_len(), 0);
+                assert!(rec.delivered().is_empty());
             }
         }
         assert!(out.final_states[0].is_none());

@@ -37,7 +37,7 @@ fn main() {
         let cs: Vec<String> = (0..n)
             .map(|i| {
                 rh.record(ProcessId(i))
-                    .counter_at_start
+                    .counter_at_start()
                     .map(|c| format!("…{:>6}", c.get() % 1_000_000))
                     .unwrap_or_else(|| "†".into())
             })

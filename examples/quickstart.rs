@@ -36,7 +36,7 @@ fn main() {
         let cs: Vec<String> = (0..n)
             .map(|i| {
                 rh.record(ProcessId(i))
-                    .counter_at_start
+                    .counter_at_start()
                     .map(|c| c.get().to_string())
                     .unwrap_or_else(|| "†".into())
             })
@@ -44,7 +44,7 @@ fn main() {
         let ks: Vec<String> = (0..n)
             .map(|i| {
                 rh.record(ProcessId(i))
-                    .counter_at_start
+                    .counter_at_start()
                     .map(|c| normalize(c.get(), final_round).to_string())
                     .unwrap_or_else(|| "-".into())
             })
@@ -52,8 +52,7 @@ fn main() {
         let ds: Vec<String> = (0..n)
             .map(|i| {
                 rh.record(ProcessId(i))
-                    .state_at_start
-                    .as_ref()
+                    .state_at_start()
                     .and_then(|s| s.last_decision)
                     .map(|(t, v)| format!("{t}:{v}"))
                     .unwrap_or_else(|| "-".into())

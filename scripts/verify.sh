@@ -48,6 +48,16 @@ cargo run -q --release -p ftss-lab -- sweep --exp e1 \
     --seeds 2 --max-n 4 --jobs 4 > "$TRACE_DIR/sweep_par.txt"
 run cmp "$TRACE_DIR/sweep_serial.txt" "$TRACE_DIR/sweep_par.txt"
 
+# Large-n engine smoke (DESIGN.md §12): the E9 sweep drives the windowed
+# sync engine at n = 1024, verifying Theorem 3 on the retained suffix
+# right at the eviction boundary; byte-identical at any worker count.
+echo "==> ftss-lab sweep --exp e9 (n=1024, serial vs 4 workers, byte-compared)"
+cargo run -q --release -p ftss-lab -- sweep --exp e9 \
+    --seeds 2 --max-n 1024 --jobs 1 > "$TRACE_DIR/e9_serial.txt"
+cargo run -q --release -p ftss-lab -- sweep --exp e9 \
+    --seeds 2 --max-n 1024 --jobs 4 > "$TRACE_DIR/e9_par.txt"
+run cmp "$TRACE_DIR/e9_serial.txt" "$TRACE_DIR/e9_par.txt"
+
 # Model-checker smoke (crates/check, DESIGN.md §10): the exhaustive DFS
 # over every omission schedule of the n=3 configuration must be green; a
 # deliberately broken oracle must trip, write a counterexample schedule,
@@ -78,6 +88,16 @@ run cargo run -q --release -p ftss-lab -- soak --plan default --epochs 2 \
 run cargo run -q --release -p ftss-lab -- soak --plan default --epochs 2 \
     --budget-ms 60000 --jobs 4 --out soak-j4.soak.jsonl
 run cmp soak-j1.soak.jsonl soak-j4.soak.jsonl
+
+# Large-n soak smoke: one n = 4096 round-agreement cell streamed through
+# a 12-round history window (the full execution is never resident), with
+# every epoch verified in-stream; a rerun must reproduce the report
+# byte for byte.
+run cargo run -q --release -p ftss-lab -- soak --plan large-n --epochs 1 \
+    --budget-ms 120000 --jobs 1 --out soak-largen-a.soak.jsonl
+run cargo run -q --release -p ftss-lab -- soak --plan large-n --epochs 1 \
+    --budget-ms 120000 --jobs 1 --out soak-largen-b.soak.jsonl
+run cmp soak-largen-a.soak.jsonl soak-largen-b.soak.jsonl
 
 # Hermeticity tripwire: no crate manifest may name a registry package.
 if grep -rn 'rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes' \

@@ -424,9 +424,8 @@ fn ss_check_definition22_on_token_ring() {
             for i in 0..h.len() {
                 let vals: Vec<u64> = h
                     .round(i)
-                    .records
-                    .iter()
-                    .map(|r| r.state_at_start.as_ref().unwrap().value)
+                    .records()
+                    .map(|r| r.state_at_start().unwrap().value)
                     .collect();
                 let holders = token_holders(&self.0, &vals);
                 if holders != 1 {

@@ -1,0 +1,131 @@
+//! Property test: bounded-suffix (windowed) history retention is
+//! observationally equivalent to full retention.
+//!
+//! The large-n engine's whole premise is that evicting old round frames
+//! changes *nothing observable*: the telemetry trace, the final states,
+//! the folded faulty set, the retained suffix frames, and every oracle
+//! verdict the window can still answer must come out identical. This
+//! test drives random (n, rounds, window, adversary, corruption)
+//! configurations through both retention modes and demands exactly that.
+
+use ftss::core::{CrashSchedule, ProcessId, RateAgreementSpec, Round};
+use ftss::protocols::RoundAgreement;
+use ftss::sync_sim::{CorruptionSchedule, CrashOnly, RandomOmission, RunConfig, SyncRunner};
+use ftss::telemetry::{Event, RecordingSink};
+use ftss_check::window_stabilization;
+use ftss_rng::check::{forall, Gen};
+use ftss_rng::Rng;
+
+const CASES: u64 = 32;
+
+fn render(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        ev.write_jsonl(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn windowed_retention_is_observationally_equivalent() {
+    forall(CASES, |g: &mut Gen| {
+        let n = 2 + (g.gen::<u64>() % 5) as usize; // 2..=6
+        let rounds = 3 + (g.gen::<u64>() % 8) as usize; // 3..=10
+        let window = 1 + (g.gen::<u64>() % rounds as u64) as usize; // 1..=rounds
+        let seed = g.gen::<u64>();
+
+        // Half the cases fight a random-omission adversary, half a
+        // crashing one; every case boots corrupted and suffers one
+        // mid-run corruption burst.
+        let mk_adv = |g: &mut Gen| -> (Box<dyn ftss::sync_sim::Adversary>, u64) {
+            let flavor = g.gen::<u64>();
+            if flavor % 2 == 0 {
+                let faulty_ct = (g.gen::<u64>() % n as u64) as usize;
+                let p_drop = (g.gen::<u64>() % 101) as f64 / 100.0;
+                (
+                    Box::new(RandomOmission::new(
+                        (0..faulty_ct).map(ProcessId),
+                        p_drop,
+                        g.gen(),
+                    )),
+                    flavor,
+                )
+            } else {
+                let mut cs = CrashSchedule::none();
+                let victim = ProcessId((g.gen::<u64>() % n as u64) as usize);
+                let at = 1 + g.gen::<u64>() % rounds as u64;
+                cs.set(victim, Round::new(at));
+                (Box::new(CrashOnly::new(cs)), flavor)
+            }
+        };
+        let burst_round = 2 + g.gen::<u64>() % rounds as u64;
+        let schedule = CorruptionSchedule::none().at(burst_round, seed ^ 0x5eed);
+        let cfg = RunConfig::corrupted(n, rounds, seed).with_mid_run_corruption(schedule);
+
+        // Both runs must see identical adversary draws, so each gets a
+        // freshly seeded copy built from the same generator state.
+        let mut g2 = Gen::new(g.seed() ^ 0xada17, g.size());
+        let (mut adv_full, flavor) = mk_adv(&mut g2);
+        let mut g2 = Gen::new(g.seed() ^ 0xada17, g.size());
+        let (mut adv_win, flavor2) = mk_adv(&mut g2);
+        assert_eq!(flavor, flavor2, "adversary reconstruction must be pure");
+
+        let mut sink_full = RecordingSink::new(1 << 16);
+        let full = SyncRunner::new(RoundAgreement)
+            .run_traced(adv_full.as_mut(), &cfg, &mut sink_full)
+            .expect("valid config");
+        let mut sink_win = RecordingSink::new(1 << 16);
+        let windowed = SyncRunner::new(RoundAgreement)
+            .run_traced(
+                adv_win.as_mut(),
+                &cfg.clone().with_history_window(window),
+                &mut sink_win,
+            )
+            .expect("valid config");
+
+        // 1. The JSONL telemetry trace is byte-identical.
+        assert_eq!(
+            render(&sink_full.take()),
+            render(&sink_win.take()),
+            "trace diverged (n={n} rounds={rounds} window={window})"
+        );
+        // 2. Final states and history shape agree.
+        assert_eq!(full.final_states, windowed.final_states);
+        assert_eq!(full.history.len(), windowed.history.len());
+        assert_eq!(windowed.history.evicted(), rounds.saturating_sub(window));
+        // 3. The faulty set survives eviction via the folded summary.
+        assert_eq!(full.history.faulty(), windowed.history.faulty());
+        // 4. Every retained frame is identical to the full run's.
+        for r in windowed.history.evicted() + 1..=rounds {
+            assert_eq!(
+                full.history.round(Round::new(r as u64)),
+                windowed.history.round(Round::new(r as u64)),
+                "frame {r} diverged"
+            );
+        }
+        // 5. The stabilization oracle returns the same verdict on the
+        //    deepest window the retained suffix can still answer.
+        let from_len = (rounds - window + 1).max(1);
+        for bound in 0..=2usize {
+            let v_full = window_stabilization(
+                &full.history,
+                &RateAgreementSpec::new(),
+                from_len,
+                rounds,
+                bound,
+            );
+            let v_win = window_stabilization(
+                &windowed.history,
+                &RateAgreementSpec::new(),
+                from_len,
+                rounds,
+                bound,
+            );
+            assert_eq!(
+                v_full, v_win,
+                "oracle diverged (from_len={from_len} bound={bound})"
+            );
+        }
+    });
+}

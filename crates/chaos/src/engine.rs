@@ -29,7 +29,7 @@
 //! verdict replaces the cell fragment with a bare budget line.
 
 use crate::guard::{with_watchdog, QuiescenceMonitor, SoakBudget, WatchdogOutcome};
-use crate::plan::{burst_seed, storm_cycle, SoakCell, SoakPlan, SoakScenario};
+use crate::plan::{burst_seed, storm_cycle, SoakCell, SoakPlan, SoakScenario, StormGeometry};
 use crate::verdict::{CellReport, EpochVerdict, SoakVerdict};
 use ftss::async_sim::{
     AdversaryScheduler, AsyncConfig, AsyncProcess, AsyncRunner, Scheduler, Time,
@@ -186,45 +186,12 @@ fn push_line(out: &mut String, ev: &Event) {
 // Synchronous cells
 // ---------------------------------------------------------------------
 
-/// Epoch geometry for the synchronous cells, in rounds.
-struct SyncGeom {
-    /// Rounds the storm stays open, counted from the epoch's first round.
-    storm_len: u64,
-    /// Total rounds per epoch (storm + recovery window).
-    epoch_len: u64,
-}
-
-impl SyncGeom {
-    fn storm_start(&self, e: usize) -> u64 {
-        e as u64 * self.epoch_len + 1
-    }
-    fn storm_end(&self, e: usize) -> u64 {
-        e as u64 * self.epoch_len + self.storm_len
-    }
-    fn epoch_end(&self, e: usize) -> u64 {
-        (e as u64 + 1) * self.epoch_len
-    }
-}
-
-/// The cell's storm program: the mid-run corruption schedule plus the
-/// copy-dropping storm phases, one entry per epoch of the cycle.
-fn storm_program(cell: &SoakCell, geom: &SyncGeom) -> (CorruptionSchedule, Vec<StormPhase>) {
-    let cycle = storm_cycle(cell.worst_case);
-    let mut schedule = CorruptionSchedule::none();
-    let mut phases = Vec::new();
-    for e in 0..cell.epochs {
-        let kind = cycle[e % cycle.len()];
-        let start = geom.storm_start(e);
-        // Epoch 0's burst *is* the run's initial corruption; scheduling
-        // it again would corrupt round 1 twice.
-        if e > 0 {
-            schedule = schedule.at(start, burst_seed(cell.seed, e as u64));
-        }
-        if kind.drops_copies() {
-            phases.push(StormPhase::new(start, geom.storm_end(e), kind));
-        }
-    }
-    (schedule, phases)
+/// The cell's storm program, via the public replay seam in [`crate::plan`].
+fn cell_storm_program(
+    cell: &SoakCell,
+    geom: &StormGeometry,
+) -> (CorruptionSchedule, Vec<StormPhase>) {
+    crate::plan::storm_program(cell.seed, cell.epochs, cell.worst_case, geom)
 }
 
 /// Round agreement under the full storm cycle. Victims are a strict
@@ -237,7 +204,7 @@ fn storm_program(cell: &SoakCell, geom: &SyncGeom) -> (CorruptionSchedule, Vec<S
 /// the epoch's final perturbation, and Theorem 3's one-round
 /// stabilization counts from it.
 fn run_round_agreement(cell: &SoakCell, budget: &SoakBudget) -> CellReport {
-    let geom = SyncGeom {
+    let geom = StormGeometry {
         storm_len: 3,
         epoch_len: 12,
     };
@@ -270,7 +237,7 @@ fn run_round_agreement(cell: &SoakCell, budget: &SoakBudget) -> CellReport {
 fn run_round_agreement_streamed(
     cell: &SoakCell,
     budget: &SoakBudget,
-    geom: &SyncGeom,
+    geom: &StormGeometry,
     victims: &[ProcessId],
     window: usize,
 ) -> CellReport {
@@ -303,7 +270,7 @@ fn run_round_agreement_streamed(
         return CellReport::timed_out(cell.label.clone(), "rounds", Vec::new(), jsonl);
     }
 
-    let (schedule, phases) = storm_program(cell, geom);
+    let (schedule, phases) = cell_storm_program(cell, geom);
     let mut adv = StormAdversary::new(victims.iter().copied(), phases, cell.seed ^ 0x517a);
     let run_cfg = RunConfig::corrupted(cell.n, total_rounds as usize, burst_seed(cell.seed, 0))
         .with_mid_run_corruption(schedule)
@@ -409,7 +376,7 @@ fn run_compiled(cell: &SoakCell, budget: &SoakBudget) -> CellReport {
     let pi = Compiled::new(FloodSet::new(1, inputs));
     let fr = saturating_round_index(pi.final_round());
     let bound = 2 * fr + 2;
-    let geom = SyncGeom {
+    let geom = StormGeometry {
         storm_len: 3,
         epoch_len: bound as u64 + 9,
     };
@@ -440,7 +407,7 @@ fn run_compiled(cell: &SoakCell, budget: &SoakBudget) -> CellReport {
 fn run_sync_cell<P>(
     cell: &SoakCell,
     budget: &SoakBudget,
-    geom: &SyncGeom,
+    geom: &StormGeometry,
     victims: &[ProcessId],
     protocol: P,
     spec: &dyn Problem<P::State, P::Msg>,
@@ -474,7 +441,7 @@ where
         return CellReport::timed_out(cell.label.clone(), "rounds", Vec::new(), jsonl);
     }
 
-    let (schedule, phases) = storm_program(cell, geom);
+    let (schedule, phases) = cell_storm_program(cell, geom);
     let mut adv = StormAdversary::new(victims.iter().copied(), phases, cell.seed ^ 0x517a);
     let run_cfg = RunConfig::corrupted(cell.n, total_rounds as usize, burst_seed(cell.seed, 0))
         .with_mid_run_corruption(schedule);

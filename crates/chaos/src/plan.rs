@@ -17,7 +17,8 @@
 //!   that proves the struct-of-arrays engine sustains thousands of
 //!   processes without retaining the full execution.
 
-use ftss::core::StormKind;
+use ftss::core::{StormKind, StormPhase};
+use ftss::sync_sim::CorruptionSchedule;
 
 /// Which execution a soak cell drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -191,6 +192,77 @@ pub fn storm_cycle(worst_case: bool) -> [StormKind; 4] {
 /// derived only from the cell seed, so reports are reproducible.
 pub fn burst_seed(cell_seed: u64, epoch: u64) -> u64 {
     cell_seed ^ 0xb127 ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Epoch geometry of the synchronous storm cycle, in rounds: each epoch
+/// opens with a [`storm_len`](Self::storm_len)-round storm and recovers
+/// for the remainder of its [`epoch_len`](Self::epoch_len) rounds.
+///
+/// This is the replay seam for substrates other than the soak engine
+/// (the socket runtime, ad-hoc CLI runs): the same geometry plus
+/// [`storm_program`] reproduces a cell's exact storm schedule anywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StormGeometry {
+    /// Rounds the storm stays open, counted from the epoch's first round.
+    pub storm_len: u64,
+    /// Total rounds per epoch (storm + recovery window).
+    pub epoch_len: u64,
+}
+
+impl StormGeometry {
+    /// The soak engine's synchronous geometry: 3 storm rounds per
+    /// 12-round epoch.
+    pub fn engine_default() -> Self {
+        StormGeometry {
+            storm_len: 3,
+            epoch_len: 12,
+        }
+    }
+
+    /// First round of epoch `e`'s storm (1-based).
+    pub fn storm_start(&self, e: usize) -> u64 {
+        e as u64 * self.epoch_len + 1
+    }
+
+    /// Last round of epoch `e`'s storm.
+    pub fn storm_end(&self, e: usize) -> u64 {
+        e as u64 * self.epoch_len + self.storm_len
+    }
+
+    /// Last round of epoch `e` (recovery window included).
+    pub fn epoch_end(&self, e: usize) -> u64 {
+        (e as u64 + 1) * self.epoch_len
+    }
+}
+
+/// A cell's storm program — the mid-run corruption schedule plus the
+/// copy-dropping storm phases, one cycle entry per epoch. A pure function
+/// of `(seed, epochs, worst_case, geometry)`, so any substrate replaying
+/// it injects byte-identical perturbation.
+///
+/// Epoch 0's corruption burst is **not** scheduled here: it is the run's
+/// initial corruption (seed [`burst_seed`]`(seed, 0)`), which the caller
+/// injects at round 1; scheduling it again would corrupt round 1 twice.
+pub fn storm_program(
+    seed: u64,
+    epochs: usize,
+    worst_case: bool,
+    geom: &StormGeometry,
+) -> (CorruptionSchedule, Vec<StormPhase>) {
+    let cycle = storm_cycle(worst_case);
+    let mut schedule = CorruptionSchedule::none();
+    let mut phases = Vec::new();
+    for e in 0..epochs {
+        let kind = cycle[e % cycle.len()];
+        let start = geom.storm_start(e);
+        if e > 0 {
+            schedule = schedule.at(start, burst_seed(seed, e as u64));
+        }
+        if kind.drops_copies() {
+            phases.push(StormPhase::new(start, geom.storm_end(e), kind));
+        }
+    }
+    (schedule, phases)
 }
 
 #[cfg(test)]

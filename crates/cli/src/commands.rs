@@ -22,63 +22,162 @@ use ftss::protocols::{
     RoundAgreement, TokenRing,
 };
 use ftss::sync_sim::{
-    Adversary, CrashOnly, NoFaults, RandomOmission, RunConfig, RunOutcome, SyncProtocol, SyncRunner,
+    Adversary, CrashOnly, NoFaults, RandomOmission, RunConfig, RunOutcome, StormAdversary,
+    SyncProtocol, SyncRunner,
 };
 use ftss::telemetry::{Event, JsonlSink, Metrics, TraceSink};
 use ftss_rng::StdRng;
 use std::io::Write;
 
-/// The help text.
-pub const USAGE: &str = "\
-ftss-lab — Gopal–Perry PODC'93 reproduction laboratory
+/// A command's result: `Ok(true)` when every checked property held,
+/// `Ok(false)` for a found violation, `Err` for a usage error.
+pub type Outcome = Result<bool, String>;
 
-USAGE: ftss-lab <command> [--option value]...
+/// One `ftss-lab` subcommand: the single source of truth for dispatch
+/// (`main` looks the command up here) and for the generated help text.
+pub struct Command {
+    /// The subcommand name on the command line.
+    pub name: &'static str,
+    /// The help block: first line is the summary, following lines list
+    /// options (rendered indented under the name).
+    pub help: &'static str,
+    /// The entry point.
+    pub run: fn(&Args) -> Outcome,
+}
 
-COMMANDS
-  round-agreement  Figure 1 from a corrupted start
-                   --n N --rounds R --seed S [--omit-p P --omitters K]
-  compile          Figure 3: compile Π and run Π+ from a corrupted start
-                   --pi floodset|phase-king|eig --f F --n N --rounds R
-                   --seed S [--crash p@round]
-  consensus        §3 self-stabilizing async consensus
-                   --n N --horizon T --seed S [--corrupt true] [--crash p@time]
-  detector         Figure 4 ◇S detector
-                   --n N --seed S [--crash p@time] [--poison true]
-  theorem1         The Theorem-1 scenario table  [--r R]
-  theorem2         The Theorem-2 scenario table  [--rounds R]
-  token-ring       Dijkstra's ring (ss-only contrast) --n N --rounds R --seed S
-  trace            Stream a run as JSONL events (one event per line)
-                   --protocol round-agreement|compile|token-ring|consensus|detector
-                   [--out FILE] plus the chosen protocol's options above
-  stats            Aggregate a trace file into a metrics table
-                   --in FILE [--format table|csv]
-  sweep            Run a whole experiment grid (deterministic parallel
-                   executor; output is byte-identical for any --jobs)
-                   --exp e1|e2|e7a|e7c|e9 [--seeds S] [--max-n N (e1, e9)]
-                   [--jobs J (default: FTSS_JOBS, else all cores)]
-  check            Model-checker-lite (crates/check)
-                   --dfs: exhaustively enumerate every omission schedule
-                     of n<=4 round agreement from a corrupted start and
-                     check Theorem 3 on each run
-                     [--n N --rounds R --seed S --faulty P --bound D]
-                     [--broken-oracle] [--ce FILE (counterexample path)]
-                   --adversary: worst-case fault battery at larger n
-                     (Theorems 3-5)  [--n N --seeds S --jobs J]
-                   --replay FILE: re-execute a counterexample schedule,
-                     streaming its byte-deterministic JSONL trace
-                     [--out TRACE]
-  soak             Chaos soak engine (crates/chaos): long-horizon runs
-                   under composable fault storms, recovery verified
-                   after every epoch (Theorems 3-5), with budgets,
-                   watchdog and livelock guardrails; the JSONL soak
-                   report is byte-identical for any --jobs
-                   [--plan default|worst-case|large-n --epochs E --seed S]
-                   [--jobs J --out FILE --budget-ms MS]
+/// Every subcommand, in help-display order.
+pub const COMMANDS: &[Command] = &[
+    Command {
+        name: "round-agreement",
+        help: "Figure 1 from a corrupted start\n\
+               --n N --rounds R --seed S [--omit-p P --omitters K]",
+        run: round_agreement,
+    },
+    Command {
+        name: "compile",
+        help: "Figure 3: compile Π and run Π+ from a corrupted start\n\
+               --pi floodset|phase-king|eig --f F --n N --rounds R\n\
+               --seed S [--crash p@round]",
+        run: compile,
+    },
+    Command {
+        name: "consensus",
+        help: "§3 self-stabilizing async consensus\n\
+               --n N --horizon T --seed S [--corrupt true] [--crash p@time]",
+        run: consensus,
+    },
+    Command {
+        name: "detector",
+        help: "Figure 4 ◇S detector\n\
+               --n N --seed S [--crash p@time] [--poison true]",
+        run: detector,
+    },
+    Command {
+        name: "theorem1",
+        help: "The Theorem-1 scenario table  [--r R]",
+        run: theorem1,
+    },
+    Command {
+        name: "theorem2",
+        help: "The Theorem-2 scenario table  [--rounds R]",
+        run: theorem2,
+    },
+    Command {
+        name: "token-ring",
+        help: "Dijkstra's ring (ss-only contrast) --n N --rounds R --seed S",
+        run: token_ring,
+    },
+    Command {
+        name: "trace",
+        help: "Stream a run as JSONL events (one event per line)\n\
+               --protocol round-agreement|compile|token-ring|consensus|detector\n\
+               [--out FILE] plus the chosen protocol's options above",
+        run: trace,
+    },
+    Command {
+        name: "serve",
+        help: "Socket runtime (crates/serve): run the protocol as real\n\
+               processes over a transport, streaming the same JSONL trace\n\
+               (`mem` is byte-identical to `trace`; tcp/uds add net_* events)\n\
+               --protocol round-agreement|compile --transport tcp|uds|mem\n\
+               --n N --rounds R --seed S [--derived] [--out FILE]\n\
+               [--storm default|worst-case --epochs E] replays a chaos\n\
+               storm program and verifies per-epoch recovery (Thm 3)",
+        run: serve,
+    },
+    Command {
+        name: "loadgen",
+        help: "Drive client load into a served Σ+ (compiled FloodSet) and\n\
+               report round-denominated latency percentiles; the report is\n\
+               byte-identical across reruns and transports\n\
+               --transport tcp|uds|mem --n N --rounds R --seed S\n\
+               [--rate K --timeout T --out FILE]",
+        run: loadgen,
+    },
+    Command {
+        name: "stats",
+        help: "Aggregate a trace file into a metrics table\n\
+               --in FILE [--format table|csv]",
+        run: stats,
+    },
+    Command {
+        name: "sweep",
+        help: "Run a whole experiment grid (deterministic parallel\n\
+               executor; output is byte-identical for any --jobs)\n\
+               --exp e1|e2|e7a|e7c|e9 [--seeds S] [--max-n N (e1, e9)]\n\
+               [--jobs J (default: FTSS_JOBS, else all cores)]",
+        run: sweep,
+    },
+    Command {
+        name: "check",
+        help: "Model-checker-lite (crates/check)\n\
+               --dfs: exhaustively enumerate every omission schedule\n\
+                 of n<=4 round agreement from a corrupted start and\n\
+                 check Theorem 3 on each run\n\
+                 [--n N --rounds R --seed S --faulty P --bound D]\n\
+                 [--broken-oracle] [--ce FILE (counterexample path)]\n\
+               --adversary: worst-case fault battery at larger n\n\
+                 (Theorems 3-5)  [--n N --seeds S --jobs J]\n\
+               --replay FILE: re-execute a counterexample schedule,\n\
+                 streaming its byte-deterministic JSONL trace\n\
+                 [--out TRACE]",
+        run: check,
+    },
+    Command {
+        name: "soak",
+        help: "Chaos soak engine (crates/chaos): long-horizon runs\n\
+               under composable fault storms, recovery verified\n\
+               after every epoch (Theorems 3-5), with budgets,\n\
+               watchdog and livelock guardrails; the JSONL soak\n\
+               report is byte-identical for any --jobs\n\
+               [--plan default|worst-case|large-n --epochs E --seed S]\n\
+               [--jobs J --out FILE --budget-ms MS]",
+        run: soak,
+    },
+];
 
-Boolean options may omit the value: `--corrupt` means `--corrupt true`.
-Exit code 0: all checked properties held. 1: violation found. 2: usage error.";
-
-type Outcome = Result<bool, String>;
+/// The full help text, generated from [`COMMANDS`] — there is no
+/// separately-maintained usage string to drift out of date.
+pub fn usage() -> String {
+    let mut out = String::from(
+        "ftss-lab — Gopal–Perry PODC'93 reproduction laboratory\n\n\
+         USAGE: ftss-lab <command> [--option value]...\n\nCOMMANDS\n",
+    );
+    for c in COMMANDS {
+        for (i, line) in c.help.lines().enumerate() {
+            if i == 0 {
+                out.push_str(&format!("  {:<17}{line}\n", c.name));
+            } else {
+                out.push_str(&format!("                   {line}\n"));
+            }
+        }
+    }
+    out.push_str(
+        "\nBoolean options may omit the value: `--corrupt` means `--corrupt true`.\n\
+         Exit code 0: all checked properties held. 1: violation found. 2: usage error.",
+    );
+    out
+}
 
 fn adversary_from(args: &Args, n: usize) -> Result<Box<dyn Adversary>, String> {
     let omit_p: f64 = args.get_or("omit-p", 0.0)?;
@@ -557,19 +656,185 @@ pub fn trace(args: &Args) -> Outcome {
             ))
         }
     }
-    // A closed stdout (e.g. `ftss-lab trace | head`) is a normal way to
-    // consume a prefix of the stream, not an error.
+    finish_trace(sink)?;
+    Ok(true)
+}
+
+/// Flushes a JSONL stream, treating a closed stdout (e.g. piping into
+/// `head`) as a normal way to consume a prefix, not an error.
+fn finish_trace(sink: TraceOut) -> Result<(), String> {
     let benign = |e: &std::io::Error| e.kind() == std::io::ErrorKind::BrokenPipe;
     match sink.finish() {
         Ok(mut out) => match out.flush() {
-            Ok(()) => {}
-            Err(e) if benign(&e) => {}
-            Err(e) => return Err(format!("trace output: {e}")),
+            Ok(()) => Ok(()),
+            Err(e) if benign(&e) => Ok(()),
+            Err(e) => Err(format!("trace output: {e}")),
         },
-        Err(e) if benign(&e) => {}
-        Err(e) => return Err(format!("trace output: {e}")),
+        Err(e) if benign(&e) => Ok(()),
+        Err(e) => Err(format!("trace output: {e}")),
+    }
+}
+
+/// `serve`: run the protocol as real processes over a transport
+/// (crates/serve), streaming the same JSONL event stream as `trace` —
+/// byte-identical on `mem`, plus `net_*` events on tcp/uds. With
+/// `--storm` the session replays a chaos storm program through the
+/// fault-injecting proxy and verifies per-epoch recovery against the
+/// Theorem-3 window bound, emitting one `recovery_measured` event per
+/// epoch.
+pub fn serve(args: &Args) -> Outcome {
+    let mut sink = trace_writer(args)?;
+    let transport = ftss_serve::TransportKind::parse(args.get("transport").unwrap_or("tcp"))?;
+    let ok = match args.get("protocol").unwrap_or("round-agreement") {
+        "round-agreement" => serve_round_agreement(args, transport, &mut sink)?,
+        "compile" => serve_compiled_floodset(args, transport, &mut sink)?,
+        other => {
+            return Err(format!(
+                "unknown --protocol `{other}` (round-agreement|compile)"
+            ))
+        }
+    };
+    finish_trace(sink)?;
+    Ok(ok)
+}
+
+fn serve_round_agreement(
+    args: &Args,
+    transport: ftss_serve::TransportKind,
+    sink: &mut TraceOut,
+) -> Outcome {
+    let n: usize = args.get_or("n", 4)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let derived = args.flag("derived").unwrap_or(false);
+    let spec = RateAgreementSpec::new();
+    let Some(storm) = args.get("storm") else {
+        let rounds: usize = args.get_or("rounds", 12)?;
+        let mut adv = adversary_from(args, n)?;
+        let cfg = ftss_serve::ServeConfig::new(RunConfig::corrupted(n, rounds, seed), transport);
+        let out = ftss_serve::serve(&RoundAgreement, adv.as_mut(), &cfg, sink)?;
+        if derived {
+            emit_history_events(&out.history, Some(&spec), sink);
+        }
+        return Ok(true);
+    };
+    let worst_case = match storm {
+        "default" => false,
+        "worst-case" => true,
+        other => return Err(format!("unknown --storm `{other}` (default|worst-case)")),
+    };
+    let epochs: usize = args.get_or("epochs", 2)?;
+    if epochs == 0 {
+        return Err("--storm needs --epochs >= 1".into());
+    }
+    // A strict-minority victim set, so round agreement's n > 2f holds.
+    let victims: Vec<ProcessId> = (0..(n.saturating_sub(1) / 2).max(1))
+        .map(ProcessId)
+        .collect();
+    if 2 * victims.len() >= n {
+        return Err(format!("--storm needs n >= 3 (n={n})"));
+    }
+    let geom = ftss_chaos::StormGeometry::engine_default();
+    let rounds = epochs * geom.epoch_len as usize;
+    let (schedule, phases) = ftss_chaos::storm_program(seed, epochs, worst_case, &geom);
+    let mut adv = StormAdversary::new(victims.iter().copied(), phases, seed ^ 0x517a);
+    let run_cfg = RunConfig::corrupted(n, rounds, ftss_chaos::burst_seed(seed, 0))
+        .with_mid_run_corruption(schedule)
+        .with_max_faulty(victims.len());
+    let cfg = ftss_serve::ServeConfig::new(run_cfg, transport);
+    let out = ftss_serve::serve(&RoundAgreement, &mut adv, &cfg, sink)?;
+    // Per-epoch recovery verification: stabilization within the Thm-3
+    // window bound, counted from the end of each epoch's storm.
+    let bound = 2u64;
+    let mut all_ok = true;
+    for e in 0..epochs {
+        let verdict = ftss_check::window_stabilization(
+            &out.history,
+            &spec,
+            geom.storm_end(e) as usize,
+            geom.epoch_end(e) as usize,
+            bound as usize,
+        );
+        let (measured, ok) = match verdict {
+            Ok(s) => (s as u64, true),
+            Err(_) => (0, false),
+        };
+        all_ok &= ok;
+        sink.emit(&Event::RecoveryMeasured {
+            epoch: e as u64,
+            at: geom.epoch_end(e),
+            rounds: measured,
+            bound,
+            ok,
+        });
+    }
+    if derived {
+        emit_history_events(&out.history, Some(&spec), sink);
+    }
+    Ok(all_ok)
+}
+
+fn serve_compiled_floodset(
+    args: &Args,
+    transport: ftss_serve::TransportKind,
+    sink: &mut TraceOut,
+) -> Outcome {
+    if args.get("storm").is_some() {
+        return Err("--storm is only supported for --protocol round-agreement".into());
+    }
+    let n: usize = args.get_or("n", 4)?;
+    let f: usize = args.get_or("f", 1)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let derived = args.flag("derived").unwrap_or(false);
+    let inputs: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % 50).collect();
+    let pi = FloodSet::new(f, inputs);
+    let fr = ftss::core::saturating_round_index(pi.final_round());
+    let rounds: usize = args.get_or("rounds", 10 * fr)?;
+    let mut adv = adversary_from(args, n)?;
+    let cfg = ftss_serve::ServeConfig::new(RunConfig::corrupted(n, rounds, seed), transport);
+    let out = ftss_serve::serve(&Compiled::new(pi), adv.as_mut(), &cfg, sink)?;
+    if derived {
+        emit_history_events(
+            &out.history,
+            Some(&RepeatedConsensusSpec::agreement_only()),
+            sink,
+        );
+        for ev in trace_events(&out.history) {
+            sink.emit(&ev);
+        }
     }
     Ok(true)
+}
+
+/// `loadgen`: sustained client traffic into a served Σ+ (crates/serve).
+/// The report is integer-only and byte-identical across reruns and
+/// transports — it carries no wall-clock fields.
+pub fn loadgen(args: &Args) -> Outcome {
+    let transport = ftss_serve::TransportKind::parse(args.get("transport").unwrap_or("tcp"))?;
+    let n: usize = args.get_or("n", 4)?;
+    let rounds: usize = args.get_or("rounds", 48)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let mut cfg = ftss_serve::LoadgenConfig::new(transport, n, rounds, seed);
+    cfg.rate = args.get_or("rate", cfg.rate)?;
+    cfg.timeout = args.get_or("timeout", cfg.timeout)?;
+    let report = ftss_serve::run_loadgen(&cfg)?;
+    let json = report.to_json();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, json.as_bytes()).map_err(|e| format!("--out {path}: {e}"))?
+        }
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "loadgen: {} over {}: {} request(s), {} completed, {} timed out, \
+         p99 latency {} round(s)",
+        report.rounds,
+        report.transport,
+        report.requests,
+        report.completed,
+        report.timed_out,
+        report.latency.quantile(99, 100),
+    );
+    Ok(report.completed > 0)
 }
 
 /// `sweep`: run a whole experiment grid through the deterministic

@@ -12,6 +12,8 @@
 //! ftss-lab token-ring --n 5 --rounds 80
 //! ftss-lab trace --protocol round-agreement --rounds 8 --seed 1
 //! ftss-lab trace --protocol detector --crash 3@500 --out run.jsonl
+//! ftss-lab serve --protocol round-agreement --transport tcp --storm default --epochs 2
+//! ftss-lab loadgen --transport tcp --n 4 --rounds 48 --out run.latency.json
 //! ftss-lab stats --in run.jsonl --format csv
 //! ftss-lab sweep --exp e1 --seeds 5 --max-n 16 --jobs 4
 //! ftss-lab soak --plan worst-case --epochs 4 --jobs 4 --out run.soak.jsonl
@@ -30,36 +32,32 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
-            eprintln!("{}", commands::USAGE);
+            eprintln!("{}", commands::usage());
             std::process::exit(2);
         }
     };
     if args.flag("help").unwrap_or(false) {
-        println!("{}", commands::USAGE);
+        println!("{}", commands::usage());
         return;
     }
-    let outcome = match args.command.as_str() {
-        "round-agreement" => commands::round_agreement(&args),
-        "compile" => commands::compile(&args),
-        "consensus" => commands::consensus(&args),
-        "detector" => commands::detector(&args),
-        "theorem1" => commands::theorem1(&args),
-        "theorem2" => commands::theorem2(&args),
-        "token-ring" => commands::token_ring(&args),
-        "trace" => commands::trace(&args),
-        "stats" => commands::stats(&args),
-        "sweep" => commands::sweep(&args),
-        "check" => commands::check(&args),
-        "soak" => commands::soak(&args),
-        "" | "help" | "--help" | "-h" => {
-            println!("{}", commands::USAGE);
-            return;
-        }
-        other => {
-            eprintln!("error: unknown command `{other}`\n");
-            eprintln!("{}", commands::USAGE);
-            std::process::exit(2);
-        }
+    // Dispatch through the command registry — the same table the help
+    // text is generated from, so the two cannot drift apart.
+    let outcome = match commands::COMMANDS
+        .iter()
+        .find(|c| c.name == args.command.as_str())
+    {
+        Some(c) => (c.run)(&args),
+        None => match args.command.as_str() {
+            "" | "help" | "--help" | "-h" => {
+                println!("{}", commands::usage());
+                return;
+            }
+            other => {
+                eprintln!("error: unknown command `{other}`\n");
+                eprintln!("{}", commands::usage());
+                std::process::exit(2);
+            }
+        },
     };
     match outcome {
         Ok(true) => {}

@@ -282,6 +282,94 @@ where
     out
 }
 
+/// Frame-incremental counterpart of [`trace_events`], usable under
+/// bounded ([`ftss_core::History::with_window`]) retention.
+///
+/// [`trace_events`] needs the complete history because it re-walks every
+/// adjacent frame pair after the run; a windowed history has already
+/// evicted most of those frames. The cursor instead rides a streaming run
+/// (`SyncRunner::run_streaming`'s `on_round`, or the socket runtime's
+/// per-round barrier): call [`TraceCursor::observe`] after every recorded
+/// round and it diffs the newest frame against its privately retained
+/// snapshot of the previous one — so a window of 1 suffices, and the
+/// concatenated output is exactly what [`trace_events`] would have
+/// produced on the full history (pinned by test).
+///
+/// The first observation is the baseline (round 1's snapshot) and yields
+/// no events, mirroring [`trace_events`]' treatment of the first frame.
+#[derive(Clone, Debug, Default)]
+pub struct TraceCursor<S, V> {
+    prev: Option<Vec<Option<CompiledState<S, V>>>>,
+}
+
+impl<S, V> TraceCursor<S, V>
+where
+    S: Clone,
+    V: Clone + PartialEq,
+{
+    /// A cursor that has seen nothing.
+    pub fn new() -> Self {
+        TraceCursor { prev: None }
+    }
+
+    /// Ingests the newest recorded round and returns the superimposition
+    /// events first visible there. `history` must have grown by exactly
+    /// one round since the previous call (the streaming contract).
+    pub fn observe<M>(
+        &mut self,
+        history: &ftss_core::History<CompiledState<S, V>, CompiledMsg<M>>,
+    ) -> Vec<ftss_telemetry::Event> {
+        use ftss_telemetry::Event;
+        let n = history.n();
+        let cur_rh = history
+            .rounds()
+            .last()
+            .expect("observe() needs at least one recorded round");
+        let snapshot = |rh: &ftss_core::RoundHistory<CompiledState<S, V>, CompiledMsg<M>>| {
+            (0..n)
+                .map(|j| rh.record(ProcessId(j)).state_at_start().cloned())
+                .collect::<Vec<_>>()
+        };
+        let Some(prev) = self.prev.replace(snapshot(cur_rh)) else {
+            return Vec::new(); // baseline round: nothing to diff yet
+        };
+        // This frame is the state at the start of round len(); its diff
+        // against the previous frame is stamped with that same round,
+        // matching trace_events' `i + 2` arithmetic on full histories.
+        let round = round_count(history.len());
+        let cur = self.prev.as_ref().expect("just replaced");
+        let mut out = Vec::new();
+        for j in 0..n {
+            let (Some(prev), Some(cur)) = (&prev[j], &cur[j]) else {
+                continue; // crashed or halted: no snapshot to diff
+            };
+            let p = ProcessId(j);
+            if cur.last_decision != prev.last_decision {
+                if let Some((tag, _)) = &cur.last_decision {
+                    out.push(Event::Decision {
+                        round,
+                        p,
+                        tag: *tag,
+                    });
+                }
+            }
+            for k in 0..n {
+                let q = ProcessId(k);
+                let (was, is) = (prev.suspects.contains(q), cur.suspects.contains(q));
+                if was != is {
+                    out.push(Event::Suspicion {
+                        at: round,
+                        observer: p,
+                        target: q,
+                        suspected: is,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,6 +649,52 @@ mod tests {
         }
         assert!(raised > 0, "some corrupted start must suspect someone");
         assert!(cleared > 0, "iteration resets must clear suspects");
+    }
+
+    #[test]
+    fn trace_cursor_matches_full_history_extraction() {
+        // Satellite equivalence pin: streaming the cursor over a window-1
+        // retention must reproduce trace_events on the full history, event
+        // for event, across clean, corrupted, crashing and omitting runs.
+        for seed in 0..12u64 {
+            let n = 4;
+            let rounds = 14;
+            let inputs = vec![4u64, 2, 7, 6];
+            let mk_adv = || -> Box<dyn ftss_sync_sim::Adversary> {
+                match seed % 3 {
+                    0 => Box::new(NoFaults),
+                    1 => {
+                        let mut cs = CrashSchedule::none();
+                        cs.set(ftss_core::ProcessId(seed as usize % n), Round::new(3));
+                        Box::new(CrashOnly::new(cs))
+                    }
+                    _ => Box::new(RandomOmission::new([ftss_core::ProcessId(1)], 0.4, seed)),
+                }
+            };
+            let cfg = if seed % 2 == 0 {
+                RunConfig::corrupted(n, rounds, seed)
+            } else {
+                RunConfig::clean(n, rounds)
+            };
+            let full = SyncRunner::new(Compiled::new(FloodSet::new(1, inputs.clone())))
+                .run(mk_adv().as_mut(), &cfg)
+                .unwrap();
+            let expected = trace_events(&full.history);
+
+            for window in [1usize, 3] {
+                let mut cursor = TraceCursor::new();
+                let mut streamed = Vec::new();
+                SyncRunner::new(Compiled::new(FloodSet::new(1, inputs.clone())))
+                    .run_streaming(
+                        mk_adv().as_mut(),
+                        &cfg.clone().with_history_window(window),
+                        &mut ftss_telemetry::NullSink,
+                        |h| streamed.extend(cursor.observe(h)),
+                    )
+                    .unwrap();
+                assert_eq!(streamed, expected, "seed {seed}, window {window}");
+            }
+        }
     }
 
     #[test]

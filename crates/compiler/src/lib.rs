@@ -29,4 +29,6 @@
 
 pub mod compiled;
 
-pub use compiled::{trace_events, Compiled, CompiledMsg, CompiledState, CompilerOptions};
+pub use compiled::{
+    trace_events, Compiled, CompiledMsg, CompiledState, CompilerOptions, TraceCursor,
+};

@@ -40,6 +40,7 @@ pub mod corrupt;
 pub mod coterie;
 pub mod error;
 pub mod fault;
+pub mod framing;
 pub mod history;
 pub mod id;
 pub mod message;
@@ -54,6 +55,9 @@ pub use corrupt::Corrupt;
 pub use coterie::{coterie_of_prefix, CoterieTimeline, StableWindow};
 pub use error::{ConfigError, Violation};
 pub use fault::{CrashSchedule, FaultKind, FaultModel};
+pub use framing::{
+    encode_frame, frame_bytes, FrameDecoder, FrameError, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+};
 pub use history::{
     DeliveredIter, Deliveries, DeliveryOutcome, DeviationSet, History, HistorySlice,
     ProcessRoundRecord, RoundHistory, RoundMsgs, RoundRecordView, SendRecord, SentCopy, SentIter,

@@ -1,0 +1,47 @@
+//! `ftss-serve` — the socket-based runtime: protocols as real processes.
+//!
+//! Everything else in this workspace runs protocols *inside* one
+//! simulator loop. This crate runs them as real OS threads exchanging
+//! length-prefixed JSONL frames over a [`Channel`] — an in-memory pipe,
+//! a loopback TCP socket, or a Unix domain socket — while a hub router
+//! replays the exact §2 synchronous schedule: barrier per round, crash
+//! schedule, adversarial omissions, and transient-corruption injection.
+//!
+//! The claim that makes this more than a demo: **the served execution is
+//! the simulated execution.** The router drives the same phase structure
+//! as `SyncRunner::run_traced`, emits the same telemetry events in the
+//! same order, and builds the same [`History`](ftss::core::History) — on
+//! the `mem` transport the JSONL trace is byte-identical to the
+//! simulator's (pinned by test and by `scripts/verify.sh`), and on real
+//! sockets it differs only by the additional `net_*` events. Thm-3
+//! stabilization bounds verified by `ftss-check` therefore transfer
+//! verbatim to executions that crossed a real network stack.
+//!
+//! Layers:
+//!
+//! * [`transport`] + [`wire`] + [`proto`] — framed byte channels and the
+//!   panic-free JSON wire codec (decoders return `Err`, never unwrap).
+//! * [`node`] — the process runtime: owns protocol state, nothing else.
+//! * [`session`] — the router: schedule replay, fault injection
+//!   (including replayed `ftss-chaos` storm plans via the CLI), telemetry.
+//! * [`loadgen`] + [`timer`] — deterministic client traffic into a
+//!   served Σ⁺ with round-denominated latency accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod node;
+pub mod proto;
+pub mod session;
+pub mod timer;
+pub mod transport;
+pub mod wire;
+
+pub use loadgen::{run_loadgen, Histogram, LoadReport, LoadgenConfig};
+pub use node::run_node;
+pub use proto::{ToNode, ToRouter};
+pub use session::{serve, serve_streaming, ServeConfig};
+pub use timer::TimerWheel;
+pub use transport::{Channel, TransportKind};
+pub use wire::Wire;

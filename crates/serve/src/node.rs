@@ -1,0 +1,75 @@
+//! The node runtime: one protocol process as a real thread over a
+//! [`Channel`].
+//!
+//! A node owns its own state and nothing else — it never sees the crash
+//! schedule, the adversary or the other nodes. Its whole life is the
+//! lock-step loop of §2 of the paper: broadcast the round's message,
+//! wait for the round's deliveries, step. The router injects systemic
+//! failures by sending a `corrupt` state to adopt (the node obliviously
+//! re-broadcasts, exactly as a corrupted process would have broadcast in
+//! the first place), and ends the node's life with `halt` — which is how
+//! both a scheduled crash and a normal run end look from in here.
+
+use crate::proto::{ToNode, ToRouter};
+use crate::transport::Channel;
+use crate::wire::Wire;
+use ftss::core::{Envelope, ProcessId, Round};
+use ftss::sync_sim::{Inbox, ProtocolCtx, SyncProtocol};
+
+/// Runs one protocol process to completion over `chan`.
+///
+/// # Errors
+///
+/// Transport failures and malformed router frames. A node never panics
+/// on wire input.
+pub fn run_node<P>(
+    protocol: &P,
+    me: ProcessId,
+    n: usize,
+    chan: &mut dyn Channel,
+) -> Result<(), String>
+where
+    P: SyncProtocol,
+    P::State: Wire,
+    P::Msg: Wire,
+{
+    let ctx = ProtocolCtx::new(me, n);
+    let send = |chan: &mut dyn Channel, msg: &ToRouter<P::State, P::Msg>| {
+        chan.send(&msg.to_bytes())
+            .map_err(|e| format!("{me}: send failed: {e}"))
+    };
+    send(chan, &ToRouter::Hello { p: me.index() })?;
+
+    let mut state = protocol.init_state(&ctx);
+    let mut round: u64 = 1;
+    loop {
+        // Broadcast half: snapshot + (optional) message. Recomputed from
+        // the current state, so an adopted corruption re-broadcasts the
+        // corrupted view without special-casing.
+        let msg = protocol
+            .sends(&ctx, &state)
+            .then(|| protocol.broadcast(&ctx, &state));
+        send(
+            chan,
+            &ToRouter::Bcast {
+                round,
+                state: state.clone(),
+                msg,
+            },
+        )?;
+        let payload = chan.recv().map_err(|e| format!("{me}: recv failed: {e}"))?;
+        match ToNode::<P::State, P::Msg>::from_bytes(&payload)? {
+            ToNode::Corrupt { state: s } => state = s,
+            ToNode::Inbox { msgs } => {
+                let envelopes: Vec<Envelope<P::Msg>> = msgs
+                    .into_iter()
+                    .map(|(from, m)| Envelope::new(ProcessId(from), Round::new(round), m))
+                    .collect();
+                let inbox = Inbox::new(envelopes);
+                protocol.step(&ctx, &mut state, &inbox);
+                round += 1;
+            }
+            ToNode::Halt => return Ok(()),
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The node⇄router control protocol: one JSONL document per frame.
+//!
+//! Four message shapes cross the wire:
+//!
+//! * node → router: `hello` (identity, sent once) and `bcast` (the round's
+//!   state snapshot plus, when the protocol sends this round, the
+//!   broadcast message),
+//! * router → node: `corrupt` (adopt this state — a systemic failure —
+//!   and re-broadcast), `inbox` (the round's deliveries; step and move to
+//!   the next round) and `halt` (leave the session: the run ended or the
+//!   crash schedule claimed this process).
+//!
+//! Everything is length-prefix framed by the transport and encoded with
+//! the telemetry JSON writer, so the wire format shares the trace
+//! format's byte-determinism. Decoding is total: malformed input is an
+//! `Err(String)`, never a panic.
+
+use crate::wire::Wire;
+use ftss::telemetry::{parse_json, JsonValue};
+
+/// A message from a node to the router.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ToRouter<S, M> {
+    /// Identifies the connection; always the node's first frame.
+    Hello {
+        /// The node's process index.
+        p: usize,
+    },
+    /// The node's round-start snapshot and (optional) broadcast.
+    Bcast {
+        /// The node's own 1-based round number (sanity-checked by the
+        /// router against the session round).
+        round: u64,
+        /// The state at the start of the round.
+        state: S,
+        /// The broadcast message; `None` when the protocol's `sends`
+        /// returned false this round.
+        msg: Option<M>,
+    },
+}
+
+/// A message from the router to a node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ToNode<S, M> {
+    /// Systemic failure: adopt this state and re-broadcast the round.
+    Corrupt {
+        /// The corrupted state to adopt.
+        state: S,
+    },
+    /// The round's deliveries, sorted by sender (self-copy included).
+    Inbox {
+        /// `(sender index, payload)` pairs in ascending sender order.
+        msgs: Vec<(usize, M)>,
+    },
+    /// Leave the session.
+    Halt,
+}
+
+impl<S: Wire, M: Wire> ToRouter<S, M> {
+    /// Encodes to the frame payload bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = String::new();
+        match self {
+            ToRouter::Hello { p } => {
+                out.push_str("{\"type\":\"hello\",\"p\":");
+                out.push_str(&p.to_string());
+                out.push('}');
+            }
+            ToRouter::Bcast { round, state, msg } => {
+                out.push_str("{\"type\":\"bcast\",\"round\":");
+                out.push_str(&round.to_string());
+                out.push_str(",\"state\":");
+                state.encode(&mut out);
+                if let Some(m) = msg {
+                    out.push_str(",\"msg\":");
+                    m.encode(&mut out);
+                }
+                out.push('}');
+            }
+        }
+        out.into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed payload — wire bytes are untrusted.
+    pub fn from_bytes(payload: &[u8]) -> Result<Self, String> {
+        let v = parse_payload(payload)?;
+        match v.get("type").and_then(JsonValue::as_str) {
+            Some("hello") => Ok(ToRouter::Hello {
+                p: v.get("p")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("hello: missing `p`")? as usize,
+            }),
+            Some("bcast") => Ok(ToRouter::Bcast {
+                round: v
+                    .get("round")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("bcast: missing `round`")?,
+                state: S::decode(v.get("state").ok_or("bcast: missing `state`")?)?,
+                msg: match v.get("msg") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(m) => Some(M::decode(m)?),
+                },
+            }),
+            other => Err(format!("unknown node message type {other:?}")),
+        }
+    }
+}
+
+impl<S: Wire, M: Wire> ToNode<S, M> {
+    /// Encodes to the frame payload bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = String::new();
+        match self {
+            ToNode::Corrupt { state } => {
+                out.push_str("{\"type\":\"corrupt\",\"state\":");
+                state.encode(&mut out);
+                out.push('}');
+            }
+            ToNode::Inbox { msgs } => {
+                out.push_str("{\"type\":\"inbox\",\"msgs\":[");
+                for (i, (from, m)) in msgs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"from\":");
+                    out.push_str(&from.to_string());
+                    out.push_str(",\"msg\":");
+                    m.encode(&mut out);
+                    out.push('}');
+                }
+                out.push_str("]}");
+            }
+            ToNode::Halt => out.push_str("{\"type\":\"halt\"}"),
+        }
+        out.into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed payload — wire bytes are untrusted.
+    pub fn from_bytes(payload: &[u8]) -> Result<Self, String> {
+        let v = parse_payload(payload)?;
+        match v.get("type").and_then(JsonValue::as_str) {
+            Some("corrupt") => Ok(ToNode::Corrupt {
+                state: S::decode(v.get("state").ok_or("corrupt: missing `state`")?)?,
+            }),
+            Some("inbox") => {
+                let arr = v
+                    .get("msgs")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("inbox: missing `msgs`")?;
+                let mut msgs = Vec::with_capacity(arr.len());
+                for entry in arr {
+                    let from = entry
+                        .get("from")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("inbox entry: missing `from`")?
+                        as usize;
+                    let m = M::decode(entry.get("msg").ok_or("inbox entry: missing `msg`")?)?;
+                    msgs.push((from, m));
+                }
+                Ok(ToNode::Inbox { msgs })
+            }
+            Some("halt") => Ok(ToNode::Halt),
+            other => Err(format!("unknown router message type {other:?}")),
+        }
+    }
+}
+
+fn parse_payload(payload: &[u8]) -> Result<JsonValue, String> {
+    let text =
+        std::str::from_utf8(payload).map_err(|e| format!("frame payload is not UTF-8: {e}"))?;
+    parse_json(text).map_err(|e| format!("frame payload is not JSON: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftss::core::RoundCounter;
+    use ftss::protocols::RoundAgreementState;
+
+    type NodeMsg = ToRouter<RoundAgreementState, u64>;
+    type RouterMsg = ToNode<RoundAgreementState, u64>;
+
+    fn st(c: u64) -> RoundAgreementState {
+        RoundAgreementState {
+            c: RoundCounter::new(c),
+        }
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        for msg in [
+            NodeMsg::Hello { p: 3 },
+            NodeMsg::Bcast {
+                round: 7,
+                state: st(9),
+                msg: Some(9),
+            },
+            NodeMsg::Bcast {
+                round: 1,
+                state: st(0),
+                msg: None,
+            },
+        ] {
+            assert_eq!(NodeMsg::from_bytes(&msg.to_bytes()).expect("decodes"), msg);
+        }
+        for msg in [
+            RouterMsg::Corrupt { state: st(4) },
+            RouterMsg::Inbox {
+                msgs: vec![(0, 5), (2, 8)],
+            },
+            RouterMsg::Inbox { msgs: vec![] },
+            RouterMsg::Halt,
+        ] {
+            assert_eq!(
+                RouterMsg::from_bytes(&msg.to_bytes()).expect("decodes"),
+                msg
+            );
+        }
+    }
+
+    #[test]
+    fn decoding_rejects_garbage_without_panicking() {
+        for bad in [
+            &b"\xff\xfe"[..],
+            b"not json",
+            b"{\"type\":\"warp\"}",
+            b"{\"type\":\"bcast\"}",
+            b"{\"type\":\"inbox\",\"msgs\":[{\"from\":0}]}",
+            b"{\"type\":\"corrupt\",\"state\":[]}",
+        ] {
+            assert!(NodeMsg::from_bytes(bad).is_err());
+            assert!(RouterMsg::from_bytes(bad).is_err());
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! The session router: lock-step rounds over real connections, with the
+//! fault-injecting proxy built into the barrier.
+//!
+//! The router owns everything the nodes must not see: the round barrier,
+//! the [`Adversary`] (storm replay included), the crash schedule, the
+//! corruption schedule and the recorded [`History`]. Each round it
+//! collects every alive node's `bcast`, then walks the copies in the
+//! simulator's exact `(sender, destination)` order, consulting the
+//! adversary per copy — so omission draws, telemetry events and the
+//! recorded history are **byte-identical to
+//! [`ftss::sync_sim::SyncRunner`]** for the same seed, on every
+//! transport. The barrier plus sorted iteration is what removes socket
+//! arrival nondeterminism; only wall-clock differs between `mem`, `tcp`
+//! and `uds` (see DESIGN.md §13).
+//!
+//! Telemetry: a session emits the simulator's event stream unchanged.
+//! On real sockets (`tcp`, `uds`) it *additionally* emits `net_listen`,
+//! `net_connect`, `net_frame` and `net_close` events at deterministic
+//! points; the `mem` transport emits none of them, which is what keeps
+//! its stream byte-identical to `SyncRunner::run_traced` (pinned by
+//! `tests/serve_determinism.rs` and `scripts/verify.sh`).
+
+use crate::proto::{ToNode, ToRouter};
+use crate::transport::{Channel, TransportKind};
+use crate::wire::Wire;
+use ftss::core::{
+    round_count, Corrupt, DeliveryOutcome, History, Payload, ProcessId, Round, RoundHistory,
+    FRAME_HEADER_LEN,
+};
+use ftss::sync_sim::{Adversary, OmissionSide, ProtocolCtx, RunConfig, RunOutcome, SyncProtocol};
+use ftss::telemetry::{Event, RunMode, TraceSink};
+use ftss_rng::StdRng;
+
+/// Parameters of a served run: the simulator's [`RunConfig`] plus the
+/// transport to run it over.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The run parameters (n, rounds, corruption, fault bound, window).
+    pub run: RunConfig,
+    /// Which transport carries the frames.
+    pub transport: TransportKind,
+}
+
+impl ServeConfig {
+    /// A served run over `transport` with the given simulator config.
+    pub fn new(run: RunConfig, transport: TransportKind) -> Self {
+        ServeConfig { run, transport }
+    }
+}
+
+/// One node's last collected snapshot: its decoded round-start state and
+/// broadcast (if it sends this round).
+struct Slot<S, M> {
+    state: S,
+    msg: Option<M>,
+}
+
+/// Runs `protocol` as `n` real processes over the configured transport.
+///
+/// Equivalent to [`ftss::sync_sim::SyncRunner::run_traced`] — same
+/// events, same history, same outcome — with the execution distributed
+/// across threads and sockets.
+///
+/// # Errors
+///
+/// The simulator's configuration errors, plus transport and wire
+/// failures.
+pub fn serve<P, A, T>(
+    protocol: &P,
+    adversary: &mut A,
+    cfg: &ServeConfig,
+    sink: &mut T,
+) -> Result<RunOutcome<P::State, P::Msg>, String>
+where
+    P: SyncProtocol + Clone + Send + 'static,
+    P::State: Wire + Corrupt + Send + 'static,
+    P::Msg: Wire + Send + 'static,
+    A: Adversary + ?Sized,
+    T: TraceSink,
+{
+    serve_streaming(protocol, adversary, cfg, sink, |_| {})
+}
+
+/// [`serve`] with a per-round history observer — the streaming seam for
+/// windowed oracles and the load generator, mirroring
+/// [`ftss::sync_sim::SyncRunner::run_streaming`].
+///
+/// # Errors
+///
+/// Same contract as [`serve`].
+pub fn serve_streaming<P, A, T, F>(
+    protocol: &P,
+    adversary: &mut A,
+    cfg: &ServeConfig,
+    sink: &mut T,
+    mut on_round: F,
+) -> Result<RunOutcome<P::State, P::Msg>, String>
+where
+    P: SyncProtocol + Clone + Send + 'static,
+    P::State: Wire + Corrupt + Send + 'static,
+    P::Msg: Wire + Send + 'static,
+    A: Adversary + ?Sized,
+    T: TraceSink,
+    F: FnMut(&History<P::State, P::Msg>),
+{
+    // Validation: the simulator's exact rules and messages.
+    if cfg.run.n == 0 {
+        return Err("n must be at least 1".into());
+    }
+    let n = cfg.run.n;
+    let faulty = adversary.faulty(n);
+    if faulty.len() > cfg.run.max_faulty {
+        return Err(format!(
+            "adversary declares {} faulty processes but f = {}",
+            faulty.len(),
+            cfg.run.max_faulty
+        ));
+    }
+    let schedule = adversary.crash_schedule();
+    for (p, _) in schedule.iter() {
+        if !faulty.contains(p) {
+            return Err(format!(
+                "crash schedule names {p} outside the declared faulty set"
+            ));
+        }
+    }
+
+    let traced = sink.enabled();
+    let net = traced && cfg.transport.is_real_socket();
+    let transport_name = cfg.transport.name();
+    if traced {
+        sink.emit(&Event::RunStart {
+            mode: RunMode::Sync,
+            protocol: protocol.name().to_string(),
+            n,
+            rounds: Some(round_count(cfg.run.rounds)),
+            msg_size: Some(std::mem::size_of::<P::Msg>()),
+        });
+    }
+
+    // Bring the system up: sockets, node threads, hello handshake.
+    let (router_ends, node_ends) = cfg
+        .transport
+        .open_pairs(n)
+        .map_err(|e| format!("{transport_name} transport setup: {e}"))?;
+    if net {
+        sink.emit(&Event::NetListen {
+            transport: transport_name.to_string(),
+            n,
+        });
+    }
+    let mut handles = Vec::with_capacity(n);
+    for (i, mut chan) in node_ends.into_iter().enumerate() {
+        let proto = protocol.clone();
+        handles.push(std::thread::spawn(move || {
+            crate::node::run_node(&proto, ProcessId(i), n, chan.as_mut())
+        }));
+    }
+    // Identity comes from the hello frame, never from accept order.
+    let mut chans: Vec<Option<Box<dyn Channel>>> = (0..n).map(|_| None).collect();
+    for mut ch in router_ends {
+        let payload = ch.recv().map_err(|e| format!("hello recv: {e}"))?;
+        match ToRouter::<P::State, P::Msg>::from_bytes(&payload)? {
+            ToRouter::Hello { p } if p < n && chans[p].is_none() => chans[p] = Some(ch),
+            ToRouter::Hello { p } => return Err(format!("bad or duplicate hello for p{p}")),
+            _ => return Err("expected hello as first frame".into()),
+        }
+    }
+    if net {
+        for i in 0..n {
+            sink.emit(&Event::NetConnect {
+                p: ProcessId(i),
+                transport: transport_name.to_string(),
+            });
+        }
+    }
+
+    let mut slots: Vec<Option<Slot<P::State, P::Msg>>> = (0..n).map(|_| None).collect();
+
+    // Collects one bcast from every connected node into `slots`.
+    let collect = |chans: &mut Vec<Option<Box<dyn Channel>>>,
+                   slots: &mut Vec<Option<Slot<P::State, P::Msg>>>,
+                   sink: &mut T,
+                   r: u64|
+     -> Result<(), String> {
+        for i in 0..n {
+            let Some(ch) = chans[i].as_mut() else {
+                continue;
+            };
+            let payload = ch.recv().map_err(|e| format!("p{i} bcast recv: {e}"))?;
+            match ToRouter::<P::State, P::Msg>::from_bytes(&payload)? {
+                ToRouter::Bcast { round, state, msg } => {
+                    if round != r {
+                        return Err(format!("p{i} is in round {round}, session is in {r}"));
+                    }
+                    slots[i] = Some(Slot { state, msg });
+                }
+                ToRouter::Hello { .. } => return Err(format!("unexpected hello from p{i}")),
+            }
+            if net {
+                sink.emit(&Event::NetFrame {
+                    round: r,
+                    from: ProcessId(i),
+                    bytes: (payload.len() + FRAME_HEADER_LEN) as u64,
+                });
+            }
+        }
+        Ok(())
+    };
+
+    // A systemic failure: corrupt every connected node's decoded state
+    // with ONE shared rng in process order (the simulator's
+    // `states.iter_mut().flatten()`), push the corrupted states out, and
+    // re-collect the re-broadcasts.
+    let corrupt_exchange = |chans: &mut Vec<Option<Box<dyn Channel>>>,
+                            slots: &mut Vec<Option<Slot<P::State, P::Msg>>>,
+                            sink: &mut T,
+                            r: u64,
+                            seed: u64|
+     -> Result<(), String> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for slot in slots.iter_mut().flatten() {
+            slot.state.corrupt(&mut rng);
+        }
+        if sink.enabled() {
+            sink.emit(&Event::Corruption { round: r, seed });
+        }
+        for i in 0..n {
+            let Some(ch) = chans[i].as_mut() else {
+                continue;
+            };
+            let slot = slots[i]
+                .as_ref()
+                .ok_or_else(|| format!("p{i} has no slot"))?;
+            let msg: ToNode<P::State, P::Msg> = ToNode::Corrupt {
+                state: slot.state.clone(),
+            };
+            ch.send(&msg.to_bytes())
+                .map_err(|e| format!("p{i} corrupt send: {e}"))?;
+        }
+        collect(chans, slots, sink, r)
+    };
+
+    let mut history: History<P::State, P::Msg> = match cfg.run.history_window {
+        Some(w) => History::with_window(n, w),
+        None => History::new(n),
+    };
+    let mut spare: Option<RoundHistory<P::State, P::Msg>> = None;
+
+    // Round 1's broadcasts (and the initial systemic failure) precede the
+    // first round_start event, as in the simulator.
+    collect(&mut chans, &mut slots, sink, 1)?;
+    if let ftss::sync_sim::Corruption::Arbitrary { seed } = cfg.run.corruption {
+        corrupt_exchange(&mut chans, &mut slots, sink, 1, seed)?;
+    }
+
+    for r in 1..=round_count(cfg.run.rounds) {
+        let round = Round::new(r);
+        if r > 1 {
+            collect(&mut chans, &mut slots, sink, r)?;
+        }
+        if traced {
+            sink.emit(&Event::RoundStart { round: r });
+        }
+        if let Some(seed) = cfg.run.mid_run_corruption.seed_for(r) {
+            corrupt_exchange(&mut chans, &mut slots, sink, r, seed)?;
+        }
+
+        let mut frame = match spare.take() {
+            Some(mut f) => {
+                f.reset(n);
+                f
+            }
+            None => RoundHistory::empty(n),
+        };
+
+        // Phase 0: snapshot round-start states.
+        for (i, slot) in slots.iter().enumerate() {
+            let p = ProcessId(i);
+            if schedule.is_crashed(p, round) {
+                continue;
+            }
+            let slot = slot
+                .as_ref()
+                .ok_or_else(|| format!("alive p{i} has no snapshot in round {r}"))?;
+            let crashed_here = schedule.crashes_in(p, round);
+            if traced && crashed_here {
+                sink.emit(&Event::Crash { at: r, p });
+            }
+            frame.set_process(
+                p,
+                Some(slot.state.clone()),
+                protocol.round_counter(&slot.state),
+                crashed_here,
+                protocol.is_halted(&ProtocolCtx::new(p, n), &slot.state),
+            );
+        }
+
+        // Phase 1: the fault-injecting proxy. Copies walk in the
+        // simulator's (sender, destination) order; the adversary is
+        // consulted per eligible copy, so its rng stream stays aligned
+        // with the simulator's.
+        let (mut copies_sent, mut copies_delivered) = (0u64, 0u64);
+        for (i, slot) in slots.iter().enumerate() {
+            let p = ProcessId(i);
+            if schedule.is_crashed(p, round) {
+                continue;
+            }
+            let slot = slot
+                .as_ref()
+                .ok_or_else(|| format!("alive p{i} has no snapshot in round {r}"))?;
+            let Some(msg) = slot.msg.as_ref() else {
+                continue; // the protocol chose silence this round
+            };
+            frame.set_broadcast(p, Payload::new(msg.clone()));
+            let crashing = schedule.crashes_in(p, round);
+            let cut = if crashing {
+                adversary.sends_before_crash(p, round)
+            } else {
+                usize::MAX
+            };
+            let mut emitted = 0usize;
+            for j in 0..n {
+                let q = ProcessId(j);
+                if q == p {
+                    if !crashing {
+                        frame.record_delivery(p, p);
+                    }
+                    continue;
+                }
+                let outcome = if emitted >= cut {
+                    DeliveryOutcome::SenderCrashed
+                } else if schedule.is_crashed(q, round) || schedule.crashes_in(q, round) {
+                    emitted += 1;
+                    DeliveryOutcome::ReceiverCrashed
+                } else {
+                    emitted += 1;
+                    match adversary.drop_copy(round, p, q) {
+                        None => DeliveryOutcome::Delivered,
+                        Some(OmissionSide::Sender) => {
+                            assert!(
+                                faulty.contains(p),
+                                "adversary made non-faulty {p} send-omit"
+                            );
+                            DeliveryOutcome::DroppedBySender
+                        }
+                        Some(OmissionSide::Receiver) => {
+                            assert!(
+                                faulty.contains(q),
+                                "adversary made non-faulty {q} receive-omit"
+                            );
+                            DeliveryOutcome::DroppedByReceiver
+                        }
+                    }
+                };
+                if outcome == DeliveryOutcome::Delivered {
+                    frame.record_delivery(q, p);
+                }
+                if traced {
+                    copies_sent += 1;
+                    if outcome == DeliveryOutcome::Delivered {
+                        copies_delivered += 1;
+                    }
+                    sink.emit(&Event::Send {
+                        round: r,
+                        from: p,
+                        to: q,
+                        outcome,
+                    });
+                }
+                frame.record_send(p, q, outcome);
+            }
+        }
+
+        // Phase 2: push each survivor its inbox; halt the crashing.
+        for i in 0..n {
+            let p = ProcessId(i);
+            if schedule.is_crashed(p, round) {
+                continue;
+            }
+            if schedule.crashes_in(p, round) {
+                if let Some(ch) = chans[i].as_mut() {
+                    let halt: ToNode<P::State, P::Msg> = ToNode::Halt;
+                    ch.send(&halt.to_bytes())
+                        .map_err(|e| format!("p{i} halt send: {e}"))?;
+                }
+                chans[i] = None;
+                slots[i] = None;
+                if net {
+                    sink.emit(&Event::NetClose { p });
+                }
+                continue;
+            }
+            let msgs: Vec<(usize, P::Msg)> = frame
+                .msgs()
+                .deliveries(p)
+                .iter()
+                .map(|(src, payload)| (src.index(), (**payload).clone()))
+                .collect();
+            let inbox: ToNode<P::State, P::Msg> = ToNode::Inbox { msgs };
+            if let Some(ch) = chans[i].as_mut() {
+                ch.send(&inbox.to_bytes())
+                    .map_err(|e| format!("p{i} inbox send: {e}"))?;
+            }
+        }
+
+        if traced {
+            sink.emit(&Event::RoundEnd {
+                round: r,
+                sent: copies_sent,
+                delivered: copies_delivered,
+                dropped: copies_sent - copies_delivered,
+            });
+        }
+        spare = history.push(frame);
+        on_round(&history);
+    }
+
+    // Epilogue: the survivors have stepped and are already broadcasting
+    // for the round after the horizon — that snapshot IS the final state.
+    let final_round = round_count(cfg.run.rounds) + 1;
+    collect(&mut chans, &mut slots, sink, final_round)?;
+    let mut final_states: Vec<Option<P::State>> = (0..n).map(|_| None).collect();
+    for i in 0..n {
+        if chans[i].is_some() {
+            final_states[i] = slots[i].take().map(|s| s.state);
+        }
+    }
+    for (i, ch) in chans.iter_mut().enumerate() {
+        if let Some(ch) = ch.as_mut() {
+            let halt: ToNode<P::State, P::Msg> = ToNode::Halt;
+            ch.send(&halt.to_bytes())
+                .map_err(|e| format!("p{i} halt send: {e}"))?;
+            if net {
+                sink.emit(&Event::NetClose { p: ProcessId(i) });
+            }
+        }
+    }
+    drop(chans);
+    for (i, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(format!("node p{i} failed: {e}")),
+            Err(_) => return Err(format!("node p{i} panicked")),
+        }
+    }
+
+    Ok(RunOutcome {
+        history,
+        final_states,
+    })
+}

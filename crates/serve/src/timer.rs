@@ -1,0 +1,86 @@
+//! A deterministic timer wheel for round-denominated deadlines.
+//!
+//! The load generator (and any future asynchronous adapter) needs
+//! timeouts that fire in a reproducible order. [`TimerWheel`] keys
+//! deadlines by tick and drains them in `(tick, insertion)` order — a
+//! pure data structure, no threads, no clocks: the session's round
+//! barrier *is* the clock.
+
+use std::collections::BTreeMap;
+
+/// Deadline-ordered storage: `schedule` items at a tick, `advance` the
+/// clock and collect everything that came due.
+#[derive(Clone, Debug, Default)]
+pub struct TimerWheel<T> {
+    slots: BTreeMap<u64, Vec<T>>,
+    len: usize,
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Schedules `item` to fire once the clock reaches `at`.
+    pub fn schedule(&mut self, at: u64, item: T) {
+        self.slots.entry(at).or_default().push(item);
+        self.len += 1;
+    }
+
+    /// Advances the clock to `now`, returning every item with a deadline
+    /// `<= now` in `(deadline, insertion)` order.
+    pub fn advance(&mut self, now: u64) -> Vec<T> {
+        let mut due = Vec::new();
+        while let Some((&t, _)) = self.slots.first_key_value() {
+            if t > now {
+                break;
+            }
+            if let Some(items) = self.slots.remove(&t) {
+                self.len -= items.len();
+                due.extend(items);
+            }
+        }
+        due
+    }
+
+    /// The earliest pending deadline.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.slots.first_key_value().map(|(&t, _)| t)
+    }
+
+    /// Items still pending.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_then_insertion_order() {
+        let mut w = TimerWheel::new();
+        w.schedule(5, "c");
+        w.schedule(3, "a");
+        w.schedule(3, "b");
+        w.schedule(9, "d");
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.next_deadline(), Some(3));
+        assert_eq!(w.advance(2), Vec::<&str>::new());
+        assert_eq!(w.advance(5), vec!["a", "b", "c"]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.advance(100), vec!["d"]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+}

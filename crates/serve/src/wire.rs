@@ -1,0 +1,305 @@
+//! The wire codec: protocol states and messages as JSONL documents.
+//!
+//! The socket runtime reuses the telemetry layer's hand-rolled JSON
+//! (`ftss_telemetry::json`) as its wire format — one JSON document per
+//! frame, stable field order, unsigned-integer-only numerics — so wire
+//! traffic obeys the same byte-determinism discipline as trace files.
+//!
+//! [`Wire`] is implemented here for every type the runtime ships:
+//! `u64`, `BTreeSet<u64>`, [`RoundAgreementState`], [`FloodSetState`],
+//! [`CompiledState`] and [`CompiledMsg`]. Decoding never trusts the
+//! network: every malformed shape is an `Err(String)`, never a panic —
+//! there is no `unwrap` on wire input anywhere in this crate.
+
+use ftss::compiler::{CompiledMsg, CompiledState};
+use ftss::core::{Payload, ProcessId, ProcessSet, RoundCounter};
+use ftss::protocols::floodset::FloodSetState;
+use ftss::protocols::RoundAgreementState;
+use ftss::telemetry::JsonValue;
+use std::collections::BTreeSet;
+
+/// A type that can cross the wire as one JSON value.
+///
+/// `encode` must be the exact inverse of `decode`: the runtime's
+/// determinism rests on states surviving a round trip bit-for-bit.
+pub trait Wire: Sized {
+    /// Appends this value as one JSON value.
+    fn encode(&self, out: &mut String);
+
+    /// Reads a value back from parsed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Any shape mismatch — wire bytes are untrusted input.
+    fn decode(v: &JsonValue) -> Result<Self, String>;
+}
+
+impl Wire for u64 {
+    fn encode(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+
+    fn decode(v: &JsonValue) -> Result<Self, String> {
+        v.as_u64().ok_or_else(|| "expected a number".into())
+    }
+}
+
+impl Wire for BTreeSet<u64> {
+    fn encode(&self, out: &mut String) {
+        out.push('[');
+        for (i, x) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&x.to_string());
+        }
+        out.push(']');
+    }
+
+    fn decode(v: &JsonValue) -> Result<Self, String> {
+        let arr = v.as_arr().ok_or("expected an array of numbers")?;
+        arr.iter()
+            .map(|x| x.as_u64().ok_or_else(|| "non-numeric set element".into()))
+            .collect()
+    }
+}
+
+/// Figure 1's state is just the round counter; it crosses as a number.
+impl Wire for RoundAgreementState {
+    fn encode(&self, out: &mut String) {
+        out.push_str(&self.c.get().to_string());
+    }
+
+    fn decode(v: &JsonValue) -> Result<Self, String> {
+        Ok(RoundAgreementState {
+            c: RoundCounter::new(
+                v.as_u64()
+                    .ok_or("round-agreement state: expected a number")?,
+            ),
+        })
+    }
+}
+
+impl Wire for FloodSetState {
+    fn encode(&self, out: &mut String) {
+        out.push_str("{\"seen\":");
+        self.seen.encode(out);
+        out.push_str(",\"decided\":");
+        match self.decided {
+            Some(v) => out.push_str(&v.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+
+    fn decode(v: &JsonValue) -> Result<Self, String> {
+        let seen = BTreeSet::decode(v.get("seen").ok_or("floodset state: missing `seen`")?)?;
+        let decided = match v.get("decided") {
+            Some(JsonValue::Null) | None => None,
+            Some(d) => Some(d.as_u64().ok_or("floodset state: bad `decided`")?),
+        };
+        Ok(FloodSetState { seen, decided })
+    }
+}
+
+fn encode_process_set(set: &ProcessSet, out: &mut String) {
+    out.push_str("{\"n\":");
+    out.push_str(&set.universe().to_string());
+    out.push_str(",\"members\":[");
+    for (i, p) in set.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&p.index().to_string());
+    }
+    out.push_str("]}");
+}
+
+fn decode_process_set(v: &JsonValue) -> Result<ProcessSet, String> {
+    let n = v
+        .get("n")
+        .and_then(JsonValue::as_u64)
+        .ok_or("process set: missing `n`")? as usize;
+    let members = v
+        .get("members")
+        .and_then(JsonValue::as_arr)
+        .ok_or("process set: missing `members`")?;
+    let mut ids = Vec::with_capacity(members.len());
+    for m in members {
+        let i = m.as_u64().ok_or("process set: non-numeric member")? as usize;
+        if i >= n {
+            return Err(format!("process set: member {i} outside universe {n}"));
+        }
+        ids.push(ProcessId(i));
+    }
+    Ok(ProcessSet::from_iter_n(n, ids))
+}
+
+impl<S: Wire, V: Wire> Wire for CompiledState<S, V> {
+    fn encode(&self, out: &mut String) {
+        out.push_str("{\"inner\":");
+        self.inner.encode(out);
+        out.push_str(",\"c\":");
+        out.push_str(&self.c.get().to_string());
+        out.push_str(",\"suspects\":");
+        encode_process_set(&self.suspects, out);
+        out.push_str(",\"last_decision\":");
+        match &self.last_decision {
+            Some((tag, v)) => {
+                out.push('[');
+                out.push_str(&tag.to_string());
+                out.push(',');
+                v.encode(out);
+                out.push(']');
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+
+    fn decode(v: &JsonValue) -> Result<Self, String> {
+        let inner = S::decode(v.get("inner").ok_or("compiled state: missing `inner`")?)?;
+        let c = RoundCounter::new(
+            v.get("c")
+                .and_then(JsonValue::as_u64)
+                .ok_or("compiled state: missing `c`")?,
+        );
+        let suspects = decode_process_set(
+            v.get("suspects")
+                .ok_or("compiled state: missing `suspects`")?,
+        )?;
+        let last_decision = match v.get("last_decision") {
+            Some(JsonValue::Null) | None => None,
+            Some(JsonValue::Arr(pair)) if pair.len() == 2 => {
+                let tag = pair[0].as_u64().ok_or("compiled state: bad decision tag")?;
+                Some((tag, V::decode(&pair[1])?))
+            }
+            Some(_) => return Err("compiled state: bad `last_decision`".into()),
+        };
+        Ok(CompiledState {
+            inner,
+            c,
+            suspects,
+            last_decision,
+        })
+    }
+}
+
+impl<M: Wire> Wire for CompiledMsg<M> {
+    fn encode(&self, out: &mut String) {
+        out.push_str("{\"state_msg\":");
+        self.state_msg.encode(out);
+        out.push_str(",\"round\":");
+        out.push_str(&self.round.to_string());
+        out.push('}');
+    }
+
+    fn decode(v: &JsonValue) -> Result<Self, String> {
+        let state_msg = M::decode(
+            v.get("state_msg")
+                .ok_or("compiled msg: missing `state_msg`")?,
+        )?;
+        let round = v
+            .get("round")
+            .and_then(JsonValue::as_u64)
+            .ok_or("compiled msg: missing `round`")?;
+        Ok(CompiledMsg {
+            state_msg: Payload::new(state_msg),
+            round,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftss::core::Corrupt;
+    use ftss::telemetry::parse_json;
+    use ftss_rng::check::{forall, Gen};
+    use ftss_rng::Rng;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(x: &T) {
+        let mut s = String::new();
+        x.encode(&mut s);
+        let v = parse_json(&s).unwrap_or_else(|e| panic!("encoded `{s}` unparsable: {e}"));
+        assert_eq!(&T::decode(&v).expect("decodes"), x, "via `{s}`");
+    }
+
+    #[test]
+    fn concrete_states_round_trip() {
+        round_trip(&7u64);
+        round_trip(&BTreeSet::from([1u64, 5, 9]));
+        round_trip(&RoundAgreementState {
+            c: RoundCounter::new(42),
+        });
+        round_trip(&FloodSetState {
+            seen: BTreeSet::from([3u64, 4]),
+            decided: Some(3),
+        });
+        round_trip(&FloodSetState {
+            seen: BTreeSet::new(),
+            decided: None,
+        });
+        let cs: CompiledState<FloodSetState, u64> = CompiledState {
+            inner: FloodSetState {
+                seen: BTreeSet::from([8u64]),
+                decided: None,
+            },
+            c: RoundCounter::new(3),
+            suspects: ProcessSet::from_iter_n(5, [ProcessId(1), ProcessId(4)]),
+            last_decision: Some((2, 8)),
+        };
+        round_trip(&cs);
+        round_trip(&CompiledMsg {
+            state_msg: Payload::new(BTreeSet::from([1u64, 2])),
+            round: 9,
+        });
+    }
+
+    /// Corrupted (arbitrary) states — the shapes the runtime actually
+    /// ships right after a systemic failure — survive the round trip too.
+    #[test]
+    fn corrupted_states_round_trip() {
+        forall(64, |g: &mut Gen| {
+            let mut ra = RoundAgreementState {
+                c: RoundCounter::new(1),
+            };
+            ra.corrupt(g);
+            round_trip(&ra);
+            let mut fs = FloodSetState {
+                seen: BTreeSet::new(),
+                decided: None,
+            };
+            fs.corrupt(g);
+            let mut cs: CompiledState<FloodSetState, u64> = CompiledState {
+                inner: fs,
+                c: RoundCounter::new(g.gen()),
+                suspects: ProcessSet::from_iter_n(
+                    6,
+                    (0..6).filter(|_| g.gen_bool(0.5)).map(ProcessId),
+                ),
+                last_decision: g.gen_bool(0.5).then(|| (g.gen(), g.gen())),
+            };
+            cs.corrupt(g);
+            round_trip(&cs);
+        });
+    }
+
+    /// Decoding arbitrary JSON shapes fails cleanly, never panics.
+    #[test]
+    fn decode_rejects_malformed_shapes() {
+        for bad in [
+            "null",
+            "true",
+            "\"x\"",
+            "[1,\"a\"]",
+            "{\"seen\":3,\"decided\":null}",
+            "{\"inner\":{},\"c\":\"x\"}",
+            "{\"n\":2,\"members\":[5]}",
+        ] {
+            let v = parse_json(bad).expect("valid JSON");
+            assert!(FloodSetState::decode(&v).is_err() || bad == "null");
+            assert!(CompiledState::<FloodSetState, u64>::decode(&v).is_err());
+        }
+    }
+}

@@ -84,6 +84,18 @@ impl CorruptionSchedule {
         self.events.iter().map(|&(r, _)| r).max()
     }
 
+    /// The corruption seed scheduled for `round`, if any — the same
+    /// last-entry-wins resolution the runner applies. Public so other
+    /// substrates (the socket runtime) can replay a schedule with the
+    /// runner's exact semantics.
+    pub fn seed_for(&self, round: u64) -> Option<u64> {
+        self.events
+            .iter()
+            .filter(|&&(r, _)| r == round)
+            .map(|&(_, seed)| seed)
+            .next_back()
+    }
+
     /// Resolves the schedule into a round-sorted lookup table with one
     /// entry per round (later entries for the same round win). Built once
     /// per run, so the per-round query in the hot loop is a binary search

@@ -197,6 +197,40 @@ pub enum Event {
         /// Which budget: `rounds`, `events` or `wall_clock`.
         budget: String,
     },
+    /// The socket runtime (`ftss-serve`) opened its listener. Emitted only
+    /// for real transports (`tcp`/`uds`), never `mem` — in-memory runs must
+    /// stay byte-identical to the simulator. Carries no address or port:
+    /// those are nondeterministic, and this schema is byte-reproducible.
+    NetListen {
+        /// The transport's stable name (`tcp`, `uds`).
+        transport: String,
+        /// Number of node processes expected to connect.
+        n: usize,
+    },
+    /// A node process completed its connection handshake with the runtime
+    /// router. Emitted in process-id order after setup, not arrival order.
+    NetConnect {
+        /// The connected node.
+        p: ProcessId,
+        /// The transport's stable name (`tcp`, `uds`).
+        transport: String,
+    },
+    /// One framed node broadcast was ingested by the runtime router.
+    /// Emitted after the round barrier in process-id order, so the stream
+    /// is independent of socket arrival timing.
+    NetFrame {
+        /// The round the frame belongs to.
+        round: u64,
+        /// The sending node.
+        from: ProcessId,
+        /// Framed payload size in bytes (excluding the length prefix).
+        bytes: u64,
+    },
+    /// A node connection closed (crash injection or run end).
+    NetClose {
+        /// The disconnected node.
+        p: ProcessId,
+    },
 }
 
 fn outcome_str(outcome: DeliveryOutcome) -> &'static str {
@@ -241,6 +275,10 @@ impl Event {
             Event::StormEnd { .. } => "storm_end",
             Event::RecoveryMeasured { .. } => "recovery_measured",
             Event::BudgetExhausted { .. } => "budget_exhausted",
+            Event::NetListen { .. } => "net_listen",
+            Event::NetConnect { .. } => "net_connect",
+            Event::NetFrame { .. } => "net_frame",
+            Event::NetClose { .. } => "net_close",
         }
     }
 
@@ -381,6 +419,22 @@ impl Event {
                 out.push_str(",\"budget\":");
                 escape_into(out, budget);
             }
+            Event::NetListen { transport, n } => {
+                out.push_str(",\"transport\":");
+                escape_into(out, transport);
+                field_u64(out, "n", *n as u64);
+            }
+            Event::NetConnect { p, transport } => {
+                field_u64(out, "p", p.index() as u64);
+                out.push_str(",\"transport\":");
+                escape_into(out, transport);
+            }
+            Event::NetFrame { round, from, bytes } => {
+                field_u64(out, "round", *round);
+                field_u64(out, "from", from.index() as u64);
+                field_u64(out, "bytes", *bytes);
+            }
+            Event::NetClose { p } => field_u64(out, "p", p.index() as u64),
         }
         out.push('}');
     }
@@ -537,6 +591,28 @@ impl Event {
                     .ok_or("`budget_exhausted`: missing `budget`")?
                     .to_string(),
             },
+            "net_listen" => Event::NetListen {
+                transport: v
+                    .get("transport")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("`net_listen`: missing `transport`")?
+                    .to_string(),
+                n: num("n")? as usize,
+            },
+            "net_connect" => Event::NetConnect {
+                p: pid("p")?,
+                transport: v
+                    .get("transport")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("`net_connect`: missing `transport`")?
+                    .to_string(),
+            },
+            "net_frame" => Event::NetFrame {
+                round: num("round")?,
+                from: pid("from")?,
+                bytes: num("bytes")?,
+            },
+            "net_close" => Event::NetClose { p: pid("p")? },
             other => return Err(format!("unknown event type `{other}`")),
         })
     }
@@ -642,6 +718,20 @@ mod tests {
                 at: 4000,
                 budget: "events".into(),
             },
+            Event::NetListen {
+                transport: "tcp".into(),
+                n: 3,
+            },
+            Event::NetConnect {
+                p: ProcessId(1),
+                transport: "uds".into(),
+            },
+            Event::NetFrame {
+                round: 4,
+                from: ProcessId(2),
+                bytes: 96,
+            },
+            Event::NetClose { p: ProcessId(0) },
         ]
     }
 
@@ -705,6 +795,23 @@ mod tests {
         assert_eq!(
             ev.to_jsonl(),
             r#"{"type":"recovery_measured","epoch":0,"at":12,"rounds":1,"bound":1,"ok":true}"#
+        );
+        let ev = Event::NetFrame {
+            round: 2,
+            from: ProcessId(1),
+            bytes: 48,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"type":"net_frame","round":2,"from":1,"bytes":48}"#
+        );
+        let ev = Event::NetConnect {
+            p: ProcessId(0),
+            transport: "tcp".into(),
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"type":"net_connect","p":0,"transport":"tcp"}"#
         );
     }
 

@@ -80,6 +80,11 @@ pub struct Metrics {
     pub recoveries_failed: u64,
     /// Soak budgets tripped (`budget_exhausted` events).
     pub budgets_exhausted: u64,
+    /// Framed node broadcasts ingested by the socket runtime (`net_frame`
+    /// events).
+    pub net_frames: u64,
+    /// Total framed payload bytes ingested (`net_frame` `bytes` sums).
+    pub net_bytes: u64,
 }
 
 impl Metrics {
@@ -204,6 +209,12 @@ impl TraceSink for Metrics {
                 }
             }
             Event::BudgetExhausted { .. } => self.budgets_exhausted += 1,
+            Event::NetFrame { bytes, .. } => {
+                self.net_frames += 1;
+                self.net_bytes += bytes;
+            }
+            // Connection lifecycle carries no aggregate quantity.
+            Event::NetListen { .. } | Event::NetConnect { .. } | Event::NetClose { .. } => {}
         }
     }
 }

@@ -99,6 +99,39 @@ run cargo run -q --release -p ftss-lab -- soak --plan large-n --epochs 1 \
     --budget-ms 120000 --jobs 1 --out soak-largen-b.soak.jsonl
 run cmp soak-largen-a.soak.jsonl soak-largen-b.soak.jsonl
 
+# Socket-runtime smoke (crates/serve, DESIGN.md §13): the served `mem`
+# session must stream the exact bytes of the simulator's trace, and a
+# 3-node round agreement over REAL TCP must survive a replayed
+# partition+omission storm with per-epoch recovery verified inside the
+# Theorem-3 window bound (exit code 0 plus explicit event checks).
+run cargo run -q --release -p ftss-lab -- serve --transport mem --derived \
+    --out "$TRACE_DIR/serve_mem.jsonl"
+run cargo run -q --release -p ftss-lab -- trace --protocol round-agreement \
+    --out "$TRACE_DIR/trace_ref.jsonl"
+run cmp "$TRACE_DIR/serve_mem.jsonl" "$TRACE_DIR/trace_ref.jsonl"
+run cargo run -q --release -p ftss-lab -- serve --protocol round-agreement \
+    --transport tcp --storm default --epochs 2 --n 3 --seed 42 \
+    --out "$TRACE_DIR/serve_storm.jsonl"
+run grep -q '"type":"recovery_measured"' "$TRACE_DIR/serve_storm.jsonl"
+echo "==> serve storm: every epoch must have recovered (no \"ok\":false)"
+if grep '"type":"recovery_measured"' "$TRACE_DIR/serve_storm.jsonl" \
+    | grep -q '"ok":false'; then
+    echo "ERROR: a storm epoch failed to re-stabilize over TCP" >&2
+    exit 1
+fi
+
+# Load-generator smoke: the latency report is integer-only and
+# byte-deterministic; it lands in the workspace (not $TRACE_DIR) so CI
+# uploads it as an artifact.
+run cargo run -q --release -p ftss-lab -- loadgen --transport tcp --n 4 \
+    --rounds 48 --seed 7 --out loadgen-tcp.latency.json
+run grep -q '"p99"' loadgen-tcp.latency.json
+run cargo run -q --release -p ftss-lab -- loadgen --transport mem --n 4 \
+    --rounds 48 --seed 7 --out "$TRACE_DIR/loadgen_mem.latency.json"
+echo "==> loadgen: mem and tcp reports must agree modulo the transport label"
+diff <(sed 's/"transport":"[a-z]*"/"transport":"X"/' loadgen-tcp.latency.json) \
+     <(sed 's/"transport":"[a-z]*"/"transport":"X"/' "$TRACE_DIR/loadgen_mem.latency.json")
+
 # Hermeticity tripwire: no crate manifest may name a registry package.
 if grep -rn 'rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes' \
     --include=Cargo.toml Cargo.toml crates/ \

@@ -1,0 +1,252 @@
+//! The served execution IS the simulated execution.
+//!
+//! Pins the central claim of `ftss-serve` (ISSUE 7, satellite 3):
+//!
+//! * On the `mem` transport, a served session's telemetry stream is
+//!   **byte-identical** to `SyncRunner::run_traced` — same events, same
+//!   order, same JSONL bytes — and the final states match.
+//! * On real sockets (`tcp`, `uds`), the stream is the same modulo the
+//!   additional `net_*` events, and decisions/final states agree.
+//! * The acceptance scenario: 3-node round agreement over real TCP
+//!   survives a replayed partition+omission storm and re-stabilizes
+//!   within the Thm-3 window bound after each storm, verified by
+//!   `ftss_check::window_stabilization`.
+
+use ftss::compiler::Compiled;
+use ftss::core::{CrashSchedule, ProcessId, RateAgreementSpec, Round};
+use ftss::protocols::{FloodSet, RoundAgreement};
+use ftss::sync_sim::{Adversary, CrashOnly, RandomOmission, RunConfig, StormAdversary, SyncRunner};
+use ftss::telemetry::{Event, RecordingSink};
+use ftss_chaos::{burst_seed, storm_program, StormGeometry};
+use ftss_check::window_stabilization;
+use ftss_serve::{serve, ServeConfig, TransportKind};
+
+fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        e.write_jsonl(&mut out);
+    }
+    out
+}
+
+fn without_net(events: &[Event]) -> Vec<Event> {
+    events
+        .iter()
+        .filter(|e| !e.kind().starts_with("net_"))
+        .cloned()
+        .collect()
+}
+
+fn omission_adversary() -> RandomOmission {
+    RandomOmission::new([ProcessId(0), ProcessId(2)], 0.4, 9)
+}
+
+#[test]
+fn mem_round_agreement_is_byte_identical_to_simulator() {
+    let cfg = RunConfig::corrupted(4, 12, 7);
+    let mut sim_sink = RecordingSink::new(1 << 16);
+    let sim = SyncRunner::new(RoundAgreement)
+        .run_traced(&mut omission_adversary(), &cfg, &mut sim_sink)
+        .expect("simulator run");
+
+    let mut serve_sink = RecordingSink::new(1 << 16);
+    let served = serve(
+        &RoundAgreement,
+        &mut omission_adversary(),
+        &ServeConfig::new(cfg, TransportKind::Mem),
+        &mut serve_sink,
+    )
+    .expect("served run");
+
+    let sim_events = sim_sink.take();
+    let serve_events = serve_sink.take();
+    assert_eq!(sim_events, serve_events, "event streams diverge");
+    assert_eq!(
+        jsonl(&sim_events),
+        jsonl(&serve_events),
+        "JSONL bytes diverge"
+    );
+    assert_eq!(sim.final_states, served.final_states);
+    assert_eq!(sim.history.len(), served.history.len());
+}
+
+#[test]
+fn mem_compiled_floodset_is_byte_identical_to_simulator() {
+    let inputs: Vec<u64> = (0..4).map(|i| (i * 7 + 3) % 50).collect();
+    let cfg = RunConfig::corrupted(4, 10, 3);
+    let crash = |_: ()| {
+        let mut cs = CrashSchedule::none();
+        cs.set(ProcessId(1), Round::new(4));
+        CrashOnly::new(cs)
+    };
+
+    let mut sim_sink = RecordingSink::new(1 << 16);
+    let sim = SyncRunner::new(Compiled::new(FloodSet::new(1, inputs.clone())))
+        .run_traced(&mut crash(()), &cfg, &mut sim_sink)
+        .expect("simulator run");
+
+    let mut serve_sink = RecordingSink::new(1 << 16);
+    let served = serve(
+        &Compiled::new(FloodSet::new(1, inputs)),
+        &mut crash(()),
+        &ServeConfig::new(cfg, TransportKind::Mem),
+        &mut serve_sink,
+    )
+    .expect("served run");
+
+    assert_eq!(jsonl(&sim_sink.take()), jsonl(&serve_sink.take()));
+    assert_eq!(sim.final_states, served.final_states);
+}
+
+#[test]
+fn real_sockets_match_mem_modulo_net_events() {
+    let run = |transport: TransportKind| {
+        let cfg = RunConfig::corrupted(3, 8, 5);
+        let mut sink = RecordingSink::new(1 << 16);
+        let out = serve(
+            &RoundAgreement,
+            &mut omission_adversary(),
+            &ServeConfig::new(cfg, transport),
+            &mut sink,
+        )
+        .expect("served run");
+        (sink.take(), out.final_states)
+    };
+
+    let (mem_events, mem_final) = run(TransportKind::Mem);
+    assert!(
+        mem_events.iter().all(|e| !e.kind().starts_with("net_")),
+        "mem must emit no net_* events"
+    );
+
+    let (tcp_events, tcp_final) = run(TransportKind::Tcp);
+    assert_eq!(without_net(&tcp_events), mem_events);
+    assert_eq!(tcp_final, mem_final);
+    assert!(
+        tcp_events.iter().any(|e| e.kind() == "net_listen")
+            && tcp_events.iter().any(|e| e.kind() == "net_frame")
+            && tcp_events.iter().any(|e| e.kind() == "net_close"),
+        "tcp must narrate its sockets"
+    );
+
+    #[cfg(unix)]
+    {
+        let (uds_events, uds_final) = run(TransportKind::Uds);
+        assert_eq!(without_net(&uds_events), mem_events);
+        assert_eq!(uds_final, mem_final);
+    }
+}
+
+/// The ISSUE 7 acceptance scenario: 3 nodes over real TCP, a replayed
+/// partition+omission storm program, per-epoch re-stabilization within
+/// the Thm-3 window bound.
+#[test]
+fn tcp_storm_round_agreement_restabilizes_within_bound() {
+    let seed = 42u64;
+    let epochs = 2usize;
+    let geom = StormGeometry::engine_default();
+    let (schedule, phases) = storm_program(seed, epochs, false, &geom);
+    let mut adversary = StormAdversary::new([ProcessId(0)], phases, seed ^ 0x517a);
+    let rounds = epochs * geom.epoch_len as usize;
+    let cfg = RunConfig::corrupted(3, rounds, burst_seed(seed, 0))
+        .with_mid_run_corruption(schedule)
+        .with_max_faulty(1);
+
+    let mut sink = RecordingSink::new(1 << 16);
+    let out = serve(
+        &RoundAgreement,
+        &mut adversary,
+        &ServeConfig::new(cfg, TransportKind::Tcp),
+        &mut sink,
+    )
+    .expect("storm run over tcp");
+
+    let events = sink.take();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::Corruption { round, .. } if *round > 1)),
+        "the storm program must have fired a mid-run burst"
+    );
+    for e in 0..epochs {
+        let s = window_stabilization(
+            &out.history,
+            &RateAgreementSpec::new(),
+            geom.storm_end(e) as usize,
+            geom.epoch_end(e) as usize,
+            2,
+        )
+        .unwrap_or_else(|err| panic!("epoch {e} did not re-stabilize: {err}"));
+        assert!(s <= 2, "epoch {e} took {s} rounds, Thm-3 window bound is 2");
+    }
+}
+
+/// Every transport replays the same storm to the same history — the
+/// stabilization verdicts transfer between simulator and sockets.
+#[test]
+fn storm_histories_agree_across_substrates() {
+    let seed = 11u64;
+    let geom = StormGeometry::engine_default();
+    let make = |_: ()| {
+        let (schedule, phases) = storm_program(seed, 1, true, &geom);
+        let cfg = RunConfig::corrupted(3, geom.epoch_len as usize, burst_seed(seed, 0))
+            .with_mid_run_corruption(schedule)
+            .with_max_faulty(1);
+        (
+            StormAdversary::new([ProcessId(0)], phases, seed ^ 0x517a),
+            cfg,
+        )
+    };
+
+    let (mut sim_adv, sim_cfg) = make(());
+    let sim = SyncRunner::new(RoundAgreement)
+        .run(&mut sim_adv, &sim_cfg)
+        .expect("simulator run");
+    let (mut tcp_adv, tcp_cfg) = make(());
+    let tcp = serve(
+        &RoundAgreement,
+        &mut tcp_adv,
+        &ServeConfig::new(tcp_cfg, TransportKind::Tcp),
+        &mut ftss::telemetry::NullSink,
+    )
+    .expect("tcp run");
+
+    assert_eq!(sim.final_states, tcp.final_states);
+    let verdict = |h: &ftss::core::History<_, _>| {
+        window_stabilization(
+            h,
+            &RateAgreementSpec::new(),
+            geom.storm_end(0) as usize,
+            geom.epoch_end(0) as usize,
+            2,
+        )
+    };
+    assert_eq!(verdict(&sim.history), verdict(&tcp.history));
+}
+
+/// Serve inherits the simulator's configuration validation verbatim.
+#[test]
+fn serve_rejects_invalid_configs_with_simulator_messages() {
+    let err = serve(
+        &RoundAgreement,
+        &mut ftss::sync_sim::NoFaults,
+        &ServeConfig::new(RunConfig::clean(0, 4), TransportKind::Mem),
+        &mut ftss::telemetry::NullSink,
+    )
+    .unwrap_err();
+    assert_eq!(err, "n must be at least 1");
+
+    let mut storm = StormAdversary::new([ProcessId(0), ProcessId(1)], [], 1);
+    let _ = &mut storm as &mut dyn Adversary;
+    let err = serve(
+        &RoundAgreement,
+        &mut storm,
+        &ServeConfig::new(
+            RunConfig::clean(4, 4).with_max_faulty(1),
+            TransportKind::Mem,
+        ),
+        &mut ftss::telemetry::NullSink,
+    )
+    .unwrap_err();
+    assert_eq!(err, "adversary declares 2 faulty processes but f = 1");
+}

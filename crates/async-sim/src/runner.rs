@@ -217,6 +217,12 @@ impl<P: AsyncProcess, S: Scheduler<P::Msg>> AsyncRunner<P, S> {
         self.sched
     }
 
+    /// Read access to the scheduler mid-flight — e.g. to ask a DFS
+    /// scheduler whether the run that just ended was pruned.
+    pub fn scheduler(&self) -> &S {
+        &self.sched
+    }
+
     /// Number of processes.
     pub fn n(&self) -> usize {
         self.processes.len()

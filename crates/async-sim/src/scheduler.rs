@@ -186,12 +186,19 @@ pub struct DfsScheduler<M> {
     /// Events not yet dispatched in the current run, in insertion order.
     pending: Vec<Pending<M>>,
     /// The choice stack: `(index chosen, alternatives available)` at each
-    /// dispatch, in dispatch order.
+    /// dispatch, in dispatch order. With partial-order reduction on, the
+    /// index counts over *awake* candidates only.
     stack: Vec<(usize, usize)>,
     /// How many choices of `stack` the current run has consumed.
     depth: usize,
     /// Maximum dispatches per run (the event horizon).
     max_steps: usize,
+    /// Sleep-set partial-order reduction (see [`DfsScheduler::with_por`]).
+    por: bool,
+    /// Seqs of pending events proven redundant at the current node: each
+    /// commutes with everything dispatched since it was enabled, so an
+    /// already-explored sibling branch covers its interleavings.
+    sleep: Vec<u64>,
 }
 
 impl<M> DfsScheduler<M> {
@@ -202,7 +209,38 @@ impl<M> DfsScheduler<M> {
             stack: Vec::new(),
             depth: 0,
             max_steps,
+            por: false,
+            sleep: Vec::new(),
         }
+    }
+
+    /// Enables sleep-set partial-order reduction: two deliveries commute
+    /// iff they dispatch to *different* destination processes (each only
+    /// mutates its destination's state), so after fully exploring the
+    /// branch that dispatches event `e` first, `e` is put to sleep in the
+    /// later sibling branches and stays asleep until some dependent event
+    /// — one with `e`'s destination — is dispatched. A run in which every
+    /// pending event sleeps is *pruned*: its continuations are permutations
+    /// of runs already explored (see [`DfsScheduler::was_pruned`]).
+    #[must_use]
+    pub fn with_por(mut self) -> Self {
+        self.por = true;
+        self
+    }
+
+    /// Whether the run just finished was cut short by the sleep set
+    /// (possible only under [`with_por`](DfsScheduler::with_por)): events
+    /// remain pending inside the horizon but every one of them sleeps.
+    /// Pruned runs end mid-flight, so per-run oracles must skip them —
+    /// every complete interleaving they abbreviate has its own complete
+    /// representative elsewhere in the tree. Computed from the queue, not
+    /// a flag, because a run can end at either [`Scheduler::pop`] or
+    /// [`Scheduler::peek_time`] seeing the all-asleep queue.
+    pub fn was_pruned(&self) -> bool {
+        self.por
+            && self.depth < self.max_steps
+            && !self.pending.is_empty()
+            && self.pending.iter().all(|e| self.sleep.contains(&e.seq))
     }
 
     /// Moves to the next unexplored schedule. Returns `false` when the
@@ -210,6 +248,7 @@ impl<M> DfsScheduler<M> {
     /// (fresh processes, fresh runner) after each successful `advance`.
     pub fn advance(&mut self) -> bool {
         self.pending.clear();
+        self.sleep.clear();
         self.depth = 0;
         while let Some((chosen, alts)) = self.stack.pop() {
             if chosen + 1 < alts {
@@ -228,6 +267,14 @@ impl<M> DfsScheduler<M> {
     }
 }
 
+/// The process whose state an event's dispatch mutates.
+fn event_dest<M>(kind: &PendingKind<M>) -> ProcessId {
+    match kind {
+        PendingKind::Deliver { to, .. } => *to,
+        PendingKind::Timer { p, .. } => *p,
+    }
+}
+
 impl<M> Scheduler<M> for DfsScheduler<M> {
     fn delay(&mut self, cfg: &AsyncConfig, _now: Time, _from: ProcessId, _to: ProcessId) -> Time {
         cfg.min_delay.max(1)
@@ -241,24 +288,60 @@ impl<M> Scheduler<M> for DfsScheduler<M> {
         if self.pending.is_empty() || self.depth >= self.max_steps {
             return None;
         }
+        // Awake candidates, in insertion order. Without POR the sleep set
+        // is always empty, so this is just `0..pending.len()`.
+        let candidates: Vec<usize> = (0..self.pending.len())
+            .filter(|&i| !self.sleep.contains(&self.pending[i].seq))
+            .collect();
+        if candidates.is_empty() {
+            // Everything pending sleeps: this continuation is a reordering
+            // of commuting dispatches already explored elsewhere.
+            return None;
+        }
         let chosen = if self.depth < self.stack.len() {
             // Replaying the prefix of an earlier schedule. The run up to
             // this point is deterministic, so the alternative count must
             // match what was recorded.
-            debug_assert_eq!(self.stack[self.depth].1, self.pending.len());
+            debug_assert_eq!(self.stack[self.depth].1, candidates.len());
             self.stack[self.depth].0
         } else {
-            self.stack.push((0, self.pending.len()));
+            self.stack.push((0, candidates.len()));
             0
         };
         self.depth += 1;
         // `remove` keeps the insertion order of the untouched events, so
         // choice indices have a stable meaning across replays.
-        Some(self.pending.remove(chosen))
+        let ev = self.pending.remove(candidates[chosen]);
+        if self.por {
+            // Sleep-set maintenance: the earlier candidates at this node
+            // head already-explored sibling branches, so they sleep in this
+            // subtree — until a dependent dispatch (same destination as the
+            // sleeper) invalidates the commutation argument and wakes them.
+            for &i in &candidates[..chosen] {
+                // Indices before `candidates[chosen]` are unshifted by the
+                // `remove` above, since candidates are in ascending order.
+                self.sleep.push(self.pending[i].seq);
+            }
+            let dest = event_dest(&ev.kind);
+            let pending = &self.pending;
+            self.sleep.retain(|&seq| {
+                pending
+                    .iter()
+                    .find(|e| e.seq == seq)
+                    .is_some_and(|e| event_dest(&e.kind) != dest)
+            });
+        }
+        Some(ev)
     }
 
     fn peek_time(&self) -> Option<Time> {
         if self.pending.is_empty() || self.depth >= self.max_steps {
+            return None;
+        }
+        let candidates: Vec<usize> = (0..self.pending.len())
+            .filter(|&i| !self.sleep.contains(&self.pending[i].seq))
+            .collect();
+        if candidates.is_empty() {
             return None;
         }
         let chosen = if self.depth < self.stack.len() {
@@ -266,7 +349,7 @@ impl<M> Scheduler<M> for DfsScheduler<M> {
         } else {
             0
         };
-        Some(self.pending[chosen].time)
+        Some(self.pending[candidates[chosen]].time)
     }
 }
 
@@ -408,6 +491,71 @@ mod tests {
         orders.sort();
         orders.dedup();
         assert_eq!(orders.len(), 6, "3! dispatch orders");
+    }
+
+    fn timer_at(p: usize, seq: u64) -> Pending<u8> {
+        Pending {
+            time: 1,
+            seq,
+            kind: PendingKind::Timer {
+                p: ProcessId(p),
+                tag: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn por_collapses_commuting_events_to_one_complete_order() {
+        // 3 events to 3 distinct destinations: pairwise commuting, so the
+        // sleep sets leave exactly one complete dispatch order (the other
+        // 5 of 3! become early-pruned stubs).
+        let mut s: DfsScheduler<u8> = DfsScheduler::new(16).with_por();
+        let mut complete = Vec::new();
+        let mut pruned = 0;
+        loop {
+            for p in 0..3 {
+                s.push(timer_at(p, p as u64 + 1));
+            }
+            let mut order = Vec::new();
+            while let Some(e) = s.pop() {
+                order.push(e.seq);
+            }
+            if s.was_pruned() {
+                pruned += 1;
+            } else {
+                complete.push(order);
+            }
+            if !s.advance() {
+                break;
+            }
+        }
+        assert_eq!(complete, vec![vec![1, 2, 3]], "one representative order");
+        assert!(pruned > 0 && pruned < 6, "stubs, not full orders: {pruned}");
+    }
+
+    #[test]
+    fn por_keeps_all_orders_of_dependent_events() {
+        // 3 events to the SAME destination: fully dependent, nothing may
+        // sleep — the reduction must degenerate to the full 3! = 6.
+        let mut s: DfsScheduler<u8> = DfsScheduler::new(16).with_por();
+        let mut orders = Vec::new();
+        loop {
+            for seq in 1..=3 {
+                s.push(timer_at(0, seq));
+            }
+            let mut order = Vec::new();
+            while let Some(e) = s.pop() {
+                order.push(e.seq);
+            }
+            assert!(!s.was_pruned());
+            orders.push(order);
+            if !s.advance() {
+                break;
+            }
+        }
+        orders.sort();
+        orders.dedup();
+        assert_eq!(orders.len(), 6, "dependent events keep every order");
     }
 
     #[test]

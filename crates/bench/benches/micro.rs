@@ -199,6 +199,50 @@ fn main() {
         clone_ns / share_ns
     );
 
+    // Graph-mode model checking vs the legacy schedule-tree enumerator on
+    // the pinned n=3, 3-round configuration. The comparable work unit is
+    // *round executions*: the enumerator runs `schedules × rounds` of
+    // them (every run replays its whole prefix), the graph explorer runs
+    // one per expansion (each edge steps the simulator exactly one
+    // round). The graph must do ≥10× less work for identical verdicts —
+    // this is the gate behind the state-graph checker (DESIGN.md §14).
+    let enum_cfg = {
+        let mut c = ftss_check::DfsConfig::small(7);
+        c.rounds = 3;
+        c.tape_bound = 12;
+        c
+    };
+    let enum_report = ftss_check::explore(&enum_cfg).unwrap();
+    b.bench("check/graph_vs_enum/enum_n3_r3", || {
+        ftss_check::explore(black_box(&enum_cfg)).unwrap()
+    });
+    let graph_cfg = {
+        let mut c = ftss_check::GraphConfig::small(7);
+        c.rounds = Some(3);
+        c
+    };
+    let graph_report = ftss_check::explore_graph(&graph_cfg).unwrap();
+    b.bench("check/graph_vs_enum/graph_n3_r3", || {
+        ftss_check::explore_graph(black_box(&graph_cfg)).unwrap()
+    });
+    assert_eq!(
+        enum_report.counterexample.is_some(),
+        graph_report.counterexample.is_some(),
+        "check/graph_vs_enum: the two checkers must agree on the verdict"
+    );
+    let enum_work = enum_report.schedules * enum_cfg.rounds as u64;
+    let graph_work = graph_report.expansions;
+    let work_ratio = enum_work as f64 / graph_work as f64;
+    println!(
+        "check/graph_vs_enum: graph does {work_ratio:.1}x less round-execution work \
+         ({enum_work} enumerated vs {graph_work} expanded)"
+    );
+    assert!(
+        work_ratio >= 10.0,
+        "check/graph_vs_enum gate: the graph explorer must do ≥10× fewer \
+         round executions than the enumerator at n=3/rounds=3, measured {work_ratio:.1}x"
+    );
+
     // The sweep executor on a small E1 grid, serial vs. 4 workers. On a
     // multi-core host the jobs4 row should be faster; on a 1-core runner
     // the rows only document the (small) scheduling overhead. Output is

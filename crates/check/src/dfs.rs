@@ -19,10 +19,10 @@
 //! counterexamples replayable (see [`crate::schedule`]).
 
 use crate::oracle::{thm3_round_agreement, Verdict};
+use crate::runbuild::RunBuilder;
 use ftss::async_sim::{AsyncConfig, AsyncProcess, AsyncRunner, DfsScheduler, Time};
 use ftss::core::ProcessId;
-use ftss::protocols::RoundAgreement;
-use ftss::sync_sim::{RunConfig, RunOutcome, SyncRunner, TapeOmission};
+use ftss::sync_sim::{RunOutcome, TapeOmission};
 use ftss::telemetry::TraceSink;
 
 /// Largest admissible tape bound: `2^d` runs must stay test-sized.
@@ -97,10 +97,8 @@ pub fn run_tape<T: TraceSink>(
     sink: &mut T,
 ) -> (RunOutcome<ftss::protocols::RoundAgreementState, u64>, usize) {
     let mut adv = TapeOmission::new([cfg.faulty], tape.to_vec());
-    let run_cfg = RunConfig::corrupted(cfg.n, cfg.rounds, cfg.corruption_seed);
-    let out = SyncRunner::new(RoundAgreement)
-        .run_traced(&mut adv, &run_cfg, sink)
-        .expect("validated check configuration");
+    let out =
+        RunBuilder::corrupted(cfg.n, cfg.rounds, cfg.corruption_seed).run_traced(&mut adv, sink);
     (out, adv.consulted())
 }
 
@@ -132,6 +130,10 @@ pub struct DfsReport {
     pub decision_points: usize,
     /// Eligible copies per run (the unbounded schedule-space dimension).
     pub eligible_copies: usize,
+    /// Whether the tape bound clamped the enumeration below the eligible
+    /// copies — i.e. coverage is a *prefix* of the schedule space, not
+    /// all of it. Graph mode ([`crate::frontier`]) has no such clamp.
+    pub clamped: bool,
     /// First violating schedule found, if any (not yet shrunk — see
     /// [`crate::shrink`]).
     pub counterexample: Option<Counterexample>,
@@ -161,6 +163,16 @@ pub fn explore(cfg: &DfsConfig) -> Result<DfsReport, String> {
     // schedule-space dimension and doubles as the all-false schedule.
     let (out, eligible) = run_tape(cfg, &[], &mut ftss::telemetry::NullSink);
     let d = eligible.min(cfg.tape_bound);
+    let clamped = eligible > cfg.tape_bound;
+    if clamped {
+        // Silent truncation reads as "covered everything" — say so loudly
+        // (and point at the mode without the wall).
+        eprintln!(
+            "check --dfs: tape bound {} < {} eligible copies; only the first {} \
+             decisions are enumerated (use --graph for exhaustive coverage)",
+            cfg.tape_bound, eligible, d
+        );
+    }
     let mut schedules = 1u64;
     let mut counterexample =
         thm3_round_agreement(&out.history, cfg.stabilization).map(|detail| Counterexample {
@@ -179,6 +191,7 @@ pub fn explore(cfg: &DfsConfig) -> Result<DfsReport, String> {
         schedules,
         decision_points: d,
         eligible_copies: eligible,
+        clamped,
         counterexample,
     })
 }
@@ -186,8 +199,12 @@ pub fn explore(cfg: &DfsConfig) -> Result<DfsReport, String> {
 /// What an asynchronous dispatch-order exploration covered.
 #[derive(Clone, Debug)]
 pub struct AsyncDfsReport {
-    /// Dispatch orders executed.
+    /// Complete dispatch orders executed (oracle evaluated on each).
     pub schedules: u64,
+    /// Runs cut short by the sleep set (partial-order reduction only):
+    /// their continuations permute commuting dispatches of runs counted in
+    /// `schedules`, so the oracle was skipped.
+    pub pruned: u64,
     /// First violation: the choice stack (chosen indices, dispatch order)
     /// and the oracle's detail line.
     pub violation: Option<(Vec<usize>, String)>,
@@ -205,6 +222,42 @@ pub fn explore_async<P, F>(
     cfg: &AsyncConfig,
     horizon: Time,
     max_steps: usize,
+    oracle: impl FnMut(&[P]) -> Verdict,
+) -> AsyncDfsReport
+where
+    P: AsyncProcess,
+    F: Fn() -> Vec<P>,
+{
+    explore_async_impl(mk, cfg, horizon, max_steps, false, oracle)
+}
+
+/// [`explore_async`] with sleep-set partial-order reduction: dispatch
+/// orders that differ only in the interleaving of *commuting* deliveries
+/// (different destination processes, so neither's handler can observe the
+/// order) are explored once. Pruned runs end mid-flight and skip the
+/// oracle — every complete interleaving they abbreviate has a complete
+/// representative elsewhere in the tree — so the verdict is identical to
+/// the full enumeration while `schedules` drops combinatorially.
+pub fn explore_async_por<P, F>(
+    mk: F,
+    cfg: &AsyncConfig,
+    horizon: Time,
+    max_steps: usize,
+    oracle: impl FnMut(&[P]) -> Verdict,
+) -> AsyncDfsReport
+where
+    P: AsyncProcess,
+    F: Fn() -> Vec<P>,
+{
+    explore_async_impl(mk, cfg, horizon, max_steps, true, oracle)
+}
+
+fn explore_async_impl<P, F>(
+    mk: F,
+    cfg: &AsyncConfig,
+    horizon: Time,
+    max_steps: usize,
+    por: bool,
     mut oracle: impl FnMut(&[P]) -> Verdict,
 ) -> AsyncDfsReport
 where
@@ -212,24 +265,38 @@ where
     F: Fn() -> Vec<P>,
 {
     let mut sched: DfsScheduler<P::Msg> = DfsScheduler::new(max_steps);
+    if por {
+        sched = sched.with_por();
+    }
     let mut schedules = 0u64;
+    let mut pruned = 0u64;
     loop {
         let mut runner = AsyncRunner::with_scheduler(mk(), cfg.clone(), sched)
             .expect("valid async check configuration");
         runner.run_until(horizon);
-        schedules += 1;
-        let verdict = oracle(runner.processes());
+        let verdict = {
+            let was_pruned = runner.scheduler().was_pruned();
+            if was_pruned {
+                pruned += 1;
+                None
+            } else {
+                schedules += 1;
+                oracle(runner.processes())
+            }
+        };
         sched = runner.into_scheduler();
         if let Some(detail) = verdict {
             let choices = sched.choices().iter().map(|&(c, _)| c).collect();
             return AsyncDfsReport {
                 schedules,
+                pruned,
                 violation: Some((choices, detail)),
             };
         }
         if !sched.advance() {
             return AsyncDfsReport {
                 schedules,
+                pruned,
                 violation: None,
             };
         }
@@ -303,6 +370,83 @@ mod tests {
         let (choices, detail) = broken.violation.expect("must trip");
         assert_eq!(choices.len(), 4, "one choice per dispatched event");
         assert_eq!(detail, "always wrong");
+    }
+
+    /// Sleep-set reduction on the gossip system: deliveries to different
+    /// processes commute, so POR completes a strict subset of the 24
+    /// orders — at least the 4 dependency classes (2 orders per
+    /// destination's pair of incoming messages) — with the same verdict.
+    #[test]
+    fn async_por_prunes_commuting_orders_with_the_same_verdict() {
+        use ftss::async_sim::Ctx;
+
+        struct Gossip {
+            v: u64,
+        }
+        impl AsyncProcess for Gossip {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+                ctx.broadcast(self.v);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<u64>, _from: ProcessId, m: u64) {
+                self.v = self.v.max(m);
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<u64>, _tag: u64) {}
+        }
+
+        let mk = || vec![Gossip { v: 3 }, Gossip { v: 7 }];
+        let cfg = AsyncConfig::tame(0);
+        let oracle = |ps: &[Gossip]| {
+            if ps.iter().all(|p| p.v == 7) {
+                None
+            } else {
+                Some("max did not propagate".to_string())
+            }
+        };
+        let full = explore_async(mk, &cfg, 1_000, 8, oracle);
+        let por = explore_async_por(mk, &cfg, 1_000, 8, oracle);
+        assert_eq!(full.schedules, 24, "4! dispatch orders");
+        assert_eq!(full.pruned, 0, "no pruning without POR");
+        assert!(
+            por.schedules < full.schedules,
+            "POR must prune: {} complete orders",
+            por.schedules
+        );
+        assert!(
+            por.schedules >= 4,
+            "every dependency class keeps a representative: {}",
+            por.schedules
+        );
+        assert!(por.pruned > 0, "pruned stubs are counted");
+        assert!(full.violation.is_none() && por.violation.is_none());
+    }
+
+    /// The clamp boundary: bound == eligible is full coverage (no flag),
+    /// one less trips the clamp and halves the space.
+    #[test]
+    fn clamp_is_flagged_exactly_when_bound_is_short() {
+        // n = 2, faulty p0, 2 rounds: eligible = 2 copies/round = 4.
+        let cfg = DfsConfig {
+            n: 2,
+            rounds: 2,
+            corruption_seed: 3,
+            faulty: ProcessId(0),
+            tape_bound: 4,
+            stabilization: 1,
+        };
+        let exact = explore(&cfg).unwrap();
+        assert_eq!(exact.eligible_copies, 4);
+        assert_eq!(exact.decision_points, 4);
+        assert!(!exact.clamped, "bound == eligible is not a clamp");
+
+        let short = explore(&DfsConfig {
+            tape_bound: 3,
+            ..cfg
+        })
+        .unwrap();
+        assert!(short.clamped);
+        assert_eq!(short.decision_points, 3);
+        assert_eq!(short.schedules, 8, "2^3 of the 2^4 schedules");
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Canonical state encoding, symmetry canonicalization, fingerprints.
+//!
+//! The graph explorer ([`crate::frontier`]) walks the reachable-state
+//! *graph* of the omission-schedule model instead of the schedule tree,
+//! so it needs an identity for a global state. That identity is built in
+//! three layers, each defined here:
+//!
+//! 1. **Canonical node state** ([`NodeState`]) — everything the future of
+//!    a run depends on, and nothing more: round counters *normalized by
+//!    subtracting the minimum* (round agreement's dynamics and all of
+//!    Theorem 3's obligations are invariant under a common shift, so two
+//!    global states that differ by one are bisimilar), the last round's
+//!    per-process rate flags, the causal-ancestor matrix, the deviation
+//!    flag of the faulty process, and the current coterie-stable-window
+//!    summary (coterie, saturated stable length, first-window flag).
+//!    Depth is deliberately *not* part of the state: a state reached at
+//!    round 3 and round 7 has the same obligations ahead of it, which is
+//!    what lets the explorer run to a **fixpoint** and certify unbounded
+//!    horizons.
+//! 2. **Symmetry canonicalization** ([`NodeState::canonicalize`]) — round
+//!    agreement is anonymous (its step is a max over a multiset) and the
+//!    omission schedule space is generated per-copy against one faulty
+//!    process, so any permutation of the *non-faulty* process indices
+//!    maps reachable states to reachable states and violations to
+//!    violations. The canonical representative of an orbit is the
+//!    lexicographically least [`NodeState::encode`] over all `(n-1)!`
+//!    permutations fixing the faulty index; the chosen permutation is
+//!    returned so the explorer can reconstruct a concrete witness tape
+//!    through the quotient (see DESIGN.md §14 for the soundness
+//!    argument).
+//! 3. **Fingerprint** ([`Fingerprinter`]) — the canonical encoding hashed
+//!    to 128 bits, TLC-style: the visited set stores fingerprints, not
+//!    states. Two independent 64-bit multiply–rotate–xor lanes keyed from
+//!    a fixed `ftss-rng` SplitMix64 stream; a collision needs two
+//!    reachable states agreeing on both lanes (~2⁻¹²⁸ per pair —
+//!    negligible at this state-space scale, and deterministic across
+//!    runs, jobs and machines, which the byte-identical `--jobs` reports
+//!    rely on).
+
+use ftss::core::ProcessId;
+use ftss_rng::SplitMix64;
+
+/// Ceiling on `n` for the graph explorer: canonicalization enumerates
+/// `(n-1)!` permutations and a round has `2^(2(n-1))` omission masks, so
+/// 6 (120 permutations, 1024 masks) is where exhaustiveness stays cheap.
+pub const MAX_GRAPH_N: usize = 6;
+
+/// A permutation of process indices, `perm[old] = new`; identities pad
+/// the unused tail (n ≤ [`MAX_GRAPH_N`] < 8).
+pub type Perm = [u8; 8];
+
+/// The identity permutation.
+pub fn identity_perm() -> Perm {
+    [0, 1, 2, 3, 4, 5, 6, 7]
+}
+
+/// Composes permutations: `(b ∘ a)[i] = b[a[i]]`.
+pub fn compose_perm(b: &Perm, a: &Perm) -> Perm {
+    let mut out = identity_perm();
+    for i in 0..8 {
+        out[i] = b[a[i] as usize];
+    }
+    out
+}
+
+/// Everything the future of a crash-free omission run depends on. See
+/// the module docs for why each field is here and [`crate::frontier`]
+/// for the transition function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeState {
+    /// Round counters at the start of the next round, normalized so the
+    /// minimum is 0 (shift-invariance).
+    pub counters: Vec<u64>,
+    /// Bit `j`: process `j`'s counter advanced by exactly 1 in the round
+    /// that produced this state (the Definition-2.2 rate obligation for
+    /// the pair ending here). All-ones at the root.
+    pub rate_ok: u32,
+    /// Bit `i` of `reach[j]`: `i` is a causal ancestor of `j`
+    /// ([`ftss::core::CausalTracker`] semantics — no intra-round
+    /// transitivity, self always included).
+    pub reach: Vec<u32>,
+    /// Whether the faulty process has deviated (dropped any copy) yet —
+    /// i.e. whether it is in `F(H, Π)` for the history so far.
+    pub deviated: bool,
+    /// The coterie of the current prefix (bit per member).
+    pub coterie: u32,
+    /// Length of the current coterie-stable window, saturated at the
+    /// largest obligation gate (`max(r,1) + 2`); 0 only at the root
+    /// (no rounds yet).
+    pub stable_len: u8,
+    /// Whether the current window is the history's first (only the
+    /// `r = 0` oracle distinguishes it, so it is forced false for
+    /// `r ≥ 1` to merge more states).
+    pub first_window: bool,
+}
+
+impl NodeState {
+    /// The root: corrupted initial counters (normalized), vacuously-true
+    /// rate flags, identity causality, no deviation, no window yet.
+    pub fn root(counters: &[u64], stabilization: usize) -> NodeState {
+        let n = counters.len();
+        let min = counters.iter().copied().min().unwrap_or(0);
+        NodeState {
+            counters: counters.iter().map(|c| c - min).collect(),
+            rate_ok: mask_full(n),
+            reach: (0..n).map(|i| 1u32 << i).collect(),
+            deviated: false,
+            coterie: 0,
+            stable_len: 0,
+            first_window: stabilization == 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Appends the canonical byte encoding (fixed layout, no padding
+    /// ambiguity: n is implicit in the explorer's fixed configuration).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        for &c in &self.counters {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&self.rate_ok.to_le_bytes());
+        for &r in &self.reach {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.push(self.deviated as u8);
+        out.extend_from_slice(&self.coterie.to_le_bytes());
+        out.push(self.stable_len);
+        out.push(self.first_window as u8);
+    }
+
+    /// The state relabeled by `perm` (`perm[old] = new`).
+    pub fn permuted(&self, perm: &Perm) -> NodeState {
+        let n = self.n();
+        let mut counters = vec![0u64; n];
+        let mut reach = vec![0u32; n];
+        let mut rate_ok = 0u32;
+        for old in 0..n {
+            let new = perm[old] as usize;
+            counters[new] = self.counters[old];
+            reach[new] = permute_mask(self.reach[old], perm, n);
+            if self.rate_ok & (1 << old) != 0 {
+                rate_ok |= 1 << new;
+            }
+        }
+        NodeState {
+            counters,
+            rate_ok,
+            reach,
+            deviated: self.deviated,
+            coterie: permute_mask(self.coterie, perm, n),
+            stable_len: self.stable_len,
+            first_window: self.first_window,
+        }
+    }
+
+    /// The orbit representative under permutations fixing `faulty`: the
+    /// lexicographically least encoding, with the permutation that maps
+    /// `self` onto it. Deterministic (ties cannot happen: equal encodings
+    /// are equal states, and the first minimal permutation wins).
+    pub fn canonicalize(&self, faulty: ProcessId) -> (NodeState, Perm) {
+        let n = self.n();
+        let mut best = self.clone();
+        let mut best_perm = identity_perm();
+        let mut best_enc = Vec::new();
+        best.encode(&mut best_enc);
+        let mut enc = Vec::with_capacity(best_enc.len());
+        for perm in perms_fixing(n, faulty.index()) {
+            if perm == identity_perm() {
+                continue;
+            }
+            let cand = self.permuted(&perm);
+            enc.clear();
+            cand.encode(&mut enc);
+            if enc < best_enc {
+                best_enc.clear();
+                best_enc.extend_from_slice(&enc);
+                best = cand;
+                best_perm = perm;
+            }
+        }
+        (best, best_perm)
+    }
+}
+
+/// A bitmask with the low `n` bits set.
+pub fn mask_full(n: usize) -> u32 {
+    (1u32 << n) - 1
+}
+
+/// Relabels the set `mask` through `perm`.
+fn permute_mask(mask: u32, perm: &Perm, n: usize) -> u32 {
+    let mut out = 0u32;
+    for (i, &p) in perm.iter().enumerate().take(n) {
+        if mask & (1 << i) != 0 {
+            out |= 1 << p;
+        }
+    }
+    out
+}
+
+/// All permutations of `0..n` that fix `fixed`, in a deterministic
+/// order (Heap's algorithm over the free indices).
+pub fn perms_fixing(n: usize, fixed: usize) -> Vec<Perm> {
+    let free: Vec<u8> = (0..n as u8).filter(|&i| i as usize != fixed).collect();
+    let mut arrangements = Vec::new();
+    let mut work = free.clone();
+    permute_rec(&mut work, 0, &mut arrangements);
+    arrangements
+        .into_iter()
+        .map(|arr| {
+            let mut perm = identity_perm();
+            for (slot, &img) in free.iter().zip(arr.iter()) {
+                perm[*slot as usize] = img;
+            }
+            perm
+        })
+        .collect()
+}
+
+fn permute_rec(work: &mut Vec<u8>, k: usize, out: &mut Vec<Vec<u8>>) {
+    if k == work.len() {
+        out.push(work.clone());
+        return;
+    }
+    for i in k..work.len() {
+        work.swap(k, i);
+        permute_rec(work, k + 1, out);
+        work.swap(k, i);
+    }
+}
+
+/// Seed of the fingerprint keys. Fixed, not configurable: fingerprints
+/// must agree across every run, job and machine for the visited set,
+/// witness reconstruction and byte-identical reports to compose.
+const FINGERPRINT_SEED: u64 = 0x6674_7373_6670_3031; // "ftssfp01"
+
+/// A keyed 128-bit fingerprint function over canonical encodings.
+#[derive(Clone, Debug)]
+pub struct Fingerprinter {
+    keys: [u64; 4],
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Fingerprinter::new()
+    }
+}
+
+impl Fingerprinter {
+    /// The fingerprinter, keyed from the fixed seed via
+    /// [`ftss_rng::SplitMix64`].
+    pub fn new() -> Self {
+        let mut sm = SplitMix64::new(FINGERPRINT_SEED);
+        // Multiplier keys must be odd to be bijective mod 2^64.
+        let keys = [
+            sm.next_u64() | 1,
+            sm.next_u64() | 1,
+            sm.next_u64() | 1,
+            sm.next_u64() | 1,
+        ];
+        Fingerprinter { keys }
+    }
+
+    /// Hashes `bytes` to 128 bits: two independent multiply–rotate–xor
+    /// lanes over 8-byte words (zero-padded tail, length absorbed last).
+    pub fn fingerprint(&self, bytes: &[u8]) -> u128 {
+        let mut h1 = self.keys[0];
+        let mut h2 = self.keys[2];
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            let w = u64::from_le_bytes(word);
+            h1 = (h1 ^ w).wrapping_mul(self.keys[1]).rotate_left(29);
+            h2 = (h2 ^ w).wrapping_mul(self.keys[3]).rotate_left(31);
+        }
+        h1 ^= bytes.len() as u64;
+        h2 ^= (bytes.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        ((finalize(h1) as u128) << 64) | finalize(h2) as u128
+    }
+
+    /// Fingerprint of a node's canonical encoding, reusing `scratch`.
+    pub fn node(&self, node: &NodeState, scratch: &mut Vec<u8>) -> u128 {
+        scratch.clear();
+        node.encode(scratch);
+        self.fingerprint(scratch)
+    }
+}
+
+/// SplitMix64's avalanche finalizer: every input bit flips every output
+/// bit with probability ≈ 1/2.
+fn finalize(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> NodeState {
+        NodeState {
+            counters: (0..n as u64).collect(),
+            rate_ok: mask_full(n) & !2,
+            reach: (0..n)
+                .map(|i| mask_full(n) & !(1 << i) | (1 << i))
+                .collect(),
+            deviated: true,
+            coterie: 1,
+            stable_len: 2,
+            first_window: false,
+        }
+    }
+
+    #[test]
+    fn perms_fixing_counts_and_fixes() {
+        let perms = perms_fixing(4, 0);
+        assert_eq!(perms.len(), 6, "3! permutations fixing p0");
+        for p in &perms {
+            assert_eq!(p[0], 0, "faulty index must stay fixed");
+            let mut seen: Vec<u8> = p[..4].to_vec();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3], "must be a permutation");
+        }
+        assert_eq!(perms_fixing(2, 0).len(), 1, "n=2: identity only");
+    }
+
+    #[test]
+    fn canonicalize_is_orbit_invariant_and_idempotent() {
+        let s = sample(4);
+        let (canon, perm) = s.canonicalize(ProcessId(0));
+        assert_eq!(s.permuted(&perm), canon);
+        // Idempotent: the representative is its own representative.
+        let (canon2, perm2) = canon.canonicalize(ProcessId(0));
+        assert_eq!(canon2, canon);
+        assert_eq!(perm2, identity_perm());
+        // Every orbit member canonicalizes to the same representative.
+        for p in perms_fixing(4, 0) {
+            let member = s.permuted(&p);
+            let (c, _) = member.canonicalize(ProcessId(0));
+            assert_eq!(c, canon, "orbit member disagreed on representative");
+        }
+    }
+
+    #[test]
+    fn compose_matches_sequential_permutation() {
+        let s = sample(4);
+        let perms = perms_fixing(4, 0);
+        let (a, b) = (perms[1], perms[3]);
+        let ab = compose_perm(&b, &a);
+        assert_eq!(s.permuted(&a).permuted(&b), s.permuted(&ab));
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_and_discriminating() {
+        let f = Fingerprinter::new();
+        let mut buf = Vec::new();
+        let a = f.node(&sample(4), &mut buf);
+        let b = f.node(&sample(4), &mut buf);
+        assert_eq!(a, b, "same state, same fingerprint");
+        let mut other = sample(4);
+        other.counters[2] += 1;
+        assert_ne!(a, f.node(&other, &mut buf));
+        let mut flag = sample(4);
+        flag.first_window = true;
+        assert_ne!(a, f.node(&flag, &mut buf));
+        // The two 64-bit lanes are independent: same low half would
+        // betray a lane wiring bug.
+        assert_ne!(a as u64, (a >> 64) as u64);
+    }
+}

@@ -1,0 +1,806 @@
+//! Graph-mode exploration: fingerprinted, symmetry-reduced, parallel BFS
+//! over the reachable-state graph.
+//!
+//! The legacy enumerator ([`crate::dfs::explore`]) walks the schedule
+//! *tree*: `2^d` full runs for a `d`-bit tape, re-executing every prefix
+//! and re-visiting the many schedules that lead to identical global
+//! states (round agreement collapses differences fast, so most of the
+//! tree is redundant). This module walks the reachable-state *graph*
+//! instead, TLC-style:
+//!
+//! * a **node** is a canonical [`NodeState`](crate::fingerprint::NodeState)
+//!   — exactly the future-determining part of a global state, normalized
+//!   (counters shifted to min 0) and canonicalized over process
+//!   relabelings fixing the faulty process;
+//! * an **edge** is one round under one omission mask (`2·(n−1)` bits,
+//!   one per copy eligible for omission), executed through the
+//!   [`SyncStepper`](ftss::sync_sim::SyncStepper) seam — one simulator
+//!   round per edge, never a replayed prefix;
+//! * a **visited set** of 128-bit fingerprints prunes revisits, so each
+//!   orbit of each reachable state is expanded exactly once.
+//!
+//! Theorem 3's Definition-2.4 obligations are decomposed into per-edge
+//! atoms (see [`check_edge`]'s docs and DESIGN.md §14 for the derivation
+//! and soundness argument) and checked on **every** edge before dedup, so
+//! pruning never hides a violation. Because normalized counters take at
+//! most `n^n` values (each counter is always some initial value plus the
+//! round count) the graph is finite, and with `rounds: None` the
+//! exploration runs to a **fixpoint**: termination without a violation
+//! certifies the obligations over *unbounded* horizons — something no
+//! bounded tape enumeration can do.
+//!
+//! Each BFS layer is sharded across workers with
+//! [`ftss_sweep::map_cells`] and merged in canonical (fingerprint, mask)
+//! order; reports are byte-identical for every `--jobs`, like every other
+//! subsystem. A violating edge is replayed concretely: the search path's
+//! masks are mapped back through the accumulated canonicalization
+//! permutations into an honest omission tape, confirmed against the
+//! legacy oracle ([`crate::dfs::check_tape`]) and shrunk to a 1-minimal
+//! [`Counterexample`] — graph-mode schedule files replay through the same
+//! pipeline as enumerated ones.
+
+use crate::dfs::{check_tape, Counterexample, DfsConfig};
+use crate::fingerprint::{
+    compose_perm, identity_perm, mask_full, Fingerprinter, NodeState, Perm, MAX_GRAPH_N,
+};
+use crate::runbuild::RunBuilder;
+use crate::shrink::shrink;
+use ftss::core::{ProcessId, RoundCounter};
+use ftss::protocols::{RoundAgreement, RoundAgreementState};
+use ftss::sync_sim::SyncStepper;
+use std::collections::HashMap;
+
+/// Configuration of a graph exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphConfig {
+    /// Number of processes (`2..=6` — symmetry and mask width both cap
+    /// here, see [`MAX_GRAPH_N`]).
+    pub n: usize,
+    /// Seed of the initial systemic failure, as in [`DfsConfig`].
+    pub corruption_seed: u64,
+    /// The single faulty process omissions act through.
+    pub faulty: ProcessId,
+    /// Stabilization time for the Theorem-3 obligations (1 = the
+    /// theorem's claim, 0 = deliberately broken).
+    pub stabilization: usize,
+    /// `Some(d)`: explore `d` BFS layers (equivalent to enumerating every
+    /// `d`-round schedule). `None`: run to the fixpoint — unbounded
+    /// horizon.
+    pub rounds: Option<usize>,
+    /// Worker shards per layer. Reports are byte-identical for any value.
+    pub jobs: usize,
+    /// Hard ceiling on visited states (memory guard; exceeding it is an
+    /// error, not a silent truncation).
+    pub max_states: usize,
+}
+
+impl GraphConfig {
+    /// The pinned acceptance configuration: `n = 3`, the same shape as
+    /// [`DfsConfig::small`] (2 rounds ≙ tape bound 8).
+    pub fn small(corruption_seed: u64) -> Self {
+        GraphConfig {
+            n: 3,
+            corruption_seed,
+            faulty: ProcessId(0),
+            stabilization: 1,
+            rounds: Some(2),
+            jobs: 1,
+            max_states: 2_000_000,
+        }
+    }
+
+    /// A fixpoint exploration at size `n` (unbounded horizon).
+    pub fn fixpoint(n: usize, corruption_seed: u64) -> Self {
+        GraphConfig {
+            n,
+            corruption_seed,
+            faulty: ProcessId(0),
+            stabilization: 1,
+            rounds: None,
+            jobs: 1,
+            max_states: 2_000_000,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !(2..=MAX_GRAPH_N).contains(&self.n) {
+            return Err(format!(
+                "check --graph: n must be in 2..={MAX_GRAPH_N}, got {}",
+                self.n
+            ));
+        }
+        if self.faulty.index() >= self.n {
+            return Err(format!(
+                "check --graph: faulty process {} outside 0..{}",
+                self.faulty, self.n
+            ));
+        }
+        if self.rounds == Some(0) {
+            return Err("check --graph: rounds must be at least 1".into());
+        }
+        if self.jobs == 0 {
+            return Err("check --graph: jobs must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Omission-mask width per round: one bit per eligible copy.
+    fn mask_bits(&self) -> u32 {
+        2 * (self.n as u32 - 1)
+    }
+
+    /// The legacy [`DfsConfig`] that replays a `depth`-round witness of
+    /// this exploration (tape bound sized to the full tape, which
+    /// [`check_tape`] accepts unbounded).
+    fn replay_config(&self, depth: usize, tape_len: usize) -> DfsConfig {
+        DfsConfig {
+            n: self.n,
+            rounds: depth,
+            corruption_seed: self.corruption_seed,
+            faulty: self.faulty,
+            tape_bound: tape_len,
+            stabilization: self.stabilization,
+        }
+    }
+}
+
+/// A violating edge, replayed into the legacy pipeline: the concrete
+/// [`DfsConfig`] and 1-minimal tape that reproduce it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphCounterexample {
+    /// Replay configuration (`rounds` = depth of the violating edge).
+    pub cfg: DfsConfig,
+    /// The shrunk concrete witness.
+    pub counterexample: Counterexample,
+}
+
+/// What a graph exploration covered. Deterministic: equal configurations
+/// yield equal reports, for any `jobs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphReport {
+    /// Canonical states visited (root included).
+    pub visited: u64,
+    /// Edges expanded — each is ONE simulator round, the unit comparable
+    /// to `legacy schedules × rounds`.
+    pub expansions: u64,
+    /// Edges whose child was already visited (revisits pruned).
+    pub dedup_hits: u64,
+    /// Edges whose child needed a non-identity permutation to reach its
+    /// orbit representative (states collapsed by symmetry).
+    pub orbit_hits: u64,
+    /// BFS layers fully expanded.
+    pub depth: u32,
+    /// Whether the exploration closed (no unexpanded states remain).
+    pub fixpoint: bool,
+    /// First violating edge in canonical order, if any.
+    pub counterexample: Option<GraphCounterexample>,
+}
+
+/// Per-node bookkeeping: the canonical state plus the search-tree edge
+/// that first reached it (for witness reconstruction).
+struct Visited {
+    state: NodeState,
+    /// Fingerprint of the parent node (`None` for the root).
+    parent: Option<u128>,
+    /// Omission mask of the entering edge, in the parent's canonical
+    /// process labels.
+    mask: u32,
+    /// Canonicalization permutation of the entering edge: raw child
+    /// labels → canonical child labels.
+    perm: Perm,
+}
+
+/// One explored edge, before merging.
+struct Expansion {
+    mask: u32,
+    child: NodeState,
+    child_fp: u128,
+    perm: Perm,
+    nontrivial_orbit: bool,
+    violation: Option<&'static str>,
+}
+
+/// The eligible copies of one round in consultation order (sender-major,
+/// destination-minor, pairs touching `faulty` only) — the bit layout of
+/// both omission masks and legacy tape segments.
+fn eligible_pairs(n: usize, faulty: ProcessId) -> Vec<(ProcessId, ProcessId)> {
+    let f = faulty.index();
+    let mut out = Vec::with_capacity(2 * (n - 1));
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && (i == f || j == f) {
+                out.push((ProcessId(i), ProcessId(j)));
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates the per-edge Theorem-3 obligation atoms for the transition
+/// `parent --mask--> child` and returns the first violated rule.
+///
+/// Every Definition-2.4 obligation `Σ(H[m..e], F(prefix e))` decomposes
+/// into per-round **agreement** atoms and per-round-pair **rate** atoms,
+/// and a violated atom inside some obligation implies the same atom is
+/// violated in the *minimal-`e`* obligation containing it (the faulty set
+/// grows with `e`, so smaller `e` checks a superset of processes). It is
+/// therefore complete to check, on the edge that executes round `t`:
+///
+/// * **agreement at prefix `t−1`** (the parent's counters, among the
+///   complement of `F(prefix t)` = the child's deviation flag), gated on
+///   the atom being inside an admissible obligation: the child's stable
+///   window must satisfy `stable_len(t) ≥ g+1` with `g = max(r, 1)` — or,
+///   for `r = 0` only, the root-edge of the first window (the `m = 0`
+///   obligation);
+/// * **the rate pair `(t−2, t−1)`** (the parent's `rate_ok` bits, which
+///   record whether round `t−1` advanced each counter by exactly one),
+///   gated on `stable_len(t) ≥ g+2` — or, for `r = 0`, any non-root edge
+///   still in the first window.
+///
+/// `stable_len` saturates at `g+2`, the largest gate, so saturation never
+/// changes a gate's outcome.
+fn check_edge(
+    parent: &NodeState,
+    child: &NodeState,
+    faulty: ProcessId,
+    stabilization: usize,
+) -> Option<&'static str> {
+    let n = parent.n();
+    let g = stabilization.max(1) as u8;
+    let mut correct = mask_full(n);
+    if child.deviated {
+        correct &= !(1 << faulty.index());
+    }
+
+    let agreement_due = child.stable_len > g
+        || (stabilization == 0 && parent.first_window && parent.stable_len == 0);
+    if agreement_due {
+        let mut seen: Option<u64> = None;
+        for j in 0..n {
+            if correct & (1 << j) == 0 {
+                continue;
+            }
+            match seen {
+                None => seen = Some(parent.counters[j]),
+                Some(c) if c != parent.counters[j] => return Some("agreement"),
+                _ => {}
+            }
+        }
+    }
+
+    let rate_due = child.stable_len >= g + 2
+        || (stabilization == 0 && child.first_window && parent.stable_len >= 1);
+    if rate_due && parent.rate_ok & correct != correct {
+        return Some("rate");
+    }
+
+    None
+}
+
+/// Expands one canonical node: executes all `2^(2(n−1))` one-round
+/// omission masks through the stepper seam, computing for each the child
+/// state, its orbit representative and the edge's obligation atoms.
+fn expand(
+    parent: &NodeState,
+    cfg: &GraphConfig,
+    pairs: &[(ProcessId, ProcessId)],
+    fper: &Fingerprinter,
+) -> Vec<Expansion> {
+    let n = cfg.n;
+    let f = cfg.faulty.index();
+    let g = cfg.stabilization.max(1) as u8;
+    let cap = g + 2;
+    let masks = 1u32 << cfg.mask_bits();
+    let mut out = Vec::with_capacity(masks as usize);
+    let mut scratch = Vec::new();
+    // (sender, dest) → eligible-pair bit index, for the hot mask loop.
+    let mut pair_idx = vec![usize::MAX; n * n];
+    for (idx, &(s, d)) in pairs.iter().enumerate() {
+        pair_idx[s.index() * n + d.index()] = idx;
+    }
+
+    let base_states: Vec<RoundAgreementState> = parent
+        .counters
+        .iter()
+        .map(|&c| RoundAgreementState {
+            c: RoundCounter::new(c),
+        })
+        .collect();
+
+    for mask in 0..masks {
+        // One simulator round through the stepper seam — the protocol's
+        // real step function, not a reimplementation.
+        let mut stepper = SyncStepper::new(RoundAgreement, base_states.clone());
+        stepper.step_round(|from, to| {
+            let (i, j) = (from.index(), to.index());
+            if i != f && j != f {
+                return true; // copies between correct processes never drop
+            }
+            mask & (1 << pair_idx[i * n + j]) == 0
+        });
+
+        // Counters, normalized; rate bits against the parent.
+        let mut counters: Vec<u64> = (0..n).map(|p| stepper.states()[p].c.get()).collect();
+        let mut rate_ok = 0u32;
+        for (j, (&c, &pc)) in counters.iter().zip(&parent.counters).enumerate() {
+            if c == pc.saturating_add(1) {
+                rate_ok |= 1 << j;
+            }
+        }
+        let min = *counters.iter().min().expect("n >= 2");
+        for c in &mut counters {
+            *c -= min;
+        }
+
+        // Causal reach: delivered copies this round are all pairs except
+        // the mask-dropped eligible ones (self-copies always land).
+        let mut reach = parent.reach.clone();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dropped = (i == f || j == f) && mask & (1 << pair_idx[i * n + j]) != 0;
+                if !dropped {
+                    reach[j] |= parent.reach[i] | (1 << i);
+                }
+            }
+        }
+
+        let deviated = parent.deviated || mask != 0;
+        let mut correct = mask_full(n);
+        if deviated {
+            correct &= !(1 << f);
+        }
+        let mut coterie = mask_full(n);
+        for (q, &r) in reach.iter().enumerate() {
+            if correct & (1 << q) != 0 {
+                coterie &= r;
+            }
+        }
+
+        let same_window = parent.stable_len > 0 && coterie == parent.coterie;
+        let stable_len = if same_window {
+            (parent.stable_len + 1).min(cap)
+        } else {
+            1
+        };
+        let first_window = parent.first_window && (parent.stable_len == 0 || same_window);
+
+        let child = NodeState {
+            counters,
+            rate_ok,
+            reach,
+            deviated,
+            coterie,
+            stable_len,
+            first_window,
+        };
+        let violation = check_edge(parent, &child, cfg.faulty, cfg.stabilization);
+        let (canon, perm) = child.canonicalize(cfg.faulty);
+        let nontrivial_orbit = perm != identity_perm();
+        let child_fp = fper.node(&canon, &mut scratch);
+        out.push(Expansion {
+            mask,
+            child: canon,
+            child_fp,
+            perm,
+            nontrivial_orbit,
+            violation,
+        });
+    }
+    out
+}
+
+/// Rebuilds a concrete omission tape for the search path ending in the
+/// edge `(parent_fp, mask)`, then confirms and shrinks it through the
+/// legacy pipeline.
+///
+/// Each stored mask is expressed in the canonical labels of its parent;
+/// composing the per-edge canonicalization permutations yields, per
+/// depth, the relabeling `σ` from original process ids to canonical ids.
+/// The original run's tape bit for eligible copy `(u, v)` is the stored
+/// mask's bit for `(σ(u), σ(v))`. The reconstructed tape is confirmed
+/// against [`check_tape`] — the raw, unnormalized simulator — before
+/// shrinking; a confirmation failure is reported as an error (it would
+/// mean the normalized model diverged from the raw one, see DESIGN.md
+/// §14's saturation caveat).
+fn reconstruct_witness(
+    cfg: &GraphConfig,
+    visited: &HashMap<u128, Visited>,
+    root_perm: &Perm,
+    parent_fp: u128,
+    mask: u32,
+    detail_hint: &str,
+) -> Result<GraphCounterexample, String> {
+    let pairs = eligible_pairs(cfg.n, cfg.faulty);
+
+    // Masks along the path, root-first, ending with the violating edge.
+    let mut masks: Vec<u32> = vec![mask];
+    let mut perms: Vec<Perm> = Vec::new(); // per-edge child canonicalization
+    let mut cursor = parent_fp;
+    loop {
+        let entry = &visited[&cursor];
+        match entry.parent {
+            Some(p) => {
+                masks.push(entry.mask);
+                perms.push(entry.perm);
+                cursor = p;
+            }
+            None => break,
+        }
+    }
+    masks.reverse();
+    perms.reverse();
+
+    // σ maps original labels to the canonical labels of the node the
+    // next mask is expressed in; starts as the root's canonicalization.
+    let mut sigma = *root_perm;
+    let mut tape = Vec::with_capacity(masks.len() * pairs.len());
+    for (k, m) in masks.iter().enumerate() {
+        for &(u, v) in &pairs {
+            let cu = ProcessId(sigma[u.index()] as usize);
+            let cv = ProcessId(sigma[v.index()] as usize);
+            let idx = pairs
+                .iter()
+                .position(|&(s, d)| s == cu && d == cv)
+                .expect("permutations fixing the faulty map eligible pairs to eligible pairs");
+            tape.push(m & (1 << idx) != 0);
+        }
+        if k < perms.len() {
+            sigma = compose_perm(&perms[k], &sigma);
+        }
+    }
+
+    let replay_cfg = cfg.replay_config(masks.len(), tape.len());
+    if check_tape(&replay_cfg, &tape).is_none() {
+        return Err(format!(
+            "graph witness failed legacy confirmation (depth {}, atom {detail_hint}): \
+             normalized model diverged from the raw simulator",
+            masks.len()
+        ));
+    }
+    let counterexample = shrink(&replay_cfg, &tape);
+    Ok(GraphCounterexample {
+        cfg: replay_cfg,
+        counterexample,
+    })
+}
+
+/// Explores the reachable-state graph of `cfg`. See the module docs.
+///
+/// Layers are expanded breadth-first; a layer containing a violating
+/// edge is still *completed* (so all counts are deterministic), then the
+/// first violating edge in canonical (fingerprint, mask) order is
+/// reconstructed, confirmed and shrunk.
+pub fn explore_graph(cfg: &GraphConfig) -> Result<GraphReport, String> {
+    cfg.validate()?;
+    let fper = Fingerprinter::new();
+    let pairs = eligible_pairs(cfg.n, cfg.faulty);
+
+    // Root: the corrupted initial state through the shared builder (one
+    // round is the minimum RunConfig; only the initial states are used).
+    let stepper = RunBuilder::corrupted(cfg.n, 1, cfg.corruption_seed).stepper();
+    let raw_counters: Vec<u64> = (0..cfg.n).map(|p| stepper.states()[p].c.get()).collect();
+    let root_raw = NodeState::root(&raw_counters, cfg.stabilization);
+    let (root, root_perm) = root_raw.canonicalize(cfg.faulty);
+    let mut scratch = Vec::new();
+    let root_fp = fper.node(&root, &mut scratch);
+
+    let mut visited: HashMap<u128, Visited> = HashMap::new();
+    visited.insert(
+        root_fp,
+        Visited {
+            state: root,
+            parent: None,
+            mask: 0,
+            perm: identity_perm(),
+        },
+    );
+
+    let mut layer: Vec<u128> = vec![root_fp];
+    let mut report = GraphReport {
+        visited: 1,
+        expansions: 0,
+        dedup_hits: 0,
+        orbit_hits: 0,
+        depth: 0,
+        fixpoint: false,
+        counterexample: None,
+    };
+
+    loop {
+        if let Some(d) = cfg.rounds {
+            if report.depth as usize >= d {
+                report.fixpoint = false;
+                break;
+            }
+        }
+        if layer.is_empty() {
+            report.fixpoint = true;
+            break;
+        }
+
+        // Shard the layer across workers; map_cells returns results in
+        // cell order, so the merge below is jobs-invariant.
+        let expanded: Vec<Vec<Expansion>> = ftss_sweep::map_cells(&layer, cfg.jobs, |fp| {
+            expand(&visited[fp].state, cfg, &pairs, &fper)
+        });
+
+        let depth = report.depth + 1;
+        let mut next: Vec<u128> = Vec::new();
+        let mut violating: Option<(u128, u32, &'static str)> = None;
+        for (fp, exps) in layer.iter().zip(&expanded) {
+            for e in exps {
+                report.expansions += 1;
+                if e.nontrivial_orbit {
+                    report.orbit_hits += 1;
+                }
+                // Obligation atoms are edge properties: record the first
+                // violation in canonical order even on deduped edges.
+                if violating.is_none() {
+                    if let Some(rule) = e.violation {
+                        violating = Some((*fp, e.mask, rule));
+                    }
+                }
+                if visited.contains_key(&e.child_fp) {
+                    report.dedup_hits += 1;
+                    continue;
+                }
+                visited.insert(
+                    e.child_fp,
+                    Visited {
+                        state: e.child.clone(),
+                        parent: Some(*fp),
+                        mask: e.mask,
+                        perm: e.perm,
+                    },
+                );
+                report.visited += 1;
+                next.push(e.child_fp);
+            }
+        }
+        report.depth = depth;
+
+        if let Some((parent_fp, mask, rule)) = violating {
+            report.counterexample = Some(reconstruct_witness(
+                cfg, &visited, &root_perm, parent_fp, mask, rule,
+            )?);
+            break;
+        }
+        if report.visited as usize > cfg.max_states {
+            return Err(format!(
+                "check --graph: state ceiling exceeded ({} visited > max-states {})",
+                report.visited, cfg.max_states
+            ));
+        }
+        // Canonical layer order: sorted fingerprints.
+        next.sort_unstable();
+        layer = next;
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::explore;
+    use crate::oracle::thm3_round_agreement;
+    use ftss_rng::Rng;
+
+    #[test]
+    fn eligible_pairs_match_the_tape_consultation_order() {
+        let pairs = eligible_pairs(3, ProcessId(0));
+        let want: Vec<(usize, usize)> = vec![(0, 1), (0, 2), (1, 0), (2, 0)];
+        let got: Vec<(usize, usize)> = pairs.iter().map(|&(s, d)| (s.index(), d.index())).collect();
+        assert_eq!(got, want);
+        assert_eq!(eligible_pairs(5, ProcessId(2)).len(), 8);
+    }
+
+    /// The incremental per-edge oracle must agree with the legacy
+    /// whole-history oracle on random mask chains: drive both the graph
+    /// transition (no canonicalization, so states correspond 1:1) and a
+    /// real runner over the same omission schedule, and compare "any
+    /// violation so far" after every round.
+    #[test]
+    fn edge_atoms_match_the_legacy_oracle_on_random_chains() {
+        ftss_rng::check::forall(60, |g| {
+            let n = g.gen_range(2..5u64) as usize;
+            let rounds = g.gen_range(1..5u64) as usize;
+            let seed = g.next_u64();
+            let stab = g.gen_range(0..2u64) as usize;
+            let faulty = ProcessId(g.gen_range(0..n as u64) as usize);
+            let bits = 2 * (n - 1);
+            let masks: Vec<u32> = (0..rounds)
+                .map(|_| (g.next_u64() & ((1 << bits) - 1)) as u32)
+                .collect();
+
+            let cfg = GraphConfig {
+                n,
+                corruption_seed: seed,
+                faulty,
+                stabilization: stab,
+                rounds: Some(rounds),
+                jobs: 1,
+                max_states: 1 << 20,
+            };
+            let pairs = eligible_pairs(n, faulty);
+            let fper = Fingerprinter::new();
+
+            // Graph side: walk exactly the sampled chain, no dedup and no
+            // canonicalization (identity orbit), collecting edge atoms.
+            let stepper = RunBuilder::corrupted(n, 1, seed).stepper();
+            let raw: Vec<u64> = (0..n).map(|p| stepper.states()[p].c.get()).collect();
+            let mut node = NodeState::root(&raw, stab);
+            let mut incremental: Vec<bool> = Vec::new(); // violation known after round k?
+            let mut any = false;
+            for &m in &masks {
+                let exps = expand(&node, &cfg, &pairs, &fper);
+                let e = exps
+                    .into_iter()
+                    .find(|e| e.mask == m)
+                    .expect("mask in range");
+                any = any || e.violation.is_some();
+                incremental.push(any);
+                // Follow the RAW child (undo canonicalization) so the next
+                // round's mask keeps its original labels.
+                let inv = invert(&e.perm);
+                node = e.child.permuted(&inv);
+            }
+
+            // Legacy side: one tape per prefix, full-history oracle.
+            let tape: Vec<bool> = masks
+                .iter()
+                .flat_map(|m| (0..bits).map(move |b| m & (1 << b) != 0))
+                .collect();
+            for k in 1..=rounds {
+                let legacy_cfg = cfg.replay_config(k, k * bits);
+                let legacy = check_tape(&legacy_cfg, &tape[..k * bits]).is_some();
+                assert_eq!(
+                    incremental[k - 1],
+                    legacy,
+                    "n={n} rounds={k} stab={stab} faulty={faulty} seed={seed} masks={masks:?}"
+                );
+            }
+        });
+    }
+
+    fn invert(p: &Perm) -> Perm {
+        let mut inv = identity_perm();
+        for i in 0..8 {
+            inv[p[i] as usize] = i as u8;
+        }
+        inv
+    }
+
+    /// Graph mode must agree with the legacy enumerator verdict-for-verdict
+    /// on configurations both can cover exhaustively.
+    #[test]
+    fn graph_matches_enumerator_verdicts() {
+        for seed in [7u64, 11, 42] {
+            for stab in [1usize, 0] {
+                let mut dcfg = DfsConfig::small(seed);
+                dcfg.stabilization = stab;
+                let mut gcfg = GraphConfig::small(seed);
+                gcfg.stabilization = stab;
+                let legacy = explore(&dcfg).unwrap();
+                let graph = explore_graph(&gcfg).unwrap();
+                assert_eq!(
+                    legacy.counterexample.is_some(),
+                    graph.counterexample.is_some(),
+                    "seed {seed} stab {stab}: graph and enumerator disagree"
+                );
+                if let Some(gce) = &graph.counterexample {
+                    // The graph counterexample replays through the legacy
+                    // oracle by construction.
+                    assert_eq!(
+                        check_tape(&gce.cfg, &gce.counterexample.tape),
+                        Some(gce.counterexample.detail.clone())
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graph_reports_are_jobs_invariant() {
+        let mut base = GraphConfig::fixpoint(4, 7);
+        base.rounds = Some(3);
+        let serial = explore_graph(&base).unwrap();
+        for jobs in 2..=4 {
+            let mut cfg = base.clone();
+            cfg.jobs = jobs;
+            assert_eq!(explore_graph(&cfg).unwrap(), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn fixpoint_closes_and_certifies_unbounded_horizon() {
+        // n = 3 fixpoint: the graph is finite, closes without violation,
+        // and dedup + orbits must both have fired.
+        let report = explore_graph(&GraphConfig::fixpoint(3, 7)).unwrap();
+        assert!(report.fixpoint, "exploration must close");
+        assert!(report.counterexample.is_none(), "Theorem 3 holds");
+        assert!(report.dedup_hits > 0, "revisits must be pruned");
+        assert!(report.visited < report.expansions);
+    }
+
+    #[test]
+    fn broken_oracle_yields_a_confirmed_minimal_counterexample() {
+        let mut cfg = GraphConfig::small(7);
+        cfg.stabilization = 0;
+        let report = explore_graph(&cfg).unwrap();
+        let gce = report.counterexample.expect("stab 0 must violate");
+        // Seed 7's corrupted start disagrees on its own: minimal tape is
+        // empty, found at depth 1 (the m = 0 obligation of Def 2.4).
+        assert!(gce.counterexample.tape.is_empty());
+        assert_eq!(
+            check_tape(&gce.cfg, &gce.counterexample.tape),
+            Some(gce.counterexample.detail.clone())
+        );
+    }
+
+    /// Deep exploration past the legacy d = 20 wall: 5 rounds at n = 3 is
+    /// a 60-bit tape space (2^60 schedules) — the graph walks it whole.
+    #[test]
+    fn graph_covers_depths_past_the_tape_bound_wall() {
+        let mut cfg = GraphConfig::fixpoint(3, 9);
+        cfg.rounds = Some(5);
+        let report = explore_graph(&cfg).unwrap();
+        // The graph may close before the requested depth — a fixpoint
+        // covers every deeper round too.
+        assert!(report.depth == 5 || report.fixpoint, "{report:?}");
+        assert!(report.counterexample.is_none());
+        // The whole 5-round reachable space in far fewer edge-expansions
+        // than the enumerator's 2^20-run ceiling would even allow.
+        assert!(report.expansions < 1 << 20);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_configs() {
+        let mut cfg = GraphConfig::small(0);
+        cfg.n = 7;
+        assert!(explore_graph(&cfg).is_err());
+        let mut cfg = GraphConfig::small(0);
+        cfg.rounds = Some(0);
+        assert!(explore_graph(&cfg).is_err());
+        let mut cfg = GraphConfig::small(0);
+        cfg.jobs = 0;
+        assert!(explore_graph(&cfg).is_err());
+        let mut cfg = GraphConfig::small(0);
+        cfg.faulty = ProcessId(5);
+        assert!(explore_graph(&cfg).is_err());
+    }
+
+    #[test]
+    fn state_ceiling_is_enforced() {
+        let mut cfg = GraphConfig::fixpoint(4, 3);
+        cfg.max_states = 2;
+        let err = explore_graph(&cfg).unwrap_err();
+        assert!(err.contains("max-states"), "{err}");
+    }
+
+    /// End-to-end sanity at n = 5: a full fixpoint certification, which
+    /// the enumerator cannot touch (eligible copies = 8/round; 3 rounds
+    /// already exceed the 2^20 ceiling).
+    #[test]
+    fn n5_fixpoint_certifies_theorem3() {
+        let report = explore_graph(&GraphConfig::fixpoint(5, 7)).unwrap();
+        assert!(report.fixpoint);
+        assert!(report.counterexample.is_none());
+        assert!(report.orbit_hits > 0, "symmetry must collapse orbits");
+    }
+
+    /// Spot-check the incremental oracle against the whole-history oracle
+    /// through a real runner on an all-deliver chain (regression anchor
+    /// for the gating arithmetic).
+    #[test]
+    fn all_deliver_chain_is_clean_under_thm3_gates() {
+        let cfg = GraphConfig::small(7);
+        let report = explore_graph(&cfg).unwrap();
+        assert!(report.counterexample.is_none());
+        let out = RunBuilder::corrupted(3, 2, 7).run(&mut ftss::sync_sim::NoFaults);
+        assert_eq!(thm3_round_agreement(&out.history, 1), None);
+    }
+}

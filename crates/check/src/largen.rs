@@ -11,10 +11,9 @@
 //! sustains n = 1024 inside the CI budget.
 
 use crate::oracle::window_stabilization;
+use crate::runbuild::RunBuilder;
 use ftss::analysis::Table;
 use ftss::core::{ProcessId, RateAgreementSpec};
-use ftss::protocols::RoundAgreement;
-use ftss::sync_sim::{RunConfig, SyncRunner};
 use ftss_sweep::{max, mean, sweep_rows, FaultSpec};
 
 /// Default seed count of the E9 sweep.
@@ -62,11 +61,9 @@ pub fn e9_rows(max_n: usize) -> Vec<E9Row> {
 
 fn run_e9_cell(row: &E9Row, seed: u64) -> usize {
     let mut adv = row.fault.adversary(seed);
-    let cfg = RunConfig::corrupted(row.n, E9_ROUNDS, seed.wrapping_mul(0x9e37) ^ row.n as u64)
-        .with_history_window(E9_WINDOW);
-    let out = SyncRunner::new(RoundAgreement)
-        .run(adv.as_mut(), &cfg)
-        .expect("valid config");
+    let out = RunBuilder::corrupted(row.n, E9_ROUNDS, seed.wrapping_mul(0x9e37) ^ row.n as u64)
+        .with_history_window(E9_WINDOW)
+        .run(adv.as_mut());
     // 12 rounds retained to a window of 8 evicts rounds 1..=4; checking
     // the window starting at prefix 5 exercises the oracle right at the
     // eviction boundary.

@@ -15,6 +15,14 @@
 //!    boundaries, and maximum-delay scheduling against the ◇S detector.
 //! 3. **Property oracles** ([`oracle`]) — Theorems 3, 4 and 5 as plain
 //!    functions over recorded runs, reusing the theory-layer checkers.
+//! 4. **Graph exploration** ([`frontier`]) — the scale-up path: instead
+//!    of enumerating the schedule *tree*, walk the reachable-state
+//!    *graph* with fingerprinted dedup ([`fingerprint`]), symmetry
+//!    reduction over process relabelings fixing the faulty process, and
+//!    a deterministic parallel BFS frontier sharded via
+//!    [`ftss_sweep::map_cells`]. Runs to a fixpoint, certifying Thm-3
+//!    obligations over *unbounded* horizons at `n ≤ 6` — far past the
+//!    `2^min(d,20)` wall of strategy 1.
 //!
 //! When an oracle rejects a schedule, [`shrink`] reduces it to a
 //! 1-minimal counterexample and [`schedule`] writes it as a replayable
@@ -24,19 +32,24 @@
 
 pub mod adversary;
 pub mod dfs;
+pub mod fingerprint;
+pub mod frontier;
 pub mod largen;
 pub mod oracle;
+pub mod runbuild;
 pub mod schedule;
 pub mod shrink;
 
 pub use adversary::{all_pass, run_battery, BatteryConfig, BatteryRow, SCENARIOS};
 pub use dfs::{
-    check_tape, explore, explore_async, run_tape, AsyncDfsReport, Counterexample, DfsConfig,
-    DfsReport, MAX_TAPE_BOUND,
+    check_tape, explore, explore_async, explore_async_por, run_tape, AsyncDfsReport,
+    Counterexample, DfsConfig, DfsReport, MAX_TAPE_BOUND,
 };
+pub use fingerprint::{Fingerprinter, NodeState, MAX_GRAPH_N};
+pub use frontier::{explore_graph, GraphConfig, GraphCounterexample, GraphReport};
 pub use largen::{e9_rows, e9_table, E9Row, E9_ROUNDS, E9_SEEDS, E9_WINDOW};
 pub use oracle::{
     thm3_round_agreement, thm4_compiled, thm5_detector, window_stabilization, Verdict,
 };
-pub use schedule::{ScheduleFile, HEADER};
+pub use schedule::{ScheduleFile, ScheduleMode, HEADER};
 pub use shrink::shrink;

@@ -97,6 +97,16 @@ pub fn window_stabilization<S, M>(
             history.len()
         ));
     }
+    // On a windowed history the slice below starts at prefix `from_len − 1`;
+    // asking for anything inside the evicted region would panic in
+    // `History::slice`, so refuse it here with a real error instead.
+    if from_len - 1 < history.evicted() {
+        return Err(format!(
+            "window {from_len}..{to_len} starts inside the evicted region \
+             ({} rounds evicted from the retention window)",
+            history.evicted()
+        ));
+    }
     let faulty = history.faulty_upto(to_len);
     let duration = to_len - from_len + 1;
     for s in 0..duration {
@@ -172,6 +182,30 @@ mod tests {
         let err = window_stabilization(&out.history, &RateAgreementSpec::new(), 1, 6, 0)
             .expect_err("corrupted start cannot satisfy bound 0");
         assert!(err.contains("bound is 0"), "got: {err}");
+    }
+
+    #[test]
+    fn window_stabilization_at_the_eviction_boundary() {
+        // 12 rounds retained to a window of 8: rounds 1..=4 are evicted,
+        // so prefix lengths 1..=4 are gone and 5 is the first answerable
+        // window start (`from_len − 1 == evicted()`).
+        let out = crate::runbuild::RunBuilder::corrupted(4, 12, 3)
+            .with_history_window(8)
+            .run(&mut NoFaults);
+        assert_eq!(out.history.evicted(), 4);
+        // Exactly on the boundary: the oracle can answer.
+        let s = window_stabilization(&out.history, &RateAgreementSpec::new(), 5, 12, 1)
+            .expect("window starting at the first retained round is answerable");
+        assert!(s <= 1);
+        // One round earlier the slice would need an evicted frame: a real
+        // error, not a panic.
+        let err = window_stabilization(&out.history, &RateAgreementSpec::new(), 4, 12, 1)
+            .expect_err("window reaching into the evicted region must be refused");
+        assert!(err.contains("evicted"), "got: {err}");
+        // Same for a window wholly inside the evicted prefix.
+        let err = window_stabilization(&out.history, &RateAgreementSpec::new(), 1, 12, 1)
+            .expect_err("fully evicted window start must be refused");
+        assert!(err.contains("evicted"), "got: {err}");
     }
 
     #[test]

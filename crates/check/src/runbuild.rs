@@ -1,0 +1,109 @@
+//! One builder for the checker's round-agreement runs.
+//!
+//! Every strategy in this crate executes the same system — Figure 1's
+//! round agreement from a seeded corrupted start — but three call sites
+//! grew three copies of the `RunConfig`-to-runner plumbing: the schedule
+//! enumerator ([`crate::dfs`]), the large-n engine ([`crate::largen`])
+//! and now the graph explorer ([`crate::frontier`]). [`RunBuilder`] is
+//! the single copy: configure size, length, corruption seed and history
+//! retention once, then materialize whichever execution shape the caller
+//! needs — a full [`SyncRunner`] run (traced or not) or a resumable
+//! [`SyncStepper`] positioned at the corrupted initial state.
+
+use ftss::protocols::{RoundAgreement, RoundAgreementState};
+use ftss::sync_sim::stepper::SyncStepper;
+use ftss::sync_sim::{Adversary, RunConfig, RunOutcome, SyncRunner};
+use ftss::telemetry::TraceSink;
+
+/// A configured round-agreement run, one materialization per strategy.
+#[derive(Clone, Debug)]
+pub struct RunBuilder {
+    n: usize,
+    rounds: usize,
+    corruption_seed: u64,
+    window: Option<usize>,
+}
+
+impl RunBuilder {
+    /// A run of `rounds` rounds at size `n` from the seeded corrupted
+    /// start (the checker's universal starting point — Theorem 3 is about
+    /// recovery from arbitrary states).
+    pub fn corrupted(n: usize, rounds: usize, corruption_seed: u64) -> Self {
+        RunBuilder {
+            n,
+            rounds,
+            corruption_seed,
+            window: None,
+        }
+    }
+
+    /// Retains only the last `window` rounds of history (the large-n
+    /// engine's memory bound); oracles must then stay clear of the
+    /// evicted region.
+    pub fn with_history_window(mut self, window: usize) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// The equivalent [`RunConfig`].
+    pub fn run_config(&self) -> RunConfig {
+        let cfg = RunConfig::corrupted(self.n, self.rounds, self.corruption_seed);
+        match self.window {
+            Some(w) => cfg.with_history_window(w),
+            None => cfg,
+        }
+    }
+
+    /// Executes the full run under `adv`, recording history.
+    pub fn run(&self, adv: &mut (impl Adversary + ?Sized)) -> RunOutcome<RoundAgreementState, u64> {
+        SyncRunner::new(RoundAgreement)
+            .run(adv, &self.run_config())
+            .expect("validated check configuration")
+    }
+
+    /// Executes the full run under `adv` with telemetry.
+    pub fn run_traced<T: TraceSink>(
+        &self,
+        adv: &mut (impl Adversary + ?Sized),
+        sink: &mut T,
+    ) -> RunOutcome<RoundAgreementState, u64> {
+        SyncRunner::new(RoundAgreement)
+            .run_traced(adv, &self.run_config(), sink)
+            .expect("validated check configuration")
+    }
+
+    /// A stepper at the corrupted initial state — the graph explorer's
+    /// branch-mid-run seam. Initial states match [`Self::run`]'s exactly
+    /// (same corruption RNG, same draw order).
+    pub fn stepper(&self) -> SyncStepper<RoundAgreement> {
+        SyncStepper::corrupted(RoundAgreement, self.n, self.corruption_seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftss::sync_sim::NoFaults;
+
+    #[test]
+    fn builder_run_and_stepper_share_the_corrupted_start() {
+        let b = RunBuilder::corrupted(4, 3, 0xfeed);
+        let out = b.run(&mut NoFaults);
+        let stepper = b.stepper();
+        let frame = out.history.slice(0, 1).round(0);
+        for p in 0..4 {
+            assert_eq!(
+                frame.record(ftss::core::ProcessId(p)).state_at_start(),
+                Some(&stepper.states()[p]),
+            );
+        }
+    }
+
+    #[test]
+    fn window_carries_through_to_the_run_config() {
+        let b = RunBuilder::corrupted(8, 12, 1).with_history_window(8);
+        let out = b.run(&mut NoFaults);
+        assert_eq!(out.history.len(), 12);
+        assert_eq!(out.history.evicted(), 4);
+    }
+}

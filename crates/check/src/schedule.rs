@@ -28,6 +28,17 @@
 //!
 //! The tape is a `0`/`1` string (`-` for the empty tape). `detail` is the
 //! oracle's one-line verdict at the time the file was written.
+//!
+//! Counterexamples found by the graph explorer ([`crate::frontier`])
+//! carry a `mode: graph` line after `protocol` — the tape is then a
+//! reconstructed witness from the state-graph search path rather than an
+//! enumerated schedule. Replay is identical either way (the witness is a
+//! plain omission tape), the marker just records provenance; its absence
+//! means `enum`, so legacy files keep their exact bytes.
+//!
+//! The parser is strict: unknown keys, duplicate keys and trailing
+//! `key: value` garbage are all rejected — a schedule file that parses is
+//! exactly a schedule file this version would write.
 
 use crate::dfs::{check_tape, Counterexample, DfsConfig};
 use crate::oracle::Verdict;
@@ -36,11 +47,40 @@ use ftss::core::ProcessId;
 /// The version line every schedule file starts with.
 pub const HEADER: &str = "ftss-check schedule v1";
 
+/// The keys this version writes — and the only ones it accepts.
+const KNOWN_KEYS: [&str; 10] = [
+    "protocol",
+    "mode",
+    "n",
+    "rounds",
+    "corruption-seed",
+    "faulty",
+    "tape-bound",
+    "stabilization",
+    "tape",
+    "detail",
+];
+
+/// How the counterexample was found (provenance marker, not replay
+/// behavior — both modes replay as plain omission tapes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScheduleMode {
+    /// Enumerated by [`crate::dfs::explore`]. Serialized with no `mode`
+    /// line (the v1 spelling, byte-compatible with older files).
+    #[default]
+    Enum,
+    /// Reconstructed from a graph-exploration search path
+    /// ([`crate::frontier`]); serialized as `mode: graph`.
+    Graph,
+}
+
 /// A parsed (or about-to-be-written) schedule file.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScheduleFile {
     /// The configuration the run is a function of.
     pub cfg: DfsConfig,
+    /// How the counterexample was found.
+    pub mode: ScheduleMode,
     /// The omission tape.
     pub tape: Vec<bool>,
     /// The verdict recorded when the file was written.
@@ -48,12 +88,21 @@ pub struct ScheduleFile {
 }
 
 impl ScheduleFile {
-    /// Packages a counterexample for writing.
+    /// Packages an enumerated counterexample for writing.
     pub fn new(cfg: DfsConfig, ce: Counterexample) -> Self {
         ScheduleFile {
             cfg,
+            mode: ScheduleMode::Enum,
             tape: ce.tape,
             detail: ce.detail,
+        }
+    }
+
+    /// Packages a graph-mode counterexample for writing.
+    pub fn graph(cfg: DfsConfig, ce: Counterexample) -> Self {
+        ScheduleFile {
+            mode: ScheduleMode::Graph,
+            ..ScheduleFile::new(cfg, ce)
         }
     }
 
@@ -67,9 +116,14 @@ impl ScheduleFile {
                 .map(|&b| if b { '1' } else { '0' })
                 .collect()
         };
+        let mode = match self.mode {
+            ScheduleMode::Enum => String::new(), // v1 spelling: no line
+            ScheduleMode::Graph => "mode: graph\n".into(),
+        };
         format!(
             "{HEADER}\n\
              protocol: round-agreement\n\
+             {mode}\
              n: {}\n\
              rounds: {}\n\
              corruption-seed: {}\n\
@@ -105,7 +159,11 @@ impl ScheduleFile {
             let (k, v) = line
                 .split_once(':')
                 .ok_or_else(|| format!("malformed schedule line: {line:?}"))?;
-            fields.push((k.trim().to_string(), v.trim().to_string()));
+            let k = k.trim();
+            if !KNOWN_KEYS.contains(&k) {
+                return Err(format!("schedule file holds unknown key {k:?}"));
+            }
+            fields.push((k.to_string(), v.trim().to_string()));
         }
         let take = |key: &str| -> Result<String, String> {
             let mut hits = fields.iter().filter(|(k, _)| k == key);
@@ -127,6 +185,16 @@ impl ScheduleFile {
         if protocol != "round-agreement" {
             return Err(format!("unsupported schedule protocol: {protocol:?}"));
         }
+        // `mode` is optional: absent means enum (v1 files predate it).
+        let mode = match fields.iter().filter(|(k, _)| k == "mode").count() {
+            0 => ScheduleMode::Enum,
+            1 => match take("mode")?.as_str() {
+                "enum" => ScheduleMode::Enum,
+                "graph" => ScheduleMode::Graph,
+                other => return Err(format!("unsupported schedule mode: {other:?}")),
+            },
+            _ => return Err("schedule file repeats \"mode\"".into()),
+        };
         let tape_text = take("tape")?;
         let tape = if tape_text == "-" {
             Vec::new()
@@ -149,6 +217,7 @@ impl ScheduleFile {
                 tape_bound: num("tape-bound")? as usize,
                 stabilization: num("stabilization")? as usize,
             },
+            mode,
             tape,
             detail: take("detail")?,
         })
@@ -165,11 +234,14 @@ impl ScheduleFile {
 mod tests {
     use super::*;
 
+    use ftss_rng::Rng;
+
     fn sample() -> ScheduleFile {
         let mut cfg = DfsConfig::small(7);
         cfg.stabilization = 0;
         ScheduleFile {
             cfg,
+            mode: ScheduleMode::Enum,
             tape: vec![false, true, true, false],
             detail: "thm3: something failed".into(),
         }
@@ -199,6 +271,86 @@ mod tests {
     }
 
     #[test]
+    fn graph_mode_round_trips_and_legacy_bytes_are_unchanged() {
+        let f = ScheduleFile {
+            mode: ScheduleMode::Graph,
+            ..sample()
+        };
+        let text = f.serialize();
+        assert!(text.contains("\nmode: graph\n"), "{text}");
+        assert_eq!(ScheduleFile::parse(&text).unwrap(), f);
+        // An explicit `mode: enum` parses; absence means the same thing,
+        // and Enum files serialize WITHOUT the line (legacy bytes).
+        let enum_text = sample().serialize();
+        assert!(!enum_text.contains("mode:"), "{enum_text}");
+        let explicit = enum_text.replace(
+            "protocol: round-agreement\n",
+            "protocol: round-agreement\nmode: enum\n",
+        );
+        assert_eq!(ScheduleFile::parse(&explicit).unwrap(), sample());
+        let bad = enum_text.replace(
+            "protocol: round-agreement\n",
+            "protocol: round-agreement\nmode: dfs\n",
+        );
+        assert!(ScheduleFile::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_trailing_fields() {
+        // Trailing well-formed `key: value` garbage used to be silently
+        // ignored; now every key must be one this version writes.
+        let trailing = format!("{}x-extra: 1\n", sample().serialize());
+        let err = ScheduleFile::parse(&trailing).unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+        let interior = sample()
+            .serialize()
+            .replace("faulty: 0\n", "faulty: 0\nnote: hand-edited\n");
+        assert!(ScheduleFile::parse(&interior).is_err());
+    }
+
+    /// Forall fuzz, PR-7 framing discipline: random configurations
+    /// round-trip exactly; any single injected unknown line flips the
+    /// parse to an error; arbitrary mutations never panic.
+    #[test]
+    fn forall_round_trip_and_mutation_fuzz() {
+        ftss_rng::check::forall(80, |g| {
+            let f = ScheduleFile {
+                cfg: DfsConfig {
+                    n: g.gen_range(2..7u64) as usize,
+                    rounds: g.gen_range(1..9u64) as usize,
+                    corruption_seed: g.next_u64(),
+                    faulty: ftss::core::ProcessId(g.gen_range(0..4u64) as usize),
+                    tape_bound: g.gen_range(0..21u64) as usize,
+                    stabilization: g.gen_range(0..3u64) as usize,
+                },
+                mode: if g.gen_bool(0.5) {
+                    ScheduleMode::Graph
+                } else {
+                    ScheduleMode::Enum
+                },
+                tape: g.vec(0, 24, |g| g.gen_bool(0.5)),
+                detail: "thm3: fuzz".into(),
+            };
+            let text = f.serialize();
+            assert_eq!(ScheduleFile::parse(&text).unwrap(), f);
+
+            // Inject an unknown key at a random line boundary: must error.
+            let mut lines: Vec<&str> = text.lines().collect();
+            let at = 1 + g.gen_range(0..lines.len() as u64 - 1) as usize;
+            lines.insert(at, "bogus-key: 1");
+            assert!(ScheduleFile::parse(&lines.join("\n")).is_err());
+
+            // Random byte mutation: may parse or not, must never panic.
+            let mut bytes = text.into_bytes();
+            let at = g.gen_range(0..bytes.len() as u64) as usize;
+            bytes[at] = (g.next_u64() & 0x7f) as u8;
+            if let Ok(mutated) = String::from_utf8(bytes) {
+                let _ = ScheduleFile::parse(&mutated);
+            }
+        });
+    }
+
+    #[test]
     fn replay_reproduces_the_recorded_verdict() {
         // Build a real counterexample via the broken oracle, write it,
         // parse it back, replay it: same one-line verdict.
@@ -207,6 +359,7 @@ mod tests {
         let detail = crate::dfs::check_tape(&cfg, &[]).expect("violates r=0");
         let f = ScheduleFile {
             cfg,
+            mode: ScheduleMode::Enum,
             tape: Vec::new(),
             detail: detail.clone(),
         };

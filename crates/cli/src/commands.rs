@@ -136,6 +136,13 @@ pub const COMMANDS: &[Command] = &[
                  check Theorem 3 on each run\n\
                  [--n N --rounds R --seed S --faulty P --bound D]\n\
                  [--broken-oracle] [--ce FILE (counterexample path)]\n\
+               --graph: fingerprinted, symmetry-reduced state-graph\n\
+                 exploration of n<=6; no --rounds = run to fixpoint\n\
+                 (certifies Theorem 3 for every horizon); output is\n\
+                 byte-identical for any --jobs\n\
+                 [--n N | --max-n N (sweep 2..=N)] [--rounds R]\n\
+                 [--seed S --faulty P --jobs J --max-states M]\n\
+                 [--broken-oracle] [--ce FILE]\n\
                --adversary: worst-case fault battery at larger n\n\
                  (Theorems 3-5)  [--n N --seeds S --jobs J]\n\
                --replay FILE: re-execute a counterexample schedule,\n\
@@ -881,8 +888,9 @@ pub fn sweep(args: &Args) -> Outcome {
 }
 
 /// `check`: the model-checker-lite. `--replay FILE` re-executes a
-/// schedule file; `--adversary` runs the worst-case battery; anything
-/// else (canonically `--dfs`) runs the exhaustive enumeration.
+/// schedule file; `--adversary` runs the worst-case battery; `--graph`
+/// runs the fingerprinted state-graph exploration; anything else
+/// (canonically `--dfs`) runs the exhaustive enumeration.
 pub fn check(args: &Args) -> Outcome {
     if let Some(path) = args.get("replay") {
         let path = path.to_string();
@@ -891,7 +899,96 @@ pub fn check(args: &Args) -> Outcome {
     if args.flag("adversary")? {
         return check_adversary(args);
     }
+    if args.flag("graph")? {
+        return check_graph(args);
+    }
     check_dfs(args)
+}
+
+fn check_graph_config(args: &Args, n: usize) -> Result<ftss_check::GraphConfig, String> {
+    let mut cfg = ftss_check::GraphConfig::fixpoint(n, args.get_or("seed", 7)?);
+    cfg.faulty = ProcessId(args.get_or("faulty", cfg.faulty.index())?);
+    cfg.rounds = match args.get("rounds") {
+        Some(_) => Some(args.get_or("rounds", 0)?),
+        None => None,
+    };
+    cfg.stabilization = if args.flag("broken-oracle")? {
+        0
+    } else {
+        args.get_or("stabilization", cfg.stabilization)?
+    };
+    cfg.jobs = match args.get("jobs") {
+        Some(_) => args.get_or("jobs", 1)?,
+        None => ftss_sweep::jobs_from_env(),
+    };
+    cfg.max_states = args.get_or("max-states", cfg.max_states)?;
+    Ok(cfg)
+}
+
+/// `check --graph`: fingerprinted, symmetry-reduced state-graph
+/// exploration. Without `--rounds` it runs to the fixpoint, certifying
+/// the Theorem-3 obligations for every horizon; `--max-n` sweeps sizes
+/// `2..=N`. Output never names the worker count — it is byte-identical
+/// for any `--jobs`, and `scripts/verify.sh` `cmp`s serial vs parallel.
+fn check_graph(args: &Args) -> Outcome {
+    let sizes: Vec<usize> = match args.get("max-n") {
+        Some(_) => (2..=args.get_or("max-n", 0)?).collect(),
+        None => vec![args.get_or("n", 5)?],
+    };
+    if sizes.is_empty() {
+        return Err("check --graph: --max-n must be at least 2".into());
+    }
+    let mut all_ok = true;
+    for &n in &sizes {
+        let cfg = check_graph_config(args, n)?;
+        let report = ftss_check::explore_graph(&cfg)?;
+        println!(
+            "check --graph: round agreement, n={}, corruption seed {}, \
+             omissions through p{}, oracle: Theorem 3 at stabilization {}, \
+             horizon: {}",
+            cfg.n,
+            cfg.corruption_seed,
+            cfg.faulty.index(),
+            cfg.stabilization,
+            match cfg.rounds {
+                Some(d) => format!("{d} round(s)"),
+                None => "fixpoint (unbounded)".into(),
+            }
+        );
+        println!(
+            "visited {} canonical state(s) in {} expansion(s); \
+             {} revisit(s) deduped, {} orbit collapse(s); depth {}{}",
+            report.visited,
+            report.expansions,
+            report.dedup_hits,
+            report.orbit_hits,
+            report.depth,
+            if report.fixpoint {
+                " (closed: certified for every horizon)"
+            } else {
+                ""
+            }
+        );
+        match report.counterexample {
+            None => println!("zero violations: every reachable edge satisfies the oracle"),
+            Some(gce) => {
+                println!("VIOLATION: {}", gce.counterexample.detail);
+                println!(
+                    "concrete witness: {} round(s), {} of {} tape bits survive minimization",
+                    gce.cfg.rounds,
+                    gce.counterexample.tape.iter().filter(|&&b| b).count(),
+                    gce.counterexample.tape.len()
+                );
+                let path = args.get("ce").unwrap_or("counterexample.schedule");
+                let file = ftss_check::ScheduleFile::graph(gce.cfg, gce.counterexample);
+                std::fs::write(path, file.serialize()).map_err(|e| format!("--ce {path}: {e}"))?;
+                println!("counterexample written to {path}");
+                println!("replay with: ftss-lab check --replay {path}");
+                all_ok = false;
+            }
+        }
+    }
+    Ok(all_ok)
 }
 
 fn check_dfs_config(args: &Args) -> Result<ftss_check::DfsConfig, String> {

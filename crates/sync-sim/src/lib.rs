@@ -53,6 +53,7 @@
 pub mod adversary;
 pub mod protocol;
 pub mod runner;
+pub mod stepper;
 
 pub use adversary::{
     Adversary, CrashOnly, GroupPartition, NoFaults, OmissionSide, RandomOmission, ScriptedOmission,
@@ -60,3 +61,4 @@ pub use adversary::{
 };
 pub use protocol::{Inbox, ProtocolCtx, SyncProtocol};
 pub use runner::{Corruption, CorruptionSchedule, RunConfig, RunOutcome, SyncRunner};
+pub use stepper::SyncStepper;

@@ -1,0 +1,261 @@
+//! Step-wise execution: the explorer's branch-mid-run seam.
+//!
+//! [`SyncRunner`](crate::SyncRunner) executes a whole run from a
+//! configuration — the right shape for sweeps and soaks, and the wrong
+//! shape for a state-space explorer, which wants to *branch*: take one
+//! global state, apply one round under one delivery decision, and do so
+//! again from the same state under a different decision, without
+//! replaying the prefix tape each time.
+//!
+//! [`SyncStepper`] is that seam. It owns the mutable global state (one
+//! protocol state per process) and advances it one round at a time,
+//! consulting a caller-supplied delivery decision for every non-self
+//! copy in **exactly the runner's consultation order** (sender-major,
+//! destination-minor) — so a decision sequence and an omission tape
+//! describe the same schedule. Phase semantics are the runner's, for the
+//! crash-free slice of the model the explorer covers:
+//!
+//! * broadcasts are computed from all round-start states before any
+//!   process steps (lock-step);
+//! * self-delivery always succeeds and is never submitted to the
+//!   decision callback (paper footnote 1);
+//! * a process that declines [`SyncProtocol::sends`] broadcasts nothing;
+//! * inboxes present envelopes in ascending sender order, matching
+//!   [`Inbox::from_deliveries`] on a recorded frame.
+//!
+//! Crash and mid-run-corruption faults stay with the runner: the
+//! explorer's omission schedules (and Theorem 3's fault model for them)
+//! are crash-free, and keeping the stepper lean is what makes a
+//! million-transition search affordable. `tests/` pin the stepper
+//! round-for-round against [`SyncRunner`] under arbitrary omission
+//! tapes.
+
+use crate::protocol::{Inbox, ProtocolCtx, SyncProtocol};
+use ftss_core::{Corrupt, Envelope, Payload, ProcessId, Round};
+use ftss_rng::StdRng;
+
+/// A resumable, clonable one-round-at-a-time executor over a protocol's
+/// global state. See the module docs for the exact semantics contract.
+#[derive(Clone, Debug)]
+pub struct SyncStepper<P: SyncProtocol> {
+    protocol: P,
+    n: usize,
+    round: u64,
+    states: Vec<P::State>,
+}
+
+impl<P: SyncProtocol> SyncStepper<P> {
+    /// A stepper over explicit per-process states (index = process id).
+    /// The next [`step_round`](Self::step_round) executes observer round 1.
+    pub fn new(protocol: P, states: Vec<P::State>) -> Self {
+        let n = states.len();
+        SyncStepper {
+            protocol,
+            n,
+            round: 0,
+            states,
+        }
+    }
+
+    /// A stepper whose initial global state reproduces
+    /// [`RunConfig::corrupted`](crate::RunConfig::corrupted) exactly:
+    /// protocol initial states, then one seeded corruption pass over all
+    /// processes in id order — same RNG, same draw order as the runner.
+    pub fn corrupted(protocol: P, n: usize, seed: u64) -> Self
+    where
+        P::State: Corrupt,
+    {
+        let mut states: Vec<P::State> = (0..n)
+            .map(|i| protocol.init_state(&ProtocolCtx::new(ProcessId(i), n)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for s in &mut states {
+            s.corrupt(&mut rng);
+        }
+        SyncStepper::new(protocol, states)
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rounds executed so far (the next step runs round `rounds() + 1`).
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// The current global state, one entry per process.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Replaces the global state (branching: clone the stepper instead
+    /// when both branches are needed).
+    pub fn set_states(&mut self, states: Vec<P::State>) {
+        assert_eq!(states.len(), self.n, "state vector must keep n");
+        self.states = states;
+    }
+
+    /// The protocol's round counter for process `p`, if it exposes one.
+    pub fn round_counter(&self, p: ProcessId) -> Option<ftss_core::RoundCounter> {
+        self.protocol.round_counter(&self.states[p.index()])
+    }
+
+    /// Executes one round. `deliver(from, to)` is consulted once per
+    /// non-self copy of every broadcast, in the runner's order (senders
+    /// ascending, destinations ascending within a sender); returning
+    /// `false` drops that copy. Self-copies are delivered unconditionally
+    /// and never consulted.
+    ///
+    /// Runs `run_to_round`-style resumption: call repeatedly to advance,
+    /// clone the stepper to branch.
+    pub fn step_round(&mut self, mut deliver: impl FnMut(ProcessId, ProcessId) -> bool) {
+        self.round += 1;
+        let round = Round::new(self.round);
+        // Phase 1: broadcasts from round-start states, then the delivery
+        // decision per copy. One shared payload per broadcast.
+        let mut payloads: Vec<Option<Payload<P::Msg>>> = Vec::with_capacity(self.n);
+        for (i, state) in self.states.iter().enumerate() {
+            let ctx = ProtocolCtx::new(ProcessId(i), self.n);
+            payloads.push(if self.protocol.sends(&ctx, state) {
+                Some(Payload::new(self.protocol.broadcast(&ctx, state)))
+            } else {
+                None
+            });
+        }
+        let mut delivered = vec![false; self.n * self.n];
+        for (i, payload) in payloads.iter().enumerate() {
+            if payload.is_none() {
+                continue;
+            }
+            for j in 0..self.n {
+                delivered[i * self.n + j] = i == j || deliver(ProcessId(i), ProcessId(j));
+            }
+        }
+        // Phase 2: every process steps on its inbox (ascending sender
+        // order, like a recorded frame's delivery row).
+        let mut inbox_buf: Vec<Envelope<P::Msg>> = Vec::with_capacity(self.n);
+        for j in 0..self.n {
+            inbox_buf.clear();
+            for (i, payload) in payloads.iter().enumerate() {
+                if let Some(p) = payload {
+                    if delivered[i * self.n + j] {
+                        inbox_buf.push(Envelope::new(ProcessId(i), round, p.clone()));
+                    }
+                }
+            }
+            let inbox = Inbox::from_sorted(&inbox_buf);
+            let ctx = ProtocolCtx::new(ProcessId(j), self.n);
+            self.protocol.step(&ctx, &mut self.states[j], &inbox);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{Adversary, TapeOmission};
+    use crate::runner::{RunConfig, SyncRunner};
+    use ftss_protocols_shim::*;
+    use ftss_rng::Rng;
+
+    // A tiny local protocol so the unit tests need no cross-crate dep:
+    // every process broadcasts its value and adopts the max it heard.
+    mod ftss_protocols_shim {
+        use super::super::*;
+        pub struct MaxGossip;
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        pub struct Val(pub u64);
+        impl Corrupt for Val {
+            fn corrupt<R: ftss_rng::Rng + ?Sized>(&mut self, rng: &mut R) {
+                self.0 = rng.gen_range(0..64);
+            }
+        }
+        impl SyncProtocol for MaxGossip {
+            type State = Val;
+            type Msg = u64;
+            fn name(&self) -> &'static str {
+                "max-gossip"
+            }
+            fn init_state(&self, _ctx: &ProtocolCtx) -> Val {
+                Val(1)
+            }
+            fn broadcast(&self, _ctx: &ProtocolCtx, s: &Val) -> u64 {
+                s.0
+            }
+            fn step(&self, _ctx: &ProtocolCtx, s: &mut Val, inbox: &Inbox<u64>) {
+                let heard = inbox.iter().map(|(_, m)| *m).fold(s.0, u64::max);
+                s.0 = heard + 1;
+            }
+        }
+    }
+
+    /// The stepper must reproduce the runner round-for-round under an
+    /// arbitrary omission tape routed through the same consultation order.
+    #[test]
+    fn stepper_matches_runner_under_omission_tapes() {
+        ftss_rng::check::forall(40, |g| {
+            let n = g.gen_range(2..5u64) as usize;
+            let rounds = g.gen_range(1..5u64) as usize;
+            let seed = g.next_u64();
+            let tape = g.vec(0, 12, |g| g.gen_bool(0.5));
+            let faulty = ProcessId(g.gen_range(0..n as u64) as usize);
+
+            let mut adv = TapeOmission::new([faulty], tape.clone());
+            let cfg = RunConfig::corrupted(n, rounds, seed);
+            let out = SyncRunner::new(MaxGossip)
+                .run(&mut adv, &cfg)
+                .expect("valid config");
+
+            let mut stepper = SyncStepper::corrupted(MaxGossip, n, seed);
+            let mut tape_adv = TapeOmission::new([faulty], tape);
+            for r in 1..=rounds {
+                stepper.step_round(|from, to| {
+                    tape_adv.drop_copy(Round::new(r as u64), from, to).is_none()
+                });
+                // Round-start snapshots of the *next* round equal the
+                // stepper's post-step states; compare via the final states
+                // below and the per-round counters here.
+                if r < rounds {
+                    let frame = out.history.slice(r, r + 1).round(0);
+                    for p in 0..n {
+                        assert_eq!(
+                            frame.record(ProcessId(p)).state_at_start(),
+                            Some(&stepper.states()[p]),
+                            "round {r} state of p{p} diverged"
+                        );
+                    }
+                }
+            }
+            for p in 0..n {
+                assert_eq!(
+                    out.final_states[p].as_ref(),
+                    Some(&stepper.states()[p]),
+                    "final state of p{p} diverged"
+                );
+            }
+            assert_eq!(tape_adv.consulted(), {
+                let mut probe = TapeOmission::new([faulty], Vec::new());
+                let _ = SyncRunner::new(MaxGossip).run(&mut probe, &cfg);
+                probe.consulted()
+            });
+        });
+    }
+
+    #[test]
+    fn corrupted_constructor_matches_runner_initial_states() {
+        let out = SyncRunner::new(MaxGossip)
+            .run(&mut crate::NoFaults, &RunConfig::corrupted(4, 1, 99))
+            .unwrap();
+        let stepper = SyncStepper::corrupted(MaxGossip, 4, 99);
+        let frame = out.history.slice(0, 1).round(0);
+        for p in 0..4 {
+            assert_eq!(
+                frame.record(ProcessId(p)).state_at_start(),
+                Some(&stepper.states()[p]),
+                "corrupted initial state of p{p} diverged"
+            );
+        }
+    }
+}

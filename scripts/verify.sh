@@ -78,6 +78,35 @@ run cargo run -q --release -p ftss-lab -- check --replay "$TRACE_DIR/ce.schedule
     --out "$TRACE_DIR/replay_b.jsonl"
 run cmp "$TRACE_DIR/replay_a.jsonl" "$TRACE_DIR/replay_b.jsonl"
 
+# Graph-mode model-checker smoke (DESIGN.md §14): the state-graph
+# explorer must agree with the legacy enumerator verdict-for-verdict on
+# the n=4, 2-round configuration (both green here; both must trip on the
+# deliberately broken oracle), its counterexamples must replay through
+# the same pipeline, its report must render byte-identical at any worker
+# count, and a full n=5 fixpoint must close (Theorem 3 certified for
+# every horizon, beyond any bounded enumeration).
+run cargo run -q --release -p ftss-lab -- check --dfs --n 4 --rounds 2 \
+    --bound 12 --seed 7 --ce "$TRACE_DIR/enum4.schedule"
+run cargo run -q --release -p ftss-lab -- check --graph --n 4 --rounds 2 \
+    --seed 7 --ce "$TRACE_DIR/graph4.schedule"
+echo "==> ftss-lab check --graph --broken-oracle (must exit 1, like the enumerator)"
+if cargo run -q --release -p ftss-lab -- check --graph --n 3 --broken-oracle \
+    --ce "$TRACE_DIR/gce.schedule"; then
+    echo "ERROR: the broken oracle did not trip in graph mode" >&2
+    exit 1
+fi
+test -s "$TRACE_DIR/gce.schedule"
+run grep -q '^mode: graph$' "$TRACE_DIR/gce.schedule"
+run cargo run -q --release -p ftss-lab -- check --replay "$TRACE_DIR/gce.schedule" \
+    --out "$TRACE_DIR/gce_replay.jsonl"
+echo "==> ftss-lab check --graph (serial vs 4 workers, byte-compared)"
+cargo run -q --release -p ftss-lab -- check --graph --n 4 --rounds 3 \
+    --jobs 1 > "$TRACE_DIR/graph_j1.txt"
+cargo run -q --release -p ftss-lab -- check --graph --n 4 --rounds 3 \
+    --jobs 4 > "$TRACE_DIR/graph_j4.txt"
+run cmp "$TRACE_DIR/graph_j1.txt" "$TRACE_DIR/graph_j4.txt"
+run cargo run -q --release -p ftss-lab -- check --graph --n 5
+
 # Chaos soak smoke (crates/chaos, DESIGN.md §11): a short default-plan
 # soak must recover after every epoch inside an explicit wall-clock
 # budget, and the JSONL soak report must render byte-identical at any

@@ -1,0 +1,117 @@
+//! Tier-1 guarantees of graph-mode model checking (wired as an
+//! integration test of the `ftss-check` crate; see its `Cargo.toml`).
+//!
+//! * The state-graph explorer and the legacy schedule-tree enumerator
+//!   agree verdict-for-verdict on equivalent configurations — green on
+//!   Theorem 3's claim, both tripped by the deliberately broken oracle.
+//! * The graph does at least 10× fewer round executions than the
+//!   enumerator on the pinned n=3 configuration (the scale-up claim).
+//! * Reports are a pure function of the configuration, never of `jobs`.
+//! * An n=5 fixpoint closes, certifying the obligations for *every*
+//!   horizon — coverage no bounded tape enumeration can reach.
+//! * A graph counterexample serializes with the `mode: graph` header and
+//!   replays through the same schedule-file pipeline as enumerated ones.
+
+use ftss_check::{explore, explore_graph, DfsConfig, GraphConfig, ScheduleFile, ScheduleMode};
+
+/// One legacy/graph configuration pair covering the same space: `rounds`
+/// BFS layers ≙ enumerating every `rounds`-round schedule, with the tape
+/// bound sized to the full eligible-copy count.
+fn equivalent_pair(
+    n: usize,
+    rounds: usize,
+    seed: u64,
+    stabilization: usize,
+) -> (DfsConfig, GraphConfig) {
+    let enum_cfg = DfsConfig {
+        n,
+        rounds,
+        corruption_seed: seed,
+        faulty: ftss::core::ProcessId(0),
+        tape_bound: 2 * (n - 1) * rounds,
+        stabilization,
+    };
+    let mut graph_cfg = GraphConfig::fixpoint(n, seed);
+    graph_cfg.rounds = Some(rounds);
+    graph_cfg.stabilization = stabilization;
+    (enum_cfg, graph_cfg)
+}
+
+#[test]
+fn graph_and_enumerator_agree_on_verdicts() {
+    for seed in [7u64, 11, 42] {
+        for stab in [1usize, 0] {
+            let (ec, gc) = equivalent_pair(3, 2, seed, stab);
+            let er = explore(&ec).expect("valid enum config");
+            let gr = explore_graph(&gc).expect("valid graph config");
+            assert_eq!(
+                er.counterexample.is_some(),
+                gr.counterexample.is_some(),
+                "verdicts diverge at seed {seed}, stabilization {stab}"
+            );
+        }
+    }
+}
+
+#[test]
+fn graph_does_at_least_10x_less_work_than_the_enumerator() {
+    // Work unit: round executions. The enumerator replays every prefix,
+    // so it runs `schedules × rounds`; each graph expansion is exactly
+    // one simulator round.
+    let (ec, gc) = equivalent_pair(3, 3, 7, 1);
+    let er = explore(&ec).expect("valid enum config");
+    let gr = explore_graph(&gc).expect("valid graph config");
+    assert!(er.counterexample.is_none() && gr.counterexample.is_none());
+    let enum_work = er.schedules * ec.rounds as u64;
+    assert!(
+        enum_work >= 10 * gr.expansions,
+        "graph must do >=10x fewer round executions: {} enumerated vs {} expanded",
+        enum_work,
+        gr.expansions
+    );
+}
+
+#[test]
+fn graph_reports_are_jobs_invariant() {
+    let mut base = GraphConfig::fixpoint(4, 7);
+    base.rounds = Some(3);
+    let reference = explore_graph(&base).expect("valid config");
+    for jobs in 2..=4 {
+        let mut cfg = base.clone();
+        cfg.jobs = jobs;
+        let report = explore_graph(&cfg).expect("valid config");
+        assert_eq!(report, reference, "report depends on jobs={jobs}");
+    }
+}
+
+#[test]
+fn n5_fixpoint_closes_and_certifies_every_horizon() {
+    let report = explore_graph(&GraphConfig::fixpoint(5, 7)).expect("valid config");
+    assert!(report.fixpoint, "n=5 exploration must close");
+    assert!(
+        report.counterexample.is_none(),
+        "Theorem 3 violated at n=5: {:?}",
+        report.counterexample
+    );
+    assert!(report.orbit_hits > 0, "symmetry reduction must fire at n=5");
+    assert!(report.dedup_hits > 0, "fingerprint dedup must fire at n=5");
+}
+
+#[test]
+fn graph_counterexample_replays_through_the_schedule_pipeline() {
+    let mut cfg = GraphConfig::fixpoint(3, 7);
+    cfg.stabilization = 0; // deliberately broken oracle
+    let report = explore_graph(&cfg).expect("valid config");
+    let gce = report.counterexample.expect("broken oracle must trip");
+    let file = ScheduleFile::graph(gce.cfg, gce.counterexample.clone());
+    let text = file.serialize();
+    assert!(text.contains("\nmode: graph\n"), "{text}");
+    let parsed = ScheduleFile::parse(&text).expect("round trip");
+    assert_eq!(parsed, file);
+    assert_eq!(parsed.mode, ScheduleMode::Graph);
+    assert_eq!(
+        parsed.replay(),
+        Some(gce.counterexample.detail),
+        "graph witnesses replay like enumerated ones"
+    );
+}

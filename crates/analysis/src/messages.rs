@@ -16,6 +16,9 @@ pub struct MessageStats {
     pub dropped_by_receiver: usize,
     /// Copies lost to crashes (either side).
     pub lost_to_crashes: usize,
+    /// Copies a Byzantine sender replaced with a forged payload (these
+    /// arrive, so they are also counted as delivered).
+    pub forged: usize,
 }
 
 impl MessageStats {
@@ -38,6 +41,10 @@ pub fn message_stats<S, M>(history: &History<S, M>) -> MessageStats {
                 stats.copies += 1;
                 match s.outcome {
                     DeliveryOutcome::Delivered => stats.delivered += 1,
+                    DeliveryOutcome::Forged => {
+                        stats.delivered += 1;
+                        stats.forged += 1;
+                    }
                     DeliveryOutcome::DroppedBySender => stats.dropped_by_sender += 1,
                     DeliveryOutcome::DroppedByReceiver => stats.dropped_by_receiver += 1,
                     DeliveryOutcome::ReceiverCrashed | DeliveryOutcome::SenderCrashed => {

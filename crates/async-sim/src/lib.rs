@@ -30,5 +30,6 @@ pub mod scheduler;
 pub use process::{AsyncProcess, Ctx};
 pub use runner::{AsyncConfig, AsyncRunner, RunStats, Time};
 pub use scheduler::{
-    AdversaryScheduler, DfsScheduler, Pending, PendingKind, RandomScheduler, Scheduler,
+    AdversaryScheduler, ByzantineScheduler, DfsScheduler, Pending, PendingKind, RandomScheduler,
+    Scheduler,
 };

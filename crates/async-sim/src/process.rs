@@ -27,6 +27,18 @@ pub trait AsyncProcess {
 
     /// A timer armed with `tag` fires.
     fn on_timer(&mut self, ctx: &mut Ctx<Self::Msg>, tag: u64);
+
+    /// An *arbitrary forged message*, derived deterministically from
+    /// `seed` — what a Byzantine scheduler may substitute for one copy of
+    /// a send (see `Scheduler::forge`). `None` (the default) means the
+    /// message space is opaque to the harness and forging schedulers
+    /// cannot be used with this process type (the runner panics if one
+    /// tries). Must be a pure function of `seed` so runs stay
+    /// byte-identical.
+    fn forge_message(&self, seed: u64) -> Option<Self::Msg> {
+        let _ = seed;
+        None
+    }
 }
 
 /// The effect buffer handed to process handlers.

@@ -70,6 +70,9 @@ pub struct RunStats {
     pub messages_delivered: u64,
     /// Messages discarded because the receiver had crashed.
     pub messages_to_crashed: u64,
+    /// Copies whose payload the scheduler replaced with a forgery (they
+    /// still count toward `messages_delivered` when delivered).
+    pub messages_forged: u64,
     /// Timer firings dispatched.
     pub timers_fired: u64,
     /// Virtual time at which the run stopped.
@@ -266,20 +269,32 @@ impl<P: AsyncProcess, S: Scheduler<P::Msg>> AsyncRunner<P, S> {
     }
 
     /// Drains the scratch context's buffered effects into the scheduler,
-    /// asking it for a delay per send (in send order — the seeded
-    /// scheduler's RNG stream depends on it). Queued copies keep sharing
-    /// the broadcast payload.
+    /// asking it for a delay and a forgery decision per send (in send
+    /// order — the seeded scheduler's RNG streams depend on it). Queued
+    /// copies keep sharing the broadcast payload unless forged.
     fn drain_scratch(&mut self, p: ProcessId) {
         let Self {
+            processes,
             sched,
             cfg,
             scratch,
             now,
             seq,
+            stats,
             ..
         } = self;
         for (to, msg) in scratch.sends.drain(..) {
             let delay = sched.delay(cfg, *now, p, to);
+            let msg = match sched.forge(*now, p, to) {
+                None => msg,
+                Some(forge_seed) => {
+                    let forged = processes[p.index()].forge_message(forge_seed).unwrap_or_else(
+                        || panic!("scheduler forged a copy but the process type of {p} does not implement forge_message"),
+                    );
+                    stats.messages_forged += 1;
+                    ftss_core::Payload::new(forged)
+                }
+            };
             *seq += 1;
             sched.push(Pending {
                 time: *now + delay,
@@ -732,6 +747,89 @@ mod tests {
         // p1 crashed at t=40, well before the corruption at t=200, so its
         // state is untouched (a crashed process has no state to corrupt).
         assert_eq!(r.process(ProcessId(1)).timer_count, 0);
+    }
+
+    /// A pinger whose message space the harness can forge into.
+    #[derive(Debug, Default)]
+    struct ForgeablePinger(Pinger);
+
+    impl AsyncProcess for ForgeablePinger {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            self.0.on_start(ctx);
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<u32>, from: ProcessId, msg: u32) {
+            self.0.on_message(ctx, from, msg);
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<u32>, tag: u64) {
+            self.0.on_timer(ctx, tag);
+        }
+
+        fn forge_message(&self, seed: u64) -> Option<u32> {
+            // Huge values the honest ping-pong (≤ 10) never produces.
+            Some(1_000_000 + (seed % 1_000_000) as u32)
+        }
+    }
+
+    #[test]
+    fn byzantine_scheduler_forges_traitor_copies_deterministically() {
+        use crate::scheduler::ByzantineScheduler;
+        let run = |forge_seed| {
+            let cfg = AsyncConfig::tame(3);
+            let sched = ByzantineScheduler::new(&cfg, [ProcessId(0)], 1.0, forge_seed);
+            let mut r = AsyncRunner::with_scheduler(
+                vec![ForgeablePinger::default(), ForgeablePinger::default()],
+                cfg,
+                sched,
+            )
+            .unwrap();
+            let stats = r.run_until(5_000);
+            (stats, r.process(ProcessId(1)).0.received.clone())
+        };
+        let (stats, received) = run(42);
+        assert!(stats.messages_forged > 0, "traitor p0 forged: {stats:?}");
+        // Every message p1 received from the traitor is a forgery.
+        assert!(
+            received.iter().all(|&m| m >= 1_000_000),
+            "p1 saw only forged payloads: {received:?}"
+        );
+        assert_eq!((stats, received), run(42), "same seeds, same run");
+    }
+
+    #[test]
+    fn byzantine_scheduler_leaves_honest_copies_alone() {
+        use crate::scheduler::ByzantineScheduler;
+        let cfg = AsyncConfig::tame(3);
+        // p1 is the traitor; p0's sends must arrive untouched.
+        let sched = ByzantineScheduler::new(&cfg, [ProcessId(1)], 1.0, 9);
+        let mut r = AsyncRunner::with_scheduler(
+            vec![ForgeablePinger::default(), ForgeablePinger::default()],
+            cfg,
+            sched,
+        )
+        .unwrap();
+        r.run_until(5_000);
+        let p1 = r.process(ProcessId(1));
+        assert!(
+            p1.0.received.iter().all(|&m| m < 1_000_000),
+            "honest p0's payloads reached p1 genuine: {:?}",
+            p1.0.received
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not implement forge_message")]
+    fn forging_against_opaque_process_panics() {
+        use crate::scheduler::ByzantineScheduler;
+        let cfg = AsyncConfig::tame(1);
+        let sched = ByzantineScheduler::new(&cfg, [ProcessId(0)], 1.0, 1);
+        let mut r =
+            AsyncRunner::with_scheduler(vec![Pinger::default(), Pinger::default()], cfg, sched)
+                .unwrap();
+        r.run_until(1_000);
     }
 
     #[test]

@@ -110,6 +110,22 @@ pub trait Scheduler<M> {
 
     /// The scheduled time of the event [`Scheduler::pop`] would yield.
     fn peek_time(&self) -> Option<Time>;
+
+    /// Whether to replace the copy `from → to` sent at `now` with a forged
+    /// payload: `Some(seed)` makes the runner substitute the message the
+    /// process type derives from `seed` (see
+    /// [`AsyncProcess::forge_message`](crate::AsyncProcess::forge_message));
+    /// the runner panics if the process type leaves that hook unimplemented.
+    ///
+    /// Consulted exactly once per send copy, immediately after
+    /// [`Scheduler::delay`], in send order — the same traffic-determined
+    /// consultation discipline that keeps the synchronous Byzantine
+    /// adversary's RNG stream independent of its own outcomes. The default
+    /// never forges.
+    fn forge(&mut self, now: Time, from: ProcessId, to: ProcessId) -> Option<u64> {
+        let _ = (now, from, to);
+        None
+    }
 }
 
 /// The admissible maximum delay at `now` under `cfg` (pre- vs post-GST).
@@ -418,6 +434,76 @@ impl<M> Scheduler<M> for AdversaryScheduler<M> {
 
     fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|Reverse(e)| e.time)
+    }
+}
+
+/// The asynchronous Byzantine adversary: [`RandomScheduler`] delays and
+/// dispatch order, plus message forgery by a declared traitor set — the
+/// async twin of the synchronous `ByzantineAdversary`.
+///
+/// Each copy sent by a traitor is forged with probability `p_forge`; the
+/// forgery seed handed to the process type's `forge_message` is drawn from
+/// a dedicated RNG stream. Both draws happen for *every* traitor-sent copy
+/// (forge decision first, seed second), so the stream position is a pure
+/// function of the traffic pattern and runs stay byte-identical across
+/// re-executions.
+#[derive(Debug)]
+pub struct ByzantineScheduler<M> {
+    inner: RandomScheduler<M>,
+    traitors: Vec<ProcessId>,
+    p_forge: f64,
+    forge_rng: StdRng,
+}
+
+impl<M> ByzantineScheduler<M> {
+    /// Random delays per `cfg`, with `traitors` forging each sent copy
+    /// with probability `p_forge`; `forge_seed` seeds the forgery stream
+    /// (independent of `cfg.seed`, which drives delays).
+    pub fn new(
+        cfg: &AsyncConfig,
+        traitors: impl IntoIterator<Item = ProcessId>,
+        p_forge: f64,
+        forge_seed: u64,
+    ) -> Self {
+        ByzantineScheduler {
+            inner: RandomScheduler::for_config(cfg),
+            traitors: traitors.into_iter().collect(),
+            p_forge,
+            forge_rng: StdRng::seed_from_u64(forge_seed),
+        }
+    }
+
+    /// The declared traitor set.
+    pub fn traitors(&self) -> &[ProcessId] {
+        &self.traitors
+    }
+}
+
+impl<M> Scheduler<M> for ByzantineScheduler<M> {
+    fn delay(&mut self, cfg: &AsyncConfig, now: Time, from: ProcessId, to: ProcessId) -> Time {
+        self.inner.delay(cfg, now, from, to)
+    }
+
+    fn push(&mut self, ev: Pending<M>) {
+        self.inner.push(ev);
+    }
+
+    fn pop(&mut self) -> Option<Pending<M>> {
+        self.inner.pop()
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        self.inner.peek_time()
+    }
+
+    fn forge(&mut self, _now: Time, from: ProcessId, _to: ProcessId) -> Option<u64> {
+        if !self.traitors.contains(&from) {
+            return None;
+        }
+        // Unconditional draw pair per traitor copy: decision, then seed.
+        let forge = self.forge_rng.gen_bool(self.p_forge);
+        let seed = self.forge_rng.next_u64();
+        forge.then_some(seed)
     }
 }
 

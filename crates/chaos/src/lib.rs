@@ -36,6 +36,7 @@ pub mod verdict;
 pub use engine::{run_soak, SoakConfig, SoakOutcome};
 pub use guard::{with_watchdog, QuiescenceMonitor, SoakBudget, WatchdogOutcome};
 pub use plan::{
-    burst_seed, storm_cycle, storm_program, SoakCell, SoakPlan, SoakScenario, StormGeometry,
+    burst_seed, churn_cycle, join_seed, storm_cycle, storm_program, storm_program_for, SoakCell,
+    SoakPlan, SoakScenario, StormGeometry,
 };
 pub use verdict::{CellReport, EpochVerdict, SoakVerdict};

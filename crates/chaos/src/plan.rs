@@ -17,7 +17,7 @@
 //!   that proves the struct-of-arrays engine sustains thousands of
 //!   processes without retaining the full execution.
 
-use ftss::core::{StormKind, StormPhase};
+use ftss::core::{ProcessId, StormKind, StormPhase};
 use ftss::sync_sim::CorruptionSchedule;
 
 /// Which execution a soak cell drives.
@@ -66,6 +66,10 @@ pub struct SoakCell {
     /// a `w`-round window (the large-n plan). A windowed cell is
     /// verified *in-stream*, epoch by epoch.
     pub history_window: Option<usize>,
+    /// Whether the cell cycles the membership-churn storms
+    /// ([`churn_cycle`]: joins entering with arbitrary state, clean
+    /// leaves) instead of the stock [`storm_cycle`].
+    pub churn: bool,
 }
 
 /// System size of the large-n plan's single cell.
@@ -78,7 +82,7 @@ pub const LARGE_N_WINDOW: usize = 12;
 /// A named soak plan.
 #[derive(Clone, Debug)]
 pub struct SoakPlan {
-    /// Plan name (`default`, `worst-case` or `large-n`).
+    /// Plan name (`default`, `worst-case`, `large-n` or `churn`).
     pub name: &'static str,
     /// Storm epochs per cell.
     pub epochs: usize,
@@ -86,6 +90,8 @@ pub struct SoakPlan {
     pub seed: u64,
     /// Whether the worst-case intensities apply.
     pub worst_case: bool,
+    /// Whether the cells cycle membership churn ([`churn_cycle`]).
+    pub churn: bool,
 }
 
 /// Seed variants per scenario in a plan.
@@ -99,6 +105,7 @@ impl SoakPlan {
             epochs,
             seed,
             worst_case: false,
+            churn: false,
         }
     }
 
@@ -109,6 +116,7 @@ impl SoakPlan {
             epochs,
             seed,
             worst_case: true,
+            churn: false,
         }
     }
 
@@ -120,6 +128,19 @@ impl SoakPlan {
             epochs,
             seed,
             worst_case: false,
+            churn: false,
+        }
+    }
+
+    /// The churn plan: the synchronous scenarios under [`churn_cycle`] —
+    /// joins entering with seeded arbitrary state, clean leaves.
+    pub fn churn(epochs: usize, seed: u64) -> Self {
+        SoakPlan {
+            name: "churn",
+            epochs,
+            seed,
+            worst_case: false,
+            churn: true,
         }
     }
 
@@ -133,8 +154,9 @@ impl SoakPlan {
             "default" => Ok(Self::default_plan(epochs, seed)),
             "worst-case" => Ok(Self::worst_case(epochs, seed)),
             "large-n" => Ok(Self::large_n(epochs, seed)),
+            "churn" => Ok(Self::churn(epochs, seed)),
             other => Err(format!(
-                "unknown soak plan {other:?} (expected 'default', 'worst-case' or 'large-n')"
+                "unknown soak plan {other:?} (expected 'default', 'worst-case', 'large-n' or 'churn')"
             )),
         }
     }
@@ -150,24 +172,37 @@ impl SoakPlan {
                 epochs: self.epochs,
                 worst_case: false,
                 history_window: Some(LARGE_N_WINDOW),
+                churn: false,
             }];
         }
-        let scenarios = [
-            (SoakScenario::RoundAgreement, 6),
-            (SoakScenario::Compiled, 5),
-            (SoakScenario::Detector, 5),
-        ];
+        // Churn renders as synchronous omission windows plus targeted
+        // join corruption; the asynchronous detector cell has no churn
+        // rendering, so the churn plan covers the two sync scenarios.
+        let scenarios: &[(SoakScenario, usize)] = if self.churn {
+            &[
+                (SoakScenario::RoundAgreement, 6),
+                (SoakScenario::Compiled, 5),
+            ]
+        } else {
+            &[
+                (SoakScenario::RoundAgreement, 6),
+                (SoakScenario::Compiled, 5),
+                (SoakScenario::Detector, 5),
+            ]
+        };
         let mut out = Vec::with_capacity(scenarios.len() * VARIANTS as usize);
-        for (scenario, n) in scenarios {
+        for &(scenario, n) in scenarios {
             for v in 0..VARIANTS {
+                let tag = if self.churn { "churn-v" } else { "v" };
                 out.push(SoakCell {
                     scenario,
-                    label: format!("{}/v{v}", scenario.name()),
+                    label: format!("{}/{tag}{v}", scenario.name()),
                     n,
                     seed: self.seed.wrapping_add(v.wrapping_mul(0x9e37_79b9)),
                     epochs: self.epochs,
                     worst_case: self.worst_case,
                     history_window: None,
+                    churn: self.churn,
                 });
             }
         }
@@ -188,10 +223,32 @@ pub fn storm_cycle(worst_case: bool) -> [StormKind; 4] {
     ]
 }
 
+/// The membership-churn storm cycle: epoch `e` fires `cycle[e % 4]`.
+/// Joins and leaves replace the partition/silence slots; every epoch
+/// still opens with a corruption burst, and the joiners *additionally*
+/// get a targeted corruption in the round after their window closes —
+/// the arbitrary entry state of a process joining mid-execution.
+pub fn churn_cycle(worst_case: bool) -> [StormKind; 4] {
+    let percent = if worst_case { 90 } else { 60 };
+    [
+        StormKind::Join,
+        StormKind::OmissionStorm { percent },
+        StormKind::Leave,
+        StormKind::CorruptionBurst,
+    ]
+}
+
 /// The corruption seed for a cell's epoch `e` burst: distinct per epoch,
 /// derived only from the cell seed, so reports are reproducible.
 pub fn burst_seed(cell_seed: u64, epoch: u64) -> u64 {
     cell_seed ^ 0xb127 ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// The corruption seed for epoch `e`'s joiners' arbitrary entry state —
+/// distinct from every [`burst_seed`] (different xor tag), derived only
+/// from the cell seed.
+pub fn join_seed(cell_seed: u64, epoch: u64) -> u64 {
+    cell_seed ^ 0x9014 ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
 /// Epoch geometry of the synchronous storm cycle, in rounds: each epoch
@@ -249,7 +306,23 @@ pub fn storm_program(
     worst_case: bool,
     geom: &StormGeometry,
 ) -> (CorruptionSchedule, Vec<StormPhase>) {
-    let cycle = storm_cycle(worst_case);
+    storm_program_for(seed, epochs, &storm_cycle(worst_case), geom, &[])
+}
+
+/// [`storm_program`] generalized to an explicit cycle and victim set: the
+/// seam the churn plan uses. A [`StormKind::Join`] epoch additionally
+/// schedules a *targeted* corruption of the victims in the round after
+/// the storm window closes (seed [`join_seed`]) — the joiners' arbitrary
+/// entry state. The stock cycles contain no `Join`, so
+/// `storm_program_for(seed, epochs, &storm_cycle(w), geom, &[])` is
+/// byte-identical to the original `storm_program`.
+pub fn storm_program_for(
+    seed: u64,
+    epochs: usize,
+    cycle: &[StormKind],
+    geom: &StormGeometry,
+    victims: &[ProcessId],
+) -> (CorruptionSchedule, Vec<StormPhase>) {
     let mut schedule = CorruptionSchedule::none();
     let mut phases = Vec::new();
     for e in 0..epochs {
@@ -257,6 +330,13 @@ pub fn storm_program(
         let start = geom.storm_start(e);
         if e > 0 {
             schedule = schedule.at(start, burst_seed(seed, e as u64));
+        }
+        if kind == StormKind::Join {
+            schedule = schedule.at_targeted(
+                geom.storm_end(e) + 1,
+                join_seed(seed, e as u64),
+                victims.iter().copied(),
+            );
         }
         if kind.drops_copies() {
             phases.push(StormPhase::new(start, geom.storm_end(e), kind));
@@ -319,6 +399,52 @@ mod tests {
         for c in &cells {
             assert_eq!(c.epochs, 3);
         }
+    }
+
+    #[test]
+    fn churn_plan_cycles_join_and_leave() {
+        let p = SoakPlan::by_name("churn", 4, 3).unwrap();
+        assert!(p.churn);
+        let cells = p.cells();
+        // Sync scenarios only — the async detector has no churn rendering.
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|c| c.churn));
+        assert!(cells.iter().all(|c| c.label.contains("churn-v")));
+        assert!(cells.iter().all(|c| c.scenario != SoakScenario::Detector));
+        let cycle = churn_cycle(false);
+        assert_eq!(cycle[0], StormKind::Join);
+        assert_eq!(cycle[2], StormKind::Leave);
+        // The stock plans are untouched.
+        assert!(!SoakPlan::default_plan(1, 0).cells()[0].churn);
+    }
+
+    #[test]
+    fn join_epochs_schedule_targeted_entry_corruption() {
+        let geom = StormGeometry::engine_default();
+        let victims = [ProcessId(0), ProcessId(1)];
+        let (schedule, phases) = storm_program_for(7, 4, &churn_cycle(false), &geom, &victims);
+        // Epoch 0 is the Join epoch: entry corruption in the round after
+        // its storm closes, targeting exactly the victims.
+        let entry_round = geom.storm_end(0) + 1;
+        let targeted: Vec<_> = schedule.targeted_for(entry_round).collect();
+        assert_eq!(targeted.len(), 1);
+        assert_eq!(targeted[0].0, join_seed(7, 0));
+        assert_eq!(targeted[0].1, &victims);
+        // Epoch 2 (Leave) is clean: silence only, no entry corruption.
+        assert_eq!(schedule.targeted_for(geom.storm_end(2) + 1).count(), 0);
+        // Join, omission, and leave all drop copies; the burst does not.
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].kind, StormKind::Join);
+        assert_eq!(phases[2].kind, StormKind::Leave);
+        // The stock program is byte-identical through the new seam.
+        let (s1, p1) = storm_program(9, 4, true, &geom);
+        let (s2, p2) = storm_program_for(9, 4, &storm_cycle(true), &geom, &[]);
+        assert_eq!(p1, p2);
+        assert_eq!(
+            s1.seed_for(geom.storm_start(1)),
+            s2.seed_for(geom.storm_start(1))
+        );
+        assert_eq!(s1.targeted_for(1).count(), 0);
     }
 
     #[test]

@@ -110,6 +110,23 @@ pub fn check_tape(cfg: &DfsConfig, tape: &[bool]) -> Verdict {
     thm3_round_agreement(&out.history, cfg.stabilization)
 }
 
+/// Runs one schedule through the *decided* Theorem-4 oracle
+/// ([`crate::oracle::thm4_decided`]) with the configuration's
+/// stabilization as the bound: a violation means the run's final stable
+/// window provably cannot stabilize within it, no matter how the run is
+/// extended. Graph mode uses this to confirm and shrink counterexamples
+/// found by the per-edge stabilization-time atom, and
+/// [`crate::schedule::ScheduleFile::replay`] falls back to it for
+/// `thm4:` verdicts.
+pub fn check_tape_thm4(cfg: &DfsConfig, tape: &[bool]) -> Verdict {
+    let (out, _) = run_tape(cfg, tape, &mut ftss::telemetry::NullSink);
+    crate::oracle::thm4_decided(
+        &out.history,
+        &ftss::core::RateAgreementSpec::new(),
+        cfg.stabilization,
+    )
+}
+
 /// A violating schedule: the omission tape and the oracle's one-line
 /// verdict.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -301,6 +318,45 @@ where
             };
         }
     }
+}
+
+/// The canonical dispatch-order demonstration behind `ftss-lab check
+/// --dfs --por`: two processes gossip their values (3 and 7) and must
+/// converge on the maximum. Four deliveries make `4! = 24` complete
+/// dispatch orders; with sleep-set POR, interleavings of commuting
+/// deliveries (different destinations, so no handler can observe the
+/// order) collapse to a handful of representatives. Returns the full
+/// enumeration and the reduced one — identical verdicts by construction,
+/// so the pair doubles as an end-to-end soundness check of the pruning.
+pub fn explore_gossip_por() -> (AsyncDfsReport, AsyncDfsReport) {
+    use ftss::async_sim::Ctx;
+
+    struct Gossip {
+        v: u64,
+    }
+    impl AsyncProcess for Gossip {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+            ctx.broadcast(self.v);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<u64>, _from: ProcessId, m: u64) {
+            self.v = self.v.max(m);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<u64>, _tag: u64) {}
+    }
+
+    let mk = || vec![Gossip { v: 3 }, Gossip { v: 7 }];
+    let cfg = AsyncConfig::tame(0);
+    let oracle = |ps: &[Gossip]| {
+        if ps.iter().all(|p| p.v == 7) {
+            None
+        } else {
+            Some("max did not propagate".to_string())
+        }
+    };
+    let full = explore_async(mk, &cfg, 1_000, 8, oracle);
+    let por = explore_async_por(mk, &cfg, 1_000, 8, oracle);
+    (full, por)
 }
 
 #[cfg(test)]

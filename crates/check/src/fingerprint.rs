@@ -92,6 +92,14 @@ pub struct NodeState {
     /// `r = 0` oracle distinguishes it, so it is forced false for
     /// `r ≥ 1` to merge more states).
     pub first_window: bool,
+    /// Theorem-4 witness liveness for the current stable window: bit 0 is
+    /// set while *some* offset `s ≤ r` still satisfies the problem on the
+    /// window suffix `[from−1+s .. now]` with the faulty process counted
+    /// correct, bit 1 the same with it counted faulty (the effective bit
+    /// is chosen by `deviated`, which can flip mid-window). Both set at
+    /// the root (no window yet — vacuously alive); see
+    /// [`crate::frontier::check_edge`] for the per-edge recurrence.
+    pub thm4_alive: u8,
 }
 
 impl NodeState {
@@ -108,6 +116,7 @@ impl NodeState {
             coterie: 0,
             stable_len: 0,
             first_window: stabilization == 0,
+            thm4_alive: 0b11,
         }
     }
 
@@ -130,6 +139,7 @@ impl NodeState {
         out.extend_from_slice(&self.coterie.to_le_bytes());
         out.push(self.stable_len);
         out.push(self.first_window as u8);
+        out.push(self.thm4_alive);
     }
 
     /// The state relabeled by `perm` (`perm[old] = new`).
@@ -154,6 +164,7 @@ impl NodeState {
             coterie: permute_mask(self.coterie, perm, n),
             stable_len: self.stable_len,
             first_window: self.first_window,
+            thm4_alive: self.thm4_alive, // set-agnostic booleans: label-invariant
         }
     }
 
@@ -315,6 +326,7 @@ mod tests {
             coterie: 1,
             stable_len: 2,
             first_window: false,
+            thm4_alive: 0b11,
         }
     }
 
@@ -370,6 +382,9 @@ mod tests {
         let mut flag = sample(4);
         flag.first_window = true;
         assert_ne!(a, f.node(&flag, &mut buf));
+        let mut alive = sample(4);
+        alive.thm4_alive = 0b01;
+        assert_ne!(a, f.node(&alive, &mut buf));
         // The two 64-bit lanes are independent: same low half would
         // betray a lane wiring bug.
         assert_ne!(a as u64, (a >> 64) as u64);

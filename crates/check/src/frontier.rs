@@ -22,7 +22,13 @@
 //! Theorem 3's Definition-2.4 obligations are decomposed into per-edge
 //! atoms (see [`check_edge`]'s docs and DESIGN.md §14 for the derivation
 //! and soundness argument) and checked on **every** edge before dedup, so
-//! pruning never hides a violation. Because normalized counters take at
+//! pruning never hides a violation. The Theorem-4 stabilization-time
+//! property gets the same treatment: each [`NodeState`] carries a
+//! two-bit liveness summary of the current stable window's witnesses
+//! (`thm4_alive`), updated per edge from parent-side facts only, and the
+//! `stabilization` atom fires exactly when the legacy whole-history
+//! oracle ([`crate::oracle::thm4_decided`]) would — once the window has
+//! outlived the bound with every admissible offset dead. Because normalized counters take at
 //! most `n^n` values (each counter is always some initial value plus the
 //! round count) the graph is finite, and with `rounds: None` the
 //! exploration runs to a **fixpoint**: termination without a violation
@@ -39,12 +45,12 @@
 //! [`Counterexample`] — graph-mode schedule files replay through the same
 //! pipeline as enumerated ones.
 
-use crate::dfs::{check_tape, Counterexample, DfsConfig};
+use crate::dfs::{check_tape, check_tape_thm4, Counterexample, DfsConfig};
 use crate::fingerprint::{
     compose_perm, identity_perm, mask_full, Fingerprinter, NodeState, Perm, MAX_GRAPH_N,
 };
 use crate::runbuild::RunBuilder;
-use crate::shrink::shrink;
+use crate::shrink::shrink_with;
 use ftss::core::{ProcessId, RoundCounter};
 use ftss::protocols::{RoundAgreement, RoundAgreementState};
 use ftss::sync_sim::SyncStepper;
@@ -239,6 +245,25 @@ fn eligible_pairs(n: usize, faulty: ProcessId) -> Vec<(ProcessId, ProcessId)> {
 ///
 /// `stable_len` saturates at `g+2`, the largest gate, so saturation never
 /// changes a gate's outcome.
+///
+/// A third, **stabilization** atom decomposes the Theorem-4 measured
+/// stabilization time per edge. On the window `[a..t]`, offset `s`
+/// satisfies the problem iff counters agree at every prefix
+/// `a−1+s ..= t−1` and advance at rate 1 across rounds `a+s ..= t−1` —
+/// all *parent-side* facts, so one boolean per faulty-set variant
+/// suffices ([`NodeState::thm4_alive`]):
+///
+/// ```text
+/// alive' = A(t−1) ∧ ((alive ∧ R(t−1)) ∨ len(t) ≤ r+1)
+/// ```
+///
+/// where the last disjunct admits the window's newest offset
+/// `s = len−1` while it is still `≤ r`. Once `len(t) ≥ r+1` every
+/// admissible offset has been introduced, and a dead witness can never
+/// revive (agreement at a past prefix and the rates behind it are
+/// history), so `¬alive` there is exactly the *decided* Theorem-4
+/// violation of [`crate::oracle::thm4_decided`] — pinned prefix-for-
+/// prefix by `thm4_atom_matches_the_legacy_oracle_on_random_chains`.
 fn check_edge(
     parent: &NodeState,
     child: &NodeState,
@@ -274,6 +299,20 @@ fn check_edge(
         return Some("rate");
     }
 
+    // Theorem-4 stabilization time, decided: the current window has
+    // outlived the bound and no admissible offset survives. Which
+    // `thm4_alive` bit applies follows the child's deviation flag — the
+    // same faulty-set choice the whole-history oracle makes via
+    // `faulty_upto`.
+    let alive = if child.deviated {
+        child.thm4_alive & 2 != 0
+    } else {
+        child.thm4_alive & 1 != 0
+    };
+    if child.stable_len as usize > stabilization && !alive {
+        return Some("stabilization");
+    }
+
     None
 }
 
@@ -306,6 +345,30 @@ fn expand(
             c: RoundCounter::new(c),
         })
         .collect();
+
+    // Mask-independent parent-side facts for the Theorem-4 liveness
+    // update (see `check_edge`'s docs): agreement of the parent's
+    // counters and coverage of its rate bits, per faulty-set variant
+    // (bit 0: faulty counted correct, bit 1: counted faulty).
+    let corr = mask_full(n) & !(1 << f);
+    let agrees = |set: u32| {
+        let mut seen: Option<u64> = None;
+        for (j, &c) in parent.counters.iter().enumerate() {
+            if set & (1 << j) == 0 {
+                continue;
+            }
+            match seen {
+                None => seen = Some(c),
+                Some(s) if s != c => return false,
+                _ => {}
+            }
+        }
+        true
+    };
+    let a_full = agrees(mask_full(n));
+    let a_corr = agrees(corr);
+    let r_full = parent.rate_ok & mask_full(n) == mask_full(n);
+    let r_corr = parent.rate_ok & corr == corr;
 
     for mask in 0..masks {
         // One simulator round through the stepper seam — the protocol's
@@ -367,6 +430,17 @@ fn expand(
         };
         let first_window = parent.first_window && (parent.stable_len == 0 || same_window);
 
+        // alive' = A(t−1) ∧ ((alive ∧ R(t−1)) ∨ len(t) ≤ r+1), per
+        // variant. On a window-start edge the carried witness is void
+        // (the window has no prior offsets), so only the candidate term
+        // survives. `stable_len` saturates at `g+2 > r+1`, so the
+        // comparison is exact.
+        let cand = (stable_len as usize) <= cfg.stabilization + 1;
+        let keep_full = same_window && parent.thm4_alive & 1 != 0 && r_full;
+        let keep_corr = same_window && parent.thm4_alive & 2 != 0 && r_corr;
+        let thm4_alive =
+            (a_full && (keep_full || cand)) as u8 | (((a_corr && (keep_corr || cand)) as u8) << 1);
+
         let child = NodeState {
             counters,
             rate_ok,
@@ -375,6 +449,7 @@ fn expand(
             coterie,
             stable_len,
             first_window,
+            thm4_alive,
         };
         let violation = check_edge(parent, &child, cfg.faulty, cfg.stabilization);
         let (canon, perm) = child.canonicalize(cfg.faulty);
@@ -453,14 +528,27 @@ fn reconstruct_witness(
     }
 
     let replay_cfg = cfg.replay_config(masks.len(), tape.len());
-    if check_tape(&replay_cfg, &tape).is_none() {
+    // Theorem-3 atoms confirm and shrink against the plain legacy oracle,
+    // byte-identical to before. A `stabilization` atom can violate
+    // Theorem 4 without violating Theorem 3 (a window can die quietly,
+    // outside any due obligation), so those edges confirm against the
+    // union of both oracles.
+    let oracle = |c: &DfsConfig, t: &[bool]| {
+        let thm3 = check_tape(c, t);
+        if detail_hint == "stabilization" {
+            thm3.or_else(|| check_tape_thm4(c, t))
+        } else {
+            thm3
+        }
+    };
+    if oracle(&replay_cfg, &tape).is_none() {
         return Err(format!(
             "graph witness failed legacy confirmation (depth {}, atom {detail_hint}): \
              normalized model diverged from the raw simulator",
             masks.len()
         ));
     }
-    let counterexample = shrink(&replay_cfg, &tape);
+    let counterexample = shrink_with(&replay_cfg, &tape, oracle);
     Ok(GraphCounterexample {
         cfg: replay_cfg,
         counterexample,
@@ -641,7 +729,9 @@ mod tests {
                     .into_iter()
                     .find(|e| e.mask == m)
                     .expect("mask in range");
-                any = any || e.violation.is_some();
+                // Theorem-3 atoms only: the stabilization atom tracks a
+                // different (non-monotone) oracle, pinned separately below.
+                any = any || matches!(e.violation, Some("agreement" | "rate"));
                 incremental.push(any);
                 // Follow the RAW child (undo canonicalization) so the next
                 // round's mask keeps its original labels.
@@ -659,6 +749,75 @@ mod tests {
                 let legacy = check_tape(&legacy_cfg, &tape[..k * bits]).is_some();
                 assert_eq!(
                     incremental[k - 1],
+                    legacy,
+                    "n={n} rounds={k} stab={stab} faulty={faulty} seed={seed} masks={masks:?}"
+                );
+            }
+        });
+    }
+
+    /// The per-edge stabilization atom must agree with the *decided*
+    /// whole-history Theorem-4 oracle prefix-for-prefix — not cumulatively:
+    /// `thm4_decided` is non-monotone (a decided-dead window is replaced by
+    /// a fresh, open one when the coterie shifts), and the atom must track
+    /// that exactly.
+    #[test]
+    fn thm4_atom_matches_the_legacy_oracle_on_random_chains() {
+        ftss_rng::check::forall(60, |g| {
+            let n = g.gen_range(2..5u64) as usize;
+            let rounds = g.gen_range(1..6u64) as usize;
+            let seed = g.next_u64();
+            let stab = g.gen_range(0..3u64) as usize;
+            let faulty = ProcessId(g.gen_range(0..n as u64) as usize);
+            let bits = 2 * (n - 1);
+            let masks: Vec<u32> = (0..rounds)
+                .map(|_| (g.next_u64() & ((1 << bits) - 1)) as u32)
+                .collect();
+
+            let cfg = GraphConfig {
+                n,
+                corruption_seed: seed,
+                faulty,
+                stabilization: stab,
+                rounds: Some(rounds),
+                jobs: 1,
+                max_states: 1 << 20,
+            };
+            let pairs = eligible_pairs(n, faulty);
+            let fper = Fingerprinter::new();
+
+            let stepper = RunBuilder::corrupted(n, 1, seed).stepper();
+            let raw: Vec<u64> = (0..n).map(|p| stepper.states()[p].c.get()).collect();
+            let mut node = NodeState::root(&raw, stab);
+            let mut fired: Vec<bool> = Vec::new(); // atom verdict per edge
+            for &m in &masks {
+                let exps = expand(&node, &cfg, &pairs, &fper);
+                let e = exps
+                    .into_iter()
+                    .find(|e| e.mask == m)
+                    .expect("mask in range");
+                // Evaluate the atom directly (not via `check_edge`, which
+                // short-circuits on the Theorem-3 atoms). All three fields
+                // are label-invariant, so the canonical child suffices.
+                let alive = if e.child.deviated {
+                    e.child.thm4_alive & 2 != 0
+                } else {
+                    e.child.thm4_alive & 1 != 0
+                };
+                fired.push(e.child.stable_len as usize > stab && !alive);
+                let inv = invert(&e.perm);
+                node = e.child.permuted(&inv);
+            }
+
+            let tape: Vec<bool> = masks
+                .iter()
+                .flat_map(|m| (0..bits).map(move |b| m & (1 << b) != 0))
+                .collect();
+            for k in 1..=rounds {
+                let legacy_cfg = cfg.replay_config(k, k * bits);
+                let legacy = check_tape_thm4(&legacy_cfg, &tape[..k * bits]).is_some();
+                assert_eq!(
+                    fired[k - 1],
                     legacy,
                     "n={n} rounds={k} stab={stab} faulty={faulty} seed={seed} masks={masks:?}"
                 );

@@ -69,6 +69,38 @@ pub fn thm4_compiled<S, M>(
     }
 }
 
+/// [`thm4_compiled`]'s *decided* variant: a violation is reported only
+/// when no extension of the run could repair it. A window of duration
+/// `d ≤ bound` that has not yet satisfied the problem is still open —
+/// offsets `d..=bound` have not happened — so [`thm4_compiled`] calls it
+/// "never satisfied" while this oracle stays silent. Once the window
+/// outlives the bound (or the measured time exceeds it), every offset
+/// `s ≤ bound` has failed for good: agreement at a past prefix and the
+/// rates behind it are history, so the verdict can only be confirmed by
+/// more rounds, never reversed. This is the whole-history counterpart of
+/// the per-edge stabilization-time atom in [`crate::frontier::check_edge`]
+/// (graph mode must not flag windows that are merely young, or every
+/// corrupted start would "violate" at depth 1).
+pub fn thm4_decided<S, M>(
+    history: &History<S, M>,
+    spec: &dyn Problem<S, M>,
+    bound: usize,
+) -> Verdict {
+    let m = measured_stabilization_time(history, spec)?;
+    match m.stabilization_rounds {
+        Some(s) if s <= bound => None,
+        Some(s) => Some(format!(
+            "thm4: stabilized in {s} rounds, bound is {bound} (window {}..{})",
+            m.window_start, m.window_end
+        )),
+        None if m.window_len() > bound => Some(format!(
+            "thm4: no offset <= {bound} satisfies window {}..{}",
+            m.window_start, m.window_end
+        )),
+        None => None, // window younger than the bound: still open
+    }
+}
+
 /// Piece-wise stability on an *explicit* window: the smallest `s` such
 /// that `problem` holds on the prefix-length window `[from_len − 1 + s,
 /// to_len]`, with the faulty set taken up to `to_len`. This is

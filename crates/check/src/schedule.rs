@@ -40,7 +40,7 @@
 //! `key: value` garbage are all rejected — a schedule file that parses is
 //! exactly a schedule file this version would write.
 
-use crate::dfs::{check_tape, Counterexample, DfsConfig};
+use crate::dfs::{check_tape, check_tape_thm4, Counterexample, DfsConfig};
 use crate::oracle::Verdict;
 use ftss::core::ProcessId;
 
@@ -225,8 +225,19 @@ impl ScheduleFile {
 
     /// Re-executes the schedule and returns the fresh verdict. A written
     /// counterexample reproduces iff this equals `Some(self.detail)`.
+    ///
+    /// A recorded `thm4:` verdict (graph mode's stabilization-time atom)
+    /// replays through the Theorem-4 oracle when the Theorem-3 oracle is
+    /// silent — such schedules violate stabilization time without
+    /// violating any Definition-2.4 obligation.
     pub fn replay(&self) -> Verdict {
-        check_tape(&self.cfg, &self.tape)
+        check_tape(&self.cfg, &self.tape).or_else(|| {
+            if self.detail.starts_with("thm4:") {
+                check_tape_thm4(&self.cfg, &self.tape)
+            } else {
+                None
+            }
+        })
     }
 }
 

@@ -19,16 +19,28 @@
 
 use crate::dfs::{check_tape, Counterexample, DfsConfig};
 
-/// Shrinks a violating tape to a minimal counterexample. `tape` must
-/// violate `cfg`'s oracle (as reported by [`check_tape`]); panics
-/// otherwise, because "shrinking" a passing schedule is a harness bug.
+/// Shrinks a violating tape to a minimal counterexample against the
+/// default Theorem-3 oracle ([`check_tape`]). `tape` must violate it;
+/// panics otherwise, because "shrinking" a passing schedule is a harness
+/// bug.
 pub fn shrink(cfg: &DfsConfig, tape: &[bool]) -> Counterexample {
-    let mut detail = check_tape(cfg, tape).expect("shrink requires a violating schedule");
+    shrink_with(cfg, tape, check_tape)
+}
+
+/// [`shrink`] with a caller-chosen oracle — the seam graph mode uses to
+/// minimize counterexamples of the Theorem-4 stabilization-time atom,
+/// whose violations the plain Theorem-3 oracle cannot always see.
+pub fn shrink_with(
+    cfg: &DfsConfig,
+    tape: &[bool],
+    oracle: impl Fn(&DfsConfig, &[bool]) -> Option<String>,
+) -> Counterexample {
+    let mut detail = oracle(cfg, tape).expect("shrink requires a violating schedule");
     let mut best: Vec<bool> = tape.to_vec();
 
     // Pass 1: shortest violating prefix.
     for k in 0..best.len() {
-        if let Some(d) = check_tape(cfg, &best[..k]) {
+        if let Some(d) = oracle(cfg, &best[..k]) {
             best.truncate(k);
             detail = d;
             break;
@@ -41,7 +53,7 @@ pub fn shrink(cfg: &DfsConfig, tape: &[bool]) -> Counterexample {
             continue;
         }
         best[i] = false;
-        match check_tape(cfg, &best) {
+        match oracle(cfg, &best) {
             Some(d) => detail = d,
             None => best[i] = true,
         }

@@ -141,6 +141,34 @@ fn sweep_is_byte_identical_across_jobs() {
 }
 
 #[test]
+fn e10_boundary_sweep_is_byte_identical_across_jobs() {
+    let serial = run(&[
+        "sweep", "--exp", "e10", "--seeds", "2", "--max-n", "4", "--jobs", "1",
+    ]);
+    assert!(
+        serial.status.success(),
+        "{}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+    let s = stdout(&serial);
+    // The n = 4 grid spans all three fault classes, and its Byzantine
+    // row sits beyond the n > 4f solvability boundary: a recorded
+    // violation, not a test failure.
+    for class in ["omission", "byzantine", "churn"] {
+        assert!(s.contains(class), "{s}");
+    }
+    assert!(s.contains("violated"), "{s}");
+    let parallel = run(&[
+        "sweep", "--exp", "e10", "--seeds", "2", "--max-n", "4", "--jobs", "4",
+    ]);
+    assert!(parallel.status.success());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "e10 output depends on --jobs"
+    );
+}
+
+#[test]
 fn sweep_rejects_unknown_experiment() {
     let o = run(&["sweep", "--exp", "e99"]);
     assert_eq!(o.status.code(), Some(2));
@@ -173,6 +201,25 @@ fn check_dfs_exhausts_the_schedule_space_green() {
     let s = stdout(&o);
     assert!(s.contains("enumerated 256 schedule(s)"), "{s}");
     assert!(s.contains("zero violations"), "{s}");
+}
+
+#[test]
+fn check_dfs_por_prunes_the_gossip_enumeration() {
+    let o = run(&["check", "--dfs", "--por"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let s = stdout(&o);
+    // The canonical 24 → 4 sleep-set reduction: 4 deliveries make 4! = 24
+    // complete dispatch orders; POR keeps one representative per
+    // commutation class and reports what it cut.
+    assert!(
+        s.contains("full enumeration: 24 complete dispatch order(s)"),
+        "{s}"
+    );
+    assert!(
+        s.contains("sleep-set POR:    4 complete dispatch order(s), 6 pruned"),
+        "{s}"
+    );
+    assert!(s.contains("POR verdict matches"), "{s}");
 }
 
 #[test]

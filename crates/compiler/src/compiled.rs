@@ -229,6 +229,13 @@ where
 /// corrupted start its decision tag and suspect set are arbitrary, and
 /// reporting garbage as activity would double-count the corruption the
 /// simulator already traced.
+///
+/// Windowed ([`ftss_core::History::with_window`]) histories work too:
+/// the oldest *retained* frame becomes the baseline, so the output is
+/// exactly the full-history extraction restricted to rounds after the
+/// eviction horizon (pinned by `tests/windowed_equivalence.rs`). Use a
+/// [`TraceCursor`] riding the streaming run to also recover the evicted
+/// prefix's events.
 pub fn trace_events<S, V, M>(
     history: &ftss_core::History<CompiledState<S, V>, CompiledMsg<M>>,
 ) -> Vec<ftss_telemetry::Event>
@@ -236,18 +243,15 @@ where
     V: Clone + PartialEq,
 {
     use ftss_telemetry::Event;
-    assert!(
-        history.is_complete(),
-        "trace extraction needs the complete history; this one evicted rounds"
-    );
     let n = history.n();
     let mut out = Vec::new();
     let rounds = history.rounds();
     for (i, w) in rounds.windows(2).enumerate() {
         let (prev_rh, cur_rh) = (&w[0], &w[1]);
-        // rounds[i] holds the state at the start of 1-based round i+1, so
-        // the diff of this window is first visible at round i+2.
-        let round = round_count(i + 2);
+        // rounds[i] holds the state at the start of 1-based round
+        // evicted + i + 1, so the diff of this window is first visible
+        // at round evicted + i + 2.
+        let round = round_count(history.evicted() + i + 2);
         for j in 0..n {
             let (Some(prev), Some(cur)) = (
                 prev_rh.record(ProcessId(j)).state_at_start(),

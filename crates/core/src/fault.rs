@@ -30,6 +30,11 @@ pub enum FaultKind {
     SendOmission,
     /// The process failed to receive a message that was sent to it.
     ReceiveOmission,
+    /// The process sent a payload other than the one its protocol
+    /// prescribed — the message-forging (Byzantine) deviation. Strictly
+    /// outside the paper's general-omission class; harnessed to map where
+    /// the Theorem-2 solvability boundary breaks as the fault class grows.
+    Forgery,
 }
 
 impl fmt::Display for FaultKind {
@@ -38,6 +43,7 @@ impl fmt::Display for FaultKind {
             FaultKind::Crash => "crash",
             FaultKind::SendOmission => "send-omission",
             FaultKind::ReceiveOmission => "receive-omission",
+            FaultKind::Forgery => "forgery",
         };
         f.write_str(s)
     }
@@ -124,6 +130,8 @@ pub struct FaultModel {
     pub send_omissions: bool,
     /// Whether receive omissions are admitted.
     pub receive_omissions: bool,
+    /// Whether message forgery (Byzantine senders) is admitted.
+    pub forgery: bool,
     /// Whether systemic failures (arbitrary initial states) are admitted.
     pub systemic: bool,
 }
@@ -136,6 +144,7 @@ impl FaultModel {
             crashes: false,
             send_omissions: false,
             receive_omissions: false,
+            forgery: false,
             systemic: false,
         }
     }
@@ -147,6 +156,7 @@ impl FaultModel {
             crashes: true,
             send_omissions: false,
             receive_omissions: false,
+            forgery: false,
             systemic: false,
         }
     }
@@ -160,7 +170,19 @@ impl FaultModel {
             crashes: true,
             send_omissions: true,
             receive_omissions: true,
+            forgery: false,
             systemic: true,
+        }
+    }
+
+    /// The Byzantine extension: general omission plus message forgery for
+    /// up to `f` processes, plus systemic failures. This is *beyond* the
+    /// paper's model — experiment E10 uses it to map where the Theorem-2
+    /// solvability boundary breaks.
+    pub fn byzantine_with_systemic(f: usize) -> Self {
+        FaultModel {
+            forgery: true,
+            ..Self::general_omission_with_systemic(f)
         }
     }
 
@@ -170,6 +192,7 @@ impl FaultModel {
             FaultKind::Crash => self.crashes,
             FaultKind::SendOmission => self.send_omissions,
             FaultKind::ReceiveOmission => self.receive_omissions,
+            FaultKind::Forgery => self.forgery,
         }
     }
 
@@ -192,6 +215,9 @@ impl fmt::Display for FaultModel {
         }
         if self.receive_omissions {
             kinds.push("recv-om");
+        }
+        if self.forgery {
+            kinds.push("forgery");
         }
         if self.systemic {
             kinds.push("systemic");

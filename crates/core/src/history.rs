@@ -57,6 +57,11 @@ pub enum DeliveryOutcome {
     /// itself is the deviation (recorded via `crashed_here`); the lost copy
     /// adds no separate send-omission.
     SenderCrashed,
+    /// The (faulty) sender replaced this copy's payload with a forged one
+    /// — the message-forging Byzantine deviation. The copy *arrives* (the
+    /// delivered bit is set) but carries the per-copy payload in the
+    /// round's forged list instead of the shared broadcast slot.
+    Forged,
 }
 
 /// One point-to-point copy of a broadcast: destination, payload, fate.
@@ -99,6 +104,7 @@ impl DeviationSet {
             FaultKind::Crash => 1,
             FaultKind::SendOmission => 2,
             FaultKind::ReceiveOmission => 4,
+            FaultKind::Forgery => 8,
         }
     }
 
@@ -129,6 +135,7 @@ impl DeviationSet {
             FaultKind::Crash,
             FaultKind::SendOmission,
             FaultKind::ReceiveOmission,
+            FaultKind::Forgery,
         ]
         .into_iter()
         .filter(move |&k| self.contains(k))
@@ -245,6 +252,10 @@ pub struct RoundMsgs<M> {
     sent: BitGrid,
     delivered: BitGrid,
     exceptions: Vec<(ProcessId, ProcessId, DeliveryOutcome)>,
+    /// Per-copy payloads of [`DeliveryOutcome::Forged`] copies, sorted by
+    /// `(src, dst)` like `exceptions`. Consulted by the delivery views
+    /// before the shared broadcast slot; empty in every non-Byzantine run.
+    forged: Vec<(ProcessId, ProcessId, Payload<M>)>,
 }
 
 impl<M> RoundMsgs<M> {
@@ -255,6 +266,7 @@ impl<M> RoundMsgs<M> {
             sent: BitGrid::new(n),
             delivered: BitGrid::new(n),
             exceptions: Vec::new(),
+            forged: Vec::new(),
         }
     }
 
@@ -263,6 +275,7 @@ impl<M> RoundMsgs<M> {
         self.sent.reset();
         self.delivered.reset();
         self.exceptions.clear();
+        self.forged.clear();
     }
 
     /// Number of processes.
@@ -305,15 +318,31 @@ impl<M> RoundMsgs<M> {
         self.delivered.get(dst.index(), src.index())
     }
 
+    /// The forged payload carried by the copy `src → dst`, if that copy
+    /// was forged ([`DeliveryOutcome::Forged`]).
+    pub fn forged_payload_of(&self, src: ProcessId, dst: ProcessId) -> Option<&Payload<M>> {
+        if self.forged.is_empty() {
+            return None;
+        }
+        self.forged
+            .binary_search_by_key(&(src, dst), |&(s, d, _)| (s, d))
+            .ok()
+            .map(|i| &self.forged[i].2)
+    }
+
     /// Iterates the copies `src` emitted, in ascending destination order.
     pub fn sent_iter(&self, src: ProcessId) -> SentIter<'_, M> {
         let lo = self.exceptions.partition_point(|&(s, _, _)| s < src);
         let hi = self.exceptions[lo..].partition_point(|&(s, _, _)| s == src) + lo;
+        let flo = self.forged.partition_point(|&(s, _, _)| s < src);
+        let fhi = self.forged[flo..].partition_point(|&(s, _, _)| s == src) + flo;
         SentIter {
             payload: self.payloads[src.index()].as_ref(),
             bits: self.sent.row_bits(src.index()),
             exceptions: &self.exceptions[lo..hi],
             next_exc: 0,
+            forged: &self.forged[flo..fhi],
+            next_forged: 0,
         }
     }
 
@@ -341,6 +370,8 @@ pub struct SentIter<'a, M> {
     bits: RowBits<'a>,
     exceptions: &'a [(ProcessId, ProcessId, DeliveryOutcome)],
     next_exc: usize,
+    forged: &'a [(ProcessId, ProcessId, Payload<M>)],
+    next_forged: usize,
 }
 
 impl<'a, M> Iterator for SentIter<'a, M> {
@@ -355,11 +386,18 @@ impl<'a, M> Iterator for SentIter<'a, M> {
                 self.next_exc += 1;
             }
         }
+        let payload = if outcome == DeliveryOutcome::Forged {
+            let (_, d, payload) = &self.forged[self.next_forged];
+            debug_assert_eq!(*d, dst, "forged list out of step with exceptions");
+            self.next_forged += 1;
+            payload
+        } else {
+            self.payload
+                .expect("sent copies recorded without a broadcast payload")
+        };
         Some(SentCopy {
             dst,
-            payload: self
-                .payload
-                .expect("sent copies recorded without a broadcast payload"),
+            payload,
             outcome,
         })
     }
@@ -387,6 +425,9 @@ impl<'a, M> Deliveries<'a, M> {
         if !self.msgs.was_delivered(self.dst, src) {
             return None;
         }
+        if let Some(forged) = self.msgs.forged_payload_of(src, self.dst) {
+            return Some(forged);
+        }
         Some(
             self.msgs.payloads[src.index()]
                 .as_ref()
@@ -398,6 +439,7 @@ impl<'a, M> Deliveries<'a, M> {
     pub fn iter(&self) -> DeliveredIter<'a, M> {
         DeliveredIter {
             msgs: self.msgs,
+            dst: self.dst,
             bits: self.msgs.delivered.row_bits(self.dst.index()),
         }
     }
@@ -417,6 +459,7 @@ impl<'a, M> Deliveries<'a, M> {
 #[derive(Clone, Debug)]
 pub struct DeliveredIter<'a, M> {
     msgs: &'a RoundMsgs<M>,
+    dst: ProcessId,
     bits: RowBits<'a>,
 }
 
@@ -425,6 +468,9 @@ impl<'a, M> Iterator for DeliveredIter<'a, M> {
 
     fn next(&mut self) -> Option<(ProcessId, &'a Payload<M>)> {
         let src = ProcessId(self.bits.next()?);
+        if let Some(forged) = self.msgs.forged_payload_of(src, self.dst) {
+            return Some((src, forged));
+        }
         Some((
             src,
             self.msgs.payloads[src.index()]
@@ -559,6 +605,25 @@ impl<S, M> RoundHistory<S, M> {
         self.msgs.delivered.set(dst.index(), src.index());
     }
 
+    /// Records a *forged* copy `src → dst`: the copy is delivered, but
+    /// carries `payload` instead of `src`'s broadcast. The deviation is
+    /// attributed to the sender as [`FaultKind::Forgery`]. Insertion into
+    /// the forged list is O(1) when copies arrive in ascending
+    /// `(src, dst)` order (as the simulator emits them).
+    pub fn record_forged(&mut self, src: ProcessId, dst: ProcessId, payload: Payload<M>) {
+        self.record_send(src, dst, DeliveryOutcome::Forged);
+        self.msgs.delivered.set(dst.index(), src.index());
+        let fg = &mut self.msgs.forged;
+        match fg.last() {
+            Some(&(s, d, _)) if (s, d) < (src, dst) => fg.push((src, dst, payload)),
+            None => fg.push((src, dst, payload)),
+            _ => {
+                let at = fg.partition_point(|&(s, d, _)| (s, d) < (src, dst));
+                fg.insert(at, (src, dst, payload));
+            }
+        }
+    }
+
     /// Builds a round from per-process array-of-structs records (test and
     /// checker convenience; the simulator uses the incremental builders).
     ///
@@ -578,6 +643,12 @@ impl<S, M> RoundHistory<S, M> {
                 rec.halted_at_start,
             );
             for s in rec.sent {
+                if s.outcome == DeliveryOutcome::Forged {
+                    // The record's payload is the *forged* one; the shared
+                    // broadcast slot must not learn it.
+                    rh.record_forged(p, s.dst, s.payload);
+                    continue;
+                }
                 if rh.msgs.payloads[i].is_none() {
                     rh.msgs.payloads[i] = Some(s.payload);
                 }
@@ -627,6 +698,9 @@ impl<S, M> RoundHistory<S, M> {
             if s == p && o == DeliveryOutcome::DroppedBySender {
                 out.insert(FaultKind::SendOmission);
             }
+            if s == p && o == DeliveryOutcome::Forged {
+                out.insert(FaultKind::Forgery);
+            }
             if d == p && o == DeliveryOutcome::DroppedByReceiver {
                 out.insert(FaultKind::ReceiveOmission);
             }
@@ -654,6 +728,7 @@ impl<S, M> RoundHistory<S, M> {
         for &(s, d, o) in &self.msgs.exceptions {
             match o {
                 DeliveryOutcome::DroppedBySender => out[s.index()].insert(FaultKind::SendOmission),
+                DeliveryOutcome::Forged => out[s.index()].insert(FaultKind::Forgery),
                 DeliveryOutcome::DroppedByReceiver => {
                     out[d.index()].insert(FaultKind::ReceiveOmission)
                 }
@@ -677,7 +752,7 @@ impl<S, M> RoundHistory<S, M> {
         }
         for &(s, d, o) in &self.msgs.exceptions {
             match o {
-                DeliveryOutcome::DroppedBySender => {
+                DeliveryOutcome::DroppedBySender | DeliveryOutcome::Forged => {
                     f.insert(s);
                 }
                 DeliveryOutcome::DroppedByReceiver => {
@@ -1113,6 +1188,49 @@ mod tests {
         let f = h.faulty();
         assert!(!f.contains(ProcessId(0)));
         assert!(f.contains(ProcessId(1)));
+    }
+
+    #[test]
+    fn forged_copy_arrives_with_forged_payload_and_marks_sender() {
+        let mut h = H::new(3);
+        h.push(RH::from_records(vec![
+            record(
+                vec![
+                    SendRecord::new(ProcessId(1), "forged", DeliveryOutcome::Forged),
+                    send(2, DeliveryOutcome::Delivered),
+                ],
+                false,
+            ),
+            record(vec![send(0, DeliveryOutcome::Delivered)], false),
+            record(vec![], false),
+        ]));
+        let rh = h.round(Round::FIRST);
+        // Attribution: the forging sender is faulty, the receiver innocent.
+        assert!(h.faulty().contains(ProcessId(0)));
+        assert!(!h.faulty().contains(ProcessId(1)));
+        assert_eq!(rh.deviations_of(ProcessId(0)), vec![FaultKind::Forgery]);
+        // The copy arrives — delivered bit set, outcome recorded as Forged.
+        assert_eq!(
+            rh.msgs().outcome_of(ProcessId(0), ProcessId(1)),
+            Some(DeliveryOutcome::Forged)
+        );
+        // The receiver of the forged copy sees the forged payload, while
+        // the shared broadcast slot keeps the genuine one.
+        let to_p1 = rh.msgs().deliveries(ProcessId(1));
+        assert_eq!(to_p1.get(ProcessId(0)).map(|p| **p), Some("forged"));
+        assert_eq!(rh.msgs().broadcast_of(ProcessId(0)).map(|p| **p), Some("m"));
+        // The iterator view agrees with the point query.
+        let seen: Vec<_> = to_p1.iter().map(|(p, m)| (p.index(), **m)).collect();
+        assert_eq!(seen, vec![(0, "forged")]);
+        // Round-tripping through records preserves both payloads.
+        let sent: Vec<_> = rh.record(ProcessId(0)).sent().collect();
+        assert_eq!(*sent[0].payload, "forged");
+        assert_eq!(sent[0].outcome, DeliveryOutcome::Forged);
+        assert_eq!(*sent[1].payload, "m");
+        // The bulk faulty-set query agrees.
+        let mut all = Vec::new();
+        rh.deviation_sets_into(&mut all);
+        assert!(all[0].contains(FaultKind::Forgery));
     }
 
     #[test]

@@ -41,6 +41,17 @@ pub enum StormKind {
     /// (`ftss_async_sim::AdversaryScheduler`). A no-op for the
     /// synchronous model, which has no delays.
     DelayInflation,
+    /// Membership churn: the victims are *joining* the system. While the
+    /// window is open they are absent (total silence, like
+    /// [`StormKind::SilenceChurn`]); in the round after it closes they
+    /// enter with a seeded arbitrary state — the paper's systemic failure
+    /// localized to the joiner. In `ftss-serve`, a joiner performs the
+    /// `hello` handshake mid-session.
+    Join,
+    /// Membership churn: the victims *leave* the system for the rest of
+    /// the window — total silence, with no corruption on return (a clean
+    /// leave keeps its state; only joins enter arbitrarily).
+    Leave,
 }
 
 impl StormKind {
@@ -52,6 +63,8 @@ impl StormKind {
             StormKind::SilenceChurn => "silence-churn",
             StormKind::Partition => "partition",
             StormKind::DelayInflation => "delay-inflation",
+            StormKind::Join => "join",
+            StormKind::Leave => "leave",
         }
     }
 
@@ -60,7 +73,11 @@ impl StormKind {
     pub fn drops_copies(&self) -> bool {
         matches!(
             self,
-            StormKind::OmissionStorm { .. } | StormKind::SilenceChurn | StormKind::Partition
+            StormKind::OmissionStorm { .. }
+                | StormKind::SilenceChurn
+                | StormKind::Partition
+                | StormKind::Join
+                | StormKind::Leave
         )
     }
 }
@@ -118,6 +135,14 @@ mod tests {
         assert!(StormKind::Partition.drops_copies());
         assert!(StormKind::SilenceChurn.drops_copies());
         assert!(StormKind::OmissionStorm { percent: 10 }.drops_copies());
+        assert!(StormKind::Join.drops_copies());
+        assert!(StormKind::Leave.drops_copies());
+    }
+
+    #[test]
+    fn churn_names_are_stable() {
+        assert_eq!(StormKind::Join.name(), "join");
+        assert_eq!(StormKind::Leave.to_string(), "leave");
     }
 
     #[test]

@@ -58,6 +58,14 @@ pub trait CanonicalProtocol {
     /// The output, once the state has gone through round `final_round`'s
     /// transition (else `None`).
     fn output(&self, ctx: &ProtocolCtx, state: &Self::State) -> Option<Self::Output>;
+
+    /// An arbitrary forged message derived from `seed`, for Byzantine
+    /// adversaries (see [`SyncProtocol::forge_message`]); `None` (the
+    /// default) means forging adversaries cannot target this protocol.
+    fn forge_message(&self, seed: u64) -> Option<Self::Msg> {
+        let _ = seed;
+        None
+    }
 }
 
 /// Runs one iteration of a canonical protocol on the simulator: rounds
@@ -159,6 +167,10 @@ impl<P: CanonicalProtocol> SyncProtocol for SingleShot<P> {
 
     fn round_counter(&self, state: &Self::State) -> Option<RoundCounter> {
         Some(RoundCounter::new(state.c))
+    }
+
+    fn forge_message(&self, seed: u64) -> Option<P::Msg> {
+        self.protocol.forge_message(seed)
     }
 }
 

@@ -17,6 +17,10 @@
 //! * [`problems`] — problem predicates `Σ`: single-shot consensus,
 //!   repeated consensus `Σ⁺`, and decision plumbing shared by the
 //!   specifications.
+//! * [`ss_byzantine`] — self-stabilizing Byzantine agreement à la
+//!   Daliot–Dolev: trimmed-max counter synchronization driving a
+//!   perpetual phase-king session, tolerating message forgery *and*
+//!   systemic failures ([`phase_king`] is the non-stabilizing baseline).
 
 pub mod bounded;
 pub mod broadcast;
@@ -26,6 +30,7 @@ pub mod floodset;
 pub mod phase_king;
 pub mod problems;
 pub mod round_agreement;
+pub mod ss_byzantine;
 pub mod token_ring;
 
 pub use bounded::BoundedRoundAgreement;
@@ -36,4 +41,5 @@ pub use floodset::FloodSet;
 pub use phase_king::PhaseKing;
 pub use problems::{ConsensusSpec, HasDecision, RepeatedConsensusSpec};
 pub use round_agreement::{RoundAgreement, RoundAgreementState};
+pub use ss_byzantine::{SsByzantine, SsByzantineMsg, SsByzantineState, ValueAgreementSpec};
 pub use token_ring::TokenRing;

@@ -160,6 +160,10 @@ impl CanonicalProtocol for PhaseKing {
     fn output(&self, _ctx: &ProtocolCtx, state: &PhaseKingState) -> Option<bool> {
         state.decided
     }
+
+    fn forge_message(&self, seed: u64) -> Option<bool> {
+        Some(seed & 1 == 1)
+    }
 }
 
 #[cfg(test)]

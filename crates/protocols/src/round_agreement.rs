@@ -85,6 +85,15 @@ impl SyncProtocol for RoundAgreement {
     fn round_counter(&self, state: &RoundAgreementState) -> Option<RoundCounter> {
         Some(state.c)
     }
+
+    /// Forged counter: an arbitrary `u64`. Figure 1's `max + 1` rule has
+    /// no defense against it — a single traitor forging different huge
+    /// counters to different destinations keeps correct counters apart
+    /// forever, which is exactly the Theorem-2 boundary experiment E10
+    /// measures.
+    fn forge_message(&self, seed: u64) -> Option<u64> {
+        Some(seed)
+    }
 }
 
 #[cfg(test)]

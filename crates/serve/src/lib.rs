@@ -39,9 +39,9 @@ pub mod transport;
 pub mod wire;
 
 pub use loadgen::{run_loadgen, Histogram, LoadReport, LoadgenConfig};
-pub use node::run_node;
+pub use node::{run_node, run_node_from};
 pub use proto::{ToNode, ToRouter};
-pub use session::{serve, serve_streaming, ServeConfig};
+pub use session::{serve, serve_streaming, ServeChurn, ServeConfig};
 pub use timer::TimerWheel;
 pub use transport::{Channel, TransportKind};
 pub use wire::Wire;

@@ -33,6 +33,33 @@ where
     P::State: Wire,
     P::Msg: Wire,
 {
+    run_node_from(protocol, me, n, chan, 1)
+}
+
+/// [`run_node`] entered at `start_round` instead of round 1 — the
+/// mid-session **join**: the node performs the same `hello` handshake,
+/// then drops into the lock-step loop at the session's current round.
+/// Its state is `init_state` (program text); the router renders the
+/// joiner's *arbitrary* entry state as a targeted `corrupt` exchange in
+/// the join round, exactly as the simulator's
+/// [`CorruptionSchedule::at_targeted`](ftss::sync_sim::CorruptionSchedule::at_targeted)
+/// does.
+///
+/// # Errors
+///
+/// Same contract as [`run_node`].
+pub fn run_node_from<P>(
+    protocol: &P,
+    me: ProcessId,
+    n: usize,
+    chan: &mut dyn Channel,
+    start_round: u64,
+) -> Result<(), String>
+where
+    P: SyncProtocol,
+    P::State: Wire,
+    P::Msg: Wire,
+{
     let ctx = ProtocolCtx::new(me, n);
     let send = |chan: &mut dyn Channel, msg: &ToRouter<P::State, P::Msg>| {
         chan.send(&msg.to_bytes())
@@ -41,7 +68,7 @@ where
     send(chan, &ToRouter::Hello { p: me.index() })?;
 
     let mut state = protocol.init_state(&ctx);
-    let mut round: u64 = 1;
+    let mut round: u64 = start_round;
     loop {
         // Broadcast half: snapshot + (optional) message. Recomputed from
         // the current state, so an adopted corruption re-broadcasts the

@@ -31,6 +31,32 @@ use ftss::sync_sim::{Adversary, OmissionSide, ProtocolCtx, RunConfig, RunOutcome
 use ftss::telemetry::{Event, RunMode, TraceSink};
 use ftss_rng::StdRng;
 
+/// A churn episode in a served session: one declared-faulty process
+/// **leaves** (its connection is closed and it falls silent) and later
+/// **rejoins** by opening a fresh connection and performing the `hello`
+/// handshake mid-session. The joiner enters at the session's current
+/// round with arbitrary state — schedule its entry corruption with
+/// [`ftss::sync_sim::CorruptionSchedule::at_targeted`] at `join_round`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeChurn {
+    /// The churning process; must be in the adversary's faulty set.
+    pub p: ProcessId,
+    /// First round the process is absent (its channel is closed before
+    /// this round's broadcasts are collected). Must be ≥ 2.
+    pub leave_round: u64,
+    /// The round the process rejoins: a fresh node thread dials in and
+    /// sends `hello` before this round's broadcasts are collected. Must
+    /// satisfy `leave_round < join_round ≤ rounds`.
+    pub join_round: u64,
+}
+
+impl ServeChurn {
+    /// Whether `p` is absent from the session during round `r`.
+    fn absent(&self, p: ProcessId, r: u64) -> bool {
+        p == self.p && (self.leave_round..self.join_round).contains(&r)
+    }
+}
+
 /// Parameters of a served run: the simulator's [`RunConfig`] plus the
 /// transport to run it over.
 #[derive(Clone, Debug)]
@@ -39,12 +65,25 @@ pub struct ServeConfig {
     pub run: RunConfig,
     /// Which transport carries the frames.
     pub transport: TransportKind,
+    /// Optional mid-session leave/rejoin episode.
+    pub churn: Option<ServeChurn>,
 }
 
 impl ServeConfig {
     /// A served run over `transport` with the given simulator config.
     pub fn new(run: RunConfig, transport: TransportKind) -> Self {
-        ServeConfig { run, transport }
+        ServeConfig {
+            run,
+            transport,
+            churn: None,
+        }
+    }
+
+    /// Adds a leave/rejoin churn episode to the session.
+    #[must_use]
+    pub fn with_churn(mut self, churn: ServeChurn) -> Self {
+        self.churn = Some(churn);
+        self
     }
 }
 
@@ -122,6 +161,31 @@ where
             return Err(format!(
                 "crash schedule names {p} outside the declared faulty set"
             ));
+        }
+    }
+    if let Some(churn) = cfg.churn {
+        if churn.p.index() >= n {
+            return Err(format!("churn names {} but n = {n}", churn.p));
+        }
+        if !faulty.contains(churn.p) {
+            return Err(format!(
+                "churn names {} outside the declared faulty set",
+                churn.p
+            ));
+        }
+        if churn.leave_round < 2
+            || churn.join_round <= churn.leave_round
+            || churn.join_round > round_count(cfg.run.rounds)
+        {
+            return Err(format!(
+                "churn needs 2 <= leave ({}) < join ({}) <= rounds ({})",
+                churn.leave_round,
+                churn.join_round,
+                round_count(cfg.run.rounds)
+            ));
+        }
+        if schedule.iter().any(|(p, _)| p == churn.p) {
+            return Err(format!("churn process {} is also crash-scheduled", churn.p));
         }
     }
 
@@ -256,6 +320,60 @@ where
 
     for r in 1..=round_count(cfg.run.rounds) {
         let round = Round::new(r);
+        if let Some(churn) = cfg.churn {
+            if r == churn.leave_round {
+                // The node leaves: drain its in-flight broadcast for this
+                // round (the node always sends before it can see the
+                // halt — dropping the channel first would race its send),
+                // discard it, then close the channel.
+                let i = churn.p.index();
+                if let Some(ch) = chans[i].as_mut() {
+                    ch.recv().map_err(|e| format!("p{i} leave drain: {e}"))?;
+                    let halt: ToNode<P::State, P::Msg> = ToNode::Halt;
+                    ch.send(&halt.to_bytes())
+                        .map_err(|e| format!("p{i} leave send: {e}"))?;
+                }
+                chans[i] = None;
+                slots[i] = None;
+                if net {
+                    sink.emit(&Event::NetClose { p: churn.p });
+                }
+            }
+            if r == churn.join_round {
+                // A fresh connection dials in and identifies itself with
+                // the same hello handshake the session opened with. The
+                // joiner enters the lock-step loop at the current round.
+                let (mut rejoin_router, rejoin_node) = cfg
+                    .transport
+                    .open_pairs(1)
+                    .map_err(|e| format!("{transport_name} rejoin setup: {e}"))?;
+                let mut rejoin_chan = rejoin_node
+                    .into_iter()
+                    .next()
+                    .ok_or("rejoin transport produced no node end")?;
+                let proto = protocol.clone();
+                let joiner = churn.p;
+                handles.push(std::thread::spawn(move || {
+                    crate::node::run_node_from(&proto, joiner, n, rejoin_chan.as_mut(), r)
+                }));
+                let mut ch = rejoin_router.remove(0);
+                let payload = ch.recv().map_err(|e| format!("rejoin hello recv: {e}"))?;
+                match ToRouter::<P::State, P::Msg>::from_bytes(&payload)? {
+                    ToRouter::Hello { p } if p == churn.p.index() => {}
+                    ToRouter::Hello { p } => {
+                        return Err(format!("rejoin hello claims p{p}, expected {}", churn.p))
+                    }
+                    _ => return Err("expected hello as rejoin's first frame".into()),
+                }
+                chans[churn.p.index()] = Some(ch);
+                if net {
+                    sink.emit(&Event::NetConnect {
+                        p: churn.p,
+                        transport: transport_name.to_string(),
+                    });
+                }
+            }
+        }
         if r > 1 {
             collect(&mut chans, &mut slots, sink, r)?;
         }
@@ -264,6 +382,58 @@ where
         }
         if let Some(seed) = cfg.run.mid_run_corruption.seed_for(r) {
             corrupt_exchange(&mut chans, &mut slots, sink, r, seed)?;
+        }
+        // Targeted systemic failures (churn joins): only the listed
+        // victims are corrupted, applied after any global entry — the
+        // simulator's exact order and rng discipline.
+        for (seed, victims) in cfg.run.mid_run_corruption.targeted_for(r) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for v in victims {
+                if let Some(slot) = slots[v.index()].as_mut() {
+                    slot.state.corrupt(&mut rng);
+                }
+            }
+            if sink.enabled() {
+                sink.emit(&Event::Corruption { round: r, seed });
+            }
+            for v in victims {
+                let i = v.index();
+                let Some(ch) = chans[i].as_mut() else {
+                    continue;
+                };
+                let slot = slots[i]
+                    .as_ref()
+                    .ok_or_else(|| format!("p{i} has no slot"))?;
+                let msg: ToNode<P::State, P::Msg> = ToNode::Corrupt {
+                    state: slot.state.clone(),
+                };
+                ch.send(&msg.to_bytes())
+                    .map_err(|e| format!("p{i} corrupt send: {e}"))?;
+            }
+            // Only the victims re-broadcast; re-collect exactly them.
+            for v in victims {
+                let i = v.index();
+                let Some(ch) = chans[i].as_mut() else {
+                    continue;
+                };
+                let payload = ch.recv().map_err(|e| format!("p{i} bcast recv: {e}"))?;
+                match ToRouter::<P::State, P::Msg>::from_bytes(&payload)? {
+                    ToRouter::Bcast { round, state, msg } => {
+                        if round != r {
+                            return Err(format!("p{i} is in round {round}, session is in {r}"));
+                        }
+                        slots[i] = Some(Slot { state, msg });
+                    }
+                    ToRouter::Hello { .. } => return Err(format!("unexpected hello from p{i}")),
+                }
+                if net {
+                    sink.emit(&Event::NetFrame {
+                        round: r,
+                        from: ProcessId(i),
+                        bytes: (payload.len() + FRAME_HEADER_LEN) as u64,
+                    });
+                }
+            }
         }
 
         let mut frame = match spare.take() {
@@ -277,7 +447,7 @@ where
         // Phase 0: snapshot round-start states.
         for (i, slot) in slots.iter().enumerate() {
             let p = ProcessId(i);
-            if schedule.is_crashed(p, round) {
+            if schedule.is_crashed(p, round) || cfg.churn.is_some_and(|c| c.absent(p, r)) {
                 continue;
             }
             let slot = slot
@@ -303,7 +473,7 @@ where
         let (mut copies_sent, mut copies_delivered) = (0u64, 0u64);
         for (i, slot) in slots.iter().enumerate() {
             let p = ProcessId(i);
-            if schedule.is_crashed(p, round) {
+            if schedule.is_crashed(p, round) || cfg.churn.is_some_and(|c| c.absent(p, r)) {
                 continue;
             }
             let slot = slot
@@ -330,7 +500,12 @@ where
                 }
                 let outcome = if emitted >= cut {
                     DeliveryOutcome::SenderCrashed
-                } else if schedule.is_crashed(q, round) || schedule.crashes_in(q, round) {
+                } else if schedule.is_crashed(q, round)
+                    || schedule.crashes_in(q, round)
+                    || cfg.churn.is_some_and(|c| c.absent(q, r))
+                {
+                    // An absent (churned-out) receiver looks exactly like
+                    // a crashed one from the sender's side.
                     emitted += 1;
                     DeliveryOutcome::ReceiverCrashed
                 } else {

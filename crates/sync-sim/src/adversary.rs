@@ -46,6 +46,18 @@ pub trait Adversary {
     /// Whether the copy `from → to` in round `r` is dropped, and by which
     /// side. `None` means delivered. Never consulted for `from == to`.
     fn drop_copy(&mut self, r: Round, from: ProcessId, to: ProcessId) -> Option<OmissionSide>;
+
+    /// Whether the copy `from → to` in round `r` is *forged* — replaced
+    /// with an arbitrary payload the protocol derives from the returned
+    /// seed ([`crate::SyncProtocol::forge_message`]). Consulted **after**
+    /// [`Self::drop_copy`], and only for copies it let through; never for
+    /// `from == to`. Only declared-faulty senders may forge (the runner
+    /// panics otherwise). Default: never forge — the general-omission
+    /// adversaries stay inside the paper's fault model.
+    fn forge_copy(&mut self, r: Round, from: ProcessId, to: ProcessId) -> Option<u64> {
+        let _ = (r, from, to);
+        None
+    }
 }
 
 /// The failure-free adversary.
@@ -198,6 +210,98 @@ impl Adversary for RandomOmission {
     }
 }
 
+/// A message-forging (Byzantine) adversary: each copy sent by a declared
+/// *traitor* is forged with probability `p_forge` (the receiver gets an
+/// arbitrary payload derived from a seeded draw instead of the sender's
+/// broadcast), and optionally send-omitted with probability `p_drop`
+/// first. Strictly outside the paper's general-omission class — this is
+/// the harness's probe for where the Theorem-2 solvability boundary
+/// breaks as the fault class grows.
+///
+/// ## Determinism
+///
+/// All randomness for a copy is drawn inside [`Adversary::drop_copy`],
+/// which the runner consults for **every** non-self copy in canonical
+/// (round, sender, destination) order; the forge decision is cached and
+/// handed back from [`Adversary::forge_copy`] (which the runner only
+/// calls for copies that were let through). The RNG stream position is
+/// therefore a pure function of the traffic pattern, never of the drop
+/// or forge outcomes — same seed, byte-identical executions, across any
+/// `--jobs` split.
+#[derive(Clone, Debug)]
+pub struct ByzantineAdversary {
+    traitors: BTreeSet<ProcessId>,
+    p_forge: f64,
+    p_drop: f64,
+    rng: StdRng,
+    /// Forge decision for the copy `drop_copy` saw last, keyed by
+    /// `(round, from, to)` so a stale cache can never leak across copies.
+    pending: Option<((u64, ProcessId, ProcessId), Option<u64>)>,
+}
+
+impl ByzantineAdversary {
+    /// An adversary over the given traitor set forging each traitor copy
+    /// with probability `p_forge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_forge` is not within `0.0..=1.0`.
+    pub fn new(traitors: impl IntoIterator<Item = ProcessId>, p_forge: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_forge), "p_forge must be in [0,1]");
+        ByzantineAdversary {
+            traitors: traitors.into_iter().collect(),
+            p_forge,
+            p_drop: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            pending: None,
+        }
+    }
+
+    /// Traitors additionally send-omit each copy with probability
+    /// `p_drop` (checked before the forge draw; a dropped copy is never
+    /// forged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_drop` is not within `0.0..=1.0`.
+    #[must_use]
+    pub fn with_drops(mut self, p_drop: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_drop), "p_drop must be in [0,1]");
+        self.p_drop = p_drop;
+        self
+    }
+}
+
+impl Adversary for ByzantineAdversary {
+    fn faulty(&self, n: usize) -> ProcessSet {
+        ProcessSet::from_iter_n(n, self.traitors.iter().copied())
+    }
+
+    fn drop_copy(&mut self, r: Round, from: ProcessId, to: ProcessId) -> Option<OmissionSide> {
+        self.pending = None;
+        if !self.traitors.contains(&from) {
+            return None;
+        }
+        // Three draws per traitor copy, unconditionally, so the stream
+        // position never depends on outcomes.
+        let drop = self.rng.gen_bool(self.p_drop);
+        let forge = self.rng.gen_bool(self.p_forge);
+        let forge_seed = self.rng.next_u64();
+        if drop {
+            return Some(OmissionSide::Sender);
+        }
+        self.pending = Some(((r.get(), from, to), forge.then_some(forge_seed)));
+        None
+    }
+
+    fn forge_copy(&mut self, r: Round, from: ProcessId, to: ProcessId) -> Option<u64> {
+        match self.pending.take() {
+            Some((key, decision)) if key == (r.get(), from, to) => decision,
+            _ => None,
+        }
+    }
+}
+
 /// Partitions the system into two groups for a window of rounds: every
 /// cross-group copy is dropped, attributed to the *minority* group (all of
 /// whose members are declared faulty — the model requires omissions to be
@@ -316,6 +420,7 @@ impl Adversary for TapeOmission {
 pub struct ScriptedOmission {
     drops: BTreeSet<(u64, ProcessId, ProcessId)>,
     sides: std::collections::BTreeMap<(u64, ProcessId, ProcessId), OmissionSide>,
+    forges: std::collections::BTreeMap<(u64, ProcessId, ProcessId), u64>,
     faulty: BTreeSet<ProcessId>,
     schedule: CrashSchedule,
 }
@@ -350,6 +455,15 @@ impl ScriptedOmission {
         self.faulty.insert(p);
         self
     }
+
+    /// Scripts: in round `r`, the copy `from → to` is *forged* with the
+    /// given payload seed ([`crate::SyncProtocol::forge_message`]). The
+    /// sender is added to the faulty set.
+    pub fn forge_at(&mut self, r: u64, from: ProcessId, to: ProcessId, seed: u64) -> &mut Self {
+        self.forges.insert((r, from, to), seed);
+        self.faulty.insert(from);
+        self
+    }
 }
 
 impl Adversary for ScriptedOmission {
@@ -363,6 +477,10 @@ impl Adversary for ScriptedOmission {
 
     fn drop_copy(&mut self, r: Round, from: ProcessId, to: ProcessId) -> Option<OmissionSide> {
         self.sides.get(&(r.get(), from, to)).copied()
+    }
+
+    fn forge_copy(&mut self, r: Round, from: ProcessId, to: ProcessId) -> Option<u64> {
+        self.forges.get(&(r.get(), from, to)).copied()
     }
 }
 
@@ -452,7 +570,15 @@ impl Adversary for StormAdversary {
                     .gen_bool(f64::from(percent) / 100.0)
                     .then_some(side)
             }
-            StormKind::SilenceChurn => self.victim_side(from, to),
+            // A joining process is absent until its window closes, and a
+            // leaving process is gone for the rest of its window — both
+            // render as total silence, like SilenceChurn. What differs is
+            // the state on return: the chaos planner schedules a targeted
+            // corruption for joiners (arbitrary entry state), none for a
+            // clean leave.
+            StormKind::SilenceChurn | StormKind::Join | StormKind::Leave => {
+                self.victim_side(from, to)
+            }
             StormKind::Partition => {
                 match (self.victims.contains(&from), self.victims.contains(&to)) {
                     (true, false) => Some(OmissionSide::Sender),

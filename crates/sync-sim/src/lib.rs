@@ -56,8 +56,8 @@ pub mod runner;
 pub mod stepper;
 
 pub use adversary::{
-    Adversary, CrashOnly, GroupPartition, NoFaults, OmissionSide, RandomOmission, ScriptedOmission,
-    SilentProcess, StormAdversary, TapeOmission,
+    Adversary, ByzantineAdversary, CrashOnly, GroupPartition, NoFaults, OmissionSide,
+    RandomOmission, ScriptedOmission, SilentProcess, StormAdversary, TapeOmission,
 };
 pub use protocol::{Inbox, ProtocolCtx, SyncProtocol};
 pub use runner::{Corruption, CorruptionSchedule, RunConfig, RunOutcome, SyncRunner};

@@ -218,6 +218,18 @@ pub trait SyncProtocol {
         let _ = state;
         None
     }
+
+    /// An *arbitrary forged message*, derived deterministically from
+    /// `seed` — what a Byzantine sender may substitute for one copy of its
+    /// broadcast. `None` (the default) means the message space is opaque
+    /// to the harness and forging adversaries cannot be used with this
+    /// protocol (the runner panics if one tries). The forged value must be
+    /// a pure function of `seed` so sweeps stay byte-identical across
+    /// `--jobs`.
+    fn forge_message(&self, seed: u64) -> Option<Self::Msg> {
+        let _ = seed;
+        None
+    }
 }
 
 #[cfg(test)]

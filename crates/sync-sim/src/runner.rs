@@ -64,6 +64,10 @@ pub enum Corruption {
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct CorruptionSchedule {
     events: Vec<(u64, u64)>, // (round, seed)
+    /// Targeted systemic failures: `(round, seed, victims)`. Only the
+    /// listed victims are corrupted — the churn model's "process joins
+    /// with arbitrary state", localized instead of global.
+    targeted: Vec<(u64, u64, Vec<ProcessId>)>,
 }
 
 impl CorruptionSchedule {
@@ -79,9 +83,37 @@ impl CorruptionSchedule {
         self
     }
 
-    /// The round of the final scheduled systemic failure, if any.
+    /// Adds a *targeted* systemic failure at the start of round `round`:
+    /// only `victims` are corrupted (in the order given, from one RNG
+    /// seeded with `seed`). This is how a [`ftss_core::StormKind::Join`]
+    /// renders the joiner's arbitrary entry state.
+    pub fn at_targeted(
+        mut self,
+        round: u64,
+        seed: u64,
+        victims: impl IntoIterator<Item = ProcessId>,
+    ) -> Self {
+        self.targeted
+            .push((round, seed, victims.into_iter().collect()));
+        self
+    }
+
+    /// The round of the final scheduled systemic failure (global or
+    /// targeted), if any.
     pub fn final_failure_round(&self) -> Option<u64> {
-        self.events.iter().map(|&(r, _)| r).max()
+        let global = self.events.iter().map(|&(r, _)| r);
+        let targeted = self.targeted.iter().map(|&(r, _, _)| r);
+        global.chain(targeted).max()
+    }
+
+    /// The targeted entries scheduled for `round`, in insertion order.
+    /// Public so other substrates (the socket runtime) can replay a
+    /// schedule with the runner's exact semantics.
+    pub fn targeted_for(&self, round: u64) -> impl Iterator<Item = (u64, &[ProcessId])> {
+        self.targeted
+            .iter()
+            .filter(move |&&(r, _, _)| r == round)
+            .map(|(_, seed, victims)| (*seed, victims.as_slice()))
     }
 
     /// The corruption seed scheduled for `round`, if any — the same
@@ -108,20 +140,23 @@ impl CorruptionSchedule {
                 Err(i) => table.insert(i, (round, seed)),
             }
         }
-        ResolvedCorruption { table }
+        let mut targeted = self.targeted.clone();
+        targeted.sort_by_key(|&(r, _, _)| r); // stable: insertion order within a round
+        ResolvedCorruption { table, targeted }
     }
 
     /// Whether the schedule is empty.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.targeted.is_empty()
     }
 }
 
 /// A [`CorruptionSchedule`] resolved for execution: sorted by round,
-/// deduplicated, queried by binary search.
+/// deduplicated (global entries), queried by binary search.
 #[derive(Debug)]
 struct ResolvedCorruption {
     table: Vec<(u64, u64)>,
+    targeted: Vec<(u64, u64, Vec<ProcessId>)>,
 }
 
 impl ResolvedCorruption {
@@ -130,6 +165,12 @@ impl ResolvedCorruption {
             .binary_search_by_key(&round, |&(r, _)| r)
             .ok()
             .map(|i| self.table[i].1)
+    }
+
+    fn targeted_for(&self, round: u64) -> &[(u64, u64, Vec<ProcessId>)] {
+        let lo = self.targeted.partition_point(|&(r, _, _)| r < round);
+        let hi = self.targeted.partition_point(|&(r, _, _)| r <= round);
+        &self.targeted[lo..hi]
     }
 }
 
@@ -386,6 +427,22 @@ where
                     sink.emit(&Event::Corruption { round: r, seed });
                 }
             }
+            // Targeted systemic failures (churn joins): only the listed
+            // victims are corrupted, applied after any global entry.
+            for (_, seed, victims) in mid_run.targeted_for(r) {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                for v in victims {
+                    if let Some(s) = states[v.index()].as_mut() {
+                        s.corrupt(&mut rng);
+                    }
+                }
+                if traced {
+                    sink.emit(&Event::Corruption {
+                        round: r,
+                        seed: *seed,
+                    });
+                }
+            }
             let mut frame = match spare.take() {
                 Some(mut f) => {
                     f.reset(n);
@@ -458,7 +515,27 @@ where
                     } else {
                         emitted += 1;
                         match adversary.drop_copy(round, p, q) {
-                            None => DeliveryOutcome::Delivered,
+                            None => match adversary.forge_copy(round, p, q) {
+                                None => DeliveryOutcome::Delivered,
+                                Some(forge_seed) => {
+                                    assert!(
+                                        faulty.contains(p),
+                                        "adversary made non-faulty {p} forge"
+                                    );
+                                    let msg = self
+                                        .protocol
+                                        .forge_message(forge_seed)
+                                        .unwrap_or_else(|| {
+                                            panic!(
+                                                "adversary forged a copy but protocol {} \
+                                                     does not implement forge_message",
+                                                self.protocol.name()
+                                            )
+                                        });
+                                    frame.record_forged(p, q, Payload::new(msg));
+                                    DeliveryOutcome::Forged
+                                }
+                            },
                             Some(OmissionSide::Sender) => {
                                 assert!(
                                     faulty.contains(p),
@@ -480,7 +557,11 @@ where
                     }
                     if traced {
                         copies_sent += 1;
-                        if outcome == DeliveryOutcome::Delivered {
+                        // A forged copy arrives (with the wrong payload),
+                        // so it counts as delivered in traffic totals.
+                        if outcome == DeliveryOutcome::Delivered
+                            || outcome == DeliveryOutcome::Forged
+                        {
                             copies_delivered += 1;
                         }
                         sink.emit(&Event::Send {
@@ -490,7 +571,11 @@ where
                             outcome,
                         });
                     }
-                    frame.record_send(p, q, outcome);
+                    if outcome != DeliveryOutcome::Forged {
+                        // `record_forged` above already recorded the
+                        // exception and the delivered bit for forged copies.
+                        frame.record_send(p, q, outcome);
+                    }
                 }
             }
 
@@ -532,7 +617,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::{CrashOnly, NoFaults, RandomOmission, ScriptedOmission, SilentProcess};
+    use crate::adversary::{
+        ByzantineAdversary, CrashOnly, NoFaults, RandomOmission, ScriptedOmission, SilentProcess,
+    };
     use ftss_core::{CoterieTimeline, CrashSchedule, ProcessSet, RoundCounter};
     use ftss_rng::Rng;
 
@@ -574,6 +661,178 @@ mod tests {
         fn round_counter(&self, s: &CState) -> Option<RoundCounter> {
             Some(RoundCounter::new(s.c))
         }
+    }
+
+    /// Everyone broadcasts a value; state keeps the max seen. Supports
+    /// forgery: the forged payload is the seed itself.
+    struct EchoMax;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct EState {
+        v: u64,
+        c: u64,
+    }
+
+    impl Corrupt for EState {
+        fn corrupt<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            self.v.corrupt(rng);
+            self.c.corrupt(rng);
+        }
+    }
+
+    impl SyncProtocol for EchoMax {
+        type State = EState;
+        type Msg = u64;
+
+        fn name(&self) -> &str {
+            "echo-max"
+        }
+
+        fn init_state(&self, ctx: &ProtocolCtx) -> EState {
+            EState {
+                v: ctx.me.index() as u64 + 10,
+                c: 1,
+            }
+        }
+
+        fn broadcast(&self, _ctx: &ProtocolCtx, s: &EState) -> u64 {
+            s.v
+        }
+
+        fn step(&self, _ctx: &ProtocolCtx, s: &mut EState, inbox: &Inbox<u64>) {
+            s.v = inbox.iter().map(|(_, &m)| m).max().unwrap_or(s.v);
+            s.c += 1;
+        }
+
+        fn forge_message(&self, seed: u64) -> Option<u64> {
+            Some(seed)
+        }
+    }
+
+    #[test]
+    fn scripted_forgery_delivers_forged_payload_and_marks_sender() {
+        let mut adv = ScriptedOmission::new();
+        adv.forge_at(1, ProcessId(0), ProcessId(1), 4242);
+        let out = SyncRunner::new(EchoMax)
+            .run(&mut adv, &RunConfig::clean(3, 1))
+            .unwrap();
+        let r1 = out.history.round(Round::FIRST);
+        assert_eq!(
+            r1.msgs().outcome_of(ProcessId(0), ProcessId(1)),
+            Some(DeliveryOutcome::Forged)
+        );
+        // p1 received the forged 4242 from p0, p2 the genuine 10.
+        assert_eq!(
+            r1.msgs()
+                .deliveries(ProcessId(1))
+                .get(ProcessId(0))
+                .map(|p| **p),
+            Some(4242)
+        );
+        assert_eq!(
+            r1.msgs()
+                .deliveries(ProcessId(2))
+                .get(ProcessId(0))
+                .map(|p| **p),
+            Some(10)
+        );
+        // The forged copy counts as delivered for the receiver.
+        assert_eq!(r1.record(ProcessId(1)).delivered_len(), 3);
+        // Attribution: the forging sender is the (only) faulty process.
+        assert_eq!(
+            out.history.faulty(),
+            ProcessSet::from_iter_n(3, [ProcessId(0)])
+        );
+        // p1's step saw the forged max; p2 saw only genuine values. (After
+        // more rounds the forged value would spread via honest rebroadcast.)
+        assert_eq!(out.final_states[1].as_ref().unwrap().v, 4242);
+        assert_eq!(out.final_states[2].as_ref().unwrap().v, 12);
+    }
+
+    #[test]
+    fn byzantine_adversary_runs_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut adv = ByzantineAdversary::new([ProcessId(0)], 0.5, seed).with_drops(0.25);
+            SyncRunner::new(EchoMax)
+                .run(&mut adv, &RunConfig::clean(4, 8))
+                .unwrap()
+        };
+        let (a, b, c) = (run(7), run(7), run(8));
+        assert_eq!(a.history.rounds(), b.history.rounds());
+        assert_eq!(a.final_states, b.final_states);
+        assert_ne!(a.history.rounds(), c.history.rounds());
+        // With p_forge = 0.5 over 8 rounds × 3 destinations, forgeries
+        // occur (overwhelmingly likely) and only p0 deviates.
+        let forged: usize = a
+            .history
+            .rounds()
+            .iter()
+            .map(|rh| {
+                rh.record(ProcessId(0))
+                    .sent()
+                    .filter(|s| s.outcome == DeliveryOutcome::Forged)
+                    .count()
+            })
+            .sum();
+        assert!(forged > 0, "expected at least one forged copy");
+        assert!(a
+            .history
+            .faulty()
+            .is_subset(&ProcessSet::from_iter_n(4, [ProcessId(0)])));
+    }
+
+    #[test]
+    #[should_panic(expected = "forge")]
+    fn lying_forger_panics() {
+        struct Liar;
+        impl Adversary for Liar {
+            fn faulty(&self, n: usize) -> ProcessSet {
+                ProcessSet::empty(n)
+            }
+            fn drop_copy(&mut self, _: Round, _: ProcessId, _: ProcessId) -> Option<OmissionSide> {
+                None
+            }
+            fn forge_copy(&mut self, _: Round, _: ProcessId, _: ProcessId) -> Option<u64> {
+                Some(1)
+            }
+        }
+        let _ = SyncRunner::new(EchoMax).run(&mut Liar, &RunConfig::clean(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not implement forge_message")]
+    fn forging_against_opaque_protocol_panics() {
+        let mut adv = ScriptedOmission::new();
+        adv.forge_at(1, ProcessId(0), ProcessId(1), 1);
+        let _ = SyncRunner::new(CountAll).run(&mut adv, &RunConfig::clean(2, 1));
+    }
+
+    #[test]
+    fn targeted_corruption_hits_only_victims() {
+        let schedule = CorruptionSchedule::none().at_targeted(2, 55, [ProcessId(1)]);
+        let out = SyncRunner::new(CountAll)
+            .run(
+                &mut NoFaults,
+                &RunConfig::clean(3, 3).with_mid_run_corruption(schedule.clone()),
+            )
+            .unwrap();
+        let r2 = out.history.round(Round::new(2));
+        // p1's round-2 start state is corrupted; p0 and p2 keep protocol state.
+        let clean = CState { seen: 3, c: 2 };
+        assert_eq!(r2.record(ProcessId(0)).state_at_start(), Some(&clean));
+        assert_eq!(r2.record(ProcessId(2)).state_at_start(), Some(&clean));
+        assert_ne!(
+            r2.record(ProcessId(1)).state_at_start(),
+            Some(&clean),
+            "victim state should be corrupted (overwhelmingly likely)"
+        );
+        // Nobody deviated: targeted corruption is systemic, not a process fault.
+        assert!(out.history.faulty().is_empty());
+        assert_eq!(schedule.final_failure_round(), Some(2));
+        assert!(!schedule.is_empty());
+        let targeted: Vec<_> = schedule.targeted_for(2).collect();
+        assert_eq!(targeted, vec![(55, &[ProcessId(1)][..])]);
+        assert_eq!(schedule.targeted_for(1).count(), 0);
     }
 
     #[test]

@@ -240,6 +240,7 @@ fn outcome_str(outcome: DeliveryOutcome) -> &'static str {
         DeliveryOutcome::DroppedByReceiver => "dropped_by_receiver",
         DeliveryOutcome::ReceiverCrashed => "receiver_crashed",
         DeliveryOutcome::SenderCrashed => "sender_crashed",
+        DeliveryOutcome::Forged => "forged",
     }
 }
 
@@ -250,6 +251,7 @@ fn outcome_from_str(s: &str) -> Option<DeliveryOutcome> {
         "dropped_by_receiver" => DeliveryOutcome::DroppedByReceiver,
         "receiver_crashed" => DeliveryOutcome::ReceiverCrashed,
         "sender_crashed" => DeliveryOutcome::SenderCrashed,
+        "forged" => DeliveryOutcome::Forged,
         _ => return None,
     })
 }

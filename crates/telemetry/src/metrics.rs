@@ -48,6 +48,9 @@ pub struct Metrics {
     pub dropped_by_receiver: u64,
     /// Copies lost to a crash (either side), with nobody deviating.
     pub dropped_by_crash: u64,
+    /// Copies a Byzantine sender replaced with a forged payload (the copy
+    /// still arrives, so it also counts as delivered).
+    pub forged: u64,
     /// Asynchronous messages delivered.
     pub async_delivered: u64,
     /// Asynchronous messages discarded at a crashed receiver.
@@ -167,6 +170,10 @@ impl TraceSink for Metrics {
                 self.sent += 1;
                 match outcome {
                     DeliveryOutcome::Delivered => self.delivered += 1,
+                    DeliveryOutcome::Forged => {
+                        self.delivered += 1;
+                        self.forged += 1;
+                    }
                     DeliveryOutcome::DroppedBySender => self.dropped_by_sender += 1,
                     DeliveryOutcome::DroppedByReceiver => self.dropped_by_receiver += 1,
                     DeliveryOutcome::ReceiverCrashed | DeliveryOutcome::SenderCrashed => {

@@ -107,6 +107,23 @@ cargo run -q --release -p ftss-lab -- check --graph --n 4 --rounds 3 \
 run cmp "$TRACE_DIR/graph_j1.txt" "$TRACE_DIR/graph_j4.txt"
 run cargo run -q --release -p ftss-lab -- check --graph --n 5
 
+# Async POR smoke: the sleep-set reduction on the canonical gossip demo
+# must keep the full enumeration's verdict while pruning the commuting
+# interleavings (24 -> 4 complete dispatch orders).
+run cargo run -q --release -p ftss-lab -- check --dfs --por
+
+# Fault-class boundary smoke (DESIGN.md §15, EXPERIMENTS.md E10): the
+# omission/byzantine/churn grid. Byzantine rows beyond n > 4f are
+# *expected* to record violations — the sweep always exits 0; the gate
+# here is byte-determinism across worker counts. The table lands in the
+# workspace so CI uploads it as an artifact.
+echo "==> ftss-lab sweep --exp e10 (serial vs 4 workers, byte-compared)"
+cargo run -q --release -p ftss-lab -- sweep --exp e10 \
+    --seeds 2 --max-n 8 --jobs 1 > e10-boundary.txt
+cargo run -q --release -p ftss-lab -- sweep --exp e10 \
+    --seeds 2 --max-n 8 --jobs 4 > "$TRACE_DIR/e10_par.txt"
+run cmp e10-boundary.txt "$TRACE_DIR/e10_par.txt"
+
 # Chaos soak smoke (crates/chaos, DESIGN.md §11): a short default-plan
 # soak must recover after every epoch inside an explicit wall-clock
 # budget, and the JSONL soak report must render byte-identical at any
@@ -127,6 +144,15 @@ run cargo run -q --release -p ftss-lab -- soak --plan large-n --epochs 1 \
 run cargo run -q --release -p ftss-lab -- soak --plan large-n --epochs 1 \
     --budget-ms 120000 --jobs 1 --out soak-largen-b.soak.jsonl
 run cmp soak-largen-a.soak.jsonl soak-largen-b.soak.jsonl
+
+# Churn soak smoke (DESIGN.md §15): leave/join storms where joiners
+# re-enter with arbitrary state; every epoch must still recover, and
+# the report must be byte-identical at any worker count.
+run cargo run -q --release -p ftss-lab -- soak --plan churn --epochs 2 \
+    --budget-ms 60000 --jobs 1 --out soak-churn-j1.soak.jsonl
+run cargo run -q --release -p ftss-lab -- soak --plan churn --epochs 2 \
+    --budget-ms 60000 --jobs 4 --out soak-churn-j4.soak.jsonl
+run cmp soak-churn-j1.soak.jsonl soak-churn-j4.soak.jsonl
 
 # Socket-runtime smoke (crates/serve, DESIGN.md §13): the served `mem`
 # session must stream the exact bytes of the simulator's trace, and a

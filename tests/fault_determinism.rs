@@ -1,0 +1,52 @@
+//! Determinism regression for the Byzantine and churn fault models:
+//! boundary sweeps and churn soaks are pure functions of their
+//! configuration — byte-identical across reruns and across worker
+//! counts — the same contract `tests/soak_determinism.rs` pins for the
+//! stock storm plans.
+
+use ftss_chaos::{run_soak, SoakBudget, SoakConfig, SoakPlan};
+
+fn config(plan: SoakPlan, jobs: usize) -> SoakConfig {
+    SoakConfig {
+        plan,
+        jobs,
+        budget: SoakBudget::default(),
+    }
+}
+
+#[test]
+fn byzantine_boundary_table_is_byte_identical_across_jobs_and_reruns() {
+    // The E10 grid up to n = 8 covers both sides of the n > 4f boundary:
+    // (4, 1) is unsolvable (and measured as violated), (8, 1) recovers.
+    // The rendered table must not depend on worker scheduling.
+    let baseline = ftss_check::e10_table(2, 8, 1).to_string();
+    assert!(baseline.contains("byzantine"), "{baseline}");
+    assert!(baseline.contains("churn"), "{baseline}");
+    for jobs in [1, 4] {
+        assert_eq!(
+            ftss_check::e10_table(2, 8, jobs).to_string(),
+            baseline,
+            "jobs={jobs} must reproduce the boundary table byte for byte"
+        );
+    }
+}
+
+#[test]
+fn churn_soak_report_is_byte_identical_across_jobs_and_reruns() {
+    let baseline = run_soak(&config(SoakPlan::churn(2, 0), 1)).unwrap();
+    assert!(
+        baseline.all_recovered(),
+        "churn plan must recover:\n{}",
+        baseline.summary()
+    );
+    let report = baseline.report();
+    assert!(!report.is_empty());
+    for jobs in [1, 4] {
+        let again = run_soak(&config(SoakPlan::churn(2, 0), jobs)).unwrap();
+        assert_eq!(
+            again.report(),
+            report,
+            "jobs={jobs} must reproduce the report byte for byte"
+        );
+    }
+}

@@ -15,11 +15,13 @@
 use ftss::compiler::Compiled;
 use ftss::core::{CrashSchedule, ProcessId, RateAgreementSpec, Round};
 use ftss::protocols::{FloodSet, RoundAgreement};
-use ftss::sync_sim::{Adversary, CrashOnly, RandomOmission, RunConfig, StormAdversary, SyncRunner};
+use ftss::sync_sim::{
+    Adversary, CorruptionSchedule, CrashOnly, RandomOmission, RunConfig, StormAdversary, SyncRunner,
+};
 use ftss::telemetry::{Event, RecordingSink};
 use ftss_chaos::{burst_seed, storm_program, StormGeometry};
 use ftss_check::window_stabilization;
-use ftss_serve::{serve, ServeConfig, TransportKind};
+use ftss_serve::{serve, ServeChurn, ServeConfig, TransportKind};
 
 fn jsonl(events: &[Event]) -> String {
     let mut out = String::new();
@@ -222,6 +224,187 @@ fn storm_histories_agree_across_substrates() {
         )
     };
     assert_eq!(verdict(&sim.history), verdict(&tcp.history));
+}
+
+/// Targeted corruption (the churn join's entry-state seam) replays on
+/// the socket runtime byte-identical to the simulator.
+#[test]
+fn mem_targeted_corruption_is_byte_identical_to_simulator() {
+    let schedule =
+        CorruptionSchedule::none()
+            .at(4, 21)
+            .at_targeted(6, 99, [ProcessId(1), ProcessId(3)]);
+    let cfg = RunConfig::corrupted(4, 12, 7).with_mid_run_corruption(schedule);
+
+    let mut sim_sink = RecordingSink::new(1 << 16);
+    let sim = SyncRunner::new(RoundAgreement)
+        .run_traced(&mut omission_adversary(), &cfg, &mut sim_sink)
+        .expect("simulator run");
+
+    let mut serve_sink = RecordingSink::new(1 << 16);
+    let served = serve(
+        &RoundAgreement,
+        &mut omission_adversary(),
+        &ServeConfig::new(cfg, TransportKind::Mem),
+        &mut serve_sink,
+    )
+    .expect("served run");
+
+    assert_eq!(jsonl(&sim_sink.take()), jsonl(&serve_sink.take()));
+    assert_eq!(sim.final_states, served.final_states);
+}
+
+/// The churn episode: a node leaves mid-session, a fresh connection
+/// rejoins with the `hello` handshake, adopts an arbitrary entry state
+/// via targeted corruption, and the session re-stabilizes within the
+/// Thm-3 window bound measured from the join round.
+#[test]
+fn churn_session_rejoins_with_hello_and_restabilizes() {
+    let churn = ServeChurn {
+        p: ProcessId(0),
+        leave_round: 4,
+        join_round: 9,
+    };
+    // p0 is declared faulty (churn is a fault) but never omits a copy.
+    let mut adversary = RandomOmission::new([ProcessId(0)], 0.0, 13);
+    let cfg = RunConfig::corrupted(4, 16, 3)
+        .with_mid_run_corruption(CorruptionSchedule::none().at_targeted(9, 0x90e, [ProcessId(0)]))
+        .with_max_faulty(1);
+
+    let mut sink = RecordingSink::new(1 << 16);
+    let out = serve(
+        &RoundAgreement,
+        &mut adversary,
+        &ServeConfig::new(cfg, TransportKind::Mem).with_churn(churn),
+        &mut sink,
+    )
+    .expect("churn session");
+
+    // Absent rounds record no state for the churner — it is simply gone.
+    for r in churn.leave_round..churn.join_round {
+        assert!(out
+            .history
+            .round(Round::new(r))
+            .record(ProcessId(0))
+            .state_at_start()
+            .is_none());
+    }
+    // The join round snapshots the joiner's (corrupted) entry state.
+    assert!(out
+        .history
+        .round(Round::new(churn.join_round))
+        .record(ProcessId(0))
+        .state_at_start()
+        .is_some());
+    let events = sink.take();
+    assert!(
+        events.iter().any(
+            |e| matches!(e, Event::Corruption { round, seed } if *round == 9 && *seed == 0x90e)
+        ),
+        "the joiner's entry corruption must be narrated"
+    );
+    // Re-stabilization within the Thm-3 window bound from the join round.
+    let s = window_stabilization(
+        &out.history,
+        &RateAgreementSpec::new(),
+        churn.join_round as usize,
+        16,
+        2,
+    )
+    .expect("churned session re-stabilizes");
+    assert!(s <= 2, "took {s} rounds, Thm-3 window bound is 2");
+    assert!(out.final_states[0].is_some(), "the joiner finishes the run");
+}
+
+/// Churn sessions are deterministic: byte-identical across reruns on
+/// `mem`, and identical modulo `net_*` narration on real sockets —
+/// where the leave/rejoin shows up as an extra close + connect.
+#[test]
+fn churn_sessions_are_deterministic_across_transports() {
+    let run = |transport: TransportKind| {
+        let churn = ServeChurn {
+            p: ProcessId(2),
+            leave_round: 3,
+            join_round: 7,
+        };
+        let cfg = RunConfig::corrupted(3, 10, 5)
+            .with_mid_run_corruption(CorruptionSchedule::none().at_targeted(7, 77, [ProcessId(2)]))
+            .with_max_faulty(1);
+        let mut adversary = RandomOmission::new([ProcessId(2)], 0.0, 11);
+        let mut sink = RecordingSink::new(1 << 16);
+        let out = serve(
+            &RoundAgreement,
+            &mut adversary,
+            &ServeConfig::new(cfg, transport).with_churn(churn),
+            &mut sink,
+        )
+        .expect("churn session");
+        (sink.take(), out.final_states)
+    };
+
+    let (mem_a, final_a) = run(TransportKind::Mem);
+    let (mem_b, final_b) = run(TransportKind::Mem);
+    assert_eq!(jsonl(&mem_a), jsonl(&mem_b), "mem reruns diverge");
+    assert_eq!(final_a, final_b);
+
+    let (tcp_events, tcp_final) = run(TransportKind::Tcp);
+    assert_eq!(without_net(&tcp_events), mem_a);
+    assert_eq!(tcp_final, final_a);
+    let count = |kind: &str| tcp_events.iter().filter(|e| e.kind() == kind).count();
+    // n connects at session start + 1 rejoin; n closes at the end + 1 leave.
+    assert_eq!(count("net_connect"), 4);
+    assert_eq!(count("net_close"), 4);
+}
+
+/// Churn configuration is validated like everything else.
+#[test]
+fn churn_rejects_invalid_episodes() {
+    let attempt = |churn: ServeChurn, faulty: &[ProcessId]| {
+        serve(
+            &RoundAgreement,
+            &mut RandomOmission::new(faulty.iter().copied(), 0.0, 1),
+            &ServeConfig::new(
+                RunConfig::clean(3, 8).with_max_faulty(2),
+                TransportKind::Mem,
+            )
+            .with_churn(churn),
+            &mut ftss::telemetry::NullSink,
+        )
+        .unwrap_err()
+    };
+    let ok = ServeChurn {
+        p: ProcessId(1),
+        leave_round: 3,
+        join_round: 5,
+    };
+    // Churn outside the declared faulty set is not a legal adversary move.
+    assert!(attempt(ok, &[ProcessId(0)]).contains("outside the declared faulty set"));
+    // Leave/join must be ordered and inside the run.
+    assert!(attempt(
+        ServeChurn {
+            join_round: 3,
+            ..ok
+        },
+        &[ProcessId(1)]
+    )
+    .contains("churn needs"));
+    assert!(attempt(
+        ServeChurn {
+            leave_round: 1,
+            join_round: 2,
+            ..ok
+        },
+        &[ProcessId(1)]
+    )
+    .contains("churn needs"));
+    assert!(attempt(
+        ServeChurn {
+            join_round: 99,
+            ..ok
+        },
+        &[ProcessId(1)]
+    )
+    .contains("churn needs"));
 }
 
 /// Serve inherits the simulator's configuration validation verbatim.

@@ -8,8 +8,9 @@
 //! test drives random (n, rounds, window, adversary, corruption)
 //! configurations through both retention modes and demands exactly that.
 
+use ftss::compiler::{trace_events, Compiled};
 use ftss::core::{CrashSchedule, ProcessId, RateAgreementSpec, Round};
-use ftss::protocols::RoundAgreement;
+use ftss::protocols::{FloodSet, RoundAgreement};
 use ftss::sync_sim::{CorruptionSchedule, CrashOnly, RandomOmission, RunConfig, SyncRunner};
 use ftss::telemetry::{Event, RecordingSink};
 use ftss_check::window_stabilization;
@@ -128,4 +129,47 @@ fn windowed_retention_is_observationally_equivalent() {
             );
         }
     });
+}
+
+/// Regression: `trace_events` used to panic on windowed histories; it
+/// now treats the oldest retained frame as the baseline, so its output
+/// is the full extraction restricted to rounds past the eviction
+/// horizon (the evicted prefix remains recoverable via `TraceCursor`).
+#[test]
+fn compiled_trace_extraction_works_on_windowed_histories() {
+    for seed in 0..8u64 {
+        let n = 4;
+        let rounds = 14;
+        let window = 6;
+        let inputs: Vec<u64> = (0..n as u64).map(|i| (i * 5 + seed) % 9).collect();
+        let cfg = RunConfig::corrupted(n, rounds, seed);
+        let run = |cfg: &RunConfig| {
+            SyncRunner::new(Compiled::new(FloodSet::new(1, inputs.clone())))
+                .run(
+                    &mut RandomOmission::new([ProcessId(0)], 0.3, seed ^ 0xfa11),
+                    cfg,
+                )
+                .expect("valid config")
+        };
+        let full = run(&cfg);
+        let windowed = run(&cfg.clone().with_history_window(window));
+        assert_eq!(windowed.history.evicted(), rounds - window);
+
+        // The first retained frame is the state at the start of round
+        // evicted + 1; diffs become visible one round later.
+        let horizon = (windowed.history.evicted() + 1) as u64;
+        let expected: Vec<Event> = trace_events(&full.history)
+            .into_iter()
+            .filter(|e| match e {
+                Event::Decision { round, .. } => *round > horizon,
+                Event::Suspicion { at, .. } => *at > horizon,
+                _ => unreachable!("trace_events only emits decisions and suspicions"),
+            })
+            .collect();
+        assert_eq!(
+            trace_events(&windowed.history),
+            expected,
+            "windowed extraction diverged (seed {seed})"
+        );
+    }
 }

@@ -50,6 +50,9 @@ pub fn message_stats<S, M>(history: &History<S, M>) -> MessageStats {
                     DeliveryOutcome::ReceiverCrashed | DeliveryOutcome::SenderCrashed => {
                         stats.lost_to_crashes += 1
                     }
+                    // Timing faults still deliver (late / twice): counted
+                    // as delivered, never as a loss.
+                    DeliveryOutcome::Delayed | DeliveryOutcome::Duplicated => stats.delivered += 1,
                 }
             }
         }

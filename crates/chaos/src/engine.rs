@@ -30,8 +30,8 @@
 
 use crate::guard::{with_watchdog, QuiescenceMonitor, SoakBudget, WatchdogOutcome};
 use crate::plan::{
-    burst_seed, churn_cycle, join_seed, storm_cycle, SoakCell, SoakPlan, SoakScenario,
-    StormGeometry,
+    burst_seed, churn_cycle, join_seed, restart_cycle, storm_cycle, SoakCell, SoakPlan,
+    SoakScenario, StormGeometry,
 };
 use crate::verdict::{CellReport, EpochVerdict, SoakVerdict};
 use ftss::async_sim::{
@@ -50,6 +50,8 @@ use ftss::protocols::{FloodSet, RepeatedConsensusSpec, RoundAgreement};
 use ftss::sync_sim::{CorruptionSchedule, RunConfig, StormAdversary, SyncProtocol, SyncRunner};
 use ftss::telemetry::{Event, NullSink, RunMode};
 use ftss_check::window_stabilization;
+use ftss_serve::TransportKind;
+use ftss_serve::{serve, Retry, ServeConfig, ServeRestart, SnapshotFault, TimingFaults};
 use std::fmt::Write as _;
 
 /// One soak campaign's parameters.
@@ -177,6 +179,7 @@ fn run_cell(cell: &SoakCell, budget: &SoakBudget) -> CellReport {
         SoakScenario::RoundAgreement => run_round_agreement(cell, budget),
         SoakScenario::Compiled => run_compiled(cell, budget),
         SoakScenario::Detector => run_detector(cell, budget),
+        SoakScenario::Restart => run_restart_cell(cell, budget),
     }
 }
 
@@ -189,10 +192,12 @@ fn push_line(out: &mut String, ev: &Event) {
 // Synchronous cells
 // ---------------------------------------------------------------------
 
-/// The cell's storm cycle: membership churn for churn cells, the stock
-/// cycle otherwise.
+/// The cell's storm cycle: the timing kinds for served restart cells,
+/// membership churn for churn cells, the stock cycle otherwise.
 fn cell_cycle(cell: &SoakCell) -> [StormKind; 4] {
-    if cell.churn {
+    if cell.scenario == SoakScenario::Restart {
+        restart_cycle()
+    } else if cell.churn {
         churn_cycle(cell.worst_case)
     } else {
         storm_cycle(cell.worst_case)
@@ -523,6 +528,138 @@ where
                         EpochVerdict::Recovered { rounds: s as u64 }
                     }
                 },
+                Err(detail) => {
+                    push_line(
+                        &mut jsonl,
+                        &Event::RecoveryMeasured {
+                            epoch: e as u64,
+                            at: close,
+                            rounds: 0,
+                            bound: bound as u64,
+                            ok: false,
+                        },
+                    );
+                    EpochVerdict::Violated { detail }
+                }
+            };
+        epochs.push(verdict);
+    }
+    CellReport::from_epochs(cell.label.clone(), epochs, jsonl)
+}
+
+// ---------------------------------------------------------------------
+// The served restart cell
+// ---------------------------------------------------------------------
+
+/// Served round agreement (`mem` transport, real router and node
+/// threads) under the restart cycle. One crash–restart episode runs
+/// inside epoch 0: the victim is killed at round 2, its first respawn
+/// attempt at round 4 reads a truncated recovery snapshot, and the final
+/// attempt at round 6 re-admits it on clean (but stale) bytes. The
+/// partial-synchrony proxy renders the cycle's timing kinds — delayed,
+/// duplicated, reordered copies — against the same victim in every
+/// storm window.
+///
+/// Verification is Theorem 3's oracle per epoch, measured from the last
+/// perturbation that can touch the epoch: the storm's close plus the
+/// timing kind's slack (a `Delay { rounds }` copy lands up to `rounds`
+/// after the storm closes; reordered and duplicated copies land one
+/// round late), and in epoch 0 additionally the restart's final
+/// scheduled attempt — the re-entering node carries its stale snapshot
+/// until that round.
+fn run_restart_cell(cell: &SoakCell, budget: &SoakBudget) -> CellReport {
+    let geom = StormGeometry::engine_default();
+    let victims = [ProcessId(0)];
+    let total_rounds = geom.epoch_len * cell.epochs as u64;
+    let mut jsonl = String::new();
+    push_line(
+        &mut jsonl,
+        &Event::RunStart {
+            mode: RunMode::Sync,
+            protocol: cell.label.clone(),
+            n: cell.n,
+            rounds: Some(total_rounds),
+            msg_size: None,
+        },
+    );
+    if total_rounds > budget.max_rounds {
+        push_line(
+            &mut jsonl,
+            &Event::BudgetExhausted {
+                at: 0,
+                budget: "rounds".into(),
+            },
+        );
+        return CellReport::timed_out(cell.label.clone(), "rounds", Vec::new(), jsonl);
+    }
+
+    let (schedule, phases) = cell_storm_program(cell, &geom, &victims);
+    let mut adv = StormAdversary::new(victims.iter().copied(), phases.clone(), cell.seed ^ 0x517a);
+    let restart = ServeRestart {
+        p: ProcessId(0),
+        kill_round: 2,
+        gap: 2,
+        staleness: 1,
+        fault: SnapshotFault::Truncated,
+        snapshot_seed: cell.seed ^ 0x5a97,
+        retry: Retry {
+            attempts: 2,
+            backoff_rounds: 2,
+        },
+    };
+    let run_cfg = RunConfig::corrupted(cell.n, total_rounds as usize, burst_seed(cell.seed, 0))
+        .with_mid_run_corruption(schedule);
+    let serve_cfg = ServeConfig::new(run_cfg, TransportKind::Mem)
+        .with_restart(restart)
+        .with_timing(TimingFaults {
+            victims: victims.to_vec(),
+            phases,
+            seed: cell.seed ^ 0x7131,
+        });
+    let out = match serve(&RoundAgreement, &mut adv, &serve_cfg, &mut NullSink) {
+        Ok(out) => out,
+        Err(e) => {
+            return CellReport::from_epochs(
+                cell.label.clone(),
+                vec![EpochVerdict::Violated {
+                    detail: format!("bad soak run config: {e}"),
+                }],
+                jsonl,
+            );
+        }
+    };
+
+    let bound = 2;
+    let spec = RateAgreementSpec::new();
+    let cycle = restart_cycle();
+    let mut epochs = Vec::with_capacity(cell.epochs);
+    for e in 0..cell.epochs {
+        push_storm_lines(&mut jsonl, cell, &geom, e);
+        let slack = match cycle[e % cycle.len()] {
+            StormKind::Delay { rounds } => u64::from(rounds),
+            StormKind::Reorder | StormKind::Duplicate => 1,
+            _ => 0,
+        };
+        let mut from = geom.storm_end(e) + slack;
+        if e == 0 {
+            from = from.max(restart.last_attempt_round());
+        }
+        let close = geom.epoch_end(e);
+        let verdict =
+            match window_stabilization(&out.history, &spec, from as usize, close as usize, bound) {
+                Ok(s) => {
+                    push_line(
+                        &mut jsonl,
+                        &Event::RecoveryMeasured {
+                            epoch: e as u64,
+                            at: close,
+                            rounds: s as u64,
+                            bound: bound as u64,
+                            ok: true,
+                        },
+                    );
+                    EpochVerdict::Recovered { rounds: s as u64 }
+                }
                 Err(detail) => {
                     push_line(
                         &mut jsonl,
@@ -889,6 +1026,43 @@ mod tests {
     fn churn_report_is_deterministic() {
         let a = run_soak(&quick_config(SoakPlan::churn(4, 5))).unwrap();
         let mut cfg = quick_config(SoakPlan::churn(4, 5));
+        cfg.jobs = 4;
+        let b = run_soak(&cfg).unwrap();
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn restart_soak_kills_respawns_and_restabilizes_every_epoch() {
+        // Four epochs cover the whole restart cycle: a delay storm (with
+        // the crash–restart episode inside it), a duplicate storm, a
+        // reorder storm, and a bare corruption burst. Every epoch must
+        // re-stabilize within the theorem bound, through a real router
+        // and real node threads.
+        let out = run_soak(&quick_config(SoakPlan::restart(4, 5))).unwrap();
+        assert!(out.all_recovered(), "summary:\n{}", out.summary());
+        assert_eq!(out.cells.len(), 2);
+        let report = out.report();
+        assert_eq!(report.matches(r#""type":"run_start""#).count(), 2);
+        // One burst line per cell-epoch (epoch 0's is the initial
+        // corruption); the restart cycle schedules no join corruption.
+        assert_eq!(report.matches(r#""type":"corruption""#).count(), 8);
+        assert_eq!(report.matches(r#""type":"recovery_measured""#).count(), 8);
+        assert_eq!(report.matches(r#""ok":true"#).count(), 8);
+        assert_eq!(report.matches(r#""kind":"delay""#).count(), 2);
+        assert_eq!(report.matches(r#""kind":"duplicate""#).count(), 2);
+        assert_eq!(report.matches(r#""kind":"reorder""#).count(), 2);
+        for line in report.lines() {
+            ftss::telemetry::Event::parse_line(line).expect("report lines are valid events");
+        }
+    }
+
+    #[test]
+    fn restart_report_is_deterministic() {
+        // The acceptance bar: the mem-transport restart soak produces the
+        // same bytes on reruns and across --jobs (real threads and a real
+        // router notwithstanding).
+        let a = run_soak(&quick_config(SoakPlan::restart(4, 5))).unwrap();
+        let mut cfg = quick_config(SoakPlan::restart(4, 5));
         cfg.jobs = 4;
         let b = run_soak(&cfg).unwrap();
         assert_eq!(a.report(), b.report());

@@ -3,7 +3,10 @@
 //! Long-horizon repeated-Σ⁺ executions through both simulators while a
 //! composable **fault-storm plan** fires epochs of perturbation:
 //! mid-run corruption bursts, omission storms, crash/recover silence
-//! churn, partition-and-heal windows and asynchronous delay inflation.
+//! churn, partition-and-heal windows and asynchronous delay inflation —
+//! and, under the `restart` plan, crash–restart kills with
+//! damaged-snapshot respawns plus partial-synchrony timing storms
+//! rendered through the `ftss-serve` socket runtime itself.
 //! After *every* storm epoch the engine verifies recovery by re-running
 //! the property oracles — Theorem 3's one-round stabilization, Theorem
 //! 4's `2·final_round + 2` bound and Theorem 5's detector settlement —
@@ -36,7 +39,7 @@ pub mod verdict;
 pub use engine::{run_soak, SoakConfig, SoakOutcome};
 pub use guard::{with_watchdog, QuiescenceMonitor, SoakBudget, WatchdogOutcome};
 pub use plan::{
-    burst_seed, churn_cycle, join_seed, storm_cycle, storm_program, storm_program_for, SoakCell,
-    SoakPlan, SoakScenario, StormGeometry,
+    burst_seed, churn_cycle, join_seed, restart_cycle, storm_cycle, storm_program,
+    storm_program_for, SoakCell, SoakPlan, SoakScenario, StormGeometry,
 };
 pub use verdict::{CellReport, EpochVerdict, SoakVerdict};

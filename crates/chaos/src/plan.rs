@@ -3,7 +3,7 @@
 //!
 //! A plan expands to a list of independent [`SoakCell`]s — pure
 //! functions of `(scenario, seed, epochs)` — that the engine fans out
-//! over the sweep executor. Three plans ship:
+//! over the sweep executor. Five plans ship:
 //!
 //! * **default** — the storm cycle at moderate intensity (60% omission
 //!   storms, untargeted asynchronous scheduling),
@@ -15,7 +15,13 @@
 //!   `SyncRunner::run_streaming`, verifying each epoch the moment its
 //!   last round lands, before the window evicts it. This is the soak
 //!   that proves the struct-of-arrays engine sustains thousands of
-//!   processes without retaining the full execution.
+//!   processes without retaining the full execution,
+//! * **churn** — the synchronous scenarios under [`churn_cycle`]
+//!   (joins entering with arbitrary state, clean leaves),
+//! * **restart** — served round agreement through [`restart_cycle`]:
+//!   crash–restart kills with damaged-snapshot respawns, cycled against
+//!   the partial-synchrony proxy's delay/duplicate/reorder storms. The
+//!   only plan that soaks `ftss-serve` itself.
 
 use ftss::core::{ProcessId, StormKind, StormPhase};
 use ftss::sync_sim::CorruptionSchedule;
@@ -32,6 +38,12 @@ pub enum SoakScenario {
     /// The self-stabilizing ◇S detector on the asynchronous simulator:
     /// Theorem 5's settle properties per epoch.
     Detector,
+    /// Round agreement on the `ftss-serve` socket runtime (`mem`
+    /// transport): one crash–restart episode at the head of the run plus
+    /// the partial-synchrony proxy's timing storms cycled per epoch,
+    /// each epoch checked with the Theorem 3 window oracle measured from
+    /// the last perturbation that can touch it.
+    Restart,
 }
 
 impl SoakScenario {
@@ -41,6 +53,7 @@ impl SoakScenario {
             SoakScenario::RoundAgreement => "round-agreement",
             SoakScenario::Compiled => "compiled-floodset",
             SoakScenario::Detector => "strong-detector",
+            SoakScenario::Restart => "serve-restart",
         }
     }
 }
@@ -82,7 +95,8 @@ pub const LARGE_N_WINDOW: usize = 12;
 /// A named soak plan.
 #[derive(Clone, Debug)]
 pub struct SoakPlan {
-    /// Plan name (`default`, `worst-case`, `large-n` or `churn`).
+    /// Plan name (`default`, `worst-case`, `large-n`, `churn` or
+    /// `restart`).
     pub name: &'static str,
     /// Storm epochs per cell.
     pub epochs: usize,
@@ -144,6 +158,19 @@ impl SoakPlan {
         }
     }
 
+    /// The restart plan: served round agreement under [`restart_cycle`] —
+    /// crash–restart kills, damaged-snapshot respawns, and the timing
+    /// storms of the partial-synchrony proxy.
+    pub fn restart(epochs: usize, seed: u64) -> Self {
+        SoakPlan {
+            name: "restart",
+            epochs,
+            seed,
+            worst_case: false,
+            churn: false,
+        }
+    }
+
     /// Looks a plan up by CLI name.
     ///
     /// # Errors
@@ -155,8 +182,9 @@ impl SoakPlan {
             "worst-case" => Ok(Self::worst_case(epochs, seed)),
             "large-n" => Ok(Self::large_n(epochs, seed)),
             "churn" => Ok(Self::churn(epochs, seed)),
+            "restart" => Ok(Self::restart(epochs, seed)),
             other => Err(format!(
-                "unknown soak plan {other:?} (expected 'default', 'worst-case', 'large-n' or 'churn')"
+                "unknown soak plan {other:?} (expected 'default', 'worst-case', 'large-n', 'churn' or 'restart')"
             )),
         }
     }
@@ -174,6 +202,22 @@ impl SoakPlan {
                 history_window: Some(LARGE_N_WINDOW),
                 churn: false,
             }];
+        }
+        if self.name == "restart" {
+            // Two seed variants of one served scenario: the soak runs the
+            // real router (mem transport), so cells stay small.
+            return (0..VARIANTS)
+                .map(|v| SoakCell {
+                    scenario: SoakScenario::Restart,
+                    label: format!("{}/v{v}", SoakScenario::Restart.name()),
+                    n: 3,
+                    seed: self.seed.wrapping_add(v.wrapping_mul(0x9e37_79b9)),
+                    epochs: self.epochs,
+                    worst_case: false,
+                    history_window: None,
+                    churn: false,
+                })
+                .collect();
         }
         // Churn renders as synchronous omission windows plus targeted
         // join corruption; the asynchronous detector cell has no churn
@@ -234,6 +278,20 @@ pub fn churn_cycle(worst_case: bool) -> [StormKind; 4] {
         StormKind::Join,
         StormKind::OmissionStorm { percent },
         StormKind::Leave,
+        StormKind::CorruptionBurst,
+    ]
+}
+
+/// The restart plan's storm cycle: epoch `e` fires `cycle[e % 4]`. The
+/// timing kinds render through the socket runtime's partial-synchrony
+/// proxy (the simulators ignore them); every epoch still opens with a
+/// corruption burst, and the engine's restart cell *additionally* kills
+/// and respawns its victim once, inside epoch 0.
+pub fn restart_cycle() -> [StormKind; 4] {
+    [
+        StormKind::Delay { rounds: 2 },
+        StormKind::Duplicate,
+        StormKind::Reorder,
         StormKind::CorruptionBurst,
     ]
 }
@@ -338,7 +396,11 @@ pub fn storm_program_for(
                 victims.iter().copied(),
             );
         }
-        if kind.drops_copies() {
+        // Copy-dropping kinds arm the storm adversary; timing kinds arm
+        // the socket runtime's partial-synchrony proxy. The stock cycles
+        // contain no timing kinds, so their programs are byte-identical
+        // to the pre-restart seam.
+        if kind.drops_copies() || kind.is_timing() {
             phases.push(StormPhase::new(start, geom.storm_end(e), kind));
         }
     }
@@ -416,6 +478,36 @@ mod tests {
         assert_eq!(cycle[2], StormKind::Leave);
         // The stock plans are untouched.
         assert!(!SoakPlan::default_plan(1, 0).cells()[0].churn);
+    }
+
+    #[test]
+    fn restart_plan_is_two_served_cells_with_timing_phases() {
+        let p = SoakPlan::by_name("restart", 4, 3).unwrap();
+        assert_eq!(p.name, "restart");
+        let cells = p.cells();
+        assert_eq!(cells.len(), 2);
+        for (v, c) in cells.iter().enumerate() {
+            assert_eq!(c.scenario, SoakScenario::Restart);
+            assert_eq!(c.label, format!("serve-restart/v{v}"));
+            assert_eq!(c.n, 3);
+            assert_eq!(c.epochs, 4);
+            assert_eq!(c.history_window, None);
+            assert!(!c.churn && !c.worst_case);
+        }
+        assert_ne!(cells[0].seed, cells[1].seed);
+        // The restart cycle's timing kinds become storm phases for the
+        // partial-synchrony proxy; only the burst epoch has no phase.
+        let geom = StormGeometry::engine_default();
+        let (_, phases) = storm_program_for(3, 4, &restart_cycle(), &geom, &[]);
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].kind, StormKind::Delay { rounds: 2 });
+        assert_eq!(phases[1].kind, StormKind::Duplicate);
+        assert_eq!(phases[2].kind, StormKind::Reorder);
+        assert!(phases.iter().all(|ph| ph.kind.is_timing()));
+        // The stock cycles contain no timing kinds, so their programs are
+        // untouched by the widened phase condition.
+        let (_, stock) = storm_program_for(3, 8, &storm_cycle(false), &geom, &[]);
+        assert!(stock.iter().all(|ph| ph.kind.drops_copies()));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use ftss::compiler::{trace_events, Compiled};
 use ftss::consensus_async::SsConsensusProcess;
 use ftss::core::{
     ftss_check, round_count, Corrupt, CrashSchedule, History, Problem, ProcessId, ProcessSet,
-    RateAgreementSpec, Round,
+    RateAgreementSpec, Round, StormKind,
 };
 use ftss::detectors::{
     eventual_weak_accuracy, strong_completeness_time, suspicion_events, LifeState,
@@ -101,8 +101,10 @@ pub const COMMANDS: &[Command] = &[
                (`mem` is byte-identical to `trace`; tcp/uds add net_* events)\n\
                --protocol round-agreement|compile --transport tcp|uds|mem\n\
                --n N --rounds R --seed S [--derived] [--out FILE]\n\
-               [--storm default|worst-case --epochs E] replays a chaos\n\
-               storm program and verifies per-epoch recovery (Thm 3)",
+               [--storm default|worst-case|restart --epochs E] replays a\n\
+               chaos storm program and verifies per-epoch recovery (Thm 3);\n\
+               `restart` adds a kill/respawn episode and the\n\
+               partial-synchrony delay/duplicate/reorder proxy",
         run: serve,
     },
     Command {
@@ -161,7 +163,8 @@ pub const COMMANDS: &[Command] = &[
                after every epoch (Theorems 3-5), with budgets,\n\
                watchdog and livelock guardrails; the JSONL soak\n\
                report is byte-identical for any --jobs\n\
-               [--plan default|worst-case|large-n|churn --epochs E --seed S]\n\
+               [--plan default|worst-case|large-n|churn|restart\n\
+                --epochs E --seed S]\n\
                [--jobs J --out FILE --budget-ms MS]",
         run: soak,
     },
@@ -731,7 +734,12 @@ fn serve_round_agreement(
     let worst_case = match storm {
         "default" => false,
         "worst-case" => true,
-        other => return Err(format!("unknown --storm `{other}` (default|worst-case)")),
+        "restart" => return serve_restart_round_agreement(args, transport, sink),
+        other => {
+            return Err(format!(
+                "unknown --storm `{other}` (default|worst-case|restart)"
+            ))
+        }
     };
     let epochs: usize = args.get_or("epochs", 2)?;
     if epochs == 0 {
@@ -762,6 +770,98 @@ fn serve_round_agreement(
             &out.history,
             &spec,
             geom.storm_end(e) as usize,
+            geom.epoch_end(e) as usize,
+            bound as usize,
+        );
+        let (measured, ok) = match verdict {
+            Ok(s) => (s as u64, true),
+            Err(_) => (0, false),
+        };
+        all_ok &= ok;
+        sink.emit(&Event::RecoveryMeasured {
+            epoch: e as u64,
+            at: geom.epoch_end(e),
+            rounds: measured,
+            bound,
+            ok,
+        });
+    }
+    if derived {
+        emit_history_events(&out.history, Some(&spec), sink);
+    }
+    Ok(all_ok)
+}
+
+/// `serve --storm restart`: round agreement over a real transport
+/// through a crash–restart episode — p0 is killed at round 2, its first
+/// respawn attempt at round 4 reads a truncated recovery snapshot, and
+/// the final attempt at round 6 re-admits it on clean stale bytes —
+/// while the partial-synchrony proxy cycles the restart plan's
+/// delay/duplicate/reorder storms. One `recovery_measured` event per
+/// epoch; the windows mirror the chaos engine's restart cell (storm
+/// close plus the timing kind's slack, and in epoch 0 the restart's
+/// final scheduled attempt).
+fn serve_restart_round_agreement(
+    args: &Args,
+    transport: ftss_serve::TransportKind,
+    sink: &mut TraceOut,
+) -> Outcome {
+    let n: usize = args.get_or("n", 3)?;
+    if n < 3 {
+        return Err(format!("--storm restart needs n >= 3 (n={n})"));
+    }
+    let seed: u64 = args.get_or("seed", 0)?;
+    let derived = args.flag("derived").unwrap_or(false);
+    let epochs: usize = args.get_or("epochs", 2)?;
+    if epochs == 0 {
+        return Err("--storm needs --epochs >= 1".into());
+    }
+    let spec = RateAgreementSpec::new();
+    let geom = ftss_chaos::StormGeometry::engine_default();
+    let rounds = epochs * geom.epoch_len as usize;
+    let victims = [ProcessId(0)];
+    let cycle = ftss_chaos::restart_cycle();
+    let (schedule, phases) = ftss_chaos::storm_program_for(seed, epochs, &cycle, &geom, &victims);
+    let mut adv = StormAdversary::new(victims.iter().copied(), phases.clone(), seed ^ 0x517a);
+    let restart = ftss_serve::ServeRestart {
+        p: ProcessId(0),
+        kill_round: 2,
+        gap: 2,
+        staleness: 1,
+        fault: ftss_serve::SnapshotFault::Truncated,
+        snapshot_seed: seed ^ 0x5a97,
+        retry: ftss_serve::Retry {
+            attempts: 2,
+            backoff_rounds: 2,
+        },
+    };
+    let run_cfg = RunConfig::corrupted(n, rounds, ftss_chaos::burst_seed(seed, 0))
+        .with_mid_run_corruption(schedule)
+        .with_max_faulty(victims.len());
+    let cfg = ftss_serve::ServeConfig::new(run_cfg, transport)
+        .with_restart(restart)
+        .with_timing(ftss_serve::TimingFaults {
+            victims: victims.to_vec(),
+            phases,
+            seed: seed ^ 0x7131,
+        });
+    let out = ftss_serve::serve(&RoundAgreement, &mut adv, &cfg, sink)?;
+    let bound = 2u64;
+    let mut all_ok = true;
+    for e in 0..epochs {
+        let slack = match cycle[e % cycle.len()] {
+            StormKind::Delay { rounds } => u64::from(rounds),
+            StormKind::Reorder | StormKind::Duplicate => 1,
+            _ => 0,
+        };
+        let mut from = geom.storm_end(e) + slack;
+        if e == 0 {
+            from = from.max(restart.last_attempt_round());
+        }
+        let verdict = ftss_check::window_stabilization(
+            &out.history,
+            &spec,
+            from as usize,
             geom.epoch_end(e) as usize,
             bound as usize,
         );

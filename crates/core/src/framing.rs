@@ -199,6 +199,84 @@ mod tests {
         frame_bytes(b"");
     }
 
+    /// A connection torn down mid-frame (a crash–restart kill, a dropped
+    /// socket) leaves the reader's decoder holding a partial frame. That
+    /// partial must stay inert — `Ok(None)` forever, no panic — and a
+    /// fresh decoder on the new connection must decode the retransmitted
+    /// frame from its first byte.
+    #[test]
+    fn teardown_mid_frame_leaves_an_inert_partial_and_a_fresh_decoder_resyncs() {
+        let whole = frame_bytes(b"{\"type\":\"bcast\",\"round\":4}");
+        let mut stream = frame_bytes(b"{\"type\":\"hello\",\"p\":0}");
+        stream.extend_from_slice(&whole);
+        // The connection dies with the second frame half-sent: every cut
+        // point, from "nothing of it" to "all but one byte".
+        for cut in 0..whole.len() {
+            let torn = &stream[..stream.len() - whole.len() + cut];
+            let mut dec = FrameDecoder::new();
+            dec.push_bytes(torn);
+            assert_eq!(
+                dec.next_frame().expect("first frame survives the cut"),
+                Some(b"{\"type\":\"hello\",\"p\":0}".to_vec())
+            );
+            // The tail is a partial frame: never a frame, never a panic,
+            // no matter how often it is polled.
+            assert_eq!(dec.next_frame(), Ok(None));
+            assert_eq!(dec.next_frame(), Ok(None));
+            assert_eq!(dec.pending_len(), cut);
+            // The restarted incarnation opens a NEW connection, which
+            // gets a NEW decoder: the resent frame decodes cleanly.
+            let mut fresh = FrameDecoder::new();
+            fresh.push_bytes(&whole);
+            assert_eq!(
+                fresh.next_frame().expect("fresh connection resyncs"),
+                Some(b"{\"type\":\"bcast\",\"round\":4}".to_vec())
+            );
+            assert_eq!(fresh.pending_len(), 0);
+        }
+    }
+
+    /// Reconnect-boundary fuzz: cut a valid multi-frame stream at an
+    /// arbitrary byte (the teardown), feed the head to one decoder and
+    /// the tail — which may start mid-header or mid-payload — to a fresh
+    /// one. Neither side may panic; the tail side either errors cleanly
+    /// or yields only well-formed payloads.
+    #[test]
+    fn reconnect_boundary_never_panics_under_fuzz() {
+        forall(128, |g: &mut Gen| {
+            let frames = g.vec(1, 5, |g| {
+                let len = 1 + (g.gen::<u64>() as usize % (12 + 4 * g.size()));
+                (0..len).map(|_| g.gen::<u64>() as u8).collect::<Vec<u8>>()
+            });
+            let mut stream = Vec::new();
+            for f in &frames {
+                encode_frame(f, &mut stream);
+            }
+            let cut = g.gen::<u64>() as usize % (stream.len() + 1);
+            let mut head = FrameDecoder::new();
+            head.push_bytes(&stream[..cut]);
+            loop {
+                match head.next_frame() {
+                    Ok(Some(p)) => assert!(!p.is_empty() && p.len() <= MAX_FRAME_LEN),
+                    Ok(None) => break,
+                    Err(_) => unreachable!("an uncorrupted prefix never errors"),
+                }
+            }
+            // The new connection's reader starts wherever the old stream
+            // stopped — possibly inside a header, so misaligned bytes are
+            // expected; a panic is not.
+            let mut tail = FrameDecoder::new();
+            tail.push_bytes(&stream[cut..]);
+            loop {
+                match tail.next_frame() {
+                    Ok(Some(p)) => assert!(!p.is_empty() && p.len() <= MAX_FRAME_LEN),
+                    Ok(None) => break,
+                    Err(_) => break, // clean rejection: drop the connection
+                }
+            }
+        });
+    }
+
     /// The satellite property: no byte-level mutation of a valid frame
     /// stream can make the decoder panic, and every yielded payload obeys
     /// the announced length. Failure mode under mutation is a clean

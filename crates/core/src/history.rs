@@ -62,6 +62,16 @@ pub enum DeliveryOutcome {
     /// delivered bit is set) but carries the per-copy payload in the
     /// round's forged list instead of the shared broadcast slot.
     Forged,
+    /// Partial-synchrony timing fault: the copy was deferred and arrives
+    /// with a later round's inbox. Nobody deviated — the network was slow
+    /// — so no fault attributes to either end. The delivered bit of the
+    /// send round stays clear; the late arrival is a delivery of a
+    /// *past* broadcast, outside this round's matrix.
+    Delayed,
+    /// Partial-synchrony timing fault: the copy arrived on time (the
+    /// delivered bit is set) *and* was echoed again into the next round's
+    /// inbox. Like [`DeliveryOutcome::Delayed`], no process deviated.
+    Duplicated,
 }
 
 /// One point-to-point copy of a broadcast: destination, payload, fate.

@@ -52,6 +52,23 @@ pub enum StormKind {
     /// the window — total silence, with no corruption on return (a clean
     /// leave keeps its state; only joins enter arbitrarily).
     Leave,
+    /// Partial-synchrony proxy: every delivered copy touching a victim is
+    /// deferred by `rounds` rounds. The copy still arrives (nothing is
+    /// dropped), just late — the socket runtime's round barrier delivers
+    /// it with a later round's inbox. A no-op in the simulators, which
+    /// have no late-delivery seam.
+    Delay {
+        /// Rounds each affected copy is deferred by (at least 1).
+        rounds: u8,
+    },
+    /// Partial-synchrony proxy: each delivered copy touching a victim is
+    /// deferred by one round with probability 1/2 (seeded draw per
+    /// eligible copy), so messages from the same broadcast arrive across
+    /// two rounds in shuffled order.
+    Reorder,
+    /// Partial-synchrony proxy: every delivered copy touching a victim
+    /// arrives twice — once on time, once echoed into the next round.
+    Duplicate,
 }
 
 impl StormKind {
@@ -65,6 +82,9 @@ impl StormKind {
             StormKind::DelayInflation => "delay-inflation",
             StormKind::Join => "join",
             StormKind::Leave => "leave",
+            StormKind::Delay { .. } => "delay",
+            StormKind::Reorder => "reorder",
+            StormKind::Duplicate => "duplicate",
         }
     }
 
@@ -78,6 +98,17 @@ impl StormKind {
                 | StormKind::Partition
                 | StormKind::Join
                 | StormKind::Leave
+        )
+    }
+
+    /// Whether this kind is a partial-synchrony timing fault: nothing is
+    /// dropped, but delivery timing changes. Timing kinds are consulted
+    /// by the socket runtime's fault proxy (`ftss-serve`), not by the
+    /// simulators' adversaries.
+    pub fn is_timing(&self) -> bool {
+        matches!(
+            self,
+            StormKind::Delay { .. } | StormKind::Reorder | StormKind::Duplicate
         )
     }
 }
@@ -143,6 +174,28 @@ mod tests {
     fn churn_names_are_stable() {
         assert_eq!(StormKind::Join.name(), "join");
         assert_eq!(StormKind::Leave.to_string(), "leave");
+    }
+
+    #[test]
+    fn timing_names_are_stable() {
+        assert_eq!(StormKind::Delay { rounds: 2 }.name(), "delay");
+        assert_eq!(StormKind::Reorder.name(), "reorder");
+        assert_eq!(StormKind::Duplicate.to_string(), "duplicate");
+    }
+
+    #[test]
+    fn timing_kinds_never_drop_copies() {
+        for kind in [
+            StormKind::Delay { rounds: 1 },
+            StormKind::Reorder,
+            StormKind::Duplicate,
+        ] {
+            assert!(kind.is_timing());
+            assert!(!kind.drops_copies());
+        }
+        assert!(!StormKind::Partition.is_timing());
+        assert!(!StormKind::CorruptionBurst.is_timing());
+        assert!(!StormKind::Join.is_timing());
     }
 
     #[test]

@@ -39,9 +39,12 @@ pub mod transport;
 pub mod wire;
 
 pub use loadgen::{run_loadgen, Histogram, LoadReport, LoadgenConfig};
-pub use node::{run_node, run_node_from};
+pub use node::{run_node, run_node_from, run_node_recovered};
 pub use proto::{ToNode, ToRouter};
-pub use session::{serve, serve_streaming, ServeChurn, ServeConfig};
+pub use session::{
+    serve, serve_streaming, serve_streaming_with_stats, Retry, ServeChurn, ServeConfig,
+    ServeRestart, ServeStats, SnapshotFault, TimingFaults,
+};
 pub use timer::TimerWheel;
 pub use transport::{Channel, TransportKind};
 pub use wire::Wire;

@@ -17,12 +17,12 @@
 //! `timeout` rounds is counted `timed_out` — under a fault storm this is
 //! what distinguishes "slow" from "starved".
 
-use crate::session::{serve_streaming, ServeConfig};
+use crate::session::{serve_streaming_with_stats, ServeConfig, ServeRestart, ServeStats};
 use crate::timer::TimerWheel;
 use crate::transport::{Channel, TransportKind};
 use ftss::compiler::{Compiled, TraceCursor};
 use ftss::protocols::FloodSet;
-use ftss::sync_sim::{NoFaults, RunConfig};
+use ftss::sync_sim::{Adversary, NoFaults, RunConfig, StormAdversary};
 use ftss::telemetry::{parse_json, Event, JsonValue, NullSink};
 use ftss_rng::{Rng, StdRng};
 use std::collections::BTreeMap;
@@ -43,6 +43,9 @@ pub struct LoadgenConfig {
     /// Rounds a request may stay outstanding before it counts as timed
     /// out.
     pub timeout: u64,
+    /// Optional crash–restart episode injected under load; the victim is
+    /// declared faulty for the session.
+    pub restart: Option<ServeRestart>,
 }
 
 impl LoadgenConfig {
@@ -56,7 +59,15 @@ impl LoadgenConfig {
             seed,
             rate: 4,
             timeout: 8,
+            restart: None,
         }
+    }
+
+    /// Adds a crash–restart episode to the run.
+    #[must_use]
+    pub fn with_restart(mut self, restart: ServeRestart) -> Self {
+        self.restart = Some(restart);
+        self
     }
 }
 
@@ -143,6 +154,10 @@ pub struct LoadReport {
     pub in_flight: u64,
     /// Decision rounds observed.
     pub decisions: u64,
+    /// Successful mid-session re-admissions (restart respawns).
+    pub reconnects: u64,
+    /// Frames from dead incarnations the router dropped.
+    pub stale_dropped: u64,
     /// Completed requests per 1000 rounds (integer arithmetic — the
     /// report carries no floats).
     pub throughput_milli: u64,
@@ -159,7 +174,7 @@ impl LoadReport {
         format!(
             "{{\"type\":\"load_report\",\"transport\":\"{}\",\"rounds\":{},\
              \"requests\":{},\"completed\":{},\"timed_out\":{},\"in_flight\":{},\
-             \"decisions\":{},\"throughput_milli\":{},\
+             \"decisions\":{},\"reconnects\":{},\"stale_dropped\":{},\"throughput_milli\":{},\
              \"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"wall_ms\":0}}\n",
             self.transport,
             self.rounds,
@@ -168,6 +183,8 @@ impl LoadReport {
             self.timed_out,
             self.in_flight,
             self.decisions,
+            self.reconnects,
+            self.stale_dropped,
             self.throughput_milli,
             l.quantile(50, 100),
             l.quantile(90, 100),
@@ -191,10 +208,25 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     }
     let inputs: Vec<u64> = (0..cfg.n as u64).map(|i| (i * 7 + 3) % 50).collect();
     let protocol = Compiled::new(FloodSet::new(1, inputs));
-    let serve_cfg = ServeConfig::new(
+    let mut serve_cfg = ServeConfig::new(
         RunConfig::corrupted(cfg.n, cfg.rounds, cfg.seed),
         cfg.transport,
     );
+    if let Some(rs) = cfg.restart {
+        serve_cfg = serve_cfg.with_restart(rs);
+    }
+    // A restart episode needs its victim in the declared faulty set; a
+    // storm adversary with no phases declares it and drops nothing, so
+    // the traffic pattern is unchanged.
+    let mut no_faults = NoFaults;
+    let mut storm;
+    let adversary: &mut dyn Adversary = match cfg.restart {
+        Some(rs) => {
+            storm = StormAdversary::new([rs.p], [], 0);
+            &mut storm
+        }
+        None => &mut no_faults,
+    };
 
     // The client connection: same transport as the session.
     let (mut driver_ends, mut client_ends) = cfg
@@ -219,14 +251,17 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         timed_out: 0,
         in_flight: 0,
         decisions: 0,
+        reconnects: 0,
+        stale_dropped: 0,
         throughput_milli: 0,
         latency: Histogram::new(),
     };
     let mut client_err: Option<String> = None;
+    let mut stats = ServeStats::default();
 
-    let outcome = serve_streaming(
+    let outcome = serve_streaming_with_stats(
         &protocol,
-        &mut NoFaults,
+        adversary,
         &serve_cfg,
         &mut NullSink,
         |history| {
@@ -266,6 +301,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                 Err(e) => client_err = Some(e),
             }
         },
+        &mut stats,
     );
     outcome?;
     if let Err(e) = driver.send(b"{\"type\":\"fin\"}") {
@@ -281,6 +317,8 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     }
     report.in_flight = pending.values().sum();
     report.throughput_milli = report.completed * 1000 / report.rounds.max(1);
+    report.reconnects = stats.reconnects;
+    report.stale_dropped = stats.stale_dropped;
     Ok(report)
 }
 
@@ -387,5 +425,40 @@ mod tests {
             r
         };
         assert_eq!(strip(&mem), strip(&tcp));
+        assert_eq!(mem.reconnects, 0);
+        assert_eq!(mem.stale_dropped, 0);
+    }
+
+    #[test]
+    fn loadgen_restart_counters_are_transport_independent() {
+        use crate::session::{Retry, SnapshotFault};
+        use ftss::core::ProcessId;
+        let restart = ServeRestart {
+            p: ProcessId(0),
+            kill_round: 4,
+            gap: 2,
+            staleness: 2,
+            fault: SnapshotFault::Truncated,
+            snapshot_seed: 0x5a97,
+            retry: Retry {
+                attempts: 2,
+                backoff_rounds: 2,
+            },
+        };
+        let cfg = |t| LoadgenConfig::new(t, 3, 16, 5).with_restart(restart);
+        let mem = run_loadgen(&cfg(TransportKind::Mem)).expect("mem");
+        let tcp = run_loadgen(&cfg(TransportKind::Tcp)).expect("tcp");
+        // Exactly one incarnation is re-admitted (the clean final attempt
+        // at the latest), and the drained pre-crash broadcast is counted.
+        assert_eq!(mem.reconnects, 1);
+        assert!(mem.stale_dropped >= 1);
+        let strip = |r: &LoadReport| {
+            let mut r = r.clone();
+            r.transport = "x";
+            r
+        };
+        assert_eq!(strip(&mem), strip(&tcp));
+        let again = run_loadgen(&cfg(TransportKind::Mem)).expect("mem rerun");
+        assert_eq!(mem.to_json(), again.to_json());
     }
 }

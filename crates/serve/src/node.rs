@@ -61,13 +61,73 @@ where
     P::Msg: Wire,
 {
     let ctx = ProtocolCtx::new(me, n);
+    let state = protocol.init_state(&ctx);
+    run_node_loop(protocol, me, n, chan, start_round, state, 0)
+}
+
+/// [`run_node_from`] for a **crash–restart** incarnation: the node first
+/// decodes its recovery `snapshot` (which may be stale, truncated or
+/// bit-corrupted — decoding is total, so a damaged snapshot is a clean
+/// `Err` and the router sees the connection drop, never a panic), then
+/// performs the `hello` handshake carrying its incarnation `epoch` and
+/// re-enters the lock-step loop at `start_round`.
+///
+/// # Errors
+///
+/// Snapshot decode failures, transport failures and malformed router
+/// frames.
+pub fn run_node_recovered<P>(
+    protocol: &P,
+    me: ProcessId,
+    n: usize,
+    chan: &mut dyn Channel,
+    start_round: u64,
+    snapshot: &[u8],
+    epoch: u64,
+) -> Result<(), String>
+where
+    P: SyncProtocol,
+    P::State: Wire,
+    P::Msg: Wire,
+{
+    // Decode BEFORE hello: a corrupted snapshot must fail the restart
+    // attempt identically on every transport (the router only ever sees
+    // the channel close), keeping attempt outcomes deterministic.
+    let text =
+        std::str::from_utf8(snapshot).map_err(|e| format!("{me}: snapshot not UTF-8: {e}"))?;
+    let v =
+        ftss::telemetry::parse_json(text).map_err(|e| format!("{me}: snapshot not JSON: {e}"))?;
+    let state = P::State::decode(&v).map_err(|e| format!("{me}: snapshot decode failed: {e}"))?;
+    run_node_loop(protocol, me, n, chan, start_round, state, epoch)
+}
+
+fn run_node_loop<P>(
+    protocol: &P,
+    me: ProcessId,
+    n: usize,
+    chan: &mut dyn Channel,
+    start_round: u64,
+    mut state: P::State,
+    epoch: u64,
+) -> Result<(), String>
+where
+    P: SyncProtocol,
+    P::State: Wire,
+    P::Msg: Wire,
+{
+    let ctx = ProtocolCtx::new(me, n);
     let send = |chan: &mut dyn Channel, msg: &ToRouter<P::State, P::Msg>| {
         chan.send(&msg.to_bytes())
             .map_err(|e| format!("{me}: send failed: {e}"))
     };
-    send(chan, &ToRouter::Hello { p: me.index() })?;
+    send(
+        chan,
+        &ToRouter::Hello {
+            p: me.index(),
+            epoch,
+        },
+    )?;
 
-    let mut state = protocol.init_state(&ctx);
     let mut round: u64 = start_round;
     loop {
         // Broadcast half: snapshot + (optional) message. Recomputed from

@@ -25,6 +25,14 @@ pub enum ToRouter<S, M> {
     Hello {
         /// The node's process index.
         p: usize,
+        /// The node's incarnation number. `0` is the original session
+        /// incarnation (and is omitted from the wire encoding, so
+        /// pre-restart sessions keep their exact byte streams); each
+        /// crash–restart attempt increments it. The router drops hellos
+        /// whose epoch is behind the slot's — a reconnect from a
+        /// pre-crash incarnation — as `net_stale_frame` instead of
+        /// erroring.
+        epoch: u64,
     },
     /// The node's round-start snapshot and (optional) broadcast.
     Bcast {
@@ -61,9 +69,13 @@ impl<S: Wire, M: Wire> ToRouter<S, M> {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = String::new();
         match self {
-            ToRouter::Hello { p } => {
+            ToRouter::Hello { p, epoch } => {
                 out.push_str("{\"type\":\"hello\",\"p\":");
                 out.push_str(&p.to_string());
+                if *epoch > 0 {
+                    out.push_str(",\"epoch\":");
+                    out.push_str(&epoch.to_string());
+                }
                 out.push('}');
             }
             ToRouter::Bcast { round, state, msg } => {
@@ -93,6 +105,7 @@ impl<S: Wire, M: Wire> ToRouter<S, M> {
                 p: v.get("p")
                     .and_then(JsonValue::as_u64)
                     .ok_or("hello: missing `p`")? as usize,
+                epoch: v.get("epoch").and_then(JsonValue::as_u64).unwrap_or(0),
             }),
             Some("bcast") => Ok(ToRouter::Bcast {
                 round: v
@@ -197,7 +210,8 @@ mod tests {
     #[test]
     fn control_messages_round_trip() {
         for msg in [
-            NodeMsg::Hello { p: 3 },
+            NodeMsg::Hello { p: 3, epoch: 0 },
+            NodeMsg::Hello { p: 1, epoch: 2 },
             NodeMsg::Bcast {
                 round: 7,
                 state: st(9),
@@ -224,6 +238,16 @@ mod tests {
                 msg
             );
         }
+    }
+
+    #[test]
+    fn epoch_zero_hello_keeps_the_original_wire_bytes() {
+        // Incarnation 0 must encode exactly as the pre-restart protocol
+        // did, so non-restart sessions stay byte-identical on the wire.
+        let msg = NodeMsg::Hello { p: 3, epoch: 0 };
+        assert_eq!(msg.to_bytes(), b"{\"type\":\"hello\",\"p\":3}");
+        let msg = NodeMsg::Hello { p: 1, epoch: 2 };
+        assert_eq!(msg.to_bytes(), b"{\"type\":\"hello\",\"p\":1,\"epoch\":2}");
     }
 
     #[test]

@@ -13,23 +13,46 @@
 //! arrival nondeterminism; only wall-clock differs between `mem`, `tcp`
 //! and `uds` (see DESIGN.md §13).
 //!
+//! Two fault families exist only here, because only a real runtime has
+//! the seams they need (DESIGN.md §16):
+//!
+//! * **Crash–restart** ([`ServeRestart`]): a node thread is killed
+//!   abruptly mid-session and respawned a few rounds later from a
+//!   recovery snapshot that may be stale, truncated or bit-corrupted
+//!   (damage drawn deterministically from one seeded rng). The restarted
+//!   incarnation re-enters through the same `hello` handshake as a churn
+//!   joiner, carrying an incarnation epoch; frames from dead epochs are
+//!   dropped as `net_stale_frame` events instead of erroring.
+//! * **Partial-synchrony proxy** ([`TimingFaults`]): storm phases of the
+//!   timing kinds ([`StormKind::Delay`], [`StormKind::Reorder`],
+//!   [`StormKind::Duplicate`]) defer or echo delivered copies across
+//!   round boundaries. The proxy is consulted per eligible copy in the
+//!   same `(round, sender, destination)` order as the adversary, so the
+//!   injected timing faults are byte-identical across transports and
+//!   across rerun.
+//!
 //! Telemetry: a session emits the simulator's event stream unchanged.
 //! On real sockets (`tcp`, `uds`) it *additionally* emits `net_listen`,
-//! `net_connect`, `net_frame` and `net_close` events at deterministic
-//! points; the `mem` transport emits none of them, which is what keeps
-//! its stream byte-identical to `SyncRunner::run_traced` (pinned by
-//! `tests/serve_determinism.rs` and `scripts/verify.sh`).
+//! `net_connect`, `net_frame`, `net_close` and `net_stale_frame` events
+//! at deterministic points; the `mem` transport emits none of them,
+//! which is what keeps its stream byte-identical to
+//! `SyncRunner::run_traced` for sessions without restart or timing
+//! faults (pinned by `tests/serve_determinism.rs` and
+//! `scripts/verify.sh`). Restart/timing sessions have no simulator
+//! counterpart; for them the pinned property is determinism — the same
+//! bytes on every rerun, every transport and every `--jobs` level.
 
 use crate::proto::{ToNode, ToRouter};
 use crate::transport::{Channel, TransportKind};
 use crate::wire::Wire;
 use ftss::core::{
     round_count, Corrupt, DeliveryOutcome, History, Payload, ProcessId, Round, RoundHistory,
-    FRAME_HEADER_LEN,
+    StormKind, StormPhase, FRAME_HEADER_LEN,
 };
 use ftss::sync_sim::{Adversary, OmissionSide, ProtocolCtx, RunConfig, RunOutcome, SyncProtocol};
 use ftss::telemetry::{Event, RunMode, TraceSink};
-use ftss_rng::StdRng;
+use ftss_rng::{Rng, StdRng};
+use std::collections::BTreeMap;
 
 /// A churn episode in a served session: one declared-faulty process
 /// **leaves** (its connection is closed and it falls silent) and later
@@ -57,6 +80,119 @@ impl ServeChurn {
     }
 }
 
+/// Round-denominated retry policy for a crash–restart episode: the first
+/// respawn fires `gap` rounds after the kill, and each failed attempt
+/// backs off `backoff_rounds` further.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Retry {
+    /// How many respawn attempts are scheduled (≥ 1). The final attempt
+    /// always restores the clean (if stale) checkpoint, so a validated
+    /// episode is guaranteed to re-admit.
+    pub attempts: u32,
+    /// Rounds between consecutive attempts (≥ 1).
+    pub backoff_rounds: u64,
+}
+
+/// How a restart attempt's recovery snapshot is damaged. The *final*
+/// attempt always uses the undamaged (stale) checkpoint regardless of
+/// this setting — the operator's last resort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotFault {
+    /// The snapshot is merely stale: the checkpointed bytes unchanged.
+    Stale,
+    /// The snapshot is cut at a seeded offset (torn write).
+    Truncated,
+    /// One seeded bit of the snapshot is flipped. The flip may still
+    /// decode — a *silently* corrupted checkpoint, which is exactly the
+    /// arbitrary re-entry state of Thm 3.
+    BitFlip,
+}
+
+/// A crash–restart episode: the node thread for `p` is killed abruptly
+/// at `kill_round` (no halt — its channel just drops) and respawned from
+/// a recovery snapshot checkpointed `staleness` rounds before the kill.
+/// Snapshot damage is drawn from one rng seeded with `snapshot_seed` in
+/// canonical attempt order, so the episode is byte-deterministic across
+/// transports, reruns and `--jobs` (same discipline as forgery,
+/// DESIGN.md §15). The restarted incarnation re-enters via the regular
+/// mid-session `hello` path carrying an incremented epoch; the router
+/// drops frames from dead epochs as `net_stale_frame` telemetry instead
+/// of erroring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeRestart {
+    /// The restarting process; must be in the adversary's faulty set.
+    pub p: ProcessId,
+    /// The round the node thread is killed (its in-flight broadcast for
+    /// this round is drained as a stale frame). Must be ≥ 2.
+    pub kill_round: u64,
+    /// Rounds between the kill and the first respawn attempt (≥ 1).
+    pub gap: u64,
+    /// How many rounds before the kill the recovery snapshot was
+    /// checkpointed (≥ 1, and the snapshot round must be ≥ 1).
+    pub staleness: u64,
+    /// How non-final respawn attempts' snapshots are damaged.
+    pub fault: SnapshotFault,
+    /// Seed of the snapshot-damage rng.
+    pub snapshot_seed: u64,
+    /// The retry/backoff policy; the last attempt must land on or before
+    /// the session horizon.
+    pub retry: Retry,
+}
+
+impl ServeRestart {
+    /// The round whose round-start state is checkpointed as the
+    /// recovery snapshot.
+    pub fn snapshot_round(&self) -> u64 {
+        self.kill_round - self.staleness
+    }
+
+    /// The round attempt `i` (0-based) fires in.
+    pub fn attempt_round(&self, i: u32) -> u64 {
+        self.kill_round + self.gap + u64::from(i) * self.retry.backoff_rounds
+    }
+
+    /// The round of the final scheduled attempt.
+    pub fn last_attempt_round(&self) -> u64 {
+        self.attempt_round(self.retry.attempts.saturating_sub(1))
+    }
+}
+
+/// The partial-synchrony proxy's program: storm phases of the timing
+/// kinds ([`StormKind::Delay`], [`StormKind::Reorder`],
+/// [`StormKind::Duplicate`]) applied to every copy touching a victim.
+/// Non-timing phases are ignored here (they are the drop adversary's
+/// business), so the same storm program can drive both seams.
+///
+/// Timing faults deviate nobody: delayed and duplicated copies record
+/// the [`DeliveryOutcome::Delayed`] / [`DeliveryOutcome::Duplicated`]
+/// outcomes, which attribute no process fault — the network was slow,
+/// not wrong. Late copies whose destination has crashed, churned out or
+/// passed the horizon by their arrival round are silently dropped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimingFaults {
+    /// Processes whose copies (sent or received) the proxy touches.
+    pub victims: Vec<ProcessId>,
+    /// Active windows; only [`StormKind::is_timing`] kinds take effect.
+    pub phases: Vec<StormPhase>,
+    /// Seed of the proxy's rng (consulted per eligible copy, in the
+    /// simulator's canonical order — [`StormKind::Reorder`] draws one
+    /// coin per eligible copy whether or not the copy was delivered, so
+    /// the stream position is a pure function of the traffic pattern).
+    pub seed: u64,
+}
+
+/// Integer session counters surfaced to the load generator and the
+/// restart soak reports. Wall-free by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Successful re-admissions through the mid-session `hello` path
+    /// (restart respawns and superseding reconnects).
+    pub reconnects: u64,
+    /// Frames from dead incarnations the router dropped instead of
+    /// erroring (drained pre-crash broadcasts, stale-epoch hellos).
+    pub stale_dropped: u64,
+}
+
 /// Parameters of a served run: the simulator's [`RunConfig`] plus the
 /// transport to run it over.
 #[derive(Clone, Debug)]
@@ -67,6 +203,10 @@ pub struct ServeConfig {
     pub transport: TransportKind,
     /// Optional mid-session leave/rejoin episode.
     pub churn: Option<ServeChurn>,
+    /// Optional crash–restart episode.
+    pub restart: Option<ServeRestart>,
+    /// Optional partial-synchrony proxy program.
+    pub timing: Option<TimingFaults>,
 }
 
 impl ServeConfig {
@@ -76,6 +216,8 @@ impl ServeConfig {
             run,
             transport,
             churn: None,
+            restart: None,
+            timing: None,
         }
     }
 
@@ -85,6 +227,20 @@ impl ServeConfig {
         self.churn = Some(churn);
         self
     }
+
+    /// Adds a crash–restart episode to the session.
+    #[must_use]
+    pub fn with_restart(mut self, restart: ServeRestart) -> Self {
+        self.restart = Some(restart);
+        self
+    }
+
+    /// Adds a partial-synchrony proxy program to the session.
+    #[must_use]
+    pub fn with_timing(mut self, timing: TimingFaults) -> Self {
+        self.timing = Some(timing);
+        self
+    }
 }
 
 /// One node's last collected snapshot: its decoded round-start state and
@@ -92,6 +248,83 @@ impl ServeConfig {
 struct Slot<S, M> {
     state: S,
     msg: Option<M>,
+}
+
+/// One spawned node thread. `may_fail` marks incarnations whose abrupt
+/// death is part of the schedule (a killed pre-crash incarnation, a
+/// respawn whose snapshot failed to decode): their transport errors are
+/// tolerated at join time. A panic is never tolerated.
+struct NodeHandle {
+    p: usize,
+    may_fail: bool,
+    handle: std::thread::JoinHandle<Result<(), String>>,
+}
+
+/// Admits one inbound connection by its `hello` frame.
+///
+/// * A hello whose epoch is *behind* the slot's registered epoch is a
+///   stale incarnation dialing in: the connection is dropped, a
+///   `net_stale_frame` event is emitted (real sockets only) and
+///   `Ok(None)` is returned — the session continues.
+/// * A hello for an already-registered slot **supersedes** it: the old
+///   channel's in-flight broadcast (nodes always send before they can
+///   observe anything) is drained as stale, the old incarnation is
+///   halted, and the new connection takes the slot. This mirrors the
+///   churn-leave drain: dropping the old channel first would race the
+///   node's send.
+/// * An out-of-range index or a non-hello first frame is still an error.
+///
+/// # Errors
+///
+/// Transport failures, malformed frames, out-of-range indices.
+pub(crate) fn admit_hello<S: Wire, M: Wire, T: TraceSink>(
+    chans: &mut [Option<Box<dyn Channel>>],
+    epochs: &mut [u64],
+    mut ch: Box<dyn Channel>,
+    stats: &mut ServeStats,
+    sink: &mut T,
+    net: bool,
+    round: u64,
+) -> Result<Option<usize>, String> {
+    let payload = ch.recv().map_err(|e| format!("hello recv: {e}"))?;
+    match ToRouter::<S, M>::from_bytes(&payload)? {
+        ToRouter::Hello { p, epoch } if p < chans.len() => {
+            if epoch < epochs[p] {
+                if net {
+                    sink.emit(&Event::NetStaleFrame {
+                        round,
+                        p: ProcessId(p),
+                        epoch,
+                    });
+                }
+                stats.stale_dropped += 1;
+                return Ok(None);
+            }
+            if let Some(mut old) = chans[p].take() {
+                if old.recv().is_ok() {
+                    if net {
+                        sink.emit(&Event::NetStaleFrame {
+                            round,
+                            p: ProcessId(p),
+                            epoch: epochs[p],
+                        });
+                    }
+                    stats.stale_dropped += 1;
+                }
+                let halt: ToNode<S, M> = ToNode::Halt;
+                let _ = old.send(&halt.to_bytes());
+                if net {
+                    sink.emit(&Event::NetClose { p: ProcessId(p) });
+                }
+                stats.reconnects += 1;
+            }
+            epochs[p] = epoch;
+            chans[p] = Some(ch);
+            Ok(Some(p))
+        }
+        ToRouter::Hello { p, .. } => Err(format!("bad hello for p{p}")),
+        _ => Err("expected hello as first frame".into()),
+    }
 }
 
 /// Runs `protocol` as `n` real processes over the configured transport.
@@ -132,7 +365,33 @@ pub fn serve_streaming<P, A, T, F>(
     adversary: &mut A,
     cfg: &ServeConfig,
     sink: &mut T,
+    on_round: F,
+) -> Result<RunOutcome<P::State, P::Msg>, String>
+where
+    P: SyncProtocol + Clone + Send + 'static,
+    P::State: Wire + Corrupt + Send + 'static,
+    P::Msg: Wire + Send + 'static,
+    A: Adversary + ?Sized,
+    T: TraceSink,
+    F: FnMut(&History<P::State, P::Msg>),
+{
+    let mut stats = ServeStats::default();
+    serve_streaming_with_stats(protocol, adversary, cfg, sink, on_round, &mut stats)
+}
+
+/// [`serve_streaming`] that also surfaces the session's integer
+/// [`ServeStats`] (reconnects, stale drops) to the caller.
+///
+/// # Errors
+///
+/// Same contract as [`serve`].
+pub fn serve_streaming_with_stats<P, A, T, F>(
+    protocol: &P,
+    adversary: &mut A,
+    cfg: &ServeConfig,
+    sink: &mut T,
     mut on_round: F,
+    stats: &mut ServeStats,
 ) -> Result<RunOutcome<P::State, P::Msg>, String>
 where
     P: SyncProtocol + Clone + Send + 'static,
@@ -188,6 +447,55 @@ where
             return Err(format!("churn process {} is also crash-scheduled", churn.p));
         }
     }
+    if let Some(rs) = cfg.restart {
+        let rounds = round_count(cfg.run.rounds);
+        if rs.p.index() >= n {
+            return Err(format!("restart names {} but n = {n}", rs.p));
+        }
+        if !faulty.contains(rs.p) {
+            return Err(format!(
+                "restart names {} outside the declared faulty set",
+                rs.p
+            ));
+        }
+        if rs.kill_round < 2 || rs.kill_round > rounds {
+            return Err(format!(
+                "restart needs 2 <= kill ({}) <= rounds ({rounds})",
+                rs.kill_round
+            ));
+        }
+        if rs.staleness == 0 || rs.staleness >= rs.kill_round {
+            return Err(format!(
+                "restart needs 1 <= staleness ({}) < kill ({})",
+                rs.staleness, rs.kill_round
+            ));
+        }
+        if rs.gap == 0 || rs.retry.attempts == 0 || rs.retry.backoff_rounds == 0 {
+            return Err(format!(
+                "restart retry needs gap ({}) >= 1, attempts ({}) >= 1 and backoff ({}) >= 1",
+                rs.gap, rs.retry.attempts, rs.retry.backoff_rounds
+            ));
+        }
+        if rs.last_attempt_round() > rounds {
+            return Err(format!(
+                "restart's last attempt (round {}) is past the horizon ({rounds})",
+                rs.last_attempt_round()
+            ));
+        }
+        if schedule.iter().any(|(p, _)| p == rs.p) {
+            return Err(format!("restart process {} is also crash-scheduled", rs.p));
+        }
+        if cfg.churn.is_some_and(|c| c.p == rs.p) {
+            return Err(format!("restart process {} is also churn-scheduled", rs.p));
+        }
+    }
+    if let Some(tf) = &cfg.timing {
+        for v in &tf.victims {
+            if v.index() >= n {
+                return Err(format!("timing faults name {v} but n = {n}"));
+            }
+        }
+    }
 
     let traced = sink.enabled();
     let net = traced && cfg.transport.is_real_socket();
@@ -216,18 +524,25 @@ where
     let mut handles = Vec::with_capacity(n);
     for (i, mut chan) in node_ends.into_iter().enumerate() {
         let proto = protocol.clone();
-        handles.push(std::thread::spawn(move || {
-            crate::node::run_node(&proto, ProcessId(i), n, chan.as_mut())
-        }));
+        handles.push(NodeHandle {
+            p: i,
+            may_fail: false,
+            handle: std::thread::spawn(move || {
+                crate::node::run_node(&proto, ProcessId(i), n, chan.as_mut())
+            }),
+        });
     }
-    // Identity comes from the hello frame, never from accept order.
+    // Identity comes from the hello frame, never from accept order. A
+    // duplicate hello supersedes the old registration (newest connection
+    // wins); only an out-of-range index or a non-hello frame is fatal.
     let mut chans: Vec<Option<Box<dyn Channel>>> = (0..n).map(|_| None).collect();
-    for mut ch in router_ends {
-        let payload = ch.recv().map_err(|e| format!("hello recv: {e}"))?;
-        match ToRouter::<P::State, P::Msg>::from_bytes(&payload)? {
-            ToRouter::Hello { p } if p < n && chans[p].is_none() => chans[p] = Some(ch),
-            ToRouter::Hello { p } => return Err(format!("bad or duplicate hello for p{p}")),
-            _ => return Err("expected hello as first frame".into()),
+    let mut epochs: Vec<u64> = vec![0; n];
+    for ch in router_ends {
+        admit_hello::<P::State, P::Msg, T>(&mut chans, &mut epochs, ch, stats, sink, net, 0)?;
+    }
+    for (i, ch) in chans.iter().enumerate() {
+        if ch.is_none() {
+            return Err(format!("no hello for p{i}"));
         }
     }
     if net {
@@ -311,6 +626,20 @@ where
     };
     let mut spare: Option<RoundHistory<P::State, P::Msg>> = None;
 
+    // Crash–restart bookkeeping: the checkpointed snapshot bytes, the
+    // damage rng (one stream for the whole session, drawn per attempt in
+    // canonical order) and whether the victim is currently down.
+    let mut snapshot: Option<Vec<u8>> = None;
+    let mut snap_rng = cfg
+        .restart
+        .map(|rs| StdRng::seed_from_u64(rs.snapshot_seed));
+    let mut restart_down = false;
+    // Partial-synchrony proxy bookkeeping: the per-copy coin stream and
+    // the deferred copies keyed by their arrival round, each entry
+    // `(destination, sender, payload)` in canonical enqueue order.
+    let mut timing_rng = cfg.timing.as_ref().map(|tf| StdRng::seed_from_u64(tf.seed));
+    let mut late: BTreeMap<u64, Vec<(ProcessId, ProcessId, P::Msg)>> = BTreeMap::new();
+
     // Round 1's broadcasts (and the initial systemic failure) precede the
     // first round_start event, as in the simulator.
     collect(&mut chans, &mut slots, sink, 1)?;
@@ -353,14 +682,18 @@ where
                     .ok_or("rejoin transport produced no node end")?;
                 let proto = protocol.clone();
                 let joiner = churn.p;
-                handles.push(std::thread::spawn(move || {
-                    crate::node::run_node_from(&proto, joiner, n, rejoin_chan.as_mut(), r)
-                }));
+                handles.push(NodeHandle {
+                    p: joiner.index(),
+                    may_fail: false,
+                    handle: std::thread::spawn(move || {
+                        crate::node::run_node_from(&proto, joiner, n, rejoin_chan.as_mut(), r)
+                    }),
+                });
                 let mut ch = rejoin_router.remove(0);
                 let payload = ch.recv().map_err(|e| format!("rejoin hello recv: {e}"))?;
                 match ToRouter::<P::State, P::Msg>::from_bytes(&payload)? {
-                    ToRouter::Hello { p } if p == churn.p.index() => {}
-                    ToRouter::Hello { p } => {
+                    ToRouter::Hello { p, .. } if p == churn.p.index() => {}
+                    ToRouter::Hello { p, .. } => {
                         return Err(format!("rejoin hello claims p{p}, expected {}", churn.p))
                     }
                     _ => return Err("expected hello as rejoin's first frame".into()),
@@ -374,6 +707,146 @@ where
                 }
             }
         }
+        if let Some(rs) = cfg.restart {
+            if r == rs.kill_round {
+                // The crash is abrupt: drain the incarnation's in-flight
+                // broadcast — now a stale frame from a dead epoch — and
+                // drop the channel without a halt. The node thread dies
+                // on its next recv; that error is tolerated at join time.
+                let i = rs.p.index();
+                if let Some(ch) = chans[i].as_mut() {
+                    ch.recv().map_err(|e| format!("p{i} kill drain: {e}"))?;
+                    if net {
+                        sink.emit(&Event::NetStaleFrame {
+                            round: r,
+                            p: rs.p,
+                            epoch: epochs[i],
+                        });
+                    }
+                    stats.stale_dropped += 1;
+                }
+                chans[i] = None;
+                slots[i] = None;
+                restart_down = true;
+                if let Some(h) = handles.iter_mut().rev().find(|h| h.p == i) {
+                    h.may_fail = true;
+                }
+                if net {
+                    sink.emit(&Event::NetClose { p: rs.p });
+                }
+            }
+            if restart_down {
+                if let Some(attempt) = (0..rs.retry.attempts).find(|&i| rs.attempt_round(i) == r) {
+                    let base = snapshot
+                        .as_ref()
+                        .ok_or("restart attempt fired before its snapshot round")?;
+                    let rng = snap_rng.as_mut().ok_or("restart rng missing")?;
+                    // Three draws per attempt, unconditionally: the
+                    // stream position is a pure function of the attempt
+                    // index, never of the fault kind or the outcome.
+                    let len = base.len();
+                    let cut = rng.gen_range(0..=len);
+                    let pos = rng.gen_range(0..len.max(1));
+                    let bit = rng.gen_range(0..8u32);
+                    let last = attempt + 1 == rs.retry.attempts;
+                    let bytes: Vec<u8> = if last {
+                        // The final attempt restores the clean (if stale)
+                        // checkpoint, so a validated episode re-admits.
+                        base.clone()
+                    } else {
+                        match rs.fault {
+                            SnapshotFault::Stale => base.clone(),
+                            SnapshotFault::Truncated => base[..cut].to_vec(),
+                            SnapshotFault::BitFlip => {
+                                let mut b = base.clone();
+                                if !b.is_empty() {
+                                    b[pos] ^= 1 << bit;
+                                }
+                                b
+                            }
+                        }
+                    };
+                    let (mut restart_router, restart_node) = cfg
+                        .transport
+                        .open_pairs(1)
+                        .map_err(|e| format!("{transport_name} restart setup: {e}"))?;
+                    let mut restart_chan = restart_node
+                        .into_iter()
+                        .next()
+                        .ok_or("restart transport produced no node end")?;
+                    let proto = protocol.clone();
+                    let p = rs.p;
+                    let epoch = u64::from(attempt) + 1;
+                    handles.push(NodeHandle {
+                        p: p.index(),
+                        may_fail: true,
+                        handle: std::thread::spawn(move || {
+                            crate::node::run_node_recovered(
+                                &proto,
+                                p,
+                                n,
+                                restart_chan.as_mut(),
+                                r,
+                                &bytes,
+                                epoch,
+                            )
+                        }),
+                    });
+                    let mut ch = restart_router.remove(0);
+                    match ch.recv() {
+                        Err(_) => {
+                            // The incarnation died decoding its damaged
+                            // snapshot: the connection closed with no
+                            // hello. Back off to the next attempt.
+                        }
+                        Ok(payload) => match ToRouter::<P::State, P::Msg>::from_bytes(&payload)? {
+                            ToRouter::Hello { p, epoch: e } if p == rs.p.index() && e == epoch => {
+                                chans[p] = Some(ch);
+                                epochs[p] = e;
+                                restart_down = false;
+                                stats.reconnects += 1;
+                                if let Some(h) = handles.last_mut() {
+                                    h.may_fail = false;
+                                }
+                                if net {
+                                    sink.emit(&Event::NetConnect {
+                                        p: rs.p,
+                                        transport: transport_name.to_string(),
+                                    });
+                                }
+                            }
+                            ToRouter::Hello { p, epoch: e } if p == rs.p.index() => {
+                                // A dead incarnation dialing in.
+                                if net {
+                                    sink.emit(&Event::NetStaleFrame {
+                                        round: r,
+                                        p: rs.p,
+                                        epoch: e,
+                                    });
+                                }
+                                stats.stale_dropped += 1;
+                            }
+                            ToRouter::Hello { p, .. } => {
+                                return Err(format!("restart hello claims p{p}, expected {}", rs.p))
+                            }
+                            _ => return Err("expected hello as restart's first frame".into()),
+                        },
+                    }
+                    if restart_down && last {
+                        return Err(format!(
+                            "restart: {} never re-admitted after {} attempts",
+                            rs.p, rs.retry.attempts
+                        ));
+                    }
+                }
+            }
+        }
+        // Whether `x` is out of the session this round (churned out, or
+        // down between its kill and its successful respawn).
+        let absent_now = |x: ProcessId| -> bool {
+            cfg.churn.is_some_and(|c| c.absent(x, r))
+                || (restart_down && cfg.restart.is_some_and(|rs| rs.p == x))
+        };
         if r > 1 {
             collect(&mut chans, &mut slots, sink, r)?;
         }
@@ -435,6 +908,19 @@ where
                 }
             }
         }
+        // Checkpoint the restart victim's round-start state (after this
+        // round's corruption exchanges: the checkpoint sees what the
+        // process saw).
+        if let Some(rs) = cfg.restart {
+            if r == rs.snapshot_round() {
+                let slot = slots[rs.p.index()].as_ref().ok_or_else(|| {
+                    format!("restart snapshot: {} has no slot in round {r}", rs.p)
+                })?;
+                let mut text = String::new();
+                slot.state.encode(&mut text);
+                snapshot = Some(text.into_bytes());
+            }
+        }
 
         let mut frame = match spare.take() {
             Some(mut f) => {
@@ -447,7 +933,7 @@ where
         // Phase 0: snapshot round-start states.
         for (i, slot) in slots.iter().enumerate() {
             let p = ProcessId(i);
-            if schedule.is_crashed(p, round) || cfg.churn.is_some_and(|c| c.absent(p, r)) {
+            if schedule.is_crashed(p, round) || absent_now(p) {
                 continue;
             }
             let slot = slot
@@ -466,14 +952,31 @@ where
             );
         }
 
+        // The partial-synchrony proxy's program for this round, if any.
+        let timing_kind: Option<StormKind> = cfg
+            .timing
+            .as_ref()
+            .and_then(|tf| {
+                tf.phases
+                    .iter()
+                    .find(|ph| ph.from <= r && r <= ph.to)
+                    .map(|ph| ph.kind)
+            })
+            .filter(StormKind::is_timing);
+        let is_victim = |x: ProcessId| {
+            cfg.timing
+                .as_ref()
+                .is_some_and(|tf| tf.victims.contains(&x))
+        };
+
         // Phase 1: the fault-injecting proxy. Copies walk in the
-        // simulator's (sender, destination) order; the adversary is
-        // consulted per eligible copy, so its rng stream stays aligned
-        // with the simulator's.
+        // simulator's (sender, destination) order; the adversary (and the
+        // timing proxy) is consulted per eligible copy, so both rng
+        // streams stay aligned with the traffic pattern.
         let (mut copies_sent, mut copies_delivered) = (0u64, 0u64);
         for (i, slot) in slots.iter().enumerate() {
             let p = ProcessId(i);
-            if schedule.is_crashed(p, round) || cfg.churn.is_some_and(|c| c.absent(p, r)) {
+            if schedule.is_crashed(p, round) || absent_now(p) {
                 continue;
             }
             let slot = slot
@@ -498,14 +1001,14 @@ where
                     }
                     continue;
                 }
-                let outcome = if emitted >= cut {
+                let mut outcome = if emitted >= cut {
                     DeliveryOutcome::SenderCrashed
                 } else if schedule.is_crashed(q, round)
                     || schedule.crashes_in(q, round)
-                    || cfg.churn.is_some_and(|c| c.absent(q, r))
+                    || absent_now(q)
                 {
-                    // An absent (churned-out) receiver looks exactly like
-                    // a crashed one from the sender's side.
+                    // An absent (churned-out or killed) receiver looks
+                    // exactly like a crashed one from the sender's side.
                     emitted += 1;
                     DeliveryOutcome::ReceiverCrashed
                 } else {
@@ -528,12 +1031,52 @@ where
                         }
                     }
                 };
-                if outcome == DeliveryOutcome::Delivered {
+                if let Some(kind) = timing_kind {
+                    if is_victim(p) || is_victim(q) {
+                        match kind {
+                            StormKind::Delay { rounds }
+                                if outcome == DeliveryOutcome::Delivered =>
+                            {
+                                outcome = DeliveryOutcome::Delayed;
+                                late.entry(r + u64::from(rounds)).or_default().push((
+                                    q,
+                                    p,
+                                    msg.clone(),
+                                ));
+                            }
+                            StormKind::Reorder => {
+                                // One coin per eligible copy, delivered
+                                // or not: the stream position must be a
+                                // function of the traffic pattern alone.
+                                let flip = timing_rng
+                                    .as_mut()
+                                    .map(|rng| rng.gen_bool(0.5))
+                                    .unwrap_or(false);
+                                if flip && outcome == DeliveryOutcome::Delivered {
+                                    outcome = DeliveryOutcome::Delayed;
+                                    late.entry(r + 1).or_default().push((q, p, msg.clone()));
+                                }
+                            }
+                            StormKind::Duplicate if outcome == DeliveryOutcome::Delivered => {
+                                outcome = DeliveryOutcome::Duplicated;
+                                late.entry(r + 1).or_default().push((q, p, msg.clone()));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if matches!(
+                    outcome,
+                    DeliveryOutcome::Delivered | DeliveryOutcome::Duplicated
+                ) {
                     frame.record_delivery(q, p);
                 }
                 if traced {
                     copies_sent += 1;
-                    if outcome == DeliveryOutcome::Delivered {
+                    if matches!(
+                        outcome,
+                        DeliveryOutcome::Delivered | DeliveryOutcome::Duplicated
+                    ) {
                         copies_delivered += 1;
                     }
                     sink.emit(&Event::Send {
@@ -546,6 +1089,12 @@ where
                 frame.record_send(p, q, outcome);
             }
         }
+
+        // Copies deferred by the proxy that arrive this round. They ride
+        // the wire inbox after the round's fresh deliveries, in canonical
+        // enqueue order; entries for crashed, absent or halted
+        // destinations are silently dropped — the network at its worst.
+        let late_now: Vec<(ProcessId, ProcessId, P::Msg)> = late.remove(&r).unwrap_or_default();
 
         // Phase 2: push each survivor its inbox; halt the crashing.
         for i in 0..n {
@@ -566,12 +1115,17 @@ where
                 }
                 continue;
             }
-            let msgs: Vec<(usize, P::Msg)> = frame
+            let mut msgs: Vec<(usize, P::Msg)> = frame
                 .msgs()
                 .deliveries(p)
                 .iter()
                 .map(|(src, payload)| (src.index(), (**payload).clone()))
                 .collect();
+            for (to, from, m) in &late_now {
+                if *to == p {
+                    msgs.push((from.index(), m.clone()));
+                }
+            }
             let inbox: ToNode<P::State, P::Msg> = ToNode::Inbox { msgs };
             if let Some(ch) = chans[i].as_mut() {
                 ch.send(&inbox.to_bytes())
@@ -612,11 +1166,17 @@ where
         }
     }
     drop(chans);
-    for (i, handle) in handles.into_iter().enumerate() {
+    for h in handles {
+        let NodeHandle {
+            p,
+            may_fail,
+            handle,
+        } = h;
         match handle.join() {
             Ok(Ok(())) => {}
-            Ok(Err(e)) => return Err(format!("node p{i} failed: {e}")),
-            Err(_) => return Err(format!("node p{i} panicked")),
+            Ok(Err(_)) if may_fail => {} // a scheduled abrupt death
+            Ok(Err(e)) => return Err(format!("node p{p} failed: {e}")),
+            Err(_) => return Err(format!("node p{p} panicked")),
         }
     }
 
@@ -624,4 +1184,148 @@ where
         history,
         final_states,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftss::core::RoundCounter;
+    use ftss::protocols::RoundAgreementState;
+    use ftss::telemetry::NullSink;
+
+    type S = RoundAgreementState;
+    type M = u64;
+
+    fn hello(p: usize, epoch: u64) -> Vec<u8> {
+        ToRouter::<S, M>::Hello { p, epoch }.to_bytes()
+    }
+
+    fn bcast(round: u64, c: u64) -> Vec<u8> {
+        ToRouter::<S, M>::Bcast {
+            round,
+            state: RoundAgreementState {
+                c: RoundCounter::new(c),
+            },
+            msg: Some(c),
+        }
+        .to_bytes()
+    }
+
+    #[test]
+    fn duplicate_hello_supersedes_the_old_registration() {
+        let (mut routers, mut nodes) = TransportKind::Mem.open_pairs(2).expect("mem pairs");
+        let mut chans: Vec<Option<Box<dyn Channel>>> = vec![None];
+        let mut epochs = vec![0u64];
+        let mut stats = ServeStats::default();
+
+        // First connection registers p0 and has a broadcast in flight —
+        // the shape a live node always leaves on the wire.
+        let mut old_node = nodes.remove(0);
+        old_node.send(&hello(0, 0)).expect("old hello");
+        old_node.send(&bcast(1, 7)).expect("old bcast");
+        let admitted = admit_hello::<S, M, _>(
+            &mut chans,
+            &mut epochs,
+            routers.remove(0),
+            &mut stats,
+            &mut NullSink,
+            false,
+            0,
+        )
+        .expect("first hello admits");
+        assert_eq!(admitted, Some(0));
+        assert_eq!(stats, ServeStats::default());
+
+        // A second connection claims p0: it supersedes. The old channel's
+        // in-flight frame is drained as stale and the old incarnation is
+        // halted — never an error (the pre-restart router said
+        // "bad or duplicate hello" here and tore the session down).
+        let mut new_node = nodes.remove(0);
+        new_node.send(&hello(0, 0)).expect("new hello");
+        let admitted = admit_hello::<S, M, _>(
+            &mut chans,
+            &mut epochs,
+            routers.remove(0),
+            &mut stats,
+            &mut NullSink,
+            false,
+            0,
+        )
+        .expect("duplicate hello supersedes");
+        assert_eq!(admitted, Some(0));
+        assert_eq!(stats.reconnects, 1);
+        assert_eq!(stats.stale_dropped, 1);
+        assert!(chans[0].is_some());
+        let halted = old_node.recv().expect("old node got a frame");
+        assert_eq!(
+            ToNode::<S, M>::from_bytes(&halted).expect("decodes"),
+            ToNode::Halt
+        );
+    }
+
+    #[test]
+    fn stale_epoch_hello_is_dropped_not_fatal() {
+        let (mut routers, mut nodes) = TransportKind::Mem.open_pairs(1).expect("mem pairs");
+        let mut chans: Vec<Option<Box<dyn Channel>>> = vec![None];
+        let mut epochs = vec![3u64]; // p0 is already on incarnation 3
+        let mut stats = ServeStats::default();
+        let mut node = nodes.remove(0);
+        node.send(&hello(0, 1)).expect("stale hello");
+        let admitted = admit_hello::<S, M, _>(
+            &mut chans,
+            &mut epochs,
+            routers.remove(0),
+            &mut stats,
+            &mut NullSink,
+            false,
+            9,
+        )
+        .expect("stale hello is not an error");
+        assert_eq!(admitted, None);
+        assert_eq!(stats.stale_dropped, 1);
+        assert_eq!(stats.reconnects, 0);
+        assert!(chans[0].is_none());
+        assert_eq!(epochs[0], 3);
+    }
+
+    #[test]
+    fn out_of_range_hello_is_still_an_error() {
+        let (mut routers, mut nodes) = TransportKind::Mem.open_pairs(1).expect("mem pairs");
+        let mut chans: Vec<Option<Box<dyn Channel>>> = vec![None];
+        let mut epochs = vec![0u64];
+        let mut stats = ServeStats::default();
+        let mut node = nodes.remove(0);
+        node.send(&hello(5, 0)).expect("bad hello");
+        let err = admit_hello::<S, M, _>(
+            &mut chans,
+            &mut epochs,
+            routers.remove(0),
+            &mut stats,
+            &mut NullSink,
+            false,
+            0,
+        )
+        .expect_err("p out of range");
+        assert_eq!(err, "bad hello for p5");
+    }
+
+    #[test]
+    fn restart_episode_schedule_arithmetic() {
+        let rs = ServeRestart {
+            p: ProcessId(0),
+            kill_round: 6,
+            gap: 2,
+            staleness: 3,
+            fault: SnapshotFault::Truncated,
+            snapshot_seed: 1,
+            retry: Retry {
+                attempts: 3,
+                backoff_rounds: 2,
+            },
+        };
+        assert_eq!(rs.snapshot_round(), 3);
+        assert_eq!(rs.attempt_round(0), 8);
+        assert_eq!(rs.attempt_round(1), 10);
+        assert_eq!(rs.last_attempt_round(), 12);
+    }
 }

@@ -561,7 +561,14 @@ impl Adversary for StormAdversary {
     fn drop_copy(&mut self, r: Round, from: ProcessId, to: ProcessId) -> Option<OmissionSide> {
         let kind = self.phase_at(r)?.kind;
         match kind {
-            StormKind::CorruptionBurst | StormKind::DelayInflation => None,
+            // Timing kinds never drop copies: in the simulators they are
+            // no-ops (the round barrier has no late-delivery seam); the
+            // socket runtime's fault proxy consults them separately.
+            StormKind::CorruptionBurst
+            | StormKind::DelayInflation
+            | StormKind::Delay { .. }
+            | StormKind::Reorder
+            | StormKind::Duplicate => None,
             StormKind::OmissionStorm { percent } => {
                 let side = self.victim_side(from, to)?;
                 // Draw for every eligible copy, as in RandomOmission, so

@@ -231,6 +231,19 @@ pub enum Event {
         /// The disconnected node.
         p: ProcessId,
     },
+    /// The runtime router dropped a frame from a stale incarnation of a
+    /// node — a pre-crash connection's last in-flight broadcast, or a
+    /// reconnect `hello` carrying an outdated incarnation epoch. The
+    /// session continues; only the frame dies.
+    NetStaleFrame {
+        /// The session round at which the frame was dropped.
+        round: u64,
+        /// The node whose stale incarnation produced the frame.
+        p: ProcessId,
+        /// The incarnation epoch the frame belonged to (0 = the original
+        /// pre-crash connection).
+        epoch: u64,
+    },
 }
 
 fn outcome_str(outcome: DeliveryOutcome) -> &'static str {
@@ -241,6 +254,8 @@ fn outcome_str(outcome: DeliveryOutcome) -> &'static str {
         DeliveryOutcome::ReceiverCrashed => "receiver_crashed",
         DeliveryOutcome::SenderCrashed => "sender_crashed",
         DeliveryOutcome::Forged => "forged",
+        DeliveryOutcome::Delayed => "delayed",
+        DeliveryOutcome::Duplicated => "duplicated",
     }
 }
 
@@ -252,6 +267,8 @@ fn outcome_from_str(s: &str) -> Option<DeliveryOutcome> {
         "receiver_crashed" => DeliveryOutcome::ReceiverCrashed,
         "sender_crashed" => DeliveryOutcome::SenderCrashed,
         "forged" => DeliveryOutcome::Forged,
+        "delayed" => DeliveryOutcome::Delayed,
+        "duplicated" => DeliveryOutcome::Duplicated,
         _ => return None,
     })
 }
@@ -281,6 +298,7 @@ impl Event {
             Event::NetConnect { .. } => "net_connect",
             Event::NetFrame { .. } => "net_frame",
             Event::NetClose { .. } => "net_close",
+            Event::NetStaleFrame { .. } => "net_stale_frame",
         }
     }
 
@@ -437,6 +455,11 @@ impl Event {
                 field_u64(out, "bytes", *bytes);
             }
             Event::NetClose { p } => field_u64(out, "p", p.index() as u64),
+            Event::NetStaleFrame { round, p, epoch } => {
+                field_u64(out, "round", *round);
+                field_u64(out, "p", p.index() as u64);
+                field_u64(out, "epoch", *epoch);
+            }
         }
         out.push('}');
     }
@@ -615,6 +638,11 @@ impl Event {
                 bytes: num("bytes")?,
             },
             "net_close" => Event::NetClose { p: pid("p")? },
+            "net_stale_frame" => Event::NetStaleFrame {
+                round: num("round")?,
+                p: pid("p")?,
+                epoch: num("epoch")?,
+            },
             other => return Err(format!("unknown event type `{other}`")),
         })
     }
@@ -734,6 +762,23 @@ mod tests {
                 bytes: 96,
             },
             Event::NetClose { p: ProcessId(0) },
+            Event::NetStaleFrame {
+                round: 6,
+                p: ProcessId(1),
+                epoch: 0,
+            },
+            Event::Send {
+                round: 5,
+                from: ProcessId(1),
+                to: ProcessId(2),
+                outcome: DeliveryOutcome::Delayed,
+            },
+            Event::Send {
+                round: 5,
+                from: ProcessId(2),
+                to: ProcessId(0),
+                outcome: DeliveryOutcome::Duplicated,
+            },
         ]
     }
 
@@ -814,6 +859,15 @@ mod tests {
         assert_eq!(
             ev.to_jsonl(),
             r#"{"type":"net_connect","p":0,"transport":"tcp"}"#
+        );
+        let ev = Event::NetStaleFrame {
+            round: 4,
+            p: ProcessId(2),
+            epoch: 1,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"type":"net_stale_frame","round":4,"p":2,"epoch":1}"#
         );
     }
 

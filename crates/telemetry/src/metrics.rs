@@ -179,6 +179,9 @@ impl TraceSink for Metrics {
                     DeliveryOutcome::ReceiverCrashed | DeliveryOutcome::SenderCrashed => {
                         self.dropped_by_crash += 1
                     }
+                    // Timing faults still deliver (late / twice) — the copy
+                    // is never lost, so it counts as delivered.
+                    DeliveryOutcome::Delayed | DeliveryOutcome::Duplicated => self.delivered += 1,
                 }
             }
             Event::Deliver { time, .. } => {
@@ -221,7 +224,10 @@ impl TraceSink for Metrics {
                 self.net_bytes += bytes;
             }
             // Connection lifecycle carries no aggregate quantity.
-            Event::NetListen { .. } | Event::NetConnect { .. } | Event::NetClose { .. } => {}
+            Event::NetListen { .. }
+            | Event::NetConnect { .. }
+            | Event::NetClose { .. }
+            | Event::NetStaleFrame { .. } => {}
         }
     }
 }

@@ -175,6 +175,33 @@ if grep '"type":"recovery_measured"' "$TRACE_DIR/serve_storm.jsonl" \
     exit 1
 fi
 
+# Restart-storm smoke (DESIGN.md §16): a 3-node round agreement over
+# REAL TCP through a kill/respawn episode — p0's thread dies at round 2,
+# respawns from a damaged recovery snapshot, re-enters via an epoch'd
+# mid-session hello — under the partial-synchrony proxy's
+# delay/duplicate/reorder storms. Every epoch must re-stabilize inside
+# the Theorem-3 window (exit 0 plus an explicit "ok":false tripwire).
+run cargo run -q --release -p ftss-lab -- serve --protocol round-agreement \
+    --transport tcp --storm restart --epochs 2 --n 3 --seed 7 \
+    --out "$TRACE_DIR/serve_restart.jsonl"
+run grep -q '"type":"net_stale_frame"' "$TRACE_DIR/serve_restart.jsonl"
+echo "==> serve restart: every epoch must have recovered (no \"ok\":false)"
+if grep '"type":"recovery_measured"' "$TRACE_DIR/serve_restart.jsonl" \
+    | grep -q '"ok":false'; then
+    echo "ERROR: a restart epoch failed to re-stabilize over TCP" >&2
+    exit 1
+fi
+
+# Restart soak smoke: the same episode cycled through the chaos engine
+# on the mem transport (real router, real node threads). The report
+# must be byte-identical across worker counts; it lands in the
+# workspace so CI can upload it if a cell ever stops recovering.
+run cargo run -q --release -p ftss-lab -- soak --plan restart --epochs 2 \
+    --budget-ms 60000 --jobs 1 --out soak-restart-j1.soak.jsonl
+run cargo run -q --release -p ftss-lab -- soak --plan restart --epochs 2 \
+    --budget-ms 60000 --jobs 4 --out soak-restart-j4.soak.jsonl
+run cmp soak-restart-j1.soak.jsonl soak-restart-j4.soak.jsonl
+
 # Load-generator smoke: the latency report is integer-only and
 # byte-deterministic; it lands in the workspace (not $TRACE_DIR) so CI
 # uploads it as an artifact.

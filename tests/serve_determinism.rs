@@ -13,7 +13,9 @@
 //!   `ftss_check::window_stabilization`.
 
 use ftss::compiler::Compiled;
-use ftss::core::{CrashSchedule, ProcessId, RateAgreementSpec, Round};
+use ftss::core::{
+    CrashSchedule, DeliveryOutcome, ProcessId, RateAgreementSpec, Round, StormKind, StormPhase,
+};
 use ftss::protocols::{FloodSet, RoundAgreement};
 use ftss::sync_sim::{
     Adversary, CorruptionSchedule, CrashOnly, RandomOmission, RunConfig, StormAdversary, SyncRunner,
@@ -21,7 +23,10 @@ use ftss::sync_sim::{
 use ftss::telemetry::{Event, RecordingSink};
 use ftss_chaos::{burst_seed, storm_program, StormGeometry};
 use ftss_check::window_stabilization;
-use ftss_serve::{serve, ServeChurn, ServeConfig, TransportKind};
+use ftss_serve::{
+    serve, serve_streaming_with_stats, Retry, ServeChurn, ServeConfig, ServeRestart, ServeStats,
+    SnapshotFault, TimingFaults, TransportKind,
+};
 
 fn jsonl(events: &[Event]) -> String {
     let mut out = String::new();
@@ -405,6 +410,276 @@ fn churn_rejects_invalid_episodes() {
         &[ProcessId(1)]
     )
     .contains("churn needs"));
+}
+
+/// The ISSUE 10 acceptance scenario: 3-node round agreement over real
+/// TCP through a kill/respawn episode — p0 dies at round 4, its first
+/// respawn attempts read damaged snapshots, the final attempt re-admits
+/// it on clean stale bytes — and the session re-stabilizes within the
+/// Thm-3 window bound measured from the heal round.
+#[test]
+fn tcp_restart_round_agreement_restabilizes_within_bound() {
+    let restart = ServeRestart {
+        p: ProcessId(0),
+        kill_round: 4,
+        gap: 2,
+        staleness: 2,
+        fault: SnapshotFault::Truncated,
+        snapshot_seed: 0x5a97,
+        retry: Retry {
+            attempts: 3,
+            backoff_rounds: 2,
+        },
+    };
+    // p0 is declared faulty (the restart is a fault) but never omits.
+    let mut adversary = RandomOmission::new([ProcessId(0)], 0.0, 13);
+    let cfg = RunConfig::corrupted(3, 16, 3).with_max_faulty(1);
+    let mut sink = RecordingSink::new(1 << 16);
+    let mut stats = ServeStats::default();
+    let out = serve_streaming_with_stats(
+        &RoundAgreement,
+        &mut adversary,
+        &ServeConfig::new(cfg, TransportKind::Tcp).with_restart(restart),
+        &mut sink,
+        |_| {},
+        &mut stats,
+    )
+    .expect("restart session over tcp");
+
+    // Down rounds record no state for the victim — it is simply gone
+    // from the kill until (at the earliest) the first respawn attempt.
+    for r in restart.kill_round..restart.attempt_round(0) {
+        assert!(out
+            .history
+            .round(Round::new(r))
+            .record(ProcessId(0))
+            .state_at_start()
+            .is_none());
+    }
+    // The heal round: the first round at which the re-admitted p0 is
+    // back in the history. Which attempt succeeds depends on how the
+    // snapshot rng damaged the bytes, but the schedule guarantees
+    // re-admission no later than the final attempt.
+    let heal = (restart.kill_round..=16)
+        .find(|&r| {
+            out.history
+                .round(Round::new(r))
+                .record(ProcessId(0))
+                .state_at_start()
+                .is_some()
+        })
+        .expect("p0 must be re-admitted");
+    assert!(heal <= restart.last_attempt_round());
+    assert_eq!(stats.reconnects, 1, "exactly one successful re-admission");
+    assert!(
+        stats.stale_dropped >= 1,
+        "the kill drains p0's in-flight broadcast as stale"
+    );
+    let events = sink.take();
+    assert!(
+        events.iter().any(|e| e.kind() == "net_stale_frame"),
+        "tcp must narrate the stale frame drop"
+    );
+    // Re-stabilization within the Thm-3 window bound from the heal.
+    let s = window_stabilization(
+        &out.history,
+        &RateAgreementSpec::new(),
+        heal as usize,
+        16,
+        2,
+    )
+    .expect("restarted session re-stabilizes");
+    assert!(s <= 2, "took {s} rounds, Thm-3 window bound is 2");
+    assert!(
+        out.final_states[0].is_some(),
+        "the restarted node finishes the run"
+    );
+}
+
+/// Restart sessions are deterministic: byte-identical across reruns on
+/// `mem`, and identical modulo `net_*` narration on real sockets. The
+/// snapshot-damage rng is seeded from the episode alone, so the whole
+/// kill/retry/re-admit trajectory replays exactly.
+#[test]
+fn restart_sessions_are_deterministic_across_transports() {
+    let run = |transport: TransportKind| {
+        let restart = ServeRestart {
+            p: ProcessId(1),
+            kill_round: 3,
+            gap: 1,
+            staleness: 1,
+            fault: SnapshotFault::BitFlip,
+            snapshot_seed: 0xbeef,
+            retry: Retry {
+                attempts: 2,
+                backoff_rounds: 3,
+            },
+        };
+        let mut adversary = RandomOmission::new([ProcessId(1)], 0.0, 11);
+        let cfg = RunConfig::corrupted(3, 12, 5).with_max_faulty(1);
+        let mut sink = RecordingSink::new(1 << 16);
+        let mut stats = ServeStats::default();
+        let out = serve_streaming_with_stats(
+            &RoundAgreement,
+            &mut adversary,
+            &ServeConfig::new(cfg, transport).with_restart(restart),
+            &mut sink,
+            |_| {},
+            &mut stats,
+        )
+        .expect("restart session");
+        (sink.take(), out.final_states, stats)
+    };
+
+    let (mem_a, final_a, stats_a) = run(TransportKind::Mem);
+    let (mem_b, final_b, stats_b) = run(TransportKind::Mem);
+    assert_eq!(jsonl(&mem_a), jsonl(&mem_b), "mem reruns diverge");
+    assert_eq!(final_a, final_b);
+    assert_eq!(stats_a, stats_b);
+    assert!(
+        mem_a.iter().all(|e| !e.kind().starts_with("net_")),
+        "mem must emit no net_* events"
+    );
+
+    let (tcp_events, tcp_final, tcp_stats) = run(TransportKind::Tcp);
+    assert_eq!(without_net(&tcp_events), mem_a);
+    assert_eq!(tcp_final, final_a);
+    // The ServeStats counters are transport-independent even though the
+    // net_* narration is not.
+    assert_eq!(tcp_stats, stats_a);
+}
+
+/// The partial-synchrony proxy: delay, duplicate and reorder storms are
+/// deterministic across reruns and across transports, and their late
+/// copies deviate nobody — the run still converges.
+#[test]
+fn timing_storm_sessions_are_deterministic_across_transports() {
+    let run = |transport: TransportKind| {
+        let timing = TimingFaults {
+            victims: vec![ProcessId(0)],
+            phases: vec![
+                StormPhase::new(2, 4, StormKind::Delay { rounds: 2 }),
+                StormPhase::new(6, 7, StormKind::Duplicate),
+                StormPhase::new(9, 10, StormKind::Reorder),
+            ],
+            seed: 0x7131,
+        };
+        let cfg = RunConfig::corrupted(3, 14, 9);
+        let mut sink = RecordingSink::new(1 << 16);
+        let out = serve(
+            &RoundAgreement,
+            &mut ftss::sync_sim::NoFaults,
+            &ServeConfig::new(cfg, transport).with_timing(timing),
+            &mut sink,
+        )
+        .expect("timing session");
+        (sink.take(), out.final_states)
+    };
+
+    let (mem_a, final_a) = run(TransportKind::Mem);
+    let (mem_b, final_b) = run(TransportKind::Mem);
+    assert_eq!(jsonl(&mem_a), jsonl(&mem_b), "mem reruns diverge");
+    assert_eq!(final_a, final_b);
+    let outcome_count = |events: &[Event], want: DeliveryOutcome| {
+        events
+            .iter()
+            .filter(|e| matches!(e, Event::Send { outcome, .. } if *outcome == want))
+            .count()
+    };
+    assert!(
+        outcome_count(&mem_a, DeliveryOutcome::Delayed) > 0,
+        "the delay/reorder windows must defer some copies"
+    );
+    assert!(
+        outcome_count(&mem_a, DeliveryOutcome::Duplicated) > 0,
+        "the duplicate window must echo some copies"
+    );
+    assert!(final_a.iter().all(Option::is_some));
+
+    let (tcp_events, tcp_final) = run(TransportKind::Tcp);
+    assert_eq!(without_net(&tcp_events), mem_a);
+    assert_eq!(tcp_final, final_a);
+    #[cfg(unix)]
+    {
+        let (uds_events, uds_final) = run(TransportKind::Uds);
+        assert_eq!(without_net(&uds_events), mem_a);
+        assert_eq!(uds_final, final_a);
+    }
+}
+
+/// Restart configuration is validated like everything else.
+#[test]
+fn restart_rejects_invalid_episodes() {
+    let ok = ServeRestart {
+        p: ProcessId(1),
+        kill_round: 4,
+        gap: 2,
+        staleness: 2,
+        fault: SnapshotFault::Stale,
+        snapshot_seed: 0,
+        retry: Retry {
+            attempts: 2,
+            backoff_rounds: 2,
+        },
+    };
+    let attempt = |restart: ServeRestart, faulty: &[ProcessId]| {
+        serve(
+            &RoundAgreement,
+            &mut RandomOmission::new(faulty.iter().copied(), 0.0, 1),
+            &ServeConfig::new(
+                RunConfig::clean(3, 12).with_max_faulty(2),
+                TransportKind::Mem,
+            )
+            .with_restart(restart),
+            &mut ftss::telemetry::NullSink,
+        )
+        .unwrap_err()
+    };
+    // Restart outside the declared faulty set is not a legal move.
+    assert!(attempt(ok, &[ProcessId(0)]).contains("outside the declared faulty set"));
+    // The kill must leave room for a pre-kill snapshot round.
+    assert!(attempt(
+        ServeRestart {
+            kill_round: 1,
+            staleness: 1,
+            ..ok
+        },
+        &[ProcessId(1)]
+    )
+    .contains("restart needs"));
+    assert!(
+        attempt(ServeRestart { staleness: 4, ..ok }, &[ProcessId(1)]).contains("restart needs")
+    );
+    // Every scheduled attempt must land inside the horizon.
+    assert!(attempt(
+        ServeRestart {
+            retry: Retry {
+                attempts: 20,
+                backoff_rounds: 2
+            },
+            ..ok
+        },
+        &[ProcessId(1)]
+    )
+    .contains("past the horizon"));
+    // A process cannot both churn and restart.
+    let err = serve(
+        &RoundAgreement,
+        &mut RandomOmission::new([ProcessId(1)], 0.0, 1),
+        &ServeConfig::new(
+            RunConfig::clean(3, 12).with_max_faulty(2),
+            TransportKind::Mem,
+        )
+        .with_churn(ServeChurn {
+            p: ProcessId(1),
+            leave_round: 3,
+            join_round: 5,
+        })
+        .with_restart(ok),
+        &mut ftss::telemetry::NullSink,
+    )
+    .unwrap_err();
+    assert!(err.contains("churn-scheduled"), "{err}");
 }
 
 /// Serve inherits the simulator's configuration validation verbatim.
